@@ -1,0 +1,199 @@
+//! Buffered Douglas–Peucker (paper §III-B-1).
+//!
+//! The straw-man online adaptation of DP: accumulate points into a
+//! fixed-size buffer and run DP on the buffer whenever it fills. Both the
+//! first and last buffered points are kept at every flush — even when they
+//! could have been discarded — which is exactly the overhead the paper
+//! criticises: a straight line of `N` points costs `⌊N/M⌋ + 1` output
+//! points instead of 2.
+
+use crate::dp::douglas_peucker_indices;
+use bqs_core::metrics::DeviationMetric;
+use bqs_core::stream::StreamCompressor;
+use bqs_geo::{Point2, TimedPoint};
+
+/// Douglas–Peucker over a fixed-size sliding buffer.
+#[derive(Debug, Clone)]
+pub struct BufferedDpCompressor {
+    tolerance: f64,
+    metric: DeviationMetric,
+    buffer_size: usize,
+    buffer: Vec<TimedPoint>,
+}
+
+impl BufferedDpCompressor {
+    /// Creates a BDP compressor. `buffer_size` must be at least 2; the
+    /// paper's default working set is 32 points (matching the FBQS
+    /// significant-point budget).
+    ///
+    /// # Panics
+    /// Panics when `buffer_size < 2` or the tolerance is not positive.
+    pub fn new(tolerance: f64, buffer_size: usize) -> BufferedDpCompressor {
+        assert!(buffer_size >= 2, "BDP needs a buffer of at least 2 points");
+        assert!(
+            tolerance.is_finite() && tolerance > 0.0,
+            "tolerance must be finite and > 0"
+        );
+        BufferedDpCompressor {
+            tolerance,
+            metric: DeviationMetric::PointToLine,
+            buffer_size,
+            buffer: Vec::with_capacity(buffer_size),
+        }
+    }
+
+    /// Replaces the deviation metric.
+    pub fn with_metric(mut self, metric: DeviationMetric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// The configured buffer size.
+    pub fn buffer_size(&self) -> usize {
+        self.buffer_size
+    }
+
+    /// Runs DP on the buffer; emits every kept point except the final one,
+    /// which seeds the next buffer so consecutive windows share an anchor.
+    fn flush(&mut self, out: &mut Vec<TimedPoint>, last_too: bool) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let positions: Vec<Point2> = self.buffer.iter().map(|p| p.pos).collect();
+        let kept = douglas_peucker_indices(&positions, self.tolerance, self.metric);
+        let emit_until = if last_too { kept.len() } else { kept.len().saturating_sub(1) };
+        for &i in &kept[..emit_until] {
+            out.push(self.buffer[i]);
+        }
+        let tail = *self.buffer.last().expect("non-empty buffer");
+        self.buffer.clear();
+        if !last_too {
+            self.buffer.push(tail);
+        }
+    }
+}
+
+impl StreamCompressor for BufferedDpCompressor {
+    fn push(&mut self, p: TimedPoint, out: &mut Vec<TimedPoint>) {
+        self.buffer.push(p);
+        if self.buffer.len() >= self.buffer_size {
+            self.flush(out, false);
+        }
+    }
+
+    fn finish(&mut self, out: &mut Vec<TimedPoint>) {
+        // Emit the remaining window completely. A lone carried-over anchor
+        // was already emitted by the previous flush.
+        if self.buffer.len() == 1 && out.last() == self.buffer.first() {
+            self.buffer.clear();
+            return;
+        }
+        self.flush(out, true);
+    }
+
+    fn name(&self) -> &'static str {
+        "BDP"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqs_core::stream::compress_all;
+
+    fn line(n: usize) -> Vec<TimedPoint> {
+        (0..n).map(|i| TimedPoint::new(i as f64 * 10.0, 0.0, i as f64)).collect()
+    }
+
+    #[test]
+    fn straight_line_pays_the_window_overhead() {
+        // 100 points, window 32: the paper predicts ⌊N/M⌋ + 1 ≈ 4 points,
+        // strictly more than the optimal 2.
+        let mut bdp = BufferedDpCompressor::new(5.0, 32);
+        let out = compress_all(&mut bdp, line(100));
+        assert!(out.len() > 2, "BDP must keep window anchors, got {}", out.len());
+        assert!(out.len() <= 100 / 32 + 2);
+        assert_eq!(out.first().unwrap().t, 0.0);
+        assert_eq!(out.last().unwrap().t, 99.0);
+    }
+
+    #[test]
+    fn error_bound_holds_within_each_window() {
+        let pts: Vec<TimedPoint> = (0..300)
+            .map(|i| {
+                let a = i as f64;
+                TimedPoint::new(a * 6.0, (a * 0.35).sin() * 25.0, a)
+            })
+            .collect();
+        let tolerance = 5.0;
+        let mut bdp = BufferedDpCompressor::new(tolerance, 32);
+        let kept = compress_all(&mut bdp, pts.iter().copied());
+        // Validate against the original stream.
+        for w in kept.windows(2) {
+            let i = pts.iter().position(|p| p == &w[0]).unwrap();
+            let j = pts.iter().position(|p| p == &w[1]).unwrap();
+            assert!(i < j, "kept points must be a subsequence");
+            for p in &pts[i + 1..j] {
+                let d = DeviationMetric::PointToLine.distance(p.pos, w[0].pos, w[1].pos);
+                assert!(d <= tolerance + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn output_has_no_duplicates() {
+        let mut bdp = BufferedDpCompressor::new(5.0, 16);
+        let out = compress_all(&mut bdp, line(64));
+        for w in out.windows(2) {
+            assert!(w[0].t < w[1].t, "duplicate or out-of-order output: {out:?}");
+        }
+    }
+
+    #[test]
+    fn stream_shorter_than_buffer() {
+        let mut bdp = BufferedDpCompressor::new(5.0, 32);
+        let out = compress_all(&mut bdp, line(5));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn stream_exactly_buffer_size() {
+        let mut bdp = BufferedDpCompressor::new(5.0, 32);
+        let out = compress_all(&mut bdp, line(32));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn single_point_stream() {
+        let mut bdp = BufferedDpCompressor::new(5.0, 8);
+        let out = compress_all(&mut bdp, line(1));
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn smaller_buffers_compress_worse() {
+        let pts = line(256);
+        let small = {
+            let mut c = BufferedDpCompressor::new(5.0, 8);
+            compress_all(&mut c, pts.iter().copied()).len()
+        };
+        let large = {
+            let mut c = BufferedDpCompressor::new(5.0, 128);
+            compress_all(&mut c, pts.iter().copied()).len()
+        };
+        assert!(small > large, "small {small} should exceed large {large}");
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer of at least 2")]
+    fn rejects_tiny_buffer() {
+        let _ = BufferedDpCompressor::new(5.0, 1);
+    }
+
+    #[test]
+    fn accessors() {
+        let bdp = BufferedDpCompressor::new(5.0, 64);
+        assert_eq!(bdp.buffer_size(), 64);
+        assert_eq!(bdp.name(), "BDP");
+    }
+}

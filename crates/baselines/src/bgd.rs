@@ -1,0 +1,216 @@
+//! Buffered Greedy Deviation (paper §III-B-2) — the generic sliding-window
+//! algorithm in the style of Keogh et al.
+//!
+//! On every arrival the whole window is re-scanned against the chord from
+//! the segment start to the newest point: O(L) work per point, O(nL) total,
+//! where L is the window capacity. When the deviation breaks the tolerance
+//! the segment ends at the *previous* point; when the window fills first,
+//! the newest point is forcibly kept — the buffer-dependence the paper
+//! criticises.
+
+use bqs_core::metrics::DeviationMetric;
+use bqs_core::stream::StreamCompressor;
+use bqs_geo::{Point2, TimedPoint};
+
+/// The sliding-window greedy compressor.
+#[derive(Debug, Clone)]
+pub struct BufferedGreedyCompressor {
+    tolerance: f64,
+    metric: DeviationMetric,
+    buffer_size: usize,
+    /// Interior points of the current segment (start excluded).
+    window: Vec<Point2>,
+    start: Option<TimedPoint>,
+    last: Option<TimedPoint>,
+    emitted_last: Option<TimedPoint>,
+}
+
+impl BufferedGreedyCompressor {
+    /// Creates a BGD compressor with a window capacity of `buffer_size`
+    /// interior points.
+    ///
+    /// # Panics
+    /// Panics when `buffer_size < 1` or the tolerance is not positive.
+    pub fn new(tolerance: f64, buffer_size: usize) -> BufferedGreedyCompressor {
+        assert!(buffer_size >= 1, "BGD needs a window of at least 1 point");
+        assert!(
+            tolerance.is_finite() && tolerance > 0.0,
+            "tolerance must be finite and > 0"
+        );
+        BufferedGreedyCompressor {
+            tolerance,
+            metric: DeviationMetric::PointToLine,
+            buffer_size,
+            window: Vec::with_capacity(buffer_size),
+            start: None,
+            last: None,
+            emitted_last: None,
+        }
+    }
+
+    /// Replaces the deviation metric.
+    pub fn with_metric(mut self, metric: DeviationMetric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// The configured window capacity.
+    pub fn buffer_size(&self) -> usize {
+        self.buffer_size
+    }
+
+    fn emit(&mut self, p: TimedPoint, out: &mut Vec<TimedPoint>) {
+        out.push(p);
+        self.emitted_last = Some(p);
+    }
+
+    fn restart_at(&mut self, anchor: TimedPoint) {
+        self.start = Some(anchor);
+        self.window.clear();
+    }
+}
+
+impl StreamCompressor for BufferedGreedyCompressor {
+    fn push(&mut self, p: TimedPoint, out: &mut Vec<TimedPoint>) {
+        let Some(start) = self.start else {
+            self.emit(p, out);
+            self.restart_at(p);
+            self.last = Some(p);
+            return;
+        };
+
+        let deviation = self
+            .metric
+            .max_deviation(&self.window, start.pos, p.pos);
+        if deviation > self.tolerance {
+            // Segment ends at the previous point; p opens the next one.
+            let key = self.last.expect("a segment has at least its start");
+            self.emit(key, out);
+            self.restart_at(key);
+            // p is the first interior candidate of the new segment.
+            self.window.push(p.pos);
+            self.last = Some(p);
+            return;
+        }
+
+        self.window.push(p.pos);
+        self.last = Some(p);
+        if self.window.len() >= self.buffer_size {
+            // Window exhausted: forcibly keep the newest point (the paper's
+            // "extra points taken when the buffer is repeatedly full").
+            self.emit(p, out);
+            self.restart_at(p);
+        }
+    }
+
+    fn finish(&mut self, out: &mut Vec<TimedPoint>) {
+        if let Some(last) = self.last {
+            if self.emitted_last != Some(last) {
+                out.push(last);
+            }
+        }
+        self.start = None;
+        self.last = None;
+        self.emitted_last = None;
+        self.window.clear();
+    }
+
+    fn name(&self) -> &'static str {
+        "BGD"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqs_core::stream::compress_all;
+
+    fn line(n: usize) -> Vec<TimedPoint> {
+        (0..n).map(|i| TimedPoint::new(i as f64 * 10.0, 0.0, i as f64)).collect()
+    }
+
+    #[test]
+    fn straight_line_pays_window_overhead() {
+        let mut bgd = BufferedGreedyCompressor::new(5.0, 32);
+        let out = compress_all(&mut bgd, line(100));
+        // Forced keeps every 32 interior points.
+        assert!(out.len() > 2);
+        assert!(out.len() <= 100 / 32 + 2);
+    }
+
+    #[test]
+    fn error_bound_holds() {
+        let pts: Vec<TimedPoint> = (0..400)
+            .map(|i| {
+                let a = i as f64;
+                TimedPoint::new(a * 5.0, (a * 0.21).sin() * 18.0, a)
+            })
+            .collect();
+        let tolerance = 4.0;
+        let mut bgd = BufferedGreedyCompressor::new(tolerance, 64);
+        let kept = compress_all(&mut bgd, pts.iter().copied());
+        for w in kept.windows(2) {
+            let i = pts.iter().position(|p| p == &w[0]).unwrap();
+            let j = pts.iter().position(|p| p == &w[1]).unwrap();
+            assert!(i < j);
+            for p in &pts[i + 1..j] {
+                let d = DeviationMetric::PointToLine.distance(p.pos, w[0].pos, w[1].pos);
+                assert!(d <= tolerance + 1e-9, "segment {i}..{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharp_corner_is_kept() {
+        let mut pts = line(20);
+        pts.extend((1..20).map(|i| TimedPoint::new(190.0, i as f64 * 10.0, 20.0 + i as f64)));
+        let mut bgd = BufferedGreedyCompressor::new(5.0, 64);
+        let out = compress_all(&mut bgd, pts);
+        assert!(out
+            .iter()
+            .any(|p| p.pos.distance(Point2::new(190.0, 0.0)) <= 5.0));
+    }
+
+    #[test]
+    fn larger_windows_compress_better_on_compressible_input() {
+        let pts = line(512);
+        let small = {
+            let mut c = BufferedGreedyCompressor::new(5.0, 16);
+            compress_all(&mut c, pts.iter().copied()).len()
+        };
+        let large = {
+            let mut c = BufferedGreedyCompressor::new(5.0, 256);
+            compress_all(&mut c, pts.iter().copied()).len()
+        };
+        assert!(large < small);
+    }
+
+    #[test]
+    fn tiny_streams() {
+        let mut bgd = BufferedGreedyCompressor::new(5.0, 8);
+        assert_eq!(compress_all(&mut bgd, line(0)).len(), 0);
+        assert_eq!(compress_all(&mut bgd, line(1)).len(), 1);
+        assert_eq!(compress_all(&mut bgd, line(2)).len(), 2);
+    }
+
+    #[test]
+    fn output_is_strictly_ordered() {
+        let pts: Vec<TimedPoint> = (0..200)
+            .map(|i| {
+                let a = i as f64;
+                TimedPoint::new(a * 3.0, (a * 0.9).sin() * 12.0, a)
+            })
+            .collect();
+        let mut bgd = BufferedGreedyCompressor::new(3.0, 10);
+        let out = compress_all(&mut bgd, pts);
+        for w in out.windows(2) {
+            assert!(w[0].t < w[1].t);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window of at least 1")]
+    fn rejects_zero_window() {
+        let _ = BufferedGreedyCompressor::new(5.0, 0);
+    }
+}

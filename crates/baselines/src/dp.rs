@@ -1,0 +1,232 @@
+//! Douglas–Peucker line simplification (Douglas & Peucker 1973).
+//!
+//! The classic offline, error-bounded simplifier: starting from the chord
+//! between the first and last points, recursively keep the point of maximum
+//! deviation until every point lies within the tolerance of its local
+//! chord. Worst-case O(n²) time; the paper uses it as the offline reference
+//! whose compression rate online algorithms should approach (Fig. 7).
+
+use bqs_core::metrics::DeviationMetric;
+use bqs_core::stream::StreamCompressor;
+use bqs_geo::{Point2, TimedPoint};
+
+/// Computes the kept indices of a Douglas–Peucker simplification.
+///
+/// The result always contains the first and last indices, is strictly
+/// increasing, and guarantees that every dropped point deviates at most
+/// `tolerance` from the chord of the kept pair bracketing it. Inputs of
+/// fewer than 3 points are returned whole. Implemented iteratively (explicit
+/// work stack) so adversarial inputs cannot overflow the call stack.
+pub fn douglas_peucker_indices(
+    points: &[Point2],
+    tolerance: f64,
+    metric: DeviationMetric,
+) -> Vec<usize> {
+    let n = points.len();
+    if n <= 2 {
+        return (0..n).collect();
+    }
+    let mut keep = vec![false; n];
+    keep[0] = true;
+    keep[n - 1] = true;
+
+    let mut stack: Vec<(usize, usize)> = vec![(0, n - 1)];
+    while let Some((lo, hi)) = stack.pop() {
+        if hi <= lo + 1 {
+            continue;
+        }
+        let (a, b) = (points[lo], points[hi]);
+        let mut worst = 0.0f64;
+        let mut worst_idx = lo;
+        for (i, p) in points[lo + 1..hi].iter().enumerate() {
+            let d = metric.distance(*p, a, b);
+            if d > worst {
+                worst = d;
+                worst_idx = lo + 1 + i;
+            }
+        }
+        if worst > tolerance {
+            keep[worst_idx] = true;
+            stack.push((lo, worst_idx));
+            stack.push((worst_idx, hi));
+        }
+    }
+    keep.iter()
+        .enumerate()
+        .filter_map(|(i, k)| k.then_some(i))
+        .collect()
+}
+
+/// Simplifies a polyline, returning the kept points.
+pub fn douglas_peucker(
+    points: &[Point2],
+    tolerance: f64,
+    metric: DeviationMetric,
+) -> Vec<Point2> {
+    douglas_peucker_indices(points, tolerance, metric)
+        .into_iter()
+        .map(|i| points[i])
+        .collect()
+}
+
+/// Offline Douglas–Peucker behind the streaming interface: buffers the whole
+/// stream and simplifies at [`StreamCompressor::finish`]. This is the
+/// paper's "DP" series — an *offline* reference, so its buffering is
+/// intentional and unbounded.
+#[derive(Debug, Clone)]
+pub struct DpCompressor {
+    tolerance: f64,
+    metric: DeviationMetric,
+    buffer: Vec<TimedPoint>,
+}
+
+impl DpCompressor {
+    /// Creates an offline DP compressor with the paper's point-to-line
+    /// metric.
+    pub fn new(tolerance: f64) -> DpCompressor {
+        DpCompressor { tolerance, metric: DeviationMetric::PointToLine, buffer: Vec::new() }
+    }
+
+    /// Replaces the deviation metric.
+    pub fn with_metric(mut self, metric: DeviationMetric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// The tolerance in use.
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+}
+
+impl StreamCompressor for DpCompressor {
+    fn push(&mut self, p: TimedPoint, _out: &mut Vec<TimedPoint>) {
+        self.buffer.push(p);
+    }
+
+    fn finish(&mut self, out: &mut Vec<TimedPoint>) {
+        let positions: Vec<Point2> = self.buffer.iter().map(|p| p.pos).collect();
+        for i in douglas_peucker_indices(&positions, self.tolerance, self.metric) {
+            out.push(self.buffer[i]);
+        }
+        self.buffer.clear();
+    }
+
+    fn name(&self) -> &'static str {
+        "DP"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqs_geo::verify_error_bound;
+
+    fn metric() -> DeviationMetric {
+        DeviationMetric::PointToLine
+    }
+
+    fn zigzag(n: usize, amplitude: f64) -> Vec<Point2> {
+        (0..n)
+            .map(|i| Point2::new(i as f64 * 10.0, if i % 2 == 0 { 0.0 } else { amplitude }))
+            .collect()
+    }
+
+    #[test]
+    fn straight_line_keeps_endpoints_only() {
+        let pts: Vec<Point2> = (0..50).map(|i| Point2::new(i as f64, 2.0 * i as f64)).collect();
+        let kept = douglas_peucker_indices(&pts, 0.5, metric());
+        assert_eq!(kept, vec![0, 49]);
+    }
+
+    #[test]
+    fn zigzag_below_tolerance_collapses() {
+        let pts = zigzag(20, 1.0);
+        let kept = douglas_peucker_indices(&pts, 5.0, metric());
+        assert_eq!(kept, vec![0, 19]);
+    }
+
+    #[test]
+    fn zigzag_above_tolerance_keeps_extremes() {
+        let pts = zigzag(20, 50.0);
+        let kept = douglas_peucker_indices(&pts, 5.0, metric());
+        assert!(kept.len() > 2);
+        let worst = verify_error_bound(&pts, &kept, false).unwrap();
+        assert!(worst <= 5.0 + 1e-9);
+    }
+
+    #[test]
+    fn error_bound_holds_on_pseudorandom_input() {
+        let mut pts = Vec::new();
+        let mut x = 0.0f64;
+        let mut y = 0.0f64;
+        for i in 0..500 {
+            let a = i as f64;
+            x += 5.0 + (a * 0.37).sin() * 4.0;
+            y += (a * 0.11).cos() * 9.0;
+            pts.push(Point2::new(x, y));
+        }
+        for tol in [1.0, 5.0, 25.0] {
+            let kept = douglas_peucker_indices(&pts, tol, metric());
+            let worst = verify_error_bound(&pts, &kept, false).unwrap();
+            assert!(worst <= tol + 1e-9, "tolerance {tol}: worst {worst}");
+            assert_eq!(*kept.first().unwrap(), 0);
+            assert_eq!(*kept.last().unwrap(), pts.len() - 1);
+        }
+    }
+
+    #[test]
+    fn tiny_inputs_returned_whole() {
+        assert!(douglas_peucker_indices(&[], 1.0, metric()).is_empty());
+        assert_eq!(douglas_peucker_indices(&[Point2::ORIGIN], 1.0, metric()), vec![0]);
+        assert_eq!(
+            douglas_peucker_indices(&[Point2::ORIGIN, Point2::new(1.0, 1.0)], 1.0, metric()),
+            vec![0, 1]
+        );
+    }
+
+    #[test]
+    fn monotone_in_tolerance() {
+        let pts = zigzag(100, 30.0);
+        let mut prev = usize::MAX;
+        for tol in [1.0, 5.0, 15.0, 40.0] {
+            let kept = douglas_peucker_indices(&pts, tol, metric()).len();
+            assert!(kept <= prev, "tolerance {tol} kept {kept} > {prev}");
+            prev = kept;
+        }
+    }
+
+    #[test]
+    fn duplicate_points_do_not_break() {
+        let pts = vec![Point2::new(1.0, 1.0); 10];
+        let kept = douglas_peucker_indices(&pts, 0.1, metric());
+        assert_eq!(kept, vec![0, 9]);
+    }
+
+    #[test]
+    fn streaming_wrapper_matches_direct_call() {
+        let pts = zigzag(60, 20.0);
+        let timed: Vec<TimedPoint> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| TimedPoint::at(*p, i as f64))
+            .collect();
+        let mut dp = DpCompressor::new(5.0);
+        let out = bqs_core::stream::compress_all(&mut dp, timed);
+        let direct = douglas_peucker(&pts, 5.0, metric());
+        assert_eq!(out.len(), direct.len());
+        assert!(out.iter().map(|p| p.pos).eq(direct));
+        // The compressor resets after finish.
+        let mut out2 = Vec::new();
+        dp.finish(&mut out2);
+        assert!(out2.is_empty());
+    }
+
+    #[test]
+    fn segment_metric_variant() {
+        let pts = zigzag(40, 20.0);
+        let kept = douglas_peucker_indices(&pts, 5.0, DeviationMetric::PointToSegment);
+        let worst = verify_error_bound(&pts, &kept, true).unwrap();
+        assert!(worst <= 5.0 + 1e-9);
+    }
+}

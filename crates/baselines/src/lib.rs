@@ -1,0 +1,47 @@
+//! # bqs-baselines — comparison algorithms for the BQS evaluation
+//!
+//! Every algorithm the paper compares against (§III-B, §VI), implemented
+//! from scratch behind the same [`StreamCompressor`] interface as the BQS
+//! family so the evaluation harness can run them head-to-head:
+//!
+//! * [`dp`] — Douglas–Peucker, the classic offline simplifier (worst-case
+//!   O(n²); the paper's offline reference).
+//! * [`bdp`] — Buffered Douglas–Peucker: DP over a fixed-size buffer,
+//!   the paper's first straw-man online adaptation (§III-B-1).
+//! * [`bgd`] — Buffered Greedy Deviation: the generic sliding-window
+//!   algorithm (§III-B-2).
+//! * [`dead_reckoning`] — error-bounded Dead Reckoning (Trajcevski et al.,
+//!   the paper's Fig. 8b comparison).
+//! * [`squish`] — SQUISH and the error-bounded SQUISH-E(ε) (Muckell et
+//!   al.), the related-work priority-queue compressors.
+//! * [`sttrace`] — STTrace (Potamias et al.), fixed-sample SED eviction.
+//! * [`mbr`] — the bounding-rectangle method (Liu, Iwai & Sezaki),
+//!   adapted behind the streaming interface.
+//! * [`sampling`] — uniform temporal and distance-threshold sampling, the
+//!   naive floors every lossy compressor must beat.
+//!
+//! All error-bounded algorithms guarantee the same deviation bound as BQS,
+//! so compression rate (Fig. 7) and run time (Table III) are the
+//! differentiators.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bdp;
+pub mod bgd;
+pub mod dead_reckoning;
+pub mod dp;
+pub mod mbr;
+pub mod sampling;
+pub mod squish;
+pub mod sttrace;
+
+pub use bdp::BufferedDpCompressor;
+pub use bgd::BufferedGreedyCompressor;
+pub use bqs_core::stream::StreamCompressor;
+pub use dead_reckoning::DeadReckoningCompressor;
+pub use dp::{douglas_peucker, douglas_peucker_indices, DpCompressor};
+pub use mbr::MbrCompressor;
+pub use sampling::{DistanceThresholdCompressor, UniformSamplingCompressor};
+pub use squish::{SquishCompressor, SquishECompressor};
+pub use sttrace::StTraceCompressor;

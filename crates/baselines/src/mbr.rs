@@ -1,0 +1,171 @@
+//! The MBR method (Liu, Iwai & Sezaki 2013) — online trajectory
+//! simplification under GPS uncertainty via bounding rectangles.
+//!
+//! The original maintains, divides and merges minimum bounding rectangles
+//! that represent runs of the trajectory; the paper's §II cites it as too
+//! heavy for the Camazotz class of device. This adaptation keeps its core
+//! idea behind the common streaming interface: grow an oriented run while
+//! all buffered points stay within `tolerance` of the line through the
+//! run's anchor in its dominant direction (i.e. the run's bounding
+//! rectangle stays thin); emit the run's endpoints when it would thicken.
+//!
+//! The deviation guarantee is the same `ε` family as BQS, measured against
+//! the run chord, so it slots directly into the comparative harness.
+
+use bqs_core::metrics::DeviationMetric;
+use bqs_core::stream::StreamCompressor;
+use bqs_geo::{Point2, TimedPoint};
+
+/// The MBR-style run compressor.
+#[derive(Debug, Clone)]
+pub struct MbrCompressor {
+    tolerance: f64,
+    /// Interior points of the current run.
+    run: Vec<Point2>,
+    start: Option<TimedPoint>,
+    last: Option<TimedPoint>,
+    emitted_last: Option<TimedPoint>,
+    /// Maximum run length before a forced emit (the division rule — keeps
+    /// per-point cost bounded like the original's rectangle budget).
+    max_run: usize,
+}
+
+impl MbrCompressor {
+    /// Creates an MBR compressor. `max_run` bounds the run buffer (the
+    /// original's per-rectangle point budget); 64 matches its defaults.
+    ///
+    /// # Panics
+    /// Panics on a non-positive tolerance or `max_run < 2`.
+    pub fn new(tolerance: f64, max_run: usize) -> MbrCompressor {
+        assert!(tolerance.is_finite() && tolerance > 0.0);
+        assert!(max_run >= 2);
+        MbrCompressor {
+            tolerance,
+            run: Vec::with_capacity(max_run),
+            start: None,
+            last: None,
+            emitted_last: None,
+            max_run,
+        }
+    }
+
+    fn emit(&mut self, p: TimedPoint, out: &mut Vec<TimedPoint>) {
+        out.push(p);
+        self.emitted_last = Some(p);
+    }
+
+    fn restart(&mut self, anchor: TimedPoint) {
+        self.start = Some(anchor);
+        self.run.clear();
+    }
+}
+
+impl StreamCompressor for MbrCompressor {
+    fn push(&mut self, p: TimedPoint, out: &mut Vec<TimedPoint>) {
+        let Some(start) = self.start else {
+            self.emit(p, out);
+            self.restart(p);
+            self.last = Some(p);
+            return;
+        };
+
+        // Thinness test: the run's rectangle oriented along start→p must
+        // stay within the tolerance — equivalently, max deviation of the
+        // run against the chord.
+        let deviation = DeviationMetric::PointToLine.max_deviation(&self.run, start.pos, p.pos);
+        if deviation > self.tolerance {
+            let key = self.last.expect("run has an anchor");
+            self.emit(key, out);
+            self.restart(key);
+            self.run.push(p.pos);
+            self.last = Some(p);
+            return;
+        }
+
+        self.run.push(p.pos);
+        self.last = Some(p);
+        if self.run.len() >= self.max_run {
+            // Division rule: cap the rectangle's point budget.
+            self.emit(p, out);
+            self.restart(p);
+        }
+    }
+
+    fn finish(&mut self, out: &mut Vec<TimedPoint>) {
+        if let Some(last) = self.last {
+            if self.emitted_last != Some(last) {
+                out.push(last);
+            }
+        }
+        self.start = None;
+        self.last = None;
+        self.emitted_last = None;
+        self.run.clear();
+    }
+
+    fn name(&self) -> &'static str {
+        "MBR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqs_core::stream::compress_all;
+
+    #[test]
+    fn straight_line_compresses_to_run_anchors() {
+        let pts: Vec<TimedPoint> =
+            (0..200).map(|i| TimedPoint::new(i as f64 * 10.0, 0.0, i as f64)).collect();
+        let mut mbr = MbrCompressor::new(5.0, 64);
+        let out = compress_all(&mut mbr, pts);
+        assert!(out.len() <= 200 / 64 + 2);
+    }
+
+    #[test]
+    fn error_bound_holds() {
+        let pts: Vec<TimedPoint> = (0..400)
+            .map(|i| {
+                let a = i as f64;
+                TimedPoint::new(a * 6.0, (a * 0.28).sin() * 20.0, a)
+            })
+            .collect();
+        let tolerance = 5.0;
+        let mut mbr = MbrCompressor::new(tolerance, 64);
+        let kept = compress_all(&mut mbr, pts.iter().copied());
+        for w in kept.windows(2) {
+            let i = pts.iter().position(|p| p == &w[0]).unwrap();
+            let j = pts.iter().position(|p| p == &w[1]).unwrap();
+            for p in &pts[i + 1..j] {
+                let d = DeviationMetric::PointToLine.distance(p.pos, w[0].pos, w[1].pos);
+                assert!(d <= tolerance + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_streams() {
+        let mut mbr = MbrCompressor::new(5.0, 8);
+        assert!(compress_all(&mut mbr, std::iter::empty()).is_empty());
+        let one = compress_all(&mut mbr, [TimedPoint::new(0.0, 0.0, 0.0)]);
+        assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn corner_is_kept() {
+        let mut pts: Vec<TimedPoint> =
+            (0..30).map(|i| TimedPoint::new(i as f64 * 10.0, 0.0, i as f64)).collect();
+        pts.extend((1..30).map(|i| TimedPoint::new(290.0, i as f64 * 10.0, 30.0 + i as f64)));
+        let mut mbr = MbrCompressor::new(5.0, 128);
+        let out = compress_all(&mut mbr, pts);
+        assert!(out
+            .iter()
+            .any(|p| p.pos.distance(Point2::new(290.0, 0.0)) <= 5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "max_run >= 2")]
+    fn rejects_tiny_run() {
+        let _ = MbrCompressor::new(5.0, 1);
+    }
+}

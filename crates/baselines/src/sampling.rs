@@ -1,0 +1,172 @@
+//! Naive sampling baselines.
+//!
+//! Neither bounds the deviation error; they exist as the floor every
+//! error-bounded compressor must beat in the evaluation, and as honest
+//! representations of what fielded trackers often do (fixed-rate logging).
+
+use bqs_core::stream::StreamCompressor;
+use bqs_geo::TimedPoint;
+
+/// Keeps the first point and every `k`-th point thereafter, plus the final
+/// point of the stream.
+#[derive(Debug, Clone)]
+pub struct UniformSamplingCompressor {
+    every: usize,
+    index: usize,
+    last: Option<TimedPoint>,
+    emitted_last: Option<TimedPoint>,
+}
+
+impl UniformSamplingCompressor {
+    /// Creates a sampler keeping every `every`-th point (`every ≥ 1`).
+    ///
+    /// # Panics
+    /// Panics when `every == 0`.
+    pub fn new(every: usize) -> UniformSamplingCompressor {
+        assert!(every >= 1, "sampling interval must be ≥ 1");
+        UniformSamplingCompressor { every, index: 0, last: None, emitted_last: None }
+    }
+}
+
+impl StreamCompressor for UniformSamplingCompressor {
+    fn push(&mut self, p: TimedPoint, out: &mut Vec<TimedPoint>) {
+        if self.index.is_multiple_of(self.every) {
+            out.push(p);
+            self.emitted_last = Some(p);
+        }
+        self.index += 1;
+        self.last = Some(p);
+    }
+
+    fn finish(&mut self, out: &mut Vec<TimedPoint>) {
+        if let Some(last) = self.last {
+            if self.emitted_last != Some(last) {
+                out.push(last);
+            }
+        }
+        self.index = 0;
+        self.last = None;
+        self.emitted_last = None;
+    }
+
+    fn name(&self) -> &'static str {
+        "UNIFORM"
+    }
+}
+
+/// Keeps a point whenever it has moved at least `threshold` metres from the
+/// last kept point, plus the final point.
+#[derive(Debug, Clone)]
+pub struct DistanceThresholdCompressor {
+    threshold: f64,
+    anchor: Option<TimedPoint>,
+    last: Option<TimedPoint>,
+    emitted_last: Option<TimedPoint>,
+}
+
+impl DistanceThresholdCompressor {
+    /// Creates a distance-threshold sampler.
+    ///
+    /// # Panics
+    /// Panics when the threshold is not positive and finite.
+    pub fn new(threshold: f64) -> DistanceThresholdCompressor {
+        assert!(
+            threshold.is_finite() && threshold > 0.0,
+            "threshold must be finite and > 0"
+        );
+        DistanceThresholdCompressor {
+            threshold,
+            anchor: None,
+            last: None,
+            emitted_last: None,
+        }
+    }
+}
+
+impl StreamCompressor for DistanceThresholdCompressor {
+    fn push(&mut self, p: TimedPoint, out: &mut Vec<TimedPoint>) {
+        let keep = match self.anchor {
+            None => true,
+            Some(a) => a.pos.distance(p.pos) >= self.threshold,
+        };
+        if keep {
+            out.push(p);
+            self.emitted_last = Some(p);
+            self.anchor = Some(p);
+        }
+        self.last = Some(p);
+    }
+
+    fn finish(&mut self, out: &mut Vec<TimedPoint>) {
+        if let Some(last) = self.last {
+            if self.emitted_last != Some(last) {
+                out.push(last);
+            }
+        }
+        self.anchor = None;
+        self.last = None;
+        self.emitted_last = None;
+    }
+
+    fn name(&self) -> &'static str {
+        "DIST"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqs_core::stream::compress_all;
+
+    fn line(n: usize) -> Vec<TimedPoint> {
+        (0..n).map(|i| TimedPoint::new(i as f64 * 10.0, 0.0, i as f64)).collect()
+    }
+
+    #[test]
+    fn uniform_keeps_every_kth_plus_last() {
+        let mut s = UniformSamplingCompressor::new(10);
+        let out = compress_all(&mut s, line(95));
+        // Indices 0, 10, ..., 90 plus the final point 94.
+        assert_eq!(out.len(), 11);
+        assert_eq!(out.last().unwrap().t, 94.0);
+    }
+
+    #[test]
+    fn uniform_every_one_keeps_all() {
+        let mut s = UniformSamplingCompressor::new(1);
+        let pts = line(7);
+        assert_eq!(compress_all(&mut s, pts.clone()), pts);
+    }
+
+    #[test]
+    fn distance_threshold_skips_small_moves() {
+        let mut s = DistanceThresholdCompressor::new(25.0);
+        let out = compress_all(&mut s, line(10)); // 10 m steps
+        // Kept at 0, 30, 60, 90 (every 3rd step ≥ 25 m) + final.
+        assert!(out.len() < 10);
+        assert_eq!(out.first().unwrap().t, 0.0);
+        assert_eq!(out.last().unwrap().t, 9.0);
+    }
+
+    #[test]
+    fn stationary_object_keeps_two_points() {
+        let pts: Vec<TimedPoint> = (0..50).map(|i| TimedPoint::new(1.0, 1.0, i as f64)).collect();
+        let mut s = DistanceThresholdCompressor::new(5.0);
+        let out = compress_all(&mut s, pts);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn empty_streams() {
+        let mut u = UniformSamplingCompressor::new(3);
+        assert!(compress_all(&mut u, std::iter::empty()).is_empty());
+        let mut d = DistanceThresholdCompressor::new(3.0);
+        assert!(compress_all(&mut d, std::iter::empty()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "interval")]
+    fn uniform_rejects_zero() {
+        let _ = UniformSamplingCompressor::new(0);
+    }
+}

@@ -1,0 +1,339 @@
+//! SQUISH and SQUISH-E (Muckell et al., COM.Geo '11 / GeoInformatica '13).
+//!
+//! Priority-queue trajectory compression over the **synchronized Euclidean
+//! distance** (SED): each interior point's priority estimates the error its
+//! removal would introduce; the lowest-priority point is removed and its
+//! priority is carried over to the neighbours.
+//!
+//! * [`SquishCompressor`] — the original SQUISH: a fixed-capacity buffer
+//!   gives bounded memory and an online-friendly profile, but **no error
+//!   guarantee** (the paper's §II criticism).
+//! * [`SquishECompressor`] — SQUISH-E(ε): removes points only while the
+//!   carried priority stays within the SED tolerance, guaranteeing the
+//!   error bound; the error-bounded flavour runs offline (paper §II), so
+//!   this implementation compresses at `finish`.
+
+use bqs_core::stream::StreamCompressor;
+use bqs_geo::TimedPoint;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Synchronized Euclidean distance: the gap between `p` and the position
+/// linearly interpolated at `p.t` between `a` and `b`.
+pub fn sed(p: TimedPoint, a: TimedPoint, b: TimedPoint) -> f64 {
+    let span = b.t - a.t;
+    let u = if span <= 0.0 { 1.0 } else { ((p.t - a.t) / span).clamp(0.0, 1.0) };
+    p.pos.distance(a.pos.lerp(b.pos, u))
+}
+
+/// Ordered f64 wrapper for the heap (priorities are finite by
+/// construction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+
+/// Doubly-linked buffer with lazily invalidated heap entries, shared by
+/// both SQUISH variants.
+#[derive(Debug, Clone, Default)]
+struct PriorityBuffer {
+    points: Vec<TimedPoint>,
+    prev: Vec<usize>,
+    next: Vec<usize>,
+    alive: Vec<bool>,
+    /// Priority carried over from removed neighbours.
+    carry: Vec<f64>,
+    /// Current priority (SED + carry); heap entries older than this value
+    /// are ignored when popped.
+    priority: Vec<f64>,
+    heap: BinaryHeap<Reverse<(OrdF64, usize)>>,
+    live_count: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+impl PriorityBuffer {
+    fn clear(&mut self) {
+        *self = PriorityBuffer::default();
+    }
+
+    fn push(&mut self, p: TimedPoint) {
+        let i = self.points.len();
+        self.points.push(p);
+        self.alive.push(true);
+        self.carry.push(0.0);
+        self.priority.push(f64::INFINITY);
+        self.prev.push(NIL);
+        self.next.push(NIL);
+        self.live_count += 1;
+        if i > 0 {
+            // Find the previous live point (the tail).
+            let mut tail = i - 1;
+            while !self.alive[tail] {
+                tail = self.prev[tail];
+            }
+            self.prev[i] = tail;
+            self.next[tail] = i;
+            // The old tail becomes interior: give it a real priority.
+            self.refresh_priority(tail);
+        }
+    }
+
+    fn refresh_priority(&mut self, i: usize) {
+        let (p, n) = (self.prev[i], self.next[i]);
+        if p == NIL || n == NIL {
+            self.priority[i] = f64::INFINITY; // endpoints are immovable
+            return;
+        }
+        let pri = sed(self.points[i], self.points[p], self.points[n]) + self.carry[i];
+        self.priority[i] = pri;
+        self.heap.push(Reverse((OrdF64(pri), i)));
+    }
+
+    /// Lowest current priority among interior points, if any.
+    fn peek_min(&mut self) -> Option<(f64, usize)> {
+        while let Some(&Reverse((OrdF64(pri), i))) = self.heap.peek() {
+            if self.alive[i] && self.priority[i] == pri {
+                return Some((pri, i));
+            }
+            self.heap.pop(); // stale entry
+        }
+        None
+    }
+
+    /// Removes interior point `i`, carrying its priority to the neighbours.
+    fn remove(&mut self, i: usize) {
+        debug_assert!(self.alive[i]);
+        let (p, n) = (self.prev[i], self.next[i]);
+        debug_assert!(p != NIL && n != NIL, "endpoints cannot be removed");
+        self.alive[i] = false;
+        self.live_count -= 1;
+        self.next[p] = n;
+        self.prev[n] = p;
+        let carried = self.priority[i];
+        for k in [p, n] {
+            if self.prev[k] != NIL && self.next[k] != NIL {
+                self.carry[k] = self.carry[k].max(carried);
+                self.refresh_priority(k);
+            }
+        }
+    }
+
+    fn survivors(&self) -> Vec<TimedPoint> {
+        self.points
+            .iter()
+            .zip(self.alive.iter())
+            .filter_map(|(p, a)| a.then_some(*p))
+            .collect()
+    }
+}
+
+/// SQUISH: fixed-capacity priority-queue compression (no error guarantee).
+#[derive(Debug, Clone)]
+pub struct SquishCompressor {
+    capacity: usize,
+    buffer: PriorityBuffer,
+}
+
+impl SquishCompressor {
+    /// Creates a SQUISH compressor keeping at most `capacity` points.
+    ///
+    /// # Panics
+    /// Panics when `capacity < 2`.
+    pub fn new(capacity: usize) -> SquishCompressor {
+        assert!(capacity >= 2, "SQUISH needs capacity ≥ 2");
+        SquishCompressor { capacity, buffer: PriorityBuffer::default() }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl StreamCompressor for SquishCompressor {
+    fn push(&mut self, p: TimedPoint, _out: &mut Vec<TimedPoint>) {
+        self.buffer.push(p);
+        while self.buffer.live_count > self.capacity {
+            let Some((_, i)) = self.buffer.peek_min() else { break };
+            self.buffer.remove(i);
+        }
+    }
+
+    fn finish(&mut self, out: &mut Vec<TimedPoint>) {
+        out.extend(self.buffer.survivors());
+        self.buffer.clear();
+    }
+
+    fn name(&self) -> &'static str {
+        "SQUISH"
+    }
+}
+
+/// SQUISH-E(ε): removes points only while the (carried) SED stays within
+/// the tolerance, guaranteeing the SED error bound. Offline: the stream is
+/// buffered and compressed at `finish` (the paper notes the error-bounded
+/// flavour "runs offline only").
+#[derive(Debug, Clone)]
+pub struct SquishECompressor {
+    tolerance: f64,
+    buffer: PriorityBuffer,
+}
+
+impl SquishECompressor {
+    /// Creates a SQUISH-E(ε) compressor with an SED tolerance.
+    ///
+    /// # Panics
+    /// Panics when the tolerance is not positive and finite.
+    pub fn new(tolerance: f64) -> SquishECompressor {
+        assert!(
+            tolerance.is_finite() && tolerance > 0.0,
+            "tolerance must be finite and > 0"
+        );
+        SquishECompressor { tolerance, buffer: PriorityBuffer::default() }
+    }
+
+    /// The SED tolerance in use.
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+}
+
+impl StreamCompressor for SquishECompressor {
+    fn push(&mut self, p: TimedPoint, _out: &mut Vec<TimedPoint>) {
+        self.buffer.push(p);
+    }
+
+    fn finish(&mut self, out: &mut Vec<TimedPoint>) {
+        while let Some((pri, i)) = self.buffer.peek_min() {
+            if pri > self.tolerance {
+                break;
+            }
+            self.buffer.remove(i);
+        }
+        out.extend(self.buffer.survivors());
+        self.buffer.clear();
+    }
+
+    fn name(&self) -> &'static str {
+        "SQUISH-E"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqs_core::stream::compress_all;
+
+    fn wavy(n: usize) -> Vec<TimedPoint> {
+        (0..n)
+            .map(|i| {
+                let a = i as f64;
+                TimedPoint::new(a * 10.0, (a * 0.4).sin() * 15.0, a * 60.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sed_basics() {
+        let a = TimedPoint::new(0.0, 0.0, 0.0);
+        let b = TimedPoint::new(10.0, 0.0, 10.0);
+        // On the synchronized position: zero error.
+        assert_eq!(sed(TimedPoint::new(5.0, 0.0, 5.0), a, b), 0.0);
+        // Offset vertically: full offset is the error.
+        assert_eq!(sed(TimedPoint::new(5.0, 3.0, 5.0), a, b), 3.0);
+        // Ahead of schedule: compared against the synchronized point.
+        assert_eq!(sed(TimedPoint::new(8.0, 0.0, 5.0), a, b), 3.0);
+    }
+
+    #[test]
+    fn squish_respects_capacity() {
+        let mut squish = SquishCompressor::new(10);
+        let out = compress_all(&mut squish, wavy(200));
+        assert!(out.len() <= 10);
+        assert!(out.len() >= 2);
+        assert_eq!(out.first().unwrap().t, 0.0);
+        assert_eq!(out.last().unwrap().t, 199.0 * 60.0);
+        for w in out.windows(2) {
+            assert!(w[0].t < w[1].t);
+        }
+    }
+
+    #[test]
+    fn squish_keeps_everything_under_capacity() {
+        let mut squish = SquishCompressor::new(100);
+        let pts = wavy(50);
+        let out = compress_all(&mut squish, pts.clone());
+        assert_eq!(out, pts);
+    }
+
+    #[test]
+    fn squish_e_guarantees_sed_bound() {
+        let pts = wavy(300);
+        let tolerance = 5.0;
+        let mut squish_e = SquishECompressor::new(tolerance);
+        let kept = compress_all(&mut squish_e, pts.iter().copied());
+        assert!(kept.len() < pts.len());
+        // Every dropped point's SED against its bracketing kept pair is
+        // within the tolerance.
+        for w in kept.windows(2) {
+            let i = pts.iter().position(|p| p == &w[0]).unwrap();
+            let j = pts.iter().position(|p| p == &w[1]).unwrap();
+            for p in &pts[i + 1..j] {
+                let e = sed(*p, w[0], w[1]);
+                assert!(e <= tolerance + 1e-9, "SED {e} > {tolerance}");
+            }
+        }
+    }
+
+    #[test]
+    fn squish_e_monotone_in_tolerance() {
+        let pts = wavy(300);
+        let mut prev = usize::MAX;
+        for tol in [1.0, 5.0, 20.0] {
+            let mut c = SquishECompressor::new(tol);
+            let n = compress_all(&mut c, pts.iter().copied()).len();
+            assert!(n <= prev);
+            prev = n;
+        }
+    }
+
+    #[test]
+    fn squish_e_straight_line_collapses() {
+        let pts: Vec<TimedPoint> =
+            (0..100).map(|i| TimedPoint::new(i as f64 * 5.0, 0.0, i as f64)).collect();
+        let mut c = SquishECompressor::new(1.0);
+        let out = compress_all(&mut c, pts);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn tiny_streams() {
+        let mut squish = SquishCompressor::new(4);
+        assert!(compress_all(&mut squish, std::iter::empty()).is_empty());
+        let one = compress_all(&mut squish, [TimedPoint::new(1.0, 1.0, 0.0)]);
+        assert_eq!(one.len(), 1);
+        let mut e = SquishECompressor::new(3.0);
+        let two = compress_all(
+            &mut e,
+            [TimedPoint::new(0.0, 0.0, 0.0), TimedPoint::new(9.0, 9.0, 1.0)],
+        );
+        assert_eq!(two.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn squish_rejects_capacity_one() {
+        let _ = SquishCompressor::new(1);
+    }
+}

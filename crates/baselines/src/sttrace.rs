@@ -1,0 +1,139 @@
+//! STTrace (Potamias, Patroumpas & Sellis, SSDBM 2006) — sampling
+//! trajectory streams with spatiotemporal criteria.
+//!
+//! The paper's §II places it among the methods "outside the capabilities of
+//! our target hardware platform"; it is included here so the comparison is
+//! complete. STTrace keeps a fixed-size sample of the stream: each buffered
+//! point carries the synchronized-Euclidean-distance (SED) information loss
+//! its removal would cause given its *current* neighbours; when the buffer
+//! overflows, the point of minimum loss is evicted and its neighbours'
+//! priorities are recomputed (unlike SQUISH, which carries the evicted
+//! priority forward — that difference is what distinguishes the two).
+
+use crate::squish::sed;
+use bqs_core::stream::StreamCompressor;
+use bqs_geo::TimedPoint;
+
+/// The STTrace compressor.
+#[derive(Debug, Clone)]
+pub struct StTraceCompressor {
+    capacity: usize,
+    /// Kept points in time order (the sample).
+    buffer: Vec<TimedPoint>,
+}
+
+impl StTraceCompressor {
+    /// Creates an STTrace compressor with a fixed sample capacity.
+    ///
+    /// # Panics
+    /// Panics when `capacity < 2`.
+    pub fn new(capacity: usize) -> StTraceCompressor {
+        assert!(capacity >= 2, "STTrace needs capacity ≥ 2");
+        StTraceCompressor { capacity, buffer: Vec::with_capacity(capacity + 1) }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Index of the interior point whose removal loses the least
+    /// information right now.
+    fn min_loss_index(&self) -> Option<usize> {
+        if self.buffer.len() < 3 {
+            return None;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for i in 1..self.buffer.len() - 1 {
+            let loss = sed(self.buffer[i], self.buffer[i - 1], self.buffer[i + 1]);
+            match best {
+                Some((_, b)) if b <= loss => {}
+                _ => best = Some((i, loss)),
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+}
+
+impl StreamCompressor for StTraceCompressor {
+    fn push(&mut self, p: TimedPoint, _out: &mut Vec<TimedPoint>) {
+        self.buffer.push(p);
+        if self.buffer.len() > self.capacity {
+            if let Some(i) = self.min_loss_index() {
+                self.buffer.remove(i);
+            }
+        }
+    }
+
+    fn finish(&mut self, out: &mut Vec<TimedPoint>) {
+        out.append(&mut self.buffer);
+    }
+
+    fn name(&self) -> &'static str {
+        "STTrace"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqs_core::stream::compress_all;
+
+    fn wavy(n: usize) -> Vec<TimedPoint> {
+        (0..n)
+            .map(|i| {
+                let a = i as f64;
+                TimedPoint::new(a * 10.0, (a * 0.3).sin() * 20.0, a * 30.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn respects_capacity_and_keeps_endpoints() {
+        let mut st = StTraceCompressor::new(16);
+        let pts = wavy(300);
+        let out = compress_all(&mut st, pts.iter().copied());
+        assert!(out.len() <= 16);
+        assert_eq!(out.first(), pts.first());
+        assert_eq!(out.last(), pts.last());
+        for w in out.windows(2) {
+            assert!(w[0].t < w[1].t);
+        }
+    }
+
+    #[test]
+    fn under_capacity_keeps_everything() {
+        let mut st = StTraceCompressor::new(50);
+        let pts = wavy(20);
+        assert_eq!(compress_all(&mut st, pts.iter().copied()), pts);
+    }
+
+    #[test]
+    fn prefers_informative_points() {
+        // Straight run with one sharp corner: the corner must survive heavy
+        // eviction pressure.
+        let mut pts: Vec<TimedPoint> =
+            (0..50).map(|i| TimedPoint::new(i as f64 * 10.0, 0.0, i as f64)).collect();
+        pts.extend((1..50).map(|i| TimedPoint::new(490.0, i as f64 * 10.0, 50.0 + i as f64)));
+        let mut st = StTraceCompressor::new(8);
+        let out = compress_all(&mut st, pts);
+        assert!(
+            out.iter().any(|p| p.pos.distance(bqs_geo::Point2::new(490.0, 0.0)) < 15.0),
+            "corner evicted: {out:?}"
+        );
+    }
+
+    #[test]
+    fn tiny_streams() {
+        let mut st = StTraceCompressor::new(4);
+        assert!(compress_all(&mut st, std::iter::empty()).is_empty());
+        assert_eq!(compress_all(&mut st, wavy(1)).len(), 1);
+        assert_eq!(compress_all(&mut st, wavy(2)).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn rejects_capacity_one() {
+        let _ = StTraceCompressor::new(1);
+    }
+}

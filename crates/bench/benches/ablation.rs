@@ -1,0 +1,36 @@
+//! Ablation bench: the BQS design knobs (data-centric rotation, bound
+//! tier, bounds mode) isolated on the bat dataset, plus the ablation grid.
+
+use bqs_core::stream::compress_all;
+use bqs_core::{BoundsMode, BqsCompressor, BqsConfig, RotationMode};
+use bqs_eval::experiments::{self, ablation};
+use bqs_eval::Scale;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let trace = experiments::bat_trace(Scale::Quick);
+    let base = BqsConfig::new(5.0).unwrap();
+    let variants: [(&str, BqsConfig); 4] = [
+        ("full", base),
+        ("no_rotation", base.with_rotation(RotationMode::Disabled)),
+        ("coarse_bounds", base.with_bounds_mode(BoundsMode::CoarseCorners)),
+        ("paper_exact", base.with_bounds_mode(BoundsMode::PaperExact)),
+    ];
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(20);
+    for (label, config) in variants {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut bqs = BqsCompressor::new(config);
+                compress_all(&mut bqs, trace.points.iter().copied()).len()
+            })
+        });
+    }
+    group.finish();
+
+    println!("{}", ablation::run(Scale::Quick).to_table());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

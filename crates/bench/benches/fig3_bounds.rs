@@ -1,0 +1,33 @@
+//! Fig. 3 bench: per-point cost of the traced BQS push (bounds computation
+//! included) on the bat dataset, plus a one-shot print of the bounds-vs-
+//! actual series the figure plots.
+
+use bqs_core::stream::StreamCompressor;
+use bqs_core::{BqsCompressor, BqsConfig};
+use bqs_eval::experiments::{self, fig3};
+use bqs_eval::Scale;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let trace = experiments::bat_trace(Scale::Quick);
+    let config = BqsConfig::new(5.0).unwrap();
+
+    c.bench_function("fig3/bqs_push_traced_bat_5m", |b| {
+        b.iter(|| {
+            let mut bqs = BqsCompressor::new(config);
+            let mut out = Vec::new();
+            for p in &trace.points {
+                black_box(bqs.push_traced(*p, &mut out));
+            }
+            bqs.finish(&mut out);
+            out.len()
+        })
+    });
+
+    let result = fig3::run(Scale::Quick);
+    println!("{}", result.to_table());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

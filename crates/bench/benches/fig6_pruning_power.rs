@@ -1,0 +1,38 @@
+//! Fig. 6 bench: the buffered BQS over both field datasets across the
+//! paper's tolerance sweeps, plus the pruning-power tables.
+
+use bqs_core::stream::compress_all_with_stats;
+use bqs_core::{BqsCompressor, BqsConfig};
+use bqs_eval::experiments::{self, fig6};
+use bqs_eval::Scale;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let bat = experiments::bat_trace(Scale::Quick);
+    let vehicle = experiments::vehicle_trace(Scale::Quick);
+
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(20);
+    for (trace, tolerances) in [(&bat, [2.0, 10.0, 20.0]), (&vehicle, [5.0, 25.0, 50.0])] {
+        for tol in tolerances {
+            group.bench_with_input(
+                BenchmarkId::new(format!("bqs_{}", trace.name), tol),
+                &tol,
+                |b, &tol| {
+                    b.iter(|| {
+                        let mut bqs = BqsCompressor::new(BqsConfig::new(tol).unwrap());
+                        compress_all_with_stats(&mut bqs, trace.points.iter().copied()).0.len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+
+    let result = fig6::run(Scale::Quick);
+    println!("{}", result.bat.to_table());
+    println!("{}", result.vehicle.to_table());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Fig. 7 bench: all five error-bounded algorithms head-to-head on the bat
+//! dataset at the paper's mid tolerance, plus both Fig. 7 rate tables.
+
+use bqs_eval::experiments::{self, fig7};
+use bqs_eval::{Algorithm, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let trace = experiments::bat_trace(Scale::Quick);
+    let tolerance = 10.0;
+
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(20);
+    for algo in Algorithm::FIG7 {
+        group.bench_with_input(
+            BenchmarkId::new("bat_10m", algo.label()),
+            &algo,
+            |b, algo| b.iter(|| algo.run(&trace.points, tolerance).kept_count),
+        );
+    }
+    group.finish();
+
+    let result = fig7::run(Scale::Quick);
+    println!("{}", result.bat.to_table());
+    println!("{}", result.vehicle.to_table());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

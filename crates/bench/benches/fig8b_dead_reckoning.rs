@@ -1,0 +1,29 @@
+//! Fig. 8b bench: FBQS vs Dead Reckoning on the synthetic correlated
+//! random walk, plus the points-used table with the DR overhead ratio.
+
+use bqs_eval::experiments::{self, fig8};
+use bqs_eval::{Algorithm, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let trace = experiments::synthetic_trace(Scale::Quick);
+
+    let mut group = c.benchmark_group("fig8b");
+    group.sample_size(20);
+    for algo in [Algorithm::Fbqs, Algorithm::DeadReckoning] {
+        for tol in [2.0, 10.0, 20.0] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.label(), tol),
+                &(algo, tol),
+                |b, (algo, tol)| b.iter(|| algo.run(&trace.points, *tol).kept_count),
+            );
+        }
+    }
+    group.finish();
+
+    let result = fig8::run_8b(Scale::Quick);
+    println!("{}", result.to_table());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

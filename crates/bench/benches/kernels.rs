@@ -1,0 +1,58 @@
+//! Micro-benchmarks of the geometry kernels on the FBQS hot path: distance
+//! computations, quadrant-bound evaluation, and structure insertion.
+
+use bqs_core::metrics::DeviationMetric;
+use bqs_core::quadrant::QuadrantBounds;
+use bqs_core::BoundsMode;
+use bqs_geo::{point_to_line_distance, point_to_segment_distance, Point2, Quadrant};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let a = Point2::new(0.0, 0.0);
+    let b = Point2::new(812.0, -331.0);
+    let p = Point2::new(410.0, 77.0);
+
+    c.bench_function("kernels/point_to_line", |bch| {
+        bch.iter(|| point_to_line_distance(black_box(p), black_box(a), black_box(b)))
+    });
+    c.bench_function("kernels/point_to_segment", |bch| {
+        bch.iter(|| point_to_segment_distance(black_box(p), black_box(a), black_box(b)))
+    });
+
+    // A populated quadrant structure, evaluated against a moving chord —
+    // this is the inner loop of every FBQS decision.
+    let mut q = QuadrantBounds::new(Quadrant::Q1, Point2::new(120.0, 40.0));
+    for i in 0..50 {
+        let t = i as f64;
+        q.insert(Point2::new(120.0 + t * 17.0, 40.0 + (t * 0.7).sin().abs() * 30.0));
+    }
+    let end = Point2::new(1_000.0, 310.0);
+    c.bench_function("kernels/quadrant_bounds_sound", |bch| {
+        bch.iter(|| {
+            q.deviation_bounds(black_box(end), DeviationMetric::PointToLine, BoundsMode::Sound)
+        })
+    });
+    c.bench_function("kernels/quadrant_bounds_paper_exact", |bch| {
+        bch.iter(|| {
+            q.deviation_bounds(
+                black_box(end),
+                DeviationMetric::PointToLine,
+                BoundsMode::PaperExact,
+            )
+        })
+    });
+    c.bench_function("kernels/quadrant_insert", |bch| {
+        let mut i = 0u64;
+        bch.iter(|| {
+            let t = (i % 997) as f64;
+            i += 1;
+            let mut q2 = q.clone();
+            q2.insert(Point2::new(150.0 + t, 45.0 + (t * 0.3).sin().abs() * 20.0));
+            black_box(q2.significant_points())
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

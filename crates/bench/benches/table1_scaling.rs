@@ -1,0 +1,45 @@
+//! Table I bench: empirical complexity scaling on the adversarial
+//! (endlessly compressible) stream — FBQS stays O(n) while the
+//! unconstrained-window BDP/BGD go quadratic.
+
+use bqs_baselines::{BufferedDpCompressor, BufferedGreedyCompressor};
+use bqs_core::stream::compress_all;
+use bqs_core::{BqsConfig, FastBqsCompressor};
+use bqs_eval::experiments::table1::{self, adversarial_stream};
+use bqs_eval::Scale;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let tolerance = 5.0;
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for n in [1_000usize, 4_000, 16_000] {
+        let stream = adversarial_stream(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("fbqs", n), &stream, |b, s| {
+            b.iter(|| {
+                let mut c = FastBqsCompressor::new(BqsConfig::new(tolerance).unwrap());
+                compress_all(&mut c, s.iter().copied()).len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bdp_unbounded", n), &stream, |b, s| {
+            b.iter(|| {
+                let mut c = BufferedDpCompressor::new(tolerance, n.max(2));
+                compress_all(&mut c, s.iter().copied()).len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bgd_unbounded", n), &stream, |b, s| {
+            b.iter(|| {
+                let mut c = BufferedGreedyCompressor::new(tolerance, n.max(1));
+                compress_all(&mut c, s.iter().copied()).len()
+            })
+        });
+    }
+    group.finish();
+
+    let result = table1::run(Scale::Quick);
+    println!("{}", result.to_table());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Table II bench: the operational-time experiment end to end (compression
+//! at 10 m on both datasets + the storage model), plus the days table.
+
+use bqs_eval::experiments::table2;
+use bqs_eval::Scale;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("operational_time_quick", |b| {
+        b.iter(|| table2::run(Scale::Quick).rows.len())
+    });
+    group.finish();
+
+    println!("{}", table2::run(Scale::Quick).to_table());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Table III bench: run time of FBQS vs buffered BDP/BGD at the paper's
+//! buffer ladder over the combined field stream, plus the rate/time table.
+
+use bqs_baselines::{BufferedDpCompressor, BufferedGreedyCompressor};
+use bqs_core::stream::compress_all;
+use bqs_core::{BqsConfig, FastBqsCompressor};
+use bqs_eval::experiments::table3;
+use bqs_eval::Scale;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let tolerance = 10.0;
+    let stream = table3::combined_stream(Scale::Quick);
+
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.bench_function("fbqs", |b| {
+        b.iter(|| {
+            let mut c = FastBqsCompressor::new(BqsConfig::new(tolerance).unwrap());
+            compress_all(&mut c, stream.points.iter().copied()).len()
+        })
+    });
+    for buffer in [32usize, 64, 128, 256] {
+        group.bench_with_input(BenchmarkId::new("bdp", buffer), &buffer, |b, &buf| {
+            b.iter(|| {
+                let mut c = BufferedDpCompressor::new(tolerance, buf);
+                compress_all(&mut c, stream.points.iter().copied()).len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bgd", buffer), &buffer, |b, &buf| {
+            b.iter(|| {
+                let mut c = BufferedGreedyCompressor::new(tolerance, buf);
+                compress_all(&mut c, stream.points.iter().copied()).len()
+            })
+        });
+    }
+    group.finish();
+
+    println!("{}", table3::run(Scale::Quick).to_table());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,281 @@
+//! Hand-rolled argument parsing for the `bqs` binary.
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `bqs generate <dataset> [--seed N] [--scale quick|full] [--out FILE]`
+    Generate {
+        /// Dataset name: bat, vehicle or synthetic.
+        dataset: String,
+        /// RNG seed.
+        seed: u64,
+        /// Paper-size data when true.
+        full: bool,
+        /// Output path (stdout when `None`).
+        out: Option<String>,
+    },
+    /// `bqs compress <algorithm> <input> [--tolerance M] [--buffer N] [--out FILE]`
+    Compress {
+        /// Algorithm label.
+        algorithm: String,
+        /// Input CSV path.
+        input: String,
+        /// Error tolerance in metres.
+        tolerance: f64,
+        /// Window size for buffered algorithms.
+        buffer: usize,
+        /// Output path (stdout when `None`).
+        out: Option<String>,
+    },
+    /// `bqs verify <original> <compressed> --tolerance M`
+    Verify {
+        /// Original trace CSV.
+        original: String,
+        /// Compressed trace CSV.
+        compressed: String,
+        /// Tolerance to verify against.
+        tolerance: f64,
+    },
+    /// `bqs experiments [names...] [--full]`
+    Experiments {
+        /// Experiment names; empty means all.
+        names: Vec<String>,
+        /// Paper-size data when true.
+        full: bool,
+    },
+    /// `bqs info`
+    Info,
+    /// `bqs help` (or no arguments).
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+bqs — Bounded Quadrant System trajectory compression
+
+USAGE:
+  bqs generate <bat|vehicle|synthetic> [--seed N] [--scale quick|full] [--out FILE]
+  bqs compress <bqs|fbqs|bdp|bgd|dp|dr|squish-e|mbr> <trace.csv>
+               [--tolerance M] [--buffer N] [--out FILE]
+  bqs verify <original.csv> <compressed.csv> --tolerance M
+  bqs experiments [fig3|fig6|fig7|fig8a|fig8b|table1|table2|table3|ablation|all] [--full]
+  bqs info
+";
+
+fn take_value<'a>(
+    flag: &str,
+    it: &mut std::slice::Iter<'a, String>,
+) -> Result<&'a String, String> {
+    it.next().ok_or_else(|| format!("{flag} requires a value"))
+}
+
+/// Parses `argv` (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let mut it = argv.iter();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "info" => Ok(Command::Info),
+        "generate" => {
+            let mut dataset: Option<String> = None;
+            let mut seed = 42u64;
+            let mut full = false;
+            let mut out = None;
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--seed" => {
+                        seed = take_value("--seed", &mut it)?
+                            .parse()
+                            .map_err(|e| format!("bad --seed: {e}"))?;
+                    }
+                    "--scale" => {
+                        full = match take_value("--scale", &mut it)?.as_str() {
+                            "full" => true,
+                            "quick" => false,
+                            other => return Err(format!("bad --scale: {other}")),
+                        };
+                    }
+                    "--out" => out = Some(take_value("--out", &mut it)?.clone()),
+                    other if !other.starts_with('-') && dataset.is_none() => {
+                        dataset = Some(other.to_string());
+                    }
+                    other => return Err(format!("unexpected argument: {other}")),
+                }
+            }
+            let dataset = dataset.ok_or("generate needs a dataset name")?;
+            if !["bat", "vehicle", "synthetic"].contains(&dataset.as_str()) {
+                return Err(format!("unknown dataset: {dataset}"));
+            }
+            Ok(Command::Generate { dataset, seed, full, out })
+        }
+        "compress" => {
+            let mut positional: Vec<String> = Vec::new();
+            let mut tolerance = 10.0f64;
+            let mut buffer = 32usize;
+            let mut out = None;
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--tolerance" => {
+                        tolerance = take_value("--tolerance", &mut it)?
+                            .parse()
+                            .map_err(|e| format!("bad --tolerance: {e}"))?;
+                    }
+                    "--buffer" => {
+                        buffer = take_value("--buffer", &mut it)?
+                            .parse()
+                            .map_err(|e| format!("bad --buffer: {e}"))?;
+                    }
+                    "--out" => out = Some(take_value("--out", &mut it)?.clone()),
+                    other if !other.starts_with('-') => positional.push(other.to_string()),
+                    other => return Err(format!("unexpected argument: {other}")),
+                }
+            }
+            if positional.len() != 2 {
+                return Err("compress needs <algorithm> <input.csv>".to_string());
+            }
+            if !(tolerance.is_finite() && tolerance > 0.0) {
+                return Err(format!("tolerance must be > 0, got {tolerance}"));
+            }
+            let algorithm = positional.remove(0);
+            let known = ["bqs", "fbqs", "bdp", "bgd", "dp", "dr", "squish-e", "mbr"];
+            if !known.contains(&algorithm.as_str()) {
+                return Err(format!("unknown algorithm: {algorithm}"));
+            }
+            Ok(Command::Compress { algorithm, input: positional.remove(0), tolerance, buffer, out })
+        }
+        "verify" => {
+            let mut positional: Vec<String> = Vec::new();
+            let mut tolerance: Option<f64> = None;
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--tolerance" => {
+                        tolerance = Some(
+                            take_value("--tolerance", &mut it)?
+                                .parse()
+                                .map_err(|e| format!("bad --tolerance: {e}"))?,
+                        );
+                    }
+                    other if !other.starts_with('-') => positional.push(other.to_string()),
+                    other => return Err(format!("unexpected argument: {other}")),
+                }
+            }
+            if positional.len() != 2 {
+                return Err("verify needs <original.csv> <compressed.csv>".to_string());
+            }
+            let tolerance = tolerance.ok_or("verify needs --tolerance")?;
+            Ok(Command::Verify {
+                original: positional.remove(0),
+                compressed: positional.remove(0),
+                tolerance,
+            })
+        }
+        "experiments" => {
+            let mut names = Vec::new();
+            let mut full = false;
+            for arg in it {
+                match arg.as_str() {
+                    "--full" => full = true,
+                    other if !other.starts_with('-') => names.push(other.to_string()),
+                    other => return Err(format!("unexpected argument: {other}")),
+                }
+            }
+            Ok(Command::Experiments { names, full })
+        }
+        other => Err(format!("unknown command: {other}\n\n{USAGE}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn no_args_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&args("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn generate_defaults_and_flags() {
+        assert_eq!(
+            parse(&args("generate bat")).unwrap(),
+            Command::Generate { dataset: "bat".into(), seed: 42, full: false, out: None }
+        );
+        assert_eq!(
+            parse(&args("generate synthetic --seed 7 --scale full --out x.csv")).unwrap(),
+            Command::Generate {
+                dataset: "synthetic".into(),
+                seed: 7,
+                full: true,
+                out: Some("x.csv".into())
+            }
+        );
+    }
+
+    #[test]
+    fn generate_rejects_bad_input() {
+        assert!(parse(&args("generate")).is_err());
+        assert!(parse(&args("generate mars")).is_err());
+        assert!(parse(&args("generate bat --seed nope")).is_err());
+        assert!(parse(&args("generate bat --scale medium")).is_err());
+    }
+
+    #[test]
+    fn compress_parses() {
+        assert_eq!(
+            parse(&args("compress fbqs in.csv --tolerance 7.5 --buffer 64 --out out.csv"))
+                .unwrap(),
+            Command::Compress {
+                algorithm: "fbqs".into(),
+                input: "in.csv".into(),
+                tolerance: 7.5,
+                buffer: 64,
+                out: Some("out.csv".into())
+            }
+        );
+    }
+
+    #[test]
+    fn compress_rejects_bad_input() {
+        assert!(parse(&args("compress fbqs")).is_err());
+        assert!(parse(&args("compress warp in.csv")).is_err());
+        assert!(parse(&args("compress fbqs in.csv --tolerance -3")).is_err());
+    }
+
+    #[test]
+    fn verify_requires_tolerance() {
+        assert!(parse(&args("verify a.csv b.csv")).is_err());
+        assert_eq!(
+            parse(&args("verify a.csv b.csv --tolerance 5")).unwrap(),
+            Command::Verify {
+                original: "a.csv".into(),
+                compressed: "b.csv".into(),
+                tolerance: 5.0
+            }
+        );
+    }
+
+    #[test]
+    fn experiments_parses() {
+        assert_eq!(
+            parse(&args("experiments fig7 table2 --full")).unwrap(),
+            Command::Experiments { names: vec!["fig7".into(), "table2".into()], full: true }
+        );
+        assert_eq!(
+            parse(&args("experiments")).unwrap(),
+            Command::Experiments { names: vec![], full: false }
+        );
+    }
+
+    #[test]
+    fn unknown_command_shows_usage() {
+        let err = parse(&args("frobnicate")).unwrap_err();
+        assert!(err.contains("USAGE"));
+    }
+}

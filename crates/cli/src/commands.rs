@@ -1,0 +1,333 @@
+//! Command execution for the `bqs` binary.
+
+use crate::args::{Command, USAGE};
+use bqs_baselines::{
+    BufferedDpCompressor, BufferedGreedyCompressor, DeadReckoningCompressor, DpCompressor,
+    MbrCompressor, SquishECompressor,
+};
+use bqs_core::stream::StreamCompressor;
+use bqs_core::{BqsCompressor, BqsConfig, FastBqsCompressor};
+use bqs_eval::experiments;
+use bqs_eval::Scale;
+use bqs_sim::{dataset, Trace};
+
+/// Runs a parsed command, returning the text to print on success.
+pub fn run(command: &Command) -> Result<String, String> {
+    match command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Info => Ok(info()),
+        Command::Generate { dataset, seed, full, out } => {
+            generate(dataset, *seed, *full, out.as_deref())
+        }
+        Command::Compress { algorithm, input, tolerance, buffer, out } => {
+            compress(algorithm, input, *tolerance, *buffer, out.as_deref())
+        }
+        Command::Verify { original, compressed, tolerance } => {
+            verify(original, compressed, *tolerance)
+        }
+        Command::Experiments { names, full } => run_experiments(names, *full),
+    }
+}
+
+fn info() -> String {
+    let spec = bqs_device::CamazotzSpec::paper();
+    format!(
+        "bqs — Bounded Quadrant System (Liu et al., ICDE 2015) reproduction\n\
+         target platform: Camazotz (CC430F5137): {} B RAM, {} KB flash,\n\
+         {} KB GPS budget, 1 fix/{} s, 12 B/record\n\
+         uncompressed lifetime: {} days; at 5% compression: {} days\n",
+        spec.ram_bytes,
+        spec.flash_bytes / 1024,
+        spec.gps_budget_bytes / 1024,
+        spec.gps_interval_s,
+        bqs_device::estimate_operational_days(1.0).unwrap_or(0),
+        bqs_device::estimate_operational_days(0.05).unwrap_or(0),
+    )
+}
+
+fn write_or_return(csv: String, out: Option<&str>, summary: String) -> Result<String, String> {
+    match out {
+        Some(path) => {
+            std::fs::write(path, csv).map_err(|e| format!("cannot write {path}: {e}"))?;
+            Ok(summary)
+        }
+        None => Ok(format!("{csv}\n{summary}")),
+    }
+}
+
+fn generate(name: &str, seed: u64, full: bool, out: Option<&str>) -> Result<String, String> {
+    let trace = match (name, full) {
+        ("bat", true) => dataset::bat_dataset(seed),
+        ("bat", false) => dataset::bat_dataset_sized(seed, 2, 2),
+        ("vehicle", true) => dataset::vehicle_dataset(seed),
+        ("vehicle", false) => dataset::vehicle_dataset_sized(seed, 8),
+        ("synthetic", true) => dataset::synthetic_dataset(seed),
+        ("synthetic", false) => dataset::synthetic_dataset_sized(seed, 4_000),
+        _ => return Err(format!("unknown dataset: {name}")),
+    };
+    let summary = format!(
+        "generated {}: {} points, {:.1} km travelled",
+        trace.name,
+        trace.len(),
+        trace.travel_distance() / 1_000.0
+    );
+    write_or_return(trace.to_csv(), out, summary)
+}
+
+fn load_trace(path: &str) -> Result<Trace, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Trace::from_csv(path.to_string(), &text)
+}
+
+fn compress(
+    algorithm: &str,
+    input: &str,
+    tolerance: f64,
+    buffer: usize,
+    out: Option<&str>,
+) -> Result<String, String> {
+    let trace = load_trace(input)?;
+    let points = trace.points.clone();
+
+    let run = |c: &mut dyn StreamCompressor| -> Vec<bqs_geo::TimedPoint> {
+        let mut kept = Vec::new();
+        for p in &points {
+            c.push(*p, &mut kept);
+        }
+        c.finish(&mut kept);
+        kept
+    };
+
+    let config = BqsConfig::new(tolerance).map_err(|e| e.to_string())?;
+    let start = std::time::Instant::now();
+    let kept = match algorithm {
+        "bqs" => run(&mut BqsCompressor::new(config)),
+        "fbqs" => run(&mut FastBqsCompressor::new(config)),
+        "bdp" => run(&mut BufferedDpCompressor::new(tolerance, buffer.max(2))),
+        "bgd" => run(&mut BufferedGreedyCompressor::new(tolerance, buffer.max(1))),
+        "dp" => run(&mut DpCompressor::new(tolerance)),
+        "dr" => run(&mut DeadReckoningCompressor::new(tolerance)),
+        "squish-e" => run(&mut SquishECompressor::new(tolerance)),
+        "mbr" => run(&mut MbrCompressor::new(tolerance, buffer.max(2))),
+        other => return Err(format!("unknown algorithm: {other}")),
+    };
+    let elapsed = start.elapsed();
+
+    let compressed = Trace::new(format!("{}:{algorithm}", trace.name), kept);
+    let summary = format!(
+        "{algorithm}: {} → {} points (rate {:.2}%), {:.1} ms",
+        trace.len(),
+        compressed.len(),
+        100.0 * compressed.len() as f64 / trace.len().max(1) as f64,
+        elapsed.as_secs_f64() * 1_000.0
+    );
+    write_or_return(compressed.to_csv(), out, summary)
+}
+
+fn verify(original: &str, compressed: &str, tolerance: f64) -> Result<String, String> {
+    let orig = load_trace(original)?;
+    let comp = load_trace(compressed)?;
+    let worst = bqs_eval::verify_deviation_bound(
+        &orig.points,
+        &comp.points,
+        bqs_core::metrics::DeviationMetric::PointToLine,
+    )
+    .ok_or("compressed trace is not an anchored subsequence of the original")?;
+    if worst <= tolerance + 1e-9 {
+        Ok(format!(
+            "OK: worst deviation {worst:.3} m ≤ tolerance {tolerance} m \
+             ({} of {} points kept)",
+            comp.len(),
+            orig.len()
+        ))
+    } else {
+        Err(format!("FAIL: worst deviation {worst:.3} m > tolerance {tolerance} m"))
+    }
+}
+
+fn run_experiments(names: &[String], full: bool) -> Result<String, String> {
+    let scale = if full { Scale::Full } else { Scale::Quick };
+    let wanted =
+        |name: &str| names.is_empty() || names.iter().any(|n| n == name || n == "all");
+    let mut out = String::new();
+    if wanted("fig3") {
+        out.push_str(&experiments::fig3::run(scale).to_table().to_string());
+    }
+    if wanted("fig6") {
+        let r = experiments::fig6::run(scale);
+        out.push_str(&r.bat.to_table().to_string());
+        out.push_str(&r.vehicle.to_table().to_string());
+    }
+    if wanted("fig7") {
+        let r = experiments::fig7::run(scale);
+        out.push_str(&r.bat.to_table().to_string());
+        out.push_str(&r.vehicle.to_table().to_string());
+    }
+    if wanted("fig8a") {
+        let r = experiments::fig8::run_8a(scale);
+        out.push_str(&format!(
+            "Fig. 8a — synthetic trace: {} points, {:.0} m × {:.0} m\n",
+            r.trace.len(),
+            r.extent.0,
+            r.extent.1
+        ));
+    }
+    if wanted("fig8b") {
+        out.push_str(&experiments::fig8::run_8b(scale).to_table().to_string());
+    }
+    if wanted("table1") {
+        out.push_str(&experiments::table1::run(scale).to_table().to_string());
+    }
+    if wanted("table2") {
+        out.push_str(&experiments::table2::run(scale).to_table().to_string());
+    }
+    if wanted("table3") {
+        out.push_str(&experiments::table3::run(scale).to_table().to_string());
+    }
+    if wanted("ablation") {
+        out.push_str(&experiments::ablation::run(scale).to_table().to_string());
+    }
+    if wanted("extended") {
+        out.push_str(&experiments::extended::run(scale).to_table().to_string());
+    }
+    if out.is_empty() {
+        return Err(format!("no experiment matched {names:?}"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("bqs-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn info_mentions_the_platform() {
+        let text = run(&Command::Info).unwrap();
+        assert!(text.contains("Camazotz"));
+        assert!(text.contains("4096 B RAM"));
+    }
+
+    #[test]
+    fn generate_compress_verify_round_trip() {
+        let trace_path = tmp("trace.csv");
+        let out_path = tmp("compressed.csv");
+
+        let summary = run(&Command::Generate {
+            dataset: "synthetic".into(),
+            seed: 5,
+            full: false,
+            out: Some(trace_path.clone()),
+        })
+        .unwrap();
+        assert!(summary.contains("generated synthetic"));
+
+        let summary = run(&Command::Compress {
+            algorithm: "fbqs".into(),
+            input: trace_path.clone(),
+            tolerance: 10.0,
+            buffer: 32,
+            out: Some(out_path.clone()),
+        })
+        .unwrap();
+        assert!(summary.contains("fbqs:"), "{summary}");
+
+        let verdict = run(&Command::Verify {
+            original: trace_path,
+            compressed: out_path,
+            tolerance: 10.0,
+        })
+        .unwrap();
+        assert!(verdict.starts_with("OK"), "{verdict}");
+    }
+
+    #[test]
+    fn verify_fails_for_wrong_tolerance() {
+        let trace_path = tmp("trace2.csv");
+        let out_path = tmp("compressed2.csv");
+        run(&Command::Generate {
+            dataset: "synthetic".into(),
+            seed: 6,
+            full: false,
+            out: Some(trace_path.clone()),
+        })
+        .unwrap();
+        run(&Command::Compress {
+            algorithm: "bqs".into(),
+            input: trace_path.clone(),
+            tolerance: 50.0,
+            buffer: 32,
+            out: Some(out_path.clone()),
+        })
+        .unwrap();
+        // A 50 m compression will not satisfy a 0.5 m verification.
+        let err = run(&Command::Verify {
+            original: trace_path,
+            compressed: out_path,
+            tolerance: 0.5,
+        })
+        .unwrap_err();
+        assert!(err.starts_with("FAIL"), "{err}");
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let err = run(&Command::Compress {
+            algorithm: "fbqs".into(),
+            input: "/nonexistent/x.csv".into(),
+            tolerance: 5.0,
+            buffer: 32,
+            out: None,
+        })
+        .unwrap_err();
+        assert!(err.contains("cannot read"));
+    }
+
+    #[test]
+    fn end_to_end_through_the_parser() {
+        let text = crate::main_with_args(&["info".to_string()]).unwrap();
+        assert!(text.contains("Camazotz"));
+        let (err, code) = crate::main_with_args(&["bogus".to_string()]).unwrap_err();
+        assert_eq!(code, 2);
+        assert!(err.contains("unknown command"));
+    }
+
+    #[test]
+    fn every_algorithm_runs_through_the_cli() {
+        let trace_path = tmp("trace3.csv");
+        run(&Command::Generate {
+            dataset: "vehicle".into(),
+            seed: 9,
+            full: false,
+            out: Some(trace_path.clone()),
+        })
+        .unwrap();
+        for algo in ["bqs", "fbqs", "bdp", "bgd", "dp", "dr", "squish-e", "mbr"] {
+            let summary = run(&Command::Compress {
+                algorithm: algo.into(),
+                input: trace_path.clone(),
+                tolerance: 15.0,
+                buffer: 32,
+                out: Some(tmp(&format!("out_{algo}.csv"))),
+            })
+            .unwrap();
+            assert!(summary.contains(algo), "{summary}");
+        }
+    }
+
+    #[test]
+    fn experiments_subcommand_quick() {
+        let cmd = parse(&["experiments".to_string(), "table2".to_string()]).unwrap();
+        let text = run(&cmd).unwrap();
+        assert!(text.contains("Table II"));
+        let err = run(&Command::Experiments { names: vec!["nope".into()], full: false })
+            .unwrap_err();
+        assert!(err.contains("no experiment matched"));
+    }
+}

@@ -1,0 +1,31 @@
+//! # bqs-cli — command-line front end for the BQS workspace
+//!
+//! ```text
+//! bqs generate <bat|vehicle|synthetic> [--seed N] [--scale quick|full] [--out FILE]
+//! bqs compress <bqs|fbqs|bdp|bgd|dp|dr|squish-e|mbr> <trace.csv>
+//!              [--tolerance M] [--buffer N] [--out FILE]
+//! bqs verify <original.csv> <compressed.csv> --tolerance M
+//! bqs experiments [fig3|fig6|fig7|fig8a|fig8b|table1|table2|table3|ablation|all]
+//!                 [--full]
+//! bqs info
+//! ```
+//!
+//! Traces are the `x,y,t` CSV format of [`bqs_sim::Trace`]. Argument
+//! parsing is hand-rolled (no CLI dependency) and unit-tested here; the
+//! thin binary in `main.rs` just forwards `std::env::args` and exit codes.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse, Command};
+pub use commands::run;
+
+/// Entry point shared by the binary and the tests: parse and run, mapping
+/// errors to a message + exit code.
+pub fn main_with_args(argv: &[String]) -> Result<String, (String, i32)> {
+    let command = args::parse(argv).map_err(|e| (e, 2))?;
+    commands::run(&command).map_err(|e| (e, 1))
+}

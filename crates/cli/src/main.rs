@@ -1,0 +1,12 @@
+//! The `bqs` binary: parse arguments, run, print, exit.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match bqs_cli::main_with_args(&argv) {
+        Ok(text) => println!("{text}"),
+        Err((message, code)) => {
+            eprintln!("error: {message}");
+            std::process::exit(code);
+        }
+    }
+}

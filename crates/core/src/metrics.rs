@@ -1,0 +1,96 @@
+//! Deviation metrics.
+//!
+//! The paper defines deviation with the **point-to-line** distance (§IV,
+//! "for simplicity of the proof and presentation") and shows the
+//! **point-to-line-segment** metric also works, with the Eq. 11 adjustment
+//! to the upper bound. Every compressor in this workspace is parameterised
+//! over this choice.
+
+use bqs_geo::{point_to_line_distance, point_to_segment_distance, Point2};
+use serde::{Deserialize, Serialize};
+
+/// Which distance kernel defines the deviation `â(τ)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum DeviationMetric {
+    /// Distance to the infinite line through the segment anchors (the
+    /// paper's default).
+    #[default]
+    PointToLine,
+    /// Distance to the closed segment between the anchors (never smaller
+    /// than the line distance).
+    PointToSegment,
+}
+
+impl DeviationMetric {
+    /// Distance from `p` to the chord from `a` to `b` under this metric.
+    #[inline]
+    pub fn distance(self, p: Point2, a: Point2, b: Point2) -> f64 {
+        match self {
+            DeviationMetric::PointToLine => point_to_line_distance(p, a, b),
+            DeviationMetric::PointToSegment => point_to_segment_distance(p, a, b),
+        }
+    }
+
+    /// Maximum deviation of a buffer of interior points against the chord
+    /// `a → b` (the "full computation" of Algorithm 1, line 11).
+    pub fn max_deviation(self, buffer: &[Point2], a: Point2, b: Point2) -> f64 {
+        buffer
+            .iter()
+            .map(|p| self.distance(*p, a, b))
+            .fold(0.0, f64::max)
+    }
+
+    /// Short human-readable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DeviationMetric::PointToLine => "point-to-line",
+            DeviationMetric::PointToSegment => "point-to-segment",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_metric_matches_geo_kernel() {
+        let (a, b) = (Point2::new(0.0, 0.0), Point2::new(10.0, 0.0));
+        let p = Point2::new(20.0, 3.0);
+        assert_eq!(DeviationMetric::PointToLine.distance(p, a, b), 3.0);
+    }
+
+    #[test]
+    fn segment_metric_dominates_line_metric() {
+        let (a, b) = (Point2::new(0.0, 0.0), Point2::new(10.0, 0.0));
+        for p in [
+            Point2::new(20.0, 3.0),
+            Point2::new(-5.0, 1.0),
+            Point2::new(5.0, -4.0),
+        ] {
+            let line = DeviationMetric::PointToLine.distance(p, a, b);
+            let seg = DeviationMetric::PointToSegment.distance(p, a, b);
+            assert!(seg >= line);
+        }
+    }
+
+    #[test]
+    fn max_deviation_over_buffer() {
+        let (a, b) = (Point2::new(0.0, 0.0), Point2::new(10.0, 0.0));
+        let buf = [
+            Point2::new(2.0, 1.0),
+            Point2::new(5.0, -4.0),
+            Point2::new(8.0, 2.0),
+        ];
+        assert_eq!(DeviationMetric::PointToLine.max_deviation(&buf, a, b), 4.0);
+        assert_eq!(DeviationMetric::PointToLine.max_deviation(&[], a, b), 0.0);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        assert_ne!(
+            DeviationMetric::PointToLine.label(),
+            DeviationMetric::PointToSegment.label()
+        );
+    }
+}

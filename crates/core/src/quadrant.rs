@@ -1,0 +1,458 @@
+//! The per-quadrant bounding structure (paper §V-B).
+//!
+//! Each quadrant of the segment-local frame carries a minimum bounding
+//! rectangle of the points that fell into it plus the two angular bounding
+//! lines — the rays from the origin at the smallest and greatest angle of
+//! any point. The (at most 8) *significant points* are the box corners and
+//! the intersections of the bounding rays with the box; Theorems 5.2–5.5
+//! derive deviation bounds from their distances to the current path line.
+//!
+//! Everything here operates in the **segment-local frame**: the origin is
+//! the segment start point and, when data-centric rotation is active, the
+//! x axis points at the centroid of the warm-up points.
+
+use crate::bounds::{third_largest, DeviationBounds};
+use crate::config::BoundsMode;
+use crate::metrics::DeviationMetric;
+use bqs_geo::rect::RayHits;
+use bqs_geo::{Point2, Quadrant, Rect};
+
+/// Bounding state for one quadrant of the current trajectory segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuadrantBounds {
+    quadrant: Quadrant,
+    bbox: Rect,
+    /// Smallest `atan2` angle of any inserted point. Within one quadrant the
+    /// `atan2` range is contiguous, so plain min/max ordering is safe.
+    theta_min: f64,
+    /// Greatest `atan2` angle of any inserted point.
+    theta_max: f64,
+    count: usize,
+    /// Cached significant points. They depend only on the box and the
+    /// angular range, both of which change only on insertion — while every
+    /// incoming stream point triggers a bounds evaluation. Caching moves
+    /// the trigonometry (ray construction, intersections) off the decision
+    /// hot path entirely.
+    cache: SignificantPoints,
+    /// Cached near/far corners w.r.t. the origin (same invalidation rule).
+    near_corner: Point2,
+    far_corner: Point2,
+}
+
+/// The significant points of one quadrant: box corners plus the bounding
+/// rays' entry/exit intersections with the box.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignificantPoints {
+    /// The four bounding-box corners (`c1..c4`, counter-clockwise from the
+    /// min corner).
+    pub corners: [Point2; 4],
+    /// Intersections `l1, l2` of the lower bounding ray with the box.
+    pub lower: RayHits,
+    /// Intersections `u1, u2` of the upper bounding ray with the box.
+    pub upper: RayHits,
+}
+
+impl QuadrantBounds {
+    /// Creates the structure from the first point inserted into `quadrant`.
+    ///
+    /// The point must actually lie in the quadrant (callers classify with
+    /// [`Quadrant::of`] on the local coordinates).
+    pub fn new(quadrant: Quadrant, p: Point2) -> QuadrantBounds {
+        let theta = p.to_vec().angle();
+        let mut q = QuadrantBounds {
+            quadrant,
+            bbox: Rect::from_point(p),
+            theta_min: theta,
+            theta_max: theta,
+            count: 1,
+            cache: SignificantPoints {
+                corners: [p; 4],
+                lower: RayHits::default(),
+                upper: RayHits::default(),
+            },
+            near_corner: p,
+            far_corner: p,
+        };
+        q.refresh_cache();
+        q
+    }
+
+    /// Recomputes the cached significant points after a structural change.
+    fn refresh_cache(&mut self) {
+        self.cache = SignificantPoints {
+            corners: self.bbox.corners(),
+            lower: self.bbox.ray_intersections(Point2::ORIGIN, self.theta_min),
+            upper: self.bbox.ray_intersections(Point2::ORIGIN, self.theta_max),
+        };
+        self.near_corner = self.bbox.nearest_corner_to(Point2::ORIGIN);
+        self.far_corner = self.bbox.farthest_corner_to(Point2::ORIGIN);
+    }
+
+    /// Which quadrant this structure bounds.
+    #[inline]
+    pub fn quadrant(&self) -> Quadrant {
+        self.quadrant
+    }
+
+    /// Number of points inserted.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when no point has been inserted (never the case for a
+    /// constructed value, but part of the collection-like API).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The minimum bounding rectangle.
+    #[inline]
+    pub fn bbox(&self) -> &Rect {
+        &self.bbox
+    }
+
+    /// The angular range `[theta_min, theta_max]` of inserted points.
+    #[inline]
+    pub fn angle_range(&self) -> (f64, f64) {
+        (self.theta_min, self.theta_max)
+    }
+
+    /// Inserts a point, growing the box and widening the angular range.
+    pub fn insert(&mut self, p: Point2) {
+        debug_assert_eq!(
+            Quadrant::of(p.x, p.y),
+            self.quadrant,
+            "point {p:?} inserted into wrong quadrant"
+        );
+        self.bbox.expand(p);
+        let theta = p.to_vec().angle();
+        if theta < self.theta_min {
+            self.theta_min = theta;
+        }
+        if theta > self.theta_max {
+            self.theta_max = theta;
+        }
+        self.count += 1;
+        self.refresh_cache();
+    }
+
+    /// Computes the significant points: the box corners and the bounding
+    /// rays' intersections with the box.
+    ///
+    /// The rays emanate from the origin and each passes through at least one
+    /// inserted point inside the box, so each has at least one intersection.
+    pub fn significant_points(&self) -> SignificantPoints {
+        self.cache
+    }
+
+    /// Lower/upper bounds on the maximum deviation of the points bounded by
+    /// this quadrant system from the chord `origin → end` (Theorems
+    /// 5.3–5.5; `end` in segment-local coordinates).
+    pub fn deviation_bounds(
+        &self,
+        end: Point2,
+        metric: DeviationMetric,
+        mode: BoundsMode,
+    ) -> DeviationBounds {
+        let sp = self.significant_points();
+        let dist = |p: Point2| metric.distance(p, Point2::ORIGIN, end);
+
+        let corner_d = [
+            dist(sp.corners[0]),
+            dist(sp.corners[1]),
+            dist(sp.corners[2]),
+            dist(sp.corners[3]),
+        ];
+        let min_over = |hits: &RayHits| {
+            hits.iter().map(dist).fold(f64::INFINITY, f64::min)
+        };
+        let max_over = |hits: &RayHits| hits.iter().map(dist).fold(0.0, f64::max);
+
+        // Ray lower bounds: each bounding ray carries at least one real
+        // point between its box entry and exit, whose deviation is at least
+        // the smaller of the two intersection distances (for non-crossing
+        // chords; see DESIGN.md for the crossing caveat — a too-high lower
+        // bound can only cause an early cut, never an error-bound breach).
+        let lb_lower_ray = min_over(&sp.lower);
+        let lb_upper_ray = min_over(&sp.upper);
+
+        let theta_end = (end - Point2::ORIGIN).angle();
+        let line_in_quadrant = self.quadrant.contains_line_angle(theta_end);
+
+        let lower = if line_in_quadrant {
+            // Theorems 5.3/5.4 share the lower bound: ray minima plus the
+            // larger of the near/far corner distances.
+            let near = dist(self.near_corner);
+            let far = dist(self.far_corner);
+            lb_lower_ray.max(lb_upper_ray).max(near.max(far))
+        } else {
+            // Theorem 5.5: ray minima plus the third-largest corner distance.
+            lb_lower_ray.max(lb_upper_ray).max(third_largest(corner_d))
+        };
+
+        if mode == BoundsMode::CoarseCorners {
+            return self.coarse_bounds(end, metric);
+        }
+
+        let upper = match mode {
+            BoundsMode::Sound | BoundsMode::CoarseCorners => {
+                self.sound_upper(&sp, corner_d, dist)
+            }
+            BoundsMode::PaperExact => {
+                if line_in_quadrant {
+                    // Theorem 5.3/5.4: max over intersection distances; the
+                    // Eq. 11 segment-metric variant adds the near/far corners.
+                    let mut ub = max_over(&sp.lower).max(max_over(&sp.upper));
+                    if metric == DeviationMetric::PointToSegment {
+                        ub = ub.max(dist(self.near_corner)).max(dist(self.far_corner));
+                    }
+                    ub
+                } else {
+                    // Theorem 5.5: max over corner distances.
+                    corner_d.iter().fold(0.0f64, |a, b| a.max(*b))
+                }
+            }
+        };
+
+        DeviationBounds::new(lower, upper)
+    }
+
+    /// Provably sound upper bound: every inserted point lies in the convex
+    /// region `bbox ∩ wedge[theta_min, theta_max]`, whose extreme points are
+    /// the ray/box intersections plus the box corners angularly inside the
+    /// wedge. Distance to a line (or segment) is convex, so its maximum over
+    /// the region is attained at one of those ≤ 8 vertices.
+    fn sound_upper(
+        &self,
+        sp: &SignificantPoints,
+        corner_d: [f64; 4],
+        dist: impl Fn(Point2) -> f64,
+    ) -> f64 {
+        let mut ub = 0.0f64;
+        for p in sp.lower.iter().chain(sp.upper.iter()) {
+            ub = ub.max(dist(p));
+        }
+        for (c, d) in sp.corners.iter().zip(corner_d.iter()) {
+            let theta = c.to_vec().angle();
+            // Within one quadrant atan2 is contiguous, so a plain interval
+            // test suffices. A small slack absorbs corner/axis round-off.
+            if theta >= self.theta_min - 1e-12 && theta <= self.theta_max + 1e-12 {
+                ub = ub.max(*d);
+            }
+        }
+        ub
+    }
+
+    /// The tight vertex set of the convex region guaranteed to contain all
+    /// inserted points (`bbox ∩ wedge`): the bounding rays' box
+    /// intersections plus the box corners angularly inside the wedge, and
+    /// the origin when the box reaches it. At most 9 points; their convex
+    /// hull contains every inserted point, which is what makes the
+    /// re-rotation rebuild in the engine sound.
+    pub fn hull_vertices(&self) -> Vec<Point2> {
+        let sp = self.significant_points();
+        let mut out: Vec<Point2> = Vec::with_capacity(9);
+        out.extend(sp.lower.iter());
+        out.extend(sp.upper.iter());
+        for c in sp.corners {
+            let theta = c.to_vec().angle();
+            if theta >= self.theta_min - 1e-12 && theta <= self.theta_max + 1e-12 {
+                out.push(c);
+            }
+        }
+        if self.bbox.contains(Point2::ORIGIN) {
+            out.push(Point2::ORIGIN);
+        }
+        out
+    }
+
+    /// Coarse Theorem 5.2 bounds (corner distances only), kept for the
+    /// ablation comparing bound tiers.
+    pub fn coarse_bounds(&self, end: Point2, metric: DeviationMetric) -> DeviationBounds {
+        let dist = |p: Point2| metric.distance(p, Point2::ORIGIN, end);
+        let ds = self.bbox.corners().map(dist);
+        let lower = ds.iter().fold(f64::INFINITY, |a, b| a.min(*b));
+        let upper = ds.iter().fold(0.0f64, |a, b| a.max(*b));
+        DeviationBounds::new(lower, upper)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqs_geo::point_to_line_distance;
+
+    fn metric() -> DeviationMetric {
+        DeviationMetric::PointToLine
+    }
+
+    /// Brute-force maximum deviation for cross-checking bounds.
+    fn brute_max(points: &[Point2], end: Point2) -> f64 {
+        points
+            .iter()
+            .map(|p| point_to_line_distance(*p, Point2::ORIGIN, end))
+            .fold(0.0, f64::max)
+    }
+
+    fn build_q1(points: &[Point2]) -> QuadrantBounds {
+        let mut q = QuadrantBounds::new(Quadrant::Q1, points[0]);
+        for p in &points[1..] {
+            q.insert(*p);
+        }
+        q
+    }
+
+    #[test]
+    fn insert_tracks_box_and_angles() {
+        let pts = [
+            Point2::new(10.0, 2.0),
+            Point2::new(4.0, 8.0),
+            Point2::new(7.0, 5.0),
+        ];
+        let q = build_q1(&pts);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.bbox().min, Point2::new(4.0, 2.0));
+        assert_eq!(q.bbox().max, Point2::new(10.0, 8.0));
+        let (lo, hi) = q.angle_range();
+        assert!((lo - (2.0f64 / 10.0).atan()).abs() < 1e-12);
+        assert!((hi - (8.0f64 / 4.0).atan()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn significant_points_on_box_boundary() {
+        let pts = [
+            Point2::new(10.0, 2.0),
+            Point2::new(4.0, 8.0),
+            Point2::new(7.0, 5.0),
+        ];
+        let q = build_q1(&pts);
+        let sp = q.significant_points();
+        assert!(!sp.lower.is_empty());
+        assert!(!sp.upper.is_empty());
+        for p in sp.lower.iter().chain(sp.upper.iter()) {
+            let r = q.bbox();
+            let on_x = (p.x - r.min.x).abs() < 1e-9 || (p.x - r.max.x).abs() < 1e-9;
+            let on_y = (p.y - r.min.y).abs() < 1e-9 || (p.y - r.max.y).abs() < 1e-9;
+            assert!(on_x || on_y);
+        }
+    }
+
+    #[test]
+    fn sound_upper_dominates_brute_force_line_in_quadrant() {
+        let pts = [
+            Point2::new(10.0, 2.0),
+            Point2::new(4.0, 8.0),
+            Point2::new(7.0, 5.0),
+            Point2::new(9.0, 9.0),
+        ];
+        let q = build_q1(&pts);
+        for end in [
+            Point2::new(20.0, 6.0),   // in quadrant, between bounding lines
+            Point2::new(20.0, 0.5),   // in quadrant, below lower bounding line
+            Point2::new(1.0, 20.0),   // in quadrant, above upper bounding line
+            Point2::new(-20.0, 6.0),  // not in quadrant (Q2 direction)
+            Point2::new(-5.0, -20.0), // not in quadrant (Q3 direction)
+        ] {
+            let b = q.deviation_bounds(end, metric(), BoundsMode::Sound);
+            let actual = brute_max(&pts, end);
+            assert!(
+                b.upper >= actual - 1e-9,
+                "upper {} < actual {} for end {:?}",
+                b.upper,
+                actual,
+                end
+            );
+            assert!(b.lower <= b.upper);
+        }
+    }
+
+    #[test]
+    fn bounds_tight_for_single_point() {
+        let p = Point2::new(5.0, 3.0);
+        let q = build_q1(&[p]);
+        let end = Point2::new(10.0, 0.0);
+        let b = q.deviation_bounds(end, metric(), BoundsMode::Sound);
+        let actual = point_to_line_distance(p, Point2::ORIGIN, end);
+        // Degenerate box = the point itself: bounds collapse onto the truth.
+        assert!((b.upper - actual).abs() < 1e-9);
+        assert!(b.lower <= actual + 1e-9);
+    }
+
+    #[test]
+    fn coarse_bounds_contain_sound_bounds() {
+        let pts = [
+            Point2::new(10.0, 2.0),
+            Point2::new(4.0, 8.0),
+            Point2::new(9.0, 9.0),
+        ];
+        let q = build_q1(&pts);
+        let end = Point2::new(20.0, 6.0);
+        let sound = q.deviation_bounds(end, metric(), BoundsMode::Sound);
+        let coarse = q.coarse_bounds(end, metric());
+        let actual = brute_max(&pts, end);
+        assert!(coarse.upper >= actual - 1e-9);
+        // The wedge-clipped upper bound is never looser than the full box.
+        assert!(sound.upper <= coarse.upper + 1e-9);
+    }
+
+    #[test]
+    fn segment_metric_bounds_dominate() {
+        let pts = [Point2::new(10.0, 2.0), Point2::new(4.0, 8.0)];
+        let q = build_q1(&pts);
+        // A short chord: the segment metric punishes points beyond its end.
+        let end = Point2::new(1.0, 1.0);
+        let b = q.deviation_bounds(end, DeviationMetric::PointToSegment, BoundsMode::Sound);
+        let actual = pts
+            .iter()
+            .map(|p| DeviationMetric::PointToSegment.distance(*p, Point2::ORIGIN, end))
+            .fold(0.0, f64::max);
+        assert!(b.upper >= actual - 1e-9);
+    }
+
+    #[test]
+    fn works_in_all_quadrants() {
+        for quadrant in Quadrant::ALL {
+            let (sx, sy) = quadrant.signs();
+            let pts = [
+                Point2::new(sx * 10.0, sy * 2.0),
+                Point2::new(sx * 4.0, sy * 8.0),
+                Point2::new(sx * 7.0, sy * 5.0),
+            ];
+            let mut q = QuadrantBounds::new(quadrant, pts[0]);
+            for p in &pts[1..] {
+                q.insert(*p);
+            }
+            for end in [
+                Point2::new(sx * 20.0, sy * 6.0),
+                Point2::new(-sx * 20.0, sy * 6.0),
+                Point2::new(sx * 3.0, -sy * 15.0),
+            ] {
+                let b = q.deviation_bounds(end, metric(), BoundsMode::Sound);
+                let actual = brute_max(&pts, end);
+                assert!(
+                    b.upper >= actual - 1e-9,
+                    "quadrant {quadrant:?} end {end:?}: upper {} < actual {}",
+                    b.upper,
+                    actual
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_exact_mode_produces_bounds() {
+        let pts = [
+            Point2::new(10.0, 2.0),
+            Point2::new(4.0, 8.0),
+            Point2::new(9.0, 9.0),
+        ];
+        let q = build_q1(&pts);
+        for end in [Point2::new(20.0, 6.0), Point2::new(-20.0, 6.0)] {
+            let b = q.deviation_bounds(end, metric(), BoundsMode::PaperExact);
+            assert!(b.lower <= b.upper);
+            assert!(b.upper.is_finite());
+        }
+    }
+}

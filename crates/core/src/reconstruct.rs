@@ -1,0 +1,288 @@
+//! Trajectory reconstruction from compressed key points (paper §IV,
+//! Eqs. 1–3).
+//!
+//! A compressed trajectory keeps only key points; positions in between are
+//! re-created by interpolating between the bracketing key points with a
+//! *progress model* `P` that maps normalised time to normalised progress
+//! along the chord. The paper's default is the uniform model
+//! `P(t) = (t − t_s)/(t_e − t_s)`; it also suggests fitting a distribution
+//! online "with semi-numeric algorithms" — implemented here as a Gaussian
+//! progress model whose parameters come from a Welford online fit.
+
+use bqs_geo::TimedPoint;
+
+/// Maps normalised elapsed time `u ∈ [0, 1]` within a segment to normalised
+/// progress along the chord (0 at the start key point, 1 at the end).
+pub trait ProgressModel {
+    /// The progress value; implementations must map 0 → 0 and 1 → 1 and be
+    /// monotone non-decreasing.
+    fn progress(&self, u: f64) -> f64;
+}
+
+/// The paper's default uniform model: progress equals elapsed time
+/// (Eq. 2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UniformProgress;
+
+impl ProgressModel for UniformProgress {
+    #[inline]
+    fn progress(&self, u: f64) -> f64 {
+        u.clamp(0.0, 1.0)
+    }
+}
+
+/// A Gaussian-shaped progress model: motion concentrated around a mean
+/// fraction of the segment duration, e.g. an animal that idles, travels,
+/// then idles. Progress is the Gaussian CDF renormalised to pin 0 → 0 and
+/// 1 → 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussianProgress {
+    mean: f64,
+    sigma: f64,
+}
+
+impl GaussianProgress {
+    /// Creates a model with the motion centred at `mean` (fraction of the
+    /// segment duration) and spread `sigma`. `sigma` is clamped away from
+    /// zero to keep the CDF invertible.
+    pub fn new(mean: f64, sigma: f64) -> GaussianProgress {
+        GaussianProgress { mean: mean.clamp(0.0, 1.0), sigma: sigma.max(1e-6) }
+    }
+
+    /// Standard normal CDF via the complementary error function
+    /// (Abramowitz–Stegun 7.1.26 polynomial, |error| < 1.5e-7 — far below
+    /// GPS noise).
+    fn phi(z: f64) -> f64 {
+        let t = 1.0 / (1.0 + 0.2316419 * z.abs());
+        let poly = t
+            * (0.319381530
+                + t * (-0.356563782 + t * (1.781477937 + t * (-1.821255978 + t * 1.330274429))));
+        let pdf = (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt();
+        let upper = pdf * poly;
+        if z >= 0.0 {
+            1.0 - upper
+        } else {
+            upper
+        }
+    }
+
+    fn cdf(&self, u: f64) -> f64 {
+        Self::phi((u - self.mean) / self.sigma)
+    }
+}
+
+impl ProgressModel for GaussianProgress {
+    fn progress(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        let lo = self.cdf(0.0);
+        let hi = self.cdf(1.0);
+        if hi - lo <= f64::EPSILON {
+            return u;
+        }
+        (self.cdf(u) - lo) / (hi - lo)
+    }
+}
+
+/// Welford online mean/variance estimator (Knuth TAOCP vol. 2 §4.2.2, the
+/// "semi-numeric algorithms" the paper cites for fitting `P` online).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OnlineGaussianFit {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl OnlineGaussianFit {
+    /// Creates an empty estimator.
+    pub fn new() -> OnlineGaussianFit {
+        OnlineGaussianFit::default()
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 for fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Builds a [`GaussianProgress`] model from the fitted statistics.
+    pub fn to_progress_model(&self) -> GaussianProgress {
+        GaussianProgress::new(self.mean, self.variance().sqrt())
+    }
+}
+
+/// Reconstructs the location at time `t` between two key points (Eqs. 1–3,
+/// generalised over the progress model). Clamps outside `[v_s.t, v_e.t]`.
+pub fn interpolate<P: ProgressModel>(vs: TimedPoint, ve: TimedPoint, t: f64, model: &P) -> TimedPoint {
+    let span = ve.t - vs.t;
+    let u = if span <= 0.0 { 1.0 } else { ((t - vs.t) / span).clamp(0.0, 1.0) };
+    let w = model.progress(u);
+    TimedPoint::at(vs.pos.lerp(ve.pos, w), t)
+}
+
+/// Reconstructs positions at arbitrary query times from a compressed
+/// trajectory (key points ordered by time).
+#[derive(Debug, Clone)]
+pub struct Reconstructor<P: ProgressModel = UniformProgress> {
+    keys: Vec<TimedPoint>,
+    model: P,
+}
+
+impl Reconstructor<UniformProgress> {
+    /// Builds a reconstructor with the paper's uniform progress model.
+    ///
+    /// Returns `None` when `keys` is empty or timestamps are not
+    /// non-decreasing.
+    pub fn uniform(keys: Vec<TimedPoint>) -> Option<Reconstructor<UniformProgress>> {
+        Reconstructor::with_model(keys, UniformProgress)
+    }
+}
+
+impl<P: ProgressModel> Reconstructor<P> {
+    /// Builds a reconstructor with a custom progress model.
+    pub fn with_model(keys: Vec<TimedPoint>, model: P) -> Option<Reconstructor<P>> {
+        if keys.is_empty() {
+            return None;
+        }
+        if keys.windows(2).any(|w| w[1].t < w[0].t) {
+            return None;
+        }
+        Some(Reconstructor { keys, model })
+    }
+
+    /// The key points.
+    pub fn keys(&self) -> &[TimedPoint] {
+        &self.keys
+    }
+
+    /// Position at time `t`, clamped to the trajectory's time range.
+    pub fn at(&self, t: f64) -> TimedPoint {
+        let keys = &self.keys;
+        if t <= keys[0].t {
+            return TimedPoint::at(keys[0].pos, t);
+        }
+        if t >= keys[keys.len() - 1].t {
+            return TimedPoint::at(keys[keys.len() - 1].pos, t);
+        }
+        // Binary search for the bracketing pair.
+        let idx = keys.partition_point(|k| k.t <= t);
+        let (vs, ve) = (keys[idx - 1], keys[idx]);
+        interpolate(vs, ve, t, &self.model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqs_geo::Point2;
+
+    #[test]
+    fn uniform_interpolation_matches_eq_2_and_3() {
+        let vs = TimedPoint::new(0.0, 0.0, 100.0);
+        let ve = TimedPoint::new(10.0, 20.0, 200.0);
+        let mid = interpolate(vs, ve, 150.0, &UniformProgress);
+        assert_eq!(mid.pos, Point2::new(5.0, 10.0));
+        assert_eq!(interpolate(vs, ve, 100.0, &UniformProgress).pos, vs.pos);
+        assert_eq!(interpolate(vs, ve, 200.0, &UniformProgress).pos, ve.pos);
+    }
+
+    #[test]
+    fn interpolation_clamps_out_of_range() {
+        let vs = TimedPoint::new(0.0, 0.0, 0.0);
+        let ve = TimedPoint::new(10.0, 0.0, 10.0);
+        assert_eq!(interpolate(vs, ve, -5.0, &UniformProgress).pos, vs.pos);
+        assert_eq!(interpolate(vs, ve, 50.0, &UniformProgress).pos, ve.pos);
+    }
+
+    #[test]
+    fn degenerate_time_span() {
+        let vs = TimedPoint::new(0.0, 0.0, 5.0);
+        let ve = TimedPoint::new(10.0, 0.0, 5.0);
+        // Zero-length span snaps to the end point.
+        assert_eq!(interpolate(vs, ve, 5.0, &UniformProgress).pos, ve.pos);
+    }
+
+    #[test]
+    fn gaussian_progress_pins_endpoints_and_is_monotone() {
+        let g = GaussianProgress::new(0.5, 0.15);
+        assert!(g.progress(0.0).abs() < 1e-12);
+        assert!((g.progress(1.0) - 1.0).abs() < 1e-12);
+        let mut prev = -1.0;
+        for i in 0..=100 {
+            let u = i as f64 / 100.0;
+            let w = g.progress(u);
+            assert!(w >= prev - 1e-12);
+            assert!((-1e-12..=1.0 + 1e-12).contains(&w));
+            prev = w;
+        }
+        // Mid-centred Gaussian is steepest at the middle.
+        let early = g.progress(0.3) - g.progress(0.2);
+        let middle = g.progress(0.55) - g.progress(0.45);
+        assert!(middle > early);
+    }
+
+    #[test]
+    fn welford_fit_matches_batch_statistics() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut fit = OnlineGaussianFit::new();
+        for x in data {
+            fit.push(x);
+        }
+        assert_eq!(fit.count(), 8);
+        assert!((fit.mean() - 5.0).abs() < 1e-12);
+        assert!((fit.variance() - 4.0).abs() < 1e-12);
+        let model = fit.to_progress_model();
+        assert!((model.progress(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_degenerate_cases() {
+        let mut fit = OnlineGaussianFit::new();
+        assert_eq!(fit.variance(), 0.0);
+        fit.push(3.0);
+        assert_eq!(fit.mean(), 3.0);
+        assert_eq!(fit.variance(), 0.0);
+    }
+
+    #[test]
+    fn reconstructor_brackets_and_clamps() {
+        let keys = vec![
+            TimedPoint::new(0.0, 0.0, 0.0),
+            TimedPoint::new(100.0, 0.0, 10.0),
+            TimedPoint::new(100.0, 50.0, 20.0),
+        ];
+        let r = Reconstructor::uniform(keys).unwrap();
+        assert_eq!(r.at(5.0).pos, Point2::new(50.0, 0.0));
+        assert_eq!(r.at(15.0).pos, Point2::new(100.0, 25.0));
+        assert_eq!(r.at(-3.0).pos, Point2::new(0.0, 0.0));
+        assert_eq!(r.at(99.0).pos, Point2::new(100.0, 50.0));
+        assert_eq!(r.at(10.0).pos, Point2::new(100.0, 0.0));
+    }
+
+    #[test]
+    fn reconstructor_rejects_bad_input() {
+        assert!(Reconstructor::uniform(vec![]).is_none());
+        let unordered = vec![TimedPoint::new(0.0, 0.0, 10.0), TimedPoint::new(1.0, 0.0, 5.0)];
+        assert!(Reconstructor::uniform(unordered).is_none());
+    }
+}

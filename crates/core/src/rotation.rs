@@ -1,0 +1,158 @@
+//! Segment-local frames and data-centric rotation (paper §V-D).
+//!
+//! Every trajectory segment owns a local coordinate frame centred at its
+//! start point. With data-centric rotation enabled, the frame's x axis is
+//! rotated onto the direction from the start point to the centroid of the
+//! first few "effective" points (those outside the tolerance ball), so that
+//! subsequent points straddle the axis and split across two quadrants —
+//! which keeps the bounding hulls narrow and the deviation bounds tight.
+
+use bqs_geo::{Point2, Rot2, Vec2};
+
+/// A segment-local frame: translation to the segment start plus an optional
+/// rotation fixed after the warm-up.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentFrame {
+    origin: Point2,
+    rot: Rot2,
+    fixed: bool,
+}
+
+impl SegmentFrame {
+    /// A frame with the identity rotation, fixed immediately (rotation
+    /// disabled).
+    pub fn axis_aligned(origin: Point2) -> SegmentFrame {
+        SegmentFrame { origin, rot: Rot2::IDENTITY, fixed: true }
+    }
+
+    /// A frame awaiting data-centric rotation: not usable for quadrant
+    /// operations until [`SegmentFrame::fix_rotation`] is called.
+    pub fn awaiting_rotation(origin: Point2) -> SegmentFrame {
+        SegmentFrame { origin, rot: Rot2::IDENTITY, fixed: false }
+    }
+
+    /// The segment start point in world coordinates.
+    #[inline]
+    pub fn origin(&self) -> Point2 {
+        self.origin
+    }
+
+    /// Whether the rotation has been fixed.
+    #[inline]
+    pub fn is_fixed(&self) -> bool {
+        self.fixed
+    }
+
+    /// The rotation applied to world displacements.
+    #[inline]
+    pub fn rotation(&self) -> Rot2 {
+        self.rot
+    }
+
+    /// Fixes the rotation so the direction from the origin to `centroid`
+    /// maps onto the +x axis. A centroid coincident with the origin leaves
+    /// the frame axis-aligned.
+    pub fn fix_rotation(&mut self, centroid: Point2) {
+        self.rot = Rot2::aligning_to_x(centroid - self.origin);
+        self.fixed = true;
+    }
+
+    /// Maps a world point into the local frame.
+    #[inline]
+    pub fn to_local(&self, p: Point2) -> Point2 {
+        Point2::from_vec(self.rot.apply_vec(p - self.origin))
+    }
+
+    /// Maps a local point back to world coordinates.
+    #[inline]
+    pub fn to_world(&self, p: Point2) -> Point2 {
+        self.origin + self.rot.inverse().apply_vec(p.to_vec())
+    }
+
+    /// Centroid of a slice of world points (used on the warm-up buffer).
+    pub fn centroid(points: &[Point2]) -> Option<Point2> {
+        if points.is_empty() {
+            return None;
+        }
+        let mut acc = Vec2::ZERO;
+        for p in points {
+            acc += p.to_vec();
+        }
+        Some(Point2::from_vec(acc / points.len() as f64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_aligned_round_trip() {
+        let f = SegmentFrame::axis_aligned(Point2::new(100.0, -50.0));
+        assert!(f.is_fixed());
+        let p = Point2::new(103.0, -46.0);
+        let local = f.to_local(p);
+        assert_eq!(local, Point2::new(3.0, 4.0));
+        assert!(f.to_world(local).distance(p) < 1e-12);
+    }
+
+    #[test]
+    fn rotation_puts_centroid_direction_on_x_axis() {
+        let origin = Point2::new(10.0, 10.0);
+        let mut f = SegmentFrame::awaiting_rotation(origin);
+        assert!(!f.is_fixed());
+        let pts = [Point2::new(13.0, 14.0), Point2::new(17.0, 13.0)];
+        let centroid = SegmentFrame::centroid(&pts).unwrap();
+        f.fix_rotation(centroid);
+        assert!(f.is_fixed());
+        let local_centroid = f.to_local(centroid);
+        assert!(local_centroid.y.abs() < 1e-12);
+        assert!(local_centroid.x > 0.0);
+    }
+
+    #[test]
+    fn rotation_preserves_distances() {
+        let origin = Point2::new(-5.0, 3.0);
+        let mut f = SegmentFrame::awaiting_rotation(origin);
+        f.fix_rotation(Point2::new(7.0, 8.0));
+        let a = Point2::new(1.0, 2.0);
+        let b = Point2::new(-3.0, 9.0);
+        assert!((f.to_local(a).distance(f.to_local(b)) - a.distance(b)).abs() < 1e-12);
+        // Origin maps to the local origin.
+        assert!(f.to_local(origin).distance(Point2::ORIGIN) < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_centroid_keeps_identity() {
+        let origin = Point2::new(2.0, 2.0);
+        let mut f = SegmentFrame::awaiting_rotation(origin);
+        f.fix_rotation(origin); // centroid == origin
+        assert!(f.is_fixed());
+        assert_eq!(f.to_local(Point2::new(3.0, 2.0)), Point2::new(1.0, 0.0));
+    }
+
+    #[test]
+    fn centroid_of_points() {
+        assert_eq!(SegmentFrame::centroid(&[]), None);
+        let c = SegmentFrame::centroid(&[
+            Point2::new(0.0, 0.0),
+            Point2::new(2.0, 4.0),
+            Point2::new(4.0, 2.0),
+        ])
+        .unwrap();
+        assert_eq!(c, Point2::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn world_round_trip_with_rotation() {
+        let mut f = SegmentFrame::awaiting_rotation(Point2::new(1.0, 1.0));
+        f.fix_rotation(Point2::new(4.0, 5.0));
+        for p in [
+            Point2::new(0.0, 0.0),
+            Point2::new(10.0, -3.0),
+            Point2::new(1.0, 1.0),
+        ] {
+            assert!(f.to_world(f.to_local(p)).distance(p) < 1e-12);
+        }
+    }
+}

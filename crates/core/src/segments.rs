@@ -1,0 +1,151 @@
+//! Segment views over compressed trajectories.
+//!
+//! A compressed trajectory is just its key points; consumers usually want
+//! the *segments* between consecutive keys with their derived statistics
+//! (length, duration, straight-line speed). This module provides that view
+//! plus stream-level summaries, so downstream code (stores, dashboards,
+//! ecology pipelines) never re-derives them ad hoc.
+
+use bqs_geo::{Segment2, TimedPoint};
+
+/// One chord of a compressed trajectory with derived statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentView {
+    /// Start key point.
+    pub start: TimedPoint,
+    /// End key point.
+    pub end: TimedPoint,
+}
+
+impl SegmentView {
+    /// Chord length in metres.
+    pub fn length_m(&self) -> f64 {
+        self.start.pos.distance(self.end.pos)
+    }
+
+    /// Duration in seconds (≥ 0 for valid trajectories).
+    pub fn duration_s(&self) -> f64 {
+        self.end.t - self.start.t
+    }
+
+    /// Straight-line speed in m/s; `None` for zero-duration segments.
+    pub fn speed_mps(&self) -> Option<f64> {
+        let dt = self.duration_s();
+        if dt > 0.0 {
+            Some(self.length_m() / dt)
+        } else {
+            None
+        }
+    }
+
+    /// The chord as a geometric segment.
+    pub fn chord(&self) -> Segment2 {
+        Segment2::new(self.start.pos, self.end.pos)
+    }
+
+    /// Whether the object effectively held position over this segment
+    /// (chord speed below `threshold_mps`).
+    pub fn is_dwell(&self, threshold_mps: f64) -> bool {
+        match self.speed_mps() {
+            Some(v) => v < threshold_mps,
+            None => true,
+        }
+    }
+}
+
+/// Iterates the segments of a compressed trajectory (consecutive key
+/// pairs). Yields nothing for fewer than two keys.
+pub fn segments(keys: &[TimedPoint]) -> impl Iterator<Item = SegmentView> + '_ {
+    keys.windows(2).map(|w| SegmentView { start: w[0], end: w[1] })
+}
+
+/// Aggregate statistics of a compressed trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TrajectorySummary {
+    /// Number of segments.
+    pub segments: usize,
+    /// Sum of chord lengths, metres.
+    pub total_length_m: f64,
+    /// Total time span, seconds.
+    pub total_duration_s: f64,
+    /// Longest single chord, metres.
+    pub longest_segment_m: f64,
+    /// Fastest chord speed observed, m/s.
+    pub max_speed_mps: f64,
+}
+
+/// Summarises a compressed trajectory in one pass.
+pub fn summarize(keys: &[TimedPoint]) -> TrajectorySummary {
+    let mut s = TrajectorySummary::default();
+    for seg in segments(keys) {
+        s.segments += 1;
+        let len = seg.length_m();
+        s.total_length_m += len;
+        s.longest_segment_m = s.longest_segment_m.max(len);
+        if let Some(v) = seg.speed_mps() {
+            s.max_speed_mps = s.max_speed_mps.max(v);
+        }
+    }
+    if let (Some(first), Some(last)) = (keys.first(), keys.last()) {
+        s.total_duration_s = last.t - first.t;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys() -> Vec<TimedPoint> {
+        vec![
+            TimedPoint::new(0.0, 0.0, 0.0),
+            TimedPoint::new(300.0, 400.0, 100.0), // 500 m in 100 s → 5 m/s
+            TimedPoint::new(300.0, 400.0, 700.0), // dwell for 600 s
+            TimedPoint::new(300.0, 1000.0, 760.0), // 600 m in 60 s → 10 m/s
+        ]
+    }
+
+    #[test]
+    fn segment_statistics() {
+        let segs: Vec<SegmentView> = segments(&keys()).collect();
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0].length_m(), 500.0);
+        assert_eq!(segs[0].duration_s(), 100.0);
+        assert_eq!(segs[0].speed_mps(), Some(5.0));
+        assert!(segs[1].is_dwell(0.5));
+        assert!(!segs[2].is_dwell(0.5));
+    }
+
+    #[test]
+    fn zero_duration_segment_has_no_speed() {
+        let k = vec![TimedPoint::new(0.0, 0.0, 5.0), TimedPoint::new(10.0, 0.0, 5.0)];
+        let seg = segments(&k).next().unwrap();
+        assert_eq!(seg.speed_mps(), None);
+        assert!(seg.is_dwell(1.0));
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let s = summarize(&keys());
+        assert_eq!(s.segments, 3);
+        assert_eq!(s.total_length_m, 1100.0);
+        assert_eq!(s.total_duration_s, 760.0);
+        assert_eq!(s.longest_segment_m, 600.0);
+        assert_eq!(s.max_speed_mps, 10.0);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        assert_eq!(segments(&[]).count(), 0);
+        assert_eq!(segments(&keys()[..1]).count(), 0);
+        let s = summarize(&[]);
+        assert_eq!(s.segments, 0);
+        assert_eq!(s.total_duration_s, 0.0);
+    }
+
+    #[test]
+    fn chord_accessor() {
+        let seg = segments(&keys()).next().unwrap();
+        assert_eq!(seg.chord().length(), 500.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! The streaming-compressor interface and decision statistics.
+//!
+//! All compressors in this workspace — BQS, Fast BQS, and every baseline in
+//! `bqs-baselines` — implement [`StreamCompressor`]: points are pushed one
+//! at a time and kept (key) points are appended to a caller-supplied output
+//! vector as soon as they become final. This is the contract a
+//! resource-constrained tracker needs: output can be written to flash
+//! incrementally and the compressor never revisits it.
+
+use bqs_geo::TimedPoint;
+
+/// A push-based trajectory compressor with error-bounded output.
+pub trait StreamCompressor {
+    /// Feeds the next point of the stream. Any points that become final
+    /// output are appended to `out` (possibly none, possibly several for
+    /// batch-flushing algorithms).
+    fn push(&mut self, p: TimedPoint, out: &mut Vec<TimedPoint>);
+
+    /// Signals end-of-stream: flushes whatever must still be emitted (at
+    /// least the final point of the last segment). The compressor is reset
+    /// and may be reused for a new stream afterwards.
+    fn finish(&mut self, out: &mut Vec<TimedPoint>);
+
+    /// Short algorithm label for reports ("BQS", "FBQS", "BDP", ...).
+    fn name(&self) -> &'static str;
+}
+
+/// Counters describing how the BQS compressors reached their decisions.
+/// Pruning power (Fig. 6) is derived from these.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecisionStats {
+    /// Points pushed in total.
+    pub points: u64,
+    /// Decisions taken trivially: first point of a segment, points inside
+    /// the tolerance ball with no far structure, or empty quadrants.
+    pub trivial: u64,
+    /// Decisions concluded from the deviation bounds alone.
+    pub by_bounds: u64,
+    /// Decisions that required a full deviation scan of the segment buffer
+    /// (BQS only; the paper's `N_computed`).
+    pub full_scans: u64,
+    /// Decisions taken during the constant-size rotation warm-up, where the
+    /// deviation is computed over at most the warm-up buffer (≤ the
+    /// configured warm-up length, so O(1) work).
+    pub warmup_scans: u64,
+    /// Inconclusive-bounds events resolved by aggressively cutting the
+    /// segment (Fast BQS only).
+    pub aggressive_cuts: u64,
+    /// Segments produced so far.
+    pub segments: u64,
+}
+
+impl DecisionStats {
+    /// Pruning power as the paper defines it: `1 − N_computed / N_total`,
+    /// where `N_computed` counts full deviation scans over an unbounded
+    /// buffer. Constant-size warm-up scans are not full scans (they touch at
+    /// most the warm-up length) and are reported separately.
+    pub fn pruning_power(&self) -> f64 {
+        if self.points == 0 {
+            return 1.0;
+        }
+        1.0 - (self.full_scans as f64) / (self.points as f64)
+    }
+
+    /// Fraction of decisions that needed neither a scan nor an aggressive
+    /// cut — how often the structure alone decided.
+    pub fn conclusive_rate(&self) -> f64 {
+        if self.points == 0 {
+            return 1.0;
+        }
+        let undecided = self.full_scans + self.aggressive_cuts;
+        1.0 - (undecided as f64) / (self.points as f64)
+    }
+
+    /// Merges counters from another stream (for multi-trace aggregates).
+    pub fn merge(&mut self, other: &DecisionStats) {
+        self.points += other.points;
+        self.trivial += other.trivial;
+        self.by_bounds += other.by_bounds;
+        self.full_scans += other.full_scans;
+        self.warmup_scans += other.warmup_scans;
+        self.aggressive_cuts += other.aggressive_cuts;
+        self.segments += other.segments;
+    }
+}
+
+/// Runs a compressor over an entire point stream and returns the kept
+/// points.
+pub fn compress_all<C: StreamCompressor>(
+    compressor: &mut C,
+    points: impl IntoIterator<Item = TimedPoint>,
+) -> Vec<TimedPoint> {
+    let mut out = Vec::new();
+    for p in points {
+        compressor.push(p, &mut out);
+    }
+    compressor.finish(&mut out);
+    out
+}
+
+/// Like [`compress_all`] but also returns a snapshot of decision statistics
+/// taken after the stream ends.
+pub fn compress_all_with_stats<C>(
+    compressor: &mut C,
+    points: impl IntoIterator<Item = TimedPoint>,
+) -> (Vec<TimedPoint>, DecisionStats)
+where
+    C: StreamCompressor + HasDecisionStats,
+{
+    let out = compress_all(compressor, points);
+    let stats = compressor.decision_stats();
+    (out, stats)
+}
+
+/// Compressors that expose BQS-style decision statistics.
+pub trait HasDecisionStats {
+    /// A snapshot of the counters accumulated since construction/reset.
+    fn decision_stats(&self) -> DecisionStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pruning_power_extremes() {
+        let mut s = DecisionStats::default();
+        assert_eq!(s.pruning_power(), 1.0);
+        s.points = 100;
+        s.full_scans = 0;
+        assert_eq!(s.pruning_power(), 1.0);
+        s.full_scans = 10;
+        assert!((s.pruning_power() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conclusive_rate_counts_aggressive_cuts() {
+        let s = DecisionStats {
+            points: 100,
+            aggressive_cuts: 5,
+            full_scans: 5,
+            ..DecisionStats::default()
+        };
+        assert!((s.conclusive_rate() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = DecisionStats { points: 10, full_scans: 1, ..Default::default() };
+        let b = DecisionStats { points: 20, full_scans: 3, segments: 2, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.points, 30);
+        assert_eq!(a.full_scans, 4);
+        assert_eq!(a.segments, 2);
+    }
+
+    /// A compressor that keeps every point, exercising the trait plumbing.
+    struct Identity;
+    impl StreamCompressor for Identity {
+        fn push(&mut self, p: TimedPoint, out: &mut Vec<TimedPoint>) {
+            out.push(p);
+        }
+        fn finish(&mut self, _out: &mut Vec<TimedPoint>) {}
+        fn name(&self) -> &'static str {
+            "identity"
+        }
+    }
+
+    #[test]
+    fn compress_all_drives_the_trait() {
+        let pts: Vec<TimedPoint> =
+            (0..5).map(|i| TimedPoint::new(i as f64, 0.0, i as f64)).collect();
+        let mut c = Identity;
+        let out = compress_all(&mut c, pts.iter().copied());
+        assert_eq!(out, pts);
+        assert_eq!(c.name(), "identity");
+    }
+}

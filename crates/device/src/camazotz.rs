@@ -1,0 +1,66 @@
+//! Camazotz platform constants (paper §III-A; Jurdak et al., IPSN 2013).
+
+/// Static description of the tracking platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CamazotzSpec {
+    /// On-chip ROM in bytes (CC430F5137: 32 KB).
+    pub rom_bytes: u64,
+    /// On-chip RAM in bytes (4 KB).
+    pub ram_bytes: u64,
+    /// External flash in bytes (1 MB).
+    pub flash_bytes: u64,
+    /// Share of flash reserved for GPS trajectories, bytes — the paper's
+    /// Table II assumes 50 KB (the rest holds the higher-rate
+    /// inertial/acoustic sensor logs).
+    pub gps_budget_bytes: u64,
+    /// GPS sampling interval in seconds (Table II assumes 1 fix/minute).
+    pub gps_interval_s: f64,
+    /// Animal-ethics payload limit in grams (≤ 5 % of body weight —
+    /// 20–30 g for flying foxes). Informational.
+    pub payload_limit_g: f64,
+}
+
+impl CamazotzSpec {
+    /// The paper's configuration.
+    pub const fn paper() -> CamazotzSpec {
+        CamazotzSpec {
+            rom_bytes: 32 * 1024,
+            ram_bytes: 4 * 1024,
+            flash_bytes: 1024 * 1024,
+            gps_budget_bytes: 50 * 1024,
+            gps_interval_s: 60.0,
+            payload_limit_g: 30.0,
+        }
+    }
+
+    /// Raw (uncompressed) GPS samples per day at the configured rate.
+    pub fn samples_per_day(&self) -> f64 {
+        86_400.0 / self.gps_interval_s
+    }
+}
+
+impl Default for CamazotzSpec {
+    fn default() -> Self {
+        CamazotzSpec::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let s = CamazotzSpec::paper();
+        assert_eq!(s.ram_bytes, 4096);
+        assert_eq!(s.rom_bytes, 32_768);
+        assert_eq!(s.flash_bytes, 1_048_576);
+        assert_eq!(s.gps_budget_bytes, 51_200);
+        assert_eq!(s.samples_per_day(), 1_440.0);
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(CamazotzSpec::default(), CamazotzSpec::paper());
+    }
+}

@@ -1,0 +1,242 @@
+//! A uniform factory over every compressor in the workspace, so sweeps can
+//! treat algorithms as data.
+
+use bqs_baselines::{
+    BufferedDpCompressor, BufferedGreedyCompressor, DeadReckoningCompressor, DpCompressor,
+    MbrCompressor, SquishECompressor, StTraceCompressor,
+};
+use bqs_core::stream::{DecisionStats, HasDecisionStats, StreamCompressor};
+use bqs_core::{BqsCompressor, BqsConfig, FastBqsCompressor};
+use bqs_geo::TimedPoint;
+use std::time::{Duration, Instant};
+
+/// The algorithms of the paper's comparative study plus the related-work
+/// extensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Buffered Bounded Quadrant System (Algorithm 1).
+    Bqs,
+    /// Fast BQS (§V-E).
+    Fbqs,
+    /// Buffered Douglas–Peucker with the given window.
+    Bdp {
+        /// Window size in points.
+        buffer: usize,
+    },
+    /// Buffered Greedy Deviation (sliding window) with the given window.
+    Bgd {
+        /// Window size in points.
+        buffer: usize,
+    },
+    /// Offline Douglas–Peucker.
+    Dp,
+    /// Dead Reckoning.
+    DeadReckoning,
+    /// SQUISH-E(ε) (SED error bound; offline).
+    SquishE,
+    /// MBR-style bounding-rectangle runs with the given point budget.
+    Mbr {
+        /// Per-run point budget.
+        max_run: usize,
+    },
+    /// STTrace with a fixed sample capacity (ignores the tolerance — its
+    /// knob is memory, not error).
+    StTrace {
+        /// Sample capacity in points.
+        capacity: usize,
+    },
+}
+
+impl Algorithm {
+    /// The paper's five Fig. 7 algorithms with the 32-point working set.
+    pub const FIG7: [Algorithm; 5] = [
+        Algorithm::Bqs,
+        Algorithm::Fbqs,
+        Algorithm::Bdp { buffer: 32 },
+        Algorithm::Bgd { buffer: 32 },
+        Algorithm::Dp,
+    ];
+
+    /// Display label matching the paper.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algorithm::Bqs => "BQS",
+            Algorithm::Fbqs => "FBQS",
+            Algorithm::Bdp { .. } => "BDP",
+            Algorithm::Bgd { .. } => "BGD",
+            Algorithm::Dp => "DP",
+            Algorithm::DeadReckoning => "DR",
+            Algorithm::SquishE => "SQUISH-E",
+            Algorithm::Mbr { .. } => "MBR",
+            Algorithm::StTrace { .. } => "STTrace",
+        }
+    }
+
+    /// Runs the algorithm over a point stream at the given tolerance.
+    pub fn run(&self, points: &[TimedPoint], tolerance: f64) -> CompressionRun {
+        match self {
+            Algorithm::Bqs => {
+                let mut c = BqsCompressor::new(BqsConfig::new(tolerance).expect("tolerance"));
+                timed_run(*self, points, &mut c, Some(&|c: &BqsCompressor| c.decision_stats()))
+            }
+            Algorithm::Fbqs => {
+                let mut c =
+                    FastBqsCompressor::new(BqsConfig::new(tolerance).expect("tolerance"));
+                timed_run(
+                    *self,
+                    points,
+                    &mut c,
+                    Some(&|c: &FastBqsCompressor| c.decision_stats()),
+                )
+            }
+            Algorithm::Bdp { buffer } => {
+                let mut c = BufferedDpCompressor::new(tolerance, *buffer);
+                timed_run::<_, fn(&BufferedDpCompressor) -> DecisionStats>(
+                    *self, points, &mut c, None,
+                )
+            }
+            Algorithm::Bgd { buffer } => {
+                let mut c = BufferedGreedyCompressor::new(tolerance, *buffer);
+                timed_run::<_, fn(&BufferedGreedyCompressor) -> DecisionStats>(
+                    *self, points, &mut c, None,
+                )
+            }
+            Algorithm::Dp => {
+                let mut c = DpCompressor::new(tolerance);
+                timed_run::<_, fn(&DpCompressor) -> DecisionStats>(*self, points, &mut c, None)
+            }
+            Algorithm::DeadReckoning => {
+                let mut c = DeadReckoningCompressor::new(tolerance);
+                timed_run::<_, fn(&DeadReckoningCompressor) -> DecisionStats>(
+                    *self, points, &mut c, None,
+                )
+            }
+            Algorithm::SquishE => {
+                let mut c = SquishECompressor::new(tolerance);
+                timed_run::<_, fn(&SquishECompressor) -> DecisionStats>(
+                    *self, points, &mut c, None,
+                )
+            }
+            Algorithm::Mbr { max_run } => {
+                let mut c = MbrCompressor::new(tolerance, *max_run);
+                timed_run::<_, fn(&MbrCompressor) -> DecisionStats>(*self, points, &mut c, None)
+            }
+            Algorithm::StTrace { capacity } => {
+                let mut c = StTraceCompressor::new(*capacity);
+                timed_run::<_, fn(&StTraceCompressor) -> DecisionStats>(
+                    *self, points, &mut c, None,
+                )
+            }
+        }
+    }
+}
+
+fn timed_run<C, F>(
+    algorithm: Algorithm,
+    points: &[TimedPoint],
+    compressor: &mut C,
+    stats_fn: Option<&F>,
+) -> CompressionRun
+where
+    C: StreamCompressor,
+    F: Fn(&C) -> DecisionStats,
+{
+    let start = Instant::now();
+    let mut kept = Vec::new();
+    for p in points {
+        compressor.push(*p, &mut kept);
+    }
+    compressor.finish(&mut kept);
+    let elapsed = start.elapsed();
+    CompressionRun {
+        algorithm,
+        original: points.len(),
+        kept_count: kept.len(),
+        kept,
+        elapsed,
+        stats: stats_fn.map(|f| f(compressor)),
+    }
+}
+
+/// Outcome of one compression run.
+#[derive(Debug, Clone)]
+pub struct CompressionRun {
+    /// Which algorithm ran.
+    pub algorithm: Algorithm,
+    /// Input size.
+    pub original: usize,
+    /// Output size.
+    pub kept_count: usize,
+    /// The kept points.
+    pub kept: Vec<TimedPoint>,
+    /// Wall-clock duration of the full stream.
+    pub elapsed: Duration,
+    /// BQS decision statistics when the algorithm exposes them.
+    pub stats: Option<DecisionStats>,
+}
+
+impl CompressionRun {
+    /// The paper's compression rate (kept ÷ original; lower is better).
+    pub fn compression_rate(&self) -> f64 {
+        crate::metrics::compression_rate(self.kept_count, self.original)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave(n: usize) -> Vec<TimedPoint> {
+        (0..n)
+            .map(|i| {
+                let a = i as f64;
+                TimedPoint::new(a * 8.0, (a * 0.25).sin() * 22.0, a)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_algorithms_run_and_bound_output_size() {
+        let pts = wave(400);
+        for algo in [
+            Algorithm::Bqs,
+            Algorithm::Fbqs,
+            Algorithm::Bdp { buffer: 32 },
+            Algorithm::Bgd { buffer: 32 },
+            Algorithm::Dp,
+            Algorithm::DeadReckoning,
+            Algorithm::SquishE,
+        ] {
+            let run = algo.run(&pts, 6.0);
+            assert_eq!(run.original, 400);
+            assert!(run.kept_count >= 2, "{algo:?}");
+            assert!(run.kept_count <= 400, "{algo:?}");
+            assert_eq!(run.kept.len(), run.kept_count);
+            assert!(run.compression_rate() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn bqs_family_exposes_stats_others_do_not() {
+        let pts = wave(100);
+        assert!(Algorithm::Bqs.run(&pts, 5.0).stats.is_some());
+        assert!(Algorithm::Fbqs.run(&pts, 5.0).stats.is_some());
+        assert!(Algorithm::Dp.run(&pts, 5.0).stats.is_none());
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Algorithm::Bqs.label(), "BQS");
+        assert_eq!(Algorithm::Bdp { buffer: 32 }.label(), "BDP");
+        assert_eq!(Algorithm::FIG7.len(), 5);
+    }
+
+    #[test]
+    fn bqs_beats_window_algorithms_on_compressible_input() {
+        let pts: Vec<TimedPoint> =
+            (0..500).map(|i| TimedPoint::new(i as f64 * 10.0, 0.0, i as f64)).collect();
+        let bqs = Algorithm::Bqs.run(&pts, 5.0).kept_count;
+        let bdp = Algorithm::Bdp { buffer: 32 }.run(&pts, 5.0).kept_count;
+        assert!(bqs < bdp, "BQS {bqs} !< BDP {bdp}");
+    }
+}

@@ -1,0 +1,164 @@
+//! Ablations of the BQS design choices (beyond the paper's own figures).
+//!
+//! DESIGN.md calls out three knobs worth isolating:
+//!
+//! 1. **Data-centric rotation** (§V-D) — the paper claims it "improves the
+//!    BQS's pruning power significantly"; this ablation runs BQS with and
+//!    without it.
+//! 2. **Bound tier** — Theorem 5.2's corner-only bounds vs. the full
+//!    Theorem 5.3–5.5 machinery ("can hardly avoid any deviation
+//!    computation" without the advanced bounds).
+//! 3. **Bounds mode** — the provably sound clipped-wedge upper bound vs.
+//!    the paper-exact printed formulas (compression-rate and pruning-power
+//!    cost of soundness).
+
+use crate::report::TextTable;
+use crate::Scale;
+use bqs_core::stream::compress_all_with_stats;
+use bqs_core::{BoundsMode, BqsCompressor, BqsConfig, RotationMode};
+use bqs_sim::Trace;
+
+/// One ablation variant's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationRow {
+    /// Variant label.
+    pub variant: String,
+    /// Compression rate (lower is better).
+    pub compression_rate: f64,
+    /// Pruning power (higher is better).
+    pub pruning_power: f64,
+}
+
+/// The ablation grid.
+#[derive(Debug, Clone)]
+pub struct AblationResult {
+    /// Tolerance used.
+    pub tolerance: f64,
+    /// Rows, one per variant.
+    pub rows: Vec<AblationRow>,
+}
+
+impl AblationResult {
+    /// Row by label.
+    pub fn row(&self, variant: &str) -> Option<&AblationRow> {
+        self.rows.iter().find(|r| r.variant == variant)
+    }
+
+    /// Renders the grid.
+    pub fn to_table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            format!("Ablation — BQS design knobs (d = {} m)", self.tolerance),
+            &["variant", "compression rate", "pruning power"],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.variant.clone(),
+                format!("{:.4}", r.compression_rate),
+                format!("{:.3}", r.pruning_power),
+            ]);
+        }
+        t
+    }
+}
+
+fn run_variant(trace: &Trace, config: BqsConfig, label: &str) -> AblationRow {
+    let mut bqs = BqsCompressor::new(config);
+    let (kept, stats) = compress_all_with_stats(&mut bqs, trace.points.iter().copied());
+    AblationRow {
+        variant: label.to_string(),
+        compression_rate: crate::metrics::compression_rate(kept.len(), trace.len()),
+        pruning_power: stats.pruning_power(),
+    }
+}
+
+/// Runs the ablation grid on the bat trace at 5 m.
+pub fn run(scale: Scale) -> AblationResult {
+    let trace = super::bat_trace(scale);
+    let tolerance = 5.0;
+    let base = BqsConfig::new(tolerance).expect("tolerance");
+
+    let rows = vec![
+        run_variant(&trace, base, "full (rotation + sound bounds)"),
+        run_variant(
+            &trace,
+            base.with_rotation(RotationMode::Disabled),
+            "no rotation",
+        ),
+        run_variant(
+            &trace,
+            base.with_bounds_mode(BoundsMode::CoarseCorners),
+            "coarse bounds (Thm 5.2 only)",
+        ),
+        run_variant(
+            &trace,
+            base.with_bounds_mode(BoundsMode::PaperExact),
+            "paper-exact bounds",
+        ),
+        run_variant(
+            &trace,
+            base.with_rotation(RotationMode::DataCentric { warmup: 10 }),
+            "rotation warm-up 10",
+        ),
+    ];
+
+    AblationResult { tolerance, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_config_prunes_at_least_as_well_as_coarse() {
+        let result = run(Scale::Quick);
+        let full = result.row("full (rotation + sound bounds)").unwrap();
+        let coarse = result.row("coarse bounds (Thm 5.2 only)").unwrap();
+        assert!(
+            full.pruning_power >= coarse.pruning_power - 0.01,
+            "full {} vs coarse {}",
+            full.pruning_power,
+            coarse.pruning_power
+        );
+    }
+
+    #[test]
+    fn all_variants_compress() {
+        let result = run(Scale::Quick);
+        assert_eq!(result.rows.len(), 5);
+        for r in &result.rows {
+            assert!(
+                r.compression_rate > 0.0 && r.compression_rate < 0.6,
+                "{}: {}",
+                r.variant,
+                r.compression_rate
+            );
+            assert!((0.0..=1.0).contains(&r.pruning_power));
+        }
+    }
+
+    #[test]
+    fn compression_rate_is_variant_independent_for_buffered_bqs() {
+        // The buffered BQS always falls back to an exact scan, so bound
+        // quality affects *work*, not *output*: rates must agree closely.
+        let result = run(Scale::Quick);
+        let rates: Vec<f64> = result
+            .rows
+            .iter()
+            .filter(|r| !r.variant.contains("rotation")) // rotation changes the frame, not the fallback
+            .map(|r| r.compression_rate)
+            .collect();
+        let (min, max) = rates
+            .iter()
+            .fold((f64::INFINITY, 0.0f64), |(lo, hi), r| (lo.min(*r), hi.max(*r)));
+        assert!(
+            max - min < 0.02,
+            "bound-mode variants should compress almost identically: {rates:?}"
+        );
+    }
+
+    #[test]
+    fn table_renders() {
+        let result = run(Scale::Quick);
+        assert!(result.to_table().to_string().contains("Ablation"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Fig. 6 — pruning power of the BQS bounds vs. error tolerance.
+//!
+//! Pruning power = `1 − N_computed / N_total` (§VI-B): how often the bounds
+//! decide without a full deviation scan. The paper reports it "generally
+//! above 90 %" on both datasets (Fig. 6a bats at 2–20 m, Fig. 6b vehicles
+//! at 5–50 m), with the vehicle data higher thanks to road-constrained
+//! headings.
+
+use crate::report::TextTable;
+use crate::runner::{default_workers, parallel_map};
+use crate::Scale;
+use bqs_core::stream::compress_all_with_stats;
+use bqs_core::{BqsCompressor, BqsConfig};
+use bqs_sim::dataset::{BAT_TOLERANCES, VEHICLE_TOLERANCES};
+use bqs_sim::Trace;
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PruningPoint {
+    /// Error tolerance (metres).
+    pub tolerance: f64,
+    /// Pruning power in `[0, 1]`.
+    pub pruning_power: f64,
+    /// Compression rate at this tolerance (context column).
+    pub compression_rate: f64,
+}
+
+/// One dataset's sweep (one subplot of Fig. 6).
+#[derive(Debug, Clone)]
+pub struct PruningSweep {
+    /// Dataset label.
+    pub dataset: &'static str,
+    /// Sweep points in tolerance order.
+    pub points: Vec<PruningPoint>,
+}
+
+impl PruningSweep {
+    /// Renders the sweep as a table.
+    pub fn to_table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            format!("Fig. 6 — pruning power ({})", self.dataset),
+            &["tolerance(m)", "pruning power", "compression rate"],
+        );
+        for p in &self.points {
+            t.row(vec![
+                format!("{}", p.tolerance),
+                format!("{:.3}", p.pruning_power),
+                format!("{:.4}", p.compression_rate),
+            ]);
+        }
+        t
+    }
+}
+
+/// Both subplots.
+#[derive(Debug, Clone)]
+pub struct Fig6Result {
+    /// Fig. 6a: bat data.
+    pub bat: PruningSweep,
+    /// Fig. 6b: vehicle data.
+    pub vehicle: PruningSweep,
+}
+
+/// Runs the pruning-power sweep over one trace.
+pub fn sweep_trace(trace: &Trace, dataset: &'static str, tolerances: &[f64]) -> PruningSweep {
+    let points = parallel_map(tolerances, default_workers(), |&tolerance| {
+        let mut bqs = BqsCompressor::new(BqsConfig::new(tolerance).expect("tolerance"));
+        let (kept, stats) = compress_all_with_stats(&mut bqs, trace.points.iter().copied());
+        PruningPoint {
+            tolerance,
+            pruning_power: stats.pruning_power(),
+            compression_rate: crate::metrics::compression_rate(kept.len(), trace.len()),
+        }
+    });
+    PruningSweep { dataset, points }
+}
+
+/// Runs both subplots at the requested scale.
+pub fn run(scale: Scale) -> Fig6Result {
+    let bat = super::bat_trace(scale);
+    let vehicle = super::vehicle_trace(scale);
+    Fig6Result {
+        bat: sweep_trace(&bat, "bat", &super::sweep(&BAT_TOLERANCES, scale)),
+        vehicle: sweep_trace(&vehicle, "vehicle", &super::sweep(&VEHICLE_TOLERANCES, scale)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pruning_power_is_high_on_both_datasets() {
+        let result = run(Scale::Quick);
+        for sweep in [&result.bat, &result.vehicle] {
+            assert!(!sweep.points.is_empty());
+            let mean = sweep.points.iter().map(|p| p.pruning_power).sum::<f64>()
+                / sweep.points.len() as f64;
+            assert!(
+                mean > 0.85,
+                "{}: mean pruning power {mean} below the paper's >0.9 ballpark",
+                sweep.dataset
+            );
+            for p in &sweep.points {
+                assert!(
+                    p.pruning_power > 0.7,
+                    "{} at {} m: pruning power {}",
+                    sweep.dataset,
+                    p.tolerance,
+                    p.pruning_power
+                );
+                assert!((0.0..=1.0).contains(&p.pruning_power));
+            }
+        }
+    }
+
+    #[test]
+    fn vehicle_pruning_power_at_least_bat_like() {
+        // The paper: "BQS shows higher pruning power on the car dataset".
+        // Average across the sweeps (tolerance grids differ).
+        let result = run(Scale::Quick);
+        let avg = |s: &PruningSweep| {
+            s.points.iter().map(|p| p.pruning_power).sum::<f64>() / s.points.len() as f64
+        };
+        let bat = avg(&result.bat);
+        let vehicle = avg(&result.vehicle);
+        assert!(
+            vehicle >= bat - 0.05,
+            "vehicle {vehicle} should not trail bat {bat} meaningfully"
+        );
+    }
+
+    #[test]
+    fn compression_improves_with_tolerance() {
+        let result = run(Scale::Quick);
+        let rates: Vec<f64> = result.bat.points.iter().map(|p| p.compression_rate).collect();
+        for w in rates.windows(2) {
+            assert!(w[1] <= w[0] + 0.01, "rate should not grow with tolerance: {rates:?}");
+        }
+    }
+
+    #[test]
+    fn tables_render() {
+        let result = run(Scale::Quick);
+        assert!(result.bat.to_table().to_string().contains("bat"));
+        assert!(result.vehicle.to_table().to_string().contains("vehicle"));
+    }
+}

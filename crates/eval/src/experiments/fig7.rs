@@ -1,0 +1,174 @@
+//! Fig. 7 — compression rate of five error-bounded algorithms.
+//!
+//! BQS, FBQS, BDP, BGD (both with the 32-point working set matching the
+//! FBQS significant-point budget) and offline DP, swept over each dataset's
+//! tolerance range. The paper's shape: **BQS best**, FBQS between BQS and
+//! DP, BDP worst, BGD between DP and BDP; bat data compresses better than
+//! vehicle data at equal tolerance; at 20 m FBQS improves on BDP/BGD by
+//! ~45–47 %.
+
+use crate::algorithms::Algorithm;
+use crate::report::TextTable;
+use crate::runner::{default_workers, parallel_map};
+use crate::Scale;
+use bqs_sim::dataset::{BAT_TOLERANCES, VEHICLE_TOLERANCES};
+use bqs_sim::Trace;
+
+/// Compression rates of every algorithm at one tolerance.
+#[derive(Debug, Clone)]
+pub struct RatePoint {
+    /// Error tolerance (metres).
+    pub tolerance: f64,
+    /// `(algorithm, compression rate)` pairs in [`Algorithm::FIG7`] order.
+    pub rates: Vec<(Algorithm, f64)>,
+}
+
+impl RatePoint {
+    /// Rate for a specific algorithm.
+    pub fn rate_of(&self, label: &str) -> Option<f64> {
+        self.rates
+            .iter()
+            .find(|(a, _)| a.label() == label)
+            .map(|(_, r)| *r)
+    }
+}
+
+/// One dataset's sweep (one subplot of Fig. 7).
+#[derive(Debug, Clone)]
+pub struct RateSweep {
+    /// Dataset label.
+    pub dataset: &'static str,
+    /// Sweep points in tolerance order.
+    pub points: Vec<RatePoint>,
+}
+
+impl RateSweep {
+    /// Renders the sweep as a table with one algorithm per column.
+    pub fn to_table(&self) -> TextTable {
+        let mut header = vec!["tolerance(m)".to_string()];
+        header.extend(Algorithm::FIG7.iter().map(|a| a.label().to_string()));
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut t = TextTable::new(
+            format!("Fig. 7 — compression rate ({})", self.dataset),
+            &header_refs,
+        );
+        for p in &self.points {
+            let mut row = vec![format!("{}", p.tolerance)];
+            row.extend(p.rates.iter().map(|(_, r)| format!("{:.4}", r)));
+            t.row(row);
+        }
+        t
+    }
+}
+
+/// Both subplots.
+#[derive(Debug, Clone)]
+pub struct Fig7Result {
+    /// Fig. 7a: bat data.
+    pub bat: RateSweep,
+    /// Fig. 7b: vehicle data.
+    pub vehicle: RateSweep,
+}
+
+/// Sweeps all Fig. 7 algorithms over one trace.
+pub fn sweep_trace(trace: &Trace, dataset: &'static str, tolerances: &[f64]) -> RateSweep {
+    let points = parallel_map(tolerances, default_workers(), |&tolerance| {
+        let rates = Algorithm::FIG7
+            .iter()
+            .map(|algo| (*algo, algo.run(&trace.points, tolerance).compression_rate()))
+            .collect();
+        RatePoint { tolerance, rates }
+    });
+    RateSweep { dataset, points }
+}
+
+/// Runs both subplots at the requested scale.
+pub fn run(scale: Scale) -> Fig7Result {
+    let bat = super::bat_trace(scale);
+    let vehicle = super::vehicle_trace(scale);
+    Fig7Result {
+        bat: sweep_trace(&bat, "bat", &super::sweep(&BAT_TOLERANCES, scale)),
+        vehicle: sweep_trace(&vehicle, "vehicle", &super::sweep(&VEHICLE_TOLERANCES, scale)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bqs_is_best_and_fbqs_close_behind() {
+        let result = run(Scale::Quick);
+        for sweep in [&result.bat, &result.vehicle] {
+            let mut agg = [0.0f64; 4]; // bqs, fbqs, bdp, bgd
+            for p in &sweep.points {
+                let bqs = p.rate_of("BQS").unwrap();
+                let fbqs = p.rate_of("FBQS").unwrap();
+                let bdp = p.rate_of("BDP").unwrap();
+                let bgd = p.rate_of("BGD").unwrap();
+                // Per tolerance: never worse (ties possible in the
+                // incompressible low-tolerance regime).
+                assert!(
+                    bqs <= fbqs + 1e-9 && bqs <= bdp + 1e-9 && bqs <= bgd + 1e-9,
+                    "{} at {} m: BQS {bqs} vs FBQS {fbqs} BDP {bdp} BGD {bgd}",
+                    sweep.dataset,
+                    p.tolerance
+                );
+                agg[0] += bqs;
+                agg[1] += fbqs;
+                agg[2] += bdp;
+                agg[3] += bgd;
+            }
+            // Across the sweep the ordering must be strict.
+            assert!(
+                agg[0] < agg[2] && agg[0] < agg[3],
+                "{}: aggregate BQS {} must beat BDP {} and BGD {}",
+                sweep.dataset,
+                agg[0],
+                agg[2],
+                agg[3]
+            );
+        }
+    }
+
+    #[test]
+    fn window_algorithms_pay_substantial_overhead() {
+        // The paper: BDP/BGD use ~30–50 % more points than BQS.
+        let result = run(Scale::Quick);
+        // Aggregate over the sweep, skipping the incompressible 2 m regime
+        // where every algorithm keeps nearly everything.
+        let (mut bqs_sum, mut bdp_sum) = (0.0f64, 0.0f64);
+        for p in result.bat.points.iter().filter(|p| p.tolerance >= 5.0) {
+            bqs_sum += p.rate_of("BQS").unwrap();
+            bdp_sum += p.rate_of("BDP").unwrap();
+        }
+        assert!(
+            bdp_sum / bqs_sum > 1.15,
+            "BDP/BQS aggregate ratio only {:.2}",
+            bdp_sum / bqs_sum
+        );
+    }
+
+    #[test]
+    fn rates_fall_with_tolerance() {
+        let result = run(Scale::Quick);
+        for sweep in [&result.bat, &result.vehicle] {
+            let bqs: Vec<f64> = sweep
+                .points
+                .iter()
+                .map(|p| p.rate_of("BQS").unwrap())
+                .collect();
+            for w in bqs.windows(2) {
+                assert!(w[1] <= w[0] + 0.005, "{}: {bqs:?}", sweep.dataset);
+            }
+        }
+    }
+
+    #[test]
+    fn table_has_five_algorithm_columns() {
+        let result = run(Scale::Quick);
+        let csv = result.bat.to_table().to_csv();
+        let header = csv.lines().next().unwrap();
+        assert_eq!(header, "tolerance(m),BQS,FBQS,BDP,BGD,DP");
+    }
+}

@@ -1,0 +1,50 @@
+//! Experiment runners, one per table/figure of the paper's evaluation.
+
+pub mod ablation;
+pub mod extended;
+pub mod fig3;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+use crate::Scale;
+use bqs_sim::dataset;
+use bqs_sim::Trace;
+
+/// Fixed seed so every run of the harness reproduces the same numbers.
+pub const SEED: u64 = 20150413; // ICDE 2015 week
+
+/// The bat dataset at the requested scale.
+pub fn bat_trace(scale: Scale) -> Trace {
+    match scale {
+        Scale::Quick => dataset::bat_dataset_sized(SEED, 2, 2),
+        Scale::Full => dataset::bat_dataset(SEED),
+    }
+}
+
+/// The vehicle dataset at the requested scale.
+pub fn vehicle_trace(scale: Scale) -> Trace {
+    match scale {
+        Scale::Quick => dataset::vehicle_dataset_sized(SEED, 8),
+        Scale::Full => dataset::vehicle_dataset(SEED),
+    }
+}
+
+/// The synthetic dataset at the requested scale.
+pub fn synthetic_trace(scale: Scale) -> Trace {
+    match scale {
+        Scale::Quick => dataset::synthetic_dataset_sized(SEED, 4_000),
+        Scale::Full => dataset::synthetic_dataset(SEED),
+    }
+}
+
+/// Tolerance sweep for a dataset, thinned at `Quick` scale.
+pub fn sweep(tolerances: &[f64], scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Full => tolerances.to_vec(),
+        Scale::Quick => tolerances.iter().copied().step_by(3).collect(),
+    }
+}

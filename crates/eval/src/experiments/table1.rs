@@ -1,0 +1,186 @@
+//! Table I — worst-case complexity, verified empirically.
+//!
+//! The paper states FBQS is O(n) time / O(1) space while BDP and BGD are
+//! O(n²) time / O(n) space **when the buffer is unconstrained**. This
+//! runner measures wall time on the adversarial input that exposes the
+//! difference — an endlessly compressible straight line with sub-tolerance
+//! noise, on which the sliding window grows without bound — at a geometric
+//! ladder of input sizes, and reports per-point cost so the growth class is
+//! visible as the ratio column.
+
+use crate::report::TextTable;
+use crate::Scale;
+use bqs_baselines::{BufferedDpCompressor, BufferedGreedyCompressor};
+use bqs_core::stream::{compress_all, StreamCompressor};
+use bqs_core::{BqsConfig, FastBqsCompressor};
+use bqs_geo::TimedPoint;
+use std::time::Instant;
+
+/// Timing of one `(algorithm, n)` cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingCell {
+    /// Input size.
+    pub n: usize,
+    /// Total wall time in nanoseconds.
+    pub total_ns: u128,
+    /// Nanoseconds per point.
+    pub ns_per_point: f64,
+}
+
+/// One algorithm's scaling series.
+#[derive(Debug, Clone)]
+pub struct ScalingSeries {
+    /// Algorithm label.
+    pub algorithm: &'static str,
+    /// Claimed worst-case time, from the paper's Table I.
+    pub claimed_time: &'static str,
+    /// Claimed worst-case space.
+    pub claimed_space: &'static str,
+    /// Measured cells in ascending `n`.
+    pub cells: Vec<ScalingCell>,
+}
+
+impl ScalingSeries {
+    /// Ratio of per-point cost between the largest and smallest `n` — ≈ 1
+    /// for a linear-time algorithm, ≈ `n_max/n_min` for a quadratic one.
+    pub fn per_point_growth(&self) -> f64 {
+        let first = self.cells.first().expect("non-empty").ns_per_point;
+        let last = self.cells.last().expect("non-empty").ns_per_point;
+        last / first.max(1e-9)
+    }
+}
+
+/// The Table I reproduction.
+#[derive(Debug, Clone)]
+pub struct Table1Result {
+    /// Input sizes used.
+    pub sizes: Vec<usize>,
+    /// Per-algorithm series (FBQS, BDP, BGD).
+    pub series: Vec<ScalingSeries>,
+}
+
+impl Table1Result {
+    /// Renders measured per-point costs next to the claimed classes.
+    pub fn to_table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Table I — worst-case complexity (measured ns/point on adversarial input)",
+            &["algorithm", "claimed time", "claimed space", "ns/pt @min n", "ns/pt @max n", "growth"],
+        );
+        for s in &self.series {
+            t.row(vec![
+                s.algorithm.to_string(),
+                s.claimed_time.to_string(),
+                s.claimed_space.to_string(),
+                format!("{:.0}", s.cells.first().unwrap().ns_per_point),
+                format!("{:.0}", s.cells.last().unwrap().ns_per_point),
+                format!("{:.1}x", s.per_point_growth()),
+            ]);
+        }
+        t
+    }
+}
+
+/// The adversarial stream: straight-line motion with deterministic noise
+/// well below the tolerance, so no error-bounded algorithm ever cuts.
+pub fn adversarial_stream(n: usize) -> Vec<TimedPoint> {
+    (0..n)
+        .map(|i| {
+            let a = i as f64;
+            TimedPoint::new(a * 10.0, (a * 0.7).sin() * 0.5, a)
+        })
+        .collect()
+}
+
+fn time_run<C: StreamCompressor>(mut compressor: C, points: &[TimedPoint]) -> ScalingCell {
+    let start = Instant::now();
+    let kept = compress_all(&mut compressor, points.iter().copied());
+    let total_ns = start.elapsed().as_nanos();
+    // The compressible input must actually compress (sanity, not timing).
+    assert!(kept.len() < points.len() / 2 || points.len() < 8);
+    ScalingCell { n: points.len(), total_ns, ns_per_point: total_ns as f64 / points.len() as f64 }
+}
+
+/// Runs the scaling ladder.
+pub fn run(scale: Scale) -> Table1Result {
+    let tolerance = 5.0;
+    let sizes: Vec<usize> = match scale {
+        Scale::Quick => vec![500, 1_000, 2_000, 4_000],
+        Scale::Full => vec![4_000, 8_000, 16_000, 32_000, 64_000],
+    };
+
+    let mut fbqs = ScalingSeries {
+        algorithm: "FBQS",
+        claimed_time: "O(n)",
+        claimed_space: "O(1)",
+        cells: Vec::new(),
+    };
+    let mut bdp = ScalingSeries {
+        algorithm: "BDP",
+        claimed_time: "O(n^2)",
+        claimed_space: "O(n)",
+        cells: Vec::new(),
+    };
+    let mut bgd = ScalingSeries {
+        algorithm: "BGD",
+        claimed_time: "O(n^2)",
+        claimed_space: "O(n)",
+        cells: Vec::new(),
+    };
+
+    for &n in &sizes {
+        let stream = adversarial_stream(n);
+        fbqs.cells.push(time_run(
+            FastBqsCompressor::new(BqsConfig::new(tolerance).expect("tolerance")),
+            &stream,
+        ));
+        // "Unconstrained buffer": the window can hold the whole stream.
+        bdp.cells
+            .push(time_run(BufferedDpCompressor::new(tolerance, n.max(2)), &stream));
+        bgd.cells
+            .push(time_run(BufferedGreedyCompressor::new(tolerance, n.max(1)), &stream));
+    }
+
+    Table1Result { sizes, series: vec![fbqs, bdp, bgd] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adversarial_stream_is_compressible() {
+        let pts = adversarial_stream(1_000);
+        let mut fbqs = FastBqsCompressor::new(BqsConfig::new(5.0).unwrap());
+        let kept = compress_all(&mut fbqs, pts);
+        assert!(kept.len() < 20, "kept {}", kept.len());
+    }
+
+    #[test]
+    fn bgd_per_point_cost_grows_fbqs_does_not() {
+        let result = run(Scale::Quick);
+        let fbqs = result.series.iter().find(|s| s.algorithm == "FBQS").unwrap();
+        let bgd = result.series.iter().find(|s| s.algorithm == "BGD").unwrap();
+        // On an 8× size ladder, quadratic BGD grows per-point cost ~8×;
+        // generous margins keep this robust on noisy CI machines.
+        assert!(
+            bgd.per_point_growth() > 2.0,
+            "BGD growth {:.2} too flat for O(n^2)",
+            bgd.per_point_growth()
+        );
+        assert!(
+            fbqs.per_point_growth() < bgd.per_point_growth() / 1.5,
+            "FBQS growth {:.2} should be well below BGD {:.2}",
+            fbqs.per_point_growth(),
+            bgd.per_point_growth()
+        );
+    }
+
+    #[test]
+    fn table_lists_all_three_algorithms() {
+        let result = run(Scale::Quick);
+        let rendered = result.to_table().to_string();
+        for label in ["FBQS", "BDP", "BGD", "O(n)", "O(1)", "O(n^2)"] {
+            assert!(rendered.contains(label), "missing {label} in:\n{rendered}");
+        }
+    }
+}

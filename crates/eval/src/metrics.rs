@@ -1,0 +1,126 @@
+//! Evaluation metrics: compression rate and error-bound verification.
+
+use bqs_core::metrics::DeviationMetric;
+use bqs_geo::TimedPoint;
+
+/// The paper's compression rate: `N_compressed / N_original` (lower is
+/// better). Returns 0 for an empty original stream.
+pub fn compression_rate(kept: usize, original: usize) -> f64 {
+    if original == 0 {
+        0.0
+    } else {
+        kept as f64 / original as f64
+    }
+}
+
+/// Maps kept points back to their indices in the original stream.
+///
+/// Kept points must be an ordered subsequence of `original` (matched by
+/// timestamp, then position); returns `None` when matching fails, which
+/// would indicate a compressor emitted something it never received.
+pub fn kept_indices(original: &[TimedPoint], kept: &[TimedPoint]) -> Option<Vec<usize>> {
+    let mut out = Vec::with_capacity(kept.len());
+    let mut cursor = 0usize;
+    for k in kept {
+        let idx = original[cursor..]
+            .iter()
+            .position(|p| p.t == k.t && p.pos == k.pos)?
+            + cursor;
+        out.push(idx);
+        cursor = idx + 1;
+    }
+    Some(out)
+}
+
+/// Verifies an error-bounded compression end-to-end: every original point
+/// must lie within `tolerance` of the chord of the kept pair bracketing it.
+/// Returns the worst observed deviation or `None` when `kept` is not a
+/// valid anchor-to-anchor subsequence of `original`.
+pub fn verify_deviation_bound(
+    original: &[TimedPoint],
+    kept: &[TimedPoint],
+    metric: DeviationMetric,
+) -> Option<f64> {
+    if original.is_empty() {
+        return if kept.is_empty() { Some(0.0) } else { None };
+    }
+    let indices = kept_indices(original, kept)?;
+    if indices.first() != Some(&0) || indices.last() != Some(&(original.len() - 1)) {
+        return None;
+    }
+    let mut worst = 0.0f64;
+    for w in indices.windows(2) {
+        let (i, j) = (w[0], w[1]);
+        let (a, b) = (original[i].pos, original[j].pos);
+        for p in &original[i + 1..j] {
+            worst = worst.max(metric.distance(p.pos, a, b));
+        }
+    }
+    Some(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<TimedPoint> {
+        coords
+            .iter()
+            .enumerate()
+            .map(|(i, (x, y))| TimedPoint::new(*x, *y, i as f64))
+            .collect()
+    }
+
+    #[test]
+    fn compression_rate_basics() {
+        assert_eq!(compression_rate(5, 100), 0.05);
+        assert_eq!(compression_rate(0, 0), 0.0);
+        assert_eq!(compression_rate(100, 100), 1.0);
+    }
+
+    #[test]
+    fn kept_indices_matches_subsequence() {
+        let original = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 1.0), (3.0, 0.0)]);
+        let kept = vec![original[0], original[2], original[3]];
+        assert_eq!(kept_indices(&original, &kept), Some(vec![0, 2, 3]));
+    }
+
+    #[test]
+    fn kept_indices_rejects_foreign_points() {
+        let original = pts(&[(0.0, 0.0), (1.0, 0.0)]);
+        let foreign = vec![TimedPoint::new(9.0, 9.0, 0.5)];
+        assert_eq!(kept_indices(&original, &foreign), None);
+    }
+
+    #[test]
+    fn verify_bound_happy_path() {
+        let original = pts(&[(0.0, 0.0), (1.0, 0.4), (2.0, 0.0)]);
+        let kept = vec![original[0], original[2]];
+        let worst =
+            verify_deviation_bound(&original, &kept, DeviationMetric::PointToLine).unwrap();
+        assert!((worst - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn verify_bound_requires_both_anchors() {
+        let original = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        // Missing the final anchor.
+        let kept = vec![original[0], original[1]];
+        assert_eq!(
+            verify_deviation_bound(&original, &kept, DeviationMetric::PointToLine),
+            None
+        );
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(
+            verify_deviation_bound(&[], &[], DeviationMetric::PointToLine),
+            Some(0.0)
+        );
+        assert_eq!(
+            verify_deviation_bound(&[], &pts(&[(0.0, 0.0)]), DeviationMetric::PointToLine),
+            None
+        );
+    }
+}

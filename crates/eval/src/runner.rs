@@ -1,0 +1,107 @@
+//! Parallel sweep execution.
+//!
+//! Tolerance sweeps are embarrassingly parallel: each `(algorithm,
+//! tolerance)` cell is independent. A scoped crossbeam fan-out keeps the
+//! full-scale experiments (hundreds of thousands of points × 5 algorithms ×
+//! 10 tolerances) tolerable on a laptop without any `'static` gymnastics.
+
+use crossbeam::thread;
+
+/// Maps `f` over `inputs` in parallel with at most `max_threads` workers,
+/// preserving input order in the output.
+pub fn parallel_map<T, R, F>(inputs: &[T], max_threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    assert!(max_threads >= 1, "need at least one worker");
+    let n = inputs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = max_threads.min(n);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                tx.send((i, f(&inputs[i]))).expect("collector alive");
+            });
+        }
+    })
+    .expect("worker panicked");
+    drop(tx);
+
+    let mut indexed: Vec<(usize, R)> = rx.into_iter().collect();
+    indexed.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(indexed.len(), n);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// A sensible worker count for sweeps: the available parallelism capped at
+/// 8 (experiments are memory-bandwidth-bound beyond that).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order() {
+        let inputs: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&inputs, 4, |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_worker_and_empty_input() {
+        let out = parallel_map(&[1, 2, 3], 1, |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+        let empty: Vec<i32> = parallel_map(&[], 4, |x: &i32| *x);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_items() {
+        let out = parallel_map(&[10], 16, |x| x - 1);
+        assert_eq!(out, vec![9]);
+    }
+
+    #[test]
+    fn heavy_closure_parallelises() {
+        // Smoke test that results stay correct under real contention.
+        let inputs: Vec<u64> = (0..32).collect();
+        let out = parallel_map(&inputs, default_workers(), |x| {
+            let mut acc = 0u64;
+            for i in 0..50_000 {
+                acc = acc.wrapping_add(i ^ x);
+            }
+            acc
+        });
+        let serial: Vec<u64> = inputs
+            .iter()
+            .map(|x| {
+                let mut acc = 0u64;
+                for i in 0..50_000 {
+                    acc = acc.wrapping_add(i ^ x);
+                }
+                acc
+            })
+            .collect();
+        assert_eq!(out, serial);
+    }
+}

@@ -1,0 +1,130 @@
+//! Discrete Fréchet distance between polylines.
+//!
+//! The store's merging procedure compares single chords; whole *paths*
+//! (multi-segment compressed trajectories) need a kinder similarity than
+//! pointwise equality. The discrete Fréchet distance — the classic
+//! "dog-walking" metric of Eiter & Mannila (1994) — is the standard choice
+//! and is what "could represent the same path with a minor error" (paper
+//! §V-F) means for polylines: two paths within Fréchet distance `ε` can be
+//! traversed in lock-step while never being more than `ε` apart.
+
+use crate::point::Point2;
+
+/// Discrete Fréchet distance between two non-empty polylines, O(n·m) time
+/// and O(m) space. Returns `None` when either polyline is empty.
+pub fn discrete_frechet(a: &[Point2], b: &[Point2]) -> Option<f64> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    // Rolling dynamic program over the coupling matrix.
+    let m = b.len();
+    let mut prev = vec![0.0f64; m];
+    let mut curr = vec![0.0f64; m];
+
+    prev[0] = a[0].distance(b[0]);
+    for j in 1..m {
+        prev[j] = prev[j - 1].max(a[0].distance(b[j]));
+    }
+    for ai in a.iter().skip(1) {
+        curr[0] = prev[0].max(ai.distance(b[0]));
+        for j in 1..m {
+            let best_prior = prev[j].min(prev[j - 1]).min(curr[j - 1]);
+            curr[j] = best_prior.max(ai.distance(b[j]));
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    Some(prev[m - 1])
+}
+
+/// Whether two polylines stay within `epsilon` of each other under the
+/// Fréchet coupling, in either direction of traversal (a commute is the
+/// same path both ways).
+pub fn frechet_similar(a: &[Point2], b: &[Point2], epsilon: f64) -> bool {
+    let forward = discrete_frechet(a, b);
+    if matches!(forward, Some(d) if d <= epsilon) {
+        return true;
+    }
+    let reversed: Vec<Point2> = b.iter().rev().copied().collect();
+    matches!(discrete_frechet(a, &reversed), Some(d) if d <= epsilon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(y: f64, n: usize) -> Vec<Point2> {
+        (0..n).map(|i| Point2::new(i as f64 * 10.0, y)).collect()
+    }
+
+    #[test]
+    fn identical_polylines_have_zero_distance() {
+        let a = line(0.0, 10);
+        assert_eq!(discrete_frechet(&a, &a), Some(0.0));
+    }
+
+    #[test]
+    fn parallel_lines_measure_the_offset() {
+        let a = line(0.0, 10);
+        let b = line(7.0, 10);
+        assert!((discrete_frechet(&a, &b).unwrap() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = line(0.0, 8);
+        let b: Vec<Point2> = (0..12).map(|i| Point2::new(i as f64 * 7.0, 3.0)).collect();
+        assert!(
+            (discrete_frechet(&a, &b).unwrap() - discrete_frechet(&b, &a).unwrap()).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn detour_is_detected_where_hausdorff_would_miss_it() {
+        // Same point set, opposite traversal order in the middle: Fréchet
+        // sees the back-and-forth, pointwise distances would not.
+        let a = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(50.0, 0.0),
+            Point2::new(100.0, 0.0),
+        ];
+        let b = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(100.0, 0.0),
+            Point2::new(50.0, 0.0),
+            Point2::new(100.0, 0.0),
+        ];
+        let d = discrete_frechet(&a, &b).unwrap();
+        assert!(d >= 50.0 - 1e-9, "backtracking must cost: {d}");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(discrete_frechet(&[], &line(0.0, 3)), None);
+        assert_eq!(discrete_frechet(&line(0.0, 3), &[]), None);
+    }
+
+    #[test]
+    fn single_points() {
+        let d = discrete_frechet(&[Point2::new(0.0, 0.0)], &[Point2::new(3.0, 4.0)]).unwrap();
+        assert_eq!(d, 5.0);
+    }
+
+    #[test]
+    fn reversed_commute_is_similar() {
+        let out: Vec<Point2> = (0..20).map(|i| Point2::new(i as f64 * 50.0, (i as f64 * 0.3).sin() * 5.0)).collect();
+        let back: Vec<Point2> = out.iter().rev().copied().collect();
+        assert!(frechet_similar(&out, &back, 1.0));
+        // But a genuinely different road is not.
+        let other: Vec<Point2> = (0..20).map(|i| Point2::new(i as f64 * 50.0, 400.0)).collect();
+        assert!(!frechet_similar(&out, &other, 50.0));
+    }
+
+    #[test]
+    fn frechet_dominates_endpoint_distance() {
+        let a = vec![Point2::new(0.0, 0.0), Point2::new(10.0, 0.0)];
+        let b = vec![Point2::new(0.0, 2.0), Point2::new(40.0, 0.0)];
+        let d = discrete_frechet(&a, &b).unwrap();
+        assert!(d >= 30.0 - 1e-9);
+    }
+}

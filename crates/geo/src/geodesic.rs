@@ -1,0 +1,128 @@
+//! Great-circle utilities: haversine distance, initial bearing, and
+//! destination points on the WGS-84 mean sphere.
+//!
+//! The UTM projection ([`crate::proj`]) is what the compressors run on; the
+//! haversine functions are the cross-check (projected distances must agree
+//! with great-circle distances locally) and the convenience layer for users
+//! whose data never leaves latitude/longitude.
+
+use crate::GeoError;
+use crate::GeoResult;
+
+/// Mean Earth radius (IUGG), metres.
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+fn check(lat: f64, lon: f64) -> GeoResult<()> {
+    if !lat.is_finite() || !lon.is_finite() {
+        return Err(GeoError::NonFiniteCoordinate { what: "lat/lon" });
+    }
+    if !(-90.0..=90.0).contains(&lat) {
+        return Err(GeoError::LatitudeOutOfRange { latitude: lat });
+    }
+    Ok(())
+}
+
+/// Great-circle distance between two WGS-84 coordinates, metres
+/// (haversine formulation — numerically stable for small separations).
+pub fn haversine_m(lat1: f64, lon1: f64, lat2: f64, lon2: f64) -> GeoResult<f64> {
+    check(lat1, lon1)?;
+    check(lat2, lon2)?;
+    let (p1, p2) = (lat1.to_radians(), lat2.to_radians());
+    let dp = (lat2 - lat1).to_radians();
+    let dl = (lon2 - lon1).to_radians();
+    let a = (dp / 2.0).sin().powi(2) + p1.cos() * p2.cos() * (dl / 2.0).sin().powi(2);
+    Ok(2.0 * EARTH_RADIUS_M * a.sqrt().min(1.0).asin())
+}
+
+/// Initial great-circle bearing from point 1 towards point 2, degrees
+/// clockwise from north in `[0, 360)`.
+pub fn initial_bearing_deg(lat1: f64, lon1: f64, lat2: f64, lon2: f64) -> GeoResult<f64> {
+    check(lat1, lon1)?;
+    check(lat2, lon2)?;
+    let (p1, p2) = (lat1.to_radians(), lat2.to_radians());
+    let dl = (lon2 - lon1).to_radians();
+    let y = dl.sin() * p2.cos();
+    let x = p1.cos() * p2.sin() - p1.sin() * p2.cos() * dl.cos();
+    let bearing = y.atan2(x).to_degrees();
+    Ok((bearing + 360.0) % 360.0)
+}
+
+/// Destination point after travelling `distance_m` from `(lat, lon)` on the
+/// initial bearing `bearing_deg`. Returns `(lat, lon)` in degrees.
+pub fn destination(
+    lat: f64,
+    lon: f64,
+    bearing_deg: f64,
+    distance_m: f64,
+) -> GeoResult<(f64, f64)> {
+    check(lat, lon)?;
+    if !distance_m.is_finite() || distance_m < 0.0 {
+        return Err(GeoError::NonFiniteCoordinate { what: "distance" });
+    }
+    let delta = distance_m / EARTH_RADIUS_M;
+    let theta = bearing_deg.to_radians();
+    let p1 = lat.to_radians();
+    let l1 = lon.to_radians();
+    let p2 = (p1.sin() * delta.cos() + p1.cos() * delta.sin() * theta.cos()).asin();
+    let l2 = l1
+        + (theta.sin() * delta.sin() * p1.cos())
+            .atan2(delta.cos() - p1.sin() * p2.sin());
+    let lon2 = (l2.to_degrees() + 540.0) % 360.0 - 180.0;
+    Ok((p2.to_degrees(), lon2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance_on_identical_points() {
+        assert_eq!(haversine_m(-27.47, 153.02, -27.47, 153.02).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn one_degree_of_latitude_is_about_111km() {
+        let d = haversine_m(0.0, 0.0, 1.0, 0.0).unwrap();
+        assert!((d - 111_195.0).abs() < 100.0, "{d}");
+    }
+
+    #[test]
+    fn agrees_with_utm_locally() {
+        // 1 km apart near the Brisbane field site: haversine and projected
+        // UTM distance agree within the UTM scale factor (≤ 0.04 %) plus
+        // the sphere-vs-ellipsoid difference (≤ 0.3 %).
+        let (a, b) = ((-27.4698, 153.0251), (-27.4788, 153.0251));
+        let hav = haversine_m(a.0, a.1, b.0, b.1).unwrap();
+        let pa = crate::proj::utm_from_wgs84(a.0, a.1).unwrap().to_point();
+        let pb = crate::proj::utm_from_wgs84(b.0, b.1).unwrap().to_point();
+        let utm = pa.distance(pb);
+        assert!((utm / hav - 1.0).abs() < 0.005, "utm {utm} vs haversine {hav}");
+    }
+
+    #[test]
+    fn bearings_cardinal_directions() {
+        assert!((initial_bearing_deg(0.0, 0.0, 1.0, 0.0).unwrap() - 0.0).abs() < 1e-9);
+        assert!((initial_bearing_deg(0.0, 0.0, 0.0, 1.0).unwrap() - 90.0).abs() < 1e-9);
+        assert!((initial_bearing_deg(1.0, 0.0, 0.0, 0.0).unwrap() - 180.0).abs() < 1e-9);
+        assert!((initial_bearing_deg(0.0, 1.0, 0.0, 0.0).unwrap() - 270.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn destination_round_trips_with_haversine_and_bearing() {
+        let (lat, lon) = (-27.4698, 153.0251);
+        for (bearing, dist) in [(0.0, 5_000.0), (90.0, 12_000.0), (217.0, 800.0)] {
+            let (lat2, lon2) = destination(lat, lon, bearing, dist).unwrap();
+            let back = haversine_m(lat, lon, lat2, lon2).unwrap();
+            assert!((back - dist).abs() < 0.5, "bearing {bearing}: {back} vs {dist}");
+            let b = initial_bearing_deg(lat, lon, lat2, lon2).unwrap();
+            assert!((b - bearing).abs() < 0.1, "bearing {b} vs {bearing}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_coordinates() {
+        assert!(haversine_m(95.0, 0.0, 0.0, 0.0).is_err());
+        assert!(haversine_m(f64::NAN, 0.0, 0.0, 0.0).is_err());
+        assert!(destination(0.0, 0.0, 0.0, -1.0).is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! Exact planar convex hulls.
+//!
+//! The BQS never computes an exact hull on the hot path — its whole point is
+//! to get away with an 8-significant-point over-approximation. This module
+//! exists so tests and ablations can *verify* that claim: the hull of the
+//! significant points must contain every buffered point, and the exact hull
+//! gives the tightest possible deviation bounds to compare against.
+
+use crate::point::Point2;
+
+/// Computes the convex hull of a point set using Andrew's monotone chain.
+///
+/// Returns the hull vertices in counter-clockwise order without repeating
+/// the first vertex. Collinear points on the hull boundary are dropped.
+/// Degenerate inputs return what is left: empty input → empty hull, one
+/// point → that point, all-collinear input → the two extreme points.
+pub fn convex_hull(points: &[Point2]) -> Vec<Point2> {
+    let mut pts: Vec<Point2> = points.to_vec();
+    pts.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.y.partial_cmp(&b.y).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    pts.dedup();
+
+    if pts.len() <= 2 {
+        return pts;
+    }
+
+    let cross = |o: Point2, a: Point2, b: Point2| (a - o).cross(b - o);
+
+    let mut hull: Vec<Point2> = Vec::with_capacity(pts.len() + 1);
+    // Lower hull.
+    for &p in &pts {
+        while hull.len() >= 2 && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0 {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len
+            && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // last point equals the first
+    hull
+}
+
+/// Whether `p` lies inside or on the boundary of the convex polygon `hull`
+/// (vertices in counter-clockwise order). `tol` loosens the boundary test to
+/// absorb floating-point error; distances up to `tol` outside an edge still
+/// count as inside.
+pub fn point_in_convex_hull(p: Point2, hull: &[Point2], tol: f64) -> bool {
+    match hull.len() {
+        0 => false,
+        1 => p.distance(hull[0]) <= tol,
+        2 => crate::line::point_to_segment_distance(p, hull[0], hull[1]) <= tol,
+        n => {
+            for i in 0..n {
+                let a = hull[i];
+                let b = hull[(i + 1) % n];
+                let edge = b - a;
+                let scale = edge.norm().max(1.0);
+                // Signed area negative beyond tolerance → p is outside edge ab.
+                if edge.cross(p - a) < -tol * scale {
+                    return false;
+                }
+            }
+            true
+        }
+    }
+}
+
+/// Area of a simple polygon given in counter-clockwise order (shoelace).
+pub fn polygon_area(poly: &[Point2]) -> f64 {
+    if poly.len() < 3 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for i in 0..poly.len() {
+        let a = poly[i];
+        let b = poly[(i + 1) % poly.len()];
+        acc += a.x * b.y - b.x * a.y;
+    }
+    acc * 0.5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let pts = [
+            Point2::new(0.0, 0.0),
+            Point2::new(4.0, 0.0),
+            Point2::new(4.0, 4.0),
+            Point2::new(0.0, 4.0),
+            Point2::new(2.0, 2.0),
+            Point2::new(1.0, 3.0),
+            Point2::new(2.0, 0.0), // collinear boundary point, dropped
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        assert!(polygon_area(&hull) - 16.0 < 1e-12);
+        for p in pts {
+            assert!(point_in_convex_hull(p, &hull, 1e-9), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn hull_is_ccw() {
+        let pts = [
+            Point2::new(0.0, 0.0),
+            Point2::new(2.0, 1.0),
+            Point2::new(1.0, 3.0),
+            Point2::new(-1.0, 2.0),
+        ];
+        let hull = convex_hull(&pts);
+        assert!(polygon_area(&hull) > 0.0, "hull should be counter-clockwise");
+    }
+
+    #[test]
+    fn degenerate_hulls() {
+        assert!(convex_hull(&[]).is_empty());
+        let single = convex_hull(&[Point2::new(1.0, 1.0)]);
+        assert_eq!(single, vec![Point2::new(1.0, 1.0)]);
+        // All collinear → two extreme points.
+        let collinear: Vec<Point2> =
+            (0..5).map(|i| Point2::new(i as f64, 2.0 * i as f64)).collect();
+        let hull = convex_hull(&collinear);
+        assert_eq!(hull.len(), 2);
+        assert!(hull.contains(&Point2::new(0.0, 0.0)));
+        assert!(hull.contains(&Point2::new(4.0, 8.0)));
+    }
+
+    #[test]
+    fn duplicates_are_removed() {
+        let p = Point2::new(3.0, 3.0);
+        let hull = convex_hull(&[p, p, p]);
+        assert_eq!(hull, vec![p]);
+    }
+
+    #[test]
+    fn outside_point_detected() {
+        let hull = convex_hull(&[
+            Point2::new(0.0, 0.0),
+            Point2::new(4.0, 0.0),
+            Point2::new(4.0, 4.0),
+            Point2::new(0.0, 4.0),
+        ]);
+        assert!(!point_in_convex_hull(Point2::new(5.0, 2.0), &hull, 1e-9));
+        assert!(!point_in_convex_hull(Point2::new(-0.1, 2.0), &hull, 1e-9));
+        assert!(point_in_convex_hull(Point2::new(4.0, 4.0), &hull, 1e-9));
+    }
+
+    #[test]
+    fn segment_hull_membership() {
+        let hull = vec![Point2::new(0.0, 0.0), Point2::new(10.0, 0.0)];
+        assert!(point_in_convex_hull(Point2::new(5.0, 0.0), &hull, 1e-9));
+        assert!(!point_in_convex_hull(Point2::new(5.0, 1.0), &hull, 1e-9));
+    }
+}

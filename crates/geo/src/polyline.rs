@@ -1,0 +1,178 @@
+//! Polyline utilities: path length and brute-force deviation scans.
+//!
+//! The deviation scan here is the "ground truth" every compressor and every
+//! BQS bound is tested against, and is also what the buffered BQS variant
+//! falls back to when its bounds are inconclusive (Algorithm 1 line 11).
+
+use crate::line::{point_to_line_distance, point_to_segment_distance};
+use crate::point::Point2;
+
+/// Total length of the polyline through `points`.
+pub fn path_length(points: &[Point2]) -> f64 {
+    points.windows(2).map(|w| w[0].distance(w[1])).sum()
+}
+
+/// The paper's deviation `â(τ)` under the **point-to-line** metric: largest
+/// distance from any interior point of `points` to the infinite line through
+/// the first and last points (§IV). Returns 0 for fewer than 3 points.
+pub fn max_deviation(points: &[Point2]) -> f64 {
+    match points {
+        [] | [_] | [_, _] => 0.0,
+        [first, mid @ .., last] => mid
+            .iter()
+            .map(|p| point_to_line_distance(*p, *first, *last))
+            .fold(0.0, f64::max),
+    }
+}
+
+/// Deviation under the **point-to-line-segment** metric (§V-G, Eq. 11
+/// context). Returns 0 for fewer than 3 points.
+pub fn max_deviation_segment(points: &[Point2]) -> f64 {
+    match points {
+        [] | [_] | [_, _] => 0.0,
+        [first, mid @ .., last] => mid
+            .iter()
+            .map(|p| point_to_segment_distance(*p, *first, *last))
+            .fold(0.0, f64::max),
+    }
+}
+
+/// Deviation of interior points `buffer` against an explicit chord from
+/// `start` to `end` (the form the compressors need: the buffer usually
+/// excludes both anchors).
+pub fn max_deviation_to_chord(buffer: &[Point2], start: Point2, end: Point2) -> f64 {
+    buffer
+        .iter()
+        .map(|p| point_to_line_distance(*p, start, end))
+        .fold(0.0, f64::max)
+}
+
+/// Segment-metric version of [`max_deviation_to_chord`].
+pub fn max_deviation_to_chord_segment(buffer: &[Point2], start: Point2, end: Point2) -> f64 {
+    buffer
+        .iter()
+        .map(|p| point_to_segment_distance(*p, start, end))
+        .fold(0.0, f64::max)
+}
+
+/// Verifies that a compressed polyline is an error-bounded representation of
+/// `original`: every original point must lie within `tolerance` of the chord
+/// of the compressed segment that covers it (by index). The compressed
+/// polyline must be a subsequence of `original` given by `kept_indices`
+/// (strictly increasing, starting at 0, ending at `original.len() - 1`).
+///
+/// Returns the worst observed deviation, or `None` if the index structure is
+/// invalid.
+pub fn verify_error_bound(
+    original: &[Point2],
+    kept_indices: &[usize],
+    metric_segment: bool,
+) -> Option<f64> {
+    if original.is_empty() {
+        return if kept_indices.is_empty() { Some(0.0) } else { None };
+    }
+    if kept_indices.first() != Some(&0) || kept_indices.last() != Some(&(original.len() - 1)) {
+        return None;
+    }
+    let mut worst = 0.0f64;
+    for w in kept_indices.windows(2) {
+        let (i, j) = (w[0], w[1]);
+        if j <= i || j >= original.len() {
+            return None;
+        }
+        let (a, b) = (original[i], original[j]);
+        for p in &original[i + 1..j] {
+            let d = if metric_segment {
+                point_to_segment_distance(*p, a, b)
+            } else {
+                point_to_line_distance(*p, a, b)
+            };
+            worst = worst.max(d);
+        }
+    }
+    Some(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zigzag() -> Vec<Point2> {
+        vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(2.0, -1.0),
+            Point2::new(3.0, 2.0),
+            Point2::new(4.0, 0.0),
+        ]
+    }
+
+    #[test]
+    fn path_length_of_unit_steps() {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.0),
+        ];
+        assert_eq!(path_length(&pts), 2.0);
+        assert_eq!(path_length(&[]), 0.0);
+        assert_eq!(path_length(&[Point2::ORIGIN]), 0.0);
+    }
+
+    #[test]
+    fn deviation_of_short_polylines_is_zero() {
+        assert_eq!(max_deviation(&[]), 0.0);
+        assert_eq!(max_deviation(&[Point2::ORIGIN]), 0.0);
+        assert_eq!(
+            max_deviation(&[Point2::ORIGIN, Point2::new(5.0, 5.0)]),
+            0.0
+        );
+    }
+
+    #[test]
+    fn deviation_of_zigzag() {
+        // Chord is the x axis; the largest |y| among interior points is 2.
+        assert_eq!(max_deviation(&zigzag()), 2.0);
+    }
+
+    #[test]
+    fn segment_metric_at_least_line_metric() {
+        let pts = zigzag();
+        assert!(max_deviation_segment(&pts) >= max_deviation(&pts));
+        // A point beyond the chord end exaggerates the segment metric.
+        let pts2 = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(10.0, 0.1),
+            Point2::new(5.0, 0.0),
+        ];
+        assert!(max_deviation_segment(&pts2) > max_deviation(&pts2));
+    }
+
+    #[test]
+    fn chord_deviation_matches_full_scan() {
+        let pts = zigzag();
+        let full = max_deviation(&pts);
+        let chord = max_deviation_to_chord(&pts[1..4], pts[0], pts[4]);
+        assert_eq!(full, chord);
+    }
+
+    #[test]
+    fn verify_error_bound_accepts_valid_compression() {
+        let pts = zigzag();
+        // Keep everything: zero deviation.
+        let all: Vec<usize> = (0..pts.len()).collect();
+        assert_eq!(verify_error_bound(&pts, &all, false), Some(0.0));
+        // Keep only endpoints: worst deviation equals the full scan.
+        let ends = vec![0, pts.len() - 1];
+        assert_eq!(verify_error_bound(&pts, &ends, false), Some(2.0));
+    }
+
+    #[test]
+    fn verify_error_bound_rejects_bad_indices() {
+        let pts = zigzag();
+        assert_eq!(verify_error_bound(&pts, &[1, 4], false), None); // must start at 0
+        assert_eq!(verify_error_bound(&pts, &[0, 3], false), None); // must end at last
+        assert_eq!(verify_error_bound(&pts, &[0, 2, 2, 4], false), None); // strictly increasing
+        assert_eq!(verify_error_bound(&[], &[], false), Some(0.0));
+    }
+}

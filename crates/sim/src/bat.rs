@@ -1,0 +1,298 @@
+//! Flying-fox (megabat) trajectory model — the substitute for the paper's
+//! field dataset from Camazotz collars on *Pteropus* (see DESIGN.md §2).
+//!
+//! The model reproduces the properties the paper attributes to the bat
+//! data: trips of roughly 10 km between a roost and foraging sites, common
+//! cruise speed ≈ 35 km/h with bursts towards 50 km/h, unconstrained 3-D
+//! flight (meandering headings — low angular regularity), and long
+//! stationary periods (roosting, foraging) during which GPS jitter makes
+//! points "easily discardable" — the reason the paper's compression rates
+//! are *better* on bats than on cars despite *lower* pruning power.
+
+use crate::trace::Trace;
+use crate::von_mises::VonMises;
+use bqs_geo::{Point2, TimedPoint, Vec2};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rand_distr::{Distribution, Exp, Normal};
+
+/// Configuration of the bat model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatModelConfig {
+    /// Number of nights to simulate.
+    pub nights: usize,
+    /// GPS sampling interval in seconds.
+    pub sample_interval: f64,
+    /// Roost location in the metric frame.
+    pub roost: Point2,
+    /// Mean distance from the roost to a foraging site, metres.
+    pub mean_site_distance: f64,
+    /// Cruise speed mean, m/s (≈ 9.7 m/s = 35 km/h).
+    pub cruise_speed_mean: f64,
+    /// Cruise speed standard deviation, m/s.
+    pub cruise_speed_sd: f64,
+    /// Hard cap on speed, m/s (≈ 13.9 m/s = 50 km/h).
+    pub max_speed: f64,
+    /// Von Mises concentration of the heading around the bearing to the
+    /// target — low values give the meandering flight of an unconstrained
+    /// animal.
+    pub heading_kappa: f64,
+    /// Mean dwell time at a foraging site, seconds.
+    pub mean_dwell: f64,
+    /// Positional jitter while dwelling (distinct from GPS noise: the
+    /// animal really moves within the tree canopy), metres.
+    pub dwell_jitter: f64,
+    /// Seconds of roost dwell recorded before and after the night's trip.
+    pub roost_dwell: f64,
+    /// GPS sampling interval while stationary, seconds. Camazotz
+    /// duty-cycles the GPS with activity detection (Jurdak et al. 2013), so
+    /// dwell periods are sampled far more sparsely than flight.
+    pub dwell_sample_interval: f64,
+    /// Number of preferred foraging sites the animal rotates between.
+    /// Flying foxes show strong site fidelity, which is what makes the
+    /// store's merging procedure (§V-F) effective on repeated commutes.
+    pub preferred_sites: usize,
+}
+
+impl Default for BatModelConfig {
+    fn default() -> Self {
+        BatModelConfig {
+            nights: 30,
+            sample_interval: 5.0,
+            roost: Point2::new(5_000.0, 5_000.0),
+            mean_site_distance: 4_000.0,
+            cruise_speed_mean: 9.7,
+            cruise_speed_sd: 1.4,
+            max_speed: 13.9,
+            heading_kappa: 3000.0,
+            mean_dwell: 1_500.0,
+            dwell_jitter: 1.2,
+            roost_dwell: 1_200.0,
+            dwell_sample_interval: 60.0,
+            preferred_sites: 4,
+        }
+    }
+}
+
+/// The bat trajectory generator.
+#[derive(Debug, Clone)]
+pub struct BatModel {
+    config: BatModelConfig,
+}
+
+impl BatModel {
+    /// Creates a model; panics on non-positive intervals or speeds.
+    pub fn new(config: BatModelConfig) -> BatModel {
+        assert!(config.sample_interval > 0.0);
+        assert!(config.cruise_speed_mean > 0.0);
+        assert!(config.max_speed >= config.cruise_speed_mean);
+        assert!(config.mean_site_distance > 0.0);
+        assert!(config.preferred_sites >= 1);
+        BatModel { config }
+    }
+
+    /// Generates `nights` of data as one time-ordered trace.
+    pub fn generate(&self, seed: u64) -> Trace {
+        let c = &self.config;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut points = Vec::new();
+        let mut t = 0.0f64;
+
+        // The animal's home range: a fixed repertoire of foraging sites it
+        // keeps returning to across nights.
+        let sites: Vec<Point2> = (0..c.preferred_sites)
+            .map(|_| {
+                let bearing = rng.random_range(-std::f64::consts::PI..std::f64::consts::PI);
+                let dist = c.mean_site_distance * rng.random_range(0.5..1.5);
+                c.roost + Vec2::from_angle(bearing) * dist
+            })
+            .collect();
+
+        for _night in 0..c.nights {
+            self.simulate_night(&mut rng, &mut points, &mut t, &sites);
+            // Daytime gap between nights (no fixes while the logger sleeps).
+            t += 8.0 * 3600.0;
+        }
+        Trace::new("bat", points)
+    }
+
+    fn simulate_night(
+        &self,
+        rng: &mut StdRng,
+        points: &mut Vec<TimedPoint>,
+        t: &mut f64,
+        sites: &[Point2],
+    ) {
+        let c = &self.config;
+        let heading_noise = VonMises::new(0.0, c.heading_kappa).expect("valid von Mises");
+        let dwell_dist = Exp::new(1.0 / c.mean_dwell).expect("positive rate");
+        let speed_dist =
+            Normal::new(c.cruise_speed_mean, c.cruise_speed_sd).expect("valid normal");
+        let jitter = Normal::new(0.0, c.dwell_jitter).expect("valid normal");
+
+        let mut pos = c.roost;
+
+        // Evening roost dwell.
+        self.dwell(rng, points, t, &mut pos, c.roost_dwell, &jitter);
+
+        // Visit 1–3 of the preferred foraging sites, then return. A small
+        // positional wobble models landing in a different tree of the same
+        // patch.
+        let visits = rng.random_range(1..=3usize.min(sites.len()));
+        let mut targets: Vec<Point2> = (0..visits)
+            .map(|_| {
+                let site = sites[rng.random_range(0..sites.len())];
+                site + Vec2::new(rng.random_range(-10.0..10.0), rng.random_range(-10.0..10.0))
+            })
+            .collect();
+        targets.push(c.roost);
+
+        for target in targets {
+            self.fly(rng, points, t, &mut pos, target, &heading_noise, &speed_dist);
+            let dwell_time = dwell_dist.sample(rng).clamp(300.0, 4.0 * c.mean_dwell);
+            self.dwell(rng, points, t, &mut pos, dwell_time, &jitter);
+        }
+
+        // Morning roost dwell.
+        self.dwell(rng, points, t, &mut pos, c.roost_dwell, &jitter);
+    }
+
+    /// Meandering flight towards `target`; emits one fix per interval.
+    #[allow(clippy::too_many_arguments)]
+    fn fly(
+        &self,
+        rng: &mut StdRng,
+        points: &mut Vec<TimedPoint>,
+        t: &mut f64,
+        pos: &mut Point2,
+        target: Point2,
+        heading_noise: &VonMises,
+        speed_dist: &Normal<f64>,
+    ) {
+        let c = &self.config;
+        let arrival_radius = 60.0;
+        // Guard against unreachable targets: cap leg duration generously.
+        let max_steps = ((pos.distance(target) / c.cruise_speed_mean / c.sample_interval)
+            * 4.0) as usize
+            + 50;
+        for _ in 0..max_steps {
+            if pos.distance(target) <= arrival_radius {
+                break;
+            }
+            let bearing = (target - *pos).angle();
+            let heading = bearing + heading_noise.sample(rng);
+            let speed = speed_dist.sample(rng).clamp(4.0, c.max_speed);
+            let step = Vec2::from_angle(heading) * speed * c.sample_interval;
+            // Never overshoot the target by more than a step.
+            *pos = if step.norm() >= pos.distance(target) {
+                target
+            } else {
+                *pos + step
+            };
+            *t += c.sample_interval;
+            points.push(TimedPoint::at(*pos, *t));
+        }
+    }
+
+    /// Stationary period with canopy jitter around the arrival position.
+    fn dwell(
+        &self,
+        rng: &mut StdRng,
+        points: &mut Vec<TimedPoint>,
+        t: &mut f64,
+        pos: &mut Point2,
+        duration: f64,
+        jitter: &Normal<f64>,
+    ) {
+        let c = &self.config;
+        let center = *pos;
+        let steps = (duration / c.dwell_sample_interval) as usize;
+        for _ in 0..steps {
+            *t += c.dwell_sample_interval;
+            let p = center + Vec2::new(jitter.sample(rng), jitter.sample(rng));
+            *pos = p;
+            points.push(TimedPoint::at(p, *t));
+        }
+        *pos = center;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> BatModelConfig {
+        BatModelConfig { nights: 2, ..BatModelConfig::default() }
+    }
+
+    #[test]
+    fn generates_time_ordered_points() {
+        let trace = BatModel::new(small()).generate(1);
+        assert!(trace.len() > 300);
+        assert!(trace.points.windows(2).all(|w| w[0].t < w[1].t));
+    }
+
+    #[test]
+    fn speeds_respect_the_cap() {
+        let c = small();
+        let trace = BatModel::new(c).generate(2);
+        for w in trace.points.windows(2) {
+            if let Some(s) = w[0].speed_to(w[1]) {
+                assert!(s <= c.max_speed + 1.5, "speed {s} m/s"); // jitter slack
+            }
+        }
+    }
+
+    #[test]
+    fn trips_reach_several_kilometres() {
+        let c = small();
+        let trace = BatModel::new(c).generate(3);
+        let max_excursion = trace
+            .points
+            .iter()
+            .map(|p| p.pos.distance(c.roost))
+            .fold(0.0f64, f64::max);
+        assert!(
+            max_excursion > c.mean_site_distance * 0.4,
+            "excursion {max_excursion} m too small"
+        );
+    }
+
+    #[test]
+    fn substantial_stationary_fraction() {
+        let trace = BatModel::new(small()).generate(4);
+        let slow = trace
+            .points
+            .windows(2)
+            .filter(|w| w[0].speed_to(w[1]).is_some_and(|s| s < 2.0))
+            .count();
+        let frac = slow as f64 / trace.len() as f64;
+        assert!(frac > 0.15, "stationary fraction {frac} too low for a roosting animal");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let m = BatModel::new(small());
+        assert_eq!(m.generate(9), m.generate(9));
+        assert_ne!(m.generate(9).points, m.generate(10).points);
+    }
+
+    #[test]
+    fn returns_to_roost_each_night() {
+        let c = small();
+        let trace = BatModel::new(c).generate(5);
+        // The last fix of the night is a roost dwell around the roost.
+        let last = trace.points.last().unwrap();
+        assert!(last.pos.distance(c.roost) < 200.0, "{:?}", last.pos);
+    }
+
+    #[test]
+    fn night_count_scales_output() {
+        let two = BatModel::new(small()).generate(6).len();
+        let four =
+            BatModel::new(BatModelConfig { nights: 4, ..BatModelConfig::default() })
+                .generate(6)
+                .len();
+        assert!(four > two + two / 2, "four nights {four} vs two nights {two}");
+    }
+}

@@ -1,0 +1,148 @@
+//! Canonical seeded datasets for the experiments.
+//!
+//! The paper's corpus: 138,798 GPS samples across the bat and vehicle
+//! datasets (≈ 7,206 km and 1,187 km of travel respectively), plus a
+//! 30,000-point synthetic trace. The full-size generators here target the
+//! same sample counts; the `*_small` variants keep unit tests fast.
+
+use crate::bat::{BatModel, BatModelConfig};
+use crate::noise::GpsNoise;
+use crate::random_walk::{RandomWalkConfig, RandomWalkModel};
+use crate::trace::Trace;
+use crate::vehicle::{VehicleModel, VehicleModelConfig};
+
+/// Descriptor of a generated dataset, used by the evaluation harness to
+/// label experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSpec {
+    /// Dataset label ("bat", "vehicle", "synthetic").
+    pub name: &'static str,
+    /// Tolerance sweep the paper uses for this dataset, in metres.
+    pub tolerances: &'static [f64],
+}
+
+/// The paper's tolerance sweep for the bat data (Figs. 6a, 7a): 2–20 m.
+pub const BAT_TOLERANCES: [f64; 10] =
+    [2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0, 18.0, 20.0];
+
+/// The paper's tolerance sweep for the vehicle data (Figs. 6b, 7b): 5–50 m.
+pub const VEHICLE_TOLERANCES: [f64; 10] =
+    [5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0, 45.0, 50.0];
+
+/// Dataset spec for the bat data.
+pub const BAT_SPEC: DatasetSpec = DatasetSpec { name: "bat", tolerances: &BAT_TOLERANCES };
+
+/// Dataset spec for the vehicle data.
+pub const VEHICLE_SPEC: DatasetSpec =
+    DatasetSpec { name: "vehicle", tolerances: &VEHICLE_TOLERANCES };
+
+/// GPS noise applied to all "field" datasets (σ per axis, metres).
+const FIELD_GPS_SIGMA: f64 = 1.0;
+
+/// Full-size bat dataset: five collars × multi-week tracking, ≈ 90k
+/// samples — the bat share of the paper's 138,798-sample corpus.
+pub fn bat_dataset(seed: u64) -> Trace {
+    bat_dataset_sized(seed, 26, 5)
+}
+
+/// Bat dataset with explicit scale: `nights` per collar and `collars`
+/// concatenated into one stream (the paper combines all points into a
+/// single stream for evaluation).
+pub fn bat_dataset_sized(seed: u64, nights: usize, collars: usize) -> Trace {
+    let parts: Vec<Trace> = (0..collars)
+        .map(|i| {
+            let config = BatModelConfig { nights, ..BatModelConfig::default() };
+            let raw = BatModel::new(config).generate(seed.wrapping_add(i as u64 * 101));
+            GpsNoise::new(FIELD_GPS_SIGMA).apply(&raw, seed.wrapping_add(7_000 + i as u64))
+        })
+        .collect();
+    let mut combined = Trace::concatenate("bat", &parts, 3_600.0);
+    combined.name = "bat".to_string();
+    combined
+}
+
+/// Full-size vehicle dataset: two weeks of urban driving, ≈ 49k samples.
+pub fn vehicle_dataset(seed: u64) -> Trace {
+    vehicle_dataset_sized(seed, 170)
+}
+
+/// Vehicle dataset with an explicit trip count.
+pub fn vehicle_dataset_sized(seed: u64, trips: usize) -> Trace {
+    let config = VehicleModelConfig { trips, ..VehicleModelConfig::default() };
+    let raw = VehicleModel::new(config).generate(seed.wrapping_add(31));
+    GpsNoise::new(FIELD_GPS_SIGMA).apply(&raw, seed.wrapping_add(8_000))
+}
+
+/// The paper's 30,000-point synthetic trace (§VI-A model, 10 km arena).
+pub fn synthetic_dataset(seed: u64) -> Trace {
+    synthetic_dataset_sized(seed, 30_000)
+}
+
+/// Synthetic trace with an explicit sample count.
+pub fn synthetic_dataset_sized(seed: u64, samples: usize) -> Trace {
+    let config = RandomWalkConfig { samples, ..RandomWalkConfig::default() };
+    RandomWalkModel::new(config).generate(seed.wrapping_add(97))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_datasets_have_expected_shape() {
+        let bat = bat_dataset_sized(1, 2, 2);
+        assert!(bat.len() > 1_000, "bat: {}", bat.len());
+        assert_eq!(bat.name, "bat");
+        let veh = vehicle_dataset_sized(1, 5);
+        assert!(veh.len() > 500, "vehicle: {}", veh.len());
+        let syn = synthetic_dataset_sized(1, 2_000);
+        assert_eq!(syn.len(), 2_000);
+    }
+
+    #[test]
+    fn datasets_are_deterministic() {
+        assert_eq!(bat_dataset_sized(3, 1, 1), bat_dataset_sized(3, 1, 1));
+        assert_eq!(vehicle_dataset_sized(3, 2), vehicle_dataset_sized(3, 2));
+        assert_eq!(synthetic_dataset_sized(3, 500), synthetic_dataset_sized(3, 500));
+    }
+
+    #[test]
+    fn streams_are_time_ordered() {
+        for trace in [
+            bat_dataset_sized(2, 2, 2),
+            vehicle_dataset_sized(2, 4),
+            synthetic_dataset_sized(2, 1_000),
+        ] {
+            assert!(
+                trace.points.windows(2).all(|w| w[0].t <= w[1].t),
+                "{} not ordered",
+                trace.name
+            );
+        }
+    }
+
+    #[test]
+    fn tolerance_sweeps_match_paper_ranges() {
+        assert_eq!(BAT_TOLERANCES.first(), Some(&2.0));
+        assert_eq!(BAT_TOLERANCES.last(), Some(&20.0));
+        assert_eq!(VEHICLE_TOLERANCES.first(), Some(&5.0));
+        assert_eq!(VEHICLE_TOLERANCES.last(), Some(&50.0));
+    }
+
+    /// Full-size generation is what the benches use; make sure the scale is
+    /// in the paper's ballpark. Marked `ignore` for ordinary test runs —
+    /// executed explicitly by CI / the bench harness.
+    #[test]
+    #[ignore = "full-size dataset generation (~1 s); run with --ignored"]
+    fn full_size_counts_match_paper_corpus() {
+        let bat = bat_dataset(42);
+        let veh = vehicle_dataset(42);
+        let total = bat.len() + veh.len();
+        assert!(
+            (100_000..200_000).contains(&total),
+            "combined field corpus {total} outside the paper's ±45% band (138,798)"
+        );
+        let syn = synthetic_dataset(42);
+        assert_eq!(syn.len(), 30_000);
+    }
+}

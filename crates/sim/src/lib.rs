@@ -1,0 +1,46 @@
+//! # bqs-sim — synthetic trajectory generation for the BQS evaluation
+//!
+//! The paper evaluates on three datasets: GPS traces from flying foxes
+//! (five Camazotz collars, ~6 months), a vehicle trace (dashboard node,
+//! 2 weeks), and a 30,000-point synthetic trace from an event-based
+//! correlated random walk (§VI-A). The field data is not public, so this
+//! crate provides statistically matched substitutes (see DESIGN.md §2):
+//!
+//! * [`random_walk`] — a direct implementation of the paper's own synthetic
+//!   model: alternating waiting/moving events, empirical speed
+//!   distribution, von Mises turning angles, exponential move durations,
+//!   reflected inside a 10 km × 10 km arena.
+//! * [`bat`] — a flying-fox day/night model: roost clusters with GPS
+//!   jitter, foraging trips of ~10 km at 35–50 km/h with meandering
+//!   headings, visits to several forage sites per night.
+//! * [`vehicle`] — trips routed on a synthetic grid road network at
+//!   60–100 km/h: road-constrained headings and longer spatial scale, the
+//!   two properties the paper says distinguish the car data.
+//! * [`von_mises`] — a from-scratch Best–Fisher von Mises sampler (the
+//!   turning-angle distribution named in §VI-A).
+//! * [`noise`] — GPS error injection.
+//! * [`trace`] — the [`Trace`] container and (de)serialisation.
+//! * [`dataset`] — the canonical seeded datasets used by every experiment,
+//!   sized to match the paper's sample counts.
+//!
+//! Everything is deterministic given a seed, so experiments are exactly
+//! reproducible.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bat;
+pub mod dataset;
+pub mod noise;
+pub mod random_walk;
+pub mod trace;
+pub mod vehicle;
+pub mod von_mises;
+
+pub use bat::{BatModel, BatModelConfig};
+pub use dataset::{bat_dataset, synthetic_dataset, vehicle_dataset, DatasetSpec};
+pub use noise::GpsNoise;
+pub use random_walk::{RandomWalkConfig, RandomWalkModel};
+pub use trace::Trace;
+pub use vehicle::{VehicleModel, VehicleModelConfig};
+pub use von_mises::VonMises;

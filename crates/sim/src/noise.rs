@@ -1,0 +1,116 @@
+//! GPS measurement-noise injection.
+//!
+//! Consumer GPS fixes carry metre-scale error; the paper's tolerances
+//! (2–50 m) sit just above it. Injecting realistic noise matters for the
+//! experiments because jitter is exactly what makes stationary periods
+//! compressible only by an error-bounded algorithm.
+
+use crate::trace::Trace;
+use bqs_geo::{TimedPoint, Vec2};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Normal};
+
+/// Isotropic Gaussian position noise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpsNoise {
+    /// Per-axis standard deviation in metres.
+    pub sigma: f64,
+}
+
+impl GpsNoise {
+    /// Creates a noise model; panics on negative or non-finite sigma.
+    pub fn new(sigma: f64) -> GpsNoise {
+        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be ≥ 0");
+        GpsNoise { sigma }
+    }
+
+    /// Applies noise to a trace deterministically from `seed`.
+    pub fn apply(&self, trace: &Trace, seed: u64) -> Trace {
+        if self.sigma == 0.0 {
+            return trace.clone();
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let normal = Normal::new(0.0, self.sigma).expect("valid normal");
+        let points = trace
+            .points
+            .iter()
+            .map(|p| {
+                let dx = normal.sample(&mut rng);
+                let dy = normal.sample(&mut rng);
+                TimedPoint::at(p.pos + Vec2::new(dx, dy), p.t)
+            })
+            .collect();
+        Trace::new(trace.name.clone(), points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqs_geo::Point2;
+
+    fn flat_trace(n: usize) -> Trace {
+        Trace::new(
+            "flat",
+            (0..n).map(|i| TimedPoint::new(100.0, 100.0, i as f64)).collect(),
+        )
+    }
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let t = flat_trace(10);
+        assert_eq!(GpsNoise::new(0.0).apply(&t, 1), t);
+    }
+
+    #[test]
+    fn noise_statistics_match_sigma() {
+        let t = flat_trace(20_000);
+        let noisy = GpsNoise::new(3.0).apply(&t, 42);
+        let mean_x: f64 =
+            noisy.points.iter().map(|p| p.pos.x).sum::<f64>() / noisy.len() as f64;
+        let var_x: f64 = noisy
+            .points
+            .iter()
+            .map(|p| (p.pos.x - mean_x).powi(2))
+            .sum::<f64>()
+            / noisy.len() as f64;
+        assert!((mean_x - 100.0).abs() < 0.1);
+        assert!((var_x.sqrt() - 3.0).abs() < 0.1, "sd {}", var_x.sqrt());
+    }
+
+    #[test]
+    fn timestamps_unchanged() {
+        let t = flat_trace(50);
+        let noisy = GpsNoise::new(5.0).apply(&t, 7);
+        for (a, b) in t.points.iter().zip(noisy.points.iter()) {
+            assert_eq!(a.t, b.t);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t = flat_trace(100);
+        let n = GpsNoise::new(2.0);
+        assert_eq!(n.apply(&t, 9), n.apply(&t, 9));
+        assert_ne!(n.apply(&t, 9).points, n.apply(&t, 10).points);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn rejects_negative_sigma() {
+        let _ = GpsNoise::new(-1.0);
+    }
+
+    #[test]
+    fn displacement_is_bounded_in_probability() {
+        let t = flat_trace(1000);
+        let noisy = GpsNoise::new(2.0).apply(&t, 3);
+        let big = noisy
+            .points
+            .iter()
+            .filter(|p| p.pos.distance(Point2::new(100.0, 100.0)) > 10.0) // 5σ per axis
+            .count();
+        assert!(big < 5, "too many {big} outliers beyond 5σ");
+    }
+}

@@ -1,0 +1,228 @@
+//! Von Mises (circular normal) sampling — the turning-angle distribution of
+//! the paper's correlated random walk (§VI-A, citing Risken's treatment of
+//! the Fokker–Planck equation).
+//!
+//! Implemented from scratch with the Best–Fisher (1979) rejection sampler;
+//! `rand_distr` does not ship a von Mises distribution, and owning the
+//! sampler lets the tests verify it against the analytic circular moments.
+
+use rand::{Rng, RngExt};
+use std::f64::consts::PI;
+
+/// A von Mises distribution `VM(μ, κ)` over angles in `(−π, π]`.
+///
+/// `κ = 0` degenerates to the uniform circular distribution; large `κ`
+/// concentrates around the mean direction `μ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VonMises {
+    mu: f64,
+    kappa: f64,
+    /// Best–Fisher constants, precomputed.
+    r: f64,
+}
+
+impl VonMises {
+    /// Creates a sampler. Returns `None` for non-finite parameters or
+    /// negative concentration.
+    pub fn new(mu: f64, kappa: f64) -> Option<VonMises> {
+        if !mu.is_finite() || !kappa.is_finite() || kappa < 0.0 {
+            return None;
+        }
+        let tau = 1.0 + (1.0 + 4.0 * kappa * kappa).sqrt();
+        let rho = (tau - (2.0 * tau).sqrt()) / (2.0 * kappa.max(f64::MIN_POSITIVE));
+        let r = (1.0 + rho * rho) / (2.0 * rho);
+        Some(VonMises { mu, kappa, r })
+    }
+
+    /// Mean direction μ.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Concentration κ.
+    pub fn kappa(&self) -> f64 {
+        self.kappa
+    }
+
+    /// Draws one angle in `(−π, π]`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.kappa < 1e-9 {
+            // Uniform circle.
+            return rng.sample(rand::distr::Uniform::new(-PI, PI).expect("valid range"));
+        }
+        // Best & Fisher acceptance-rejection with a wrapped Cauchy envelope.
+        let uniform = rand::distr::Uniform::new(0.0f64, 1.0).expect("valid range");
+        loop {
+            let u1: f64 = rng.sample(uniform);
+            let z = (PI * u1).cos();
+            let f = (1.0 + self.r * z) / (self.r + z);
+            let c = self.kappa * (self.r - f);
+            let u2: f64 = rng.sample(uniform);
+            if c * (2.0 - c) - u2 > 0.0 || (c / u2).ln() + 1.0 - c >= 0.0 {
+                let u3: f64 = rng.sample(uniform);
+                let sign = if u3 > 0.5 { 1.0 } else { -1.0 };
+                let angle = self.mu + sign * f.acos();
+                return wrap_angle(angle);
+            }
+        }
+    }
+}
+
+/// Wraps an angle into `(−π, π]`.
+fn wrap_angle(theta: f64) -> f64 {
+    let two_pi = 2.0 * PI;
+    let mut t = theta % two_pi;
+    if t <= -PI {
+        t += two_pi;
+    } else if t > PI {
+        t -= two_pi;
+    }
+    t
+}
+
+/// Ratio of modified Bessel functions `I₁(κ)/I₀(κ)` — the analytic mean
+/// resultant length of `VM(μ, κ)`, used by the statistical tests. Computed
+/// with the power series for small κ and the asymptotic expansion for large
+/// κ.
+pub fn bessel_ratio_i1_i0(kappa: f64) -> f64 {
+    if kappa < 1e-12 {
+        return 0.0;
+    }
+    if kappa < 20.0 {
+        let x2 = kappa / 2.0;
+        // I0(x) = Σ_{k≥0} (x/2)^{2k} / (k!)².
+        let mut i0 = 1.0f64;
+        let mut term = 1.0f64;
+        for k in 1..60 {
+            term *= (x2 * x2) / ((k * k) as f64);
+            i0 += term;
+        }
+        // I1(x) = Σ_{k≥0} (x/2)^{2k+1} / (k!(k+1)!).
+        let mut i1 = x2;
+        let mut t = x2;
+        for k in 1..60 {
+            t *= (x2 * x2) / ((k * (k + 1)) as f64);
+            i1 += t;
+        }
+        i1 / i0
+    } else {
+        // Asymptotic: I1/I0 ≈ 1 − 1/(2κ) − 1/(8κ²) − 1/(8κ³) − 25/(128κ⁴).
+        let k2 = kappa * kappa;
+        1.0 - 1.0 / (2.0 * kappa) - 1.0 / (8.0 * k2) - 1.0 / (8.0 * k2 * kappa)
+            - 25.0 / (128.0 * k2 * k2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn circular_stats(samples: &[f64]) -> (f64, f64) {
+        let (mut c, mut s) = (0.0f64, 0.0f64);
+        for &a in samples {
+            c += a.cos();
+            s += a.sin();
+        }
+        let n = samples.len() as f64;
+        let mean_dir = (s / n).atan2(c / n);
+        let resultant = ((c / n).powi(2) + (s / n).powi(2)).sqrt();
+        (mean_dir, resultant)
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(VonMises::new(0.0, -1.0).is_none());
+        assert!(VonMises::new(f64::NAN, 1.0).is_none());
+        assert!(VonMises::new(0.0, f64::INFINITY).is_none());
+        assert!(VonMises::new(0.0, 0.0).is_some());
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let vm = VonMises::new(2.5, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let a = vm.sample(&mut rng);
+            assert!(a > -PI && a <= PI, "{a}");
+        }
+    }
+
+    #[test]
+    fn mean_direction_matches_mu() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for mu in [-2.0, 0.0, 1.2] {
+            let vm = VonMises::new(mu, 4.0).unwrap();
+            let samples: Vec<f64> = (0..20_000).map(|_| vm.sample(&mut rng)).collect();
+            let (mean_dir, _) = circular_stats(&samples);
+            let diff = wrap_angle(mean_dir - mu).abs();
+            assert!(diff < 0.05, "mu {mu}: sample mean {mean_dir}");
+        }
+    }
+
+    #[test]
+    fn resultant_length_matches_bessel_ratio() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for kappa in [0.5, 2.0, 8.0] {
+            let vm = VonMises::new(0.0, kappa).unwrap();
+            let samples: Vec<f64> = (0..30_000).map(|_| vm.sample(&mut rng)).collect();
+            let (_, r) = circular_stats(&samples);
+            let expected = bessel_ratio_i1_i0(kappa);
+            assert!(
+                (r - expected).abs() < 0.02,
+                "kappa {kappa}: resultant {r} vs analytic {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_kappa_is_uniform() {
+        let vm = VonMises::new(0.0, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples: Vec<f64> = (0..20_000).map(|_| vm.sample(&mut rng)).collect();
+        let (_, r) = circular_stats(&samples);
+        assert!(r < 0.02, "uniform circle must have tiny resultant, got {r}");
+        // Quadrant occupancy is balanced.
+        let q1 = samples.iter().filter(|a| **a >= 0.0 && **a < PI / 2.0).count();
+        assert!((q1 as f64 / samples.len() as f64 - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn bessel_ratio_sanity() {
+        assert_eq!(bessel_ratio_i1_i0(0.0), 0.0);
+        // Known value: I1(2)/I0(2) ≈ 0.697774.
+        assert!((bessel_ratio_i1_i0(2.0) - 0.697774).abs() < 1e-4);
+        // Continuity across the series/asymptotic switch at κ = 20.
+        let below = bessel_ratio_i1_i0(19.999);
+        let above = bessel_ratio_i1_i0(20.001);
+        assert!((below - above).abs() < 1e-5, "{below} vs {above}");
+        // Monotone towards 1.
+        assert!(bessel_ratio_i1_i0(50.0) > bessel_ratio_i1_i0(5.0));
+        assert!(bessel_ratio_i1_i0(200.0) < 1.0);
+    }
+
+    #[test]
+    fn high_kappa_concentrates() {
+        let vm = VonMises::new(1.0, 100.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let a = vm.sample(&mut rng);
+            assert!((a - 1.0).abs() < 0.5, "{a} too far from mu at high kappa");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let vm = VonMises::new(0.3, 2.0).unwrap();
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| vm.sample(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| vm.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,157 @@
+//! A uniform-grid spatial index over segment bounding boxes.
+//!
+//! Cheap, predictable, and a good fit for trajectory data whose extent is
+//! known (a home range, a city): each item is registered in every cell its
+//! bounding box overlaps; queries enumerate the cells of the query box and
+//! dedup.
+
+use bqs_geo::{Point2, Rect};
+use std::collections::HashMap;
+
+/// A uniform grid mapping cells to item ids.
+#[derive(Debug, Clone)]
+pub struct UniformGrid {
+    cell_size: f64,
+    cells: HashMap<(i64, i64), Vec<u64>>,
+    items: usize,
+}
+
+impl UniformGrid {
+    /// Creates a grid with the given cell edge length (metres).
+    ///
+    /// # Panics
+    /// Panics when `cell_size` is not positive and finite.
+    pub fn new(cell_size: f64) -> UniformGrid {
+        assert!(cell_size.is_finite() && cell_size > 0.0, "cell size must be > 0");
+        UniformGrid { cell_size, cells: HashMap::new(), items: 0 }
+    }
+
+    fn cell_of(&self, p: Point2) -> (i64, i64) {
+        (
+            (p.x / self.cell_size).floor() as i64,
+            (p.y / self.cell_size).floor() as i64,
+        )
+    }
+
+    fn cell_range(&self, rect: &Rect) -> ((i64, i64), (i64, i64)) {
+        (self.cell_of(rect.min), self.cell_of(rect.max))
+    }
+
+    /// Registers `id` under every cell overlapped by `bbox`.
+    pub fn insert(&mut self, id: u64, bbox: &Rect) {
+        let ((x0, y0), (x1, y1)) = self.cell_range(bbox);
+        for x in x0..=x1 {
+            for y in y0..=y1 {
+                self.cells.entry((x, y)).or_default().push(id);
+            }
+        }
+        self.items += 1;
+    }
+
+    /// Ids whose registered boxes may overlap `rect` (superset; callers
+    /// re-check exact geometry). Deduplicated, unordered.
+    pub fn query(&self, rect: &Rect) -> Vec<u64> {
+        let ((x0, y0), (x1, y1)) = self.cell_range(rect);
+        let mut out = Vec::new();
+        for x in x0..=x1 {
+            for y in y0..=y1 {
+                if let Some(ids) = self.cells.get(&(x, y)) {
+                    out.extend_from_slice(ids);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Number of items inserted.
+    pub fn len(&self) -> usize {
+        self.items
+    }
+
+    /// True when nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    /// Number of occupied cells (diagnostics).
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect::from_corners(Point2::new(x0, y0), Point2::new(x1, y1))
+    }
+
+    #[test]
+    fn finds_overlapping_items() {
+        let mut g = UniformGrid::new(100.0);
+        g.insert(1, &rect(0.0, 0.0, 50.0, 50.0));
+        g.insert(2, &rect(500.0, 500.0, 600.0, 600.0));
+        g.insert(3, &rect(40.0, 40.0, 140.0, 60.0));
+        let hits = g.query(&rect(30.0, 30.0, 60.0, 60.0));
+        assert!(hits.contains(&1));
+        assert!(hits.contains(&3));
+        assert!(!hits.contains(&2));
+    }
+
+    #[test]
+    fn query_is_a_superset_never_misses() {
+        let mut g = UniformGrid::new(73.0);
+        let boxes: Vec<Rect> = (0..50)
+            .map(|i| {
+                let x = (i * 37 % 1000) as f64;
+                let y = (i * 53 % 1000) as f64;
+                rect(x, y, x + 30.0, y + 45.0)
+            })
+            .collect();
+        for (i, b) in boxes.iter().enumerate() {
+            g.insert(i as u64, b);
+        }
+        let q = rect(200.0, 200.0, 400.0, 400.0);
+        let hits = g.query(&q);
+        for (i, b) in boxes.iter().enumerate() {
+            if b.intersects(&q) {
+                assert!(hits.contains(&(i as u64)), "missed item {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn negative_coordinates_work() {
+        let mut g = UniformGrid::new(50.0);
+        g.insert(7, &rect(-120.0, -80.0, -90.0, -40.0));
+        assert_eq!(g.query(&rect(-100.0, -60.0, -95.0, -50.0)), vec![7]);
+        assert!(g.query(&rect(100.0, 100.0, 110.0, 110.0)).is_empty());
+    }
+
+    #[test]
+    fn dedups_multi_cell_items() {
+        let mut g = UniformGrid::new(10.0);
+        g.insert(9, &rect(0.0, 0.0, 100.0, 100.0)); // spans many cells
+        let hits = g.query(&rect(0.0, 0.0, 100.0, 100.0));
+        assert_eq!(hits, vec![9]);
+    }
+
+    #[test]
+    fn accounting() {
+        let mut g = UniformGrid::new(10.0);
+        assert!(g.is_empty());
+        g.insert(1, &rect(0.0, 0.0, 5.0, 5.0));
+        g.insert(2, &rect(0.0, 0.0, 25.0, 5.0));
+        assert_eq!(g.len(), 2);
+        assert!(g.occupied_cells() >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size")]
+    fn rejects_zero_cell() {
+        let _ = UniformGrid::new(0.0);
+    }
+}

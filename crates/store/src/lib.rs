@@ -1,0 +1,37 @@
+//! # bqs-store — the historical trajectory store (paper §V-F)
+//!
+//! Compression alone is not the whole storage story: the paper sketches two
+//! maintenance procedures over the compressed history, both implemented
+//! here on top of a uniform-grid spatial index:
+//!
+//! * **Merging** — a newly compressed segment is used as a query against
+//!   the stored segments; when an existing segment already represents the
+//!   same path within a merge tolerance, the new one is folded into it
+//!   (weight bump) instead of stored — deduplicating commuting-style
+//!   repeated trips.
+//! * **Ageing** — older trajectories are re-compressed at a greater error
+//!   tolerance, trading accuracy of old data for space. Re-compression runs
+//!   the BQS itself over the stored key points; the composite deviation of
+//!   the aged trajectory against the *original* raw trace is bounded by
+//!   `d_original + d_aged` (triangle inequality on point-to-chord
+//!   distances), which the integration tests verify.
+//!
+//! The store is thread-safe (`parking_lot::RwLock`) so a base station can
+//! ingest collar offloads concurrently with queries.
+//!
+//! [`waypoints`] implements the paper's §VII future-work sketch on top:
+//! dwell clustering into waypoints, trip-duration estimation and a Markov
+//! next-destination predictor.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod grid;
+pub mod similarity;
+pub mod store;
+pub mod waypoints;
+
+pub use grid::UniformGrid;
+pub use similarity::{chord_distance, segments_similar};
+pub use store::{AgeReport, InsertReport, StoreConfig, StoredSegment, TrajectoryStore};
+pub use waypoints::{discover, MobilityModel, TripStats, Waypoint, WaypointConfig};

@@ -1,0 +1,83 @@
+//! Segment similarity for the merging procedure.
+//!
+//! Two compressed segments represent "the same path with a minor error"
+//! (paper §V-F) when each chord stays within a tolerance of the other. For
+//! straight chords the symmetric Hausdorff distance is attained at the
+//! endpoints, so the check reduces to four point-to-segment distances.
+
+use bqs_geo::{point_to_segment_distance, Point2};
+
+/// Symmetric chord distance: the largest distance from either segment's
+/// endpoint to the other segment.
+pub fn chord_distance(a: (Point2, Point2), b: (Point2, Point2)) -> f64 {
+    let d1 = point_to_segment_distance(a.0, b.0, b.1);
+    let d2 = point_to_segment_distance(a.1, b.0, b.1);
+    let d3 = point_to_segment_distance(b.0, a.0, a.1);
+    let d4 = point_to_segment_distance(b.1, a.0, a.1);
+    d1.max(d2).max(d3).max(d4)
+}
+
+/// Whether two chords are interchangeable within `tolerance`, treating
+/// direction as irrelevant (a commute is the same path both ways).
+pub fn segments_similar(a: (Point2, Point2), b: (Point2, Point2), tolerance: f64) -> bool {
+    chord_distance(a, b) <= tolerance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    #[test]
+    fn identical_segments_have_zero_distance() {
+        let s = (p(0.0, 0.0), p(100.0, 0.0));
+        assert_eq!(chord_distance(s, s), 0.0);
+        assert!(segments_similar(s, s, 0.1));
+    }
+
+    #[test]
+    fn reversed_segment_is_similar() {
+        let a = (p(0.0, 0.0), p(100.0, 0.0));
+        let b = (p(100.0, 0.0), p(0.0, 0.0));
+        assert_eq!(chord_distance(a, b), 0.0);
+    }
+
+    #[test]
+    fn parallel_offset_measures_the_gap() {
+        let a = (p(0.0, 0.0), p(100.0, 0.0));
+        let b = (p(0.0, 7.0), p(100.0, 7.0));
+        assert!((chord_distance(a, b) - 7.0).abs() < 1e-12);
+        assert!(segments_similar(a, b, 7.5));
+        assert!(!segments_similar(a, b, 6.5));
+    }
+
+    #[test]
+    fn sub_segment_is_similar_but_super_segment_is_not() {
+        let long = (p(0.0, 0.0), p(100.0, 0.0));
+        let short = (p(40.0, 0.0), p(60.0, 0.0));
+        // The short chord lies on the long one...
+        let d_short_to_long = point_to_segment_distance(short.0, long.0, long.1)
+            .max(point_to_segment_distance(short.1, long.0, long.1));
+        assert_eq!(d_short_to_long, 0.0);
+        // ...but the symmetric distance sees the unmatched ends.
+        assert!((chord_distance(long, short) - 40.0).abs() < 1e-12);
+        assert!(!segments_similar(long, short, 10.0));
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = (p(0.0, 0.0), p(50.0, 20.0));
+        let b = (p(5.0, 2.0), p(55.0, 18.0));
+        assert_eq!(chord_distance(a, b), chord_distance(b, a));
+    }
+
+    #[test]
+    fn perpendicular_segments_are_far() {
+        let a = (p(0.0, 0.0), p(100.0, 0.0));
+        let b = (p(50.0, -50.0), p(50.0, 50.0));
+        assert!(chord_distance(a, b) >= 50.0);
+    }
+}

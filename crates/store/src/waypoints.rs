@@ -1,0 +1,318 @@
+//! Waypoint discovery and trip statistics — the paper's §VII future work
+//! ("individualized trajectory and waypoint discovery can also be used to
+//! facilitate advanced applications like real-time trip prediction or
+//! trip-duration estimation").
+//!
+//! Key points where the object dwells (consecutive compressed keys close in
+//! space but far apart in time) are density-clustered on a grid into
+//! **waypoints**; the transitions between waypoints form a first-order
+//! Markov model that answers "where next?" and "how long will it take?".
+
+use bqs_geo::{Point2, TimedPoint};
+use std::collections::HashMap;
+
+/// A discovered waypoint: a dwell cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waypoint {
+    /// Stable id (index into the discovery output).
+    pub id: usize,
+    /// Cluster centroid.
+    pub center: Point2,
+    /// Number of dwell observations merged into this waypoint.
+    pub visits: usize,
+    /// Total dwell seconds observed here.
+    pub total_dwell_s: f64,
+}
+
+/// A directed trip between two waypoints with duration statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TripStats {
+    /// Origin waypoint id.
+    pub from: usize,
+    /// Destination waypoint id.
+    pub to: usize,
+    /// Observed trips.
+    pub count: usize,
+    /// Mean trip duration in seconds.
+    pub mean_duration_s: f64,
+    /// Minimum and maximum observed durations.
+    pub duration_range_s: (f64, f64),
+}
+
+/// Configuration for discovery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaypointConfig {
+    /// A key point is a dwell when the object stays within `dwell_radius`
+    /// of it for at least `min_dwell_s`.
+    pub dwell_radius: f64,
+    /// Minimum dwell duration, seconds.
+    pub min_dwell_s: f64,
+    /// Grid cell size for clustering dwells into waypoints, metres.
+    pub cluster_cell: f64,
+}
+
+impl Default for WaypointConfig {
+    fn default() -> Self {
+        WaypointConfig { dwell_radius: 100.0, min_dwell_s: 600.0, cluster_cell: 250.0 }
+    }
+}
+
+/// The discovered mobility model.
+#[derive(Debug, Clone, Default)]
+pub struct MobilityModel {
+    /// Discovered waypoints.
+    pub waypoints: Vec<Waypoint>,
+    /// Directed trip statistics keyed by `(from, to)`.
+    pub trips: Vec<TripStats>,
+}
+
+impl MobilityModel {
+    /// The waypoint nearest to `p`, if any exist.
+    pub fn nearest_waypoint(&self, p: Point2) -> Option<&Waypoint> {
+        self.waypoints
+            .iter()
+            .min_by(|a, b| {
+                a.center
+                    .distance_sq(p)
+                    .partial_cmp(&b.center.distance_sq(p))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+
+    /// Most likely next waypoint from `from`, by observed transition count.
+    pub fn predict_next(&self, from: usize) -> Option<&TripStats> {
+        self.trips
+            .iter()
+            .filter(|t| t.from == from)
+            .max_by_key(|t| t.count)
+    }
+
+    /// Estimated duration of the trip `from → to`, seconds.
+    pub fn estimate_duration(&self, from: usize, to: usize) -> Option<f64> {
+        self.trips
+            .iter()
+            .find(|t| t.from == from && t.to == to)
+            .map(|t| t.mean_duration_s)
+    }
+}
+
+/// Discovers waypoints and trip statistics from a compressed trajectory
+/// (key points in time order; day gaps allowed).
+pub fn discover(keys: &[TimedPoint], config: &WaypointConfig) -> MobilityModel {
+    // 1. Dwell extraction: a maximal run of consecutive keys within
+    //    `dwell_radius` of the run's first key, spanning ≥ min_dwell_s.
+    #[derive(Debug)]
+    struct Dwell {
+        center: Point2,
+        arrive: f64,
+        depart: f64,
+    }
+    let mut dwells: Vec<Dwell> = Vec::new();
+    let mut i = 0usize;
+    while i < keys.len() {
+        let anchor = keys[i];
+        let mut j = i;
+        while j + 1 < keys.len() && keys[j + 1].pos.distance(anchor.pos) <= config.dwell_radius
+        {
+            j += 1;
+        }
+        let duration = keys[j].t - keys[i].t;
+        if duration >= config.min_dwell_s {
+            // Centroid of the run.
+            let mut acc = bqs_geo::Vec2::ZERO;
+            for k in &keys[i..=j] {
+                acc += k.pos.to_vec();
+            }
+            dwells.push(Dwell {
+                center: Point2::from_vec(acc / (j - i + 1) as f64),
+                arrive: keys[i].t,
+                depart: keys[j].t,
+            });
+        }
+        i = j + 1;
+    }
+
+    // 2. Grid-cluster dwell centres into waypoints.
+    let cell_of = |p: Point2| -> (i64, i64) {
+        (
+            (p.x / config.cluster_cell).floor() as i64,
+            (p.y / config.cluster_cell).floor() as i64,
+        )
+    };
+    let mut cluster_ids: HashMap<(i64, i64), usize> = HashMap::new();
+    let mut waypoints: Vec<Waypoint> = Vec::new();
+    let mut dwell_waypoint: Vec<usize> = Vec::with_capacity(dwells.len());
+    for d in &dwells {
+        let cell = cell_of(d.center);
+        // Merge into an existing waypoint in this or a neighbouring cell
+        // whose centre is within the cluster cell size.
+        let mut found = None;
+        'search: for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(&id) = cluster_ids.get(&(cell.0 + dx, cell.1 + dy)) {
+                    if waypoints[id].center.distance(d.center) <= config.cluster_cell {
+                        found = Some(id);
+                        break 'search;
+                    }
+                }
+            }
+        }
+        let id = match found {
+            Some(id) => {
+                let w = &mut waypoints[id];
+                // Running centroid update.
+                let n = w.visits as f64;
+                w.center = Point2::new(
+                    (w.center.x * n + d.center.x) / (n + 1.0),
+                    (w.center.y * n + d.center.y) / (n + 1.0),
+                );
+                w.visits += 1;
+                w.total_dwell_s += d.depart - d.arrive;
+                id
+            }
+            None => {
+                let id = waypoints.len();
+                waypoints.push(Waypoint {
+                    id,
+                    center: d.center,
+                    visits: 1,
+                    total_dwell_s: d.depart - d.arrive,
+                });
+                cluster_ids.insert(cell, id);
+                id
+            }
+        };
+        dwell_waypoint.push(id);
+    }
+
+    // 3. Transitions between consecutive dwells → trip statistics.
+    let mut acc: HashMap<(usize, usize), (usize, f64, f64, f64)> = HashMap::new();
+    for i in 1..dwells.len() {
+        let (a, b) = (&dwells[i - 1], &dwells[i]);
+        let (ia, ib) = (dwell_waypoint[i - 1], dwell_waypoint[i]);
+        if ia == ib {
+            continue; // not a trip
+        }
+        let duration = (b.arrive - a.depart).max(0.0);
+        let entry = acc.entry((ia, ib)).or_insert((0, 0.0, f64::INFINITY, 0.0));
+        entry.0 += 1;
+        entry.1 += duration;
+        entry.2 = entry.2.min(duration);
+        entry.3 = entry.3.max(duration);
+    }
+    let mut trips: Vec<TripStats> = acc
+        .into_iter()
+        .map(|((from, to), (count, sum, lo, hi))| TripStats {
+            from,
+            to,
+            count,
+            mean_duration_s: sum / count as f64,
+            duration_range_s: (lo, hi),
+        })
+        .collect();
+    trips.sort_by_key(|t| (t.from, t.to));
+
+    MobilityModel { waypoints, trips }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two nights of roost → site → roost commuting (as compressed keys).
+    fn commuting_keys() -> Vec<TimedPoint> {
+        let roost = Point2::new(0.0, 0.0);
+        let site = Point2::new(4_000.0, 1_000.0);
+        let mut keys = Vec::new();
+        let mut t = 0.0;
+        for _night in 0..3 {
+            // Dwell at roost (three keys over 30 min).
+            for k in 0..3 {
+                keys.push(TimedPoint::new(roost.x + k as f64, roost.y, t));
+                t += 900.0;
+            }
+            // Travel (single mid key), ~20 min.
+            keys.push(TimedPoint::new(2_000.0, 500.0, t + 600.0));
+            t += 1_200.0;
+            // Dwell at the site.
+            for k in 0..3 {
+                keys.push(TimedPoint::new(site.x + k as f64, site.y, t));
+                t += 900.0;
+            }
+            // Return, ~20 min.
+            keys.push(TimedPoint::new(2_000.0, 500.0, t + 600.0));
+            t += 1_200.0;
+        }
+        // Final roost dwell.
+        for k in 0..3 {
+            keys.push(TimedPoint::new(roost.x + k as f64, roost.y, t));
+            t += 900.0;
+        }
+        keys
+    }
+
+    #[test]
+    fn discovers_roost_and_site() {
+        let model = discover(&commuting_keys(), &WaypointConfig::default());
+        assert_eq!(model.waypoints.len(), 2, "{:?}", model.waypoints);
+        let roost = model.nearest_waypoint(Point2::new(0.0, 0.0)).unwrap();
+        let site = model.nearest_waypoint(Point2::new(4_000.0, 1_000.0)).unwrap();
+        assert!(roost.center.distance(Point2::new(1.0, 0.0)) < 50.0);
+        assert!(site.center.distance(Point2::new(4_001.0, 1_000.0)) < 50.0);
+        assert!(roost.visits >= 3);
+        assert!(site.visits >= 3);
+    }
+
+    #[test]
+    fn trip_statistics_and_prediction() {
+        let model = discover(&commuting_keys(), &WaypointConfig::default());
+        let roost = model.nearest_waypoint(Point2::new(0.0, 0.0)).unwrap().id;
+        let site = model.nearest_waypoint(Point2::new(4_000.0, 1_000.0)).unwrap().id;
+
+        let next = model.predict_next(roost).expect("trips observed");
+        assert_eq!(next.to, site);
+        assert!(next.count >= 2);
+
+        let dur = model.estimate_duration(roost, site).unwrap();
+        assert!((600.0..3_600.0).contains(&dur), "duration {dur}");
+        let back = model.estimate_duration(site, roost).unwrap();
+        assert!(back > 0.0);
+    }
+
+    #[test]
+    fn no_dwells_no_waypoints() {
+        // Continuous motion: no key stays put long enough.
+        let keys: Vec<TimedPoint> =
+            (0..50).map(|i| TimedPoint::new(i as f64 * 500.0, 0.0, i as f64 * 60.0)).collect();
+        let model = discover(&keys, &WaypointConfig::default());
+        assert!(model.waypoints.is_empty());
+        assert!(model.trips.is_empty());
+        assert!(model.nearest_waypoint(Point2::ORIGIN).is_none());
+    }
+
+    #[test]
+    fn empty_input() {
+        let model = discover(&[], &WaypointConfig::default());
+        assert!(model.waypoints.is_empty());
+    }
+
+    #[test]
+    fn nearby_dwells_cluster_into_one_waypoint() {
+        // Dwells 50 m apart (same tree cluster) on separate days.
+        let mut keys = Vec::new();
+        let mut t = 0.0;
+        for day in 0..4 {
+            let base = Point2::new(day as f64 * 50.0, 0.0);
+            for k in 0..3 {
+                keys.push(TimedPoint::new(base.x, base.y + k as f64, t));
+                t += 600.0;
+            }
+            // A far excursion breaks the dwell run between days.
+            keys.push(TimedPoint::new(5_000.0, 0.0, t + 600.0));
+            t += 20_000.0;
+        }
+        let model = discover(&keys, &WaypointConfig::default());
+        assert_eq!(model.waypoints.len(), 1, "{:?}", model.waypoints);
+        assert_eq!(model.waypoints[0].visits, 4);
+    }
+}

@@ -1,0 +1,88 @@
+//! Regenerates every table and figure of the paper's evaluation (§VI).
+//!
+//! ```text
+//! cargo run --release --example paper_experiments            # everything, quick scale
+//! cargo run --release --example paper_experiments -- --full  # paper-scale datasets
+//! cargo run --release --example paper_experiments -- fig7    # one experiment
+//! ```
+//!
+//! Experiments: `fig3`, `fig6`, `fig7`, `fig8a`, `fig8b`, `table1`,
+//! `table2`, `table3`, `ablation`, or `all` (default). `fig8a` additionally
+//! writes `fig8a_synthetic.csv` next to the working directory for external
+//! plotting.
+
+use bqs::eval::experiments;
+use bqs::eval::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let wanted = |name: &str| which.is_empty() || which.contains(&"all") || which.contains(&name);
+
+    println!(
+        "BQS paper reproduction — scale: {}\n",
+        if scale == Scale::Full { "FULL (paper-size datasets)" } else { "quick" }
+    );
+
+    if wanted("fig3") {
+        let result = experiments::fig3::run(scale);
+        println!("{}", result.to_table());
+    }
+    if wanted("fig6") {
+        let result = experiments::fig6::run(scale);
+        println!("{}", result.bat.to_table());
+        println!("{}", result.vehicle.to_table());
+    }
+    if wanted("fig7") {
+        let result = experiments::fig7::run(scale);
+        println!("{}", result.bat.to_table());
+        println!("{}", result.vehicle.to_table());
+    }
+    if wanted("fig8a") {
+        let result = experiments::fig8::run_8a(scale);
+        println!(
+            "Fig. 8a — synthetic trace: {} points, extent {:.0} m × {:.0} m, {:.1} km travelled",
+            result.trace.len(),
+            result.extent.0,
+            result.extent.1,
+            result.travel_distance / 1_000.0
+        );
+        let path = "fig8a_synthetic.csv";
+        if std::fs::write(path, result.trace.to_csv()).is_ok() {
+            println!("  (points written to {path})\n");
+        }
+    }
+    if wanted("fig8b") {
+        let result = experiments::fig8::run_8b(scale);
+        println!("{}", result.to_table());
+    }
+    if wanted("table1") {
+        let result = experiments::table1::run(scale);
+        println!("{}", result.to_table());
+    }
+    if wanted("table2") {
+        let result = experiments::table2::run(scale);
+        println!("{}", result.to_table());
+    }
+    if wanted("table3") {
+        let result = experiments::table3::run(scale);
+        println!("{}", result.to_table());
+    }
+    if wanted("ablation") {
+        let result = experiments::ablation::run(scale);
+        println!("{}", result.to_table());
+    }
+    if wanted("extended") {
+        let result = experiments::extended::run(scale);
+        println!("{}", result.to_table());
+    }
+}

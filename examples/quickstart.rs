@@ -1,0 +1,61 @@
+//! Quickstart: compress a GPS stream with the Fast BQS in a dozen lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use bqs::prelude::*;
+
+fn main() {
+    // A tracker samples once a minute while the animal commutes between a
+    // roost and a foraging site, with a couple of metres of GPS noise.
+    let raw: Vec<TimedPoint> = (0..600)
+        .map(|i| {
+            let t = i as f64 * 60.0;
+            let progress = i as f64 / 600.0;
+            let x = progress * 8_000.0;
+            let y = (progress * std::f64::consts::PI).sin() * 900.0 // gentle arc
+                + ((i * 2_654_435_761_usize % 97) as f64 / 97.0 - 0.5) * 3.0; // noise
+            TimedPoint::new(x, y, t)
+        })
+        .collect();
+
+    // 10 m error tolerance — the paper's default for field data.
+    let config = BqsConfig::new(10.0).expect("tolerance must be positive");
+    let mut compressor = FastBqsCompressor::new(config);
+
+    // Push points one at a time, exactly as a device would; kept key points
+    // appear in `kept` as soon as they are final.
+    let mut kept = Vec::new();
+    for p in &raw {
+        compressor.push(*p, &mut kept);
+    }
+    compressor.finish(&mut kept);
+
+    println!("original points : {}", raw.len());
+    println!("kept key points : {}", kept.len());
+    println!(
+        "compression rate: {:.2}% (lower is better)",
+        100.0 * kept.len() as f64 / raw.len() as f64
+    );
+
+    // The guarantee: every original point is within 10 m of the chord of
+    // the kept pair bracketing it. Verify it end to end.
+    let worst = bqs::eval::verify_deviation_bound(
+        &raw,
+        &kept,
+        bqs::core::metrics::DeviationMetric::PointToLine,
+    )
+    .expect("kept points are a valid subsequence");
+    println!("worst deviation : {worst:.2} m (≤ 10 m guaranteed)");
+    assert!(worst <= 10.0 + 1e-9);
+
+    // Reconstruct the position at an arbitrary timestamp from key points.
+    let reconstructor =
+        bqs::core::reconstruct::Reconstructor::uniform(kept).expect("non-empty");
+    let mid = reconstructor.at(18_000.0);
+    println!(
+        "reconstructed position at t=18000 s: ({:.0} m, {:.0} m)",
+        mid.pos.x, mid.pos.y
+    );
+}

@@ -1,0 +1,223 @@
+//! The library's headline guarantee, property-tested end to end: every
+//! error-bounded compressor's output is a subsequence of the input whose
+//! per-segment deviation never exceeds the tolerance — for arbitrary
+//! trajectories, tolerances, metrics and configurations.
+
+use bqs::baselines::{
+    BufferedDpCompressor, BufferedGreedyCompressor, DpCompressor,
+};
+use bqs::core::metrics::DeviationMetric;
+use bqs::core::stream::{compress_all, StreamCompressor};
+use bqs::core::{BoundsMode, BqsCompressor, BqsConfig, FastBqsCompressor, RotationMode};
+use bqs::eval::verify_deviation_bound;
+use bqs::geo::TimedPoint;
+use proptest::prelude::*;
+
+/// An arbitrary-ish trajectory: piecewise motion with jumps, stalls,
+/// clusters and smooth runs, driven entirely by proptest-chosen parameters.
+fn trajectory_strategy() -> impl Strategy<Value = Vec<TimedPoint>> {
+    (
+        2usize..250,
+        proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0, 0.1f64..3.0), 1..8),
+        0u64..1_000_000,
+    )
+        .prop_map(|(n, modes, seed)| {
+            // Deterministic pseudo-random walk mixing the modes.
+            let mut pts = Vec::with_capacity(n);
+            let mut x = 0.0f64;
+            let mut y = 0.0f64;
+            let mut s = seed;
+            let mut rnd = move || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 33) as f64) / ((1u64 << 31) as f64) - 1.0
+            };
+            for i in 0..n {
+                let mode = &modes[i % modes.len()];
+                x += mode.0 * 40.0 + rnd() * mode.2 * 10.0;
+                y += mode.1 * 40.0 + rnd() * mode.2 * 10.0;
+                pts.push(TimedPoint::new(x, y, i as f64));
+            }
+            pts
+        })
+}
+
+fn check<C: StreamCompressor>(
+    mut compressor: C,
+    points: &[TimedPoint],
+    tolerance: f64,
+    metric: DeviationMetric,
+) {
+    let kept = compress_all(&mut compressor, points.iter().copied());
+    if points.is_empty() {
+        assert!(kept.is_empty());
+        return;
+    }
+    let worst = verify_deviation_bound(points, &kept, metric).unwrap_or_else(|| {
+        panic!(
+            "{}: output is not a valid anchored subsequence ({} of {} points)",
+            compressor.name(),
+            kept.len(),
+            points.len()
+        )
+    });
+    assert!(
+        worst <= tolerance + 1e-9,
+        "{}: worst deviation {} > tolerance {}",
+        compressor.name(),
+        worst,
+        tolerance
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bqs_respects_error_bound(points in trajectory_strategy(), tol in 0.5f64..60.0) {
+        let config = BqsConfig::new(tol).unwrap();
+        check(BqsCompressor::new(config), &points, tol, DeviationMetric::PointToLine);
+    }
+
+    #[test]
+    fn fbqs_respects_error_bound(points in trajectory_strategy(), tol in 0.5f64..60.0) {
+        let config = BqsConfig::new(tol).unwrap();
+        check(FastBqsCompressor::new(config), &points, tol, DeviationMetric::PointToLine);
+    }
+
+    #[test]
+    fn bqs_without_rotation_respects_error_bound(
+        points in trajectory_strategy(),
+        tol in 0.5f64..60.0,
+    ) {
+        let config = BqsConfig::new(tol).unwrap().with_rotation(RotationMode::Disabled);
+        check(BqsCompressor::new(config), &points, tol, DeviationMetric::PointToLine);
+    }
+
+    #[test]
+    fn fbqs_with_segment_metric_respects_error_bound(
+        points in trajectory_strategy(),
+        tol in 0.5f64..60.0,
+    ) {
+        let config = BqsConfig::new(tol)
+            .unwrap()
+            .with_metric(DeviationMetric::PointToSegment);
+        check(FastBqsCompressor::new(config), &points, tol, DeviationMetric::PointToSegment);
+    }
+
+    #[test]
+    fn fbqs_with_coarse_bounds_respects_error_bound(
+        points in trajectory_strategy(),
+        tol in 0.5f64..60.0,
+    ) {
+        let config = BqsConfig::new(tol)
+            .unwrap()
+            .with_bounds_mode(BoundsMode::CoarseCorners);
+        check(FastBqsCompressor::new(config), &points, tol, DeviationMetric::PointToLine);
+    }
+
+    #[test]
+    fn baselines_respect_error_bound(
+        points in trajectory_strategy(),
+        tol in 0.5f64..60.0,
+        buffer in 2usize..64,
+    ) {
+        check(DpCompressor::new(tol), &points, tol, DeviationMetric::PointToLine);
+        check(
+            BufferedDpCompressor::new(tol, buffer.max(2)),
+            &points,
+            tol,
+            DeviationMetric::PointToLine,
+        );
+        check(
+            BufferedGreedyCompressor::new(tol, buffer.max(1)),
+            &points,
+            tol,
+            DeviationMetric::PointToLine,
+        );
+    }
+
+    /// FBQS pays for its O(1) guarantee with extra points — *statistically*.
+    /// Per instance the two segmentations diverge after the first
+    /// inconclusive decision and either can come out ahead, so the sound
+    /// per-case property is a sanity envelope, not strict dominance (the
+    /// aggregate dominance is asserted on the paper datasets in
+    /// tests/pipeline.rs and unit tests).
+    #[test]
+    fn fbqs_point_count_stays_in_the_same_league_as_bqs(
+        points in trajectory_strategy(),
+        tol in 0.5f64..60.0,
+    ) {
+        let config = BqsConfig::new(tol).unwrap();
+        let kept_bqs = {
+            let mut c = BqsCompressor::new(config);
+            compress_all(&mut c, points.iter().copied()).len()
+        };
+        let kept_fbqs = {
+            let mut c = FastBqsCompressor::new(config);
+            compress_all(&mut c, points.iter().copied()).len()
+        };
+        prop_assert!(
+            kept_fbqs + 4 >= kept_bqs && kept_fbqs <= kept_bqs * 4 + 8,
+            "FBQS {kept_fbqs} vs BQS {kept_bqs} out of envelope"
+        );
+    }
+
+    /// Idempotence: compressing an already-compressed trajectory at the
+    /// same tolerance must not lose its anchors.
+    #[test]
+    fn compression_output_remains_valid_input(
+        points in trajectory_strategy(),
+        tol in 1.0f64..40.0,
+    ) {
+        let config = BqsConfig::new(tol).unwrap();
+        let kept = {
+            let mut c = BqsCompressor::new(config);
+            compress_all(&mut c, points.iter().copied())
+        };
+        let rekept = {
+            let mut c = BqsCompressor::new(config);
+            compress_all(&mut c, kept.iter().copied())
+        };
+        if !kept.is_empty() {
+            prop_assert_eq!(rekept.first(), kept.first());
+            prop_assert_eq!(rekept.last(), kept.last());
+            prop_assert!(rekept.len() <= kept.len());
+        }
+    }
+}
+
+/// Degenerate streams that historically break streaming compressors.
+#[test]
+fn degenerate_streams() {
+    let configs = [
+        BqsConfig::new(5.0).unwrap(),
+        BqsConfig::new(5.0).unwrap().with_rotation(RotationMode::Disabled),
+    ];
+    for config in configs {
+        for points in [
+            vec![],
+            vec![TimedPoint::new(1.0, 2.0, 0.0)],
+            (0..50).map(|i| TimedPoint::new(1.0, 2.0, i as f64)).collect::<Vec<_>>(), // frozen in place
+            (0..50).map(|i| TimedPoint::new(0.0, 0.0, i as f64)).collect::<Vec<_>>(),
+            // Alternating between two far points (worst-case zigzag).
+            (0..60)
+                .map(|i| TimedPoint::new(if i % 2 == 0 { 0.0 } else { 100.0 }, 0.0, i as f64))
+                .collect(),
+            // A single giant jump.
+            vec![TimedPoint::new(0.0, 0.0, 0.0), TimedPoint::new(1e7, -1e7, 1.0)],
+        ] {
+            check(
+                BqsCompressor::new(config),
+                &points,
+                5.0,
+                DeviationMetric::PointToLine,
+            );
+            check(
+                FastBqsCompressor::new(config),
+                &points,
+                5.0,
+                DeviationMetric::PointToLine,
+            );
+        }
+    }
+}

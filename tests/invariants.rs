@@ -1,0 +1,166 @@
+//! Cross-cutting invariants: the decision-trace semantics of the engine,
+//! store accounting, and simulator guarantees — the contracts downstream
+//! code relies on but no single crate owns.
+
+use bqs::core::engine::{DecisionKind, Outcome};
+use bqs::core::stream::StreamCompressor;
+use bqs::core::{BqsCompressor, BqsConfig, FastBqsCompressor};
+use bqs::geo::{Point2, Rect, TimedPoint};
+use bqs::store::{StoreConfig, TrajectoryStore};
+use proptest::prelude::*;
+
+fn trajectory() -> impl Strategy<Value = Vec<TimedPoint>> {
+    (
+        2usize..200,
+        0u64..1_000_000,
+        1.0f64..60.0, // step scale
+    )
+        .prop_map(|(n, seed, scale)| {
+            let mut s = seed;
+            let mut rnd = move || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 33) as f64) / ((1u64 << 31) as f64) - 1.0
+            };
+            let mut x = 0.0;
+            let mut y = 0.0;
+            (0..n)
+                .map(|i| {
+                    x += rnd() * scale;
+                    y += rnd() * scale;
+                    TimedPoint::new(x, y, i as f64)
+                })
+                .collect()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Trace semantics: the decision kind, the bounds and the outcome must
+    /// tell one consistent story for every push.
+    #[test]
+    fn step_traces_are_internally_consistent(
+        points in trajectory(),
+        tol in 1.0f64..40.0,
+    ) {
+        let config = BqsConfig::new(tol).unwrap();
+        let mut bqs = BqsCompressor::new(config);
+        let mut out = Vec::new();
+        for (i, p) in points.iter().enumerate() {
+            let tr = bqs.push_traced(*p, &mut out);
+            match tr.decided_by {
+                DecisionKind::StreamStart => {
+                    prop_assert_eq!(i, 0);
+                    prop_assert_eq!(tr.outcome, Outcome::Included);
+                }
+                DecisionKind::Trivial | DecisionKind::WarmupScan => {
+                    prop_assert!(tr.bounds.is_none());
+                }
+                DecisionKind::Bounds => {
+                    let b = tr.bounds.expect("bounds decision carries bounds");
+                    prop_assert!(b.is_conclusive(tol));
+                    prop_assert!(tr.actual.is_none(), "bounds decision computes nothing");
+                    // The outcome must match which side was conclusive.
+                    if b.upper <= tol {
+                        prop_assert_eq!(tr.outcome, Outcome::Included);
+                    } else {
+                        prop_assert_eq!(tr.outcome, Outcome::SegmentCut);
+                    }
+                }
+                DecisionKind::FullScan => {
+                    let b = tr.bounds.expect("scan only after inconclusive bounds");
+                    prop_assert!(!b.is_conclusive(tol));
+                    let actual = tr.actual.expect("scan computes the deviation");
+                    if actual <= tol {
+                        prop_assert_eq!(tr.outcome, Outcome::Included);
+                    } else {
+                        prop_assert_eq!(tr.outcome, Outcome::SegmentCut);
+                    }
+                }
+                DecisionKind::AggressiveCut => {
+                    prop_assert!(false, "buffered BQS never cuts aggressively");
+                }
+            }
+        }
+    }
+
+    /// The fast engine never scans and never reports a FullScan trace.
+    #[test]
+    fn fast_engine_never_scans(points in trajectory(), tol in 1.0f64..40.0) {
+        let config = BqsConfig::new(tol).unwrap();
+        let mut fbqs = FastBqsCompressor::new(config);
+        let mut out = Vec::new();
+        for p in &points {
+            let tr = fbqs.push_traced(*p, &mut out);
+            prop_assert!(tr.decided_by != DecisionKind::FullScan);
+            if tr.decided_by == DecisionKind::AggressiveCut {
+                prop_assert_eq!(tr.outcome, Outcome::SegmentCut);
+            }
+        }
+    }
+
+    /// Store accounting: weight equals chords inserted; spatial queries are
+    /// exact supersets of brute-force rectangle filtering.
+    #[test]
+    fn store_accounting_and_query_exactness(
+        trajectories in proptest::collection::vec(trajectory(), 1..6),
+        probe in (-500.0f64..500.0, -500.0f64..500.0, 10.0f64..800.0),
+    ) {
+        let store = TrajectoryStore::new(StoreConfig {
+            merge_tolerance: 0.0, // disable merging: pure accounting test
+            ..StoreConfig::default()
+        });
+        let mut chords = 0u64;
+        let mut all_segments: Vec<(Point2, Point2)> = Vec::new();
+        for t in &trajectories {
+            store.insert_compressed(t, 5.0);
+            if t.len() >= 2 {
+                chords += (t.len() - 1) as u64;
+                for w in t.windows(2) {
+                    all_segments.push((w[0].pos, w[1].pos));
+                }
+            }
+        }
+        prop_assert_eq!(store.total_weight(), chords);
+
+        let rect = Rect::from_corners(
+            Point2::new(probe.0, probe.1),
+            Point2::new(probe.0 + probe.2, probe.1 + probe.2),
+        );
+        let hits = store.query_rect(&rect);
+        let expected = all_segments
+            .iter()
+            .filter(|(a, b)| Rect::from_corners(*a, *b).intersects(&rect))
+            .count();
+        prop_assert_eq!(hits.len(), expected);
+    }
+
+    /// Compressor reuse: after `finish`, a compressor must behave exactly
+    /// like a fresh one.
+    #[test]
+    fn finish_makes_compressors_reusable(points in trajectory(), tol in 1.0f64..40.0) {
+        let config = BqsConfig::new(tol).unwrap();
+        let mut reused = FastBqsCompressor::new(config);
+        let mut first = Vec::new();
+        for p in &points {
+            reused.push(*p, &mut first);
+        }
+        reused.finish(&mut first);
+
+        let mut second = Vec::new();
+        for p in &points {
+            reused.push(*p, &mut second);
+        }
+        reused.finish(&mut second);
+
+        let mut fresh_out = Vec::new();
+        let mut fresh = FastBqsCompressor::new(config);
+        for p in &points {
+            fresh.push(*p, &mut fresh_out);
+        }
+        fresh.finish(&mut fresh_out);
+
+        prop_assert_eq!(&second, &first, "reuse must not change output");
+        prop_assert_eq!(&second, &fresh_out, "reused == fresh");
+    }
+}
