@@ -9,7 +9,7 @@
 
 use crate::dp::douglas_peucker_indices;
 use bqs_core::metrics::DeviationMetric;
-use bqs_core::stream::StreamCompressor;
+use bqs_core::stream::{Sink, StreamCompressor};
 use bqs_geo::{Point2, TimedPoint};
 
 /// Douglas–Peucker over a fixed-size sliding buffer.
@@ -19,6 +19,10 @@ pub struct BufferedDpCompressor {
     metric: DeviationMetric,
     buffer_size: usize,
     buffer: Vec<TimedPoint>,
+    /// Most recent point emitted this stream — the sink interface is
+    /// write-only, so the duplicate-anchor check in `finish` tracks it
+    /// here instead of peeking at the output.
+    last_emitted: Option<TimedPoint>,
 }
 
 impl BufferedDpCompressor {
@@ -39,6 +43,7 @@ impl BufferedDpCompressor {
             metric: DeviationMetric::PointToLine,
             buffer_size,
             buffer: Vec::with_capacity(buffer_size),
+            last_emitted: None,
         }
     }
 
@@ -55,15 +60,20 @@ impl BufferedDpCompressor {
 
     /// Runs DP on the buffer; emits every kept point except the final one,
     /// which seeds the next buffer so consecutive windows share an anchor.
-    fn flush(&mut self, out: &mut Vec<TimedPoint>, last_too: bool) {
+    fn flush(&mut self, out: &mut dyn Sink, last_too: bool) {
         if self.buffer.is_empty() {
             return;
         }
         let positions: Vec<Point2> = self.buffer.iter().map(|p| p.pos).collect();
         let kept = douglas_peucker_indices(&positions, self.tolerance, self.metric);
-        let emit_until = if last_too { kept.len() } else { kept.len().saturating_sub(1) };
+        let emit_until = if last_too {
+            kept.len()
+        } else {
+            kept.len().saturating_sub(1)
+        };
         for &i in &kept[..emit_until] {
             out.push(self.buffer[i]);
+            self.last_emitted = Some(self.buffer[i]);
         }
         let tail = *self.buffer.last().expect("non-empty buffer");
         self.buffer.clear();
@@ -74,21 +84,21 @@ impl BufferedDpCompressor {
 }
 
 impl StreamCompressor for BufferedDpCompressor {
-    fn push(&mut self, p: TimedPoint, out: &mut Vec<TimedPoint>) {
+    fn push(&mut self, p: TimedPoint, out: &mut dyn Sink) {
         self.buffer.push(p);
         if self.buffer.len() >= self.buffer_size {
             self.flush(out, false);
         }
     }
 
-    fn finish(&mut self, out: &mut Vec<TimedPoint>) {
+    fn finish(&mut self, out: &mut dyn Sink) {
         // Emit the remaining window completely. A lone carried-over anchor
         // was already emitted by the previous flush.
-        if self.buffer.len() == 1 && out.last() == self.buffer.first() {
-            self.buffer.clear();
-            return;
+        if !(self.buffer.len() == 1 && self.last_emitted.as_ref() == self.buffer.first()) {
+            self.flush(out, true);
         }
-        self.flush(out, true);
+        self.buffer.clear();
+        self.last_emitted = None;
     }
 
     fn name(&self) -> &'static str {
@@ -102,7 +112,9 @@ mod tests {
     use bqs_core::stream::compress_all;
 
     fn line(n: usize) -> Vec<TimedPoint> {
-        (0..n).map(|i| TimedPoint::new(i as f64 * 10.0, 0.0, i as f64)).collect()
+        (0..n)
+            .map(|i| TimedPoint::new(i as f64 * 10.0, 0.0, i as f64))
+            .collect()
     }
 
     #[test]
@@ -111,7 +123,11 @@ mod tests {
         // strictly more than the optimal 2.
         let mut bdp = BufferedDpCompressor::new(5.0, 32);
         let out = compress_all(&mut bdp, line(100));
-        assert!(out.len() > 2, "BDP must keep window anchors, got {}", out.len());
+        assert!(
+            out.len() > 2,
+            "BDP must keep window anchors, got {}",
+            out.len()
+        );
         assert!(out.len() <= 100 / 32 + 2);
         assert_eq!(out.first().unwrap().t, 0.0);
         assert_eq!(out.last().unwrap().t, 99.0);

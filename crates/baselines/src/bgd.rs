@@ -9,7 +9,7 @@
 //! criticises.
 
 use bqs_core::metrics::DeviationMetric;
-use bqs_core::stream::StreamCompressor;
+use bqs_core::stream::{Sink, StreamCompressor};
 use bqs_geo::{Point2, TimedPoint};
 
 /// The sliding-window greedy compressor.
@@ -59,7 +59,7 @@ impl BufferedGreedyCompressor {
         self.buffer_size
     }
 
-    fn emit(&mut self, p: TimedPoint, out: &mut Vec<TimedPoint>) {
+    fn emit(&mut self, p: TimedPoint, out: &mut dyn Sink) {
         out.push(p);
         self.emitted_last = Some(p);
     }
@@ -71,7 +71,7 @@ impl BufferedGreedyCompressor {
 }
 
 impl StreamCompressor for BufferedGreedyCompressor {
-    fn push(&mut self, p: TimedPoint, out: &mut Vec<TimedPoint>) {
+    fn push(&mut self, p: TimedPoint, out: &mut dyn Sink) {
         let Some(start) = self.start else {
             self.emit(p, out);
             self.restart_at(p);
@@ -79,9 +79,7 @@ impl StreamCompressor for BufferedGreedyCompressor {
             return;
         };
 
-        let deviation = self
-            .metric
-            .max_deviation(&self.window, start.pos, p.pos);
+        let deviation = self.metric.max_deviation(&self.window, start.pos, p.pos);
         if deviation > self.tolerance {
             // Segment ends at the previous point; p opens the next one.
             let key = self.last.expect("a segment has at least its start");
@@ -103,7 +101,7 @@ impl StreamCompressor for BufferedGreedyCompressor {
         }
     }
 
-    fn finish(&mut self, out: &mut Vec<TimedPoint>) {
+    fn finish(&mut self, out: &mut dyn Sink) {
         if let Some(last) = self.last {
             if self.emitted_last != Some(last) {
                 out.push(last);
@@ -126,7 +124,9 @@ mod tests {
     use bqs_core::stream::compress_all;
 
     fn line(n: usize) -> Vec<TimedPoint> {
-        (0..n).map(|i| TimedPoint::new(i as f64 * 10.0, 0.0, i as f64)).collect()
+        (0..n)
+            .map(|i| TimedPoint::new(i as f64 * 10.0, 0.0, i as f64))
+            .collect()
     }
 
     #[test]

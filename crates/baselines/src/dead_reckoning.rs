@@ -13,7 +13,7 @@
 //! they are not interchangeable, which is why the paper compares point
 //! counts rather than mixing it into Fig. 7.
 
-use bqs_core::stream::StreamCompressor;
+use bqs_core::stream::{Sink, StreamCompressor};
 use bqs_geo::{TimedPoint, Vec2};
 
 /// The Dead Reckoning compressor.
@@ -56,7 +56,7 @@ impl DeadReckoningCompressor {
         self.tolerance
     }
 
-    fn take_anchor(&mut self, p: TimedPoint, out: &mut Vec<TimedPoint>) {
+    fn take_anchor(&mut self, p: TimedPoint, out: &mut dyn Sink) {
         out.push(p);
         self.emitted_last = Some(p);
         // Instantaneous velocity from the latest raw sample interval — the
@@ -70,7 +70,7 @@ impl DeadReckoningCompressor {
 }
 
 impl StreamCompressor for DeadReckoningCompressor {
-    fn push(&mut self, p: TimedPoint, out: &mut Vec<TimedPoint>) {
+    fn push(&mut self, p: TimedPoint, out: &mut dyn Sink) {
         match self.anchor {
             None => self.take_anchor(p, out),
             Some(anchor) => {
@@ -84,7 +84,7 @@ impl StreamCompressor for DeadReckoningCompressor {
         self.last = Some(p);
     }
 
-    fn finish(&mut self, out: &mut Vec<TimedPoint>) {
+    fn finish(&mut self, out: &mut dyn Sink) {
         // Keep the true end of the trace so reconstruction can clamp.
         if let Some(last) = self.last {
             if self.emitted_last != Some(last) {
@@ -113,8 +113,9 @@ mod tests {
     /// velocity, prediction is exact and nothing more is kept.
     #[test]
     fn uniform_motion_keeps_first_two_ish_points() {
-        let pts: Vec<TimedPoint> =
-            (0..100).map(|i| TimedPoint::new(i as f64 * 10.0, 0.0, i as f64)).collect();
+        let pts: Vec<TimedPoint> = (0..100)
+            .map(|i| TimedPoint::new(i as f64 * 10.0, 0.0, i as f64))
+            .collect();
         let mut dr = DeadReckoningCompressor::new(5.0);
         let out = compress_all(&mut dr, pts);
         // First anchor has zero velocity, so the second sample breaks the
@@ -148,11 +149,7 @@ mod tests {
         let pts: Vec<TimedPoint> = (0..300)
             .map(|i| {
                 let a = i as f64;
-                TimedPoint::new(
-                    a * 8.0 + (a * 0.31).sin() * 3.0,
-                    (a * 0.17).sin() * 40.0,
-                    a,
-                )
+                TimedPoint::new(a * 8.0 + (a * 0.31).sin() * 3.0, (a * 0.17).sin() * 40.0, a)
             })
             .collect();
         let tolerance = 10.0;

@@ -7,7 +7,7 @@
 //! whose compression rate online algorithms should approach (Fig. 7).
 
 use bqs_core::metrics::DeviationMetric;
-use bqs_core::stream::StreamCompressor;
+use bqs_core::stream::{Sink, StreamCompressor};
 use bqs_geo::{Point2, TimedPoint};
 
 /// Computes the kept indices of a Douglas–Peucker simplification.
@@ -58,11 +58,7 @@ pub fn douglas_peucker_indices(
 }
 
 /// Simplifies a polyline, returning the kept points.
-pub fn douglas_peucker(
-    points: &[Point2],
-    tolerance: f64,
-    metric: DeviationMetric,
-) -> Vec<Point2> {
+pub fn douglas_peucker(points: &[Point2], tolerance: f64, metric: DeviationMetric) -> Vec<Point2> {
     douglas_peucker_indices(points, tolerance, metric)
         .into_iter()
         .map(|i| points[i])
@@ -84,7 +80,11 @@ impl DpCompressor {
     /// Creates an offline DP compressor with the paper's point-to-line
     /// metric.
     pub fn new(tolerance: f64) -> DpCompressor {
-        DpCompressor { tolerance, metric: DeviationMetric::PointToLine, buffer: Vec::new() }
+        DpCompressor {
+            tolerance,
+            metric: DeviationMetric::PointToLine,
+            buffer: Vec::new(),
+        }
     }
 
     /// Replaces the deviation metric.
@@ -100,11 +100,11 @@ impl DpCompressor {
 }
 
 impl StreamCompressor for DpCompressor {
-    fn push(&mut self, p: TimedPoint, _out: &mut Vec<TimedPoint>) {
+    fn push(&mut self, p: TimedPoint, _out: &mut dyn Sink) {
         self.buffer.push(p);
     }
 
-    fn finish(&mut self, out: &mut Vec<TimedPoint>) {
+    fn finish(&mut self, out: &mut dyn Sink) {
         let positions: Vec<Point2> = self.buffer.iter().map(|p| p.pos).collect();
         for i in douglas_peucker_indices(&positions, self.tolerance, self.metric) {
             out.push(self.buffer[i]);
@@ -134,7 +134,9 @@ mod tests {
 
     #[test]
     fn straight_line_keeps_endpoints_only() {
-        let pts: Vec<Point2> = (0..50).map(|i| Point2::new(i as f64, 2.0 * i as f64)).collect();
+        let pts: Vec<Point2> = (0..50)
+            .map(|i| Point2::new(i as f64, 2.0 * i as f64))
+            .collect();
         let kept = douglas_peucker_indices(&pts, 0.5, metric());
         assert_eq!(kept, vec![0, 49]);
     }
@@ -178,7 +180,10 @@ mod tests {
     #[test]
     fn tiny_inputs_returned_whole() {
         assert!(douglas_peucker_indices(&[], 1.0, metric()).is_empty());
-        assert_eq!(douglas_peucker_indices(&[Point2::ORIGIN], 1.0, metric()), vec![0]);
+        assert_eq!(
+            douglas_peucker_indices(&[Point2::ORIGIN], 1.0, metric()),
+            vec![0]
+        );
         assert_eq!(
             douglas_peucker_indices(&[Point2::ORIGIN, Point2::new(1.0, 1.0)], 1.0, metric()),
             vec![0, 1]

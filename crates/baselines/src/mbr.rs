@@ -13,7 +13,7 @@
 //! the run chord, so it slots directly into the comparative harness.
 
 use bqs_core::metrics::DeviationMetric;
-use bqs_core::stream::StreamCompressor;
+use bqs_core::stream::{Sink, StreamCompressor};
 use bqs_geo::{Point2, TimedPoint};
 
 /// The MBR-style run compressor.
@@ -49,7 +49,7 @@ impl MbrCompressor {
         }
     }
 
-    fn emit(&mut self, p: TimedPoint, out: &mut Vec<TimedPoint>) {
+    fn emit(&mut self, p: TimedPoint, out: &mut dyn Sink) {
         out.push(p);
         self.emitted_last = Some(p);
     }
@@ -61,7 +61,7 @@ impl MbrCompressor {
 }
 
 impl StreamCompressor for MbrCompressor {
-    fn push(&mut self, p: TimedPoint, out: &mut Vec<TimedPoint>) {
+    fn push(&mut self, p: TimedPoint, out: &mut dyn Sink) {
         let Some(start) = self.start else {
             self.emit(p, out);
             self.restart(p);
@@ -91,7 +91,7 @@ impl StreamCompressor for MbrCompressor {
         }
     }
 
-    fn finish(&mut self, out: &mut Vec<TimedPoint>) {
+    fn finish(&mut self, out: &mut dyn Sink) {
         if let Some(last) = self.last {
             if self.emitted_last != Some(last) {
                 out.push(last);
@@ -115,8 +115,9 @@ mod tests {
 
     #[test]
     fn straight_line_compresses_to_run_anchors() {
-        let pts: Vec<TimedPoint> =
-            (0..200).map(|i| TimedPoint::new(i as f64 * 10.0, 0.0, i as f64)).collect();
+        let pts: Vec<TimedPoint> = (0..200)
+            .map(|i| TimedPoint::new(i as f64 * 10.0, 0.0, i as f64))
+            .collect();
         let mut mbr = MbrCompressor::new(5.0, 64);
         let out = compress_all(&mut mbr, pts);
         assert!(out.len() <= 200 / 64 + 2);
@@ -153,8 +154,9 @@ mod tests {
 
     #[test]
     fn corner_is_kept() {
-        let mut pts: Vec<TimedPoint> =
-            (0..30).map(|i| TimedPoint::new(i as f64 * 10.0, 0.0, i as f64)).collect();
+        let mut pts: Vec<TimedPoint> = (0..30)
+            .map(|i| TimedPoint::new(i as f64 * 10.0, 0.0, i as f64))
+            .collect();
         pts.extend((1..30).map(|i| TimedPoint::new(290.0, i as f64 * 10.0, 30.0 + i as f64)));
         let mut mbr = MbrCompressor::new(5.0, 128);
         let out = compress_all(&mut mbr, pts);

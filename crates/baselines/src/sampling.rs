@@ -4,7 +4,7 @@
 //! error-bounded compressor must beat in the evaluation, and as honest
 //! representations of what fielded trackers often do (fixed-rate logging).
 
-use bqs_core::stream::StreamCompressor;
+use bqs_core::stream::{Sink, StreamCompressor};
 use bqs_geo::TimedPoint;
 
 /// Keeps the first point and every `k`-th point thereafter, plus the final
@@ -24,12 +24,17 @@ impl UniformSamplingCompressor {
     /// Panics when `every == 0`.
     pub fn new(every: usize) -> UniformSamplingCompressor {
         assert!(every >= 1, "sampling interval must be ≥ 1");
-        UniformSamplingCompressor { every, index: 0, last: None, emitted_last: None }
+        UniformSamplingCompressor {
+            every,
+            index: 0,
+            last: None,
+            emitted_last: None,
+        }
     }
 }
 
 impl StreamCompressor for UniformSamplingCompressor {
-    fn push(&mut self, p: TimedPoint, out: &mut Vec<TimedPoint>) {
+    fn push(&mut self, p: TimedPoint, out: &mut dyn Sink) {
         if self.index.is_multiple_of(self.every) {
             out.push(p);
             self.emitted_last = Some(p);
@@ -38,7 +43,7 @@ impl StreamCompressor for UniformSamplingCompressor {
         self.last = Some(p);
     }
 
-    fn finish(&mut self, out: &mut Vec<TimedPoint>) {
+    fn finish(&mut self, out: &mut dyn Sink) {
         if let Some(last) = self.last {
             if self.emitted_last != Some(last) {
                 out.push(last);
@@ -84,7 +89,7 @@ impl DistanceThresholdCompressor {
 }
 
 impl StreamCompressor for DistanceThresholdCompressor {
-    fn push(&mut self, p: TimedPoint, out: &mut Vec<TimedPoint>) {
+    fn push(&mut self, p: TimedPoint, out: &mut dyn Sink) {
         let keep = match self.anchor {
             None => true,
             Some(a) => a.pos.distance(p.pos) >= self.threshold,
@@ -97,7 +102,7 @@ impl StreamCompressor for DistanceThresholdCompressor {
         self.last = Some(p);
     }
 
-    fn finish(&mut self, out: &mut Vec<TimedPoint>) {
+    fn finish(&mut self, out: &mut dyn Sink) {
         if let Some(last) = self.last {
             if self.emitted_last != Some(last) {
                 out.push(last);
@@ -119,7 +124,9 @@ mod tests {
     use bqs_core::stream::compress_all;
 
     fn line(n: usize) -> Vec<TimedPoint> {
-        (0..n).map(|i| TimedPoint::new(i as f64 * 10.0, 0.0, i as f64)).collect()
+        (0..n)
+            .map(|i| TimedPoint::new(i as f64 * 10.0, 0.0, i as f64))
+            .collect()
     }
 
     #[test]
@@ -142,7 +149,7 @@ mod tests {
     fn distance_threshold_skips_small_moves() {
         let mut s = DistanceThresholdCompressor::new(25.0);
         let out = compress_all(&mut s, line(10)); // 10 m steps
-        // Kept at 0, 30, 60, 90 (every 3rd step ≥ 25 m) + final.
+                                                  // Kept at 0, 30, 60, 90 (every 3rd step ≥ 25 m) + final.
         assert!(out.len() < 10);
         assert_eq!(out.first().unwrap().t, 0.0);
         assert_eq!(out.last().unwrap().t, 9.0);
@@ -150,7 +157,9 @@ mod tests {
 
     #[test]
     fn stationary_object_keeps_two_points() {
-        let pts: Vec<TimedPoint> = (0..50).map(|i| TimedPoint::new(1.0, 1.0, i as f64)).collect();
+        let pts: Vec<TimedPoint> = (0..50)
+            .map(|i| TimedPoint::new(1.0, 1.0, i as f64))
+            .collect();
         let mut s = DistanceThresholdCompressor::new(5.0);
         let out = compress_all(&mut s, pts);
         assert_eq!(out.len(), 2);

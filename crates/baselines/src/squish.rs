@@ -13,7 +13,7 @@
 //!   error bound; the error-bounded flavour runs offline (paper §II), so
 //!   this implementation compresses at `finish`.
 
-use bqs_core::stream::StreamCompressor;
+use bqs_core::stream::{Sink, StreamCompressor};
 use bqs_geo::TimedPoint;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -22,7 +22,11 @@ use std::collections::BinaryHeap;
 /// linearly interpolated at `p.t` between `a` and `b`.
 pub fn sed(p: TimedPoint, a: TimedPoint, b: TimedPoint) -> f64 {
     let span = b.t - a.t;
-    let u = if span <= 0.0 { 1.0 } else { ((p.t - a.t) / span).clamp(0.0, 1.0) };
+    let u = if span <= 0.0 {
+        1.0
+    } else {
+        ((p.t - a.t) / span).clamp(0.0, 1.0)
+    };
     p.pos.distance(a.pos.lerp(b.pos, u))
 }
 
@@ -39,7 +43,9 @@ impl PartialOrd for OrdF64 {
 }
 impl Ord for OrdF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+        self.0
+            .partial_cmp(&other.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
     }
 }
 
@@ -152,7 +158,10 @@ impl SquishCompressor {
     /// Panics when `capacity < 2`.
     pub fn new(capacity: usize) -> SquishCompressor {
         assert!(capacity >= 2, "SQUISH needs capacity ≥ 2");
-        SquishCompressor { capacity, buffer: PriorityBuffer::default() }
+        SquishCompressor {
+            capacity,
+            buffer: PriorityBuffer::default(),
+        }
     }
 
     /// The configured capacity.
@@ -162,16 +171,20 @@ impl SquishCompressor {
 }
 
 impl StreamCompressor for SquishCompressor {
-    fn push(&mut self, p: TimedPoint, _out: &mut Vec<TimedPoint>) {
+    fn push(&mut self, p: TimedPoint, _out: &mut dyn Sink) {
         self.buffer.push(p);
         while self.buffer.live_count > self.capacity {
-            let Some((_, i)) = self.buffer.peek_min() else { break };
+            let Some((_, i)) = self.buffer.peek_min() else {
+                break;
+            };
             self.buffer.remove(i);
         }
     }
 
-    fn finish(&mut self, out: &mut Vec<TimedPoint>) {
-        out.extend(self.buffer.survivors());
+    fn finish(&mut self, out: &mut dyn Sink) {
+        for p in self.buffer.survivors() {
+            out.push(p);
+        }
         self.buffer.clear();
     }
 
@@ -200,7 +213,10 @@ impl SquishECompressor {
             tolerance.is_finite() && tolerance > 0.0,
             "tolerance must be finite and > 0"
         );
-        SquishECompressor { tolerance, buffer: PriorityBuffer::default() }
+        SquishECompressor {
+            tolerance,
+            buffer: PriorityBuffer::default(),
+        }
     }
 
     /// The SED tolerance in use.
@@ -210,18 +226,20 @@ impl SquishECompressor {
 }
 
 impl StreamCompressor for SquishECompressor {
-    fn push(&mut self, p: TimedPoint, _out: &mut Vec<TimedPoint>) {
+    fn push(&mut self, p: TimedPoint, _out: &mut dyn Sink) {
         self.buffer.push(p);
     }
 
-    fn finish(&mut self, out: &mut Vec<TimedPoint>) {
+    fn finish(&mut self, out: &mut dyn Sink) {
         while let Some((pri, i)) = self.buffer.peek_min() {
             if pri > self.tolerance {
                 break;
             }
             self.buffer.remove(i);
         }
-        out.extend(self.buffer.survivors());
+        for p in self.buffer.survivors() {
+            out.push(p);
+        }
         self.buffer.clear();
     }
 
@@ -310,8 +328,9 @@ mod tests {
 
     #[test]
     fn squish_e_straight_line_collapses() {
-        let pts: Vec<TimedPoint> =
-            (0..100).map(|i| TimedPoint::new(i as f64 * 5.0, 0.0, i as f64)).collect();
+        let pts: Vec<TimedPoint> = (0..100)
+            .map(|i| TimedPoint::new(i as f64 * 5.0, 0.0, i as f64))
+            .collect();
         let mut c = SquishECompressor::new(1.0);
         let out = compress_all(&mut c, pts);
         assert_eq!(out.len(), 2);
@@ -326,7 +345,10 @@ mod tests {
         let mut e = SquishECompressor::new(3.0);
         let two = compress_all(
             &mut e,
-            [TimedPoint::new(0.0, 0.0, 0.0), TimedPoint::new(9.0, 9.0, 1.0)],
+            [
+                TimedPoint::new(0.0, 0.0, 0.0),
+                TimedPoint::new(9.0, 9.0, 1.0),
+            ],
         );
         assert_eq!(two.len(), 2);
     }

@@ -11,7 +11,7 @@
 //! priority forward — that difference is what distinguishes the two).
 
 use crate::squish::sed;
-use bqs_core::stream::StreamCompressor;
+use bqs_core::stream::{Sink, StreamCompressor};
 use bqs_geo::TimedPoint;
 
 /// The STTrace compressor.
@@ -29,7 +29,10 @@ impl StTraceCompressor {
     /// Panics when `capacity < 2`.
     pub fn new(capacity: usize) -> StTraceCompressor {
         assert!(capacity >= 2, "STTrace needs capacity ≥ 2");
-        StTraceCompressor { capacity, buffer: Vec::with_capacity(capacity + 1) }
+        StTraceCompressor {
+            capacity,
+            buffer: Vec::with_capacity(capacity + 1),
+        }
     }
 
     /// The configured capacity.
@@ -56,7 +59,7 @@ impl StTraceCompressor {
 }
 
 impl StreamCompressor for StTraceCompressor {
-    fn push(&mut self, p: TimedPoint, _out: &mut Vec<TimedPoint>) {
+    fn push(&mut self, p: TimedPoint, _out: &mut dyn Sink) {
         self.buffer.push(p);
         if self.buffer.len() > self.capacity {
             if let Some(i) = self.min_loss_index() {
@@ -65,8 +68,10 @@ impl StreamCompressor for StTraceCompressor {
         }
     }
 
-    fn finish(&mut self, out: &mut Vec<TimedPoint>) {
-        out.append(&mut self.buffer);
+    fn finish(&mut self, out: &mut dyn Sink) {
+        for p in self.buffer.drain(..) {
+            out.push(p);
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -112,13 +117,15 @@ mod tests {
     fn prefers_informative_points() {
         // Straight run with one sharp corner: the corner must survive heavy
         // eviction pressure.
-        let mut pts: Vec<TimedPoint> =
-            (0..50).map(|i| TimedPoint::new(i as f64 * 10.0, 0.0, i as f64)).collect();
+        let mut pts: Vec<TimedPoint> = (0..50)
+            .map(|i| TimedPoint::new(i as f64 * 10.0, 0.0, i as f64))
+            .collect();
         pts.extend((1..50).map(|i| TimedPoint::new(490.0, i as f64 * 10.0, 50.0 + i as f64)));
         let mut st = StTraceCompressor::new(8);
         let out = compress_all(&mut st, pts);
         assert!(
-            out.iter().any(|p| p.pos.distance(bqs_geo::Point2::new(490.0, 0.0)) < 15.0),
+            out.iter()
+                .any(|p| p.pos.distance(bqs_geo::Point2::new(490.0, 0.0)) < 15.0),
             "corner evicted: {out:?}"
         );
     }

@@ -13,7 +13,10 @@ fn bench(c: &mut Criterion) {
     let variants: [(&str, BqsConfig); 4] = [
         ("full", base),
         ("no_rotation", base.with_rotation(RotationMode::Disabled)),
-        ("coarse_bounds", base.with_bounds_mode(BoundsMode::CoarseCorners)),
+        (
+            "coarse_bounds",
+            base.with_bounds_mode(BoundsMode::CoarseCorners),
+        ),
         ("paper_exact", base.with_bounds_mode(BoundsMode::PaperExact)),
     ];
 

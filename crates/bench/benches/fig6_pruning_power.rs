@@ -21,7 +21,9 @@ fn bench(c: &mut Criterion) {
                 |b, &tol| {
                     b.iter(|| {
                         let mut bqs = BqsCompressor::new(BqsConfig::new(tol).unwrap());
-                        compress_all_with_stats(&mut bqs, trace.points.iter().copied()).0.len()
+                        compress_all_with_stats(&mut bqs, trace.points.iter().copied())
+                            .0
+                            .len()
                     })
                 },
             );

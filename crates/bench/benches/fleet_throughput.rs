@@ -1,0 +1,78 @@
+//! Fleet-engine ingest throughput (points/sec) vs. concurrent session
+//! count — the scaling baseline later sharding/batching/async PRs must
+//! beat.
+//!
+//! Sessions are interleaved round-robin (worst case for per-session cache
+//! locality) and emit into a counting sink, so the measured loop is pure
+//! ingest + decision work with no output materialisation.
+
+use bqs_core::fleet::{CountingFleetSink, FleetConfig, FleetEngine};
+use bqs_core::{BqsConfig, FastBqsCompressor};
+use bqs_geo::TimedPoint;
+use bqs_sim::{RandomWalkConfig, RandomWalkModel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const POINTS_PER_SESSION: usize = 200;
+
+fn tracks(sessions: usize) -> Vec<Vec<TimedPoint>> {
+    (0..sessions)
+        .map(|t| {
+            let cfg = RandomWalkConfig {
+                samples: POINTS_PER_SESSION,
+                ..RandomWalkConfig::default()
+            };
+            RandomWalkModel::new(cfg).generate(t as u64 + 1).points
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_throughput");
+    group.sample_size(10);
+
+    for sessions in [1usize, 16, 128, 1024] {
+        let traces = tracks(sessions);
+        let total = sessions * POINTS_PER_SESSION;
+        group.throughput(Throughput::Elements(total as u64));
+        group.bench_with_input(
+            BenchmarkId::new("fbqs_round_robin", sessions),
+            &traces,
+            |b, traces| {
+                b.iter(|| {
+                    let config = BqsConfig::new(10.0).expect("tolerance");
+                    let mut fleet = FleetEngine::new(FleetConfig::default(), move || {
+                        FastBqsCompressor::new(config)
+                    });
+                    let mut sink = CountingFleetSink::default();
+                    for i in 0..POINTS_PER_SESSION {
+                        for (t, trace) in traces.iter().enumerate() {
+                            fleet.push_tagged(t as u64, black_box(trace[i]), &mut sink);
+                        }
+                    }
+                    fleet.finish_all(&mut sink);
+                    black_box(sink.count)
+                })
+            },
+        );
+    }
+
+    // The single-compressor baseline the fleet layer's overhead is judged
+    // against: same total points, one session, no routing.
+    let solo = tracks(1).remove(0);
+    group.throughput(Throughput::Elements(solo.len() as u64));
+    group.bench_with_input(BenchmarkId::new("solo_baseline", 1), &solo, |b, trace| {
+        b.iter(|| {
+            let config = BqsConfig::new(10.0).expect("tolerance");
+            let mut c = FastBqsCompressor::new(config);
+            let mut sink = bqs_core::CountingSink::new();
+            bqs_core::compress_into(&mut c, trace.iter().copied(), &mut sink);
+            black_box(sink.count)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -25,12 +25,19 @@ fn bench(c: &mut Criterion) {
     let mut q = QuadrantBounds::new(Quadrant::Q1, Point2::new(120.0, 40.0));
     for i in 0..50 {
         let t = i as f64;
-        q.insert(Point2::new(120.0 + t * 17.0, 40.0 + (t * 0.7).sin().abs() * 30.0));
+        q.insert(Point2::new(
+            120.0 + t * 17.0,
+            40.0 + (t * 0.7).sin().abs() * 30.0,
+        ));
     }
     let end = Point2::new(1_000.0, 310.0);
     c.bench_function("kernels/quadrant_bounds_sound", |bch| {
         bch.iter(|| {
-            q.deviation_bounds(black_box(end), DeviationMetric::PointToLine, BoundsMode::Sound)
+            q.deviation_bounds(
+                black_box(end),
+                DeviationMetric::PointToLine,
+                BoundsMode::Sound,
+            )
         })
     });
     c.bench_function("kernels/quadrant_bounds_paper_exact", |bch| {

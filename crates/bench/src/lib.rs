@@ -1,1 +1,13 @@
-// placeholder
+//! # bqs-bench — criterion benchmarks for the BQS workspace
+//!
+//! The crate's library is intentionally empty: all content lives in
+//! `benches/` (one file per paper artefact plus `fleet_throughput`, the
+//! multi-session scaling baseline). Run with:
+//!
+//! ```sh
+//! cargo bench -p bqs-bench                      # everything
+//! cargo bench -p bqs-bench --bench fleet_throughput
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]

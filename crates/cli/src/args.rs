@@ -43,6 +43,19 @@ pub enum Command {
         /// Paper-size data when true.
         full: bool,
     },
+    /// `bqs fleet [--sessions N] [--points N] [--tolerance M] [--algorithm bqs|fbqs] [--shards N]`
+    Fleet {
+        /// Concurrent simulated trackers.
+        sessions: usize,
+        /// Points per tracker.
+        points: usize,
+        /// Error tolerance in metres.
+        tolerance: f64,
+        /// Compressor family: "bqs" or "fbqs".
+        algorithm: String,
+        /// Session shards (rounded up to a power of two).
+        shards: usize,
+    },
     /// `bqs info`
     Info,
     /// `bqs help` (or no arguments).
@@ -58,14 +71,14 @@ USAGE:
   bqs compress <bqs|fbqs|bdp|bgd|dp|dr|squish-e|mbr> <trace.csv>
                [--tolerance M] [--buffer N] [--out FILE]
   bqs verify <original.csv> <compressed.csv> --tolerance M
-  bqs experiments [fig3|fig6|fig7|fig8a|fig8b|table1|table2|table3|ablation|all] [--full]
+  bqs experiments [fig3|fig6|fig7|fig8a|fig8b|table1|table2|table3|ablation|fleet|all]
+                  [--full]
+  bqs fleet [--sessions N] [--points N] [--tolerance M] [--algorithm bqs|fbqs]
+            [--shards N]
   bqs info
 ";
 
-fn take_value<'a>(
-    flag: &str,
-    it: &mut std::slice::Iter<'a, String>,
-) -> Result<&'a String, String> {
+fn take_value<'a>(flag: &str, it: &mut std::slice::Iter<'a, String>) -> Result<&'a String, String> {
     it.next().ok_or_else(|| format!("{flag} requires a value"))
 }
 
@@ -108,7 +121,12 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             if !["bat", "vehicle", "synthetic"].contains(&dataset.as_str()) {
                 return Err(format!("unknown dataset: {dataset}"));
             }
-            Ok(Command::Generate { dataset, seed, full, out })
+            Ok(Command::Generate {
+                dataset,
+                seed,
+                full,
+                out,
+            })
         }
         "compress" => {
             let mut positional: Vec<String> = Vec::new();
@@ -143,7 +161,13 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             if !known.contains(&algorithm.as_str()) {
                 return Err(format!("unknown algorithm: {algorithm}"));
             }
-            Ok(Command::Compress { algorithm, input: positional.remove(0), tolerance, buffer, out })
+            Ok(Command::Compress {
+                algorithm,
+                input: positional.remove(0),
+                tolerance,
+                buffer,
+                out,
+            })
         }
         "verify" => {
             let mut positional: Vec<String> = Vec::new();
@@ -183,6 +207,57 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Experiments { names, full })
         }
+        "fleet" => {
+            let mut sessions = 100usize;
+            let mut points = 500usize;
+            let mut tolerance = 10.0f64;
+            let mut algorithm = "fbqs".to_string();
+            let mut shards = 16usize;
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--sessions" => {
+                        sessions = take_value("--sessions", &mut it)?
+                            .parse()
+                            .map_err(|e| format!("bad --sessions: {e}"))?;
+                    }
+                    "--points" => {
+                        points = take_value("--points", &mut it)?
+                            .parse()
+                            .map_err(|e| format!("bad --points: {e}"))?;
+                    }
+                    "--tolerance" => {
+                        tolerance = take_value("--tolerance", &mut it)?
+                            .parse()
+                            .map_err(|e| format!("bad --tolerance: {e}"))?;
+                    }
+                    "--algorithm" => {
+                        algorithm = take_value("--algorithm", &mut it)?.clone();
+                    }
+                    "--shards" => {
+                        shards = take_value("--shards", &mut it)?
+                            .parse()
+                            .map_err(|e| format!("bad --shards: {e}"))?;
+                    }
+                    other => return Err(format!("unexpected argument: {other}")),
+                }
+            }
+            if sessions == 0 || points == 0 {
+                return Err("fleet needs --sessions ≥ 1 and --points ≥ 1".to_string());
+            }
+            if !(tolerance.is_finite() && tolerance > 0.0) {
+                return Err(format!("tolerance must be > 0, got {tolerance}"));
+            }
+            if !["bqs", "fbqs"].contains(&algorithm.as_str()) {
+                return Err(format!("fleet supports bqs|fbqs, got {algorithm}"));
+            }
+            Ok(Command::Fleet {
+                sessions,
+                points,
+                tolerance,
+                algorithm,
+                shards,
+            })
+        }
         other => Err(format!("unknown command: {other}\n\n{USAGE}")),
     }
 }
@@ -205,10 +280,18 @@ mod tests {
     fn generate_defaults_and_flags() {
         assert_eq!(
             parse(&args("generate bat")).unwrap(),
-            Command::Generate { dataset: "bat".into(), seed: 42, full: false, out: None }
+            Command::Generate {
+                dataset: "bat".into(),
+                seed: 42,
+                full: false,
+                out: None
+            }
         );
         assert_eq!(
-            parse(&args("generate synthetic --seed 7 --scale full --out x.csv")).unwrap(),
+            parse(&args(
+                "generate synthetic --seed 7 --scale full --out x.csv"
+            ))
+            .unwrap(),
             Command::Generate {
                 dataset: "synthetic".into(),
                 seed: 7,
@@ -229,8 +312,10 @@ mod tests {
     #[test]
     fn compress_parses() {
         assert_eq!(
-            parse(&args("compress fbqs in.csv --tolerance 7.5 --buffer 64 --out out.csv"))
-                .unwrap(),
+            parse(&args(
+                "compress fbqs in.csv --tolerance 7.5 --buffer 64 --out out.csv"
+            ))
+            .unwrap(),
             Command::Compress {
                 algorithm: "fbqs".into(),
                 input: "in.csv".into(),
@@ -265,12 +350,53 @@ mod tests {
     fn experiments_parses() {
         assert_eq!(
             parse(&args("experiments fig7 table2 --full")).unwrap(),
-            Command::Experiments { names: vec!["fig7".into(), "table2".into()], full: true }
+            Command::Experiments {
+                names: vec!["fig7".into(), "table2".into()],
+                full: true
+            }
         );
         assert_eq!(
             parse(&args("experiments")).unwrap(),
-            Command::Experiments { names: vec![], full: false }
+            Command::Experiments {
+                names: vec![],
+                full: false
+            }
         );
+    }
+
+    #[test]
+    fn fleet_parses_with_defaults_and_flags() {
+        assert_eq!(
+            parse(&args("fleet")).unwrap(),
+            Command::Fleet {
+                sessions: 100,
+                points: 500,
+                tolerance: 10.0,
+                algorithm: "fbqs".into(),
+                shards: 16
+            }
+        );
+        assert_eq!(
+            parse(&args(
+                "fleet --sessions 8 --points 50 --tolerance 5 --algorithm bqs --shards 4"
+            ))
+            .unwrap(),
+            Command::Fleet {
+                sessions: 8,
+                points: 50,
+                tolerance: 5.0,
+                algorithm: "bqs".into(),
+                shards: 4
+            }
+        );
+    }
+
+    #[test]
+    fn fleet_rejects_bad_input() {
+        assert!(parse(&args("fleet --sessions 0")).is_err());
+        assert!(parse(&args("fleet --tolerance -2")).is_err());
+        assert!(parse(&args("fleet --algorithm dp")).is_err());
+        assert!(parse(&args("fleet --frobnicate")).is_err());
     }
 
     #[test]

@@ -5,7 +5,8 @@ use bqs_baselines::{
     BufferedDpCompressor, BufferedGreedyCompressor, DeadReckoningCompressor, DpCompressor,
     MbrCompressor, SquishECompressor,
 };
-use bqs_core::stream::StreamCompressor;
+use bqs_core::fleet::{FleetConfig, FleetEngine, TrackId};
+use bqs_core::stream::{compress_all, StreamCompressor};
 use bqs_core::{BqsCompressor, BqsConfig, FastBqsCompressor};
 use bqs_eval::experiments;
 use bqs_eval::Scale;
@@ -16,16 +17,32 @@ pub fn run(command: &Command) -> Result<String, String> {
     match command {
         Command::Help => Ok(USAGE.to_string()),
         Command::Info => Ok(info()),
-        Command::Generate { dataset, seed, full, out } => {
-            generate(dataset, *seed, *full, out.as_deref())
-        }
-        Command::Compress { algorithm, input, tolerance, buffer, out } => {
-            compress(algorithm, input, *tolerance, *buffer, out.as_deref())
-        }
-        Command::Verify { original, compressed, tolerance } => {
-            verify(original, compressed, *tolerance)
-        }
+        Command::Generate {
+            dataset,
+            seed,
+            full,
+            out,
+        } => generate(dataset, *seed, *full, out.as_deref()),
+        Command::Compress {
+            algorithm,
+            input,
+            tolerance,
+            buffer,
+            out,
+        } => compress(algorithm, input, *tolerance, *buffer, out.as_deref()),
+        Command::Verify {
+            original,
+            compressed,
+            tolerance,
+        } => verify(original, compressed, *tolerance),
         Command::Experiments { names, full } => run_experiments(names, *full),
+        Command::Fleet {
+            sessions,
+            points,
+            tolerance,
+            algorithm,
+            shards,
+        } => fleet(*sessions, *points, *tolerance, algorithm, *shards),
     }
 }
 
@@ -141,14 +158,115 @@ fn verify(original: &str, compressed: &str, tolerance: f64) -> Result<String, St
             orig.len()
         ))
     } else {
-        Err(format!("FAIL: worst deviation {worst:.3} m > tolerance {tolerance} m"))
+        Err(format!(
+            "FAIL: worst deviation {worst:.3} m > tolerance {tolerance} m"
+        ))
     }
+}
+
+/// Drives a simulated fleet of `sessions` trackers through one
+/// [`FleetEngine`], then cross-checks one session against solo compression
+/// (the interleaving-equivalence guarantee).
+fn fleet(
+    sessions: usize,
+    points: usize,
+    tolerance: f64,
+    algorithm: &str,
+    shards: usize,
+) -> Result<String, String> {
+    use bqs_sim::{RandomWalkConfig, RandomWalkModel};
+    use std::collections::HashMap;
+
+    let config = BqsConfig::new(tolerance).map_err(|e| e.to_string())?;
+    let traces: Vec<Vec<bqs_geo::TimedPoint>> = (0..sessions)
+        .map(|t| {
+            let cfg = RandomWalkConfig {
+                samples: points,
+                ..RandomWalkConfig::default()
+            };
+            RandomWalkModel::new(cfg).generate(t as u64 + 1).points
+        })
+        .collect();
+
+    // One generic driver for both compressor families.
+    fn drive<C>(
+        traces: &[Vec<bqs_geo::TimedPoint>],
+        fleet_config: FleetConfig,
+        factory: impl Fn() -> C,
+    ) -> (
+        HashMap<TrackId, Vec<bqs_geo::TimedPoint>>,
+        bqs_core::DecisionStats,
+        f64,
+    )
+    where
+        C: StreamCompressor + bqs_core::stream::HasDecisionStats,
+    {
+        let mut engine = FleetEngine::new(fleet_config, factory);
+        let mut tagged: HashMap<TrackId, Vec<bqs_geo::TimedPoint>> = HashMap::new();
+        let n = traces.first().map_or(0, Vec::len);
+        let start = std::time::Instant::now();
+        for i in 0..n {
+            for (t, trace) in traces.iter().enumerate() {
+                engine.push_tagged(t as TrackId, trace[i], &mut tagged);
+            }
+        }
+        engine.finish_all(&mut tagged);
+        (tagged, engine.stats(), start.elapsed().as_secs_f64())
+    }
+
+    let fleet_config = FleetConfig {
+        shards,
+        ..FleetConfig::default()
+    };
+    let (tagged, stats, elapsed) = match algorithm {
+        "bqs" => drive(&traces, fleet_config, move || BqsCompressor::new(config)),
+        "fbqs" => drive(&traces, fleet_config, move || {
+            FastBqsCompressor::new(config)
+        }),
+        other => return Err(format!("fleet supports bqs|fbqs, got {other}")),
+    };
+
+    // Equivalence spot-check: the session with the most output must be
+    // byte-identical to compressing its trace alone.
+    let (&probe, fleet_kept) = tagged
+        .iter()
+        .max_by_key(|(_, v)| v.len())
+        .ok_or("fleet produced no output")?;
+    let solo = match algorithm {
+        "bqs" => compress_all(
+            &mut BqsCompressor::new(config),
+            traces[probe as usize].iter().copied(),
+        ),
+        _ => compress_all(
+            &mut FastBqsCompressor::new(config),
+            traces[probe as usize].iter().copied(),
+        ),
+    };
+    if fleet_kept != &solo {
+        return Err(format!(
+            "session {probe}: fleet output diverged from solo compression \
+             ({} vs {} points)",
+            fleet_kept.len(),
+            solo.len()
+        ));
+    }
+
+    let total: usize = traces.iter().map(Vec::len).sum();
+    let kept: usize = tagged.values().map(Vec::len).sum();
+    Ok(format!(
+        "fleet: {sessions} sessions × {points} points \
+         ({algorithm}, {tolerance} m, {shards} shards)\n\
+         {total} → {kept} points (rate {:.2}%), {:.2} Mpts/s\n\
+         pruning power {:.4}; session {probe} verified identical to solo compression\n",
+        100.0 * kept as f64 / total.max(1) as f64,
+        total as f64 / elapsed.max(1e-9) / 1e6,
+        stats.pruning_power(),
+    ))
 }
 
 fn run_experiments(names: &[String], full: bool) -> Result<String, String> {
     let scale = if full { Scale::Full } else { Scale::Quick };
-    let wanted =
-        |name: &str| names.is_empty() || names.iter().any(|n| n == name || n == "all");
+    let wanted = |name: &str| names.is_empty() || names.iter().any(|n| n == name || n == "all");
     let mut out = String::new();
     if wanted("fig3") {
         out.push_str(&experiments::fig3::run(scale).to_table().to_string());
@@ -186,6 +304,9 @@ fn run_experiments(names: &[String], full: bool) -> Result<String, String> {
     }
     if wanted("ablation") {
         out.push_str(&experiments::ablation::run(scale).to_table().to_string());
+    }
+    if wanted("fleet") {
+        out.push_str(&experiments::fleet::run(scale).to_table().to_string());
     }
     if wanted("extended") {
         out.push_str(&experiments::extended::run(scale).to_table().to_string());
@@ -322,12 +443,38 @@ mod tests {
     }
 
     #[test]
+    fn fleet_subcommand_runs_and_verifies() {
+        let text = run(&Command::Fleet {
+            sessions: 6,
+            points: 120,
+            tolerance: 10.0,
+            algorithm: "fbqs".into(),
+            shards: 4,
+        })
+        .unwrap();
+        assert!(text.contains("6 sessions"), "{text}");
+        assert!(text.contains("verified identical"), "{text}");
+        let text = run(&Command::Fleet {
+            sessions: 3,
+            points: 80,
+            tolerance: 8.0,
+            algorithm: "bqs".into(),
+            shards: 2,
+        })
+        .unwrap();
+        assert!(text.contains("3 sessions"), "{text}");
+    }
+
+    #[test]
     fn experiments_subcommand_quick() {
         let cmd = parse(&["experiments".to_string(), "table2".to_string()]).unwrap();
         let text = run(&cmd).unwrap();
         assert!(text.contains("Table II"));
-        let err = run(&Command::Experiments { names: vec!["nope".into()], full: false })
-            .unwrap_err();
+        let err = run(&Command::Experiments {
+            names: vec!["nope".into()],
+            full: false,
+        })
+        .unwrap_err();
         assert!(err.contains("no experiment matched"));
     }
 }

@@ -5,8 +5,10 @@
 //! bqs compress <bqs|fbqs|bdp|bgd|dp|dr|squish-e|mbr> <trace.csv>
 //!              [--tolerance M] [--buffer N] [--out FILE]
 //! bqs verify <original.csv> <compressed.csv> --tolerance M
-//! bqs experiments [fig3|fig6|fig7|fig8a|fig8b|table1|table2|table3|ablation|all]
+//! bqs experiments [fig3|fig6|fig7|fig8a|fig8b|table1|table2|table3|ablation|fleet|all]
 //!                 [--full]
+//! bqs fleet [--sessions N] [--points N] [--tolerance M] [--algorithm bqs|fbqs]
+//!           [--shards N]
 //! bqs info
 //! ```
 //!

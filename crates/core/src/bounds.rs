@@ -17,7 +17,10 @@ pub struct DeviationBounds {
 
 impl DeviationBounds {
     /// Bounds of an empty point set: deviation is exactly zero.
-    pub const EMPTY: DeviationBounds = DeviationBounds { lower: 0.0, upper: 0.0 };
+    pub const EMPTY: DeviationBounds = DeviationBounds {
+        lower: 0.0,
+        upper: 0.0,
+    };
 
     /// Creates a bound pair, clamping the lower bound to the upper.
     ///
@@ -27,7 +30,10 @@ impl DeviationBounds {
     /// bound is checked first by the compressors).
     #[inline]
     pub fn new(lower: f64, upper: f64) -> DeviationBounds {
-        DeviationBounds { lower: lower.min(upper), upper }
+        DeviationBounds {
+            lower: lower.min(upper),
+            upper,
+        }
     }
 
     /// Merges bounds from two point sets: the combined maximum deviation is
@@ -91,7 +97,7 @@ mod tests {
         assert!(DeviationBounds::new(0.0, 4.0).is_conclusive(5.0)); // include
         assert!(DeviationBounds::new(6.0, 9.0).is_conclusive(5.0)); // cut
         assert!(!DeviationBounds::new(3.0, 7.0).is_conclusive(5.0)); // uncertain
-        // Boundary semantics: upper == d is an include; lower == d is uncertain.
+                                                                     // Boundary semantics: upper == d is an include; lower == d is uncertain.
         assert!(DeviationBounds::new(1.0, 5.0).is_conclusive(5.0));
         assert!(!DeviationBounds::new(5.0, 6.0).is_conclusive(5.0));
     }

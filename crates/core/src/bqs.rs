@@ -2,7 +2,7 @@
 
 use crate::config::BqsConfig;
 use crate::engine::{BqsEngine, Fallback, StepTrace};
-use crate::stream::{DecisionStats, HasDecisionStats, StreamCompressor};
+use crate::stream::{DecisionStats, HasDecisionStats, Sink, StreamCompressor};
 use bqs_geo::TimedPoint;
 
 /// The Bounded Quadrant System compressor, buffered variant.
@@ -37,13 +37,15 @@ impl BqsCompressor {
     /// Panics if `config` fails validation — construct configs through
     /// [`BqsConfig::new`] to get a `Result` instead.
     pub fn new(config: BqsConfig) -> BqsCompressor {
-        BqsCompressor { engine: BqsEngine::new(config, Fallback::Scan) }
+        BqsCompressor {
+            engine: BqsEngine::new(config, Fallback::Scan),
+        }
     }
 
     /// Pushes a point and returns the full decision trace (bounds, exact
     /// deviation when computed, decision kind) — the instrumentation behind
     /// the paper's Fig. 3.
-    pub fn push_traced(&mut self, p: TimedPoint, out: &mut Vec<TimedPoint>) -> StepTrace {
+    pub fn push_traced(&mut self, p: TimedPoint, out: &mut dyn Sink) -> StepTrace {
         self.engine.push(p, out)
     }
 
@@ -64,11 +66,11 @@ impl BqsCompressor {
 }
 
 impl StreamCompressor for BqsCompressor {
-    fn push(&mut self, p: TimedPoint, out: &mut Vec<TimedPoint>) {
+    fn push(&mut self, p: TimedPoint, out: &mut dyn Sink) {
         self.engine.push(p, out);
     }
 
-    fn finish(&mut self, out: &mut Vec<TimedPoint>) {
+    fn finish(&mut self, out: &mut dyn Sink) {
         self.engine.finish(out);
     }
 

@@ -20,6 +20,7 @@
 
 use crate::bounds::DeviationBounds;
 use crate::config::BoundsMode;
+use crate::stream::Sink;
 use bqs_geo::{Line3, Plane, Point3, Prism};
 use serde::{Deserialize, Serialize};
 
@@ -35,14 +36,20 @@ pub struct TimedPoint3 {
 impl TimedPoint3 {
     /// Creates a timestamped 3-D point.
     pub const fn new(x: f64, y: f64, z: f64, t: f64) -> TimedPoint3 {
-        TimedPoint3 { pos: Point3::new(x, y, z), t }
+        TimedPoint3 {
+            pos: Point3::new(x, y, z),
+            t,
+        }
     }
 
     /// Builds the **time-sensitive** embedding (§V-G): the z axis carries
     /// the timestamp scaled by `seconds_to_metres`, so one deviation metric
     /// bounds both spatial and temporal error.
     pub fn time_sensitive(x: f64, y: f64, t: f64, seconds_to_metres: f64) -> TimedPoint3 {
-        TimedPoint3 { pos: Point3::new(x, y, t * seconds_to_metres), t }
+        TimedPoint3 {
+            pos: Point3::new(x, y, t * seconds_to_metres),
+            t,
+        }
     }
 }
 
@@ -285,8 +292,7 @@ impl OctantBounds {
             BoundsMode::PaperExact => {
                 // The paper's significant points: plane/edge hits plus the
                 // farthest prism vertex.
-                let mut refined =
-                    line.distance_to(self.prism.farthest_corner_to(Point3::ORIGIN));
+                let mut refined = line.distance_to(self.prism.farthest_corner_to(Point3::ORIGIN));
                 for plane in &planes {
                     for h in plane.intersect_prism_edges(&self.prism) {
                         refined = refined.max(line.distance_to(h));
@@ -316,7 +322,11 @@ impl Bqs3dConfig {
         if !tolerance.is_finite() || tolerance <= 0.0 {
             return Err(crate::config::ConfigError::InvalidTolerance { tolerance });
         }
-        Ok(Bqs3dConfig { tolerance, fast: false, bounds_mode: BoundsMode::Sound })
+        Ok(Bqs3dConfig {
+            tolerance,
+            fast: false,
+            bounds_mode: BoundsMode::Sound,
+        })
     }
 
     /// Switches to the fast (O(1)-per-point) variant.
@@ -360,7 +370,7 @@ impl Bqs3dCompressor {
     }
 
     /// Pushes a point; emits finalised key points into `out`.
-    pub fn push(&mut self, p: TimedPoint3, out: &mut Vec<TimedPoint3>) {
+    pub fn push(&mut self, p: TimedPoint3, out: &mut dyn Sink<TimedPoint3>) {
         let Some(origin) = self.origin else {
             self.emit(p, out);
             self.origin = Some(p.pos);
@@ -427,7 +437,7 @@ impl Bqs3dCompressor {
     }
 
     /// Flushes the final key point and resets for reuse.
-    pub fn finish(&mut self, out: &mut Vec<TimedPoint3>) {
+    pub fn finish(&mut self, out: &mut dyn Sink<TimedPoint3>) {
         if let Some(last) = self.last {
             if self.last_emitted != Some(last) {
                 out.push(last);
@@ -443,7 +453,7 @@ impl Bqs3dCompressor {
         }
     }
 
-    fn emit(&mut self, p: TimedPoint3, out: &mut Vec<TimedPoint3>) {
+    fn emit(&mut self, p: TimedPoint3, out: &mut dyn Sink<TimedPoint3>) {
         out.push(p);
         self.last_emitted = Some(p);
     }
@@ -528,7 +538,11 @@ mod tests {
             let b = o.deviation_bounds(end, BoundsMode::Sound);
             let line = Line3::new(Point3::ORIGIN, end);
             let actual = pts.iter().map(|p| line.distance_to(*p)).fold(0.0, f64::max);
-            assert!(b.upper >= actual - 1e-9, "end {end:?}: ub {} < {actual}", b.upper);
+            assert!(
+                b.upper >= actual - 1e-9,
+                "end {end:?}: ub {} < {actual}",
+                b.upper
+            );
             assert!(b.lower <= b.upper);
         }
     }

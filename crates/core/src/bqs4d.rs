@@ -21,6 +21,7 @@
 //! exact-scan fallback recovers full compression.
 
 use crate::bounds::DeviationBounds;
+use crate::stream::Sink;
 use bqs_geo::point4::{Box4, Line4, Point4};
 use serde::{Deserialize, Serialize};
 
@@ -37,7 +38,10 @@ impl TimedPoint4 {
     /// Builds a sample from planar position, altitude and time, embedding
     /// time on the fourth axis at `seconds_to_metres`.
     pub fn new(x: f64, y: f64, altitude: f64, t: f64, seconds_to_metres: f64) -> TimedPoint4 {
-        TimedPoint4 { pos: Point4::new(x, y, altitude, t * seconds_to_metres), t }
+        TimedPoint4 {
+            pos: Point4::new(x, y, altitude, t * seconds_to_metres),
+            t,
+        }
     }
 }
 
@@ -79,7 +83,10 @@ impl Bqs4dConfig {
         if !tolerance.is_finite() || tolerance <= 0.0 {
             return Err(crate::config::ConfigError::InvalidTolerance { tolerance });
         }
-        Ok(Bqs4dConfig { tolerance, fast: false })
+        Ok(Bqs4dConfig {
+            tolerance,
+            fast: false,
+        })
     }
 
     /// Switches to the fast variant.
@@ -133,7 +140,7 @@ impl Bqs4dCompressor {
     }
 
     /// Pushes a sample; emits finalised key points into `out`.
-    pub fn push(&mut self, p: TimedPoint4, out: &mut Vec<TimedPoint4>) {
+    pub fn push(&mut self, p: TimedPoint4, out: &mut dyn Sink<TimedPoint4>) {
         let Some(origin) = self.origin else {
             self.emit(p, out);
             self.origin = Some(p.pos);
@@ -196,7 +203,7 @@ impl Bqs4dCompressor {
     }
 
     /// Flushes the final key point and resets.
-    pub fn finish(&mut self, out: &mut Vec<TimedPoint4>) {
+    pub fn finish(&mut self, out: &mut dyn Sink<TimedPoint4>) {
         if let Some(last) = self.last {
             if self.last_emitted != Some(last) {
                 out.push(last);
@@ -212,7 +219,7 @@ impl Bqs4dCompressor {
         }
     }
 
-    fn emit(&mut self, p: TimedPoint4, out: &mut Vec<TimedPoint4>) {
+    fn emit(&mut self, p: TimedPoint4, out: &mut dyn Sink<TimedPoint4>) {
         out.push(p);
         self.last_emitted = Some(p);
     }
@@ -290,10 +297,7 @@ mod tests {
         }
         let mut c = Bqs4dCompressor::new(Bqs4dConfig::new(8.0).unwrap());
         let out = compress_all_4d(&mut c, pts);
-        assert!(
-            out.len() >= 3,
-            "the pause must break the 4-D line: {out:?}"
-        );
+        assert!(out.len() >= 3, "the pause must break the 4-D line: {out:?}");
     }
 
     #[test]

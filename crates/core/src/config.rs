@@ -24,7 +24,9 @@ pub enum RotationMode {
 
 impl Default for RotationMode {
     fn default() -> Self {
-        RotationMode::DataCentric { warmup: DEFAULT_ROTATION_WARMUP }
+        RotationMode::DataCentric {
+            warmup: DEFAULT_ROTATION_WARMUP,
+        }
     }
 }
 
@@ -99,7 +101,9 @@ impl BqsConfig {
     /// Checks the configuration invariants.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if !self.tolerance.is_finite() || self.tolerance <= 0.0 {
-            return Err(ConfigError::InvalidTolerance { tolerance: self.tolerance });
+            return Err(ConfigError::InvalidTolerance {
+                tolerance: self.tolerance,
+            });
         }
         if let RotationMode::DataCentric { warmup } = self.rotation {
             if warmup == 0 {
@@ -146,7 +150,9 @@ mod tests {
         assert_eq!(c.metric, DeviationMetric::PointToLine);
         assert_eq!(
             c.rotation,
-            RotationMode::DataCentric { warmup: DEFAULT_ROTATION_WARMUP }
+            RotationMode::DataCentric {
+                warmup: DEFAULT_ROTATION_WARMUP
+            }
         );
         assert_eq!(c.bounds_mode, BoundsMode::Sound);
     }

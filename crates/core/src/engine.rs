@@ -40,7 +40,7 @@ use crate::bounds::DeviationBounds;
 use crate::config::{BqsConfig, RotationMode};
 use crate::quadrant::QuadrantBounds;
 use crate::rotation::SegmentFrame;
-use crate::stream::DecisionStats;
+use crate::stream::{DecisionStats, Sink};
 use bqs_geo::{Point2, Quadrant, TimedPoint};
 
 /// What the engine does when the bounds are inconclusive.
@@ -148,8 +148,8 @@ impl SegmentState {
         } else {
             self.warmup.push(world);
             if self.warmup.len() >= warmup_limit {
-                let centroid = SegmentFrame::centroid(&self.warmup)
-                    .expect("warm-up buffer is non-empty");
+                let centroid =
+                    SegmentFrame::centroid(&self.warmup).expect("warm-up buffer is non-empty");
                 self.frame.fix_rotation(centroid);
                 let origin = self.frame.origin();
                 let r_max = self
@@ -286,7 +286,7 @@ impl BqsEngine {
 
     /// Pushes the next stream point. Emits finalised key points into `out`
     /// and returns the decision trace.
-    pub fn push(&mut self, p: TimedPoint, out: &mut Vec<TimedPoint>) -> StepTrace {
+    pub fn push(&mut self, p: TimedPoint, out: &mut dyn Sink) -> StepTrace {
         self.stats.points += 1;
 
         let Some(state) = self.state.as_mut() else {
@@ -325,8 +325,10 @@ impl BqsEngine {
             )
         } else if !state.frame.is_fixed() {
             // Warm-up: exact deviation over the constant-size warm-up buffer.
-            let actual =
-                self.config.metric.max_deviation(&state.warmup, origin, p.pos);
+            let actual = self
+                .config
+                .metric
+                .max_deviation(&state.warmup, origin, p.pos);
             self.stats.warmup_scans += 1;
             let include = actual <= tolerance;
             (
@@ -335,7 +337,11 @@ impl BqsEngine {
                     bounds: None,
                     actual: Some(actual),
                     decided_by: DecisionKind::WarmupScan,
-                    outcome: if include { Outcome::Included } else { Outcome::SegmentCut },
+                    outcome: if include {
+                        Outcome::Included
+                    } else {
+                        Outcome::SegmentCut
+                    },
                 },
             )
         } else {
@@ -367,12 +373,8 @@ impl BqsEngine {
             } else {
                 match self.fallback {
                     Fallback::Scan => {
-                        let buffer = self
-                            .buffer
-                            .as_ref()
-                            .expect("scan fallback keeps a buffer");
-                        let actual =
-                            self.config.metric.max_deviation(buffer, origin, p.pos);
+                        let buffer = self.buffer.as_ref().expect("scan fallback keeps a buffer");
+                        let actual = self.config.metric.max_deviation(buffer, origin, p.pos);
                         self.stats.full_scans += 1;
                         let include = actual <= tolerance;
                         (
@@ -432,8 +434,10 @@ impl BqsEngine {
 
     /// Ends the current segment at the previous point and restarts with `p`
     /// as the first point of the fresh segment.
-    fn cut_and_restart(&mut self, p: TimedPoint, out: &mut Vec<TimedPoint>) {
-        let key = self.last.expect("a cut is only reachable after an admission");
+    fn cut_and_restart(&mut self, p: TimedPoint, out: &mut dyn Sink) {
+        let key = self
+            .last
+            .expect("a cut is only reachable after an admission");
         self.emit(key, out);
         self.stats.segments += 1;
         self.state = Some(SegmentState::new(key.pos, self.config.rotation));
@@ -448,7 +452,7 @@ impl BqsEngine {
 
     /// Flushes the final point of the last segment and resets the stream
     /// state (statistics are preserved).
-    pub fn finish(&mut self, out: &mut Vec<TimedPoint>) {
+    pub fn finish(&mut self, out: &mut dyn Sink) {
         if let Some(last) = self.last {
             if self.last_emitted != Some(last) {
                 out.push(last);
@@ -462,7 +466,7 @@ impl BqsEngine {
         }
     }
 
-    fn emit(&mut self, p: TimedPoint, out: &mut Vec<TimedPoint>) {
+    fn emit(&mut self, p: TimedPoint, out: &mut dyn Sink) {
         out.push(p);
         self.last_emitted = Some(p);
     }
@@ -521,10 +525,14 @@ mod tests {
             let mut pts: Vec<(f64, f64)> = (0..20).map(|i| (i as f64 * 20.0, 0.0)).collect();
             pts.extend((1..20).map(|i| (380.0, i as f64 * 20.0)));
             let out = drive(&mut e, &pts);
-            assert!(out.len() >= 3, "{fallback:?}: corner must be kept, got {out:?}");
+            assert!(
+                out.len() >= 3,
+                "{fallback:?}: corner must be kept, got {out:?}"
+            );
             // The corner itself must be in the output.
             assert!(
-                out.iter().any(|p| p.pos.distance(Point2::new(380.0, 0.0)) <= 5.0),
+                out.iter()
+                    .any(|p| p.pos.distance(Point2::new(380.0, 0.0)) <= 5.0),
                 "{fallback:?}: corner missing from {out:?}"
             );
         }

@@ -2,7 +2,7 @@
 
 use crate::config::BqsConfig;
 use crate::engine::{BqsEngine, Fallback, StepTrace};
-use crate::stream::{DecisionStats, HasDecisionStats, StreamCompressor};
+use crate::stream::{DecisionStats, HasDecisionStats, Sink, StreamCompressor};
 use bqs_geo::TimedPoint;
 
 /// The Fast Bounded Quadrant System compressor.
@@ -40,11 +40,13 @@ impl FastBqsCompressor {
     /// Panics if `config` fails validation — construct configs through
     /// [`BqsConfig::new`] to get a `Result` instead.
     pub fn new(config: BqsConfig) -> FastBqsCompressor {
-        FastBqsCompressor { engine: BqsEngine::new(config, Fallback::Cut) }
+        FastBqsCompressor {
+            engine: BqsEngine::new(config, Fallback::Cut),
+        }
     }
 
     /// Pushes a point and returns the decision trace.
-    pub fn push_traced(&mut self, p: TimedPoint, out: &mut Vec<TimedPoint>) -> StepTrace {
+    pub fn push_traced(&mut self, p: TimedPoint, out: &mut dyn Sink) -> StepTrace {
         self.engine.push(p, out)
     }
 
@@ -66,11 +68,11 @@ impl FastBqsCompressor {
 }
 
 impl StreamCompressor for FastBqsCompressor {
-    fn push(&mut self, p: TimedPoint, out: &mut Vec<TimedPoint>) {
+    fn push(&mut self, p: TimedPoint, out: &mut dyn Sink) {
         self.engine.push(p, out);
     }
 
-    fn finish(&mut self, out: &mut Vec<TimedPoint>) {
+    fn finish(&mut self, out: &mut dyn Sink) {
         self.engine.finish(out);
     }
 

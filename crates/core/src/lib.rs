@@ -19,8 +19,13 @@
 //! * [`metrics`] — point-to-line vs point-to-segment deviation metrics
 //!   (§IV and Eq. 11).
 //! * [`stream`] — the streaming-compressor trait all algorithms (including
-//!   the baselines crate) implement, plus decision statistics from which
-//!   pruning power is computed.
+//!   the baselines crate) implement, the [`Sink`] emission layer
+//!   (`Vec`, counting, callback, chord and page adapters — zero-allocation
+//!   output paths), plus decision statistics from which pruning power is
+//!   computed.
+//! * [`fleet`] — the multi-session [`FleetEngine`]: hash-sharded sessions
+//!   keyed by track id, per-session compressor state with recycling,
+//!   idle-session eviction and merged decision statistics.
 //! * [`reconstruct`] — timestamp interpolation and trajectory reconstruction
 //!   (Eqs. 1–3), with uniform and online-fitted Gaussian progress models.
 //! * [`bqs3d`] — the 3-D BQS (§V-G): bounding prisms, Θ/Φ bounding planes
@@ -57,6 +62,7 @@ pub mod bqs4d;
 pub mod config;
 pub mod engine;
 pub mod fbqs;
+pub mod fleet;
 pub mod metrics;
 pub mod quadrant;
 pub mod reconstruct;
@@ -70,17 +76,22 @@ pub use bqs3d::{Bqs3dCompressor, Bqs3dConfig, OctantBounds};
 pub use bqs4d::{Bqs4dCompressor, Bqs4dConfig};
 pub use config::{BoundsMode, BqsConfig, ConfigError, RotationMode};
 pub use fbqs::FastBqsCompressor;
+pub use fleet::{FleetConfig, FleetEngine, FleetSink, TrackId};
 pub use metrics::DeviationMetric;
 pub use quadrant::QuadrantBounds;
 pub use segments::{segments, summarize, SegmentView, TrajectorySummary};
-pub use stream::{compress_all, compress_all_with_stats, DecisionStats, StreamCompressor};
+pub use stream::{
+    compress_all, compress_all_with_stats, compress_into, CountingSink, DecisionStats, Sink,
+    StreamCompressor,
+};
 
 /// Convenience re-exports for downstream users.
 pub mod prelude {
     pub use crate::bqs::BqsCompressor;
     pub use crate::config::{BoundsMode, BqsConfig, RotationMode};
     pub use crate::fbqs::FastBqsCompressor;
+    pub use crate::fleet::{FleetConfig, FleetEngine};
     pub use crate::metrics::DeviationMetric;
-    pub use crate::stream::{compress_all, StreamCompressor};
+    pub use crate::stream::{compress_all, compress_into, CountingSink, Sink, StreamCompressor};
     pub use bqs_geo::{Point2, TimedPoint};
 }

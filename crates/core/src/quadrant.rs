@@ -165,9 +165,7 @@ impl QuadrantBounds {
             dist(sp.corners[2]),
             dist(sp.corners[3]),
         ];
-        let min_over = |hits: &RayHits| {
-            hits.iter().map(dist).fold(f64::INFINITY, f64::min)
-        };
+        let min_over = |hits: &RayHits| hits.iter().map(dist).fold(f64::INFINITY, f64::min);
         let max_over = |hits: &RayHits| hits.iter().map(dist).fold(0.0, f64::max);
 
         // Ray lower bounds: each bounding ray carries at least one real
@@ -197,9 +195,7 @@ impl QuadrantBounds {
         }
 
         let upper = match mode {
-            BoundsMode::Sound | BoundsMode::CoarseCorners => {
-                self.sound_upper(&sp, corner_d, dist)
-            }
+            BoundsMode::Sound | BoundsMode::CoarseCorners => self.sound_upper(&sp, corner_d, dist),
             BoundsMode::PaperExact => {
                 if line_in_quadrant {
                     // Theorem 5.3/5.4: max over intersection distances; the

@@ -46,7 +46,10 @@ impl GaussianProgress {
     /// segment duration) and spread `sigma`. `sigma` is clamped away from
     /// zero to keep the CDF invertible.
     pub fn new(mean: f64, sigma: f64) -> GaussianProgress {
-        GaussianProgress { mean: mean.clamp(0.0, 1.0), sigma: sigma.max(1e-6) }
+        GaussianProgress {
+            mean: mean.clamp(0.0, 1.0),
+            sigma: sigma.max(1e-6),
+        }
     }
 
     /// Standard normal CDF via the complementary error function
@@ -133,9 +136,18 @@ impl OnlineGaussianFit {
 
 /// Reconstructs the location at time `t` between two key points (Eqs. 1–3,
 /// generalised over the progress model). Clamps outside `[v_s.t, v_e.t]`.
-pub fn interpolate<P: ProgressModel>(vs: TimedPoint, ve: TimedPoint, t: f64, model: &P) -> TimedPoint {
+pub fn interpolate<P: ProgressModel>(
+    vs: TimedPoint,
+    ve: TimedPoint,
+    t: f64,
+    model: &P,
+) -> TimedPoint {
     let span = ve.t - vs.t;
-    let u = if span <= 0.0 { 1.0 } else { ((t - vs.t) / span).clamp(0.0, 1.0) };
+    let u = if span <= 0.0 {
+        1.0
+    } else {
+        ((t - vs.t) / span).clamp(0.0, 1.0)
+    };
     let w = model.progress(u);
     TimedPoint::at(vs.pos.lerp(ve.pos, w), t)
 }
@@ -282,7 +294,10 @@ mod tests {
     #[test]
     fn reconstructor_rejects_bad_input() {
         assert!(Reconstructor::uniform(vec![]).is_none());
-        let unordered = vec![TimedPoint::new(0.0, 0.0, 10.0), TimedPoint::new(1.0, 0.0, 5.0)];
+        let unordered = vec![
+            TimedPoint::new(0.0, 0.0, 10.0),
+            TimedPoint::new(1.0, 0.0, 5.0),
+        ];
         assert!(Reconstructor::uniform(unordered).is_none());
     }
 }

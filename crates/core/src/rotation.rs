@@ -22,13 +22,21 @@ impl SegmentFrame {
     /// A frame with the identity rotation, fixed immediately (rotation
     /// disabled).
     pub fn axis_aligned(origin: Point2) -> SegmentFrame {
-        SegmentFrame { origin, rot: Rot2::IDENTITY, fixed: true }
+        SegmentFrame {
+            origin,
+            rot: Rot2::IDENTITY,
+            fixed: true,
+        }
     }
 
     /// A frame awaiting data-centric rotation: not usable for quadrant
     /// operations until [`SegmentFrame::fix_rotation`] is called.
     pub fn awaiting_rotation(origin: Point2) -> SegmentFrame {
-        SegmentFrame { origin, rot: Rot2::IDENTITY, fixed: false }
+        SegmentFrame {
+            origin,
+            rot: Rot2::IDENTITY,
+            fixed: false,
+        }
     }
 
     /// The segment start point in world coordinates.

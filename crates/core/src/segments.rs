@@ -56,7 +56,10 @@ impl SegmentView {
 /// Iterates the segments of a compressed trajectory (consecutive key
 /// pairs). Yields nothing for fewer than two keys.
 pub fn segments(keys: &[TimedPoint]) -> impl Iterator<Item = SegmentView> + '_ {
-    keys.windows(2).map(|w| SegmentView { start: w[0], end: w[1] })
+    keys.windows(2).map(|w| SegmentView {
+        start: w[0],
+        end: w[1],
+    })
 }
 
 /// Aggregate statistics of a compressed trajectory.
@@ -118,7 +121,10 @@ mod tests {
 
     #[test]
     fn zero_duration_segment_has_no_speed() {
-        let k = vec![TimedPoint::new(0.0, 0.0, 5.0), TimedPoint::new(10.0, 0.0, 5.0)];
+        let k = vec![
+            TimedPoint::new(0.0, 0.0, 5.0),
+            TimedPoint::new(10.0, 0.0, 5.0),
+        ];
         let seg = segments(&k).next().unwrap();
         assert_eq!(seg.speed_mps(), None);
         assert!(seg.is_dwell(1.0));

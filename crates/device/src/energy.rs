@@ -39,14 +39,24 @@ impl EnergyModel {
     /// Daily energy use, given fixes/day, average per-point CPU operations
     /// (1 for FBQS/DR; ≈ buffer length for scan-based algorithms) and
     /// bytes offloaded per day.
-    pub fn daily_use_mj(&self, fixes_per_day: f64, avg_ops_per_point: f64, bytes_per_day: f64) -> f64 {
+    pub fn daily_use_mj(
+        &self,
+        fixes_per_day: f64,
+        avg_ops_per_point: f64,
+        bytes_per_day: f64,
+    ) -> f64 {
         self.gps_fix_mj * fixes_per_day
             + self.cpu_op_mj * avg_ops_per_point * fixes_per_day
             + self.radio_byte_mj * bytes_per_day
     }
 
     /// Fraction of the daily budget consumed (1.0 = budget exactly spent).
-    pub fn budget_fraction(&self, fixes_per_day: f64, avg_ops_per_point: f64, bytes_per_day: f64) -> f64 {
+    pub fn budget_fraction(
+        &self,
+        fixes_per_day: f64,
+        avg_ops_per_point: f64,
+        bytes_per_day: f64,
+    ) -> f64 {
         self.daily_use_mj(fixes_per_day, avg_ops_per_point, bytes_per_day) / self.daily_budget_mj
     }
 }

@@ -31,8 +31,8 @@ pub mod operational;
 pub mod storage;
 
 pub use camazotz::CamazotzSpec;
-pub use offload::{simulate_offload, OffloadReport};
 pub use energy::EnergyModel;
 pub use memory::{probe_working_set, WorkingSetReport};
+pub use offload::{simulate_offload, OffloadReport};
 pub use operational::{estimate_operational_days, OperationalModel};
 pub use storage::{FlashStorage, SampleCodec, StorageError, GPS_RECORD_BYTES};

@@ -8,8 +8,8 @@
 //! translates it into bytes against the 4 KB RAM budget.
 
 use crate::camazotz::CamazotzSpec;
-use bqs_core::{BqsConfig, FastBqsCompressor};
 use bqs_core::stream::StreamCompressor;
+use bqs_core::{BqsConfig, FastBqsCompressor};
 use bqs_geo::TimedPoint;
 
 /// Bytes per in-RAM point (two f64 coordinates; timestamps live with the
@@ -59,8 +59,7 @@ pub fn probe_working_set(
         report.peak_significant_points = report
             .peak_significant_points
             .max(fbqs.significant_point_count());
-        report.peak_buffered_points =
-            report.peak_buffered_points.max(fbqs.buffered_point_count());
+        report.peak_buffered_points = report.peak_buffered_points.max(fbqs.buffered_point_count());
     }
     fbqs.finish(&mut out);
     report
@@ -85,8 +84,7 @@ mod tests {
 
     #[test]
     fn fbqs_working_set_is_bounded_by_32_points() {
-        let report =
-            probe_working_set(BqsConfig::new(5.0).unwrap(), stream(20_000));
+        let report = probe_working_set(BqsConfig::new(5.0).unwrap(), stream(20_000));
         assert_eq!(report.points, 20_000);
         assert!(
             report.peak_significant_points <= 32,

@@ -25,7 +25,10 @@ pub struct OperationalModel {
 impl OperationalModel {
     /// The paper's model: Camazotz spec, 12-byte records.
     pub fn paper() -> OperationalModel {
-        OperationalModel { spec: CamazotzSpec::paper(), record_bytes: GPS_RECORD_BYTES }
+        OperationalModel {
+            spec: CamazotzSpec::paper(),
+            record_bytes: GPS_RECORD_BYTES,
+        }
     }
 
     /// Whole days of operation before the GPS budget fills, given a

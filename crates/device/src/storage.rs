@@ -46,15 +46,10 @@ impl SampleCodec {
     /// Encodes a fix into 12 bytes. Timestamps must fit an unsigned 32-bit
     /// second counter (136 years — ample for a deployment epoch).
     pub fn encode(fix: LocationPoint, out: &mut BytesMut) -> Result<(), StorageError> {
-        if !(-90.0..=90.0).contains(&fix.latitude)
-            || !(-180.0..=180.0).contains(&fix.longitude)
-        {
+        if !(-90.0..=90.0).contains(&fix.latitude) || !(-180.0..=180.0).contains(&fix.longitude) {
             return Err(StorageError::OutOfRange);
         }
-        if !fix.timestamp.is_finite()
-            || fix.timestamp < 0.0
-            || fix.timestamp > u32::MAX as f64
-        {
+        if !fix.timestamp.is_finite() || fix.timestamp < 0.0 || fix.timestamp > u32::MAX as f64 {
             return Err(StorageError::OutOfRange);
         }
         out.put_i32((fix.latitude * COORD_SCALE).round() as i32);
@@ -85,7 +80,10 @@ pub struct FlashStorage {
 impl FlashStorage {
     /// Creates a store with a byte budget.
     pub fn new(budget_bytes: usize) -> FlashStorage {
-        FlashStorage { budget_bytes, data: BytesMut::with_capacity(budget_bytes.min(1 << 20)) }
+        FlashStorage {
+            budget_bytes,
+            data: BytesMut::with_capacity(budget_bytes.min(1 << 20)),
+        }
     }
 
     /// Appends one record; [`StorageError::Full`] when the budget would be
@@ -134,8 +132,7 @@ mod tests {
     #[test]
     fn record_is_exactly_12_bytes() {
         let mut buf = BytesMut::new();
-        SampleCodec::encode(LocationPoint::new(-27.4698, 153.0251, 12345.0), &mut buf)
-            .unwrap();
+        SampleCodec::encode(LocationPoint::new(-27.4698, 153.0251, 12345.0), &mut buf).unwrap();
         assert_eq!(buf.len(), GPS_RECORD_BYTES);
     }
 

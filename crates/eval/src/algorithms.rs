@@ -5,7 +5,7 @@ use bqs_baselines::{
     BufferedDpCompressor, BufferedGreedyCompressor, DeadReckoningCompressor, DpCompressor,
     MbrCompressor, SquishECompressor, StTraceCompressor,
 };
-use bqs_core::stream::{DecisionStats, HasDecisionStats, StreamCompressor};
+use bqs_core::stream::{compress_into, DecisionStats, HasDecisionStats, StreamCompressor};
 use bqs_core::{BqsCompressor, BqsConfig, FastBqsCompressor};
 use bqs_geo::TimedPoint;
 use std::time::{Duration, Instant};
@@ -77,11 +77,15 @@ impl Algorithm {
         match self {
             Algorithm::Bqs => {
                 let mut c = BqsCompressor::new(BqsConfig::new(tolerance).expect("tolerance"));
-                timed_run(*self, points, &mut c, Some(&|c: &BqsCompressor| c.decision_stats()))
+                timed_run(
+                    *self,
+                    points,
+                    &mut c,
+                    Some(&|c: &BqsCompressor| c.decision_stats()),
+                )
             }
             Algorithm::Fbqs => {
-                let mut c =
-                    FastBqsCompressor::new(BqsConfig::new(tolerance).expect("tolerance"));
+                let mut c = FastBqsCompressor::new(BqsConfig::new(tolerance).expect("tolerance"));
                 timed_run(
                     *self,
                     points,
@@ -113,9 +117,7 @@ impl Algorithm {
             }
             Algorithm::SquishE => {
                 let mut c = SquishECompressor::new(tolerance);
-                timed_run::<_, fn(&SquishECompressor) -> DecisionStats>(
-                    *self, points, &mut c, None,
-                )
+                timed_run::<_, fn(&SquishECompressor) -> DecisionStats>(*self, points, &mut c, None)
             }
             Algorithm::Mbr { max_run } => {
                 let mut c = MbrCompressor::new(tolerance, *max_run);
@@ -123,9 +125,7 @@ impl Algorithm {
             }
             Algorithm::StTrace { capacity } => {
                 let mut c = StTraceCompressor::new(*capacity);
-                timed_run::<_, fn(&StTraceCompressor) -> DecisionStats>(
-                    *self, points, &mut c, None,
-                )
+                timed_run::<_, fn(&StTraceCompressor) -> DecisionStats>(*self, points, &mut c, None)
             }
         }
     }
@@ -142,11 +142,10 @@ where
     F: Fn(&C) -> DecisionStats,
 {
     let start = Instant::now();
+    // `compress_into` pre-sizes from the stream length, so a sweep does
+    // not pay per-trace reallocation inside the timed region.
     let mut kept = Vec::new();
-    for p in points {
-        compressor.push(*p, &mut kept);
-    }
-    compressor.finish(&mut kept);
+    compress_into(compressor, points.iter().copied(), &mut kept);
     let elapsed = start.elapsed();
     CompressionRun {
         algorithm,
@@ -233,8 +232,9 @@ mod tests {
 
     #[test]
     fn bqs_beats_window_algorithms_on_compressible_input() {
-        let pts: Vec<TimedPoint> =
-            (0..500).map(|i| TimedPoint::new(i as f64 * 10.0, 0.0, i as f64)).collect();
+        let pts: Vec<TimedPoint> = (0..500)
+            .map(|i| TimedPoint::new(i as f64 * 10.0, 0.0, i as f64))
+            .collect();
         let bqs = Algorithm::Bqs.run(&pts, 5.0).kept_count;
         let bdp = Algorithm::Bdp { buffer: 32 }.run(&pts, 5.0).kept_count;
         assert!(bqs < bdp, "BQS {bqs} !< BDP {bdp}");

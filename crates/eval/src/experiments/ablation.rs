@@ -147,9 +147,9 @@ mod tests {
             .filter(|r| !r.variant.contains("rotation")) // rotation changes the frame, not the fallback
             .map(|r| r.compression_rate)
             .collect();
-        let (min, max) = rates
-            .iter()
-            .fold((f64::INFINITY, 0.0f64), |(lo, hi), r| (lo.min(*r), hi.max(*r)));
+        let (min, max) = rates.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), r| {
+            (lo.min(*r), hi.max(*r))
+        });
         assert!(
             max - min < 0.02,
             "bound-mode variants should compress almost identically: {rates:?}"

@@ -53,7 +53,14 @@ impl ExtendedResult {
                 "Extended comparison — all algorithms (d = {} m, {} points)",
                 self.tolerance, self.points
             ),
-            &["algorithm", "params", "bounded err", "online+O(1)ish mem", "rate", "time(ms)"],
+            &[
+                "algorithm",
+                "params",
+                "bounded err",
+                "online+O(1)ish mem",
+                "rate",
+                "time(ms)",
+            ],
         );
         for r in &self.rows {
             t.row(vec![
@@ -74,13 +81,28 @@ fn roster() -> Vec<(Algorithm, String, bool, bool)> {
     vec![
         (Algorithm::Bqs, "exact fallback".into(), true, false),
         (Algorithm::Fbqs, "≤32 pts".into(), true, true),
-        (Algorithm::Bdp { buffer: 32 }, "window 32".into(), true, true),
-        (Algorithm::Bgd { buffer: 32 }, "window 32".into(), true, true),
+        (
+            Algorithm::Bdp { buffer: 32 },
+            "window 32".into(),
+            true,
+            true,
+        ),
+        (
+            Algorithm::Bgd { buffer: 32 },
+            "window 32".into(),
+            true,
+            true,
+        ),
         (Algorithm::Dp, "offline".into(), true, false),
         (Algorithm::DeadReckoning, "v + heading".into(), true, true),
         (Algorithm::SquishE, "SED ε, offline".into(), true, false),
         (Algorithm::Mbr { max_run: 32 }, "run 32".into(), true, true),
-        (Algorithm::StTrace { capacity: 128 }, "sample 128".into(), false, true),
+        (
+            Algorithm::StTrace { capacity: 128 },
+            "sample 128".into(),
+            false,
+            true,
+        ),
     ]
 }
 
@@ -105,7 +127,11 @@ pub fn run_on(trace: &Trace, tolerance: f64) -> ExtendedResult {
             }
         })
         .collect();
-    ExtendedResult { tolerance, points: trace.len(), rows }
+    ExtendedResult {
+        tolerance,
+        points: trace.len(),
+        rows,
+    }
 }
 
 #[cfg(test)]
@@ -117,7 +143,10 @@ mod tests {
         let result = run(Scale::Quick);
         assert_eq!(result.rows.len(), 9);
         for r in &result.rows {
-            assert!(r.compression_rate > 0.0 && r.compression_rate <= 1.0, "{r:?}");
+            assert!(
+                r.compression_rate > 0.0 && r.compression_rate <= 1.0,
+                "{r:?}"
+            );
         }
     }
 

@@ -81,7 +81,11 @@ pub fn run(scale: Scale) -> Fig6Result {
     let vehicle = super::vehicle_trace(scale);
     Fig6Result {
         bat: sweep_trace(&bat, "bat", &super::sweep(&BAT_TOLERANCES, scale)),
-        vehicle: sweep_trace(&vehicle, "vehicle", &super::sweep(&VEHICLE_TOLERANCES, scale)),
+        vehicle: sweep_trace(
+            &vehicle,
+            "vehicle",
+            &super::sweep(&VEHICLE_TOLERANCES, scale),
+        ),
     }
 }
 
@@ -133,9 +137,17 @@ mod tests {
     #[test]
     fn compression_improves_with_tolerance() {
         let result = run(Scale::Quick);
-        let rates: Vec<f64> = result.bat.points.iter().map(|p| p.compression_rate).collect();
+        let rates: Vec<f64> = result
+            .bat
+            .points
+            .iter()
+            .map(|p| p.compression_rate)
+            .collect();
         for w in rates.windows(2) {
-            assert!(w[1] <= w[0] + 0.01, "rate should not grow with tolerance: {rates:?}");
+            assert!(
+                w[1] <= w[0] + 0.01,
+                "rate should not grow with tolerance: {rates:?}"
+            );
         }
     }
 

@@ -82,12 +82,20 @@ pub fn run_8a(scale: Scale) -> Fig8aResult {
 /// Runs Fig. 8b over tolerances 2–20 m.
 pub fn run_8b(scale: Scale) -> Fig8bResult {
     let trace = super::synthetic_trace(scale);
-    let tolerances: Vec<f64> =
-        super::sweep(&[2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0, 18.0, 20.0], scale);
+    let tolerances: Vec<f64> = super::sweep(
+        &[2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0, 18.0, 20.0],
+        scale,
+    );
     let points = parallel_map(&tolerances, default_workers(), |&tolerance| {
         let fbqs = Algorithm::Fbqs.run(&trace.points, tolerance).kept_count;
-        let dr = Algorithm::DeadReckoning.run(&trace.points, tolerance).kept_count;
-        PointsUsed { tolerance, fbqs, dr }
+        let dr = Algorithm::DeadReckoning
+            .run(&trace.points, tolerance)
+            .kept_count;
+        PointsUsed {
+            tolerance,
+            fbqs,
+            dr,
+        }
     });
     Fig8bResult { points }
 }
@@ -109,7 +117,11 @@ mod tests {
         let result = run_8b(Scale::Quick);
         assert!(!result.points.is_empty());
         // The paper's headline: DR ≈ 1.4× at small tolerances.
-        let avg_overhead: f64 = result.points.iter().map(PointsUsed::dr_overhead).sum::<f64>()
+        let avg_overhead: f64 = result
+            .points
+            .iter()
+            .map(PointsUsed::dr_overhead)
+            .sum::<f64>()
             / result.points.len() as f64;
         assert!(
             avg_overhead > 1.15,

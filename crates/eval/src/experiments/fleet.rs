@@ -1,0 +1,188 @@
+//! Fleet-scaling experiment (beyond the paper): throughput and compression
+//! of the multi-session [`FleetEngine`] as the number of concurrent
+//! trackers grows.
+//!
+//! The paper evaluates one tracker at a time; the deployment it motivates
+//! is a fleet. This experiment interleaves `n` synthetic trackers
+//! round-robin — the worst case for per-session locality — through one
+//! engine and reports points/second, compression rate, merged pruning
+//! power, and shard skew. Output goes to a [`CountingFleetSink`], so the
+//! measured path allocates no output storage.
+
+use crate::report::TextTable;
+use crate::Scale;
+use bqs_core::fleet::{CountingFleetSink, FleetConfig, FleetEngine};
+use bqs_core::{BqsConfig, FastBqsCompressor};
+use bqs_geo::TimedPoint;
+use bqs_sim::{RandomWalkConfig, RandomWalkModel};
+use std::time::Instant;
+
+/// Tolerance used throughout (the paper's 10 m default).
+pub const TOLERANCE: f64 = 10.0;
+
+/// One row of the scaling sweep.
+#[derive(Debug, Clone)]
+pub struct FleetRow {
+    /// Concurrent sessions.
+    pub sessions: usize,
+    /// Total points pushed across all sessions.
+    pub points: usize,
+    /// Kept points across all sessions.
+    pub kept: usize,
+    /// Wall-clock ingest throughput in points/second.
+    pub points_per_sec: f64,
+    /// Merged pruning power across sessions.
+    pub pruning_power: f64,
+    /// Max/mean shard load ratio (1.0 = perfectly even).
+    pub shard_skew: f64,
+}
+
+/// Full result.
+#[derive(Debug, Clone)]
+pub struct FleetResult {
+    /// One row per session count.
+    pub rows: Vec<FleetRow>,
+}
+
+impl FleetResult {
+    /// Renders the result as a text table.
+    pub fn to_table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Fleet — multi-session scaling (FBQS, 10 m, round-robin interleave)",
+            &[
+                "sessions", "points", "kept", "rate %", "Mpts/s", "pruning", "skew",
+            ],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.sessions.to_string(),
+                r.points.to_string(),
+                r.kept.to_string(),
+                format!("{:.2}", 100.0 * r.kept as f64 / r.points.max(1) as f64),
+                format!("{:.3}", r.points_per_sec / 1e6),
+                format!("{:.4}", r.pruning_power),
+                format!("{:.2}", r.shard_skew),
+            ]);
+        }
+        t
+    }
+}
+
+/// Per-session synthetic trace: a correlated random walk, seeded per track
+/// so every session follows a distinct path.
+fn track_points(track: u64, n: usize) -> Vec<TimedPoint> {
+    let config = RandomWalkConfig {
+        samples: n,
+        ..RandomWalkConfig::default()
+    };
+    RandomWalkModel::new(config)
+        .generate(track.wrapping_mul(0x9E37_79B9).wrapping_add(1))
+        .points
+}
+
+/// Session counts for the sweep at each scale.
+pub fn session_counts(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Quick => vec![1, 8, 64],
+        Scale::Full => vec![1, 10, 100, 1_000, 10_000],
+    }
+}
+
+/// Points per session at each scale.
+pub fn points_per_session(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 200,
+        Scale::Full => 1_000,
+    }
+}
+
+/// Runs the scaling sweep.
+pub fn run(scale: Scale) -> FleetResult {
+    let per_session = points_per_session(scale);
+    let mut rows = Vec::new();
+    for sessions in session_counts(scale) {
+        let traces: Vec<Vec<TimedPoint>> = (0..sessions)
+            .map(|t| track_points(t as u64, per_session))
+            .collect();
+
+        let config = BqsConfig::new(TOLERANCE).expect("tolerance");
+        let mut fleet = FleetEngine::new(FleetConfig::default(), move || {
+            FastBqsCompressor::new(config)
+        });
+        let mut sink = CountingFleetSink::default();
+
+        let start = Instant::now();
+        for i in 0..per_session {
+            for (t, trace) in traces.iter().enumerate() {
+                fleet.push_tagged(t as u64, trace[i], &mut sink);
+            }
+        }
+        // Peak shard occupancy, observed from the engine itself while
+        // every session is still live (finish_all empties the shards).
+        let skew = shard_skew(&fleet.shard_loads());
+        fleet.finish_all(&mut sink);
+        let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+
+        let stats = fleet.stats();
+        let total_points = per_session * sessions;
+        rows.push(FleetRow {
+            sessions,
+            points: total_points,
+            kept: sink.count,
+            points_per_sec: total_points as f64 / elapsed,
+            pruning_power: stats.pruning_power(),
+            shard_skew: skew,
+        });
+    }
+    FleetResult { rows }
+}
+
+/// Max/mean shard-occupancy ratio from observed per-shard session loads.
+fn shard_skew(loads: &[usize]) -> f64 {
+    let total: usize = loads.iter().sum();
+    if total == 0 || loads.is_empty() {
+        return 1.0;
+    }
+    let max = *loads.iter().max().expect("non-empty") as f64;
+    let mean = total as f64 / loads.len() as f64;
+    max / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_produces_sane_rows() {
+        let result = run(Scale::Quick);
+        assert_eq!(result.rows.len(), 3);
+        for row in &result.rows {
+            assert_eq!(row.points, row.sessions * points_per_session(Scale::Quick));
+            assert!(
+                row.kept >= 2 * row.sessions,
+                "each session keeps ≥ 2 points"
+            );
+            assert!(row.kept <= row.points);
+            assert!(row.points_per_sec > 0.0);
+            assert!(row.pruning_power >= 0.99, "FBQS never full-scans");
+            assert!(row.shard_skew >= 1.0);
+        }
+        let table = result.to_table();
+        assert_eq!(table.len(), 3);
+    }
+
+    #[test]
+    fn compression_rate_is_stable_across_session_counts() {
+        // Multiplexing must not change per-stream behaviour: the aggregate
+        // rate at 64 sessions stays in the same band as at 1 session
+        // (sessions differ by seed, so allow a loose band).
+        let result = run(Scale::Quick);
+        let rate = |r: &FleetRow| r.kept as f64 / r.points as f64;
+        let first = rate(&result.rows[0]);
+        let last = rate(result.rows.last().unwrap());
+        assert!(
+            (first - last).abs() < 0.25,
+            "rates diverged: {first:.3} vs {last:.3}"
+        );
+    }
+}

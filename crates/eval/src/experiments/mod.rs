@@ -6,6 +6,7 @@ pub mod fig3;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod fleet;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -64,7 +64,14 @@ impl Table1Result {
     pub fn to_table(&self) -> TextTable {
         let mut t = TextTable::new(
             "Table I — worst-case complexity (measured ns/point on adversarial input)",
-            &["algorithm", "claimed time", "claimed space", "ns/pt @min n", "ns/pt @max n", "growth"],
+            &[
+                "algorithm",
+                "claimed time",
+                "claimed space",
+                "ns/pt @min n",
+                "ns/pt @max n",
+                "growth",
+            ],
         );
         for s in &self.series {
             t.row(vec![
@@ -97,7 +104,11 @@ fn time_run<C: StreamCompressor>(mut compressor: C, points: &[TimedPoint]) -> Sc
     let total_ns = start.elapsed().as_nanos();
     // The compressible input must actually compress (sanity, not timing).
     assert!(kept.len() < points.len() / 2 || points.len() < 8);
-    ScalingCell { n: points.len(), total_ns, ns_per_point: total_ns as f64 / points.len() as f64 }
+    ScalingCell {
+        n: points.len(),
+        total_ns,
+        ns_per_point: total_ns as f64 / points.len() as f64,
+    }
 }
 
 /// Runs the scaling ladder.
@@ -134,13 +145,20 @@ pub fn run(scale: Scale) -> Table1Result {
             &stream,
         ));
         // "Unconstrained buffer": the window can hold the whole stream.
-        bdp.cells
-            .push(time_run(BufferedDpCompressor::new(tolerance, n.max(2)), &stream));
-        bgd.cells
-            .push(time_run(BufferedGreedyCompressor::new(tolerance, n.max(1)), &stream));
+        bdp.cells.push(time_run(
+            BufferedDpCompressor::new(tolerance, n.max(2)),
+            &stream,
+        ));
+        bgd.cells.push(time_run(
+            BufferedGreedyCompressor::new(tolerance, n.max(1)),
+            &stream,
+        ));
     }
 
-    Table1Result { sizes, series: vec![fbqs, bdp, bgd] }
+    Table1Result {
+        sizes,
+        series: vec![fbqs, bdp, bgd],
+    }
 }
 
 #[cfg(test)]
@@ -158,7 +176,11 @@ mod tests {
     #[test]
     fn bgd_per_point_cost_grows_fbqs_does_not() {
         let result = run(Scale::Quick);
-        let fbqs = result.series.iter().find(|s| s.algorithm == "FBQS").unwrap();
+        let fbqs = result
+            .series
+            .iter()
+            .find(|s| s.algorithm == "FBQS")
+            .unwrap();
         let bgd = result.series.iter().find(|s| s.algorithm == "BGD").unwrap();
         // On an 8× size ladder, quadratic BGD grows per-point cost ~8×;
         // generous margins keep this robust on noisy CI machines.

@@ -111,8 +111,10 @@ mod tests {
         let bgd = result.row("BGD").unwrap().days;
         let dr = result.row("DR").unwrap().days;
         assert!(bqs >= fbqs, "BQS {bqs} d < FBQS {fbqs} d");
-        assert!(fbqs > bdp && fbqs > bgd && fbqs > dr,
-            "FBQS {fbqs} d must beat BDP {bdp}, BGD {bgd}, DR {dr}");
+        assert!(
+            fbqs > bdp && fbqs > bgd && fbqs > dr,
+            "FBQS {fbqs} d must beat BDP {bdp}, BGD {bgd}, DR {dr}"
+        );
     }
 
     #[test]

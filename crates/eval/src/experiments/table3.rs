@@ -52,7 +52,10 @@ impl Table3Result {
     pub fn to_table(&self) -> TextTable {
         let buffers = [32usize, 64, 128, 256];
         let mut t = TextTable::new(
-            format!("Table III — rate & run time vs buffer size ({} points)", self.points),
+            format!(
+                "Table III — rate & run time vs buffer size ({} points)",
+                self.points
+            ),
             &["metric", "algorithm", "32", "64", "128", "256"],
         );
         for s in &self.series {
@@ -117,13 +120,19 @@ pub fn run(scale: Scale) -> Table3Result {
                 }
             })
             .collect();
-        RuntimeSeries { algorithm: label, cells }
+        RuntimeSeries {
+            algorithm: label,
+            cells,
+        }
     };
 
     let bdp = sweep(&|b| Algorithm::Bdp { buffer: b }, "BDP");
     let bgd = sweep(&|b| Algorithm::Bgd { buffer: b }, "BGD");
 
-    Table3Result { points: stream.len(), series: vec![fbqs, bdp, bgd] }
+    Table3Result {
+        points: stream.len(),
+        series: vec![fbqs, bdp, bgd],
+    }
 }
 
 #[cfg(test)]

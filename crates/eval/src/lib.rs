@@ -14,6 +14,7 @@
 //! | [`experiments::table2`] | Table II — estimated operational time |
 //! | [`experiments::table3`] | Table III — run time vs. buffer size |
 //! | [`experiments::ablation`] | extra — rotation / bounds-tier ablations |
+//! | [`experiments::fleet`] | extra — multi-session FleetEngine scaling |
 //!
 //! Supporting modules: [`metrics`] (compression rate, error verification),
 //! [`algorithms`] (a uniform factory over every compressor in the

@@ -96,8 +96,7 @@ mod tests {
     fn verify_bound_happy_path() {
         let original = pts(&[(0.0, 0.0), (1.0, 0.4), (2.0, 0.0)]);
         let kept = vec![original[0], original[2]];
-        let worst =
-            verify_deviation_bound(&original, &kept, DeviationMetric::PointToLine).unwrap();
+        let worst = verify_deviation_bound(&original, &kept, DeviationMetric::PointToLine).unwrap();
         assert!((worst - 0.4).abs() < 1e-12);
     }
 

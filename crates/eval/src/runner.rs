@@ -1,11 +1,10 @@
 //! Parallel sweep execution.
 //!
 //! Tolerance sweeps are embarrassingly parallel: each `(algorithm,
-//! tolerance)` cell is independent. A scoped crossbeam fan-out keeps the
-//! full-scale experiments (hundreds of thousands of points × 5 algorithms ×
-//! 10 tolerances) tolerable on a laptop without any `'static` gymnastics.
-
-use crossbeam::thread;
+//! tolerance)` cell is independent. A `std::thread::scope` fan-out keeps
+//! the full-scale experiments (hundreds of thousands of points × 5
+//! algorithms × 10 tolerances) tolerable on a laptop without any `'static`
+//! gymnastics.
 
 /// Maps `f` over `inputs` in parallel with at most `max_threads` workers,
 /// preserving input order in the output.
@@ -24,12 +23,12 @@ where
     let next = std::sync::atomic::AtomicUsize::new(0);
     let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
 
-    thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
             let next = &next;
             let f = &f;
-            scope.spawn(move |_| loop {
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -37,8 +36,7 @@ where
                 tx.send((i, f(&inputs[i]))).expect("collector alive");
             });
         }
-    })
-    .expect("worker panicked");
+    });
     drop(tx);
 
     let mut indexed: Vec<(usize, R)> = rx.into_iter().collect();

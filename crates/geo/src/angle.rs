@@ -266,10 +266,10 @@ mod tests {
 
     #[test]
     fn angle_difference_wraps() {
-        assert!((angle_difference(179f64.to_radians(), -179f64.to_radians())
-            - 2f64.to_radians())
-        .abs()
-            < 1e-12);
+        assert!(
+            (angle_difference(179f64.to_radians(), -179f64.to_radians()) - 2f64.to_radians()).abs()
+                < 1e-12
+        );
         assert_eq!(angle_difference(1.0, 1.0), 0.0);
     }
 

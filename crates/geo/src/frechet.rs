@@ -74,8 +74,7 @@ mod tests {
         let a = line(0.0, 8);
         let b: Vec<Point2> = (0..12).map(|i| Point2::new(i as f64 * 7.0, 3.0)).collect();
         assert!(
-            (discrete_frechet(&a, &b).unwrap() - discrete_frechet(&b, &a).unwrap()).abs()
-                < 1e-12
+            (discrete_frechet(&a, &b).unwrap() - discrete_frechet(&b, &a).unwrap()).abs() < 1e-12
         );
     }
 
@@ -112,11 +111,15 @@ mod tests {
 
     #[test]
     fn reversed_commute_is_similar() {
-        let out: Vec<Point2> = (0..20).map(|i| Point2::new(i as f64 * 50.0, (i as f64 * 0.3).sin() * 5.0)).collect();
+        let out: Vec<Point2> = (0..20)
+            .map(|i| Point2::new(i as f64 * 50.0, (i as f64 * 0.3).sin() * 5.0))
+            .collect();
         let back: Vec<Point2> = out.iter().rev().copied().collect();
         assert!(frechet_similar(&out, &back, 1.0));
         // But a genuinely different road is not.
-        let other: Vec<Point2> = (0..20).map(|i| Point2::new(i as f64 * 50.0, 400.0)).collect();
+        let other: Vec<Point2> = (0..20)
+            .map(|i| Point2::new(i as f64 * 50.0, 400.0))
+            .collect();
         assert!(!frechet_similar(&out, &other, 50.0));
     }
 

@@ -49,12 +49,7 @@ pub fn initial_bearing_deg(lat1: f64, lon1: f64, lat2: f64, lon2: f64) -> GeoRes
 
 /// Destination point after travelling `distance_m` from `(lat, lon)` on the
 /// initial bearing `bearing_deg`. Returns `(lat, lon)` in degrees.
-pub fn destination(
-    lat: f64,
-    lon: f64,
-    bearing_deg: f64,
-    distance_m: f64,
-) -> GeoResult<(f64, f64)> {
+pub fn destination(lat: f64, lon: f64, bearing_deg: f64, distance_m: f64) -> GeoResult<(f64, f64)> {
     check(lat, lon)?;
     if !distance_m.is_finite() || distance_m < 0.0 {
         return Err(GeoError::NonFiniteCoordinate { what: "distance" });
@@ -64,9 +59,7 @@ pub fn destination(
     let p1 = lat.to_radians();
     let l1 = lon.to_radians();
     let p2 = (p1.sin() * delta.cos() + p1.cos() * delta.sin() * theta.cos()).asin();
-    let l2 = l1
-        + (theta.sin() * delta.sin() * p1.cos())
-            .atan2(delta.cos() - p1.sin() * p2.sin());
+    let l2 = l1 + (theta.sin() * delta.sin() * p1.cos()).atan2(delta.cos() - p1.sin() * p2.sin());
     let lon2 = (l2.to_degrees() + 540.0) % 360.0 - 180.0;
     Ok((p2.to_degrees(), lon2))
 }
@@ -96,7 +89,10 @@ mod tests {
         let pa = crate::proj::utm_from_wgs84(a.0, a.1).unwrap().to_point();
         let pb = crate::proj::utm_from_wgs84(b.0, b.1).unwrap().to_point();
         let utm = pa.distance(pb);
-        assert!((utm / hav - 1.0).abs() < 0.005, "utm {utm} vs haversine {hav}");
+        assert!(
+            (utm / hav - 1.0).abs() < 0.005,
+            "utm {utm} vs haversine {hav}"
+        );
     }
 
     #[test]
@@ -113,7 +109,10 @@ mod tests {
         for (bearing, dist) in [(0.0, 5_000.0), (90.0, 12_000.0), (217.0, 800.0)] {
             let (lat2, lon2) = destination(lat, lon, bearing, dist).unwrap();
             let back = haversine_m(lat, lon, lat2, lon2).unwrap();
-            assert!((back - dist).abs() < 0.5, "bearing {bearing}: {back} vs {dist}");
+            assert!(
+                (back - dist).abs() < 0.5,
+                "bearing {bearing}: {back} vs {dist}"
+            );
             let b = initial_bearing_deg(lat, lon, lat2, lon2).unwrap();
             assert!((b - bearing).abs() < 0.1, "bearing {b} vs {bearing}");
         }

@@ -40,8 +40,7 @@ pub fn convex_hull(points: &[Point2]) -> Vec<Point2> {
     // Upper hull.
     let lower_len = hull.len() + 1;
     for &p in pts.iter().rev().skip(1) {
-        while hull.len() >= lower_len
-            && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        while hull.len() >= lower_len && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
         {
             hull.pop();
         }
@@ -122,7 +121,10 @@ mod tests {
             Point2::new(-1.0, 2.0),
         ];
         let hull = convex_hull(&pts);
-        assert!(polygon_area(&hull) > 0.0, "hull should be counter-clockwise");
+        assert!(
+            polygon_area(&hull) > 0.0,
+            "hull should be counter-clockwise"
+        );
     }
 
     #[test]
@@ -131,8 +133,9 @@ mod tests {
         let single = convex_hull(&[Point2::new(1.0, 1.0)]);
         assert_eq!(single, vec![Point2::new(1.0, 1.0)]);
         // All collinear → two extreme points.
-        let collinear: Vec<Point2> =
-            (0..5).map(|i| Point2::new(i as f64, 2.0 * i as f64)).collect();
+        let collinear: Vec<Point2> = (0..5)
+            .map(|i| Point2::new(i as f64, 2.0 * i as f64))
+            .collect();
         let hull = convex_hull(&collinear);
         assert_eq!(hull.len(), 2);
         assert!(hull.contains(&Point2::new(0.0, 0.0)));

@@ -40,15 +40,13 @@ pub use angle::{normalize_angle, Quadrant};
 pub use frechet::{discrete_frechet, frechet_similar};
 pub use geodesic::{destination, haversine_m, initial_bearing_deg};
 pub use hull::convex_hull;
-pub use line::{
-    point_to_line_distance, point_to_segment_distance, Line2, Line3, Segment2,
-};
+pub use line::{point_to_line_distance, point_to_segment_distance, Line2, Line3, Segment2};
 pub use plane::Plane;
 pub use point::{LocationPoint, Point2, Point3, TimedPoint};
 pub use point4::{Box4, Line4, Point4};
 pub use polyline::{
-    max_deviation, max_deviation_segment, max_deviation_to_chord,
-    max_deviation_to_chord_segment, path_length, verify_error_bound,
+    max_deviation, max_deviation_segment, max_deviation_to_chord, max_deviation_to_chord_segment,
+    path_length, verify_error_bound,
 };
 pub use prism::Prism;
 pub use proj::{utm_from_wgs84, wgs84_from_utm, UtmCoord, UtmZone};

@@ -255,9 +255,7 @@ mod tests {
             Point2::new(-50.0, 3.0),
             Point2::new(2.0, 0.5),
         ] {
-            assert!(
-                point_to_segment_distance(p, a, b) >= point_to_line_distance(p, a, b) - 1e-12
-            );
+            assert!(point_to_segment_distance(p, a, b) >= point_to_line_distance(p, a, b) - 1e-12);
         }
     }
 

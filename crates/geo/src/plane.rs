@@ -29,7 +29,10 @@ impl Plane {
             return None;
         }
         let n = normal.scale(1.0 / len);
-        Some(Plane { normal: n, d: n.dot(point) })
+        Some(Plane {
+            normal: n,
+            d: n.dot(point),
+        })
     }
 
     /// Builds the plane through three points. Returns `None` when the points
@@ -157,8 +160,7 @@ mod tests {
 
     #[test]
     fn segment_intersection() {
-        let p = Plane::from_normal_and_point(Point3::new(0.0, 0.0, 1.0), Point3::ORIGIN)
-            .unwrap(); // z = 0
+        let p = Plane::from_normal_and_point(Point3::new(0.0, 0.0, 1.0), Point3::ORIGIN).unwrap(); // z = 0
         let hit = p
             .intersect_segment(Point3::new(0.0, 0.0, -1.0), Point3::new(0.0, 0.0, 3.0))
             .unwrap();
@@ -177,11 +179,9 @@ mod tests {
     fn plane_prism_intersection_points_are_on_both() {
         let prism = Prism::from_corners(Point3::new(0.0, 0.0, 0.0), Point3::new(2.0, 2.0, 2.0));
         // Diagonal plane x + y + z = 3 cuts through the box.
-        let plane = Plane::from_normal_and_point(
-            Point3::new(1.0, 1.0, 1.0),
-            Point3::new(1.0, 1.0, 1.0),
-        )
-        .unwrap();
+        let plane =
+            Plane::from_normal_and_point(Point3::new(1.0, 1.0, 1.0), Point3::new(1.0, 1.0, 1.0))
+                .unwrap();
         let pts = plane.intersect_prism_edges(&prism);
         assert!(!pts.is_empty());
         for p in &pts {
@@ -195,11 +195,9 @@ mod tests {
     #[test]
     fn plane_missing_prism() {
         let prism = Prism::from_corners(Point3::ORIGIN, Point3::new(1.0, 1.0, 1.0));
-        let plane = Plane::from_normal_and_point(
-            Point3::new(0.0, 0.0, 1.0),
-            Point3::new(0.0, 0.0, 5.0),
-        )
-        .unwrap(); // z = 5
+        let plane =
+            Plane::from_normal_and_point(Point3::new(0.0, 0.0, 1.0), Point3::new(0.0, 0.0, 5.0))
+                .unwrap(); // z = 5
         assert!(plane.intersect_prism_edges(&prism).is_empty());
     }
 }

@@ -20,7 +20,12 @@ pub struct Point4 {
 
 impl Point4 {
     /// The origin.
-    pub const ORIGIN: Point4 = Point4 { x: 0.0, y: 0.0, z: 0.0, w: 0.0 };
+    pub const ORIGIN: Point4 = Point4 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+        w: 0.0,
+    };
 
     /// Creates a point from components.
     #[inline]
@@ -33,14 +38,24 @@ impl Point4 {
     #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn sub(self, rhs: Point4) -> Point4 {
-        Point4::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z, self.w - rhs.w)
+        Point4::new(
+            self.x - rhs.x,
+            self.y - rhs.y,
+            self.z - rhs.z,
+            self.w - rhs.w,
+        )
     }
 
     /// Component-wise addition.
     #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn add(self, rhs: Point4) -> Point4 {
-        Point4::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z, self.w + rhs.w)
+        Point4::new(
+            self.x + rhs.x,
+            self.y + rhs.y,
+            self.z + rhs.z,
+            self.w + rhs.w,
+        )
     }
 
     /// Scales all components.

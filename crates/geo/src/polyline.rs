@@ -69,7 +69,11 @@ pub fn verify_error_bound(
     metric_segment: bool,
 ) -> Option<f64> {
     if original.is_empty() {
-        return if kept_indices.is_empty() { Some(0.0) } else { None };
+        return if kept_indices.is_empty() {
+            Some(0.0)
+        } else {
+            None
+        };
     }
     if kept_indices.first() != Some(&0) || kept_indices.last() != Some(&(original.len() - 1)) {
         return None;
@@ -123,10 +127,7 @@ mod tests {
     fn deviation_of_short_polylines_is_zero() {
         assert_eq!(max_deviation(&[]), 0.0);
         assert_eq!(max_deviation(&[Point2::ORIGIN]), 0.0);
-        assert_eq!(
-            max_deviation(&[Point2::ORIGIN, Point2::new(5.0, 5.0)]),
-            0.0
-        );
+        assert_eq!(max_deviation(&[Point2::ORIGIN, Point2::new(5.0, 5.0)]), 0.0);
     }
 
     #[test]

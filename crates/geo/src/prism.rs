@@ -205,8 +205,7 @@ mod tests {
         let cs = p.corners();
         for (a, b) in Prism::EDGES {
             let d = cs[b].sub(cs[a]);
-            let nonzero =
-                (d.x != 0.0) as u8 + (d.y != 0.0) as u8 + (d.z != 0.0) as u8;
+            let nonzero = (d.x != 0.0) as u8 + (d.y != 0.0) as u8 + (d.z != 0.0) as u8;
             assert_eq!(nonzero, 1, "edge ({a},{b}) must be axis-aligned");
         }
     }

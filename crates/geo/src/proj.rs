@@ -11,7 +11,6 @@ use crate::point::{LocationPoint, Point2, TimedPoint};
 use crate::{GeoError, GeoResult};
 use serde::{Deserialize, Serialize};
 
-
 /// WGS-84 semi-major axis (metres).
 pub const WGS84_A: f64 = 6_378_137.0;
 /// WGS-84 flattening.
@@ -39,7 +38,10 @@ impl UtmZone {
         validate_wgs84(latitude, longitude)?;
         let lon = normalize_lon(longitude);
         let number = (((lon + 180.0) / 6.0).floor() as i32).clamp(0, 59) as u8 + 1;
-        Ok(UtmZone { number, north: latitude >= 0.0 })
+        Ok(UtmZone {
+            number,
+            north: latitude >= 0.0,
+        })
     }
 
     /// Central meridian of the zone in degrees.
@@ -115,20 +117,19 @@ impl Kruger {
             let n6 = n5 * n;
             let a_rect = WGS84_A / (1.0 + n) * (1.0 + n2 / 4.0 + n4 / 64.0 + n6 / 256.0);
             let alpha = [
-                n / 2.0 - 2.0 / 3.0 * n2 + 5.0 / 16.0 * n3 + 41.0 / 180.0 * n4
-                    - 127.0 / 288.0 * n5
+                n / 2.0 - 2.0 / 3.0 * n2 + 5.0 / 16.0 * n3 + 41.0 / 180.0 * n4 - 127.0 / 288.0 * n5
                     + 7891.0 / 37800.0 * n6,
                 13.0 / 48.0 * n2 - 3.0 / 5.0 * n3 + 557.0 / 1440.0 * n4 + 281.0 / 630.0 * n5
                     - 1_983_433.0 / 1_935_360.0 * n6,
-                61.0 / 240.0 * n3 - 103.0 / 140.0 * n4 + 15_061.0 / 26_880.0 * n5
+                61.0 / 240.0 * n3 - 103.0 / 140.0 * n4
+                    + 15_061.0 / 26_880.0 * n5
                     + 167_603.0 / 181_440.0 * n6,
                 49_561.0 / 161_280.0 * n4 - 179.0 / 168.0 * n5 + 6_601_661.0 / 7_257_600.0 * n6,
                 34_729.0 / 80_640.0 * n5 - 3_418_889.0 / 1_995_840.0 * n6,
                 212_378_941.0 / 319_334_400.0 * n6,
             ];
             let beta = [
-                n / 2.0 - 2.0 / 3.0 * n2 + 37.0 / 96.0 * n3 - 1.0 / 360.0 * n4
-                    - 81.0 / 512.0 * n5
+                n / 2.0 - 2.0 / 3.0 * n2 + 37.0 / 96.0 * n3 - 1.0 / 360.0 * n4 - 81.0 / 512.0 * n5
                     + 96_199.0 / 604_800.0 * n6,
                 1.0 / 48.0 * n2 + 1.0 / 15.0 * n3 - 437.0 / 1440.0 * n4 + 46.0 / 105.0 * n5
                     - 1_118_711.0 / 3_870_720.0 * n6,
@@ -138,7 +139,11 @@ impl Kruger {
                 4583.0 / 161_280.0 * n5 - 108_847.0 / 3_991_680.0 * n6,
                 20_648_693.0 / 638_668_800.0 * n6,
             ];
-            Kruger { a_rect, alpha, beta }
+            Kruger {
+                a_rect,
+                alpha,
+                beta,
+            }
         })
     }
 }
@@ -175,7 +180,11 @@ pub fn utm_from_wgs84_zone(latitude: f64, longitude: f64, zone: UtmZone) -> GeoR
     if !zone.north {
         northing += UTM_FALSE_NORTHING_SOUTH;
     }
-    Ok(UtmCoord { easting, northing, zone })
+    Ok(UtmCoord {
+        easting,
+        northing,
+        zone,
+    })
 }
 
 /// Projects a WGS-84 coordinate into its natural UTM zone.
@@ -187,7 +196,9 @@ pub fn utm_from_wgs84(latitude: f64, longitude: f64) -> GeoResult<UtmCoord> {
 /// Inverse projection: UTM → WGS-84 `(latitude, longitude)` in degrees.
 pub fn wgs84_from_utm(coord: UtmCoord) -> GeoResult<(f64, f64)> {
     if !coord.easting.is_finite() || !coord.northing.is_finite() {
-        return Err(GeoError::NonFiniteCoordinate { what: "utm coordinate" });
+        return Err(GeoError::NonFiniteCoordinate {
+            what: "utm coordinate",
+        });
     }
     let k = Kruger::wgs84();
 
@@ -221,8 +232,7 @@ pub fn wgs84_from_utm(coord: UtmCoord) -> GeoResult<(f64, f64)> {
     let mut tau = tau_prime / e2m; // first-order seed
     for _ in 0..8 {
         let taupa = taupf(tau);
-        let dtau = (tau_prime - taupa) * (1.0 + e2m * tau * tau)
-            / (e2m * hyp(tau) * hyp(taupa));
+        let dtau = (tau_prime - taupa) * (1.0 + e2m * tau * tau) / (e2m * hyp(tau) * hyp(taupa));
         tau += dtau;
         if dtau.abs() < 1e-14 * (1.0 + tau.abs()) {
             break;
@@ -249,7 +259,11 @@ impl ConformalExt for f64 {
         let sin_phi = self;
         let cos_phi = (1.0 - sin_phi * sin_phi).max(0.0).sqrt();
         if cos_phi == 0.0 {
-            return if sin_phi >= 0.0 { f64::INFINITY } else { f64::NEG_INFINITY };
+            return if sin_phi >= 0.0 {
+                f64::INFINITY
+            } else {
+                f64::NEG_INFINITY
+            };
         }
         let tau = sin_phi / cos_phi;
         let sigma = (e * (e * sin_phi).atanh()).sinh();
@@ -353,8 +367,7 @@ mod tests {
                 * phi.tan()
                 * (big_a * big_a / 2.0
                     + (5.0 - t + 9.0 * c + 4.0 * c * c) * big_a.powi(4) / 24.0
-                    + (61.0 - 58.0 * t + t * t + 600.0 * c - 330.0 * ep2) * big_a.powi(6)
-                        / 720.0));
+                    + (61.0 - 58.0 * t + t * t + 600.0 * c - 330.0 * ep2) * big_a.powi(6) / 720.0));
         if !zone.north {
             northing += UTM_FALSE_NORTHING_SOUTH;
         }

@@ -19,7 +19,10 @@ impl Rot2 {
     /// Rotation by `angle` radians counter-clockwise.
     #[inline]
     pub fn from_angle(angle: f64) -> Rot2 {
-        Rot2 { cos: angle.cos(), sin: angle.sin() }
+        Rot2 {
+            cos: angle.cos(),
+            sin: angle.sin(),
+        }
     }
 
     /// Rotation that maps the direction of `v` onto the +x axis (i.e. by
@@ -31,7 +34,10 @@ impl Rot2 {
     #[inline]
     pub fn aligning_to_x(v: Vec2) -> Rot2 {
         match v.normalized() {
-            Some(u) => Rot2 { cos: u.x, sin: -u.y },
+            Some(u) => Rot2 {
+                cos: u.x,
+                sin: -u.y,
+            },
             None => Rot2::IDENTITY,
         }
     }
@@ -45,13 +51,19 @@ impl Rot2 {
     /// The inverse rotation.
     #[inline]
     pub fn inverse(self) -> Rot2 {
-        Rot2 { cos: self.cos, sin: -self.sin }
+        Rot2 {
+            cos: self.cos,
+            sin: -self.sin,
+        }
     }
 
     /// Applies the rotation to a vector.
     #[inline]
     pub fn apply_vec(self, v: Vec2) -> Vec2 {
-        Vec2::new(self.cos * v.x - self.sin * v.y, self.sin * v.x + self.cos * v.y)
+        Vec2::new(
+            self.cos * v.x - self.sin * v.y,
+            self.sin * v.x + self.cos * v.y,
+        )
     }
 
     /// Rotates `p` about `center`.

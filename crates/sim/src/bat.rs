@@ -126,8 +126,7 @@ impl BatModel {
         let c = &self.config;
         let heading_noise = VonMises::new(0.0, c.heading_kappa).expect("valid von Mises");
         let dwell_dist = Exp::new(1.0 / c.mean_dwell).expect("positive rate");
-        let speed_dist =
-            Normal::new(c.cruise_speed_mean, c.cruise_speed_sd).expect("valid normal");
+        let speed_dist = Normal::new(c.cruise_speed_mean, c.cruise_speed_sd).expect("valid normal");
         let jitter = Normal::new(0.0, c.dwell_jitter).expect("valid normal");
 
         let mut pos = c.roost;
@@ -148,7 +147,15 @@ impl BatModel {
         targets.push(c.roost);
 
         for target in targets {
-            self.fly(rng, points, t, &mut pos, target, &heading_noise, &speed_dist);
+            self.fly(
+                rng,
+                points,
+                t,
+                &mut pos,
+                target,
+                &heading_noise,
+                &speed_dist,
+            );
             let dwell_time = dwell_dist.sample(rng).clamp(300.0, 4.0 * c.mean_dwell);
             self.dwell(rng, points, t, &mut pos, dwell_time, &jitter);
         }
@@ -172,9 +179,8 @@ impl BatModel {
         let c = &self.config;
         let arrival_radius = 60.0;
         // Guard against unreachable targets: cap leg duration generously.
-        let max_steps = ((pos.distance(target) / c.cruise_speed_mean / c.sample_interval)
-            * 4.0) as usize
-            + 50;
+        let max_steps =
+            ((pos.distance(target) / c.cruise_speed_mean / c.sample_interval) * 4.0) as usize + 50;
         for _ in 0..max_steps {
             if pos.distance(target) <= arrival_radius {
                 break;
@@ -222,7 +228,10 @@ mod tests {
     use super::*;
 
     fn small() -> BatModelConfig {
-        BatModelConfig { nights: 2, ..BatModelConfig::default() }
+        BatModelConfig {
+            nights: 2,
+            ..BatModelConfig::default()
+        }
     }
 
     #[test]
@@ -267,7 +276,10 @@ mod tests {
             .filter(|w| w[0].speed_to(w[1]).is_some_and(|s| s < 2.0))
             .count();
         let frac = slow as f64 / trace.len() as f64;
-        assert!(frac > 0.15, "stationary fraction {frac} too low for a roosting animal");
+        assert!(
+            frac > 0.15,
+            "stationary fraction {frac} too low for a roosting animal"
+        );
     }
 
     #[test]
@@ -289,10 +301,15 @@ mod tests {
     #[test]
     fn night_count_scales_output() {
         let two = BatModel::new(small()).generate(6).len();
-        let four =
-            BatModel::new(BatModelConfig { nights: 4, ..BatModelConfig::default() })
-                .generate(6)
-                .len();
-        assert!(four > two + two / 2, "four nights {four} vs two nights {two}");
+        let four = BatModel::new(BatModelConfig {
+            nights: 4,
+            ..BatModelConfig::default()
+        })
+        .generate(6)
+        .len();
+        assert!(
+            four > two + two / 2,
+            "four nights {four} vs two nights {two}"
+        );
     }
 }

@@ -22,19 +22,23 @@ pub struct DatasetSpec {
 }
 
 /// The paper's tolerance sweep for the bat data (Figs. 6a, 7a): 2–20 m.
-pub const BAT_TOLERANCES: [f64; 10] =
-    [2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0, 18.0, 20.0];
+pub const BAT_TOLERANCES: [f64; 10] = [2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0, 18.0, 20.0];
 
 /// The paper's tolerance sweep for the vehicle data (Figs. 6b, 7b): 5–50 m.
 pub const VEHICLE_TOLERANCES: [f64; 10] =
     [5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0, 45.0, 50.0];
 
 /// Dataset spec for the bat data.
-pub const BAT_SPEC: DatasetSpec = DatasetSpec { name: "bat", tolerances: &BAT_TOLERANCES };
+pub const BAT_SPEC: DatasetSpec = DatasetSpec {
+    name: "bat",
+    tolerances: &BAT_TOLERANCES,
+};
 
 /// Dataset spec for the vehicle data.
-pub const VEHICLE_SPEC: DatasetSpec =
-    DatasetSpec { name: "vehicle", tolerances: &VEHICLE_TOLERANCES };
+pub const VEHICLE_SPEC: DatasetSpec = DatasetSpec {
+    name: "vehicle",
+    tolerances: &VEHICLE_TOLERANCES,
+};
 
 /// GPS noise applied to all "field" datasets (σ per axis, metres).
 const FIELD_GPS_SIGMA: f64 = 1.0;
@@ -51,7 +55,10 @@ pub fn bat_dataset(seed: u64) -> Trace {
 pub fn bat_dataset_sized(seed: u64, nights: usize, collars: usize) -> Trace {
     let parts: Vec<Trace> = (0..collars)
         .map(|i| {
-            let config = BatModelConfig { nights, ..BatModelConfig::default() };
+            let config = BatModelConfig {
+                nights,
+                ..BatModelConfig::default()
+            };
             let raw = BatModel::new(config).generate(seed.wrapping_add(i as u64 * 101));
             GpsNoise::new(FIELD_GPS_SIGMA).apply(&raw, seed.wrapping_add(7_000 + i as u64))
         })
@@ -68,7 +75,10 @@ pub fn vehicle_dataset(seed: u64) -> Trace {
 
 /// Vehicle dataset with an explicit trip count.
 pub fn vehicle_dataset_sized(seed: u64, trips: usize) -> Trace {
-    let config = VehicleModelConfig { trips, ..VehicleModelConfig::default() };
+    let config = VehicleModelConfig {
+        trips,
+        ..VehicleModelConfig::default()
+    };
     let raw = VehicleModel::new(config).generate(seed.wrapping_add(31));
     GpsNoise::new(FIELD_GPS_SIGMA).apply(&raw, seed.wrapping_add(8_000))
 }
@@ -80,7 +90,10 @@ pub fn synthetic_dataset(seed: u64) -> Trace {
 
 /// Synthetic trace with an explicit sample count.
 pub fn synthetic_dataset_sized(seed: u64, samples: usize) -> Trace {
-    let config = RandomWalkConfig { samples, ..RandomWalkConfig::default() };
+    let config = RandomWalkConfig {
+        samples,
+        ..RandomWalkConfig::default()
+    };
     RandomWalkModel::new(config).generate(seed.wrapping_add(97))
 }
 
@@ -103,7 +116,10 @@ mod tests {
     fn datasets_are_deterministic() {
         assert_eq!(bat_dataset_sized(3, 1, 1), bat_dataset_sized(3, 1, 1));
         assert_eq!(vehicle_dataset_sized(3, 2), vehicle_dataset_sized(3, 2));
-        assert_eq!(synthetic_dataset_sized(3, 500), synthetic_dataset_sized(3, 500));
+        assert_eq!(
+            synthetic_dataset_sized(3, 500),
+            synthetic_dataset_sized(3, 500)
+        );
     }
 
     #[test]

@@ -53,7 +53,9 @@ mod tests {
     fn flat_trace(n: usize) -> Trace {
         Trace::new(
             "flat",
-            (0..n).map(|i| TimedPoint::new(100.0, 100.0, i as f64)).collect(),
+            (0..n)
+                .map(|i| TimedPoint::new(100.0, 100.0, i as f64))
+                .collect(),
         )
     }
 
@@ -67,8 +69,7 @@ mod tests {
     fn noise_statistics_match_sigma() {
         let t = flat_trace(20_000);
         let noisy = GpsNoise::new(3.0).apply(&t, 42);
-        let mean_x: f64 =
-            noisy.points.iter().map(|p| p.pos.x).sum::<f64>() / noisy.len() as f64;
+        let mean_x: f64 = noisy.points.iter().map(|p| p.pos.x).sum::<f64>() / noisy.len() as f64;
         let var_x: f64 = noisy
             .points
             .iter()

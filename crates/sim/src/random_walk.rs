@@ -47,7 +47,7 @@ impl Default for RandomWalkConfig {
             sample_interval: 10.0,
             mean_move_duration: 120.0,
             mean_wait_duration: 180.0,
-            speed_ln_mu: 2.1,   // median ≈ 8.2 m/s
+            speed_ln_mu: 2.1, // median ≈ 8.2 m/s
             speed_ln_sigma: 0.4,
             turning_kappa: 4.0,
         }
@@ -142,7 +142,10 @@ mod tests {
     use super::*;
 
     fn small_config() -> RandomWalkConfig {
-        RandomWalkConfig { samples: 3000, ..RandomWalkConfig::default() }
+        RandomWalkConfig {
+            samples: 3000,
+            ..RandomWalkConfig::default()
+        }
     }
 
     #[test]
@@ -199,7 +202,10 @@ mod tests {
 
     #[test]
     fn speeds_match_configured_distribution() {
-        let c = RandomWalkConfig { samples: 20_000, ..RandomWalkConfig::default() };
+        let c = RandomWalkConfig {
+            samples: 20_000,
+            ..RandomWalkConfig::default()
+        };
         let trace = RandomWalkModel::new(c).generate(5);
         let mut speeds: Vec<f64> = trace
             .points

@@ -21,7 +21,10 @@ impl Trace {
             points.windows(2).all(|w| w[0].t <= w[1].t),
             "trace points must be time-ordered"
         );
-        Trace { name: name.into(), points }
+        Trace {
+            name: name.into(),
+            points,
+        }
     }
 
     /// Number of points.

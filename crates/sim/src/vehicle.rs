@@ -89,9 +89,8 @@ impl VehicleModel {
                 rng.random_range(0..c.grid_cells as i64),
             )
         };
-        let to_point = |(i, j): (i64, i64)| {
-            Point2::new(i as f64 * c.grid_spacing, j as f64 * c.grid_spacing)
-        };
+        let to_point =
+            |(i, j): (i64, i64)| Point2::new(i as f64 * c.grid_spacing, j as f64 * c.grid_spacing);
 
         let (mut gx, mut gy) = intersection(rng);
         let (dest_x, dest_y) = intersection(rng);
@@ -168,7 +167,10 @@ mod tests {
     use super::*;
 
     fn small() -> VehicleModelConfig {
-        VehicleModelConfig { trips: 3, ..VehicleModelConfig::default() }
+        VehicleModelConfig {
+            trips: 3,
+            ..VehicleModelConfig::default()
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! `rand_distr` does not ship a von Mises distribution, and owning the
 //! sampler lets the tests verify it against the analytic circular moments.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 use std::f64::consts::PI;
 
 /// A von Mises distribution `VM(μ, κ)` over angles in `(−π, π]`.
@@ -108,7 +108,9 @@ pub fn bessel_ratio_i1_i0(kappa: f64) -> f64 {
     } else {
         // Asymptotic: I1/I0 ≈ 1 − 1/(2κ) − 1/(8κ²) − 1/(8κ³) − 25/(128κ⁴).
         let k2 = kappa * kappa;
-        1.0 - 1.0 / (2.0 * kappa) - 1.0 / (8.0 * k2) - 1.0 / (8.0 * k2 * kappa)
+        1.0 - 1.0 / (2.0 * kappa)
+            - 1.0 / (8.0 * k2)
+            - 1.0 / (8.0 * k2 * kappa)
             - 25.0 / (128.0 * k2 * k2)
     }
 }
@@ -184,7 +186,10 @@ mod tests {
         let (_, r) = circular_stats(&samples);
         assert!(r < 0.02, "uniform circle must have tiny resultant, got {r}");
         // Quadrant occupancy is balanced.
-        let q1 = samples.iter().filter(|a| **a >= 0.0 && **a < PI / 2.0).count();
+        let q1 = samples
+            .iter()
+            .filter(|a| **a >= 0.0 && **a < PI / 2.0)
+            .count();
         assert!((q1 as f64 / samples.len() as f64 - 0.25).abs() < 0.02);
     }
 

@@ -22,8 +22,15 @@ impl UniformGrid {
     /// # Panics
     /// Panics when `cell_size` is not positive and finite.
     pub fn new(cell_size: f64) -> UniformGrid {
-        assert!(cell_size.is_finite() && cell_size > 0.0, "cell size must be > 0");
-        UniformGrid { cell_size, cells: HashMap::new(), items: 0 }
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell size must be > 0"
+        );
+        UniformGrid {
+            cell_size,
+            cells: HashMap::new(),
+            items: 0,
+        }
     }
 
     fn cell_of(&self, p: Point2) -> (i64, i64) {

@@ -5,7 +5,7 @@ use crate::similarity::segments_similar;
 use bqs_core::stream::compress_all;
 use bqs_core::{BqsCompressor, BqsConfig};
 use bqs_geo::{Point2, Rect, TimedPoint};
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 /// Store configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -21,7 +21,11 @@ pub struct StoreConfig {
 
 impl Default for StoreConfig {
     fn default() -> Self {
-        StoreConfig { merge_tolerance: 25.0, cell_size: 500.0, bytes_per_key: 12 }
+        StoreConfig {
+            merge_tolerance: 25.0,
+            cell_size: 500.0,
+            bytes_per_key: 12,
+        }
     }
 }
 
@@ -103,7 +107,10 @@ impl TrajectoryStore {
     /// Creates an empty store.
     pub fn new(config: StoreConfig) -> TrajectoryStore {
         assert!(config.merge_tolerance >= 0.0);
-        TrajectoryStore { config, inner: RwLock::new(Inner::new(config.cell_size)) }
+        TrajectoryStore {
+            config,
+            inner: RwLock::new(Inner::new(config.cell_size)),
+        }
     }
 
     /// The configuration in use.
@@ -119,17 +126,16 @@ impl TrajectoryStore {
         if keys.len() < 2 {
             return report;
         }
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().expect("store lock poisoned");
         inner.trajectories.push((keys.to_vec(), tolerance));
         for w in keys.windows(2) {
             let chord = (w[0].pos, w[1].pos);
             let probe = Rect::from_corners(chord.0, chord.1);
             let candidates = inner.grid.query(&probe);
             let similar = candidates.into_iter().find(|id| {
-                inner
-                    .segments
-                    .get(*id as usize)
-                    .is_some_and(|s| segments_similar(s.chord(), chord, self.config.merge_tolerance))
+                inner.segments.get(*id as usize).is_some_and(|s| {
+                    segments_similar(s.chord(), chord, self.config.merge_tolerance)
+                })
             });
             match similar {
                 Some(id) => {
@@ -157,17 +163,27 @@ impl TrajectoryStore {
 
     /// Number of distinct stored segments.
     pub fn segment_count(&self) -> usize {
-        self.inner.read().segments.len()
+        self.inner
+            .read()
+            .expect("store lock poisoned")
+            .segments
+            .len()
     }
 
     /// Total observed segments including merged duplicates.
     pub fn total_weight(&self) -> u64 {
-        self.inner.read().segments.iter().map(|s| u64::from(s.weight)).sum()
+        self.inner
+            .read()
+            .expect("store lock poisoned")
+            .segments
+            .iter()
+            .map(|s| u64::from(s.weight))
+            .sum()
     }
 
     /// Estimated storage footprint of the key points in bytes.
     pub fn estimated_bytes(&self) -> usize {
-        let inner = self.inner.read();
+        let inner = self.inner.read().expect("store lock poisoned");
         let keys: usize = inner.trajectories.iter().map(|(k, _)| k.len()).sum();
         keys * self.config.bytes_per_key
     }
@@ -175,7 +191,7 @@ impl TrajectoryStore {
     /// Segments whose bounding boxes intersect `rect` (exact-geometry
     /// filtered).
     pub fn query_rect(&self, rect: &Rect) -> Vec<StoredSegment> {
-        let inner = self.inner.read();
+        let inner = self.inner.read().expect("store lock poisoned");
         inner
             .grid
             .query(rect)
@@ -195,7 +211,7 @@ impl TrajectoryStore {
             return None;
         }
         let probe: Vec<Point2> = keys.iter().map(|k| k.pos).collect();
-        let inner = self.inner.read();
+        let inner = self.inner.read().expect("store lock poisoned");
         inner.trajectories.iter().position(|(stored, _)| {
             let path: Vec<Point2> = stored.iter().map(|k| k.pos).collect();
             bqs_geo::frechet_similar(&path, &probe, epsilon)
@@ -208,7 +224,7 @@ impl TrajectoryStore {
     /// against the original raw trace is bounded by
     /// `original_tolerance + new_tolerance`.
     pub fn age(&self, new_tolerance: f64) -> AgeReport {
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().expect("store lock poisoned");
         let keys_before: usize = inner.trajectories.iter().map(|(k, _)| k.len()).sum();
 
         let mut aged: Vec<(Vec<TimedPoint>, f64)> = Vec::with_capacity(inner.trajectories.len());
@@ -226,8 +242,13 @@ impl TrajectoryStore {
             for w in keys.windows(2) {
                 let id = fresh.next_id;
                 fresh.next_id += 1;
-                let seg =
-                    StoredSegment { id, start: w[0], end: w[1], weight: 1, tolerance: tol };
+                let seg = StoredSegment {
+                    id,
+                    start: w[0],
+                    end: w[1],
+                    weight: 1,
+                    tolerance: tol,
+                };
                 fresh.grid.insert(id, &seg.bbox());
                 fresh.segments.push(seg);
             }
@@ -312,10 +333,7 @@ mod tests {
         let before = store.estimated_bytes();
         let report = store.age(60.0);
         assert!(report.keys_after < report.keys_before, "{report:?}");
-        assert_eq!(
-            report.bytes_reclaimed,
-            before - store.estimated_bytes()
-        );
+        assert_eq!(report.bytes_reclaimed, before - store.estimated_bytes());
         assert!(store.segment_count() < 39);
     }
 
@@ -368,10 +386,7 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for i in 0..50 {
                     let y = (k * 1_000 + i * 10) as f64;
-                    store.insert_compressed(
-                        &keys(&[(0.0, y), (3_000.0, y)]),
-                        10.0,
-                    );
+                    store.insert_compressed(&keys(&[(0.0, y), (3_000.0, y)]), 10.0);
                     let _ = store.query_rect(&Rect::from_corners(
                         Point2::new(0.0, 0.0),
                         Point2::new(3_000.0, 5_000.0),

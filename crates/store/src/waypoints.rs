@@ -53,7 +53,11 @@ pub struct WaypointConfig {
 
 impl Default for WaypointConfig {
     fn default() -> Self {
-        WaypointConfig { dwell_radius: 100.0, min_dwell_s: 600.0, cluster_cell: 250.0 }
+        WaypointConfig {
+            dwell_radius: 100.0,
+            min_dwell_s: 600.0,
+            cluster_cell: 250.0,
+        }
     }
 }
 
@@ -69,14 +73,12 @@ pub struct MobilityModel {
 impl MobilityModel {
     /// The waypoint nearest to `p`, if any exist.
     pub fn nearest_waypoint(&self, p: Point2) -> Option<&Waypoint> {
-        self.waypoints
-            .iter()
-            .min_by(|a, b| {
-                a.center
-                    .distance_sq(p)
-                    .partial_cmp(&b.center.distance_sq(p))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+        self.waypoints.iter().min_by(|a, b| {
+            a.center
+                .distance_sq(p)
+                .partial_cmp(&b.center.distance_sq(p))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
     }
 
     /// Most likely next waypoint from `from`, by observed transition count.
@@ -112,8 +114,7 @@ pub fn discover(keys: &[TimedPoint], config: &WaypointConfig) -> MobilityModel {
     while i < keys.len() {
         let anchor = keys[i];
         let mut j = i;
-        while j + 1 < keys.len() && keys[j + 1].pos.distance(anchor.pos) <= config.dwell_radius
-        {
+        while j + 1 < keys.len() && keys[j + 1].pos.distance(anchor.pos) <= config.dwell_radius {
             j += 1;
         }
         let duration = keys[j].t - keys[i].t;
@@ -256,7 +257,9 @@ mod tests {
         let model = discover(&commuting_keys(), &WaypointConfig::default());
         assert_eq!(model.waypoints.len(), 2, "{:?}", model.waypoints);
         let roost = model.nearest_waypoint(Point2::new(0.0, 0.0)).unwrap();
-        let site = model.nearest_waypoint(Point2::new(4_000.0, 1_000.0)).unwrap();
+        let site = model
+            .nearest_waypoint(Point2::new(4_000.0, 1_000.0))
+            .unwrap();
         assert!(roost.center.distance(Point2::new(1.0, 0.0)) < 50.0);
         assert!(site.center.distance(Point2::new(4_001.0, 1_000.0)) < 50.0);
         assert!(roost.visits >= 3);
@@ -267,7 +270,10 @@ mod tests {
     fn trip_statistics_and_prediction() {
         let model = discover(&commuting_keys(), &WaypointConfig::default());
         let roost = model.nearest_waypoint(Point2::new(0.0, 0.0)).unwrap().id;
-        let site = model.nearest_waypoint(Point2::new(4_000.0, 1_000.0)).unwrap().id;
+        let site = model
+            .nearest_waypoint(Point2::new(4_000.0, 1_000.0))
+            .unwrap()
+            .id;
 
         let next = model.predict_next(roost).expect("trips observed");
         assert_eq!(next.to, site);
@@ -282,8 +288,9 @@ mod tests {
     #[test]
     fn no_dwells_no_waypoints() {
         // Continuous motion: no key stays put long enough.
-        let keys: Vec<TimedPoint> =
-            (0..50).map(|i| TimedPoint::new(i as f64 * 500.0, 0.0, i as f64 * 60.0)).collect();
+        let keys: Vec<TimedPoint> = (0..50)
+            .map(|i| TimedPoint::new(i as f64 * 500.0, 0.0, i as f64 * 60.0))
+            .collect();
         let model = discover(&keys, &WaypointConfig::default());
         assert!(model.waypoints.is_empty());
         assert!(model.trips.is_empty());

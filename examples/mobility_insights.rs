@@ -19,8 +19,11 @@ use bqs::store::waypoints::{discover, WaypointConfig};
 
 fn main() {
     // A month of tracking with strong site fidelity.
-    let trace = BatModel::new(BatModelConfig { nights: 30, ..Default::default() })
-        .generate(2026);
+    let trace = BatModel::new(BatModelConfig {
+        nights: 30,
+        ..Default::default()
+    })
+    .generate(2026);
     println!("raw trace: {} fixes over 30 nights", trace.len());
 
     // Compress on-device.
@@ -28,12 +31,20 @@ fn main() {
     let mut fbqs = FastBqsCompressor::new(BqsConfig::new(tolerance).unwrap());
     let keys = compress_all(&mut fbqs, trace.points.iter().copied());
     let rate = keys.len() as f64 / trace.len() as f64;
-    println!("compressed: {} key points (rate {:.2}%)", keys.len(), rate * 100.0);
+    println!(
+        "compressed: {} key points (rate {:.2}%)",
+        keys.len(),
+        rate * 100.0
+    );
 
     // Discover the animal's waypoints from the key points alone.
     let model = discover(
         &keys,
-        &WaypointConfig { dwell_radius: 150.0, min_dwell_s: 900.0, cluster_cell: 300.0 },
+        &WaypointConfig {
+            dwell_radius: 150.0,
+            min_dwell_s: 900.0,
+            cluster_cell: 300.0,
+        },
     );
     println!("\ndiscovered {} waypoints:", model.waypoints.len());
     for w in &model.waypoints {
@@ -73,7 +84,11 @@ fn main() {
             "offload {label:>8}: {} contacts over {} days → {} ({} records lost, peak {} B)",
             report.contacts,
             report.days,
-            if report.lossless() { "lossless" } else { "LOSSY" },
+            if report.lossless() {
+                "lossless"
+            } else {
+                "LOSSY"
+            },
             report.records_lost,
             report.peak_bytes
         );

@@ -30,7 +30,11 @@ fn main() {
 
     println!(
         "BQS paper reproduction — scale: {}\n",
-        if scale == Scale::Full { "FULL (paper-size datasets)" } else { "quick" }
+        if scale == Scale::Full {
+            "FULL (paper-size datasets)"
+        } else {
+            "quick"
+        }
     );
 
     if wanted("fig3") {

@@ -51,8 +51,7 @@ fn main() {
     assert!(worst <= 10.0 + 1e-9);
 
     // Reconstruct the position at an arbitrary timestamp from key points.
-    let reconstructor =
-        bqs::core::reconstruct::Reconstructor::uniform(kept).expect("non-empty");
+    let reconstructor = bqs::core::reconstruct::Reconstructor::uniform(kept).expect("non-empty");
     let mid = reconstructor.at(18_000.0);
     println!(
         "reconstructed position at t=18000 s: ({:.0} m, {:.0} m)",

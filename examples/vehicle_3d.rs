@@ -17,10 +17,16 @@ use bqs::sim::{VehicleModel, VehicleModelConfig};
 
 fn main() {
     // --- Part 1: the urban drive, all algorithms --------------------------
-    let trace = VehicleModel::new(VehicleModelConfig { trips: 12, ..Default::default() })
-        .generate(99);
+    let trace = VehicleModel::new(VehicleModelConfig {
+        trips: 12,
+        ..Default::default()
+    })
+    .generate(99);
     println!("urban drive: {} fixes", trace.len());
-    println!("{:<10} {:>8} {:>9} {:>10}", "algorithm", "kept", "rate", "time(ms)");
+    println!(
+        "{:<10} {:>8} {:>9} {:>10}",
+        "algorithm", "kept", "rate", "time(ms)"
+    );
     for algo in [
         Algorithm::Bqs,
         Algorithm::Fbqs,

@@ -29,13 +29,20 @@ fn to_wgs84(p: TimedPoint) -> LocationPoint {
 
 fn main() {
     let spec = CamazotzSpec::paper();
-    println!("Camazotz platform: {} B RAM, {} KB flash ({} KB GPS budget)",
-        spec.ram_bytes, spec.flash_bytes / 1024, spec.gps_budget_bytes / 1024);
+    println!(
+        "Camazotz platform: {} B RAM, {} KB flash ({} KB GPS budget)",
+        spec.ram_bytes,
+        spec.flash_bytes / 1024,
+        spec.gps_budget_bytes / 1024
+    );
 
     // --- On the animal -----------------------------------------------------
     let nights = 14;
-    let trace = BatModel::new(BatModelConfig { nights, ..BatModelConfig::default() })
-        .generate(7);
+    let trace = BatModel::new(BatModelConfig {
+        nights,
+        ..BatModelConfig::default()
+    })
+    .generate(7);
     println!("\n{} nights of tracking: {} GPS fixes", nights, trace.len());
 
     let tolerance = 10.0;
@@ -68,7 +75,11 @@ fn main() {
     }
 
     let rate = kept.len() as f64 / trace.len() as f64;
-    println!("compressed to {} key points (rate {:.2}%)", kept.len(), rate * 100.0);
+    println!(
+        "compressed to {} key points (rate {:.2}%)",
+        kept.len(),
+        rate * 100.0
+    );
     println!(
         "peak working set: {} significant points ({} B of the {} B RAM)",
         peak_working_set,
@@ -91,7 +102,11 @@ fn main() {
 
     // --- At the base station ------------------------------------------------
     let offloaded = flash.read_all().expect("clean flash image");
-    println!("\noffloaded {} records ({} B)", offloaded.len(), offloaded.len() * GPS_RECORD_BYTES);
+    println!(
+        "\noffloaded {} records ({} B)",
+        offloaded.len(),
+        offloaded.len() * GPS_RECORD_BYTES
+    );
 
     // Project back into the metric frame and ingest into the store.
     let mut projector = bqs::geo::proj::TraceProjector::new();

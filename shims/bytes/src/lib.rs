@@ -1,0 +1,176 @@
+//! Offline stand-in for `bytes` (API subset).
+//!
+//! [`BytesMut`] is an append buffer over `Vec<u8>`, [`Bytes`] an immutable
+//! view with a read cursor. Integer accessors are big-endian, matching the
+//! real crate's defaults, so encoded flash images stay byte-compatible if
+//! the real dependency is restored.
+
+/// Read access to a byte cursor.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Copies out the next `dst.len()` bytes. Panics when too few remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian `i32`.
+    fn get_i32(&mut self) -> i32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        i32::from_be_bytes(b)
+    }
+}
+
+/// Write access to a growable byte buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `i32`.
+    fn put_i32(&mut self, v: i32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+/// A growable, append-only byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Drops the contents, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Converts into an immutable [`Bytes`] view.
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// An immutable byte sequence with a read cursor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Copies a slice into an owned sequence.
+    pub fn copy_from_slice(src: &[u8]) -> Bytes {
+        Bytes {
+            data: src.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Wraps a static slice (copied here; the real crate borrows).
+    pub fn from_static(src: &'static [u8]) -> Bytes {
+        Bytes::copy_from_slice(src)
+    }
+
+    /// Total length, including already-consumed bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.remaining(), "buffer underflow");
+        dst.copy_from_slice(&self.data[self.pos..self.pos + dst.len()]);
+        self.pos += dst.len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_big_endian() {
+        let mut buf = BytesMut::new();
+        buf.put_i32(-7);
+        buf.put_u32(0xDEAD_BEEF);
+        assert_eq!(buf.len(), 8);
+        assert_eq!(buf[0..4], (-7i32).to_be_bytes());
+        let mut bytes = buf.freeze();
+        assert_eq!(bytes.get_i32(), -7);
+        assert_eq!(bytes.get_u32(), 0xDEAD_BEEF);
+        assert!(!bytes.has_remaining());
+    }
+
+    #[test]
+    fn cursor_tracks_consumption() {
+        let mut b = Bytes::copy_from_slice(&[1, 2, 3, 4, 5]);
+        let mut first = [0u8; 2];
+        b.copy_to_slice(&mut first);
+        assert_eq!(first, [1, 2]);
+        assert_eq!(b.remaining(), 3);
+    }
+}

@@ -1,0 +1,219 @@
+//! Offline stand-in for `criterion` (API subset).
+//!
+//! The benches in `crates/bench` compile against this shim and produce
+//! honest wall-clock numbers (adaptive batching, best-of-N samples, median
+//! reported), just without criterion's statistics, plots, or baselines.
+//! Output format: `name ... time: <ns>/iter (<samples> samples)`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time for one measurement sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(20);
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Parses CLI arguments. The shim accepts and ignores everything
+    /// (`--bench`, filters, …) so `cargo bench` flag plumbing works.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Runs a named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measurement samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the throughput of one iteration (recorded for the report
+    /// line; the shim prints elements/sec for element throughputs).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a named benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut g = |b: &mut Bencher| f(b, input);
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, &mut g);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A `function/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Units processed per iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Measures a closure under test.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Nanoseconds per iteration for the completed measurement.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `f`, batching iterations until a sample is long enough to
+    /// trust the clock.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch-size calibration: double the batch until one
+        // batch takes at least SAMPLE_TARGET.
+        let mut batch: u64 = 1;
+        let elapsed = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= SAMPLE_TARGET || batch >= 1 << 30 {
+                break elapsed;
+            }
+            // Aim straight for the target from the observed rate.
+            let scale =
+                (SAMPLE_TARGET.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)).clamp(2.0, 1024.0);
+            batch = (batch as f64 * scale) as u64;
+        };
+        self.ns_per_iter = elapsed.as_secs_f64() * 1e9 / batch as f64;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) {
+    let mut best = f64::INFINITY;
+    let mut all: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples.max(1) {
+        let mut b = Bencher::default();
+        f(&mut b);
+        best = best.min(b.ns_per_iter);
+        all.push(b.ns_per_iter);
+    }
+    all.sort_by(f64::total_cmp);
+    let median = all[all.len() / 2];
+    println!(
+        "{name:<50} time: median {median:>12.1} ns/iter, best {best:>12.1} ns/iter ({} samples)",
+        all.len()
+    );
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2).throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, n| {
+            b.iter(|| (0..*n).sum::<u64>())
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,259 @@
+//! Offline stand-in for `rand` (API subset).
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the slice of the `rand` 0.9 surface the simulators use: [`rngs::StdRng`]
+//! (xoshiro256++ seeded via SplitMix64 — deterministic across platforms),
+//! [`SeedableRng::seed_from_u64`], [`Rng::sample`], and the
+//! [`RngExt::random_range`] / [`RngExt::random_bool`] conveniences.
+//!
+//! The generator is *not* cryptographic and the integer range sampling uses
+//! plain rejection-free reduction; both are fine for trace synthesis and
+//! tests, which is all this workspace asks of them.
+
+/// A source of random 64-bit words.
+pub trait Rng {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform draw from `[0, 1)` with 53 bits of precision.
+    fn random_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Draws one value from a distribution.
+    fn sample<T, D: distr::Distribution<T>>(&mut self, d: D) -> T {
+        d.sample(self)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Range-sampling conveniences (rand 0.9's `random_range`/`random_bool`).
+pub trait RngExt: Rng {
+    /// A uniform draw from a half-open or inclusive range.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random_f64() < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Construction from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Ranges a uniform value can be drawn from.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Scalar types with a uniform sampler over an interval.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// A uniform draw from `[low, high)`; `high` itself may be returned
+    /// only when the interval is empty or a single point.
+    fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// A uniform draw from `[low, high]`.
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        low + rng.random_f64() * (high - low)
+    }
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        // The measure-zero endpoint distinction is irrelevant for f64.
+        Self::sample_half_open(rng, low, high)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                if high <= low {
+                    return low;
+                }
+                let span = (high as i128 - low as i128) as u128;
+                low.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+            fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                if high <= low {
+                    return low;
+                }
+                let span = (high as i128 - low as i128) as u128 + 1;
+                low.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_inclusive(rng, low, high)
+    }
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256++, seeded from a `u64` through SplitMix64 (the reference
+    /// seeding procedure). Deterministic and fast; not cryptographic.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            let mut next = move || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+/// Distributions usable with [`Rng::sample`].
+pub mod distr {
+    use super::Rng;
+
+    /// A distribution over `T`.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Error constructing a distribution from invalid parameters.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Error;
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "invalid distribution parameters")
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Uniform distribution over `[low, high)`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T> {
+        low: T,
+        high: T,
+    }
+
+    impl<T: super::SampleUniform> Uniform<T> {
+        /// Builds the distribution; `Err` when `high < low` or a bound is
+        /// not finite-comparable.
+        pub fn new(low: T, high: T) -> Result<Uniform<T>, Error> {
+            if low.partial_cmp(&high).is_none() || high < low {
+                return Err(Error);
+            }
+            Ok(Uniform { low, high })
+        }
+    }
+
+    impl<T: super::SampleUniform> Distribution<T> for Uniform<T> {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+            T::sample_half_open(rng, self.low, self.high)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let f = rng.random_range(-2.5f64..7.5);
+            assert!((-2.5..7.5).contains(&f));
+            let i = rng.random_range(3usize..10);
+            assert!((3..10).contains(&i));
+            let j = rng.random_range(1..=3usize);
+            assert!((1..=3).contains(&j));
+        }
+    }
+
+    #[test]
+    fn random_bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let heads = (0..10_000).filter(|_| rng.random_bool(0.5)).count();
+        assert!((4_500..5_500).contains(&heads), "{heads}");
+    }
+
+    #[test]
+    fn uniform_distribution_samples_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let u = super::distr::Uniform::new(-1.0f64, 1.0).unwrap();
+        for _ in 0..1_000 {
+            let x = rng.sample(u);
+            assert!((-1.0..1.0).contains(&x));
+        }
+        assert!(super::distr::Uniform::new(1.0f64, -1.0).is_err());
+    }
+}

@@ -1,0 +1,132 @@
+//! Offline stand-in for `rand_distr` (API subset).
+//!
+//! Provides the three continuous distributions the trace simulators draw
+//! from — [`Normal`] (Box–Muller), [`Exp`] (inverse CDF) and [`LogNormal`]
+//! — behind the same `Distribution` trait as the vendored `rand` shim.
+
+pub use rand::distr::{Distribution, Error};
+use rand::Rng;
+
+/// Normal (Gaussian) distribution. Generic like the real crate's
+/// `Normal<F>`, but only `f64` is implemented.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal<F = f64> {
+    mean: F,
+    std_dev: F,
+}
+
+impl Normal<f64> {
+    /// `Err` for a negative or non-finite standard deviation.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Normal<f64>, Error> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(Error);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+
+    /// Draws a standard-normal variate via Box–Muller.
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // Guard the log: u1 ∈ (0, 1].
+        let u1 = 1.0 - rng.random_f64();
+        let u2 = rng.random_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+impl Distribution<f64> for Normal<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * Normal::standard(rng)
+    }
+}
+
+/// Exponential distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// `Err` for a non-positive or non-finite rate.
+    pub fn new(lambda: f64) -> Result<Exp, Error> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(Error);
+        }
+        Ok(Exp { lambda })
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = 1.0 - rng.random_f64(); // (0, 1]
+        -u.ln() / self.lambda
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    inner: Normal<f64>,
+}
+
+impl LogNormal {
+    /// `Err` for a negative or non-finite `sigma`.
+    pub fn new(mu: f64, sigma: f64) -> Result<LogNormal, Error> {
+        Ok(LogNormal {
+            inner: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.inner.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn normal_moments_match() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, var) = moments(&xs);
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn exp_mean_matches_rate() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let d = Exp::new(0.25).unwrap();
+        let xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, _) = moments(&xs);
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+        assert!(xs.iter().all(|x| *x >= 0.0));
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let d = LogNormal::new(0.0, 0.5).unwrap();
+        assert!((0..10_000).all(|_| d.sample(&mut rng) > 0.0));
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Exp::new(0.0).is_err());
+        assert!(LogNormal::new(0.0, f64::NAN).is_err());
+    }
+}

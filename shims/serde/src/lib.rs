@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op derives so `use serde::{Serialize, Deserialize}`
+//! and `#[derive(Serialize, Deserialize)]` compile without network access.
+//! The marker traits exist so generic bounds (`T: Serialize`) also compile;
+//! they carry no methods and no impls are generated.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::ser::Serialize` (no-op shim).
+pub trait SerializeMarker {}
+
+/// Marker trait mirroring `serde::de::Deserialize` (no-op shim).
+pub trait DeserializeMarker {}

@@ -10,7 +10,7 @@
 //! | Module | Crate | Contents |
 //! |---|---|---|
 //! | [`geo`] | `bqs-geo` | geometry substrate (points, distances, UTM, hulls) |
-//! | [`core`] | `bqs-core` | BQS, Fast BQS, 3-D BQS, reconstruction |
+//! | [`core`] | `bqs-core` | BQS, Fast BQS, 3-D BQS, reconstruction, [`core::stream::Sink`] emission layer, [`core::fleet::FleetEngine`] multi-session engine |
 //! | [`baselines`] | `bqs-baselines` | DP, BDP, BGD, Dead Reckoning, SQUISH |
 //! | [`sim`] | `bqs-sim` | synthetic bat / vehicle / random-walk traces |
 //! | [`device`] | `bqs-device` | Camazotz tracker model, operational time |

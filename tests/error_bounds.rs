@@ -3,9 +3,7 @@
 //! per-segment deviation never exceeds the tolerance — for arbitrary
 //! trajectories, tolerances, metrics and configurations.
 
-use bqs::baselines::{
-    BufferedDpCompressor, BufferedGreedyCompressor, DpCompressor,
-};
+use bqs::baselines::{BufferedDpCompressor, BufferedGreedyCompressor, DpCompressor};
 use bqs::core::metrics::DeviationMetric;
 use bqs::core::stream::{compress_all, StreamCompressor};
 use bqs::core::{BoundsMode, BqsCompressor, BqsConfig, FastBqsCompressor, RotationMode};
@@ -28,7 +26,9 @@ fn trajectory_strategy() -> impl Strategy<Value = Vec<TimedPoint>> {
             let mut y = 0.0f64;
             let mut s = seed;
             let mut rnd = move || {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((s >> 33) as f64) / ((1u64 << 31) as f64) - 1.0
             };
             for i in 0..n {
@@ -191,20 +191,29 @@ proptest! {
 fn degenerate_streams() {
     let configs = [
         BqsConfig::new(5.0).unwrap(),
-        BqsConfig::new(5.0).unwrap().with_rotation(RotationMode::Disabled),
+        BqsConfig::new(5.0)
+            .unwrap()
+            .with_rotation(RotationMode::Disabled),
     ];
     for config in configs {
         for points in [
             vec![],
             vec![TimedPoint::new(1.0, 2.0, 0.0)],
-            (0..50).map(|i| TimedPoint::new(1.0, 2.0, i as f64)).collect::<Vec<_>>(), // frozen in place
-            (0..50).map(|i| TimedPoint::new(0.0, 0.0, i as f64)).collect::<Vec<_>>(),
+            (0..50)
+                .map(|i| TimedPoint::new(1.0, 2.0, i as f64))
+                .collect::<Vec<_>>(), // frozen in place
+            (0..50)
+                .map(|i| TimedPoint::new(0.0, 0.0, i as f64))
+                .collect::<Vec<_>>(),
             // Alternating between two far points (worst-case zigzag).
             (0..60)
                 .map(|i| TimedPoint::new(if i % 2 == 0 { 0.0 } else { 100.0 }, 0.0, i as f64))
                 .collect(),
             // A single giant jump.
-            vec![TimedPoint::new(0.0, 0.0, 0.0), TimedPoint::new(1e7, -1e7, 1.0)],
+            vec![
+                TimedPoint::new(0.0, 0.0, 0.0),
+                TimedPoint::new(1e7, -1e7, 1.0),
+            ],
         ] {
             check(
                 BqsCompressor::new(config),

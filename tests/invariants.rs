@@ -18,7 +18,9 @@ fn trajectory() -> impl Strategy<Value = Vec<TimedPoint>> {
         .prop_map(|(n, seed, scale)| {
             let mut s = seed;
             let mut rnd = move || {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((s >> 33) as f64) / ((1u64 << 31) as f64) - 1.0
             };
             let mut x = 0.0;

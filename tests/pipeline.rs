@@ -29,7 +29,12 @@ fn fbqs_constant_memory_on_every_dataset() {
             report.peak_significant_points
         );
         assert_eq!(report.peak_buffered_points, 0, "{}", trace.name);
-        assert!(report.fits(&spec), "{}: {} B", trace.name, report.peak_bytes());
+        assert!(
+            report.fits(&spec),
+            "{}: {} B",
+            trace.name,
+            report.peak_bytes()
+        );
     }
 }
 
@@ -220,7 +225,10 @@ fn decision_stats_are_internally_consistent() {
         stats.trivial + stats.by_bounds + stats.full_scans + stats.warmup_scans,
         stats.points
     );
-    assert_eq!(stats.aggressive_cuts, 0, "buffered BQS never cuts aggressively");
+    assert_eq!(
+        stats.aggressive_cuts, 0,
+        "buffered BQS never cuts aggressively"
+    );
     // Segments and kept points line up: first point + one per cut + final.
     assert_eq!(kept.len() as u64, stats.segments + 1);
     assert!(stats.pruning_power() <= 1.0 && stats.pruning_power() >= 0.0);
