@@ -1,0 +1,74 @@
+//! Trajectory-codec throughput: encode and decode Mpts/s for both the
+//! bit-lossless exact profile and the millimetre-grid quantized profile,
+//! plus the log's end-to-end append path. These are the numbers a future
+//! io_uring / mmap / SIMD-varint PR has to beat.
+
+use bqs_core::stream::CountingSink;
+use bqs_geo::TimedPoint;
+use bqs_sim::{RandomWalkConfig, RandomWalkModel};
+use bqs_tlog::codec::{self, CodecProfile};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const POINTS: usize = 20_000;
+
+fn trace() -> Vec<TimedPoint> {
+    let cfg = RandomWalkConfig {
+        samples: POINTS,
+        ..RandomWalkConfig::default()
+    };
+    RandomWalkModel::new(cfg).generate(7).points
+}
+
+fn bench(c: &mut Criterion) {
+    let points = trace();
+    let profiles = [
+        ("exact", CodecProfile::Exact),
+        ("mm", CodecProfile::millimetre()),
+    ];
+
+    let mut group = c.benchmark_group("codec_throughput");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(POINTS as u64));
+
+    for (name, profile) in profiles {
+        group.bench_with_input(BenchmarkId::new("encode", name), &points, |b, points| {
+            let mut buf = Vec::with_capacity(POINTS * 8);
+            b.iter(|| {
+                buf.clear();
+                codec::encode_points_with(profile, black_box(points), &mut buf).expect("encode");
+                black_box(buf.len())
+            })
+        });
+
+        let encoded = codec::encode_to_vec_with(profile, &points).expect("encode");
+        group.bench_with_input(BenchmarkId::new("decode", name), &encoded, |b, encoded| {
+            b.iter(|| {
+                let mut sink = CountingSink::new();
+                let n = codec::decode_points(black_box(encoded), &mut sink).expect("decode");
+                black_box(n)
+            })
+        });
+    }
+
+    // End-to-end: encode + frame + write through the segmented log.
+    group.bench_function("log_append", |b| {
+        use bqs_tlog::{LogConfig, TrajectoryLog};
+        let dir = std::env::temp_dir().join(format!("bqs-tlog-bench-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (mut log, _) = TrajectoryLog::open(&dir, LogConfig::default()).expect("open");
+        let mut track = 0u64;
+        b.iter(|| {
+            track += 1;
+            let receipt = log.append(track, black_box(&points)).expect("append");
+            black_box(receipt.bytes)
+        });
+        drop(log);
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

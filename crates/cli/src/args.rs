@@ -43,7 +43,7 @@ pub enum Command {
         /// Paper-size data when true.
         full: bool,
     },
-    /// `bqs fleet [--sessions N] [--points N] [--tolerance M] [--algorithm bqs|fbqs] [--shards N]`
+    /// `bqs fleet [--sessions N] [--points N] [--tolerance M] [--algorithm bqs|fbqs] [--shards N] [--seed N] [--spill DIR]`
     Fleet {
         /// Concurrent simulated trackers.
         sessions: usize,
@@ -55,6 +55,53 @@ pub enum Command {
         algorithm: String,
         /// Session shards (rounded up to a power of two).
         shards: usize,
+        /// Base RNG seed; session `t` walks with seed `seed + t`, so a
+        /// fleet run is reproducible end-to-end.
+        seed: u64,
+        /// Spill session output into a trajectory log at this directory.
+        spill: Option<String>,
+    },
+    /// `bqs log append <dir> <trace.csv> --track N [--algorithm none|bqs|fbqs] [--tolerance M]`
+    LogAppend {
+        /// Log directory.
+        dir: String,
+        /// Input trace CSV.
+        input: String,
+        /// Track id to append under.
+        track: u64,
+        /// Compress before appending: "none", "bqs" or "fbqs".
+        algorithm: String,
+        /// Error tolerance in metres (compressing algorithms only).
+        tolerance: f64,
+    },
+    /// `bqs log query <dir> [--track N] [--from T] [--to T] [--bbox X0,Y0,X1,Y1] [--at T] [--out FILE]`
+    LogQuery {
+        /// Log directory.
+        dir: String,
+        /// Restrict to one track.
+        track: Option<u64>,
+        /// Inclusive lower time bound.
+        from: Option<f64>,
+        /// Inclusive upper time bound.
+        to: Option<f64>,
+        /// Spatial filter `x0,y0,x1,y1` (any two opposite corners).
+        bbox: Option<[f64; 4]>,
+        /// Reconstruct the track's position at this time (needs --track).
+        at: Option<f64>,
+        /// Output path (stdout when `None`).
+        out: Option<String>,
+    },
+    /// `bqs log compact <dir> [--drop TRACK]...`
+    LogCompact {
+        /// Log directory.
+        dir: String,
+        /// Tracks to tombstone before compacting.
+        drop: Vec<u64>,
+    },
+    /// `bqs log verify <dir>`
+    LogVerify {
+        /// Log directory.
+        dir: String,
     },
     /// `bqs info`
     Info,
@@ -71,15 +118,166 @@ USAGE:
   bqs compress <bqs|fbqs|bdp|bgd|dp|dr|squish-e|mbr> <trace.csv>
                [--tolerance M] [--buffer N] [--out FILE]
   bqs verify <original.csv> <compressed.csv> --tolerance M
-  bqs experiments [fig3|fig6|fig7|fig8a|fig8b|table1|table2|table3|ablation|fleet|all]
-                  [--full]
+  bqs experiments [fig3|fig6|fig7|fig8a|fig8b|table1|table2|table3|ablation|fleet|
+                   storage|all] [--full]
   bqs fleet [--sessions N] [--points N] [--tolerance M] [--algorithm bqs|fbqs]
-            [--shards N]
+            [--shards N] [--seed N] [--spill DIR]
+  bqs log append <dir> <trace.csv> --track N [--algorithm none|bqs|fbqs]
+                 [--tolerance M]
+  bqs log query <dir> [--track N] [--from T] [--to T] [--bbox X0,Y0,X1,Y1]
+                [--at T] [--out FILE]
+  bqs log compact <dir> [--drop TRACK]...
+  bqs log verify <dir>
   bqs info
 ";
 
 fn take_value<'a>(flag: &str, it: &mut std::slice::Iter<'a, String>) -> Result<&'a String, String> {
     it.next().ok_or_else(|| format!("{flag} requires a value"))
+}
+
+fn parse_f64(flag: &str, it: &mut std::slice::Iter<'_, String>) -> Result<f64, String> {
+    take_value(flag, it)?
+        .parse()
+        .map_err(|e| format!("bad {flag}: {e}"))
+}
+
+/// Parses the `bqs log <append|query|compact|verify>` family.
+fn parse_log(it: &mut std::slice::Iter<'_, String>) -> Result<Command, String> {
+    let sub = it.next().ok_or("log needs a subcommand")?;
+    match sub.as_str() {
+        "append" => {
+            let mut positional: Vec<String> = Vec::new();
+            let mut track: Option<u64> = None;
+            let mut algorithm = "none".to_string();
+            let mut tolerance = 10.0f64;
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--track" => {
+                        track = Some(
+                            take_value("--track", it)?
+                                .parse()
+                                .map_err(|e| format!("bad --track: {e}"))?,
+                        );
+                    }
+                    "--algorithm" => algorithm = take_value("--algorithm", it)?.clone(),
+                    "--tolerance" => tolerance = parse_f64("--tolerance", it)?,
+                    other if !other.starts_with('-') => positional.push(other.to_string()),
+                    other => return Err(format!("unexpected argument: {other}")),
+                }
+            }
+            if positional.len() != 2 {
+                return Err("log append needs <dir> <trace.csv>".to_string());
+            }
+            if !["none", "bqs", "fbqs"].contains(&algorithm.as_str()) {
+                return Err(format!(
+                    "log append supports none|bqs|fbqs, got {algorithm}"
+                ));
+            }
+            if !(tolerance.is_finite() && tolerance > 0.0) {
+                return Err(format!("tolerance must be > 0, got {tolerance}"));
+            }
+            Ok(Command::LogAppend {
+                dir: positional.remove(0),
+                input: positional.remove(0),
+                track: track.ok_or("log append needs --track")?,
+                algorithm,
+                tolerance,
+            })
+        }
+        "query" => {
+            let mut dir: Option<String> = None;
+            let mut track: Option<u64> = None;
+            let mut from: Option<f64> = None;
+            let mut to: Option<f64> = None;
+            let mut bbox: Option<[f64; 4]> = None;
+            let mut at: Option<f64> = None;
+            let mut out: Option<String> = None;
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--track" => {
+                        track = Some(
+                            take_value("--track", it)?
+                                .parse()
+                                .map_err(|e| format!("bad --track: {e}"))?,
+                        );
+                    }
+                    "--from" => from = Some(parse_f64("--from", it)?),
+                    "--to" => to = Some(parse_f64("--to", it)?),
+                    "--at" => at = Some(parse_f64("--at", it)?),
+                    "--out" => out = Some(take_value("--out", it)?.clone()),
+                    "--bbox" => {
+                        let raw = take_value("--bbox", it)?;
+                        let parts: Vec<f64> = raw
+                            .split(',')
+                            .map(|s| s.trim().parse::<f64>())
+                            .collect::<Result<_, _>>()
+                            .map_err(|e| format!("bad --bbox: {e}"))?;
+                        let [x0, y0, x1, y1] = parts[..] else {
+                            return Err("--bbox needs exactly x0,y0,x1,y1".to_string());
+                        };
+                        bbox = Some([x0, y0, x1, y1]);
+                    }
+                    other if !other.starts_with('-') && dir.is_none() => {
+                        dir = Some(other.to_string());
+                    }
+                    other => return Err(format!("unexpected argument: {other}")),
+                }
+            }
+            if at.is_some() && track.is_none() {
+                return Err("--at requires --track".to_string());
+            }
+            if at.is_some() && (from.is_some() || to.is_some() || bbox.is_some()) {
+                return Err("--at cannot be combined with --from/--to/--bbox".to_string());
+            }
+            Ok(Command::LogQuery {
+                dir: dir.ok_or("log query needs <dir>")?,
+                track,
+                from,
+                to,
+                bbox,
+                at,
+                out,
+            })
+        }
+        "compact" => {
+            let mut dir: Option<String> = None;
+            let mut drop = Vec::new();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--drop" => {
+                        drop.push(
+                            take_value("--drop", it)?
+                                .parse()
+                                .map_err(|e| format!("bad --drop: {e}"))?,
+                        );
+                    }
+                    other if !other.starts_with('-') && dir.is_none() => {
+                        dir = Some(other.to_string());
+                    }
+                    other => return Err(format!("unexpected argument: {other}")),
+                }
+            }
+            Ok(Command::LogCompact {
+                dir: dir.ok_or("log compact needs <dir>")?,
+                drop,
+            })
+        }
+        "verify" => {
+            let mut dir: Option<String> = None;
+            for arg in it {
+                match arg.as_str() {
+                    other if !other.starts_with('-') && dir.is_none() => {
+                        dir = Some(other.to_string());
+                    }
+                    other => return Err(format!("unexpected argument: {other}")),
+                }
+            }
+            Ok(Command::LogVerify {
+                dir: dir.ok_or("log verify needs <dir>")?,
+            })
+        }
+        other => Err(format!("unknown log subcommand: {other}\n\n{USAGE}")),
+    }
 }
 
 /// Parses `argv` (without the program name).
@@ -213,8 +411,16 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut tolerance = 10.0f64;
             let mut algorithm = "fbqs".to_string();
             let mut shards = 16usize;
+            let mut seed = 1u64;
+            let mut spill = None;
             while let Some(arg) = it.next() {
                 match arg.as_str() {
+                    "--seed" => {
+                        seed = take_value("--seed", &mut it)?
+                            .parse()
+                            .map_err(|e| format!("bad --seed: {e}"))?;
+                    }
+                    "--spill" => spill = Some(take_value("--spill", &mut it)?.clone()),
                     "--sessions" => {
                         sessions = take_value("--sessions", &mut it)?
                             .parse()
@@ -256,8 +462,11 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 tolerance,
                 algorithm,
                 shards,
+                seed,
+                spill,
             })
         }
+        "log" => parse_log(&mut it),
         other => Err(format!("unknown command: {other}\n\n{USAGE}")),
     }
 }
@@ -373,12 +582,15 @@ mod tests {
                 points: 500,
                 tolerance: 10.0,
                 algorithm: "fbqs".into(),
-                shards: 16
+                shards: 16,
+                seed: 1,
+                spill: None
             }
         );
         assert_eq!(
             parse(&args(
-                "fleet --sessions 8 --points 50 --tolerance 5 --algorithm bqs --shards 4"
+                "fleet --sessions 8 --points 50 --tolerance 5 --algorithm bqs --shards 4 \
+                 --seed 99 --spill /tmp/l"
             ))
             .unwrap(),
             Command::Fleet {
@@ -386,7 +598,9 @@ mod tests {
                 points: 50,
                 tolerance: 5.0,
                 algorithm: "bqs".into(),
-                shards: 4
+                shards: 4,
+                seed: 99,
+                spill: Some("/tmp/l".into())
             }
         );
     }
@@ -397,6 +611,93 @@ mod tests {
         assert!(parse(&args("fleet --tolerance -2")).is_err());
         assert!(parse(&args("fleet --algorithm dp")).is_err());
         assert!(parse(&args("fleet --frobnicate")).is_err());
+        assert!(parse(&args("fleet --seed banana")).is_err());
+    }
+
+    #[test]
+    fn log_append_parses_and_validates() {
+        assert_eq!(
+            parse(&args("log append /tmp/log trace.csv --track 7")).unwrap(),
+            Command::LogAppend {
+                dir: "/tmp/log".into(),
+                input: "trace.csv".into(),
+                track: 7,
+                algorithm: "none".into(),
+                tolerance: 10.0
+            }
+        );
+        assert_eq!(
+            parse(&args(
+                "log append /tmp/log trace.csv --track 7 --algorithm fbqs --tolerance 5"
+            ))
+            .unwrap(),
+            Command::LogAppend {
+                dir: "/tmp/log".into(),
+                input: "trace.csv".into(),
+                track: 7,
+                algorithm: "fbqs".into(),
+                tolerance: 5.0
+            }
+        );
+        assert!(parse(&args("log append /tmp/log trace.csv")).is_err());
+        assert!(parse(&args("log append /tmp/log --track 1")).is_err());
+        assert!(parse(&args("log append /tmp/log t.csv --track 1 --algorithm dp")).is_err());
+    }
+
+    #[test]
+    fn log_query_parses_filters() {
+        assert_eq!(
+            parse(&args(
+                "log query /tmp/log --track 3 --from 10 --to 99.5 --bbox 0,0,50,50"
+            ))
+            .unwrap(),
+            Command::LogQuery {
+                dir: "/tmp/log".into(),
+                track: Some(3),
+                from: Some(10.0),
+                to: Some(99.5),
+                bbox: Some([0.0, 0.0, 50.0, 50.0]),
+                at: None,
+                out: None
+            }
+        );
+        assert_eq!(
+            parse(&args("log query /tmp/log --track 3 --at 42")).unwrap(),
+            Command::LogQuery {
+                dir: "/tmp/log".into(),
+                track: Some(3),
+                from: None,
+                to: None,
+                bbox: None,
+                at: Some(42.0),
+                out: None
+            }
+        );
+        assert!(parse(&args("log query")).is_err());
+        assert!(
+            parse(&args("log query /tmp/log --at 5")).is_err(),
+            "--at needs --track"
+        );
+        assert!(parse(&args("log query /tmp/log --bbox 1,2,3")).is_err());
+    }
+
+    #[test]
+    fn log_compact_and_verify_parse() {
+        assert_eq!(
+            parse(&args("log compact /tmp/log --drop 4 --drop 9")).unwrap(),
+            Command::LogCompact {
+                dir: "/tmp/log".into(),
+                drop: vec![4, 9]
+            }
+        );
+        assert_eq!(
+            parse(&args("log verify /tmp/log")).unwrap(),
+            Command::LogVerify {
+                dir: "/tmp/log".into()
+            }
+        );
+        assert!(parse(&args("log")).is_err());
+        assert!(parse(&args("log frobnicate /tmp/log")).is_err());
     }
 
     #[test]

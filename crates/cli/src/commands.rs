@@ -42,7 +42,35 @@ pub fn run(command: &Command) -> Result<String, String> {
             tolerance,
             algorithm,
             shards,
-        } => fleet(*sessions, *points, *tolerance, algorithm, *shards),
+            seed,
+            spill,
+        } => fleet(
+            *sessions,
+            *points,
+            *tolerance,
+            algorithm,
+            *shards,
+            *seed,
+            spill.as_deref(),
+        ),
+        Command::LogAppend {
+            dir,
+            input,
+            track,
+            algorithm,
+            tolerance,
+        } => log_append(dir, input, *track, algorithm, *tolerance),
+        Command::LogQuery {
+            dir,
+            track,
+            from,
+            to,
+            bbox,
+            at,
+            out,
+        } => log_query(dir, *track, *from, *to, *bbox, *at, out.as_deref()),
+        Command::LogCompact { dir, drop } => log_compact(dir, drop),
+        Command::LogVerify { dir } => log_verify(dir),
     }
 }
 
@@ -166,15 +194,21 @@ fn verify(original: &str, compressed: &str, tolerance: f64) -> Result<String, St
 
 /// Drives a simulated fleet of `sessions` trackers through one
 /// [`FleetEngine`], then cross-checks one session against solo compression
-/// (the interleaving-equivalence guarantee).
+/// (the interleaving-equivalence guarantee). With `spill`, session output
+/// is additionally flushed into a [`TrajectoryLog`] on close and the probe
+/// session is re-read from disk for the same check.
 fn fleet(
     sessions: usize,
     points: usize,
     tolerance: f64,
     algorithm: &str,
     shards: usize,
+    seed: u64,
+    spill: Option<&str>,
 ) -> Result<String, String> {
+    use bqs_core::fleet::{FleetSink, TeeFleetSink};
     use bqs_sim::{RandomWalkConfig, RandomWalkModel};
+    use bqs_tlog::{LogConfig, SpillSink, TrajectoryLog};
     use std::collections::HashMap;
 
     let config = BqsConfig::new(tolerance).map_err(|e| e.to_string())?;
@@ -184,7 +218,9 @@ fn fleet(
                 samples: points,
                 ..RandomWalkConfig::default()
             };
-            RandomWalkModel::new(cfg).generate(t as u64 + 1).points
+            RandomWalkModel::new(cfg)
+                .generate(seed.wrapping_add(t as u64))
+                .points
         })
         .collect();
 
@@ -193,37 +229,82 @@ fn fleet(
         traces: &[Vec<bqs_geo::TimedPoint>],
         fleet_config: FleetConfig,
         factory: impl Fn() -> C,
-    ) -> (
-        HashMap<TrackId, Vec<bqs_geo::TimedPoint>>,
-        bqs_core::DecisionStats,
-        f64,
-    )
+        out: &mut dyn FleetSink,
+    ) -> (bqs_core::DecisionStats, f64)
     where
         C: StreamCompressor + bqs_core::stream::HasDecisionStats,
     {
         let mut engine = FleetEngine::new(fleet_config, factory);
-        let mut tagged: HashMap<TrackId, Vec<bqs_geo::TimedPoint>> = HashMap::new();
         let n = traces.first().map_or(0, Vec::len);
         let start = std::time::Instant::now();
         for i in 0..n {
             for (t, trace) in traces.iter().enumerate() {
-                engine.push_tagged(t as TrackId, trace[i], &mut tagged);
+                engine.push_tagged(t as TrackId, trace[i], out);
             }
         }
-        engine.finish_all(&mut tagged);
-        (tagged, engine.stats(), start.elapsed().as_secs_f64())
+        engine.finish_all(out);
+        (engine.stats(), start.elapsed().as_secs_f64())
     }
 
     let fleet_config = FleetConfig {
         shards,
         ..FleetConfig::default()
     };
-    let (tagged, stats, elapsed) = match algorithm {
-        "bqs" => drive(&traces, fleet_config, move || BqsCompressor::new(config)),
-        "fbqs" => drive(&traces, fleet_config, move || {
-            FastBqsCompressor::new(config)
-        }),
-        other => return Err(format!("fleet supports bqs|fbqs, got {other}")),
+    let mut log = match spill {
+        Some(dir) => {
+            let (log, _) =
+                TrajectoryLog::open(dir, LogConfig::default()).map_err(|e| e.to_string())?;
+            // Fleet runs reuse track ids 0..sessions with simulated
+            // timestamps starting at 0; appending onto an earlier run's
+            // data would fail the log's time-order check with a cryptic
+            // error, so refuse up front.
+            if !log.tracks().is_empty() {
+                return Err(format!(
+                    "--spill {dir} already contains {} track(s); \
+                     use a fresh directory per fleet run",
+                    log.tracks().len()
+                ));
+            }
+            Some(log)
+        }
+        None => None,
+    };
+    let mut tagged: HashMap<TrackId, Vec<bqs_geo::TimedPoint>> = HashMap::new();
+    let mut spill_line = String::new();
+    let (stats, elapsed) = {
+        let mut spill_sink = log.as_mut().map(SpillSink::new);
+        let run = |out: &mut dyn FleetSink| match algorithm {
+            "bqs" => Ok(drive(
+                &traces,
+                fleet_config,
+                move || BqsCompressor::new(config),
+                out,
+            )),
+            "fbqs" => Ok(drive(
+                &traces,
+                fleet_config,
+                move || FastBqsCompressor::new(config),
+                out,
+            )),
+            other => Err(format!("fleet supports bqs|fbqs, got {other}")),
+        };
+        let result = match spill_sink.as_mut() {
+            Some(sink) => run(&mut TeeFleetSink::new(&mut tagged, sink))?,
+            None => run(&mut tagged)?,
+        };
+        if let Some(sink) = spill_sink {
+            let reports = sink.finish().map_err(|e| e.to_string())?;
+            let bytes: u64 = reports.iter().map(|r| r.bytes).sum();
+            let spilled: u64 = reports.iter().map(|r| r.points).sum();
+            spill_line = format!(
+                "spilled {} sessions, {spilled} points, {bytes} B \
+                 ({:.2} B/point) to {}\n",
+                reports.len(),
+                bytes as f64 / spilled.max(1) as f64,
+                spill.unwrap_or("?"),
+            );
+        }
+        result
     };
 
     // Equivalence spot-check: the session with the most output must be
@@ -250,17 +331,205 @@ fn fleet(
             solo.len()
         ));
     }
+    if let Some(log) = &log {
+        let from_disk = log.read_track(probe).map_err(|e| e.to_string())?;
+        if from_disk != solo {
+            return Err(format!(
+                "session {probe}: spilled log diverged from solo compression \
+                 ({} vs {} points)",
+                from_disk.len(),
+                solo.len()
+            ));
+        }
+    }
 
     let total: usize = traces.iter().map(Vec::len).sum();
     let kept: usize = tagged.values().map(Vec::len).sum();
     Ok(format!(
         "fleet: {sessions} sessions × {points} points \
-         ({algorithm}, {tolerance} m, {shards} shards)\n\
+         ({algorithm}, {tolerance} m, {shards} shards, seed {seed})\n\
          {total} → {kept} points (rate {:.2}%), {:.2} Mpts/s\n\
-         pruning power {:.4}; session {probe} verified identical to solo compression\n",
+         pruning power {:.4}; session {probe} verified identical to solo compression\n\
+         {spill_line}",
         100.0 * kept as f64 / total.max(1) as f64,
         total as f64 / elapsed.max(1e-9) / 1e6,
         stats.pruning_power(),
+    ))
+}
+
+/// `bqs log append`: optionally compress a trace, then append it to the
+/// log under the given track id.
+fn log_append(
+    dir: &str,
+    input: &str,
+    track: u64,
+    algorithm: &str,
+    tolerance: f64,
+) -> Result<String, String> {
+    use bqs_tlog::{LogConfig, TrajectoryLog};
+
+    let trace = load_trace(input)?;
+    let config = BqsConfig::new(tolerance).map_err(|e| e.to_string())?;
+    let points = match algorithm {
+        "none" => trace.points.clone(),
+        "bqs" => compress_all(
+            &mut BqsCompressor::new(config),
+            trace.points.iter().copied(),
+        ),
+        "fbqs" => compress_all(
+            &mut FastBqsCompressor::new(config),
+            trace.points.iter().copied(),
+        ),
+        other => return Err(format!("log append supports none|bqs|fbqs, got {other}")),
+    };
+    let (mut log, recovery) =
+        TrajectoryLog::open(dir, LogConfig::default()).map_err(|e| e.to_string())?;
+    let receipt = log.append(track, &points).map_err(|e| e.to_string())?;
+    let mut out = recovery_line(&recovery);
+    out.push_str(&format!(
+        "appended track {track}: {} → {} points ({algorithm}), {} B \
+         ({:.2} B/point, naive {} B/point) into segment {:06}\n",
+        trace.len(),
+        receipt.points,
+        receipt.bytes,
+        receipt.bytes as f64 / receipt.points.max(1) as f64,
+        bqs_tlog::NAIVE_POINT_BYTES,
+        receipt.segment,
+    ));
+    Ok(out)
+}
+
+/// Describes what `TrajectoryLog::open` repaired, or `""` when nothing
+/// was; every log command prints it so on-disk mutation is never silent.
+fn recovery_line(recovery: &bqs_tlog::RecoveryReport) -> String {
+    if recovery.truncated_segments == 0 {
+        String::new()
+    } else {
+        format!(
+            "recovered: truncated {} torn segment tail(s), {} B dropped\n",
+            recovery.truncated_segments, recovery.truncated_bytes
+        )
+    }
+}
+
+/// `bqs log query`: time-range / bounding-box queries and point-in-time
+/// reconstruction, CSV output.
+fn log_query(
+    dir: &str,
+    track: Option<u64>,
+    from: Option<f64>,
+    to: Option<f64>,
+    bbox: Option<[f64; 4]>,
+    at: Option<f64>,
+    out: Option<&str>,
+) -> Result<String, String> {
+    use bqs_tlog::{LogConfig, TimeRange, TrajectoryLog};
+
+    // Also guarded in the argument parser; re-checked here because
+    // `run` is a public entry point.
+    if at.is_some() && track.is_none() {
+        return Err("--at requires --track".to_string());
+    }
+    if at.is_some() && (from.is_some() || to.is_some() || bbox.is_some()) {
+        return Err("--at cannot be combined with --from/--to/--bbox".to_string());
+    }
+
+    let (log, recovery) =
+        TrajectoryLog::open(dir, LogConfig::default()).map_err(|e| e.to_string())?;
+    let recovered = recovery_line(&recovery);
+
+    if let (Some(t), Some(track)) = (at, track) {
+        return match log.reconstruct_at(track, t).map_err(|e| e.to_string())? {
+            Some(p) => Ok(format!(
+                "{recovered}track {track} at t={t}: x={:.3} y={:.3}\n",
+                p.pos.x, p.pos.y
+            )),
+            None => Err(format!("track {track} has no data")),
+        };
+    }
+
+    let range = TimeRange::new(
+        from.unwrap_or(f64::NEG_INFINITY),
+        to.unwrap_or(f64::INFINITY),
+    );
+    let result = match bbox {
+        Some([x0, y0, x1, y1]) => {
+            let area = bqs_geo::Rect::from_corners(
+                bqs_geo::Point2::new(x0, y0),
+                bqs_geo::Point2::new(x1, y1),
+            );
+            log.query_bbox(track, area, Some(range))
+                .map_err(|e| e.to_string())?
+        }
+        None => log
+            .query_time_range(track, range)
+            .map_err(|e| e.to_string())?,
+    };
+
+    let mut csv = String::from("track,x,y,t\n");
+    for slice in &result.slices {
+        for p in &slice.points {
+            csv.push_str(&format!(
+                "{},{},{},{}\n",
+                slice.track, p.pos.x, p.pos.y, p.t
+            ));
+        }
+    }
+    let summary = format!(
+        "{} tracks, {} points (decoded {} of {} records via the index)\n",
+        result.slices.len(),
+        result.total_points(),
+        result.stats.decoded_records,
+        result.stats.candidate_records,
+    );
+    match out {
+        Some(path) => {
+            std::fs::write(path, csv).map_err(|e| format!("cannot write {path}: {e}"))?;
+            Ok(format!("{recovered}{summary}"))
+        }
+        None => Ok(format!("{recovered}{csv}{summary}")),
+    }
+}
+
+/// `bqs log compact`: tombstone the dropped tracks, then rewrite live
+/// records into fresh segments.
+fn log_compact(dir: &str, drop: &[u64]) -> Result<String, String> {
+    use bqs_tlog::{LogConfig, TrajectoryLog};
+
+    let (mut log, recovery) =
+        TrajectoryLog::open(dir, LogConfig::default()).map_err(|e| e.to_string())?;
+    let mut dropped = 0usize;
+    for &track in drop {
+        if log.delete_track(track).map_err(|e| e.to_string())? {
+            dropped += 1;
+        }
+    }
+    let report = log.compact().map_err(|e| e.to_string())?;
+    Ok(format!(
+        "{}dropped {dropped} track(s); compacted {} → {} segments, \
+         {} → {} B ({} records removed)\n",
+        recovery_line(&recovery),
+        report.segments_before,
+        report.segments_after,
+        report.bytes_before,
+        report.bytes_after,
+        report.records_dropped,
+    ))
+}
+
+/// `bqs log verify`: strict full-scan verification (no repair).
+fn log_verify(dir: &str) -> Result<String, String> {
+    let report = bqs_tlog::verify_dir(dir).map_err(|e| format!("FAIL: {e}"))?;
+    Ok(format!(
+        "OK: {} segments, {} records (+{} tombstones), {} points, {} B \
+         ({:.2} B/point on disk, naive {} B/point)\n",
+        report.segments,
+        report.records,
+        report.tombstones,
+        report.points,
+        report.file_bytes,
+        report.file_bytes_per_point(),
+        bqs_tlog::NAIVE_POINT_BYTES,
     ))
 }
 
@@ -307,6 +576,9 @@ fn run_experiments(names: &[String], full: bool) -> Result<String, String> {
     }
     if wanted("fleet") {
         out.push_str(&experiments::fleet::run(scale).to_table().to_string());
+    }
+    if wanted("storage") {
+        out.push_str(&experiments::storage::run(scale).to_table().to_string());
     }
     if wanted("extended") {
         out.push_str(&experiments::extended::run(scale).to_table().to_string());
@@ -450,6 +722,8 @@ mod tests {
             tolerance: 10.0,
             algorithm: "fbqs".into(),
             shards: 4,
+            seed: 1,
+            spill: None,
         })
         .unwrap();
         assert!(text.contains("6 sessions"), "{text}");
@@ -460,9 +734,166 @@ mod tests {
             tolerance: 8.0,
             algorithm: "bqs".into(),
             shards: 2,
+            seed: 1,
+            spill: None,
         })
         .unwrap();
         assert!(text.contains("3 sessions"), "{text}");
+    }
+
+    #[test]
+    fn fleet_runs_are_reproducible_per_seed() {
+        let fleet_cmd = |seed: u64| Command::Fleet {
+            sessions: 4,
+            points: 100,
+            tolerance: 10.0,
+            algorithm: "fbqs".into(),
+            shards: 4,
+            seed,
+            spill: None,
+        };
+        // Same seed → identical point counts in the summary; a different
+        // seed changes the generated traces (strip the Mpts/s timing).
+        let strip = |s: String| {
+            s.lines()
+                .filter(|l| !l.contains("Mpts/s"))
+                .map(str::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let a = strip(run(&fleet_cmd(7)).unwrap());
+        let b = strip(run(&fleet_cmd(7)).unwrap());
+        let c = strip(run(&fleet_cmd(8)).unwrap());
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fleet_spill_makes_the_run_durable_and_queryable() {
+        let dir = tmp("fleet-spill-log");
+        let _ = std::fs::remove_dir_all(&dir);
+        let text = run(&Command::Fleet {
+            sessions: 5,
+            points: 150,
+            tolerance: 10.0,
+            algorithm: "fbqs".into(),
+            shards: 4,
+            seed: 3,
+            spill: Some(dir.clone()),
+        })
+        .unwrap();
+        assert!(text.contains("spilled 5 sessions"), "{text}");
+
+        let verdict = run(&Command::LogVerify { dir: dir.clone() }).unwrap();
+        assert!(verdict.starts_with("OK"), "{verdict}");
+
+        let listing = run(&Command::LogQuery {
+            dir: dir.clone(),
+            track: None,
+            from: None,
+            to: None,
+            bbox: None,
+            at: None,
+            out: None,
+        })
+        .unwrap();
+        assert!(listing.contains("5 tracks"), "{listing}");
+
+        // Re-spilling into a used directory is refused up front rather
+        // than failing deep in the log with a time-order error.
+        let err = run(&Command::Fleet {
+            sessions: 5,
+            points: 150,
+            tolerance: 10.0,
+            algorithm: "fbqs".into(),
+            shards: 4,
+            seed: 3,
+            spill: Some(dir),
+        })
+        .unwrap_err();
+        assert!(err.contains("fresh directory"), "{err}");
+    }
+
+    #[test]
+    fn log_append_query_compact_verify_round_trip() {
+        let dir = tmp("log-cli");
+        let _ = std::fs::remove_dir_all(&dir);
+        let trace_path = tmp("log-cli-trace.csv");
+        run(&Command::Generate {
+            dataset: "synthetic".into(),
+            seed: 11,
+            full: false,
+            out: Some(trace_path.clone()),
+        })
+        .unwrap();
+
+        let appended = run(&Command::LogAppend {
+            dir: dir.clone(),
+            input: trace_path.clone(),
+            track: 1,
+            algorithm: "fbqs".into(),
+            tolerance: 10.0,
+        })
+        .unwrap();
+        assert!(appended.contains("appended track 1"), "{appended}");
+        run(&Command::LogAppend {
+            dir: dir.clone(),
+            input: trace_path,
+            track: 2,
+            algorithm: "none".into(),
+            tolerance: 10.0,
+        })
+        .unwrap();
+
+        let csv_path = tmp("log-cli-query.csv");
+        let summary = run(&Command::LogQuery {
+            dir: dir.clone(),
+            track: Some(2),
+            from: Some(0.0),
+            to: Some(1e12),
+            bbox: None,
+            at: None,
+            out: Some(csv_path.clone()),
+        })
+        .unwrap();
+        assert!(summary.contains("1 tracks"), "{summary}");
+        let csv = std::fs::read_to_string(&csv_path).unwrap();
+        assert!(csv.starts_with("track,x,y,t"), "{}", &csv[..40]);
+
+        let at = run(&Command::LogQuery {
+            dir: dir.clone(),
+            track: Some(1),
+            from: None,
+            to: None,
+            bbox: None,
+            at: Some(30.0),
+            out: None,
+        })
+        .unwrap();
+        assert!(at.contains("track 1 at t=30"), "{at}");
+
+        let compacted = run(&Command::LogCompact {
+            dir: dir.clone(),
+            drop: vec![2],
+        })
+        .unwrap();
+        assert!(compacted.contains("dropped 1 track"), "{compacted}");
+
+        let verdict = run(&Command::LogVerify { dir: dir.clone() }).unwrap();
+        assert!(verdict.starts_with("OK"), "{verdict}");
+
+        // Track 2 is gone, track 1 remains.
+        let listing = run(&Command::LogQuery {
+            dir,
+            track: None,
+            from: None,
+            to: None,
+            bbox: None,
+            at: None,
+            out: None,
+        })
+        .unwrap();
+        assert!(listing.contains("1 tracks"), "{listing}");
     }
 
     #[test]

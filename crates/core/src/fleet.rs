@@ -56,6 +56,14 @@ pub type TrackId = u64;
 pub trait FleetSink {
     /// Accepts one finalised key point of `track`.
     fn accept(&mut self, track: TrackId, point: TimedPoint);
+
+    /// Notifies the sink that a session has been finalised (finish or
+    /// eviction). Called *after* the session's tail points have been
+    /// emitted through [`FleetSink::accept`], so a sink buffering per
+    /// track holds the session's complete output when this fires —
+    /// the hook a durable spill layer (e.g. `bqs-tlog`'s `SpillSink`)
+    /// flushes on. The default does nothing.
+    fn session_closed(&mut self, _report: &SessionReport) {}
 }
 
 impl FleetSink for Vec<(TrackId, TimedPoint)> {
@@ -99,6 +107,32 @@ impl<F> FnFleetSink<F> {
 impl<F: FnMut(TrackId, TimedPoint)> FleetSink for FnFleetSink<F> {
     fn accept(&mut self, track: TrackId, point: TimedPoint) {
         (self.f)(track, point);
+    }
+}
+
+/// Duplicates tagged emissions (and session-close notifications) into two
+/// fleet sinks — e.g. an in-memory collector plus a durable spill layer.
+pub struct TeeFleetSink<'a> {
+    a: &'a mut dyn FleetSink,
+    b: &'a mut dyn FleetSink,
+}
+
+impl<'a> TeeFleetSink<'a> {
+    /// Fans emissions out to `a` and `b` (in that order).
+    pub fn new(a: &'a mut dyn FleetSink, b: &'a mut dyn FleetSink) -> TeeFleetSink<'a> {
+        TeeFleetSink { a, b }
+    }
+}
+
+impl FleetSink for TeeFleetSink<'_> {
+    fn accept(&mut self, track: TrackId, point: TimedPoint) {
+        self.a.accept(track, point);
+        self.b.accept(track, point);
+    }
+
+    fn session_closed(&mut self, report: &SessionReport) {
+        self.a.session_closed(report);
+        self.b.session_closed(report);
     }
 }
 
@@ -147,6 +181,17 @@ impl Default for FleetConfig {
     }
 }
 
+/// Why a session was finalised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushReason {
+    /// The caller ended the stream ([`FleetEngine::finish_track`] or
+    /// [`FleetEngine::finish_all`]).
+    Finished,
+    /// The session idled past the timeout and was reclaimed by
+    /// [`FleetEngine::evict_idle`].
+    Evicted,
+}
+
 /// Summary returned when a session is finalised.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SessionReport {
@@ -156,6 +201,8 @@ pub struct SessionReport {
     pub points: u64,
     /// Decision statistics attributed to this session alone.
     pub stats: DecisionStats,
+    /// Whether the session finished or was evicted.
+    pub reason: FlushReason,
 }
 
 #[derive(Debug)]
@@ -188,6 +235,8 @@ pub struct FleetEngine<C, F> {
     retired_stats: DecisionStats,
     /// Sessions finalised so far.
     retired_sessions: u64,
+    /// Of those, sessions reclaimed by idle eviction.
+    evicted_sessions: u64,
     /// Largest timestamp pushed so far (the fleet's stream clock).
     latest_time: f64,
 }
@@ -213,6 +262,7 @@ where
             pool: Vec::new(),
             retired_stats: DecisionStats::default(),
             retired_sessions: 0,
+            evicted_sessions: 0,
             latest_time: f64::NEG_INFINITY,
         }
     }
@@ -250,6 +300,12 @@ where
     /// Sessions finalised so far (finish or eviction).
     pub fn retired_sessions(&self) -> u64 {
         self.retired_sessions
+    }
+
+    /// Sessions reclaimed by idle eviction so far (a subset of
+    /// [`FleetEngine::retired_sessions`]).
+    pub fn evicted_sessions(&self) -> u64 {
+        self.evicted_sessions
     }
 
     /// Largest timestamp pushed so far; `None` before the first push.
@@ -325,12 +381,16 @@ where
         &mut self,
         mut session: Session<C>,
         track: TrackId,
+        reason: FlushReason,
         out: &mut dyn Sink,
     ) -> SessionReport {
         session.compressor.finish(out);
         let stats = session.compressor.decision_stats().since(&session.baseline);
         self.retired_stats.merge(&stats);
         self.retired_sessions += 1;
+        if reason == FlushReason::Evicted {
+            self.evicted_sessions += 1;
+        }
         if self.pool.len() < self.config.max_pooled {
             self.pool.push(session.compressor);
         }
@@ -338,24 +398,46 @@ where
             track,
             points: session.points,
             stats,
+            reason,
         }
     }
 
     /// Ends `track`'s stream: flushes its final key point into `out`,
     /// merges its statistics, recycles its compressor, and removes the
     /// session. `None` when the track has no live session.
+    ///
+    /// The point-level sink cannot receive a
+    /// [`FleetSink::session_closed`] notification; sinks that act on
+    /// session close (e.g. durable spill layers) should be driven through
+    /// [`FleetEngine::finish_track_tagged`] instead.
     pub fn finish_track(&mut self, track: TrackId, out: &mut dyn Sink) -> Option<SessionReport> {
         let shard = self.shard_of(track);
         let session = self.shards[shard].sessions.remove(&track)?;
-        Some(self.retire(session, track, out))
+        Some(self.retire(session, track, FlushReason::Finished, out))
+    }
+
+    /// Like [`FleetEngine::finish_track`] but emitting tagged points into
+    /// a [`FleetSink`] and firing its [`FleetSink::session_closed`] hook
+    /// — the per-track counterpart of [`FleetEngine::finish_all`].
+    pub fn finish_track_tagged(
+        &mut self,
+        track: TrackId,
+        out: &mut dyn FleetSink,
+    ) -> Option<SessionReport> {
+        let report = self.finish_track(track, &mut TrackSink::new(out, track))?;
+        out.session_closed(&report);
+        Some(report)
     }
 
     /// Finalises every session whose last push is older than
     /// `config.idle_timeout` relative to `now` (stream time). Emits each
-    /// evicted track's tail into `out`; returns the evicted count.
-    pub fn evict_idle(&mut self, now: f64, out: &mut dyn FleetSink) -> usize {
+    /// evicted track's tail into `out`, notifies the sink via
+    /// [`FleetSink::session_closed`], and returns one [`SessionReport`]
+    /// per evicted session so per-session flush statistics are never
+    /// merged away silently.
+    pub fn evict_idle(&mut self, now: f64, out: &mut dyn FleetSink) -> Vec<SessionReport> {
         let cutoff = now - self.config.idle_timeout;
-        let mut evicted = 0;
+        let mut reports = Vec::new();
         for shard in 0..self.shards.len() {
             // Collect first: retiring mutates the pool and stats, so the
             // shard map cannot stay borrowed.
@@ -367,37 +449,49 @@ where
                 .collect();
             for track in idle {
                 if let Some(session) = self.shards[shard].sessions.remove(&track) {
-                    self.retire(session, track, &mut TrackSink::new(out, track));
-                    evicted += 1;
+                    let report = self.retire(
+                        session,
+                        track,
+                        FlushReason::Evicted,
+                        &mut TrackSink::new(out, track),
+                    );
+                    out.session_closed(&report);
+                    reports.push(report);
                 }
             }
         }
-        evicted
+        reports
     }
 
     /// Convenience: [`FleetEngine::evict_idle`] at the fleet's own stream
     /// clock. No-op before the first push.
-    pub fn evict_idle_now(&mut self, out: &mut dyn FleetSink) -> usize {
+    pub fn evict_idle_now(&mut self, out: &mut dyn FleetSink) -> Vec<SessionReport> {
         match self.latest_time() {
             Some(now) => self.evict_idle(now, out),
-            None => 0,
+            None => Vec::new(),
         }
     }
 
-    /// Ends every live session (tagged emission); returns how many were
-    /// finalised.
-    pub fn finish_all(&mut self, out: &mut dyn FleetSink) -> usize {
-        let mut finished = 0;
+    /// Ends every live session (tagged emission), notifying the sink per
+    /// session; returns one [`SessionReport`] per finalised session.
+    pub fn finish_all(&mut self, out: &mut dyn FleetSink) -> Vec<SessionReport> {
+        let mut reports = Vec::new();
         for shard in 0..self.shards.len() {
             let tracks: Vec<TrackId> = self.shards[shard].sessions.keys().copied().collect();
             for track in tracks {
                 if let Some(session) = self.shards[shard].sessions.remove(&track) {
-                    self.retire(session, track, &mut TrackSink::new(out, track));
-                    finished += 1;
+                    let report = self.retire(
+                        session,
+                        track,
+                        FlushReason::Finished,
+                        &mut TrackSink::new(out, track),
+                    );
+                    out.session_closed(&report);
+                    reports.push(report);
                 }
             }
         }
-        finished
+        reports
     }
 }
 
@@ -473,8 +567,9 @@ mod tests {
             }
         }
         assert_eq!(fleet.active_sessions(), 50);
-        let finished = fleet.finish_all(&mut out);
-        assert_eq!(finished, 50);
+        let reports = fleet.finish_all(&mut out);
+        assert_eq!(reports.len(), 50);
+        assert!(reports.iter().all(|r| r.reason == FlushReason::Finished));
         assert_eq!(fleet.active_sessions(), 0);
         assert_eq!(fleet.retired_sessions(), 50);
         // Every track emitted at least its two anchors.
@@ -497,7 +592,11 @@ mod tests {
         assert_eq!(fleet.active_sessions(), 2);
         // Default idle timeout is 3600 s; track 1 last pushed at t=600.
         let evicted = fleet.evict_idle_now(&mut out);
-        assert_eq!(evicted, 1);
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].track, 1);
+        assert_eq!(evicted[0].reason, FlushReason::Evicted);
+        assert_eq!(evicted[0].points, 11);
+        assert_eq!(fleet.evicted_sessions(), 1);
         assert_eq!(fleet.active_sessions(), 1);
         assert_eq!(fleet.pooled_compressors(), 1);
         // Track 1's tail point must have been flushed on eviction.
@@ -562,6 +661,38 @@ mod tests {
         fleet.finish_all(&mut counter);
         assert!(counter.count >= 2);
         assert!(counter.count < 500);
+    }
+
+    #[test]
+    fn tee_fleet_sink_duplicates_points_and_close_notifications() {
+        struct CloseCounter {
+            points: usize,
+            closes: Vec<(TrackId, FlushReason)>,
+        }
+        impl FleetSink for CloseCounter {
+            fn accept(&mut self, _track: TrackId, _point: TimedPoint) {
+                self.points += 1;
+            }
+            fn session_closed(&mut self, report: &SessionReport) {
+                self.closes.push((report.track, report.reason));
+            }
+        }
+        let mut fleet = engine(10.0);
+        let mut collected: Vec<(TrackId, TimedPoint)> = Vec::new();
+        let mut counter = CloseCounter {
+            points: 0,
+            closes: Vec::new(),
+        };
+        {
+            let mut tee = TeeFleetSink::new(&mut collected, &mut counter);
+            for p in wave(3, 50) {
+                fleet.push_tagged(3, p, &mut tee);
+            }
+            fleet.finish_all(&mut tee);
+        }
+        assert!(!collected.is_empty());
+        assert_eq!(collected.len(), counter.points);
+        assert_eq!(counter.closes, vec![(3, FlushReason::Finished)]);
     }
 
     #[test]

@@ -76,7 +76,9 @@ pub use bqs3d::{Bqs3dCompressor, Bqs3dConfig, OctantBounds};
 pub use bqs4d::{Bqs4dCompressor, Bqs4dConfig};
 pub use config::{BoundsMode, BqsConfig, ConfigError, RotationMode};
 pub use fbqs::FastBqsCompressor;
-pub use fleet::{FleetConfig, FleetEngine, FleetSink, TrackId};
+pub use fleet::{
+    FleetConfig, FleetEngine, FleetSink, FlushReason, SessionReport, TeeFleetSink, TrackId,
+};
 pub use metrics::DeviationMetric;
 pub use quadrant::QuadrantBounds;
 pub use segments::{segments, summarize, SegmentView, TrajectorySummary};

@@ -1,0 +1,257 @@
+//! Storage-footprint experiment (beyond the paper): bytes per point of
+//! the `bqs-tlog` binary codec against two fixed-width baselines, on the
+//! vehicle simulation dataset.
+//!
+//! The paper's storage argument (Table II) is byte-counting: each GPS
+//! sample costs "at least 12 bytes" in the Camazotz fixed-point record,
+//! and compression multiplies operational time by keeping fewer samples.
+//! The trajectory log adds a second lever: the *kept* samples themselves
+//! shrink, because the codec delta-encodes them losslessly. This
+//! experiment quantifies both levers:
+//!
+//! * **naive f64** — 24 B/point (`3 × f64`), the in-memory layout.
+//! * **paper record** — 12 B/point, the Camazotz fixed-point record
+//!   (lossy: centimetre/second quantisation).
+//! * **codec exact** — the tlog codec's bit-lossless profile over the
+//!   full trace. The dataset's metre-scale GPS noise puts an entropy
+//!   floor of ~40 bits per coordinate under any lossless coder, so this
+//!   row cannot fall below ~11 B/point no matter the format.
+//! * **codec mm grid** — the quantized profile (1 mm cells, 10× finer
+//!   than the paper's own records, three orders of magnitude below GPS
+//!   noise): the configuration that clears the < 50 %-of-naive bar.
+//! * **fbqs@τ + codec** — compress first (the paper's pipeline), then
+//!   encode the kept points exactly: the end-to-end on-disk footprint
+//!   of the durable log.
+
+use crate::report::TextTable;
+use crate::Scale;
+use bqs_core::stream::compress_all;
+use bqs_core::{BqsConfig, FastBqsCompressor};
+use bqs_geo::TimedPoint;
+use bqs_tlog::codec;
+
+/// Bytes per point of the naive fixed-width `TimedPoint` layout.
+pub const NAIVE_BYTES: usize = codec::NAIVE_POINT_BYTES;
+
+/// Bytes per point of the paper's fixed-point flash record.
+pub const PAPER_RECORD_BYTES: usize = bqs_device::storage::GPS_RECORD_BYTES;
+
+/// One storage configuration's footprint.
+#[derive(Debug, Clone)]
+pub struct StorageRow {
+    /// Human label ("naive f64", "codec raw", "fbqs@10m + codec", …).
+    pub label: String,
+    /// Points actually stored under this configuration.
+    pub stored_points: usize,
+    /// Bytes those points occupy.
+    pub bytes: usize,
+    /// Bytes per *stored* point — the codec's own efficiency.
+    pub bytes_per_stored_point: f64,
+    /// Bytes relative to storing every input point as naive f64 —
+    /// the end-to-end footprint, in percent.
+    pub pct_of_naive_raw: f64,
+    /// Whether this configuration reproduces the input bit-exactly.
+    pub lossless: bool,
+}
+
+/// Full result.
+#[derive(Debug, Clone)]
+pub struct StorageResult {
+    /// Input points of the vehicle trace.
+    pub input_points: usize,
+    /// One row per storage configuration.
+    pub rows: Vec<StorageRow>,
+}
+
+impl StorageResult {
+    /// Renders the result as a text table.
+    pub fn to_table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            format!(
+                "Storage — tlog codec footprint, vehicle dataset ({} points)",
+                self.input_points
+            ),
+            &[
+                "configuration",
+                "stored",
+                "bytes",
+                "B/pt",
+                "% naive",
+                "lossless",
+            ],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.label.clone(),
+                r.stored_points.to_string(),
+                r.bytes.to_string(),
+                format!("{:.2}", r.bytes_per_stored_point),
+                format!("{:.2}", r.pct_of_naive_raw),
+                if r.lossless { "yes" } else { "no" }.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// The bit-lossless codec row.
+    pub fn codec_exact(&self) -> &StorageRow {
+        self.rows
+            .iter()
+            .find(|r| r.label == "codec exact")
+            .expect("codec exact row always present")
+    }
+
+    /// The millimetre-grid codec row — the acceptance-criterion
+    /// configuration (< 50 % of the naive fixed-width layout).
+    pub fn codec_quantized(&self) -> &StorageRow {
+        self.rows
+            .iter()
+            .find(|r| r.label == "codec mm grid")
+            .expect("codec mm grid row always present")
+    }
+}
+
+/// Tolerances (metres) for the compress-then-encode rows; the vehicle
+/// dataset's paper sweep is 5–50 m.
+pub fn tolerances(scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Quick => vec![10.0],
+        Scale::Full => vec![5.0, 10.0, 20.0, 50.0],
+    }
+}
+
+fn row(
+    label: impl Into<String>,
+    stored: usize,
+    bytes: usize,
+    input: usize,
+    lossless: bool,
+) -> StorageRow {
+    StorageRow {
+        label: label.into(),
+        stored_points: stored,
+        bytes,
+        bytes_per_stored_point: bytes as f64 / stored.max(1) as f64,
+        pct_of_naive_raw: 100.0 * bytes as f64 / (NAIVE_BYTES * input.max(1)) as f64,
+        lossless,
+    }
+}
+
+/// Runs the footprint sweep on the vehicle dataset.
+pub fn run(scale: Scale) -> StorageResult {
+    let trace = super::vehicle_trace(scale);
+    let points = &trace.points;
+    let n = points.len();
+    let mut rows = Vec::new();
+
+    rows.push(row("naive f64", n, NAIVE_BYTES * n, n, true));
+    rows.push(row(
+        "paper 12 B record",
+        n,
+        PAPER_RECORD_BYTES * n,
+        n,
+        false,
+    ));
+
+    let encoded = codec::encode_to_vec(points).expect("vehicle timestamps are monotone");
+    debug_assert_eq!(
+        codec::decode_to_vec(&encoded).expect("round trip"),
+        *points,
+        "codec must be lossless on the dataset"
+    );
+    rows.push(row("codec exact", n, encoded.len(), n, true));
+
+    let quantized = codec::encode_to_vec_with(codec::CodecProfile::millimetre(), points)
+        .expect("vehicle coordinates fit a mm grid");
+    rows.push(row("codec mm grid", n, quantized.len(), n, false));
+
+    for tolerance in tolerances(scale) {
+        let config = BqsConfig::new(tolerance).expect("positive tolerance");
+        let kept = compress_all(&mut FastBqsCompressor::new(config), points.iter().copied());
+        let encoded = codec::encode_to_vec(&kept).expect("kept points stay monotone");
+        rows.push(row(
+            format!("fbqs@{tolerance}m + codec"),
+            kept.len(),
+            encoded.len(),
+            n,
+            false,
+        ));
+    }
+
+    StorageResult {
+        input_points: n,
+        rows,
+    }
+}
+
+/// Encodes then decodes `points`, asserting bit-exactness; helper shared
+/// with the pipeline tests.
+pub fn assert_lossless(points: &[TimedPoint]) {
+    let bytes = codec::encode_to_vec(points).expect("encode");
+    let back = codec::decode_to_vec(&bytes).expect("decode");
+    assert_eq!(back.len(), points.len());
+    for (a, b) in points.iter().zip(&back) {
+        assert_eq!(a.pos.x.to_bits(), b.pos.x.to_bits());
+        assert_eq!(a.pos.y.to_bits(), b.pos.y.to_bits());
+        assert_eq!(a.t.to_bits(), b.t.to_bits());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_beats_half_of_the_naive_layout_on_vehicle_data() {
+        let result = run(Scale::Quick);
+        let q = result.codec_quantized();
+        assert!(
+            q.bytes_per_stored_point < NAIVE_BYTES as f64 / 2.0,
+            "acceptance: codec must stay below 12 B/point, got {:.2}",
+            q.bytes_per_stored_point
+        );
+        // Millimetre cells also undercut the paper's 12 B centimetre
+        // record while storing 10× finer positions.
+        assert!(q.bytes_per_stored_point < PAPER_RECORD_BYTES as f64);
+        assert_eq!(q.stored_points, result.input_points);
+
+        // The exact profile is lossless and still beats the naive layout,
+        // but sits above the dataset's noise-entropy floor.
+        let exact = result.codec_exact();
+        assert!(exact.lossless);
+        assert!(exact.bytes_per_stored_point < NAIVE_BYTES as f64 * 0.7);
+        assert!(exact.bytes_per_stored_point > q.bytes_per_stored_point);
+    }
+
+    #[test]
+    fn compression_then_codec_compounds_the_saving() {
+        let result = run(Scale::Quick);
+        let exact = result.codec_exact();
+        let compressed = result
+            .rows
+            .iter()
+            .find(|r| r.label.starts_with("fbqs@"))
+            .expect("at least one tolerance row");
+        assert!(compressed.stored_points < result.input_points);
+        assert!(compressed.pct_of_naive_raw < exact.pct_of_naive_raw);
+        // End-to-end the paper-style pipeline plus codec is far below
+        // even the paper's own 12 B fixed-point record.
+        assert!(
+            compressed.pct_of_naive_raw < 50.0 * (PAPER_RECORD_BYTES as f64 / NAIVE_BYTES as f64)
+        );
+    }
+
+    #[test]
+    fn table_renders_every_row() {
+        let result = run(Scale::Quick);
+        let table = result.to_table();
+        assert_eq!(table.len(), result.rows.len());
+        assert!(result.rows.len() >= 5);
+    }
+
+    #[test]
+    fn lossless_helper_round_trips_the_bat_dataset_too() {
+        let trace = crate::experiments::bat_trace(Scale::Quick);
+        assert_lossless(&trace.points);
+    }
+}

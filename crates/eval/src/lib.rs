@@ -15,6 +15,7 @@
 //! | [`experiments::table3`] | Table III — run time vs. buffer size |
 //! | [`experiments::ablation`] | extra — rotation / bounds-tier ablations |
 //! | [`experiments::fleet`] | extra — multi-session FleetEngine scaling |
+//! | [`experiments::storage`] | extra — tlog codec bytes/point vs fixed-width baselines |
 //!
 //! Supporting modules: [`metrics`] (compression rate, error verification),
 //! [`algorithms`] (a uniform factory over every compressor in the

@@ -1,0 +1,99 @@
+//! The crate-wide error type.
+
+use crate::codec::CodecError;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Everything the log and query layers can fail with.
+#[derive(Debug)]
+pub enum TlogError {
+    /// An I/O operation failed; `context` names the file or action.
+    Io {
+        /// What was being done (path or operation).
+        context: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// Encoding or decoding a point stream failed.
+    Codec(CodecError),
+    /// A segment or record failed validation during a strict scan.
+    Corrupt {
+        /// The offending segment file.
+        path: PathBuf,
+        /// Byte offset of the bad frame within the file.
+        offset: u64,
+        /// Human-readable diagnosis.
+        reason: String,
+    },
+    /// `append` was called with an empty point slice.
+    EmptyAppend,
+    /// One append's encoded record exceeds the frame format's body
+    /// limit; split the batch.
+    RecordTooLarge {
+        /// The offending body size in bytes.
+        bytes: u64,
+        /// The format's limit.
+        max: u64,
+    },
+    /// Another process holds the log's advisory lock.
+    Locked {
+        /// The log directory.
+        dir: PathBuf,
+        /// The OS-level reason (usually "would block").
+        reason: String,
+    },
+}
+
+impl TlogError {
+    /// Wraps an I/O error with context.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> TlogError {
+        TlogError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for TlogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TlogError::Io { context, source } => write!(f, "{context}: {source}"),
+            TlogError::Codec(e) => write!(f, "codec: {e}"),
+            TlogError::Corrupt {
+                path,
+                offset,
+                reason,
+            } => write!(f, "{} corrupt at offset {offset}: {reason}", path.display()),
+            TlogError::EmptyAppend => write!(f, "cannot append an empty point stream"),
+            TlogError::RecordTooLarge { bytes, max } => {
+                write!(
+                    f,
+                    "record body of {bytes} B exceeds the format limit of {max} B; split the batch"
+                )
+            }
+            TlogError::Locked { dir, reason } => {
+                write!(
+                    f,
+                    "{} is locked by another process ({reason})",
+                    dir.display()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TlogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TlogError::Io { source, .. } => Some(source),
+            TlogError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for TlogError {
+    fn from(e: CodecError) -> TlogError {
+        TlogError::Codec(e)
+    }
+}

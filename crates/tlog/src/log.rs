@@ -1,0 +1,897 @@
+//! The append-only segmented trajectory log.
+//!
+//! A log is a directory of segment files (`seg-000001.tlg`, …). Appends
+//! go to the highest-numbered segment and roll over to a fresh one when
+//! the configured size is exceeded; nothing is ever overwritten in place,
+//! so the only write hazard is a torn tail — which [`TrajectoryLog::open`]
+//! repairs by truncating the last incomplete frame (CRC-verified, so a
+//! half-written record can never be mistaken for data).
+//!
+//! Every record carries its own summary (track, count, time span,
+//! bounding box); opening a log rebuilds the in-memory per-track sparse
+//! time index from a header scan without decoding any payload. Tracks are
+//! deleted logically with tombstone records; [`TrajectoryLog::compact`]
+//! rewrites the live records into fresh segments and physically drops
+//! dead data, copying frames verbatim so CRCs never need recomputing.
+
+use crate::codec::CodecError;
+use crate::crc::crc32;
+use crate::error::TlogError;
+use crate::segment::{self, RecordKind, RecordSummary, ScanOutcome, SEGMENT_HEADER_LEN};
+use bqs_core::fleet::TrackId;
+use bqs_geo::TimedPoint;
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Log tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogConfig {
+    /// Segment rollover threshold in bytes. A single record larger than
+    /// this still fits (a segment always accepts at least one record).
+    pub segment_max_bytes: u64,
+    /// `fdatasync` after every append. Off by default: the tail is
+    /// CRC-framed, so a lost suffix is detected and truncated on reopen.
+    pub fsync: bool,
+}
+
+impl Default for LogConfig {
+    fn default() -> LogConfig {
+        LogConfig {
+            // Small enough that compaction and index scans stay nimble,
+            // large enough that a fleet's flush batches amortise headers.
+            segment_max_bytes: 4 << 20,
+            fsync: false,
+        }
+    }
+}
+
+/// What [`TrajectoryLog::open`] found and repaired.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Segment files scanned.
+    pub segments: usize,
+    /// Valid records across all segments.
+    pub records: usize,
+    /// Segments whose tail had to be truncated.
+    pub truncated_segments: usize,
+    /// Bytes dropped by tail truncation.
+    pub truncated_bytes: u64,
+}
+
+/// Where an append landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendReceipt {
+    /// Sequence number of the segment written to.
+    pub segment: u64,
+    /// Frame offset within the segment file.
+    pub offset: u64,
+    /// Frame size in bytes (prologue + body).
+    pub bytes: u64,
+    /// Points encoded.
+    pub points: u64,
+}
+
+/// Outcome of a compaction pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Segment files before/after.
+    pub segments_before: usize,
+    /// Segment files after.
+    pub segments_after: usize,
+    /// Total file bytes before.
+    pub bytes_before: u64,
+    /// Total file bytes after.
+    pub bytes_after: u64,
+    /// Records (data + tombstones) physically dropped.
+    pub records_dropped: usize,
+}
+
+/// Aggregate size/occupancy counters for observability.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LogFootprint {
+    /// Segment files.
+    pub segments: usize,
+    /// Records across all segments (live and dead, incl. tombstones).
+    pub records: usize,
+    /// Live data records (reachable through the index).
+    pub live_records: usize,
+    /// Points in live records.
+    pub live_points: u64,
+    /// Total file bytes.
+    pub bytes: u64,
+}
+
+#[derive(Debug)]
+struct SegmentInfo {
+    seq: u64,
+    path: PathBuf,
+    len: u64,
+    records: Vec<RecordSummary>,
+}
+
+/// The durable, queryable trajectory log. See the module docs.
+#[derive(Debug)]
+pub struct TrajectoryLog {
+    dir: PathBuf,
+    config: LogConfig,
+    segments: Vec<SegmentInfo>,
+    writer: File,
+    /// Held for the log's lifetime: an OS advisory lock on `LOCK` in the
+    /// directory, released automatically even if the process dies. One
+    /// process owns a log at a time — a second `open` fails fast instead
+    /// of interleaving appends or compacting files out from under a
+    /// writer.
+    _lock: File,
+    /// Per-track sparse time index: live records in append order, as
+    /// `(segment index, record index)` into `segments`.
+    index: BTreeMap<TrackId, Vec<(usize, usize)>>,
+}
+
+fn segment_file_name(seq: u64) -> String {
+    format!("seg-{seq:06}.tlg")
+}
+
+fn parse_segment_name(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("seg-")?.strip_suffix(".tlg")?;
+    rest.parse().ok()
+}
+
+fn io_err(context: impl Into<String>) -> impl FnOnce(std::io::Error) -> TlogError {
+    let context = context.into();
+    move |e| TlogError::io(context, e)
+}
+
+fn create_segment(dir: &Path, seq: u64) -> Result<(PathBuf, File), TlogError> {
+    let path = dir.join(segment_file_name(seq));
+    let mut file = OpenOptions::new()
+        .create_new(true)
+        .write(true)
+        .open(&path)
+        .map_err(io_err(format!("create {}", path.display())))?;
+    file.write_all(&segment::segment_header())
+        .map_err(io_err(format!("write header {}", path.display())))?;
+    Ok((path, file))
+}
+
+impl TrajectoryLog {
+    /// Opens (or creates) the log at `dir`, repairing any torn tail and
+    /// rebuilding the index from the record headers.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        config: LogConfig,
+    ) -> Result<(TrajectoryLog, RecoveryReport), TlogError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(io_err(format!("create dir {}", dir.display())))?;
+
+        let lock_path = dir.join("LOCK");
+        let lock = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(&lock_path)
+            .map_err(io_err(format!("open {}", lock_path.display())))?;
+        lock.try_lock().map_err(|e| TlogError::Locked {
+            dir: dir.clone(),
+            reason: e.to_string(),
+        })?;
+
+        let mut seqs: Vec<(u64, PathBuf)> = Vec::new();
+        let entries = fs::read_dir(&dir).map_err(io_err(format!("read dir {}", dir.display())))?;
+        for entry in entries {
+            let entry = entry.map_err(io_err("read dir entry"))?;
+            if let Some(seq) = entry.file_name().to_str().and_then(parse_segment_name) {
+                seqs.push((seq, entry.path()));
+            }
+        }
+        seqs.sort_unstable_by_key(|(seq, _)| *seq);
+
+        let mut report = RecoveryReport::default();
+        let mut segments = Vec::with_capacity(seqs.len());
+        for (seq, path) in seqs {
+            let bytes = fs::read(&path).map_err(io_err(format!("read {}", path.display())))?;
+            let ScanOutcome {
+                records,
+                valid_len,
+                fault,
+            } = segment::scan_segment(&bytes);
+            if let Some((offset, fault)) = fault {
+                // A header that never finished writing means the segment
+                // holds nothing; re-initialise it. A *wrong* header on a
+                // non-empty file is not a torn tail — refuse to guess.
+                if offset == 0 && bytes.len() >= SEGMENT_HEADER_LEN as usize {
+                    return Err(TlogError::Corrupt {
+                        path,
+                        offset,
+                        reason: fault.to_string(),
+                    });
+                }
+                let file = OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .map_err(io_err(format!("open for repair {}", path.display())))?;
+                file.set_len(valid_len)
+                    .map_err(io_err(format!("truncate {}", path.display())))?;
+                if valid_len == 0 {
+                    let mut file = file;
+                    file.write_all(&segment::segment_header())
+                        .map_err(io_err(format!("rewrite header {}", path.display())))?;
+                }
+                report.truncated_segments += 1;
+                report.truncated_bytes += bytes.len() as u64 - valid_len;
+            }
+            report.records += records.len();
+            segments.push(SegmentInfo {
+                seq,
+                path,
+                len: valid_len.max(SEGMENT_HEADER_LEN),
+                records,
+            });
+        }
+
+        if segments.is_empty() {
+            let (path, _) = create_segment(&dir, 1)?;
+            segments.push(SegmentInfo {
+                seq: 1,
+                path,
+                len: SEGMENT_HEADER_LEN,
+                records: Vec::new(),
+            });
+        }
+        report.segments = segments.len();
+
+        let last = segments.last().expect("at least one segment");
+        let writer = OpenOptions::new()
+            .append(true)
+            .open(&last.path)
+            .map_err(io_err(format!("open for append {}", last.path.display())))?;
+
+        let mut log = TrajectoryLog {
+            dir,
+            config,
+            segments,
+            writer,
+            _lock: lock,
+            index: BTreeMap::new(),
+        };
+        log.rebuild_index();
+        Ok((log, report))
+    }
+
+    fn rebuild_index(&mut self) {
+        self.index.clear();
+        for (si, seg) in self.segments.iter().enumerate() {
+            for (ri, rec) in seg.records.iter().enumerate() {
+                match rec.kind {
+                    RecordKind::Points => {
+                        self.index.entry(rec.track).or_default().push((si, ri));
+                    }
+                    RecordKind::Tombstone => {
+                        self.index.remove(&rec.track);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The directory this log lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LogConfig {
+        &self.config
+    }
+
+    /// Live tracks, ascending.
+    pub fn tracks(&self) -> Vec<TrackId> {
+        self.index.keys().copied().collect()
+    }
+
+    /// Live records of one track, in append order.
+    pub(crate) fn track_records(&self, track: TrackId) -> &[(usize, usize)] {
+        self.index.get(&track).map_or(&[], Vec::as_slice)
+    }
+
+    pub(crate) fn record_summary(&self, si: usize, ri: usize) -> &RecordSummary {
+        &self.segments[si].records[ri]
+    }
+
+    /// Size and occupancy counters.
+    pub fn footprint(&self) -> LogFootprint {
+        let mut fp = LogFootprint {
+            segments: self.segments.len(),
+            bytes: self.segments.iter().map(|s| s.len).sum(),
+            records: self.segments.iter().map(|s| s.records.len()).sum(),
+            ..LogFootprint::default()
+        };
+        for refs in self.index.values() {
+            fp.live_records += refs.len();
+            fp.live_points += refs
+                .iter()
+                .map(|&(si, ri)| self.segments[si].records[ri].count)
+                .sum::<u64>();
+        }
+        fp
+    }
+
+    /// Appends one time-ordered batch of `track`'s points. Batches of the
+    /// same track must not move backwards in time relative to what the
+    /// log already holds — the index and reconstruction rely on it.
+    pub fn append(
+        &mut self,
+        track: TrackId,
+        points: &[TimedPoint],
+    ) -> Result<AppendReceipt, TlogError> {
+        if points.is_empty() {
+            return Err(TlogError::EmptyAppend);
+        }
+        if let Some(&(si, ri)) = self.track_records(track).last() {
+            let prev_max = self.segments[si].records[ri].t_max;
+            if points[0].t < prev_max {
+                return Err(TlogError::Codec(CodecError::NonMonotonicTimestamps {
+                    index: 0,
+                    prev: prev_max,
+                    next: points[0].t,
+                }));
+            }
+        }
+        let (frame, summary) = segment::build_points_frame(track, points)?;
+        let (si, ri, offset) = self.write_frame(&frame, summary)?;
+        self.index.entry(track).or_default().push((si, ri));
+        Ok(AppendReceipt {
+            segment: self.segments[si].seq,
+            offset,
+            bytes: frame.len() as u64,
+            points: points.len() as u64,
+        })
+    }
+
+    /// Logically deletes a track by appending a tombstone. Returns `true`
+    /// when the track had live data. Space is reclaimed by
+    /// [`TrajectoryLog::compact`].
+    pub fn delete_track(&mut self, track: TrackId) -> Result<bool, TlogError> {
+        if !self.index.contains_key(&track) {
+            return Ok(false);
+        }
+        let (frame, summary) = segment::build_tombstone_frame(track);
+        self.write_frame(&frame, summary)?;
+        self.index.remove(&track);
+        Ok(true)
+    }
+
+    /// Writes a prepared frame to the tail segment, rotating first when
+    /// the rollover threshold would be crossed. Returns the record's
+    /// `(segment index, record index, offset)`.
+    fn write_frame(
+        &mut self,
+        frame: &[u8],
+        mut summary: RecordSummary,
+    ) -> Result<(usize, usize, u64), TlogError> {
+        // An oversized body would be written fine but classified as a
+        // torn tail by the reopen scanner (its length prefix fails the
+        // sanity bound) — reject it up front instead of acknowledging a
+        // record that recovery would destroy.
+        let body_len = frame.len() as u64 - segment::FRAME_PROLOGUE_LEN;
+        if body_len > u64::from(segment::MAX_BODY_LEN) {
+            return Err(TlogError::RecordTooLarge {
+                bytes: body_len,
+                max: u64::from(segment::MAX_BODY_LEN),
+            });
+        }
+        let needs_rotation = {
+            let last = self.segments.last().expect("at least one segment");
+            !last.records.is_empty()
+                && last.len + frame.len() as u64 > self.config.segment_max_bytes
+        };
+        if needs_rotation {
+            let next_seq = self.segments.last().expect("non-empty").seq + 1;
+            let (path, file) = create_segment(&self.dir, next_seq)?;
+            self.writer = file;
+            self.segments.push(SegmentInfo {
+                seq: next_seq,
+                path,
+                len: SEGMENT_HEADER_LEN,
+                records: Vec::new(),
+            });
+        }
+        let si = self.segments.len() - 1;
+        let last = &mut self.segments[si];
+        let write_result = self
+            .writer
+            .write_all(frame)
+            .map_err(io_err(format!("append to {}", last.path.display())))
+            .and_then(|()| {
+                if self.config.fsync {
+                    self.writer
+                        .sync_data()
+                        .map_err(io_err(format!("sync {}", last.path.display())))
+                } else {
+                    Ok(())
+                }
+            });
+        if let Err(e) = write_result {
+            // Roll the file back to the last known-good length so torn
+            // bytes cannot interleave with a later retry's frame; if even
+            // the rollback fails, reopen-time recovery still truncates
+            // the (CRC-invalid) tail.
+            let _ = self.writer.set_len(last.len);
+            return Err(e);
+        }
+        let offset = last.len;
+        summary.offset = offset;
+        last.len += frame.len() as u64;
+        last.records.push(summary);
+        Ok((si, last.records.len() - 1, offset))
+    }
+
+    /// A reader that keeps at most one segment file open and reuses the
+    /// handle across consecutive reads — queries, track reads and
+    /// compaction touch many records per segment, and per-record
+    /// `open`/`seek` syscalls would dominate otherwise.
+    pub(crate) fn reader(&self) -> RecordReader<'_> {
+        RecordReader {
+            log: self,
+            current: None,
+        }
+    }
+
+    /// All live points of `track`, concatenated in time order. Empty for
+    /// unknown or deleted tracks.
+    pub fn read_track(&self, track: TrackId) -> Result<Vec<TimedPoint>, TlogError> {
+        let refs = self.track_records(track).to_vec();
+        let mut out = Vec::with_capacity(
+            refs.iter()
+                .map(|&(si, ri)| self.record_summary(si, ri).count as usize)
+                .sum(),
+        );
+        let mut reader = self.reader();
+        for (si, ri) in refs {
+            out.extend(reader.read_points(si, ri)?);
+        }
+        Ok(out)
+    }
+
+    /// Rewrites live records into fresh segments, physically dropping
+    /// deleted tracks' data and all tombstones. Frames are copied
+    /// verbatim (CRCs preserved). Not crash-atomic: a crash between the
+    /// final renames and the old-file deletions can leave both copies on
+    /// disk (see `docs/format.md`); all other windows are safe.
+    pub fn compact(&mut self) -> Result<CompactReport, TlogError> {
+        let before = self.footprint();
+        let live: std::collections::BTreeSet<(usize, usize)> = self
+            .index
+            .values()
+            .flat_map(|refs| refs.iter().copied())
+            .collect();
+
+        // Stream live frames in (segment, record) order into staged
+        // `.tmp` files, holding at most one segment image in memory.
+        let stage = |dir: &Path, seq: u64, bytes: &[u8]| -> Result<(PathBuf, PathBuf), TlogError> {
+            let final_path = dir.join(segment_file_name(seq));
+            let tmp_path = dir.join(format!("{}.tmp", segment_file_name(seq)));
+            let mut f = File::create(&tmp_path)
+                .map_err(io_err(format!("create {}", tmp_path.display())))?;
+            f.write_all(bytes)
+                .map_err(io_err(format!("write {}", tmp_path.display())))?;
+            f.sync_data()
+                .map_err(io_err(format!("sync {}", tmp_path.display())))?;
+            Ok((tmp_path, final_path))
+        };
+        let mut staged: Vec<(PathBuf, PathBuf)> = Vec::new();
+        let mut current: Vec<u8> = segment::segment_header().to_vec();
+        let mut current_records = 0usize;
+        let mut seq = self.segments.last().map_or(1, |s| s.seq + 1);
+        let mut reader = self.reader();
+        for &(si, ri) in &live {
+            let frame = reader.read_frame(si, ri)?;
+            if current_records > 0
+                && current.len() as u64 + frame.len() as u64 > self.config.segment_max_bytes
+            {
+                staged.push(stage(&self.dir, seq, &current)?);
+                current.truncate(SEGMENT_HEADER_LEN as usize);
+                seq += 1;
+                current_records = 0;
+            }
+            current.extend_from_slice(&frame);
+            current_records += 1;
+        }
+        if current_records > 0 {
+            staged.push(stage(&self.dir, seq, &current)?);
+        }
+        drop(reader);
+
+        // Publish the new generation, then drop the old one.
+        for (tmp, final_path) in &staged {
+            fs::rename(tmp, final_path).map_err(io_err(format!("rename {}", tmp.display())))?;
+        }
+        for seg in &self.segments {
+            fs::remove_file(&seg.path).map_err(io_err(format!("remove {}", seg.path.display())))?;
+        }
+
+        // Reload from disk: revalidates the new generation end to end.
+        let dir = self.dir.clone();
+        let config = self.config;
+        // Release our advisory lock first: the reopen takes its own (a
+        // second fd on the same LOCK file would conflict).
+        let _ = self._lock.unlock();
+        let (fresh, _) = TrajectoryLog::open(dir, config)?;
+        *self = fresh;
+
+        let after = self.footprint();
+        Ok(CompactReport {
+            segments_before: before.segments,
+            segments_after: after.segments,
+            bytes_before: before.bytes,
+            bytes_after: after.bytes,
+            records_dropped: before.records - after.records,
+        })
+    }
+}
+
+/// Reads records through a cached per-segment file handle: consecutive
+/// reads from the same segment reuse one open file instead of paying an
+/// `open`/`seek` pair per record.
+pub(crate) struct RecordReader<'a> {
+    log: &'a TrajectoryLog,
+    current: Option<(usize, File)>,
+}
+
+impl RecordReader<'_> {
+    fn file_for(&mut self, si: usize) -> Result<&mut File, TlogError> {
+        if self.current.as_ref().map(|(s, _)| *s) != Some(si) {
+            let path = &self.log.segments[si].path;
+            let file = File::open(path).map_err(io_err(format!("open {}", path.display())))?;
+            self.current = Some((si, file));
+        }
+        Ok(&mut self.current.as_mut().expect("just set").1)
+    }
+
+    /// Reads one record's raw frame (prologue + body) verbatim.
+    pub(crate) fn read_frame(&mut self, si: usize, ri: usize) -> Result<Vec<u8>, TlogError> {
+        let rec = *self.log.record_summary(si, ri);
+        let context = format!("read {}", self.log.segments[si].path.display());
+        let file = self.file_for(si)?;
+        file.seek(SeekFrom::Start(rec.offset))
+            .map_err(io_err(context.clone()))?;
+        let mut frame = vec![0u8; rec.frame_len as usize];
+        file.read_exact(&mut frame).map_err(io_err(context))?;
+        Ok(frame)
+    }
+
+    /// Reads and CRC-checks one record's body.
+    pub(crate) fn read_body(&mut self, si: usize, ri: usize) -> Result<Vec<u8>, TlogError> {
+        let mut frame = self.read_frame(si, ri)?;
+        let crc = u32::from_le_bytes(frame[4..8].try_into().expect("4 bytes"));
+        let body = frame.split_off(8);
+        if crc32(&body) != crc {
+            let rec = self.log.record_summary(si, ri);
+            return Err(TlogError::Corrupt {
+                path: self.log.segments[si].path.clone(),
+                offset: rec.offset,
+                reason: "CRC mismatch on read-back".to_string(),
+            });
+        }
+        Ok(body)
+    }
+
+    /// Decodes one live record into points.
+    pub(crate) fn read_points(
+        &mut self,
+        si: usize,
+        ri: usize,
+    ) -> Result<Vec<TimedPoint>, TlogError> {
+        let body = self.read_body(si, ri)?;
+        let (_track, points) = segment::decode_points_body(&body)?;
+        Ok(points)
+    }
+}
+
+/// What a strict full-scan verification found.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Segment files checked.
+    pub segments: usize,
+    /// Data records decoded and validated.
+    pub records: usize,
+    /// Tombstones seen.
+    pub tombstones: usize,
+    /// Points decoded across all data records.
+    pub points: u64,
+    /// Total file bytes.
+    pub file_bytes: u64,
+    /// Codec payload bytes (excluding frame and summary overhead).
+    pub payload_bytes: u64,
+}
+
+impl VerifyReport {
+    /// Whole-file bytes per stored point (framing included).
+    pub fn file_bytes_per_point(&self) -> f64 {
+        self.file_bytes as f64 / (self.points.max(1)) as f64
+    }
+}
+
+/// Strictly verifies every segment in `dir` without repairing anything:
+/// CRC-checks and fully decodes every record, re-validating counts,
+/// timestamp monotonicity and the indexed summaries. Any fault — torn
+/// tail included — is an error here, where `open` would repair it.
+pub fn verify_dir(dir: impl AsRef<Path>) -> Result<VerifyReport, TlogError> {
+    let dir = dir.as_ref();
+    let mut seqs: Vec<(u64, PathBuf)> = Vec::new();
+    let entries = fs::read_dir(dir).map_err(io_err(format!("read dir {}", dir.display())))?;
+    for entry in entries {
+        let entry = entry.map_err(io_err("read dir entry"))?;
+        if let Some(seq) = entry.file_name().to_str().and_then(parse_segment_name) {
+            seqs.push((seq, entry.path()));
+        }
+    }
+    seqs.sort_unstable_by_key(|(seq, _)| *seq);
+
+    let mut report = VerifyReport::default();
+    for (_, path) in seqs {
+        let bytes = fs::read(&path).map_err(io_err(format!("read {}", path.display())))?;
+        let scan = segment::scan_segment(&bytes);
+        if let Some((offset, fault)) = scan.fault {
+            return Err(TlogError::Corrupt {
+                path,
+                offset,
+                reason: fault.to_string(),
+            });
+        }
+        report.segments += 1;
+        report.file_bytes += bytes.len() as u64;
+        for rec in &scan.records {
+            let body = &bytes[(rec.offset + segment::FRAME_PROLOGUE_LEN) as usize
+                ..(rec.offset + rec.frame_len) as usize];
+            match rec.kind {
+                RecordKind::Tombstone => report.tombstones += 1,
+                RecordKind::Points => {
+                    let (_, points) =
+                        segment::decode_points_body(body).map_err(|e| TlogError::Corrupt {
+                            path: path.clone(),
+                            offset: rec.offset,
+                            reason: e.to_string(),
+                        })?;
+                    let corrupt = |reason: &str| TlogError::Corrupt {
+                        path: path.clone(),
+                        offset: rec.offset,
+                        reason: reason.to_string(),
+                    };
+                    let (Some(first), Some(last)) = (points.first(), points.last()) else {
+                        return Err(corrupt("empty data record"));
+                    };
+                    if first.t != rec.t_min || last.t != rec.t_max {
+                        return Err(corrupt("summary time span disagrees with payload"));
+                    }
+                    if points.windows(2).any(|w| w[1].t < w[0].t) {
+                        return Err(corrupt("timestamps not monotone"));
+                    }
+                    if points
+                        .iter()
+                        .any(|p| p.pos.is_finite() && !rec.bbox.contains(p.pos))
+                    {
+                        return Err(corrupt("bounding box does not cover payload"));
+                    }
+                    report.records += 1;
+                    report.points += points.len() as u64;
+                    // Payload = body minus kind, varints and the summary.
+                    if let Ok(segment::RecordBody::Points { payload, .. }) =
+                        segment::parse_body(body)
+                    {
+                        report.payload_bytes += payload.len() as u64;
+                    }
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("bqs-tlog-tests")
+            .join(format!("{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn walk(track: u64, n: usize, t0: f64) -> Vec<TimedPoint> {
+        (0..n)
+            .map(|i| {
+                let a = i as f64;
+                TimedPoint::new(
+                    a * 4.0 + track as f64 * 100.0,
+                    (a * 0.2).sin() * 30.0,
+                    t0 + a * 5.0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn append_read_reopen_round_trip() {
+        let dir = temp_dir("round-trip");
+        let (mut log, rep) = TrajectoryLog::open(&dir, LogConfig::default()).unwrap();
+        assert_eq!(rep.records, 0);
+        let a = walk(1, 100, 0.0);
+        let b = walk(2, 50, 10.0);
+        log.append(1, &a).unwrap();
+        log.append(2, &b).unwrap();
+        assert_eq!(log.tracks(), vec![1, 2]);
+        assert_eq!(log.read_track(1).unwrap(), a);
+        assert_eq!(log.read_track(2).unwrap(), b);
+
+        drop(log);
+        let (log, rep) = TrajectoryLog::open(&dir, LogConfig::default()).unwrap();
+        assert_eq!(rep.records, 2);
+        assert_eq!(rep.truncated_segments, 0);
+        assert_eq!(log.read_track(1).unwrap(), a);
+        assert_eq!(log.read_track(2).unwrap(), b);
+    }
+
+    #[test]
+    fn multi_batch_tracks_concatenate_in_order() {
+        let dir = temp_dir("multi-batch");
+        let (mut log, _) = TrajectoryLog::open(&dir, LogConfig::default()).unwrap();
+        let first = walk(5, 40, 0.0);
+        let second = walk(5, 40, 1_000.0);
+        log.append(5, &first).unwrap();
+        log.append(5, &second).unwrap();
+        let all = log.read_track(5).unwrap();
+        assert_eq!(all.len(), 80);
+        assert_eq!(&all[..40], &first[..]);
+        assert_eq!(&all[40..], &second[..]);
+    }
+
+    #[test]
+    fn backwards_batches_are_rejected() {
+        let dir = temp_dir("backwards");
+        let (mut log, _) = TrajectoryLog::open(&dir, LogConfig::default()).unwrap();
+        log.append(1, &walk(1, 10, 500.0)).unwrap();
+        let err = log.append(1, &walk(1, 10, 0.0)).unwrap_err();
+        assert!(matches!(
+            err,
+            TlogError::Codec(CodecError::NonMonotonicTimestamps { .. })
+        ));
+        assert!(matches!(
+            log.append(1, &[]).unwrap_err(),
+            TlogError::EmptyAppend
+        ));
+    }
+
+    #[test]
+    fn segments_rotate_at_the_size_threshold() {
+        let dir = temp_dir("rotate");
+        let config = LogConfig {
+            segment_max_bytes: 2_000,
+            ..LogConfig::default()
+        };
+        let (mut log, _) = TrajectoryLog::open(&dir, config).unwrap();
+        let mut t0 = 0.0;
+        for _ in 0..20 {
+            log.append(7, &walk(7, 50, t0)).unwrap();
+            t0 += 10_000.0;
+        }
+        let fp = log.footprint();
+        assert!(fp.segments > 1, "expected rotation, got {fp:?}");
+        assert_eq!(fp.live_points, 20 * 50);
+        // Everything still reads back in order across segments.
+        let all = log.read_track(7).unwrap();
+        assert_eq!(all.len(), 1_000);
+        assert!(all.windows(2).all(|w| w[1].t >= w[0].t));
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_reopen_preserving_full_records() {
+        let dir = temp_dir("torn");
+        let (mut log, _) = TrajectoryLog::open(&dir, LogConfig::default()).unwrap();
+        let a = walk(1, 60, 0.0);
+        let b = walk(2, 60, 0.0);
+        log.append(1, &a).unwrap();
+        let receipt = log.append(2, &b).unwrap();
+        let path = log.segments.last().unwrap().path.clone();
+        drop(log);
+
+        // Tear the final record in half.
+        let bytes = fs::read(&path).unwrap();
+        let cut = receipt.offset + receipt.bytes / 2;
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(cut).unwrap();
+        drop(f);
+        assert!(fs::metadata(&path).unwrap().len() < bytes.len() as u64);
+
+        let (log, rep) = TrajectoryLog::open(&dir, LogConfig::default()).unwrap();
+        assert_eq!(rep.truncated_segments, 1);
+        assert!(rep.truncated_bytes > 0);
+        assert_eq!(log.read_track(1).unwrap(), a);
+        assert!(log.read_track(2).unwrap().is_empty());
+        // The repaired log verifies clean.
+        verify_dir(&dir).unwrap();
+    }
+
+    #[test]
+    fn delete_and_compact_reclaim_space() {
+        let dir = temp_dir("compact");
+        let config = LogConfig {
+            segment_max_bytes: 4_000,
+            ..LogConfig::default()
+        };
+        let (mut log, _) = TrajectoryLog::open(&dir, config).unwrap();
+        let keep = walk(1, 200, 0.0);
+        log.append(1, &keep).unwrap();
+        let mut t0 = 0.0;
+        for _ in 0..10 {
+            log.append(2, &walk(2, 200, t0)).unwrap();
+            t0 += 10_000.0;
+        }
+        assert!(log.delete_track(2).unwrap());
+        assert!(!log.delete_track(99).unwrap());
+
+        let before = log.footprint();
+        let report = log.compact().unwrap();
+        assert!(report.bytes_after < report.bytes_before, "{report:?}");
+        assert!(report.records_dropped >= 10, "{report:?}");
+        let after = log.footprint();
+        assert!(after.bytes < before.bytes);
+        assert_eq!(log.tracks(), vec![1]);
+        assert_eq!(log.read_track(1).unwrap(), keep);
+        assert!(log.read_track(2).unwrap().is_empty());
+        verify_dir(&dir).unwrap();
+
+        // The compacted log is still appendable.
+        log.append(3, &walk(3, 20, 0.0)).unwrap();
+        assert_eq!(log.tracks(), vec![1, 3]);
+    }
+
+    #[test]
+    fn verify_reports_corruption_strictly() {
+        let dir = temp_dir("verify-corrupt");
+        let (mut log, _) = TrajectoryLog::open(&dir, LogConfig::default()).unwrap();
+        log.append(1, &walk(1, 80, 0.0)).unwrap();
+        let path = log.segments.last().unwrap().path.clone();
+        drop(log);
+
+        let ok = verify_dir(&dir).unwrap();
+        assert_eq!(ok.records, 1);
+        assert_eq!(ok.points, 80);
+        assert!(ok.file_bytes_per_point() > 0.0);
+
+        // Flip a payload byte: verify must fail even though open would
+        // only truncate.
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 5;
+        bytes[last] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let err = verify_dir(&dir).unwrap_err();
+        assert!(matches!(err, TlogError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn second_open_is_refused_while_locked() {
+        let dir = temp_dir("locked");
+        let (log, _) = TrajectoryLog::open(&dir, LogConfig::default()).unwrap();
+        let err = TrajectoryLog::open(&dir, LogConfig::default()).unwrap_err();
+        assert!(matches!(err, TlogError::Locked { .. }), "{err}");
+        // Dropping the first owner releases the lock.
+        drop(log);
+        TrajectoryLog::open(&dir, LogConfig::default()).unwrap();
+    }
+
+    #[test]
+    fn fsync_mode_appends_fine() {
+        let dir = temp_dir("fsync");
+        let config = LogConfig {
+            fsync: true,
+            ..LogConfig::default()
+        };
+        let (mut log, _) = TrajectoryLog::open(&dir, config).unwrap();
+        log.append(1, &walk(1, 10, 0.0)).unwrap();
+        assert_eq!(log.read_track(1).unwrap().len(), 10);
+    }
+}

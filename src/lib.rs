@@ -15,6 +15,7 @@
 //! | [`sim`] | `bqs-sim` | synthetic bat / vehicle / random-walk traces |
 //! | [`device`] | `bqs-device` | Camazotz tracker model, operational time |
 //! | [`store`] | `bqs-store` | trajectory store with merging and ageing |
+//! | [`tlog`] | `bqs-tlog` | durable trajectory log: codec, segmented store, queries |
 //! | [`eval`] | `bqs-eval` | harness regenerating every paper table/figure |
 //!
 //! ## Quickstart
@@ -45,6 +46,7 @@ pub use bqs_eval as eval;
 pub use bqs_geo as geo;
 pub use bqs_sim as sim;
 pub use bqs_store as store;
+pub use bqs_tlog as tlog;
 
 /// The most common imports in one place.
 pub mod prelude {
