@@ -1,0 +1,99 @@
+//! Parallel fleet runtime scaling: ingest throughput (points/sec) of
+//! [`ParallelFleet`] at 1/2/4/8 worker shards on a 1000-session
+//! workload, against the serial [`FleetEngine`] driving the same points
+//! on the bench thread.
+//!
+//! The 1-worker row measures the channel + batching overhead of the
+//! runtime itself (one thread does all the compression, the bench thread
+//! only routes); the 2/4/8-worker rows show how far the shared-nothing
+//! design scales on the machine at hand. Output goes to counting sinks,
+//! so the measured path is routing + channel traffic + decision work
+//! with no output materialisation.
+
+use bqs_core::fleet::{CountingFleetSink, FleetConfig, FleetEngine, ParallelConfig, ParallelFleet};
+use bqs_core::{BqsConfig, FastBqsCompressor};
+use bqs_geo::TimedPoint;
+use bqs_sim::{RandomWalkConfig, RandomWalkModel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const SESSIONS: usize = 1_000;
+const POINTS_PER_SESSION: usize = 200;
+
+fn tracks() -> Vec<Vec<TimedPoint>> {
+    (0..SESSIONS)
+        .map(|t| {
+            let cfg = RandomWalkConfig {
+                samples: POINTS_PER_SESSION,
+                ..RandomWalkConfig::default()
+            };
+            RandomWalkModel::new(cfg).generate(t as u64 + 1).points
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_parallel");
+    group.sample_size(10);
+
+    let traces = tracks();
+    let total = SESSIONS * POINTS_PER_SESSION;
+    group.throughput(Throughput::Elements(total as u64));
+
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("fbqs_workers", workers),
+            &traces,
+            |b, traces| {
+                b.iter(|| {
+                    let config = BqsConfig::new(10.0).expect("tolerance");
+                    let mut fleet = ParallelFleet::new(
+                        ParallelConfig {
+                            workers,
+                            ..ParallelConfig::default()
+                        },
+                        move || FastBqsCompressor::new(config),
+                        |_| CountingFleetSink::default(),
+                    );
+                    for i in 0..POINTS_PER_SESSION {
+                        for (t, trace) in traces.iter().enumerate() {
+                            fleet.push(t as u64, black_box(trace[i]));
+                        }
+                    }
+                    let join = fleet.join();
+                    assert!(join.is_ok());
+                    let kept: usize = join.shards.iter().map(|s| s.sink.count).sum();
+                    black_box(kept)
+                })
+            },
+        );
+    }
+
+    // The serial engine on the bench thread: the baseline the parallel
+    // runtime's speedup (and 1-worker overhead) is judged against.
+    group.bench_with_input(
+        BenchmarkId::new("fbqs_serial_engine", 0),
+        &traces,
+        |b, traces| {
+            b.iter(|| {
+                let config = BqsConfig::new(10.0).expect("tolerance");
+                let mut engine = FleetEngine::new(FleetConfig::default(), move || {
+                    FastBqsCompressor::new(config)
+                });
+                let mut sink = CountingFleetSink::default();
+                for i in 0..POINTS_PER_SESSION {
+                    for (t, trace) in traces.iter().enumerate() {
+                        engine.push_tagged(t as u64, black_box(trace[i]), &mut sink);
+                    }
+                }
+                engine.finish_all(&mut sink);
+                black_box(sink.count)
+            })
+        },
+    );
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -43,7 +43,7 @@ pub enum Command {
         /// Paper-size data when true.
         full: bool,
     },
-    /// `bqs fleet [--sessions N] [--points N] [--tolerance M] [--algorithm bqs|fbqs] [--shards N] [--seed N] [--spill DIR]`
+    /// `bqs fleet [--sessions N] [--points N] [--tolerance M] [--algorithm bqs|fbqs] [--shards N] [--workers N] [--seed N] [--spill DIR]`
     Fleet {
         /// Concurrent simulated trackers.
         sessions: usize,
@@ -53,8 +53,12 @@ pub enum Command {
         tolerance: f64,
         /// Compressor family: "bqs" or "fbqs".
         algorithm: String,
-        /// Session shards (rounded up to a power of two).
+        /// Session shards inside each engine (rounded up to a power of
+        /// two).
         shards: usize,
+        /// Parallel worker threads; each owns a private engine (and,
+        /// with `--spill`, a private `shard-<k>/` log).
+        workers: usize,
         /// Base RNG seed; session `t` walks with seed `seed + t`, so a
         /// fleet run is reproducible end-to-end.
         seed: u64,
@@ -121,7 +125,7 @@ USAGE:
   bqs experiments [fig3|fig6|fig7|fig8a|fig8b|table1|table2|table3|ablation|fleet|
                    storage|all] [--full]
   bqs fleet [--sessions N] [--points N] [--tolerance M] [--algorithm bqs|fbqs]
-            [--shards N] [--seed N] [--spill DIR]
+            [--shards N] [--workers N] [--seed N] [--spill DIR]
   bqs log append <dir> <trace.csv> --track N [--algorithm none|bqs|fbqs]
                  [--tolerance M]
   bqs log query <dir> [--track N] [--from T] [--to T] [--bbox X0,Y0,X1,Y1]
@@ -411,6 +415,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut tolerance = 10.0f64;
             let mut algorithm = "fbqs".to_string();
             let mut shards = 16usize;
+            let mut workers = 1usize;
             let mut seed = 1u64;
             let mut spill = None;
             while let Some(arg) = it.next() {
@@ -444,11 +449,19 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                             .parse()
                             .map_err(|e| format!("bad --shards: {e}"))?;
                     }
+                    "--workers" => {
+                        workers = take_value("--workers", &mut it)?
+                            .parse()
+                            .map_err(|e| format!("bad --workers: {e}"))?;
+                    }
                     other => return Err(format!("unexpected argument: {other}")),
                 }
             }
             if sessions == 0 || points == 0 {
                 return Err("fleet needs --sessions ≥ 1 and --points ≥ 1".to_string());
+            }
+            if workers == 0 {
+                return Err("fleet needs --workers ≥ 1".to_string());
             }
             if !(tolerance.is_finite() && tolerance > 0.0) {
                 return Err(format!("tolerance must be > 0, got {tolerance}"));
@@ -462,6 +475,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 tolerance,
                 algorithm,
                 shards,
+                workers,
                 seed,
                 spill,
             })
@@ -583,6 +597,7 @@ mod tests {
                 tolerance: 10.0,
                 algorithm: "fbqs".into(),
                 shards: 16,
+                workers: 1,
                 seed: 1,
                 spill: None
             }
@@ -590,7 +605,7 @@ mod tests {
         assert_eq!(
             parse(&args(
                 "fleet --sessions 8 --points 50 --tolerance 5 --algorithm bqs --shards 4 \
-                 --seed 99 --spill /tmp/l"
+                 --workers 4 --seed 99 --spill /tmp/l"
             ))
             .unwrap(),
             Command::Fleet {
@@ -599,6 +614,7 @@ mod tests {
                 tolerance: 5.0,
                 algorithm: "bqs".into(),
                 shards: 4,
+                workers: 4,
                 seed: 99,
                 spill: Some("/tmp/l".into())
             }
@@ -612,6 +628,8 @@ mod tests {
         assert!(parse(&args("fleet --algorithm dp")).is_err());
         assert!(parse(&args("fleet --frobnicate")).is_err());
         assert!(parse(&args("fleet --seed banana")).is_err());
+        assert!(parse(&args("fleet --workers 0")).is_err());
+        assert!(parse(&args("fleet --workers two")).is_err());
     }
 
     #[test]

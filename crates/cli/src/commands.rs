@@ -5,8 +5,11 @@ use bqs_baselines::{
     BufferedDpCompressor, BufferedGreedyCompressor, DeadReckoningCompressor, DpCompressor,
     MbrCompressor, SquishECompressor,
 };
-use bqs_core::fleet::{FleetConfig, FleetEngine, TrackId};
-use bqs_core::stream::{compress_all, StreamCompressor};
+use bqs_core::fleet::{
+    worker_of, FleetConfig, FleetJoin, FleetSink, ParallelConfig, ParallelFleet, SessionReport,
+    TrackId,
+};
+use bqs_core::stream::{compress_all, HasDecisionStats, StreamCompressor};
 use bqs_core::{BqsCompressor, BqsConfig, FastBqsCompressor};
 use bqs_eval::experiments;
 use bqs_eval::Scale;
@@ -42,17 +45,19 @@ pub fn run(command: &Command) -> Result<String, String> {
             tolerance,
             algorithm,
             shards,
+            workers,
             seed,
             spill,
-        } => fleet(
-            *sessions,
-            *points,
-            *tolerance,
+        } => fleet(FleetRun {
+            sessions: *sessions,
+            points: *points,
+            tolerance: *tolerance,
             algorithm,
-            *shards,
-            *seed,
-            spill.as_deref(),
-        ),
+            shards: *shards,
+            workers: *workers,
+            seed: *seed,
+            spill: spill.as_deref(),
+        }),
         Command::LogAppend {
             dir,
             input,
@@ -192,25 +197,95 @@ fn verify(original: &str, compressed: &str, tolerance: f64) -> Result<String, St
     }
 }
 
-/// Drives a simulated fleet of `sessions` trackers through one
-/// [`FleetEngine`], then cross-checks one session against solo compression
-/// (the interleaving-equivalence guarantee). With `spill`, session output
-/// is additionally flushed into a [`TrajectoryLog`] on close and the probe
-/// session is re-read from disk for the same check.
-fn fleet(
+/// Per-worker sink of the `bqs fleet` command: collects tagged output in
+/// memory and, when spilling, makes closed sessions durable in the worker
+/// shard's private [`bqs_tlog::TrajectoryLog`].
+struct FleetShardSink {
+    tagged: std::collections::HashMap<TrackId, Vec<bqs_geo::TimedPoint>>,
+    spill: Option<bqs_tlog::SpillSink<bqs_tlog::TrajectoryLog>>,
+}
+
+impl FleetSink for FleetShardSink {
+    fn accept(&mut self, track: TrackId, point: bqs_geo::TimedPoint) {
+        self.tagged.entry(track).or_default().push(point);
+        if let Some(sink) = self.spill.as_mut() {
+            sink.accept(track, point);
+        }
+    }
+
+    fn session_closed(&mut self, report: &SessionReport) {
+        if let Some(sink) = self.spill.as_mut() {
+            sink.session_closed(report);
+        }
+    }
+}
+
+/// Round-robin feeds every trace through a [`ParallelFleet`] and joins;
+/// generic over the compressor family.
+fn drive_parallel<C, F>(
+    traces: &[Vec<bqs_geo::TimedPoint>],
+    config: ParallelConfig,
+    factory: F,
+    mut logs: Vec<Option<bqs_tlog::TrajectoryLog>>,
+) -> (FleetJoin<FleetShardSink>, f64)
+where
+    C: StreamCompressor + HasDecisionStats + Send + 'static,
+    F: Fn() -> C + Clone + Send + 'static,
+{
+    let mut fleet = ParallelFleet::new(config, factory, |shard| FleetShardSink {
+        tagged: std::collections::HashMap::new(),
+        spill: logs[shard].take().map(bqs_tlog::SpillSink::new),
+    });
+    let n = traces.first().map_or(0, Vec::len);
+    let start = std::time::Instant::now();
+    for i in 0..n {
+        for (t, trace) in traces.iter().enumerate() {
+            fleet.push(t as TrackId, trace[i]);
+        }
+    }
+    let join = fleet.join();
+    (join, start.elapsed().as_secs_f64())
+}
+
+/// Parameters of one `bqs fleet` invocation.
+struct FleetRun<'a> {
     sessions: usize,
     points: usize,
     tolerance: f64,
-    algorithm: &str,
+    algorithm: &'a str,
     shards: usize,
+    workers: usize,
     seed: u64,
-    spill: Option<&str>,
-) -> Result<String, String> {
-    use bqs_core::fleet::{FleetSink, TeeFleetSink};
+    spill: Option<&'a str>,
+}
+
+/// Drives a simulated fleet of `sessions` trackers through the parallel
+/// sharded runtime ([`ParallelFleet`]; one worker reproduces the serial
+/// engine), then cross-checks one session against solo compression (the
+/// interleaving-equivalence guarantee). With `spill`, session output is
+/// flushed on close into one [`bqs_tlog::TrajectoryLog`] per worker shard
+/// (`shard-<k>/` subdirectories when `workers > 1`) and the probe session
+/// is re-read from disk for the same check.
+///
+/// The report is deterministic for a given seed and worker count: the
+/// per-shard table is sorted by (shard, track), never by join order, and
+/// the compressed data itself is identical for *any* worker count.
+fn fleet(run: FleetRun<'_>) -> Result<String, String> {
     use bqs_sim::{RandomWalkConfig, RandomWalkModel};
-    use bqs_tlog::{LogConfig, SpillSink, TrajectoryLog};
+    use bqs_tlog::{LogConfig, TrajectoryLog};
     use std::collections::HashMap;
 
+    let FleetRun {
+        sessions,
+        points,
+        tolerance,
+        algorithm,
+        shards,
+        workers,
+        seed,
+        spill,
+    } = run;
+    let workers = workers.max(1);
     let config = BqsConfig::new(tolerance).map_err(|e| e.to_string())?;
     let traces: Vec<Vec<bqs_geo::TimedPoint>> = (0..sessions)
         .map(|t| {
@@ -224,94 +299,134 @@ fn fleet(
         })
         .collect();
 
-    // One generic driver for both compressor families.
-    fn drive<C>(
-        traces: &[Vec<bqs_geo::TimedPoint>],
-        fleet_config: FleetConfig,
-        factory: impl Fn() -> C,
-        out: &mut dyn FleetSink,
-    ) -> (bqs_core::DecisionStats, f64)
-    where
-        C: StreamCompressor + bqs_core::stream::HasDecisionStats,
-    {
-        let mut engine = FleetEngine::new(fleet_config, factory);
-        let n = traces.first().map_or(0, Vec::len);
-        let start = std::time::Instant::now();
-        for i in 0..n {
-            for (t, trace) in traces.iter().enumerate() {
-                engine.push_tagged(t as TrackId, trace[i], out);
-            }
+    // Fleet runs reuse track ids 0..sessions with simulated timestamps
+    // starting at 0; spilling over an earlier run's data would fail the
+    // log's time-order check with a cryptic error, so refuse up front.
+    if let Some(dir) = spill {
+        let path = std::path::Path::new(dir);
+        if path.exists()
+            && path
+                .read_dir()
+                .map_err(|e| format!("cannot read {dir}: {e}"))?
+                .next()
+                .is_some()
+        {
+            return Err(format!(
+                "--spill {dir} is not empty; use a fresh directory per fleet run"
+            ));
         }
-        engine.finish_all(out);
-        (engine.stats(), start.elapsed().as_secs_f64())
     }
-
-    let fleet_config = FleetConfig {
-        shards,
-        ..FleetConfig::default()
-    };
-    let mut log = match spill {
-        Some(dir) => {
+    let logs: Vec<Option<TrajectoryLog>> = match spill {
+        // One worker spills into a flat log at the directory itself;
+        // several workers get private `shard-<k>/` logs (shared-nothing
+        // on disk — a log is single-writer).
+        Some(dir) if workers == 1 => {
             let (log, _) =
                 TrajectoryLog::open(dir, LogConfig::default()).map_err(|e| e.to_string())?;
-            // Fleet runs reuse track ids 0..sessions with simulated
-            // timestamps starting at 0; appending onto an earlier run's
-            // data would fail the log's time-order check with a cryptic
-            // error, so refuse up front.
-            if !log.tracks().is_empty() {
-                return Err(format!(
-                    "--spill {dir} already contains {} track(s); \
-                     use a fresh directory per fleet run",
-                    log.tracks().len()
-                ));
-            }
-            Some(log)
+            vec![Some(log)]
         }
-        None => None,
-    };
-    let mut tagged: HashMap<TrackId, Vec<bqs_geo::TimedPoint>> = HashMap::new();
-    let mut spill_line = String::new();
-    let (stats, elapsed) = {
-        let mut spill_sink = log.as_mut().map(SpillSink::new);
-        let run = |out: &mut dyn FleetSink| match algorithm {
-            "bqs" => Ok(drive(
-                &traces,
-                fleet_config,
-                move || BqsCompressor::new(config),
-                out,
-            )),
-            "fbqs" => Ok(drive(
-                &traces,
-                fleet_config,
-                move || FastBqsCompressor::new(config),
-                out,
-            )),
-            other => Err(format!("fleet supports bqs|fbqs, got {other}")),
-        };
-        let result = match spill_sink.as_mut() {
-            Some(sink) => run(&mut TeeFleetSink::new(&mut tagged, sink))?,
-            None => run(&mut tagged)?,
-        };
-        if let Some(sink) = spill_sink {
-            let reports = sink.finish().map_err(|e| e.to_string())?;
-            let bytes: u64 = reports.iter().map(|r| r.bytes).sum();
-            let spilled: u64 = reports.iter().map(|r| r.points).sum();
-            spill_line = format!(
-                "spilled {} sessions, {spilled} points, {bytes} B \
-                 ({:.2} B/point) to {}\n",
-                reports.len(),
-                bytes as f64 / spilled.max(1) as f64,
-                spill.unwrap_or("?"),
-            );
-        }
-        result
+        Some(dir) => bqs_tlog::open_shard_logs(dir, workers, LogConfig::default())
+            .map_err(|e| e.to_string())?
+            .into_iter()
+            .map(|(log, _)| Some(log))
+            .collect(),
+        None => (0..workers).map(|_| None).collect(),
     };
 
-    // Equivalence spot-check: the session with the most output must be
-    // byte-identical to compressing its trace alone.
+    let parallel_config = ParallelConfig {
+        workers,
+        fleet: FleetConfig {
+            shards,
+            ..FleetConfig::default()
+        },
+        ..ParallelConfig::default()
+    };
+    let (join, elapsed) = match algorithm {
+        "bqs" => drive_parallel(
+            &traces,
+            parallel_config,
+            move || BqsCompressor::new(config),
+            logs,
+        ),
+        "fbqs" => drive_parallel(
+            &traces,
+            parallel_config,
+            move || FastBqsCompressor::new(config),
+            logs,
+        ),
+        other => return Err(format!("fleet supports bqs|fbqs, got {other}")),
+    };
+    if !join.is_ok() {
+        let failure = &join.failures[0];
+        return Err(format!(
+            "worker shard {} panicked: {} ({} sessions poisoned)",
+            failure.shard,
+            failure.panic,
+            failure.tracks.len()
+        ));
+    }
+    let stats = join.stats;
+
+    // Per-shard table, deterministic: shards ascend, tracks ascend within
+    // a shard — never the engines' (hash-map) close order.
+    let mut shard_table = String::new();
+    let mut session_rows: Vec<(usize, TrackId, u64, usize)> = Vec::new();
+    for shard in &join.shards {
+        let shard_points: u64 = shard.reports.iter().map(|r| r.points).sum();
+        let shard_kept: usize = shard.sink.tagged.values().map(Vec::len).sum();
+        shard_table.push_str(&format!(
+            "  shard {:>2}: {:>5} sessions, {:>8} → {:>7} points (pruning {:.4})\n",
+            shard.shard,
+            shard.reports.len(),
+            shard_points,
+            shard_kept,
+            shard.stats.pruning_power(),
+        ));
+        for report in &shard.reports {
+            let kept = shard.sink.tagged.get(&report.track).map_or(0, Vec::len);
+            session_rows.push((shard.shard, report.track, report.points, kept));
+        }
+    }
+    session_rows.sort_unstable_by_key(|&(shard, track, ..)| (shard, track));
+    let mut session_table = String::new();
+    if sessions <= 24 {
+        for (shard, track, pushed, kept) in &session_rows {
+            session_table.push_str(&format!(
+                "    shard {shard:>2} track {track:>4}: {pushed:>6} → {kept:>5} points\n"
+            ));
+        }
+    }
+
+    // Consume the shards: merge tagged output (tracks are disjoint across
+    // shards by routing) and finish every spill sink.
+    let mut tagged: HashMap<TrackId, Vec<bqs_geo::TimedPoint>> = HashMap::new();
+    let mut spill_sessions = 0usize;
+    let mut spill_points = 0u64;
+    let mut spill_bytes = 0u64;
+    for shard in join.shards {
+        tagged.extend(shard.sink.tagged);
+        if let Some(sink) = shard.sink.spill {
+            let reports = sink.finish().map_err(|e| e.to_string())?;
+            spill_sessions += reports.len();
+            spill_points += reports.iter().map(|r| r.points).sum::<u64>();
+            spill_bytes += reports.iter().map(|r| r.bytes).sum::<u64>();
+        }
+    }
+    let spill_line = match spill {
+        Some(dir) => format!(
+            "spilled {spill_sessions} sessions, {spill_points} points, {spill_bytes} B \
+             ({:.2} B/point) to {dir}\n",
+            spill_bytes as f64 / spill_points.max(1) as f64,
+        ),
+        None => String::new(),
+    };
+
+    // Equivalence spot-check: the session with the most output (smallest
+    // track id on ties — deterministic) must be byte-identical to
+    // compressing its trace alone.
     let (&probe, fleet_kept) = tagged
         .iter()
-        .max_by_key(|(_, v)| v.len())
+        .max_by_key(|(&track, v)| (v.len(), std::cmp::Reverse(track)))
         .ok_or("fleet produced no output")?;
     let solo = match algorithm {
         "bqs" => compress_all(
@@ -331,7 +446,15 @@ fn fleet(
             solo.len()
         ));
     }
-    if let Some(log) = &log {
+    if let Some(dir) = spill {
+        // Reopen the probe's shard log and check the durable copy too.
+        let probe_dir = if workers == 1 {
+            std::path::PathBuf::from(dir)
+        } else {
+            bqs_tlog::shard_dir(dir, worker_of(probe, workers))
+        };
+        let (log, _) =
+            TrajectoryLog::open(probe_dir, LogConfig::default()).map_err(|e| e.to_string())?;
         let from_disk = log.read_track(probe).map_err(|e| e.to_string())?;
         if from_disk != solo {
             return Err(format!(
@@ -347,14 +470,31 @@ fn fleet(
     let kept: usize = tagged.values().map(Vec::len).sum();
     Ok(format!(
         "fleet: {sessions} sessions × {points} points \
-         ({algorithm}, {tolerance} m, {shards} shards, seed {seed})\n\
-         {total} → {kept} points (rate {:.2}%), {:.2} Mpts/s\n\
-         pruning power {:.4}; session {probe} verified identical to solo compression\n\
+         ({algorithm}, {tolerance} m, {shards} shards, {workers} workers, seed {seed})\n\
+         {total} → {kept} points (rate {:.2}%), pruning power {:.4}\n\
+         {shard_table}{session_table}\
+         throughput {:.2} Mpts/s\n\
+         session {probe} verified identical to solo compression\n\
          {spill_line}",
         100.0 * kept as f64 / total.max(1) as f64,
-        total as f64 / elapsed.max(1e-9) / 1e6,
         stats.pruning_power(),
+        total as f64 / elapsed.max(1e-9) / 1e6,
     ))
+}
+
+/// Guard for the flat-log commands: opening the *root* of a sharded
+/// spill tree as a flat log would silently see an empty log (and
+/// `append` would even write a rogue segment no tree tooling visits).
+/// Point the user at a shard instead.
+fn reject_sharded_root(dir: &str) -> Result<(), String> {
+    if bqs_tlog::is_sharded_tree(dir) {
+        return Err(format!(
+            "{dir} is a sharded spill tree (shard-<k>/ directories); \
+             run this command on one shard, e.g. {dir}/shard-0 \
+             (`log verify` accepts the tree root)"
+        ));
+    }
+    Ok(())
 }
 
 /// `bqs log append`: optionally compress a trace, then append it to the
@@ -368,6 +508,7 @@ fn log_append(
 ) -> Result<String, String> {
     use bqs_tlog::{LogConfig, TrajectoryLog};
 
+    reject_sharded_root(dir)?;
     let trace = load_trace(input)?;
     let config = BqsConfig::new(tolerance).map_err(|e| e.to_string())?;
     let points = match algorithm {
@@ -425,6 +566,7 @@ fn log_query(
 ) -> Result<String, String> {
     use bqs_tlog::{LogConfig, TimeRange, TrajectoryLog};
 
+    reject_sharded_root(dir)?;
     // Also guarded in the argument parser; re-checked here because
     // `run` is a public entry point.
     if at.is_some() && track.is_none() {
@@ -496,6 +638,7 @@ fn log_query(
 fn log_compact(dir: &str, drop: &[u64]) -> Result<String, String> {
     use bqs_tlog::{LogConfig, TrajectoryLog};
 
+    reject_sharded_root(dir)?;
     let (mut log, recovery) =
         TrajectoryLog::open(dir, LogConfig::default()).map_err(|e| e.to_string())?;
     let mut dropped = 0usize;
@@ -517,8 +660,34 @@ fn log_compact(dir: &str, drop: &[u64]) -> Result<String, String> {
     ))
 }
 
-/// `bqs log verify`: strict full-scan verification (no repair).
+/// `bqs log verify`: strict full-scan verification (no repair). A
+/// directory holding `shard-<k>/` subdirectories (a parallel fleet's
+/// spill tree) is verified shard by shard; anything else is treated as
+/// one flat log.
 fn log_verify(dir: &str) -> Result<String, String> {
+    if bqs_tlog::is_sharded_tree(dir) {
+        let report = bqs_tlog::verify_sharded(dir).map_err(|e| format!("FAIL: {e}"))?;
+        let total = &report.total;
+        let mut out = format!(
+            "OK: {} shards, {} segments, {} records (+{} tombstones), {} points, \
+             {} B ({:.2} B/point on disk, naive {} B/point)\n",
+            report.shards.len(),
+            total.segments,
+            total.records,
+            total.tombstones,
+            total.points,
+            total.file_bytes,
+            total.file_bytes_per_point(),
+            bqs_tlog::NAIVE_POINT_BYTES,
+        );
+        for (shard, r) in &report.shards {
+            out.push_str(&format!(
+                "  shard {shard:>2}: {} segments, {} records, {} points, {} B\n",
+                r.segments, r.records, r.points, r.file_bytes,
+            ));
+        }
+        return Ok(out);
+    }
     let report = bqs_tlog::verify_dir(dir).map_err(|e| format!("FAIL: {e}"))?;
     Ok(format!(
         "OK: {} segments, {} records (+{} tombstones), {} points, {} B \
@@ -575,7 +744,9 @@ fn run_experiments(names: &[String], full: bool) -> Result<String, String> {
         out.push_str(&experiments::ablation::run(scale).to_table().to_string());
     }
     if wanted("fleet") {
-        out.push_str(&experiments::fleet::run(scale).to_table().to_string());
+        let r = experiments::fleet::run(scale);
+        out.push_str(&r.to_table().to_string());
+        out.push_str(&r.to_parallel_table().to_string());
     }
     if wanted("storage") {
         out.push_str(&experiments::storage::run(scale).to_table().to_string());
@@ -722,6 +893,7 @@ mod tests {
             tolerance: 10.0,
             algorithm: "fbqs".into(),
             shards: 4,
+            workers: 1,
             seed: 1,
             spill: None,
         })
@@ -734,11 +906,13 @@ mod tests {
             tolerance: 8.0,
             algorithm: "bqs".into(),
             shards: 2,
+            workers: 2,
             seed: 1,
             spill: None,
         })
         .unwrap();
         assert!(text.contains("3 sessions"), "{text}");
+        assert!(text.contains("2 workers"), "{text}");
     }
 
     #[test]
@@ -749,6 +923,7 @@ mod tests {
             tolerance: 10.0,
             algorithm: "fbqs".into(),
             shards: 4,
+            workers: 1,
             seed,
             spill: None,
         };
@@ -778,6 +953,7 @@ mod tests {
             tolerance: 10.0,
             algorithm: "fbqs".into(),
             shards: 4,
+            workers: 1,
             seed: 3,
             spill: Some(dir.clone()),
         })
@@ -807,11 +983,187 @@ mod tests {
             tolerance: 10.0,
             algorithm: "fbqs".into(),
             shards: 4,
+            workers: 1,
             seed: 3,
             spill: Some(dir),
         })
         .unwrap_err();
         assert!(err.contains("fresh directory"), "{err}");
+    }
+
+    #[test]
+    fn fleet_data_is_identical_across_worker_counts() {
+        let run_with = |workers: usize| {
+            run(&Command::Fleet {
+                sessions: 8,
+                points: 150,
+                tolerance: 10.0,
+                algorithm: "fbqs".into(),
+                shards: 4,
+                workers,
+                seed: 5,
+                spill: None,
+            })
+            .unwrap()
+        };
+        // Everything derived from the data (totals, rate, pruning power,
+        // probe verification) is identical for any worker count; only the
+        // run-config echo, the shard breakdown and timing may differ.
+        let data = |text: String| {
+            text.lines()
+                .filter(|l| {
+                    !l.contains("Mpts/s")
+                        && !l.trim_start().starts_with("shard")
+                        && !l.starts_with("fleet:")
+                })
+                .map(str::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let one = data(run_with(1));
+        let two = data(run_with(2));
+        let eight = data(run_with(8));
+        assert_eq!(one, two);
+        assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn fleet_report_is_deterministic_per_run_not_join_order() {
+        // Session close order inside an engine follows hash-map iteration,
+        // which differs between runs; the printed table must not.
+        let cmd = || Command::Fleet {
+            sessions: 12,
+            points: 100,
+            tolerance: 10.0,
+            algorithm: "fbqs".into(),
+            shards: 4,
+            workers: 3,
+            seed: 9,
+            spill: None,
+        };
+        let strip = |s: String| {
+            s.lines()
+                .filter(|l| !l.contains("Mpts/s"))
+                .map(str::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let a = strip(run(&cmd()).unwrap());
+        let b = strip(run(&cmd()).unwrap());
+        assert_eq!(a, b);
+        // And the session table really is sorted by (shard, track).
+        let rows: Vec<(usize, u64)> = a
+            .lines()
+            .filter_map(|l| {
+                let l = l.trim_start();
+                let rest = l.strip_prefix("shard ")?;
+                let (shard, rest) = rest.split_once(" track ")?;
+                let (track, _) = rest.split_once(':')?;
+                Some((shard.trim().parse().ok()?, track.trim().parse().ok()?))
+            })
+            .collect();
+        assert_eq!(rows.len(), 12, "{a}");
+        let mut sorted = rows.clone();
+        sorted.sort_unstable();
+        assert_eq!(rows, sorted);
+    }
+
+    #[test]
+    fn fleet_parallel_spill_builds_a_shard_tree_that_verifies() {
+        let dir = tmp("fleet-pspill-log");
+        let _ = std::fs::remove_dir_all(&dir);
+        let text = run(&Command::Fleet {
+            sessions: 10,
+            points: 120,
+            tolerance: 10.0,
+            algorithm: "fbqs".into(),
+            shards: 4,
+            workers: 4,
+            seed: 3,
+            spill: Some(dir.clone()),
+        })
+        .unwrap();
+        assert!(text.contains("spilled 10 sessions"), "{text}");
+        // Each worker got its own shard directory…
+        for k in 0..4 {
+            assert!(
+                std::path::Path::new(&dir)
+                    .join(format!("shard-{k}"))
+                    .is_dir(),
+                "missing shard-{k}"
+            );
+        }
+        // …and `log verify` dispatches to the tree-wide verification.
+        let verdict = run(&Command::LogVerify { dir: dir.clone() }).unwrap();
+        assert!(verdict.starts_with("OK"), "{verdict}");
+        assert!(verdict.contains("4 shards"), "{verdict}");
+        // A used tree is refused like a used flat directory.
+        let err = run(&Command::Fleet {
+            sessions: 10,
+            points: 120,
+            tolerance: 10.0,
+            algorithm: "fbqs".into(),
+            shards: 4,
+            workers: 2,
+            seed: 3,
+            spill: Some(dir.clone()),
+        })
+        .unwrap_err();
+        assert!(err.contains("fresh directory"), "{err}");
+
+        // Flat-log commands must not open the tree root as an (empty)
+        // flat log — query would lie, append would write a rogue segment
+        // invisible to tree tooling.
+        let err = run(&Command::LogQuery {
+            dir: dir.clone(),
+            track: Some(1),
+            from: None,
+            to: None,
+            bbox: None,
+            at: None,
+            out: None,
+        })
+        .unwrap_err();
+        assert!(err.contains("sharded spill tree"), "{err}");
+        let err = run(&Command::LogCompact {
+            dir: dir.clone(),
+            drop: vec![],
+        })
+        .unwrap_err();
+        assert!(err.contains("sharded spill tree"), "{err}");
+        let trace_path = tmp("pspill-trace.csv");
+        run(&Command::Generate {
+            dataset: "synthetic".into(),
+            seed: 1,
+            full: false,
+            out: Some(trace_path.clone()),
+        })
+        .unwrap();
+        let err = run(&Command::LogAppend {
+            dir: dir.clone(),
+            input: trace_path,
+            track: 999,
+            algorithm: "none".into(),
+            tolerance: 10.0,
+        })
+        .unwrap_err();
+        assert!(err.contains("sharded spill tree"), "{err}");
+        // But any single shard still works as a normal flat log.
+        let shard0 = std::path::Path::new(&dir)
+            .join("shard-0")
+            .to_string_lossy()
+            .into_owned();
+        let listing = run(&Command::LogQuery {
+            dir: shard0,
+            track: None,
+            from: None,
+            to: None,
+            bbox: None,
+            at: None,
+            out: None,
+        })
+        .unwrap();
+        assert!(listing.contains("tracks"), "{listing}");
     }
 
     #[test]

@@ -7,8 +7,9 @@
 //! concurrent streams ("sessions", keyed by [`TrackId`]) over per-session
 //! compressor state while sharing everything that can be shared:
 //!
-//! * **Hash sharding** — sessions live in power-of-two shards so a later
-//!   PR can put a lock (or a thread) per shard without touching callers.
+//! * **Hash sharding** — sessions live in power-of-two shards, routed by
+//!   [`track_hash`]; the [`parallel`] submodule scales the same design
+//!   across cores by giving each worker thread a private engine.
 //! * **Compressor recycling** — finished sessions return their compressor
 //!   (with its warm-up and scan buffers) to a bounded pool, so a fleet
 //!   with churn allocates per *track lifetime*, not per track-restart.
@@ -48,8 +49,28 @@ use crate::stream::{DecisionStats, HasDecisionStats, Sink, StreamCompressor};
 use bqs_geo::TimedPoint;
 use std::collections::HashMap;
 
+pub mod parallel;
+
+pub use parallel::{
+    worker_of, FleetJoin, ParallelConfig, ParallelFleet, ShardFailure, ShardOutput,
+};
+
 /// Identifies one tracker's stream within a fleet.
 pub type TrackId = u64;
+
+/// The fleet routing hash: a SplitMix64 finaliser over the track id.
+///
+/// Cheap, and it decorrelates sequential ids so load stays even for the
+/// common `0..n` track-id layout. Both [`FleetEngine`]'s internal session
+/// shards and [`ParallelFleet`]'s worker routing derive from this one
+/// function, so a track always lands in a stable, predictable place for
+/// a given shard/worker count.
+pub fn track_hash(track: TrackId) -> u64 {
+    let mut z = track.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A destination for kept points tagged with the session that produced
 /// them — the fleet-level analogue of [`Sink`].
@@ -325,12 +346,7 @@ where
     }
 
     fn shard_of(&self, track: TrackId) -> usize {
-        // SplitMix64 finaliser: cheap, and decorrelates sequential ids so
-        // shard load stays even for the common 0..n track-id layout.
-        let mut z = track.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        ((z ^ (z >> 31)) & self.shard_mask) as usize
+        (track_hash(track) & self.shard_mask) as usize
     }
 
     /// Feeds the next point of `track`'s stream, emitting that track's
@@ -361,6 +377,29 @@ where
 
     /// Like [`FleetEngine::push`] but emitting tagged points into a
     /// [`FleetSink`].
+    ///
+    /// # Examples
+    ///
+    /// Two interleaved trackers, collected per track:
+    ///
+    /// ```
+    /// use bqs_core::fleet::{FleetEngine, TrackId};
+    /// use bqs_core::{BqsConfig, FastBqsCompressor};
+    /// use bqs_geo::TimedPoint;
+    /// use std::collections::HashMap;
+    ///
+    /// let config = BqsConfig::new(10.0).unwrap();
+    /// let mut fleet =
+    ///     FleetEngine::with_default_config(move || FastBqsCompressor::new(config));
+    /// let mut out: HashMap<TrackId, Vec<TimedPoint>> = HashMap::new();
+    /// for i in 0..50u64 {
+    ///     let p = TimedPoint::new(i as f64 * 7.0, 0.0, i as f64 * 60.0);
+    ///     fleet.push_tagged(i % 2, p, &mut out);
+    /// }
+    /// fleet.finish_all(&mut out);
+    /// assert_eq!(out.len(), 2);
+    /// assert!(out[&0].len() >= 2);
+    /// ```
     pub fn push_tagged(&mut self, track: TrackId, p: TimedPoint, out: &mut dyn FleetSink) {
         self.push(track, p, &mut TrackSink::new(out, track));
     }

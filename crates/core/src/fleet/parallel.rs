@@ -1,0 +1,715 @@
+//! The multi-threaded sharded fleet runtime.
+//!
+//! A single [`FleetEngine`] drives every session on the caller's thread;
+//! [`ParallelFleet`] scales the same engine across cores. The design is a
+//! *shared-nothing shard-per-thread* pipeline:
+//!
+//! ```text
+//!                     ┌──────────── worker shard 0 ────────────┐
+//!  push(track, p) ──► │ bounded channel ─► FleetEngine ─► sink │
+//!        │            └────────────────────────────────────────┘
+//!   track_hash(track) ┌──────────── worker shard 1 ────────────┐
+//!        └──────────► │ bounded channel ─► FleetEngine ─► sink │
+//!                     └────────────────────────────────────────┘
+//!                                      …                join()
+//! ```
+//!
+//! * **Hash routing** — a track is assigned to [`worker_of`]`(track,
+//!   workers)`, so every point of a stream is processed by exactly one
+//!   worker, in submission order. Per-track output is therefore
+//!   *identical* to the single-threaded engine (and to solo compression),
+//!   regardless of the worker count — the equivalence property enforced
+//!   by `tests/parallel_fleet.rs`.
+//! * **Batched submission** — points are buffered per worker and shipped
+//!   in batches ([`ParallelConfig::batch_points`]) to amortise channel
+//!   synchronisation over many points.
+//! * **Backpressure** — channels are bounded
+//!   ([`ParallelConfig::channel_batches`]); when a worker falls behind,
+//!   [`ParallelFleet::push`] blocks instead of buffering unboundedly.
+//! * **Shared-nothing state** — each worker owns a private [`FleetEngine`]
+//!   *and* a private [`FleetSink`] (built per shard by the sink factory),
+//!   so the hot path takes no locks. A durable pipeline gives each shard
+//!   its own spill log (`bqs-tlog`'s `SpillSink` over a `shard-<k>/`
+//!   directory).
+//! * **Merged join** — [`ParallelFleet::join`] closes the channels, drains
+//!   every engine ([`FleetEngine::finish_all`]) and hands back each
+//!   shard's [`SessionReport`]s, sink and [`DecisionStats`] plus the
+//!   fleet-wide merge — the same per-session semantics as the serial
+//!   engine.
+//! * **Panic isolation** — a panicking worker poisons only its own shard.
+//!   The routing side keeps the set of tracks per shard, so [`FleetJoin`]
+//!   reports exactly which sessions died ([`ShardFailure`]) instead of
+//!   silently dropping them; healthy shards join normally.
+//!
+//! ```
+//! use bqs_core::fleet::{ParallelConfig, ParallelFleet, TrackId};
+//! use bqs_core::{BqsConfig, FastBqsCompressor};
+//! use bqs_geo::TimedPoint;
+//! use std::collections::HashMap;
+//!
+//! let config = BqsConfig::new(10.0).unwrap();
+//! let mut fleet = ParallelFleet::new(
+//!     ParallelConfig { workers: 4, ..ParallelConfig::default() },
+//!     move || FastBqsCompressor::new(config),
+//!     |_shard| HashMap::<TrackId, Vec<TimedPoint>>::new(),
+//! );
+//! for i in 0..400u64 {
+//!     // Eight interleaved trackers, routed to four workers.
+//!     fleet.push(i % 8, TimedPoint::new(i as f64 * 4.0, 0.0, i as f64));
+//! }
+//! let join = fleet.join();
+//! assert!(join.failures.is_empty());
+//! assert_eq!(join.session_reports().len(), 8);
+//! ```
+
+use super::{track_hash, FleetConfig, FleetEngine, FleetSink, SessionReport, TrackId};
+use crate::stream::{DecisionStats, HasDecisionStats, StreamCompressor};
+use bqs_geo::TimedPoint;
+use std::collections::HashSet;
+use std::sync::mpsc::{sync_channel, Receiver, SendError, SyncSender};
+use std::thread::JoinHandle;
+
+/// The worker shard `track` is routed to in a fleet of `workers`.
+///
+/// Routes on the *high* 32 bits of [`track_hash`], while the engine
+/// inside each worker picks its session shard from the low bits
+/// (`track_hash & mask`). Using disjoint bit ranges keeps the two
+/// levels uncorrelated: with `% workers` over the same low bits, a
+/// power-of-two worker count would pin every track of worker `k` to
+/// the engine shards congruent to `k`, collapsing each engine onto a
+/// fraction of its shard map.
+pub fn worker_of(track: TrackId, workers: usize) -> usize {
+    ((track_hash(track) >> 32) % workers.max(1) as u64) as usize
+}
+
+/// Tuning knobs for the parallel runtime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParallelConfig {
+    /// Worker shards (threads), minimum 1. Unlike the engine's internal
+    /// session shards this need not be a power of two.
+    pub workers: usize,
+    /// Points per channel message. Larger batches amortise channel
+    /// synchronisation; smaller batches reduce end-to-end latency.
+    pub batch_points: usize,
+    /// Bounded channel depth in batches per worker — the backpressure
+    /// window. `push` blocks once a worker is this far behind.
+    pub channel_batches: usize,
+    /// Configuration for each worker's private [`FleetEngine`].
+    pub fleet: FleetConfig,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> ParallelConfig {
+        ParallelConfig {
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            batch_points: 256,
+            channel_batches: 4,
+            fleet: FleetConfig::default(),
+        }
+    }
+}
+
+/// What one worker shard produced, returned by [`ParallelFleet::join`].
+#[derive(Debug)]
+pub struct ShardOutput<S> {
+    /// The shard index (`0..workers`).
+    pub shard: usize,
+    /// One report per session the shard finalised (evictions included),
+    /// in the engine's close order. [`FleetJoin::session_reports`] gives
+    /// the deterministic (shard, track) ordering.
+    pub reports: Vec<SessionReport>,
+    /// Decision statistics merged across the shard's sessions.
+    pub stats: DecisionStats,
+    /// The shard's private sink, with everything it accepted.
+    pub sink: S,
+}
+
+/// A worker shard that died mid-run, and exactly what died with it.
+#[derive(Debug)]
+pub struct ShardFailure {
+    /// The shard index.
+    pub shard: usize,
+    /// The panic payload, stringified.
+    pub panic: String,
+    /// Every track that was routed to this shard (sorted): the sessions
+    /// whose in-flight state is lost. Output spilled or emitted before
+    /// the panic may survive in the shard's sink/log.
+    pub tracks: Vec<TrackId>,
+    /// Every point submitted for this shard over the whole run — the
+    /// exact upper bound on the loss. How many had already been
+    /// processed when the worker died is unknowable from outside (some
+    /// may sit in the channel, and even processed points lose their
+    /// in-flight session state to the panic), so the runtime reports
+    /// the number it can count exactly rather than an undercount.
+    pub submitted_points: u64,
+}
+
+/// The merged result of a parallel run.
+#[derive(Debug)]
+pub struct FleetJoin<S> {
+    /// Healthy shards, ordered by shard index.
+    pub shards: Vec<ShardOutput<S>>,
+    /// Shards that panicked, ordered by shard index.
+    pub failures: Vec<ShardFailure>,
+    /// Decision statistics merged across all healthy shards.
+    pub stats: DecisionStats,
+}
+
+impl<S> FleetJoin<S> {
+    /// `true` when every shard joined cleanly.
+    pub fn is_ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Every session report across all healthy shards, sorted by
+    /// (shard, track) — a deterministic order independent of both thread
+    /// scheduling and the engines' internal hash-map iteration.
+    pub fn session_reports(&self) -> Vec<(usize, &SessionReport)> {
+        let mut out: Vec<(usize, &SessionReport)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.reports.iter().map(move |r| (s.shard, r)))
+            .collect();
+        out.sort_by_key(|(shard, r)| (*shard, r.track));
+        out
+    }
+}
+
+enum Msg {
+    Batch(Vec<(TrackId, TimedPoint)>),
+    Evict(f64),
+}
+
+struct WorkerOutput<S> {
+    reports: Vec<SessionReport>,
+    stats: DecisionStats,
+    sink: S,
+}
+
+struct Worker<S> {
+    sender: Option<SyncSender<Msg>>,
+    handle: Option<JoinHandle<WorkerOutput<S>>>,
+    buffer: Vec<(TrackId, TimedPoint)>,
+    /// Tracks routed to this shard. A `HashSet` keeps the per-point
+    /// cost O(1) on the submission hot path; the rare failure report
+    /// sorts once in `join`.
+    tracks: HashSet<TrackId>,
+    /// Points routed to this shard over the run (exact, counted on the
+    /// submission side — the basis of [`ShardFailure::submitted_points`]).
+    submitted_points: u64,
+    /// Set once a send fails: the worker panicked and its receiver is
+    /// gone. Routing keeps working; delivery stops.
+    dead: bool,
+}
+
+impl<S> Worker<S> {
+    fn flush(&mut self, batch_capacity: usize) {
+        if self.buffer.is_empty() || self.dead {
+            self.buffer.clear();
+            return;
+        }
+        let batch = std::mem::replace(&mut self.buffer, Vec::with_capacity(batch_capacity));
+        let sender = self.sender.as_ref().expect("sender lives until join");
+        if let Err(SendError(Msg::Batch(_))) = sender.send(Msg::Batch(batch)) {
+            self.dead = true;
+        }
+    }
+}
+
+fn worker_loop<C, CF, S>(
+    rx: Receiver<Msg>,
+    config: FleetConfig,
+    factory: CF,
+    mut sink: S,
+) -> WorkerOutput<S>
+where
+    C: StreamCompressor + HasDecisionStats,
+    CF: Fn() -> C,
+    S: FleetSink,
+{
+    let mut engine = FleetEngine::new(config, factory);
+    let mut reports = Vec::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Batch(batch) => {
+                for (track, p) in batch {
+                    engine.push_tagged(track, p, &mut sink);
+                }
+            }
+            Msg::Evict(now) => reports.extend(engine.evict_idle(now, &mut sink)),
+        }
+    }
+    // Channel closed: the submission side called join (or was dropped).
+    reports.extend(engine.finish_all(&mut sink));
+    let stats = engine.stats();
+    WorkerOutput {
+        reports,
+        stats,
+        sink,
+    }
+}
+
+/// A fleet of worker threads, each multiplexing the sessions routed to it
+/// through a private [`FleetEngine`]. See the module docs for the design.
+pub struct ParallelFleet<S> {
+    workers: Vec<Worker<S>>,
+    batch_points: usize,
+}
+
+impl<S: FleetSink + Send + 'static> ParallelFleet<S> {
+    /// Spawns `config.workers` worker threads. `factory` builds one
+    /// compressor per session (cloned into every worker); `sink_factory`
+    /// builds each shard's private sink (called with the shard index,
+    /// in order).
+    pub fn new<C, CF, SF>(
+        config: ParallelConfig,
+        factory: CF,
+        mut sink_factory: SF,
+    ) -> ParallelFleet<S>
+    where
+        C: StreamCompressor + HasDecisionStats + Send + 'static,
+        CF: Fn() -> C + Clone + Send + 'static,
+        SF: FnMut(usize) -> S,
+    {
+        let count = config.workers.max(1);
+        let batch_points = config.batch_points.max(1);
+        let workers = (0..count)
+            .map(|shard| {
+                let (sender, rx) = sync_channel(config.channel_batches.max(1));
+                let fleet_config = config.fleet;
+                let factory = factory.clone();
+                let sink = sink_factory(shard);
+                let handle = std::thread::Builder::new()
+                    .name(format!("bqs-fleet-{shard}"))
+                    .spawn(move || worker_loop(rx, fleet_config, factory, sink))
+                    .expect("spawn fleet worker thread");
+                Worker {
+                    sender: Some(sender),
+                    handle: Some(handle),
+                    buffer: Vec::with_capacity(batch_points),
+                    tracks: HashSet::new(),
+                    submitted_points: 0,
+                    dead: false,
+                }
+            })
+            .collect();
+        ParallelFleet {
+            workers,
+            batch_points,
+        }
+    }
+
+    /// Number of worker shards.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The shard `track` is routed to (see [`worker_of`]).
+    pub fn shard_of(&self, track: TrackId) -> usize {
+        worker_of(track, self.workers.len())
+    }
+
+    /// Submits the next point of `track`'s stream. Points of one track
+    /// are processed in submission order by a single worker; blocks when
+    /// that worker's channel is full (backpressure). If the worker has
+    /// panicked, the point is still counted against the shard and the
+    /// loss is reported at [`ParallelFleet::join`] instead of being
+    /// silent.
+    pub fn push(&mut self, track: TrackId, p: TimedPoint) {
+        let shard = self.shard_of(track);
+        let batch_points = self.batch_points;
+        let worker = &mut self.workers[shard];
+        worker.tracks.insert(track);
+        worker.submitted_points += 1;
+        if worker.dead {
+            return;
+        }
+        worker.buffer.push((track, p));
+        if worker.buffer.len() >= batch_points {
+            worker.flush(batch_points);
+        }
+    }
+
+    /// Submits a batch of `(track, point)` records (any interleaving).
+    pub fn ingest(&mut self, records: impl IntoIterator<Item = (TrackId, TimedPoint)>) {
+        for (track, p) in records {
+            self.push(track, p);
+        }
+    }
+
+    /// Ships every partially filled batch now. Useful before a pause;
+    /// `join` and `evict_idle` flush implicitly.
+    pub fn flush(&mut self) {
+        let batch_points = self.batch_points;
+        for worker in &mut self.workers {
+            worker.flush(batch_points);
+        }
+    }
+
+    /// Asks every worker to finalise sessions idle past its engine's
+    /// `idle_timeout` relative to `now` (stream time). Runs after all
+    /// previously submitted points (per-worker order is preserved);
+    /// eviction reports surface in [`ParallelFleet::join`].
+    pub fn evict_idle(&mut self, now: f64) {
+        let batch_points = self.batch_points;
+        for worker in &mut self.workers {
+            worker.flush(batch_points);
+            if worker.dead {
+                continue;
+            }
+            let sender = worker.sender.as_ref().expect("sender lives until join");
+            if sender.send(Msg::Evict(now)).is_err() {
+                worker.dead = true;
+            }
+        }
+    }
+
+    /// Flushes every batch, closes the channels, drains every engine
+    /// (finishing all live sessions) and joins the worker threads.
+    /// Healthy shards come back as [`ShardOutput`]s; panicked shards as
+    /// [`ShardFailure`]s naming every track that was routed to them.
+    pub fn join(mut self) -> FleetJoin<S> {
+        let batch_points = self.batch_points;
+        let mut shards = Vec::new();
+        let mut failures = Vec::new();
+        for (shard, mut worker) in self.workers.drain(..).enumerate() {
+            worker.flush(batch_points);
+            drop(worker.sender.take()); // closes the channel: worker drains and exits
+            let handle = worker.handle.take().expect("join consumes the handle");
+            match handle.join() {
+                Ok(output) => shards.push(ShardOutput {
+                    shard,
+                    reports: output.reports,
+                    stats: output.stats,
+                    sink: output.sink,
+                }),
+                Err(panic) => {
+                    let mut tracks: Vec<TrackId> = worker.tracks.iter().copied().collect();
+                    tracks.sort_unstable();
+                    failures.push(ShardFailure {
+                        shard,
+                        panic: panic_message(panic.as_ref()),
+                        tracks,
+                        submitted_points: worker.submitted_points,
+                    });
+                }
+            }
+        }
+        let mut stats = DecisionStats::default();
+        for s in &shards {
+            stats.merge(&s.stats);
+        }
+        FleetJoin {
+            shards,
+            failures,
+            stats,
+        }
+    }
+}
+
+impl<S> Drop for ParallelFleet<S> {
+    fn drop(&mut self) {
+        // `join` drains `workers`, so this only runs for a fleet dropped
+        // without joining: close the channels and reap the threads (their
+        // panics, if any, are swallowed — use `join` to observe them).
+        for worker in &mut self.workers {
+            drop(worker.sender.take());
+        }
+        for worker in &mut self.workers {
+            if let Some(handle) = worker.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BqsConfig;
+    use crate::fbqs::FastBqsCompressor;
+    use crate::stream::{compress_all, Sink};
+    use std::collections::{BTreeSet, HashMap};
+
+    fn wave(track: u64, n: usize) -> Vec<TimedPoint> {
+        (0..n)
+            .map(|i| {
+                let a = i as f64;
+                TimedPoint::new(
+                    a * 8.0 + track as f64,
+                    (a * 0.21 + track as f64).sin() * 25.0,
+                    a * 60.0,
+                )
+            })
+            .collect()
+    }
+
+    fn parallel(
+        workers: usize,
+        tolerance: f64,
+    ) -> ParallelFleet<HashMap<TrackId, Vec<TimedPoint>>> {
+        let config = BqsConfig::new(tolerance).unwrap();
+        ParallelFleet::new(
+            ParallelConfig {
+                workers,
+                batch_points: 7, // deliberately awkward: exercises partial batches
+                channel_batches: 2,
+                fleet: FleetConfig::default(),
+            },
+            move || FastBqsCompressor::new(config),
+            |_| HashMap::new(),
+        )
+    }
+
+    fn merged(
+        join: FleetJoin<HashMap<TrackId, Vec<TimedPoint>>>,
+    ) -> HashMap<TrackId, Vec<TimedPoint>> {
+        let mut all = HashMap::new();
+        for shard in join.shards {
+            for (track, points) in shard.sink {
+                assert!(
+                    all.insert(track, points).is_none(),
+                    "track split across shards"
+                );
+            }
+        }
+        all
+    }
+
+    #[test]
+    fn parallel_output_equals_solo_compression_for_any_worker_count() {
+        let traces: Vec<Vec<TimedPoint>> = (0..12).map(|t| wave(t, 150)).collect();
+        for workers in [1, 2, 3, 8] {
+            let mut fleet = parallel(workers, 10.0);
+            for i in 0..150 {
+                for (t, trace) in traces.iter().enumerate() {
+                    fleet.push(t as u64, trace[i]);
+                }
+            }
+            let join = fleet.join();
+            assert!(join.is_ok());
+            let all = merged(join);
+            let config = BqsConfig::new(10.0).unwrap();
+            for (t, trace) in traces.iter().enumerate() {
+                let mut solo = FastBqsCompressor::new(config);
+                let expected = compress_all(&mut solo, trace.iter().copied());
+                assert_eq!(all[&(t as u64)], expected, "track {t} / {workers} workers");
+            }
+        }
+    }
+
+    #[test]
+    fn join_reports_every_session_sorted_by_shard_then_track() {
+        let mut fleet = parallel(4, 10.0);
+        for t in (0..40u64).rev() {
+            for p in wave(t, 30) {
+                fleet.push(t, p);
+            }
+        }
+        let join = fleet.join();
+        let reports = join.session_reports();
+        assert_eq!(reports.len(), 40);
+        let keys: Vec<(usize, TrackId)> = reports.iter().map(|(s, r)| (*s, r.track)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+        assert!(reports.iter().all(|(_, r)| r.points == 30));
+        assert_eq!(join.stats.points, 40 * 30);
+    }
+
+    #[test]
+    fn eviction_runs_after_prior_points_and_reports_at_join() {
+        let config = BqsConfig::new(10.0).unwrap();
+        let mut fleet = ParallelFleet::new(
+            ParallelConfig {
+                workers: 2,
+                batch_points: 4,
+                channel_batches: 2,
+                fleet: FleetConfig {
+                    idle_timeout: 100.0,
+                    ..FleetConfig::default()
+                },
+            },
+            move || FastBqsCompressor::new(config),
+            |_| HashMap::<TrackId, Vec<TimedPoint>>::new(),
+        );
+        // Track 0 stops at t=300; track 1 runs to t=3000.
+        for p in wave(0, 6) {
+            fleet.push(0, p);
+        }
+        for p in wave(1, 51) {
+            fleet.push(1, p);
+        }
+        fleet.evict_idle(3000.0);
+        let join = fleet.join();
+        let reports = join.session_reports();
+        assert_eq!(reports.len(), 2);
+        let evicted: Vec<TrackId> = reports
+            .iter()
+            .filter(|(_, r)| r.reason == super::super::FlushReason::Evicted)
+            .map(|(_, r)| r.track)
+            .collect();
+        assert_eq!(evicted, vec![0]);
+        // Evicted output still matches solo compression of the prefix.
+        let all = merged(join);
+        let mut solo = FastBqsCompressor::new(config);
+        let expected = compress_all(&mut solo, wave(0, 6));
+        assert_eq!(all[&0], expected);
+    }
+
+    /// A compressor that panics on a poison coordinate — the fault model
+    /// for shard-isolation tests.
+    struct Poisonable(FastBqsCompressor);
+
+    impl StreamCompressor for Poisonable {
+        fn push(&mut self, p: TimedPoint, out: &mut dyn Sink) {
+            assert!(p.pos.x.is_finite(), "poison point");
+            self.0.push(p, out);
+        }
+        fn finish(&mut self, out: &mut dyn Sink) {
+            self.0.finish(out);
+        }
+        fn name(&self) -> &'static str {
+            "poisonable-fbqs"
+        }
+    }
+
+    impl HasDecisionStats for Poisonable {
+        fn decision_stats(&self) -> DecisionStats {
+            self.0.decision_stats()
+        }
+    }
+
+    #[test]
+    fn a_panicking_worker_poisons_only_its_own_shard() {
+        let config = BqsConfig::new(10.0).unwrap();
+        let mut fleet = ParallelFleet::new(
+            ParallelConfig {
+                workers: 4,
+                batch_points: 4,
+                channel_batches: 2,
+                fleet: FleetConfig::default(),
+            },
+            move || Poisonable(FastBqsCompressor::new(config)),
+            |_| HashMap::<TrackId, Vec<TimedPoint>>::new(),
+        );
+        let poisoned_track = 5u64;
+        let poisoned_shard = fleet.shard_of(poisoned_track);
+        let traces: Vec<Vec<TimedPoint>> = (0..16).map(|t| wave(t, 60)).collect();
+        for i in 0..60 {
+            for (t, trace) in traces.iter().enumerate() {
+                fleet.push(t as u64, trace[i]);
+            }
+            if i == 20 {
+                fleet.push(poisoned_track, TimedPoint::new(f64::NAN, 0.0, 1e9));
+                fleet.flush(); // make sure the poison is delivered promptly
+            }
+        }
+        let join = fleet.join();
+        assert_eq!(join.failures.len(), 1);
+        let failure = &join.failures[0];
+        assert_eq!(failure.shard, poisoned_shard);
+        assert!(failure.tracks.contains(&poisoned_track));
+        assert!(failure.panic.contains("poison"), "{}", failure.panic);
+        // The loss report is exact: every point routed to the shard over
+        // the run, and the track list comes out sorted.
+        let routed: u64 = failure
+            .tracks
+            .iter()
+            .map(|t| if *t == poisoned_track { 61 } else { 60 })
+            .sum();
+        assert_eq!(failure.submitted_points, routed);
+        assert!(failure.tracks.windows(2).all(|w| w[0] < w[1]));
+        // Healthy shards: every surviving track equals solo compression.
+        let lost: BTreeSet<TrackId> = failure.tracks.iter().copied().collect();
+        let all = merged(join);
+        for (t, trace) in traces.iter().enumerate() {
+            let t = t as u64;
+            if lost.contains(&t) {
+                assert!(!all.contains_key(&t));
+                continue;
+            }
+            let mut solo = FastBqsCompressor::new(config);
+            let expected = compress_all(&mut solo, trace.iter().copied());
+            assert_eq!(all[&t], expected, "surviving track {t}");
+        }
+        // Lost sessions + surviving sessions cover the whole fleet.
+        assert_eq!(lost.len() + all.len(), 16);
+    }
+
+    #[test]
+    fn worker_routing_is_uncorrelated_with_engine_session_shards() {
+        // 4 workers, 16 engine shards: the tracks routed to one worker
+        // must still spread across (nearly) all of that worker's engine
+        // shards — routing on the same bits would pin them to 4 of 16.
+        let workers = 4usize;
+        let engine_mask = 15u64;
+        let mut shards_seen: Vec<HashSet<u64>> = vec![HashSet::new(); workers];
+        for track in 0..2_000u64 {
+            shards_seen[worker_of(track, workers)].insert(track_hash(track) & engine_mask);
+        }
+        for (k, seen) in shards_seen.iter().enumerate() {
+            assert!(
+                seen.len() >= 12,
+                "worker {k} maps onto only {} of 16 engine shards",
+                seen.len()
+            );
+        }
+    }
+
+    #[test]
+    fn drop_without_join_reaps_the_threads() {
+        let mut fleet = parallel(3, 10.0);
+        for t in 0..9u64 {
+            for p in wave(t, 25) {
+                fleet.push(t, p);
+            }
+        }
+        drop(fleet); // must not hang or leak
+    }
+
+    #[test]
+    fn empty_fleet_joins_cleanly() {
+        let join = parallel(2, 10.0).join();
+        assert!(join.is_ok());
+        assert_eq!(join.shards.len(), 2);
+        assert!(join.session_reports().is_empty());
+        assert_eq!(join.stats, DecisionStats::default());
+    }
+
+    #[test]
+    fn backpressure_blocks_instead_of_buffering_unboundedly() {
+        // A tiny channel with a slow consumer: correctness under
+        // saturation, and sent batches are bounded by channel capacity.
+        let config = BqsConfig::new(5.0).unwrap();
+        let mut fleet = ParallelFleet::new(
+            ParallelConfig {
+                workers: 1,
+                batch_points: 2,
+                channel_batches: 1,
+                fleet: FleetConfig::default(),
+            },
+            move || FastBqsCompressor::new(config),
+            |_| HashMap::<TrackId, Vec<TimedPoint>>::new(),
+        );
+        let trace = wave(3, 500);
+        for p in &trace {
+            fleet.push(3, *p);
+        }
+        let join = fleet.join();
+        let all = merged(join);
+        let mut solo = FastBqsCompressor::new(config);
+        let expected = compress_all(&mut solo, trace);
+        assert_eq!(all[&3], expected);
+    }
+}

@@ -25,7 +25,9 @@
 //!   computed.
 //! * [`fleet`] — the multi-session [`FleetEngine`]: hash-sharded sessions
 //!   keyed by track id, per-session compressor state with recycling,
-//!   idle-session eviction and merged decision statistics.
+//!   idle-session eviction and merged decision statistics — plus
+//!   [`fleet::parallel`], the multi-threaded sharded runtime
+//!   ([`ParallelFleet`]) that scales the engine across cores.
 //! * [`reconstruct`] — timestamp interpolation and trajectory reconstruction
 //!   (Eqs. 1–3), with uniform and online-fitted Gaussian progress models.
 //! * [`bqs3d`] — the 3-D BQS (§V-G): bounding prisms, Θ/Φ bounding planes
@@ -77,7 +79,8 @@ pub use bqs4d::{Bqs4dCompressor, Bqs4dConfig};
 pub use config::{BoundsMode, BqsConfig, ConfigError, RotationMode};
 pub use fbqs::FastBqsCompressor;
 pub use fleet::{
-    FleetConfig, FleetEngine, FleetSink, FlushReason, SessionReport, TeeFleetSink, TrackId,
+    FleetConfig, FleetEngine, FleetJoin, FleetSink, FlushReason, ParallelConfig, ParallelFleet,
+    SessionReport, ShardFailure, ShardOutput, TeeFleetSink, TrackId,
 };
 pub use metrics::DeviationMetric;
 pub use quadrant::QuadrantBounds;
@@ -92,7 +95,7 @@ pub mod prelude {
     pub use crate::bqs::BqsCompressor;
     pub use crate::config::{BoundsMode, BqsConfig, RotationMode};
     pub use crate::fbqs::FastBqsCompressor;
-    pub use crate::fleet::{FleetConfig, FleetEngine};
+    pub use crate::fleet::{FleetConfig, FleetEngine, ParallelConfig, ParallelFleet};
     pub use crate::metrics::DeviationMetric;
     pub use crate::stream::{compress_all, compress_into, CountingSink, Sink, StreamCompressor};
     pub use bqs_geo::{Point2, TimedPoint};

@@ -11,7 +11,7 @@
 
 use crate::report::TextTable;
 use crate::Scale;
-use bqs_core::fleet::{CountingFleetSink, FleetConfig, FleetEngine};
+use bqs_core::fleet::{CountingFleetSink, FleetConfig, FleetEngine, ParallelConfig, ParallelFleet};
 use bqs_core::{BqsConfig, FastBqsCompressor};
 use bqs_geo::TimedPoint;
 use bqs_sim::{RandomWalkConfig, RandomWalkModel};
@@ -37,15 +37,33 @@ pub struct FleetRow {
     pub shard_skew: f64,
 }
 
+/// One row of the parallel-runtime workers sweep.
+#[derive(Debug, Clone)]
+pub struct ParallelRow {
+    /// Worker threads.
+    pub workers: usize,
+    /// Total points pushed.
+    pub points: usize,
+    /// Kept points (must be identical across worker counts — the
+    /// equivalence guarantee).
+    pub kept: usize,
+    /// Wall-clock ingest throughput in points/second.
+    pub points_per_sec: f64,
+    /// Throughput relative to the 1-worker row.
+    pub speedup: f64,
+}
+
 /// Full result.
 #[derive(Debug, Clone)]
 pub struct FleetResult {
-    /// One row per session count.
+    /// One row per session count (serial engine).
     pub rows: Vec<FleetRow>,
+    /// One row per worker count (parallel runtime).
+    pub parallel: Vec<ParallelRow>,
 }
 
 impl FleetResult {
-    /// Renders the result as a text table.
+    /// Renders the serial scaling sweep as a text table.
     pub fn to_table(&self) -> TextTable {
         let mut t = TextTable::new(
             "Fleet — multi-session scaling (FBQS, 10 m, round-robin interleave)",
@@ -62,6 +80,24 @@ impl FleetResult {
                 format!("{:.3}", r.points_per_sec / 1e6),
                 format!("{:.4}", r.pruning_power),
                 format!("{:.2}", r.shard_skew),
+            ]);
+        }
+        t
+    }
+
+    /// Renders the parallel workers sweep as a text table.
+    pub fn to_parallel_table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Fleet — parallel runtime scaling (FBQS, 10 m, workers sweep)",
+            &["workers", "points", "kept", "Mpts/s", "speedup"],
+        );
+        for r in &self.parallel {
+            t.row(vec![
+                r.workers.to_string(),
+                r.points.to_string(),
+                r.kept.to_string(),
+                format!("{:.3}", r.points_per_sec / 1e6),
+                format!("{:.2}x", r.speedup),
             ]);
         }
         t
@@ -94,6 +130,63 @@ pub fn points_per_session(scale: Scale) -> usize {
         Scale::Quick => 200,
         Scale::Full => 1_000,
     }
+}
+
+/// Worker counts for the parallel sweep (same at both scales: the axis
+/// is cores, not data volume).
+pub fn worker_counts() -> Vec<usize> {
+    vec![1, 2, 4, 8]
+}
+
+/// Sessions driven through the parallel runtime at each scale.
+pub fn parallel_sessions(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 64,
+        Scale::Full => 1_000,
+    }
+}
+
+/// Runs the parallel workers sweep at a fixed session count.
+fn run_parallel(scale: Scale) -> Vec<ParallelRow> {
+    let per_session = points_per_session(scale);
+    let sessions = parallel_sessions(scale);
+    let traces: Vec<Vec<TimedPoint>> = (0..sessions)
+        .map(|t| track_points(t as u64, per_session))
+        .collect();
+    let total_points = per_session * sessions;
+
+    let mut rows: Vec<ParallelRow> = Vec::new();
+    for workers in worker_counts() {
+        let config = BqsConfig::new(TOLERANCE).expect("tolerance");
+        let mut fleet = ParallelFleet::new(
+            ParallelConfig {
+                workers,
+                ..ParallelConfig::default()
+            },
+            move || FastBqsCompressor::new(config),
+            |_| CountingFleetSink::default(),
+        );
+        let start = Instant::now();
+        for i in 0..per_session {
+            for (t, trace) in traces.iter().enumerate() {
+                fleet.push(t as u64, trace[i]);
+            }
+        }
+        let join = fleet.join();
+        let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+        assert!(join.is_ok(), "no worker may panic in the sweep");
+        let kept: usize = join.shards.iter().map(|s| s.sink.count).sum();
+        let points_per_sec = total_points as f64 / elapsed;
+        let baseline = rows.first().map_or(points_per_sec, |r| r.points_per_sec);
+        rows.push(ParallelRow {
+            workers,
+            points: total_points,
+            kept,
+            points_per_sec,
+            speedup: points_per_sec / baseline.max(1e-9),
+        });
+    }
+    rows
 }
 
 /// Runs the scaling sweep.
@@ -134,7 +227,10 @@ pub fn run(scale: Scale) -> FleetResult {
             shard_skew: skew,
         });
     }
-    FleetResult { rows }
+    FleetResult {
+        rows,
+        parallel: run_parallel(scale),
+    }
 }
 
 /// Max/mean shard-occupancy ratio from observed per-shard session loads.
@@ -169,6 +265,28 @@ mod tests {
         }
         let table = result.to_table();
         assert_eq!(table.len(), 3);
+    }
+
+    #[test]
+    fn parallel_sweep_is_equivalent_across_worker_counts() {
+        let result = run(Scale::Quick);
+        assert_eq!(result.parallel.len(), worker_counts().len());
+        let first = &result.parallel[0];
+        assert_eq!(first.workers, 1);
+        assert!((first.speedup - 1.0).abs() < 1e-12);
+        for row in &result.parallel {
+            assert_eq!(
+                row.points,
+                parallel_sessions(Scale::Quick) * points_per_session(Scale::Quick)
+            );
+            // The equivalence guarantee, observed end to end: the kept
+            // count never depends on the worker count.
+            assert_eq!(row.kept, first.kept, "workers={}", row.workers);
+            assert!(row.points_per_sec > 0.0);
+            assert!(row.speedup > 0.0);
+        }
+        let table = result.to_parallel_table();
+        assert_eq!(table.len(), worker_counts().len());
     }
 
     #[test]

@@ -23,7 +23,13 @@
 //! * [`spill`] — [`SpillSink`]: the
 //!   [`FleetSink`](bqs_core::fleet::FleetSink) that spills sessions to
 //!   the log when the engine closes them (flush-on-close,
-//!   spill-on-evict).
+//!   spill-on-evict). Works borrowed (`SpillSink<&mut TrajectoryLog>`)
+//!   or owned (`SpillSink<TrajectoryLog>`) — the owned form is what a
+//!   parallel worker shard carries onto its thread.
+//! * [`sharded`] — the `shard-<k>/` spill-tree layout behind
+//!   [`ParallelFleet`](bqs_core::fleet::ParallelFleet): one private
+//!   log per worker shard, plus tree-wide verification
+//!   ([`verify_sharded`]).
 //!
 //! The on-disk format is specified in `docs/format.md`; `bqs log
 //! append|query|compact|verify` exposes the subsystem on the command
@@ -59,6 +65,7 @@ pub mod error;
 pub mod log;
 pub mod query;
 pub mod segment;
+pub mod sharded;
 pub mod spill;
 
 pub use codec::{CodecError, CODEC_VERSION, NAIVE_POINT_BYTES};
@@ -69,4 +76,8 @@ pub use log::{
 };
 pub use query::{QueryOutput, QueryStats, TimeRange, TrackSlice};
 pub use segment::{RecordKind, RecordSummary, FORMAT_VERSION, MAGIC};
+pub use sharded::{
+    is_sharded_tree, open_shard_logs, shard_dir, shard_dirs, verify_sharded, ShardedVerifyReport,
+    SHARD_DIR_PREFIX,
+};
 pub use spill::{SpillFailure, SpillReport, SpillSink};

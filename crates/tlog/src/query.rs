@@ -98,6 +98,31 @@ impl QueryOutput {
 impl TrajectoryLog {
     /// Points of `track` (or of every track when `None`) whose timestamp
     /// lies in `range`. Records are pruned via the sparse time index.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bqs_geo::TimedPoint;
+    /// use bqs_tlog::{LogConfig, TimeRange, TrajectoryLog};
+    ///
+    /// let dir = std::env::temp_dir().join(format!("query-doc-{}", std::process::id()));
+    /// # let _ = std::fs::remove_dir_all(&dir);
+    /// let (mut log, _) = TrajectoryLog::open(&dir, LogConfig::default()).unwrap();
+    /// let points: Vec<TimedPoint> = (0..60)
+    ///     .map(|i| TimedPoint::new(i as f64 * 10.0, 0.0, i as f64 * 60.0))
+    ///     .collect();
+    /// log.append(3, &points).unwrap();
+    ///
+    /// // The second half-hour of track 3, inclusive on both ends.
+    /// let out = log
+    ///     .query_time_range(Some(3), TimeRange::new(1800.0, 3540.0))
+    ///     .unwrap();
+    /// assert_eq!(out.slices.len(), 1);
+    /// assert_eq!(out.slices[0].points.len(), 30);
+    /// assert!(out.stats.decoded_records <= out.stats.candidate_records);
+    /// # drop(log);
+    /// # std::fs::remove_dir_all(&dir).unwrap();
+    /// ```
     pub fn query_time_range(
         &self,
         track: Option<TrackId>,

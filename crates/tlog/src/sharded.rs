@@ -1,0 +1,248 @@
+//! The sharded spill tree: one [`TrajectoryLog`] per parallel worker.
+//!
+//! A [`TrajectoryLog`] is single-writer (one advisory lock per
+//! directory), so a multi-threaded fleet cannot funnel every shard
+//! through one log without re-serialising exactly the work the threads
+//! were meant to spread. The parallel runtime instead gives worker `k`
+//! its own log under `<root>/shard-<k>/` — shared-nothing on disk, just
+//! like in memory:
+//!
+//! ```text
+//! <root>/
+//!   shard-0/ seg-000001.tlg …   ← worker 0's private TrajectoryLog
+//!   shard-1/ seg-000001.tlg …   ← worker 1's private TrajectoryLog
+//!   …
+//! ```
+//!
+//! Because `ParallelFleet` routes a track to exactly one worker, a track
+//! appears in exactly one shard directory; queries for a single track
+//! open that shard alone, and tree-wide operations (verification,
+//! listing) fold over the shards. The layout is specified in
+//! `docs/format.md` §"Sharded spill trees".
+
+use crate::error::TlogError;
+use crate::log::{verify_dir, LogConfig, RecoveryReport, TrajectoryLog, VerifyReport};
+use std::path::{Path, PathBuf};
+
+/// Directory-name prefix of one shard's log inside a spill tree.
+pub const SHARD_DIR_PREFIX: &str = "shard-";
+
+/// The directory of shard `k` under `root` (`<root>/shard-<k>`).
+pub fn shard_dir(root: impl AsRef<Path>, shard: usize) -> PathBuf {
+    root.as_ref().join(format!("{SHARD_DIR_PREFIX}{shard}"))
+}
+
+/// Opens (creating if needed) one log per shard, `0..workers`, under
+/// `root`. Returns the logs in shard order along with each shard's
+/// recovery report.
+pub fn open_shard_logs(
+    root: impl AsRef<Path>,
+    workers: usize,
+    config: LogConfig,
+) -> Result<Vec<(TrajectoryLog, RecoveryReport)>, TlogError> {
+    (0..workers)
+        .map(|k| TrajectoryLog::open(shard_dir(&root, k), config))
+        .collect()
+}
+
+/// Lists the shard directories present under `root`, sorted by shard
+/// index. An empty result means `root` is not a sharded tree (it may
+/// still be a flat single log). Entries that merely *look* like shards
+/// but are files, or whose suffix is not a number, are ignored.
+pub fn shard_dirs(root: impl AsRef<Path>) -> Result<Vec<(usize, PathBuf)>, TlogError> {
+    let root = root.as_ref();
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(root)
+        .map_err(|e| TlogError::io(format!("read dir {}", root.display()), e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| TlogError::io("read dir entry", e))?;
+        if !entry.path().is_dir() {
+            continue;
+        }
+        let name = entry.file_name();
+        let Some(index) = name
+            .to_str()
+            .and_then(|n| n.strip_prefix(SHARD_DIR_PREFIX))
+            .and_then(|n| n.parse::<usize>().ok())
+        else {
+            continue;
+        };
+        out.push((index, entry.path()));
+    }
+    out.sort_unstable_by_key(|(index, _)| *index);
+    Ok(out)
+}
+
+/// What verifying a whole sharded tree found.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardedVerifyReport {
+    /// One strict verification result per shard, in shard order.
+    pub shards: Vec<(usize, VerifyReport)>,
+    /// The shard reports folded into one.
+    pub total: VerifyReport,
+}
+
+/// Strictly verifies every shard log under `root` (see
+/// [`verify_dir`]): any fault in any shard is an error, and so is a
+/// malformed tree — shard indices must be exactly `0..N` (a gap means a
+/// shard directory is *missing*, a duplicate like `shard-1`/`shard-01`
+/// would double-count records), since a fleet always writes a
+/// contiguous tree. Fails with a typed I/O error when `root` contains
+/// no `shard-<k>` directories — use [`verify_dir`] directly for a flat
+/// log.
+pub fn verify_sharded(root: impl AsRef<Path>) -> Result<ShardedVerifyReport, TlogError> {
+    let root = root.as_ref();
+    let dirs = shard_dirs(root)?;
+    if dirs.is_empty() {
+        return Err(TlogError::io(
+            format!(
+                "{} holds no {SHARD_DIR_PREFIX}<k> directories",
+                root.display()
+            ),
+            std::io::Error::new(std::io::ErrorKind::NotFound, "not a sharded spill tree"),
+        ));
+    }
+    // `shard_dirs` sorts by index, so contiguity reduces to a positional
+    // check; it catches both gaps (a deleted shard must not verify OK)
+    // and duplicate spellings of one index.
+    for (position, (index, dir)) in dirs.iter().enumerate() {
+        if *index != position {
+            return Err(TlogError::io(
+                format!(
+                    "{} is not a contiguous shard tree: found {} where \
+                     {SHARD_DIR_PREFIX}{position} was expected ({} shard dirs total)",
+                    root.display(),
+                    dir.display(),
+                    dirs.len(),
+                ),
+                std::io::Error::new(
+                    std::io::ErrorKind::NotFound,
+                    "missing or duplicate shard directory",
+                ),
+            ));
+        }
+    }
+    let mut report = ShardedVerifyReport::default();
+    for (index, dir) in dirs {
+        let shard = verify_dir(&dir)?;
+        report.total.segments += shard.segments;
+        report.total.records += shard.records;
+        report.total.tombstones += shard.tombstones;
+        report.total.points += shard.points;
+        report.total.file_bytes += shard.file_bytes;
+        report.total.payload_bytes += shard.payload_bytes;
+        report.shards.push((index, shard));
+    }
+    Ok(report)
+}
+
+/// `true` when `root` exists and contains at least one `shard-<k>`
+/// directory — the dispatch test `bqs log verify` uses to pick between
+/// a flat log and a sharded tree.
+pub fn is_sharded_tree(root: impl AsRef<Path>) -> bool {
+    matches!(shard_dirs(root), Ok(dirs) if !dirs.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqs_geo::TimedPoint;
+
+    fn temp_root(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("bqs-tlog-tests")
+            .join(format!("sharded-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn points(track: u64, n: usize) -> Vec<TimedPoint> {
+        (0..n)
+            .map(|i| TimedPoint::new(i as f64 * 5.0 + track as f64, 0.0, i as f64 * 30.0))
+            .collect()
+    }
+
+    #[test]
+    fn shard_logs_open_write_and_verify_as_a_tree() {
+        let root = temp_root("roundtrip");
+        {
+            let mut logs = open_shard_logs(&root, 3, LogConfig::default()).unwrap();
+            for (k, (log, recovery)) in logs.iter_mut().enumerate() {
+                assert_eq!(recovery.records, 0);
+                log.append(k as u64, &points(k as u64, 50)).unwrap();
+            }
+        }
+        assert!(is_sharded_tree(&root));
+        let report = verify_sharded(&root).unwrap();
+        assert_eq!(report.shards.len(), 3);
+        assert_eq!(report.total.records, 3);
+        assert_eq!(report.total.points, 150);
+        assert_eq!(
+            report.shards.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        // Each shard is individually reopenable and holds only its track.
+        for k in 0..3u64 {
+            let (log, _) =
+                TrajectoryLog::open(shard_dir(&root, k as usize), LogConfig::default()).unwrap();
+            assert_eq!(log.tracks(), vec![k]);
+        }
+    }
+
+    #[test]
+    fn flat_log_is_not_a_sharded_tree() {
+        let root = temp_root("flat");
+        let (mut log, _) = TrajectoryLog::open(&root, LogConfig::default()).unwrap();
+        log.append(1, &points(1, 10)).unwrap();
+        assert!(!is_sharded_tree(&root));
+        assert!(verify_sharded(&root).is_err());
+        assert!(verify_dir(&root).is_ok());
+    }
+
+    #[test]
+    fn non_shard_entries_are_ignored() {
+        let root = temp_root("mixed");
+        std::fs::create_dir_all(root.join("shard-1")).unwrap();
+        std::fs::create_dir_all(root.join("shard-x")).unwrap();
+        std::fs::create_dir_all(root.join("other")).unwrap();
+        std::fs::write(root.join("shard-2"), b"a file, not a dir").unwrap();
+        let dirs = shard_dirs(&root).unwrap();
+        assert_eq!(dirs.len(), 1);
+        assert_eq!(dirs[0].0, 1);
+    }
+
+    #[test]
+    fn missing_root_is_a_clean_error() {
+        let root = temp_root("missing");
+        assert!(shard_dirs(&root).is_err());
+        assert!(!is_sharded_tree(&root));
+    }
+
+    #[test]
+    fn a_deleted_shard_fails_tree_verification() {
+        let root = temp_root("gap");
+        {
+            let mut logs = open_shard_logs(&root, 3, LogConfig::default()).unwrap();
+            for (k, (log, _)) in logs.iter_mut().enumerate() {
+                log.append(k as u64, &points(k as u64, 20)).unwrap();
+            }
+        }
+        assert!(verify_sharded(&root).is_ok());
+        // Losing a whole shard directory must not verify as OK.
+        std::fs::remove_dir_all(shard_dir(&root, 1)).unwrap();
+        let err = verify_sharded(&root).unwrap_err();
+        assert!(err.to_string().contains("shard-1"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_shard_spellings_fail_tree_verification() {
+        let root = temp_root("dup");
+        {
+            let _logs = open_shard_logs(&root, 2, LogConfig::default()).unwrap();
+        }
+        // `shard-01` parses to index 1 too: records would be counted
+        // twice if the tree verified.
+        std::fs::create_dir_all(root.join("shard-01")).unwrap();
+        assert!(verify_sharded(&root).is_err());
+    }
+}

@@ -22,6 +22,7 @@ use crate::log::TrajectoryLog;
 use bqs_core::fleet::{FleetSink, FlushReason, SessionReport, TrackId};
 use bqs_core::stream::DecisionStats;
 use bqs_geo::TimedPoint;
+use std::borrow::BorrowMut;
 use std::collections::HashMap;
 
 /// One durable flush of one session.
@@ -71,22 +72,65 @@ impl std::error::Error for SpillFailure {
 }
 
 /// A [`FleetSink`] that makes session output durable. See module docs.
-pub struct SpillSink<'a> {
-    log: &'a mut TrajectoryLog,
+///
+/// Generic over how the log is held: `SpillSink<&mut TrajectoryLog>`
+/// borrows a log the caller keeps using afterwards, while
+/// `SpillSink<TrajectoryLog>` *owns* its log — the shape a
+/// [`ParallelFleet`](bqs_core::fleet::ParallelFleet) worker shard needs,
+/// since each shard's sink moves onto its worker thread together with
+/// that shard's private `shard-<k>/` log.
+///
+/// # Examples
+///
+/// A fleet whose sessions are spilled on close and read back from disk:
+///
+/// ```
+/// use bqs_core::fleet::FleetEngine;
+/// use bqs_core::{BqsConfig, FastBqsCompressor};
+/// use bqs_geo::TimedPoint;
+/// use bqs_tlog::{LogConfig, SpillSink, TrajectoryLog};
+///
+/// let dir = std::env::temp_dir().join(format!("spill-doc-{}", std::process::id()));
+/// # let _ = std::fs::remove_dir_all(&dir);
+/// let (mut log, _) = TrajectoryLog::open(&dir, LogConfig::default()).unwrap();
+/// {
+///     let mut sink = SpillSink::new(&mut log);
+///     let config = BqsConfig::new(10.0).unwrap();
+///     let mut fleet = FleetEngine::with_default_config(move || {
+///         FastBqsCompressor::new(config)
+///     });
+///     for i in 0..100 {
+///         let p = TimedPoint::new(i as f64 * 9.0, 0.0, i as f64 * 60.0);
+///         fleet.push_tagged(7, p, &mut sink);
+///     }
+///     fleet.finish_all(&mut sink); // fires session_closed → durable append
+///     let reports = sink.finish().unwrap();
+///     assert_eq!(reports.len(), 1);
+/// }
+/// assert!(!log.read_track(7).unwrap().is_empty());
+/// # std::fs::remove_dir_all(&dir).unwrap();
+/// ```
+pub struct SpillSink<L: BorrowMut<TrajectoryLog>> {
+    log: L,
     buffers: HashMap<TrackId, Vec<TimedPoint>>,
     reports: Vec<SpillReport>,
     error: Option<TlogError>,
 }
 
-impl<'a> SpillSink<'a> {
-    /// A sink spilling closed sessions into `log`.
-    pub fn new(log: &'a mut TrajectoryLog) -> SpillSink<'a> {
+impl<L: BorrowMut<TrajectoryLog>> SpillSink<L> {
+    /// A sink spilling closed sessions into `log` (borrowed or owned).
+    pub fn new(log: L) -> SpillSink<L> {
         SpillSink {
             log,
             buffers: HashMap::new(),
             reports: Vec::new(),
             error: None,
         }
+    }
+
+    /// The log this sink spills into.
+    pub fn log(&mut self) -> &mut TrajectoryLog {
+        self.log.borrow_mut()
     }
 
     /// Tracks with buffered (not yet spilled) output.
@@ -120,7 +164,7 @@ impl<'a> SpillSink<'a> {
         if points.is_empty() {
             return;
         }
-        match self.log.append(track, &points) {
+        match self.log.borrow_mut().append(track, &points) {
             Ok(receipt) => self.reports.push(SpillReport {
                 track,
                 points: receipt.points,
@@ -158,7 +202,7 @@ impl<'a> SpillSink<'a> {
     }
 }
 
-impl FleetSink for SpillSink<'_> {
+impl<L: BorrowMut<TrajectoryLog>> FleetSink for SpillSink<L> {
     fn accept(&mut self, track: TrackId, point: TimedPoint) {
         self.buffers.entry(track).or_default().push(point);
     }

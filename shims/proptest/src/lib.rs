@@ -236,7 +236,7 @@ pub mod collection {
         VecStrategy { element, sizes }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
