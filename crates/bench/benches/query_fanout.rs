@@ -1,0 +1,112 @@
+//! Unified query-engine fan-out: time-range and track-selective queries
+//! over spill trees of 1/2/4/8 shards, on a warm engine (shard logs
+//! opened and indexed). The axis is shard parallelism vs. merge cost on
+//! the full scan, and manifest pruning on the selective query — the
+//! numbers a smarter planner (bloom filters, per-segment zone maps) has
+//! to beat.
+
+use bqs_core::fleet::worker_of;
+use bqs_core::stream::compress_all;
+use bqs_core::{BqsConfig, FastBqsCompressor};
+use bqs_geo::TimedPoint;
+use bqs_sim::{RandomWalkConfig, RandomWalkModel};
+use bqs_tlog::{open_shard_logs, LogConfig, Manifest, QueryEngine, TimeRange};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+const TRACKS: usize = 64;
+const POINTS: usize = 500;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn trace(track: u64) -> Vec<TimedPoint> {
+    let cfg = RandomWalkConfig {
+        samples: POINTS,
+        ..RandomWalkConfig::default()
+    };
+    RandomWalkModel::new(cfg)
+        .generate(track.wrapping_add(11))
+        .points
+}
+
+fn build_tree(root: &PathBuf, shards: usize) {
+    let _ = std::fs::remove_dir_all(root);
+    let config = BqsConfig::new(10.0).expect("tolerance");
+    let mut logs = open_shard_logs(root, shards, LogConfig::default()).expect("open tree");
+    for t in 0..TRACKS as u64 {
+        let kept = compress_all(&mut FastBqsCompressor::new(config), trace(t));
+        logs[worker_of(t, shards)]
+            .0
+            .append(t, &kept)
+            .expect("append");
+    }
+    drop(logs);
+    Manifest::rebuild(root).expect("manifest");
+}
+
+fn bench(c: &mut Criterion) {
+    let base = std::env::temp_dir().join(format!("bqs-query-fanout-{}", std::process::id()));
+
+    let mut group = c.benchmark_group("query_fanout");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements((TRACKS * POINTS) as u64));
+
+    for shards in SHARD_COUNTS {
+        let root = base.join(format!("tree-{shards}"));
+        build_tree(&root, shards);
+        let mut engine = QueryEngine::open(&root).expect("open");
+        // Warm the shard caches so the measurement is query + merge,
+        // not first-open index rebuilds.
+        engine
+            .query_time_range(None, TimeRange::all())
+            .expect("warmup");
+
+        group.bench_with_input(BenchmarkId::new("full_scan", shards), &shards, |b, _| {
+            b.iter(|| {
+                let out = engine
+                    .query_time_range(None, TimeRange::all())
+                    .expect("query");
+                black_box(out.total_points())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("time_window", shards), &shards, |b, _| {
+            b.iter(|| {
+                let out = engine
+                    .query_time_range(None, TimeRange::new(2_000.0, 2_500.0))
+                    .expect("query");
+                black_box(out.total_points())
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("one_track_pruned", shards),
+            &shards,
+            |b, _| {
+                b.iter(|| {
+                    let out = engine
+                        .query_time_range(Some(7), TimeRange::all())
+                        .expect("query");
+                    black_box((out.total_points(), out.shards_pruned))
+                })
+            },
+        );
+        // Cold path: manifest load + lazy open + query, per iteration.
+        group.bench_with_input(
+            BenchmarkId::new("cold_open_one_track", shards),
+            &shards,
+            |b, _| {
+                b.iter(|| {
+                    let mut engine = QueryEngine::open(&root).expect("open");
+                    let out = engine
+                        .query_time_range(Some(7), TimeRange::all())
+                        .expect("query");
+                    black_box(out.total_points())
+                })
+            },
+        );
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

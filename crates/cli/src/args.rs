@@ -43,7 +43,7 @@ pub enum Command {
         /// Paper-size data when true.
         full: bool,
     },
-    /// `bqs fleet [--sessions N] [--points N] [--tolerance M] [--algorithm bqs|fbqs] [--shards N] [--workers N] [--seed N] [--spill DIR]`
+    /// `bqs fleet [--sessions N] [--points N] [--tolerance M] [--algorithm bqs|fbqs] [--shards N] [--workers N] [--seed N] [--spill DIR] [--query-after FROM,TO|all]`
     Fleet {
         /// Concurrent simulated trackers.
         sessions: usize,
@@ -64,6 +64,25 @@ pub enum Command {
         seed: u64,
         /// Spill session output into a trajectory log at this directory.
         spill: Option<String>,
+        /// After the run, answer a time-range query over the spilled
+        /// data through the unified query engine (`[from, to]`;
+        /// `--query-after all` covers everything). Needs `--spill`.
+        query_after: Option<[f64; 2]>,
+    },
+    /// `bqs query <dir> [--track N] [--from T] [--to T] [--bbox X0,Y0,X1,Y1] [--out FILE]`
+    Query {
+        /// A flat log directory or a `shard-<k>/` spill-tree root.
+        dir: String,
+        /// Restrict to one track.
+        track: Option<u64>,
+        /// Inclusive lower time bound.
+        from: Option<f64>,
+        /// Inclusive upper time bound.
+        to: Option<f64>,
+        /// Spatial filter `x0,y0,x1,y1` (any two opposite corners).
+        bbox: Option<[f64; 4]>,
+        /// Output path (stdout when `None`).
+        out: Option<String>,
     },
     /// `bqs log append <dir> <trace.csv> --track N [--algorithm none|bqs|fbqs] [--tolerance M]`
     LogAppend {
@@ -123,9 +142,12 @@ USAGE:
                [--tolerance M] [--buffer N] [--out FILE]
   bqs verify <original.csv> <compressed.csv> --tolerance M
   bqs experiments [fig3|fig6|fig7|fig8a|fig8b|table1|table2|table3|ablation|fleet|
-                   storage|all] [--full]
+                   storage|query|all] [--full]
   bqs fleet [--sessions N] [--points N] [--tolerance M] [--algorithm bqs|fbqs]
             [--shards N] [--workers N] [--seed N] [--spill DIR]
+            [--query-after FROM,TO|all]
+  bqs query <dir> [--track N] [--from T] [--to T] [--bbox X0,Y0,X1,Y1]
+            [--out FILE]
   bqs log append <dir> <trace.csv> --track N [--algorithm none|bqs|fbqs]
                  [--tolerance M]
   bqs log query <dir> [--track N] [--from T] [--to T] [--bbox X0,Y0,X1,Y1]
@@ -143,6 +165,19 @@ fn parse_f64(flag: &str, it: &mut std::slice::Iter<'_, String>) -> Result<f64, S
     take_value(flag, it)?
         .parse()
         .map_err(|e| format!("bad {flag}: {e}"))
+}
+
+fn parse_bbox(it: &mut std::slice::Iter<'_, String>) -> Result<[f64; 4], String> {
+    let raw = take_value("--bbox", it)?;
+    let parts: Vec<f64> = raw
+        .split(',')
+        .map(|s| s.trim().parse::<f64>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("bad --bbox: {e}"))?;
+    let [x0, y0, x1, y1] = parts[..] else {
+        return Err("--bbox needs exactly x0,y0,x1,y1".to_string());
+    };
+    Ok([x0, y0, x1, y1])
 }
 
 /// Parses the `bqs log <append|query|compact|verify>` family.
@@ -209,18 +244,7 @@ fn parse_log(it: &mut std::slice::Iter<'_, String>) -> Result<Command, String> {
                     "--to" => to = Some(parse_f64("--to", it)?),
                     "--at" => at = Some(parse_f64("--at", it)?),
                     "--out" => out = Some(take_value("--out", it)?.clone()),
-                    "--bbox" => {
-                        let raw = take_value("--bbox", it)?;
-                        let parts: Vec<f64> = raw
-                            .split(',')
-                            .map(|s| s.trim().parse::<f64>())
-                            .collect::<Result<_, _>>()
-                            .map_err(|e| format!("bad --bbox: {e}"))?;
-                        let [x0, y0, x1, y1] = parts[..] else {
-                            return Err("--bbox needs exactly x0,y0,x1,y1".to_string());
-                        };
-                        bbox = Some([x0, y0, x1, y1]);
-                    }
+                    "--bbox" => bbox = Some(parse_bbox(it)?),
                     other if !other.starts_with('-') && dir.is_none() => {
                         dir = Some(other.to_string());
                     }
@@ -418,6 +442,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut workers = 1usize;
             let mut seed = 1u64;
             let mut spill = None;
+            let mut query_after = None;
             while let Some(arg) = it.next() {
                 match arg.as_str() {
                     "--seed" => {
@@ -426,6 +451,22 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                             .map_err(|e| format!("bad --seed: {e}"))?;
                     }
                     "--spill" => spill = Some(take_value("--spill", &mut it)?.clone()),
+                    "--query-after" => {
+                        let raw = take_value("--query-after", &mut it)?;
+                        query_after = Some(if raw == "all" {
+                            [f64::NEG_INFINITY, f64::INFINITY]
+                        } else {
+                            let parts: Vec<f64> = raw
+                                .split(',')
+                                .map(|s| s.trim().parse::<f64>())
+                                .collect::<Result<_, _>>()
+                                .map_err(|e| format!("bad --query-after: {e}"))?;
+                            let [from, to] = parts[..] else {
+                                return Err("--query-after needs FROM,TO or \"all\"".to_string());
+                            };
+                            [from, to]
+                        });
+                    }
                     "--sessions" => {
                         sessions = take_value("--sessions", &mut it)?
                             .parse()
@@ -457,17 +498,26 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     other => return Err(format!("unexpected argument: {other}")),
                 }
             }
-            if sessions == 0 || points == 0 {
-                return Err("fleet needs --sessions ≥ 1 and --points ≥ 1".to_string());
-            }
-            if workers == 0 {
-                return Err("fleet needs --workers ≥ 1".to_string());
+            // Every counted quantity is validated the same way: a zero
+            // produces an empty or nonsense run, never a report.
+            for (flag, value) in [
+                ("--sessions", sessions),
+                ("--points", points),
+                ("--shards", shards),
+                ("--workers", workers),
+            ] {
+                if value == 0 {
+                    return Err(format!("fleet needs {flag} ≥ 1, got 0"));
+                }
             }
             if !(tolerance.is_finite() && tolerance > 0.0) {
                 return Err(format!("tolerance must be > 0, got {tolerance}"));
             }
             if !["bqs", "fbqs"].contains(&algorithm.as_str()) {
                 return Err(format!("fleet supports bqs|fbqs, got {algorithm}"));
+            }
+            if query_after.is_some() && spill.is_none() {
+                return Err("--query-after needs --spill (it queries the spilled log)".to_string());
             }
             Ok(Command::Fleet {
                 sessions,
@@ -478,6 +528,42 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 workers,
                 seed,
                 spill,
+                query_after,
+            })
+        }
+        "query" => {
+            let mut dir: Option<String> = None;
+            let mut track: Option<u64> = None;
+            let mut from: Option<f64> = None;
+            let mut to: Option<f64> = None;
+            let mut bbox: Option<[f64; 4]> = None;
+            let mut out: Option<String> = None;
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--track" => {
+                        track = Some(
+                            take_value("--track", &mut it)?
+                                .parse()
+                                .map_err(|e| format!("bad --track: {e}"))?,
+                        );
+                    }
+                    "--from" => from = Some(parse_f64("--from", &mut it)?),
+                    "--to" => to = Some(parse_f64("--to", &mut it)?),
+                    "--bbox" => bbox = Some(parse_bbox(&mut it)?),
+                    "--out" => out = Some(take_value("--out", &mut it)?.clone()),
+                    other if !other.starts_with('-') && dir.is_none() => {
+                        dir = Some(other.to_string());
+                    }
+                    other => return Err(format!("unexpected argument: {other}")),
+                }
+            }
+            Ok(Command::Query {
+                dir: dir.ok_or("query needs <dir>")?,
+                track,
+                from,
+                to,
+                bbox,
+                out,
             })
         }
         "log" => parse_log(&mut it),
@@ -599,13 +685,14 @@ mod tests {
                 shards: 16,
                 workers: 1,
                 seed: 1,
-                spill: None
+                spill: None,
+                query_after: None
             }
         );
         assert_eq!(
             parse(&args(
                 "fleet --sessions 8 --points 50 --tolerance 5 --algorithm bqs --shards 4 \
-                 --workers 4 --seed 99 --spill /tmp/l"
+                 --workers 4 --seed 99 --spill /tmp/l --query-after 10,600"
             ))
             .unwrap(),
             Command::Fleet {
@@ -616,20 +703,72 @@ mod tests {
                 shards: 4,
                 workers: 4,
                 seed: 99,
-                spill: Some("/tmp/l".into())
+                spill: Some("/tmp/l".into()),
+                query_after: Some([10.0, 600.0])
             }
         );
+        assert!(matches!(
+            parse(&args("fleet --spill /tmp/l --query-after all")).unwrap(),
+            Command::Fleet {
+                query_after: Some([f, t]),
+                ..
+            } if f == f64::NEG_INFINITY && t == f64::INFINITY
+        ));
     }
 
     #[test]
     fn fleet_rejects_bad_input() {
-        assert!(parse(&args("fleet --sessions 0")).is_err());
         assert!(parse(&args("fleet --tolerance -2")).is_err());
+        assert!(parse(&args("fleet --tolerance inf")).is_err());
         assert!(parse(&args("fleet --algorithm dp")).is_err());
         assert!(parse(&args("fleet --frobnicate")).is_err());
         assert!(parse(&args("fleet --seed banana")).is_err());
-        assert!(parse(&args("fleet --workers 0")).is_err());
         assert!(parse(&args("fleet --workers two")).is_err());
+        // --query-after without a spill target is meaningless.
+        assert!(parse(&args("fleet --query-after all")).is_err());
+        assert!(parse(&args("fleet --spill /tmp/l --query-after 1,2,3")).is_err());
+    }
+
+    #[test]
+    fn every_zero_count_is_rejected_with_a_uniform_message() {
+        // A zero for any counted quantity would mean an empty or
+        // nonsense run; all four flags fail the same way.
+        for flag in ["--sessions", "--points", "--shards", "--workers"] {
+            let err = parse(&args(&format!("fleet {flag} 0"))).unwrap_err();
+            assert_eq!(err, format!("fleet needs {flag} ≥ 1, got 0"));
+        }
+    }
+
+    #[test]
+    fn query_parses_filters_and_requires_dir() {
+        assert_eq!(
+            parse(&args(
+                "query /tmp/tree --track 3 --from 10 --to 99.5 --bbox 0,0,50,50 --out q.csv"
+            ))
+            .unwrap(),
+            Command::Query {
+                dir: "/tmp/tree".into(),
+                track: Some(3),
+                from: Some(10.0),
+                to: Some(99.5),
+                bbox: Some([0.0, 0.0, 50.0, 50.0]),
+                out: Some("q.csv".into())
+            }
+        );
+        assert_eq!(
+            parse(&args("query /tmp/tree")).unwrap(),
+            Command::Query {
+                dir: "/tmp/tree".into(),
+                track: None,
+                from: None,
+                to: None,
+                bbox: None,
+                out: None
+            }
+        );
+        assert!(parse(&args("query")).is_err());
+        assert!(parse(&args("query /tmp/tree --bbox 1,2,3")).is_err());
+        assert!(parse(&args("query /tmp/tree --frobnicate")).is_err());
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub fn run(command: &Command) -> Result<String, String> {
             workers,
             seed,
             spill,
+            query_after,
         } => fleet(FleetRun {
             sessions: *sessions,
             points: *points,
@@ -57,7 +58,16 @@ pub fn run(command: &Command) -> Result<String, String> {
             workers: *workers,
             seed: *seed,
             spill: spill.as_deref(),
+            query_after: *query_after,
         }),
+        Command::Query {
+            dir,
+            track,
+            from,
+            to,
+            bbox,
+            out,
+        } => unified_query(dir, *track, *from, *to, *bbox, out.as_deref()),
         Command::LogAppend {
             dir,
             input,
@@ -229,7 +239,7 @@ fn drive_parallel<C, F>(
     mut logs: Vec<Option<bqs_tlog::TrajectoryLog>>,
 ) -> (FleetJoin<FleetShardSink>, f64)
 where
-    C: StreamCompressor + HasDecisionStats + Send + 'static,
+    C: StreamCompressor + HasDecisionStats + Clone + Send + 'static,
     F: Fn() -> C + Clone + Send + 'static,
 {
     let mut fleet = ParallelFleet::new(config, factory, |shard| FleetShardSink {
@@ -257,6 +267,7 @@ struct FleetRun<'a> {
     workers: usize,
     seed: u64,
     spill: Option<&'a str>,
+    query_after: Option<[f64; 2]>,
 }
 
 /// Drives a simulated fleet of `sessions` trackers through the parallel
@@ -284,6 +295,7 @@ fn fleet(run: FleetRun<'_>) -> Result<String, String> {
         workers,
         seed,
         spill,
+        query_after,
     } = run;
     let workers = workers.max(1);
     let config = BqsConfig::new(tolerance).map_err(|e| e.to_string())?;
@@ -299,10 +311,17 @@ fn fleet(run: FleetRun<'_>) -> Result<String, String> {
         })
         .collect();
 
-    // Fleet runs reuse track ids 0..sessions with simulated timestamps
-    // starting at 0; spilling over an earlier run's data would fail the
-    // log's time-order check with a cryptic error, so refuse up front.
     if let Some(dir) = spill {
+        // An incompatible pre-existing layout (a flat log where this
+        // run would write a shard tree, a tree built with a different
+        // --workers, …) gets a specific diagnosis: writing anyway would
+        // produce exactly the mixed/gapped trees `verify_sharded`
+        // rejects.
+        bqs_tlog::check_spill_root(dir, workers).map_err(|e| e.to_string())?;
+        // Beyond layout, fleet runs reuse track ids 0..sessions with
+        // simulated timestamps starting at 0; spilling over an earlier
+        // run's data would fail the log's time-order check with a
+        // cryptic error, so refuse any non-empty directory up front.
         let path = std::path::Path::new(dir);
         if path.exists()
             && path
@@ -412,7 +431,7 @@ fn fleet(run: FleetRun<'_>) -> Result<String, String> {
             spill_bytes += reports.iter().map(|r| r.bytes).sum::<u64>();
         }
     }
-    let spill_line = match spill {
+    let mut spill_line = match spill {
         Some(dir) => format!(
             "spilled {spill_sessions} sessions, {spill_points} points, {spill_bytes} B \
              ({:.2} B/point) to {dir}\n",
@@ -420,6 +439,38 @@ fn fleet(run: FleetRun<'_>) -> Result<String, String> {
         ),
         None => String::new(),
     };
+    if let Some(dir) = spill.filter(|_| workers > 1) {
+        // Cache the tree's pruning inputs so readers never open shards
+        // a query cannot touch; `bqs log verify` cross-checks it.
+        let manifest = bqs_tlog::Manifest::rebuild(dir).map_err(|e| e.to_string())?;
+        spill_line.push_str(&format!(
+            "wrote MANIFEST ({} shards, {} tracks)\n",
+            manifest.shards.len(),
+            manifest
+                .shards
+                .iter()
+                .map(|s| s.tracks.len())
+                .sum::<usize>(),
+        ));
+    }
+    if let (Some(dir), Some([from, to])) = (spill, query_after) {
+        // Prove the run is queryable end to end: same unified engine,
+        // same answer shape, flat log or tree alike.
+        let mut engine = bqs_tlog::QueryEngine::open(dir).map_err(|e| e.to_string())?;
+        let result = engine
+            .query_time_range(None, bqs_tlog::TimeRange::new(from, to))
+            .map_err(|e| e.to_string())?;
+        spill_line.push_str(&format!(
+            "query [{from}, {to}]: {} tracks, {} points \
+             (decoded {} of {} records, {} of {} shards pruned)\n",
+            result.slices.len(),
+            result.total_points(),
+            result.stats.decoded_records,
+            result.stats.candidate_records,
+            result.shards_pruned,
+            engine.shard_count(),
+        ));
+    }
 
     // Equivalence spot-check: the session with the most output (smallest
     // track id on ties — deterministic) must be byte-identical to
@@ -491,10 +542,87 @@ fn reject_sharded_root(dir: &str) -> Result<(), String> {
         return Err(format!(
             "{dir} is a sharded spill tree (shard-<k>/ directories); \
              run this command on one shard, e.g. {dir}/shard-0 \
-             (`log verify` accepts the tree root)"
+             (`bqs query` and `bqs log verify` accept the tree root)"
         ));
     }
     Ok(())
+}
+
+/// `bqs query`: the unified read path — one query over a flat log or a
+/// whole `shard-<k>/` spill tree, fanned out across shards in parallel
+/// and pruned via the tree's `MANIFEST`. CSV output plus a per-shard
+/// work breakdown.
+fn unified_query(
+    dir: &str,
+    track: Option<u64>,
+    from: Option<f64>,
+    to: Option<f64>,
+    bbox: Option<[f64; 4]>,
+    out: Option<&str>,
+) -> Result<String, String> {
+    use bqs_tlog::{QueryEngine, TimeRange};
+
+    let mut engine = QueryEngine::open(dir).map_err(|e| e.to_string())?;
+    let range = TimeRange::new(
+        from.unwrap_or(f64::NEG_INFINITY),
+        to.unwrap_or(f64::INFINITY),
+    );
+    let result = match bbox {
+        Some([x0, y0, x1, y1]) => {
+            let area = bqs_geo::Rect::from_corners(
+                bqs_geo::Point2::new(x0, y0),
+                bqs_geo::Point2::new(x1, y1),
+            );
+            engine
+                .query_bbox(track, area, Some(range))
+                .map_err(|e| e.to_string())?
+        }
+        None => engine
+            .query_time_range(track, range)
+            .map_err(|e| e.to_string())?,
+    };
+
+    let mut csv = String::from("track,x,y,t\n");
+    for slice in &result.slices {
+        for p in &slice.points {
+            csv.push_str(&format!(
+                "{},{},{},{}\n",
+                slice.track, p.pos.x, p.pos.y, p.t
+            ));
+        }
+    }
+    let mut summary = format!(
+        "{} tracks, {} points over {} shard(s) \
+         (decoded {} of {} records, {} shard(s) pruned via MANIFEST)\n",
+        result.slices.len(),
+        result.total_points(),
+        engine.shard_count(),
+        result.stats.decoded_records,
+        result.stats.candidate_records,
+        result.shards_pruned,
+    );
+    if engine.shard_count() > 1 {
+        for shard in &result.shards {
+            let label = shard.shard.map_or("flat".to_string(), |k| k.to_string());
+            if shard.skipped {
+                summary.push_str(&format!("  shard {label:>2}: pruned, never opened\n"));
+            } else {
+                summary.push_str(&format!(
+                    "  shard {label:>2}: decoded {} of {} records, kept {} points\n",
+                    shard.stats.decoded_records,
+                    shard.stats.candidate_records,
+                    shard.stats.kept_points,
+                ));
+            }
+        }
+    }
+    match out {
+        Some(path) => {
+            std::fs::write(path, csv).map_err(|e| format!("cannot write {path}: {e}"))?;
+            Ok(summary)
+        }
+        None => Ok(format!("{csv}{summary}")),
+    }
 }
 
 /// `bqs log append`: optionally compress a trace, then append it to the
@@ -669,9 +797,13 @@ fn log_verify(dir: &str) -> Result<String, String> {
         let report = bqs_tlog::verify_sharded(dir).map_err(|e| format!("FAIL: {e}"))?;
         let total = &report.total;
         let mut out = format!(
-            "OK: {} shards, {} segments, {} records (+{} tombstones), {} points, \
+            "OK: {} shards{}, {} segments, {} records (+{} tombstones), {} points, \
              {} B ({:.2} B/point on disk, naive {} B/point)\n",
             report.shards.len(),
+            match report.manifest {
+                bqs_tlog::ManifestStatus::Verified => " (MANIFEST verified)",
+                bqs_tlog::ManifestStatus::Absent => "",
+            },
             total.segments,
             total.records,
             total.tombstones,
@@ -750,6 +882,9 @@ fn run_experiments(names: &[String], full: bool) -> Result<String, String> {
     }
     if wanted("storage") {
         out.push_str(&experiments::storage::run(scale).to_table().to_string());
+    }
+    if wanted("query") {
+        out.push_str(&experiments::query::run(scale).to_table().to_string());
     }
     if wanted("extended") {
         out.push_str(&experiments::extended::run(scale).to_table().to_string());
@@ -896,6 +1031,7 @@ mod tests {
             workers: 1,
             seed: 1,
             spill: None,
+            query_after: None,
         })
         .unwrap();
         assert!(text.contains("6 sessions"), "{text}");
@@ -909,6 +1045,7 @@ mod tests {
             workers: 2,
             seed: 1,
             spill: None,
+            query_after: None,
         })
         .unwrap();
         assert!(text.contains("3 sessions"), "{text}");
@@ -926,6 +1063,7 @@ mod tests {
             workers: 1,
             seed,
             spill: None,
+            query_after: None,
         };
         // Same seed → identical point counts in the summary; a different
         // seed changes the generated traces (strip the Mpts/s timing).
@@ -956,6 +1094,7 @@ mod tests {
             workers: 1,
             seed: 3,
             spill: Some(dir.clone()),
+            query_after: None,
         })
         .unwrap();
         assert!(text.contains("spilled 5 sessions"), "{text}");
@@ -986,6 +1125,7 @@ mod tests {
             workers: 1,
             seed: 3,
             spill: Some(dir),
+            query_after: None,
         })
         .unwrap_err();
         assert!(err.contains("fresh directory"), "{err}");
@@ -1003,6 +1143,7 @@ mod tests {
                 workers,
                 seed: 5,
                 spill: None,
+                query_after: None,
             })
             .unwrap()
         };
@@ -1040,6 +1181,7 @@ mod tests {
             workers: 3,
             seed: 9,
             spill: None,
+            query_after: None,
         };
         let strip = |s: String| {
             s.lines()
@@ -1081,6 +1223,7 @@ mod tests {
             workers: 4,
             seed: 3,
             spill: Some(dir.clone()),
+            query_after: None,
         })
         .unwrap();
         assert!(text.contains("spilled 10 sessions"), "{text}");
@@ -1107,6 +1250,7 @@ mod tests {
             workers: 2,
             seed: 3,
             spill: Some(dir.clone()),
+            query_after: None,
         })
         .unwrap_err();
         assert!(err.contains("fresh directory"), "{err}");
@@ -1164,6 +1308,119 @@ mod tests {
         })
         .unwrap();
         assert!(listing.contains("tracks"), "{listing}");
+    }
+
+    #[test]
+    fn unified_query_answers_identically_over_flat_logs_and_shard_trees() {
+        let flat = tmp("uq-flat");
+        let tree = tmp("uq-tree");
+        let _ = std::fs::remove_dir_all(&flat);
+        let _ = std::fs::remove_dir_all(&tree);
+        let fleet_to = |dir: &str, workers: usize| Command::Fleet {
+            sessions: 10,
+            points: 150,
+            tolerance: 10.0,
+            algorithm: "fbqs".into(),
+            shards: 4,
+            workers,
+            seed: 21,
+            spill: Some(dir.to_string()),
+            query_after: None,
+        };
+        run(&fleet_to(&flat, 1)).unwrap();
+        let text = run(&fleet_to(&tree, 4)).unwrap();
+        assert!(text.contains("wrote MANIFEST"), "{text}");
+
+        let query = |dir: &str| Command::Query {
+            dir: dir.to_string(),
+            track: None,
+            from: Some(0.0),
+            to: Some(600.0),
+            bbox: None,
+            out: None,
+        };
+        // Identical data lines; only the shard breakdown differs.
+        let data = |text: String| {
+            text.lines()
+                .filter(|l| !l.contains("shard") && !l.contains("pruned"))
+                .map(str::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let from_flat = run(&query(&flat)).unwrap();
+        let from_tree = run(&query(&tree)).unwrap();
+        assert!(from_tree.contains("4 shard(s)"), "{from_tree}");
+        assert_eq!(data(from_flat), data(from_tree));
+
+        // A track-selective query prunes shards via the MANIFEST.
+        let one = run(&Command::Query {
+            dir: tree.clone(),
+            track: Some(3),
+            from: None,
+            to: None,
+            bbox: None,
+            out: None,
+        })
+        .unwrap();
+        assert!(one.contains("3 shard(s) pruned"), "{one}");
+        assert!(one.contains("pruned, never opened"), "{one}");
+
+        // And the tree verifies with its manifest cross-checked.
+        let verdict = run(&Command::LogVerify { dir: tree }).unwrap();
+        assert!(verdict.contains("MANIFEST verified"), "{verdict}");
+    }
+
+    #[test]
+    fn query_after_reports_through_the_unified_engine() {
+        let dir = tmp("uq-after");
+        let _ = std::fs::remove_dir_all(&dir);
+        let text = run(&Command::Fleet {
+            sessions: 6,
+            points: 100,
+            tolerance: 10.0,
+            algorithm: "fbqs".into(),
+            shards: 4,
+            workers: 2,
+            seed: 5,
+            spill: Some(dir),
+            query_after: Some([0.0, 300.0]),
+        })
+        .unwrap();
+        assert!(text.contains("query [0, 300]"), "{text}");
+        assert!(text.contains("6 tracks"), "{text}");
+    }
+
+    #[test]
+    fn incompatible_spill_layouts_are_diagnosed_specifically() {
+        // A flat log refuses a multi-worker tree with a layout-specific
+        // error, not the generic non-empty message.
+        let dir = tmp("layout-guard");
+        let _ = std::fs::remove_dir_all(&dir);
+        let fleet = |workers: usize, spill: String| Command::Fleet {
+            sessions: 4,
+            points: 80,
+            tolerance: 10.0,
+            algorithm: "fbqs".into(),
+            shards: 4,
+            workers,
+            seed: 2,
+            spill: Some(spill),
+            query_after: None,
+        };
+        run(&fleet(1, dir.clone())).unwrap();
+        let err = run(&fleet(4, dir.clone())).unwrap_err();
+        assert!(err.contains("flat trajectory log"), "{err}");
+        assert!(err.contains("fresh directory"), "{err}");
+
+        // And a tree refuses both a flat run and a different worker
+        // count, naming what it found.
+        let tree = tmp("layout-guard-tree");
+        let _ = std::fs::remove_dir_all(&tree);
+        run(&fleet(4, tree.clone())).unwrap();
+        let err = run(&fleet(1, tree.clone())).unwrap_err();
+        assert!(err.contains("sharded spill tree"), "{err}");
+        let err = run(&fleet(2, tree)).unwrap_err();
+        assert!(err.contains("different --workers"), "{err}");
     }
 
     #[test]

@@ -85,6 +85,16 @@ pub trait FleetSink {
     /// the hook a durable spill layer (e.g. `bqs-tlog`'s `SpillSink`)
     /// flushes on. The default does nothing.
     fn session_closed(&mut self, _report: &SessionReport) {}
+
+    /// A copy of the kept points the sink is still holding per track —
+    /// accepted, but not yet handed off to durable storage (or to
+    /// whatever the sink drains into on session close). This is the
+    /// *hot* half of a [`FleetSnapshot`]: what a live query must see
+    /// because no log holds it yet. Sinks that forward or merely count
+    /// points keep the default (nothing buffered).
+    fn live_buffered(&self) -> Vec<(TrackId, Vec<TimedPoint>)> {
+        Vec::new()
+    }
 }
 
 impl FleetSink for Vec<(TrackId, TimedPoint)> {
@@ -96,6 +106,10 @@ impl FleetSink for Vec<(TrackId, TimedPoint)> {
 impl FleetSink for HashMap<TrackId, Vec<TimedPoint>> {
     fn accept(&mut self, track: TrackId, point: TimedPoint) {
         self.entry(track).or_default().push(point);
+    }
+
+    fn live_buffered(&self) -> Vec<(TrackId, Vec<TimedPoint>)> {
+        self.iter().map(|(t, v)| (*t, v.clone())).collect()
     }
 }
 
@@ -154,6 +168,22 @@ impl FleetSink for TeeFleetSink<'_> {
     fn session_closed(&mut self, report: &SessionReport) {
         self.a.session_closed(report);
         self.b.session_closed(report);
+    }
+
+    fn live_buffered(&self) -> Vec<(TrackId, Vec<TimedPoint>)> {
+        // A tee duplicates everything, so either side alone already
+        // holds a track's complete buffer; prefer `a`, fall back to `b`
+        // for tracks `a` does not buffer (e.g. a counting side).
+        let mut out = self.a.live_buffered();
+        let seen: std::collections::HashSet<TrackId> =
+            out.iter().map(|(track, _)| *track).collect();
+        out.extend(
+            self.b
+                .live_buffered()
+                .into_iter()
+                .filter(|(track, _)| !seen.contains(track)),
+        );
+        out
     }
 }
 
@@ -224,6 +254,75 @@ pub struct SessionReport {
     pub stats: DecisionStats,
     /// Whether the session finished or was evicted.
     pub reason: FlushReason,
+}
+
+/// One track's live (not yet durable) output at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrackSnapshot {
+    /// The track.
+    pub track: TrackId,
+    /// Kept points already emitted by the compressor but still buffered
+    /// in the sink (reported by [`FleetSink::live_buffered`]); empty for
+    /// sinks that do not buffer.
+    pub emitted: Vec<TimedPoint>,
+    /// The tail the compressor *would* emit if the session closed right
+    /// now — obtained by finishing a clone, so the live session is
+    /// untouched. Empty for tracks that only appear in the sink buffer.
+    pub pending: Vec<TimedPoint>,
+    /// Whether the track has a live session in the engine (a buffered
+    /// track without one is awaiting a retried spill).
+    pub live: bool,
+}
+
+impl TrackSnapshot {
+    /// The track's complete would-be output: emitted-but-buffered points
+    /// followed by the pending tail — exactly what closing the session
+    /// now would make durable.
+    pub fn points(&self) -> Vec<TimedPoint> {
+        let mut out = Vec::with_capacity(self.emitted.len() + self.pending.len());
+        out.extend_from_slice(&self.emitted);
+        out.extend_from_slice(&self.pending);
+        out
+    }
+}
+
+/// A consistent, non-destructive view of everything a fleet knows that
+/// is not yet durable: per track, the sink-buffered kept points plus the
+/// live compressor's pending tail. Produced by
+/// [`FleetEngine::snapshot`] and [`ParallelFleet::snapshot`]; consumed
+/// by read paths (e.g. `bqs-tlog`'s `QueryEngine`) that merge it with
+/// on-disk data.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetSnapshot {
+    /// One entry per track with live output, ascending by track id.
+    pub tracks: Vec<TrackSnapshot>,
+}
+
+impl FleetSnapshot {
+    /// Tracks in the snapshot.
+    pub fn len(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// `true` when nothing is live.
+    pub fn is_empty(&self) -> bool {
+        self.tracks.is_empty()
+    }
+
+    /// The snapshot of one track, if it has live output.
+    pub fn track(&self, track: TrackId) -> Option<&TrackSnapshot> {
+        self.tracks
+            .binary_search_by_key(&track, |t| t.track)
+            .ok()
+            .map(|i| &self.tracks[i])
+    }
+
+    /// Folds several shard snapshots (disjoint track sets) into one.
+    pub fn merge(shards: impl IntoIterator<Item = FleetSnapshot>) -> FleetSnapshot {
+        let mut tracks: Vec<TrackSnapshot> = shards.into_iter().flat_map(|s| s.tracks).collect();
+        tracks.sort_by_key(|t| t.track);
+        FleetSnapshot { tracks }
+    }
 }
 
 #[derive(Debug)]
@@ -511,6 +610,47 @@ where
         }
     }
 
+    /// A consistent, non-destructive snapshot of every live session:
+    /// the kept points `sink` still buffers per track
+    /// ([`FleetSink::live_buffered`]) plus each live compressor's
+    /// pending tail, obtained by finishing a *clone* so the session
+    /// itself is untouched. The result is exactly what
+    /// [`FleetEngine::finish_all`] into `sink` would make durable if it
+    /// ran right now — the hot half a unified query layer merges with
+    /// on-disk data.
+    pub fn snapshot(&self, sink: &dyn FleetSink) -> FleetSnapshot
+    where
+        C: Clone,
+    {
+        let mut emitted: HashMap<TrackId, Vec<TimedPoint>> =
+            sink.live_buffered().into_iter().collect();
+        let mut tracks: Vec<TrackSnapshot> = Vec::new();
+        for shard in &self.shards {
+            for (&track, session) in &shard.sessions {
+                let mut pending: Vec<TimedPoint> = Vec::new();
+                session.compressor.clone().finish(&mut pending);
+                tracks.push(TrackSnapshot {
+                    track,
+                    emitted: emitted.remove(&track).unwrap_or_default(),
+                    pending,
+                    live: true,
+                });
+            }
+        }
+        // Buffers without a live session: output awaiting a retried
+        // hand-off (e.g. a spill whose append failed). Still hot data.
+        for (track, points) in emitted {
+            tracks.push(TrackSnapshot {
+                track,
+                emitted: points,
+                pending: Vec::new(),
+                live: false,
+            });
+        }
+        tracks.sort_by_key(|t| t.track);
+        FleetSnapshot { tracks }
+    }
+
     /// Ends every live session (tagged emission), notifying the sink per
     /// session; returns one [`SessionReport`] per finalised session.
     pub fn finish_all(&mut self, out: &mut dyn FleetSink) -> Vec<SessionReport> {
@@ -732,6 +872,58 @@ mod tests {
         assert!(!collected.is_empty());
         assert_eq!(collected.len(), counter.points);
         assert_eq!(counter.closes, vec![(3, FlushReason::Finished)]);
+    }
+
+    #[test]
+    fn snapshot_equals_what_finishing_now_would_emit_and_is_non_destructive() {
+        let traces: Vec<Vec<TimedPoint>> = (0..4).map(|t| wave(t, 120)).collect();
+        let mut fleet = engine(10.0);
+        let mut sink: HashMap<TrackId, Vec<TimedPoint>> = HashMap::new();
+        // Push a prefix, snapshot, then keep going: the snapshot must
+        // match solo compression of the prefix and must not perturb the
+        // final output.
+        for i in 0..70 {
+            for (t, trace) in traces.iter().enumerate() {
+                fleet.push_tagged(t as u64, trace[i], &mut sink);
+            }
+        }
+        let snap = fleet.snapshot(&sink);
+        assert_eq!(snap.len(), 4);
+        let config = BqsConfig::new(10.0).unwrap();
+        for (t, trace) in traces.iter().enumerate() {
+            let mut solo = FastBqsCompressor::new(config);
+            let expected = compress_all(&mut solo, trace[..70].iter().copied());
+            let track = snap.track(t as u64).unwrap();
+            assert!(track.live);
+            assert_eq!(track.points(), expected, "track {t}");
+            assert_eq!(track.emitted, sink[&(t as u64)], "track {t}");
+        }
+        assert!(snap.track(99).is_none());
+
+        for i in 70..120 {
+            for (t, trace) in traces.iter().enumerate() {
+                fleet.push_tagged(t as u64, trace[i], &mut sink);
+            }
+        }
+        fleet.finish_all(&mut sink);
+        for (t, trace) in traces.iter().enumerate() {
+            let mut solo = FastBqsCompressor::new(config);
+            let expected = compress_all(&mut solo, trace.iter().copied());
+            assert_eq!(sink[&(t as u64)], expected, "track {t} after snapshot");
+        }
+    }
+
+    #[test]
+    fn snapshot_through_a_non_buffering_sink_still_reports_pending_tails() {
+        let mut fleet = engine(10.0);
+        let mut counter = CountingFleetSink::default();
+        for p in wave(5, 40) {
+            fleet.push_tagged(5, p, &mut counter);
+        }
+        let snap = fleet.snapshot(&counter);
+        let track = snap.track(5).unwrap();
+        assert!(track.emitted.is_empty(), "counting sink buffers nothing");
+        assert!(!track.pending.is_empty(), "the close tail is always live");
     }
 
     #[test]

@@ -62,7 +62,9 @@
 //! assert_eq!(join.session_reports().len(), 8);
 //! ```
 
-use super::{track_hash, FleetConfig, FleetEngine, FleetSink, SessionReport, TrackId};
+use super::{
+    track_hash, FleetConfig, FleetEngine, FleetSink, FleetSnapshot, SessionReport, TrackId,
+};
 use crate::stream::{DecisionStats, HasDecisionStats, StreamCompressor};
 use bqs_geo::TimedPoint;
 use std::collections::HashSet;
@@ -178,6 +180,9 @@ impl<S> FleetJoin<S> {
 enum Msg {
     Batch(Vec<(TrackId, TimedPoint)>),
     Evict(f64),
+    /// Snapshot request: the worker answers with a consistent view of
+    /// its engine + sink state after all previously queued work.
+    Snapshot(SyncSender<FleetSnapshot>),
 }
 
 struct WorkerOutput<S> {
@@ -223,7 +228,7 @@ fn worker_loop<C, CF, S>(
     mut sink: S,
 ) -> WorkerOutput<S>
 where
-    C: StreamCompressor + HasDecisionStats,
+    C: StreamCompressor + HasDecisionStats + Clone,
     CF: Fn() -> C,
     S: FleetSink,
 {
@@ -237,6 +242,9 @@ where
                 }
             }
             Msg::Evict(now) => reports.extend(engine.evict_idle(now, &mut sink)),
+            // The reply channel may be gone if the requester timed out;
+            // a failed send just drops this shard from the snapshot.
+            Msg::Snapshot(reply) => drop(reply.send(engine.snapshot(&sink))),
         }
     }
     // Channel closed: the submission side called join (or was dropped).
@@ -267,7 +275,7 @@ impl<S: FleetSink + Send + 'static> ParallelFleet<S> {
         mut sink_factory: SF,
     ) -> ParallelFleet<S>
     where
-        C: StreamCompressor + HasDecisionStats + Send + 'static,
+        C: StreamCompressor + HasDecisionStats + Clone + Send + 'static,
         CF: Fn() -> C + Clone + Send + 'static,
         SF: FnMut(usize) -> S,
     {
@@ -362,6 +370,33 @@ impl<S: FleetSink + Send + 'static> ParallelFleet<S> {
                 worker.dead = true;
             }
         }
+    }
+
+    /// A consistent, non-destructive snapshot of every worker shard's
+    /// live state: per track, the shard sink's buffered kept points
+    /// plus the live compressor's pending tail (see
+    /// [`FleetEngine::snapshot`]). All partially filled batches are
+    /// flushed first and the snapshot request is ordered behind them in
+    /// each worker's channel, so the view reflects *every point
+    /// submitted before this call*; requests fan out to all workers
+    /// before any reply is awaited. Tracks on a panicked shard are
+    /// absent (their loss is reported at [`ParallelFleet::join`]).
+    pub fn snapshot(&mut self) -> FleetSnapshot {
+        self.flush();
+        let mut replies = Vec::with_capacity(self.workers.len());
+        for worker in &mut self.workers {
+            if worker.dead {
+                continue;
+            }
+            let (tx, rx) = sync_channel(1);
+            let sender = worker.sender.as_ref().expect("sender lives until join");
+            if sender.send(Msg::Snapshot(tx)).is_err() {
+                worker.dead = true;
+                continue;
+            }
+            replies.push(rx);
+        }
+        FleetSnapshot::merge(replies.into_iter().filter_map(|rx| rx.recv().ok()))
     }
 
     /// Flushes every batch, closes the channels, drains every engine
@@ -569,6 +604,7 @@ mod tests {
 
     /// A compressor that panics on a poison coordinate — the fault model
     /// for shard-isolation tests.
+    #[derive(Clone)]
     struct Poisonable(FastBqsCompressor);
 
     impl StreamCompressor for Poisonable {
@@ -664,6 +700,41 @@ mod tests {
                 "worker {k} maps onto only {} of 16 engine shards",
                 seen.len()
             );
+        }
+    }
+
+    #[test]
+    fn snapshot_sees_every_submitted_point_and_leaves_the_run_unchanged() {
+        let traces: Vec<Vec<TimedPoint>> = (0..10).map(|t| wave(t, 100)).collect();
+        let mut fleet = parallel(4, 10.0);
+        for i in 0..60 {
+            for (t, trace) in traces.iter().enumerate() {
+                fleet.push(t as u64, trace[i]);
+            }
+        }
+        let snap = fleet.snapshot();
+        assert_eq!(snap.len(), 10);
+        let config = BqsConfig::new(10.0).unwrap();
+        for (t, trace) in traces.iter().enumerate() {
+            let mut solo = FastBqsCompressor::new(config);
+            let expected = compress_all(&mut solo, trace[..60].iter().copied());
+            assert_eq!(
+                snap.track(t as u64).unwrap().points(),
+                expected,
+                "track {t}"
+            );
+        }
+        // The rest of the run is unaffected by having been observed.
+        for i in 60..100 {
+            for (t, trace) in traces.iter().enumerate() {
+                fleet.push(t as u64, trace[i]);
+            }
+        }
+        let all = merged(fleet.join());
+        for (t, trace) in traces.iter().enumerate() {
+            let mut solo = FastBqsCompressor::new(config);
+            let expected = compress_all(&mut solo, trace.iter().copied());
+            assert_eq!(all[&(t as u64)], expected, "track {t}");
         }
     }
 

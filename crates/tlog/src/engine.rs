@@ -1,0 +1,681 @@
+//! The unified hot/cold query engine: one read path over everything the
+//! system knows about a fleet's trajectories, at any moment, for any
+//! worker count.
+//!
+//! A fleet's data lives in up to three places at once:
+//!
+//! 1. **cold, sharded** — records in the `shard-<k>/` spill tree (or a
+//!    flat log) that evicted/finished sessions already made durable;
+//! 2. **hot, emitted** — kept points of *open* sessions, buffered in the
+//!    spill sink until the session closes;
+//! 3. **hot, in-flight** — the tail a live compressor would emit if the
+//!    session closed now.
+//!
+//! [`QueryEngine`] answers time-range and bounding-box queries over all
+//! three. Cold shards are opened **read-only** (no locks — safe next to
+//! a live writer, see [`TrajectoryLog::open_read_only`]) and queried in
+//! parallel threads, one per shard; the hot side arrives as a
+//! [`FleetSnapshot`] taken from the live fleet
+//! ([`bqs_core::fleet::ParallelFleet::snapshot`]).
+//!
+//! **Pruning.** A tree's [`Manifest`] (per shard: live track set, time
+//! spans, bounding boxes) lets the engine skip — never even open —
+//! shards that cannot contain the query. Pruning is observable
+//! ([`UnifiedOutput::shards_pruned`], per-shard [`ShardQuery`]) and
+//! sound: a pruned and an unpruned run return identical slices, which
+//! `tests/query_unified.rs` enforces.
+//!
+//! **Merge rule.** Durable data wins on overlap: per track, hot points
+//! are admitted only *after* the track's durable time span
+//! (`t > durable t_max`), so a point that was both spilled and still
+//! sitting in a stale snapshot is counted once, from disk. Take the
+//! snapshot *before* constructing the engine (or before each query, on
+//! a long-lived engine) and anything spilled in between is simply seen
+//! cold instead of hot.
+//!
+//! **Liveness.** An engine may outlive many writer appends: every query
+//! starts by re-checking each shard's on-disk fingerprint (segment
+//! count + bytes) and drops stale cached logs and manifests, so a
+//! long-lived engine never prunes away — or double-counts against its
+//! snapshot — data spilled after it was opened.
+//!
+//! The consistency guarantee, proved end to end by the hot/cold
+//! equivalence property test: *snapshot + cold query ≡ the query you
+//! would get by closing every session, spilling, and querying the
+//! resulting tree* — for arbitrary interleavings and any worker count.
+
+use crate::error::TlogError;
+use crate::log::{LogConfig, TrajectoryLog};
+use crate::manifest::Manifest;
+use crate::query::{QueryOutput, QueryStats, TimeRange, TrackSlice};
+use crate::sharded::{is_sharded_tree, shard_dirs};
+use bqs_core::fleet::{FleetSnapshot, TrackId};
+use bqs_geo::{Rect, TimedPoint};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// What one cold shard contributed to a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardQuery {
+    /// The shard index; `None` for a flat (unsharded) log.
+    pub shard: Option<usize>,
+    /// `true` when the manifest proved the shard irrelevant and it was
+    /// never opened or scanned.
+    pub skipped: bool,
+    /// The shard's work counters (all zero when skipped).
+    pub stats: QueryStats,
+}
+
+/// A unified query's matches plus where the work (and the savings) went.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnifiedOutput {
+    /// Matching tracks (ascending id), hot and cold merged per track in
+    /// time order.
+    pub slices: Vec<TrackSlice>,
+    /// Cold-side work counters folded across queried shards.
+    pub stats: QueryStats,
+    /// Per-shard breakdown, ascending by shard.
+    pub shards: Vec<ShardQuery>,
+    /// Shards skipped via the manifest without being opened.
+    pub shards_pruned: usize,
+    /// Matching points contributed by the live snapshot.
+    pub hot_points: usize,
+    /// Tracks with at least one hot matching point.
+    pub hot_tracks: usize,
+}
+
+impl UnifiedOutput {
+    /// Total matching points across all tracks, hot and cold.
+    pub fn total_points(&self) -> usize {
+        self.slices.iter().map(|s| s.points.len()).sum()
+    }
+}
+
+/// One cold source: a shard (or flat) log, opened read-only on first
+/// use, cached while its on-disk fingerprint is unchanged.
+#[derive(Debug)]
+struct ShardSlot {
+    shard: Option<usize>,
+    dir: PathBuf,
+    log: Option<TrajectoryLog>,
+    /// Segment count + byte total the cached `log` (and, for trees, the
+    /// manifest entry) corresponds to; `None` until first observed.
+    fingerprint: Option<(usize, u64)>,
+}
+
+impl ShardSlot {
+    /// Opens the slot's log read-only if it is not open yet, then runs
+    /// the query against it.
+    fn query(
+        &mut self,
+        config: LogConfig,
+        track: Option<TrackId>,
+        range: TimeRange,
+        area: Option<Rect>,
+    ) -> Result<QueryOutput, TlogError> {
+        if self.log.is_none() {
+            let (log, _) = TrajectoryLog::open_read_only(&self.dir, config)?;
+            self.log = Some(log);
+        }
+        let log = self.log.as_ref().expect("just opened");
+        match area {
+            Some(area) => log.query_bbox(track, area, Some(range)),
+            None => log.query_time_range(track, range),
+        }
+    }
+}
+
+/// The unified hot/cold query engine. See the module docs for the
+/// design; construct with [`QueryEngine::open`] and attach a live view
+/// with [`QueryEngine::with_snapshot`].
+#[derive(Debug)]
+pub struct QueryEngine {
+    shards: Vec<ShardSlot>,
+    manifest: Option<Manifest>,
+    hot: Option<FleetSnapshot>,
+    config: LogConfig,
+    pruning: bool,
+}
+
+impl QueryEngine {
+    /// Opens the logs at `path`, auto-detecting the layout: a directory
+    /// with `shard-<k>/` subdirectories is treated as a spill tree
+    /// ([`QueryEngine::open_tree`]), anything else as one flat log
+    /// ([`QueryEngine::open_flat`]).
+    pub fn open(path: impl AsRef<Path>) -> Result<QueryEngine, TlogError> {
+        let path = path.as_ref();
+        if is_sharded_tree(path) {
+            QueryEngine::open_tree(path)
+        } else {
+            QueryEngine::open_flat(path)
+        }
+    }
+
+    /// An engine over a single flat log. The log is opened read-only
+    /// immediately (there is nothing to prune, so laziness buys
+    /// nothing) — the caller learns about a missing directory, or a
+    /// directory that holds no log at all, here rather than as an
+    /// eerily empty first query.
+    pub fn open_flat(dir: impl Into<PathBuf>) -> Result<QueryEngine, TlogError> {
+        let config = LogConfig::default();
+        let dir = dir.into();
+        let (log, _) = TrajectoryLog::open_read_only(&dir, config)?;
+        if log.footprint().segments == 0 {
+            // A real flat log always has at least one segment (the
+            // writer bootstraps one on creation); an existing directory
+            // without any is a wrong path, not an empty dataset.
+            return Err(TlogError::io(
+                format!(
+                    "{} holds no trajectory log (no seg-*.tlg files and no shard-<k> \
+                     directories)",
+                    dir.display()
+                ),
+                std::io::Error::new(std::io::ErrorKind::NotFound, "not a trajectory log"),
+            ));
+        }
+        let fingerprint = crate::manifest::shard_fingerprint(&dir)?;
+        Ok(QueryEngine {
+            shards: vec![ShardSlot {
+                shard: None,
+                dir,
+                log: Some(log),
+                fingerprint: Some(fingerprint),
+            }],
+            manifest: None,
+            hot: None,
+            config,
+            pruning: true,
+        })
+    }
+
+    /// An engine over a `shard-<k>/` spill tree. The tree's `MANIFEST`
+    /// is loaded (or the shards are header-scanned when it is missing,
+    /// unparseable or stale — see [`Manifest::load_or_scan`]); shard
+    /// logs themselves are opened lazily, only when a query survives
+    /// manifest pruning.
+    pub fn open_tree(root: impl AsRef<Path>) -> Result<QueryEngine, TlogError> {
+        let root = root.as_ref();
+        let dirs = shard_dirs(root)?;
+        if dirs.is_empty() {
+            return Err(TlogError::io(
+                format!("{} holds no shard-<k> directories", root.display()),
+                std::io::Error::new(std::io::ErrorKind::NotFound, "not a sharded spill tree"),
+            ));
+        }
+        let manifest = Manifest::load_or_scan(root)?;
+        let config = LogConfig::default();
+        Ok(QueryEngine {
+            shards: dirs
+                .into_iter()
+                .map(|(shard, dir)| ShardSlot {
+                    shard: Some(shard),
+                    // The manifest is fresh right now, so its recorded
+                    // fingerprints describe the current directories.
+                    fingerprint: manifest
+                        .shards
+                        .iter()
+                        .find(|s| s.shard == shard)
+                        .map(|s| (s.segments, s.bytes)),
+                    dir,
+                    log: None,
+                })
+                .collect(),
+            manifest: Some(manifest),
+            hot: None,
+            config,
+            pruning: true,
+        })
+    }
+
+    /// Re-checks every shard's on-disk fingerprint (segment count +
+    /// byte total) and drops whatever the check invalidates: a changed
+    /// shard's cached log is reopened on next use, and a tree's
+    /// manifest is rescanned. This is what lets one engine serve many
+    /// queries *beside a live writer* without pruning away (or
+    /// double-counting against the hot snapshot) data spilled after the
+    /// engine was opened; it runs automatically at the start of every
+    /// query.
+    fn revalidate(&mut self) -> Result<(), TlogError> {
+        let mut changed = false;
+        for slot in &mut self.shards {
+            let fingerprint = crate::manifest::shard_fingerprint(&slot.dir)?;
+            if slot.fingerprint != Some(fingerprint) {
+                slot.fingerprint = Some(fingerprint);
+                slot.log = None;
+                changed = true;
+            }
+        }
+        if changed && self.manifest.is_some() {
+            let root = self.shards[0]
+                .dir
+                .parent()
+                .expect("shard dirs live under the tree root")
+                .to_path_buf();
+            self.manifest = Some(Manifest::scan(root)?);
+        }
+        Ok(())
+    }
+
+    /// Attaches a live fleet snapshot: subsequent queries merge its
+    /// tracks with the durable data (durable wins on overlap). Take the
+    /// snapshot *before* opening the engine for a gap-free view.
+    pub fn with_snapshot(mut self, snapshot: FleetSnapshot) -> QueryEngine {
+        self.hot = Some(snapshot);
+        self
+    }
+
+    /// Replaces (or clears) the attached live snapshot in place.
+    pub fn set_snapshot(&mut self, snapshot: Option<FleetSnapshot>) {
+        self.hot = snapshot;
+    }
+
+    /// Disables or re-enables manifest pruning — every shard is then
+    /// opened and queried. Results are identical either way (the
+    /// soundness property the tests pin down); only the work differs.
+    pub fn set_pruning(&mut self, enabled: bool) {
+        self.pruning = enabled;
+    }
+
+    /// Cold shards (1 for a flat log).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The tree manifest in use, when the engine was opened over a tree.
+    pub fn manifest(&self) -> Option<&Manifest> {
+        self.manifest.as_ref()
+    }
+
+    /// Points of `track` (or of every track when `None`) whose
+    /// timestamp lies in `range`, merged hot + cold.
+    pub fn query_time_range(
+        &mut self,
+        track: Option<TrackId>,
+        range: TimeRange,
+    ) -> Result<UnifiedOutput, TlogError> {
+        self.query(track, range, None)
+    }
+
+    /// Points of `track` (or of every track when `None`) inside `area`
+    /// (and inside `range`, when given), merged hot + cold.
+    pub fn query_bbox(
+        &mut self,
+        track: Option<TrackId>,
+        area: Rect,
+        range: Option<TimeRange>,
+    ) -> Result<UnifiedOutput, TlogError> {
+        self.query(track, range.unwrap_or_else(TimeRange::all), Some(area))
+    }
+
+    /// The latest durable timestamp of `track` across all cold sources
+    /// — the watermark below which hot points are duplicates.
+    fn durable_t_max(&self, track: TrackId) -> Option<f64> {
+        if let Some(manifest) = &self.manifest {
+            return manifest.track_time_span(track).map(|(_, hi)| hi);
+        }
+        self.shards
+            .iter()
+            .filter_map(|s| s.log.as_ref())
+            .filter_map(|log| log.track_time_span(track).map(|(_, hi)| hi))
+            .reduce(f64::max)
+    }
+
+    fn query(
+        &mut self,
+        track: Option<TrackId>,
+        range: TimeRange,
+        area: Option<Rect>,
+    ) -> Result<UnifiedOutput, TlogError> {
+        // Writers may have appended, compacted or spilled since the
+        // last query: invalidate whatever changed on disk first.
+        self.revalidate()?;
+        // Plan: decide per shard, from the manifest alone, whether it
+        // can possibly contribute. Flat logs and manifest-less engines
+        // are never pruned.
+        let skip: Vec<bool> = self
+            .shards
+            .iter()
+            .map(|slot| match (&self.manifest, slot.shard, self.pruning) {
+                (Some(manifest), Some(shard), true) => manifest
+                    .shards
+                    .iter()
+                    .find(|s| s.shard == shard)
+                    .is_none_or(|s| !s.may_contain(track, range, area.as_ref())),
+                _ => false,
+            })
+            .collect();
+
+        // Fan out: every surviving shard is opened (read-only, if not
+        // cached yet) and queried on its own thread.
+        let config = self.config;
+        let mut results: Vec<(usize, Result<QueryOutput, TlogError>)> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (i, slot) in self.shards.iter_mut().enumerate() {
+                if skip[i] {
+                    continue;
+                }
+                handles.push((
+                    i,
+                    scope.spawn(move || slot.query(config, track, range, area)),
+                ));
+            }
+            for (i, handle) in handles {
+                results.push((i, handle.join().expect("shard query thread panicked")));
+            }
+        });
+
+        // Fold the cold side.
+        let mut shard_reports: Vec<ShardQuery> = self
+            .shards
+            .iter()
+            .zip(&skip)
+            .map(|(slot, &skipped)| ShardQuery {
+                shard: slot.shard,
+                skipped,
+                stats: QueryStats::default(),
+            })
+            .collect();
+        let mut stats = QueryStats::default();
+        let mut per_track: BTreeMap<TrackId, Vec<Vec<TimedPoint>>> = BTreeMap::new();
+        for (i, result) in results {
+            let output = result?;
+            shard_reports[i].stats = output.stats;
+            stats.candidate_records += output.stats.candidate_records;
+            stats.decoded_records += output.stats.decoded_records;
+            stats.decoded_points += output.stats.decoded_points;
+            stats.kept_points += output.stats.kept_points;
+            for slice in output.slices {
+                per_track.entry(slice.track).or_default().push(slice.points);
+            }
+        }
+
+        // Merge the hot side: durable wins on overlap, so a track's hot
+        // points are admitted only past its durable time span.
+        let mut hot_points = 0usize;
+        let mut hot_tracks = 0usize;
+        if let Some(snapshot) = self.hot.take() {
+            for t in &snapshot.tracks {
+                if track.is_some_and(|wanted| wanted != t.track) {
+                    continue;
+                }
+                let watermark = self.durable_t_max(t.track);
+                let fresh: Vec<TimedPoint> = t
+                    .points()
+                    .into_iter()
+                    .filter(|p| watermark.is_none_or(|hi| p.t > hi))
+                    .filter(|p| range.contains(p.t) && area.is_none_or(|a| a.contains(p.pos)))
+                    .collect();
+                if !fresh.is_empty() {
+                    hot_points += fresh.len();
+                    hot_tracks += 1;
+                    per_track.entry(t.track).or_default().push(fresh);
+                }
+            }
+            self.hot = Some(snapshot);
+        }
+
+        // Assemble slices: one per track, sources merged in time order.
+        let slices: Vec<TrackSlice> = per_track
+            .into_iter()
+            .map(|(track, mut sources)| {
+                let points = if sources.len() == 1 {
+                    sources.pop().expect("one source")
+                } else {
+                    let mut all: Vec<TimedPoint> = sources.into_iter().flatten().collect();
+                    all.sort_by(|a, b| a.t.partial_cmp(&b.t).expect("finite timestamps"));
+                    all
+                };
+                TrackSlice { track, points }
+            })
+            .collect();
+
+        Ok(UnifiedOutput {
+            slices,
+            stats,
+            shards_pruned: skip.iter().filter(|&&s| s).count(),
+            shards: shard_reports,
+            hot_points,
+            hot_tracks,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sharded::open_shard_logs;
+    use crate::spill::SpillSink;
+    use bqs_core::fleet::FleetEngine;
+    use bqs_core::stream::compress_all;
+    use bqs_core::{BqsConfig, FastBqsCompressor};
+
+    fn temp_root(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("bqs-tlog-tests")
+            .join(format!("engine-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn points(track: u64, n: usize, t0: f64) -> Vec<TimedPoint> {
+        (0..n)
+            .map(|i| {
+                TimedPoint::new(
+                    i as f64 * 5.0 + track as f64 * 1_000.0,
+                    track as f64,
+                    t0 + i as f64 * 10.0,
+                )
+            })
+            .collect()
+    }
+
+    /// A 4-shard tree with one track per shard, far apart in space.
+    fn build_tree(root: &Path) {
+        let mut logs = open_shard_logs(root, 4, LogConfig::default()).unwrap();
+        for (k, (log, _)) in logs.iter_mut().enumerate() {
+            log.append(k as u64, &points(k as u64, 50, 0.0)).unwrap();
+        }
+        drop(logs);
+        Manifest::rebuild(root).unwrap();
+    }
+
+    #[test]
+    fn tree_queries_merge_all_shards_and_prune_track_selective_ones() {
+        let root = temp_root("tree");
+        build_tree(&root);
+        let mut engine = QueryEngine::open(&root).unwrap();
+        assert_eq!(engine.shard_count(), 4);
+
+        // Whole-range query touches every shard.
+        let all = engine.query_time_range(None, TimeRange::all()).unwrap();
+        assert_eq!(all.slices.len(), 4);
+        assert_eq!(all.total_points(), 200);
+        assert_eq!(all.shards_pruned, 0);
+
+        // Track-selective query opens exactly one shard.
+        let one = engine.query_time_range(Some(2), TimeRange::all()).unwrap();
+        assert_eq!(one.slices.len(), 1);
+        assert_eq!(one.slices[0].points, points(2, 50, 0.0));
+        assert_eq!(one.shards_pruned, 3);
+        assert!(one.shards.iter().filter(|s| s.skipped).count() == 3);
+
+        // Pruned and unpruned answers are identical.
+        engine.set_pruning(false);
+        let unpruned = engine.query_time_range(Some(2), TimeRange::all()).unwrap();
+        assert_eq!(unpruned.slices, one.slices);
+        assert_eq!(unpruned.shards_pruned, 0);
+    }
+
+    #[test]
+    fn bbox_queries_prune_spatially_distant_shards() {
+        let root = temp_root("bbox");
+        build_tree(&root);
+        let mut engine = QueryEngine::open(&root).unwrap();
+        // Track 3 lives around x ∈ [3000, 3245]; nothing else does.
+        let area = Rect::from_corners(
+            bqs_geo::Point2::new(2_990.0, -10.0),
+            bqs_geo::Point2::new(3_500.0, 10.0),
+        );
+        let out = engine.query_bbox(None, area, None).unwrap();
+        assert_eq!(out.slices.len(), 1);
+        assert_eq!(out.slices[0].track, 3);
+        assert_eq!(out.shards_pruned, 3);
+    }
+
+    #[test]
+    fn flat_logs_work_without_a_manifest() {
+        let root = temp_root("flat");
+        {
+            let (mut log, _) = TrajectoryLog::open(&root, LogConfig::default()).unwrap();
+            log.append(1, &points(1, 30, 0.0)).unwrap();
+            log.append(2, &points(2, 30, 0.0)).unwrap();
+        }
+        let mut engine = QueryEngine::open(&root).unwrap();
+        assert_eq!(engine.shard_count(), 1);
+        assert!(engine.manifest().is_none());
+        let out = engine
+            .query_time_range(None, TimeRange::new(0.0, 95.0))
+            .unwrap();
+        assert_eq!(out.slices.len(), 2);
+        assert_eq!(out.total_points(), 20);
+        assert_eq!(out.shards_pruned, 0);
+    }
+
+    #[test]
+    fn hot_points_merge_after_the_durable_watermark() {
+        let root = temp_root("hot-cold");
+        let config = BqsConfig::new(8.0).unwrap();
+        let trace = points(7, 80, 0.0);
+        {
+            let (mut log, _) = TrajectoryLog::open(&root, LogConfig::default()).unwrap();
+            let mut sink = SpillSink::new(&mut log);
+            let mut fleet =
+                FleetEngine::with_default_config(move || FastBqsCompressor::new(config));
+            // First half evicted (spilled, cold); second half stays live.
+            for p in &trace[..40] {
+                fleet.push_tagged(7, *p, &mut sink);
+            }
+            fleet.evict_idle(1e9, &mut sink);
+            for p in &trace[40..] {
+                fleet.push_tagged(7, *p, &mut sink);
+            }
+            let snapshot = fleet.snapshot(&sink);
+
+            // The writer is still live (lock held) — the engine reads
+            // beside it and sees cold + hot seamlessly.
+            let mut engine = QueryEngine::open(&root).unwrap().with_snapshot(snapshot);
+            let out = engine.query_time_range(Some(7), TimeRange::all()).unwrap();
+            assert!(out.hot_points > 0);
+            assert_eq!(out.hot_tracks, 1);
+
+            // Equivalent to closing everything and reading the log.
+            fleet.finish_all(&mut sink);
+            sink.finish().unwrap();
+            assert_eq!(out.slices.len(), 1);
+            assert_eq!(out.slices[0].points, log.read_track(7).unwrap());
+            // And the whole thing matches solo compression of the two
+            // session halves.
+            let mut solo1 = FastBqsCompressor::new(config);
+            let mut expected = compress_all(&mut solo1, trace[..40].iter().copied());
+            let mut solo2 = FastBqsCompressor::new(config);
+            expected.extend(compress_all(&mut solo2, trace[40..].iter().copied()));
+            assert_eq!(out.slices[0].points, expected);
+        }
+    }
+
+    #[test]
+    fn stale_snapshot_points_are_not_double_counted() {
+        let root = temp_root("stale-snap");
+        let config = BqsConfig::new(8.0).unwrap();
+        let trace = points(3, 60, 0.0);
+        let (mut log, _) = TrajectoryLog::open(&root, LogConfig::default()).unwrap();
+        let mut sink = SpillSink::new(&mut log);
+        let mut fleet = FleetEngine::with_default_config(move || FastBqsCompressor::new(config));
+        for p in &trace {
+            fleet.push_tagged(3, *p, &mut sink);
+        }
+        // Snapshot taken, then the session closes and spills: every
+        // snapshot point is now also durable.
+        let snapshot = fleet.snapshot(&sink);
+        fleet.finish_all(&mut sink);
+        sink.finish().unwrap();
+        let durable = log.read_track(3).unwrap();
+        drop(log);
+
+        let mut engine = QueryEngine::open(&root).unwrap().with_snapshot(snapshot);
+        let out = engine.query_time_range(Some(3), TimeRange::all()).unwrap();
+        assert_eq!(out.slices[0].points, durable, "no duplicates");
+        assert_eq!(out.hot_points, 0, "durable wins on overlap");
+    }
+
+    #[test]
+    fn missing_directory_is_a_clean_error() {
+        let root = temp_root("missing");
+        assert!(QueryEngine::open(&root).is_err());
+    }
+
+    #[test]
+    fn a_directory_without_a_log_is_an_error_not_an_empty_answer() {
+        // A typo'd path that happens to exist must not read as "your
+        // data is gone".
+        let root = temp_root("not-a-log");
+        std::fs::create_dir_all(&root).unwrap();
+        let err = QueryEngine::open(&root).unwrap_err();
+        assert!(err.to_string().contains("no trajectory log"), "{err}");
+        std::fs::write(root.join("unrelated.txt"), b"x").unwrap();
+        assert!(QueryEngine::open(&root).is_err());
+    }
+
+    #[test]
+    fn a_long_lived_engine_sees_data_spilled_after_it_was_opened() {
+        let root = temp_root("revalidate");
+        build_tree(&root);
+        let mut engine = QueryEngine::open(&root).unwrap();
+        // Warm every cache: manifest, cached logs, fingerprints.
+        let before = engine.query_time_range(None, TimeRange::all()).unwrap();
+        assert_eq!(before.total_points(), 200);
+        assert!(engine
+            .query_time_range(Some(9), TimeRange::all())
+            .unwrap()
+            .slices
+            .is_empty());
+
+        // A writer appends a brand-new track to shard 1 (stale manifest,
+        // stale cached log, stale watermark — all three must refresh).
+        {
+            let (mut log, _) =
+                TrajectoryLog::open(root.join("shard-1"), LogConfig::default()).unwrap();
+            log.append(9, &points(9, 25, 10_000.0)).unwrap();
+        }
+        let after = engine.query_time_range(Some(9), TimeRange::all()).unwrap();
+        assert_eq!(
+            after.slices.len(),
+            1,
+            "stale manifest must not prune track 9"
+        );
+        assert_eq!(after.slices[0].points, points(9, 25, 10_000.0));
+        assert_eq!(
+            engine
+                .query_time_range(None, TimeRange::all())
+                .unwrap()
+                .total_points(),
+            225
+        );
+
+        // And a snapshot that went stale the same way is deduped against
+        // the *refreshed* durable span, not the open-time one.
+        let snapshot = bqs_core::fleet::FleetSnapshot {
+            tracks: vec![bqs_core::fleet::TrackSnapshot {
+                track: 9,
+                emitted: points(9, 25, 10_000.0),
+                pending: Vec::new(),
+                live: true,
+            }],
+        };
+        engine.set_snapshot(Some(snapshot));
+        let deduped = engine.query_time_range(Some(9), TimeRange::all()).unwrap();
+        assert_eq!(deduped.hot_points, 0, "durable wins after revalidation");
+        assert_eq!(deduped.slices[0].points, points(9, 25, 10_000.0));
+    }
+}

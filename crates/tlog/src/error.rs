@@ -42,6 +42,20 @@ pub enum TlogError {
         /// The OS-level reason (usually "would block").
         reason: String,
     },
+    /// A write operation was attempted on a log opened read-only.
+    ReadOnly {
+        /// The log directory.
+        dir: PathBuf,
+    },
+    /// A spill root already holds a layout incompatible with the
+    /// requested write (a flat log where a shard tree would be written,
+    /// or a tree built with a different worker count).
+    IncompatibleLayout {
+        /// The spill root.
+        dir: PathBuf,
+        /// What was found and why it cannot be written to.
+        reason: String,
+    },
 }
 
 impl TlogError {
@@ -77,6 +91,12 @@ impl fmt::Display for TlogError {
                     "{} is locked by another process ({reason})",
                     dir.display()
                 )
+            }
+            TlogError::ReadOnly { dir } => {
+                write!(f, "{} was opened read-only", dir.display())
+            }
+            TlogError::IncompatibleLayout { dir, reason } => {
+                write!(f, "{}: {reason}", dir.display())
             }
         }
     }

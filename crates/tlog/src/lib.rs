@@ -28,12 +28,22 @@
 //!   parallel worker shard carries onto its thread.
 //! * [`sharded`] — the `shard-<k>/` spill-tree layout behind
 //!   [`ParallelFleet`](bqs_core::fleet::ParallelFleet): one private
-//!   log per worker shard, plus tree-wide verification
-//!   ([`verify_sharded`]).
+//!   log per worker shard, tree-wide verification ([`verify_sharded`])
+//!   and the writer-side layout guard ([`check_spill_root`]).
+//! * [`manifest`] — the tree's `MANIFEST`: per-shard track sets, time
+//!   spans and bounding boxes, cached so readers can prune shards
+//!   without opening them (rebuilt whenever stale, cross-checked by
+//!   `bqs log verify`).
+//! * [`engine`] — [`QueryEngine`]: the unified hot/cold read path.
+//!   Fans queries out across shard logs in parallel (read-only,
+//!   lock-free opens that are safe beside a live writer), prunes via
+//!   the manifest, and merges the result with a live fleet's
+//!   [`FleetSnapshot`](bqs_core::fleet::FleetSnapshot) — durable data
+//!   wins on overlap.
 //!
-//! The on-disk format is specified in `docs/format.md`; `bqs log
-//! append|query|compact|verify` exposes the subsystem on the command
-//! line.
+//! The on-disk format is specified in `docs/format.md`; `bqs query`
+//! and `bqs log append|query|compact|verify` expose the subsystem on
+//! the command line.
 //!
 //! ## Quick example
 //!
@@ -61,23 +71,28 @@
 
 pub mod codec;
 pub mod crc;
+pub mod engine;
 pub mod error;
 pub mod log;
+pub mod manifest;
 pub mod query;
 pub mod segment;
 pub mod sharded;
 pub mod spill;
 
 pub use codec::{CodecError, CODEC_VERSION, NAIVE_POINT_BYTES};
+pub use engine::{QueryEngine, ShardQuery, UnifiedOutput};
 pub use error::TlogError;
 pub use log::{
     verify_dir, AppendReceipt, CompactReport, LogConfig, LogFootprint, RecoveryReport,
-    TrajectoryLog, VerifyReport,
+    TrackSummary, TrajectoryLog, VerifyReport,
 };
+pub use manifest::{Manifest, ManifestShard, MANIFEST_FILE};
 pub use query::{QueryOutput, QueryStats, TimeRange, TrackSlice};
 pub use segment::{RecordKind, RecordSummary, FORMAT_VERSION, MAGIC};
 pub use sharded::{
-    is_sharded_tree, open_shard_logs, shard_dir, shard_dirs, verify_sharded, ShardedVerifyReport,
+    check_spill_root, check_tree_root, is_sharded_tree, open_shard_logs, shard_dir, shard_dirs,
+    spill_layout, verify_sharded, ManifestStatus, ShardedVerifyReport, SpillLayout,
     SHARD_DIR_PREFIX,
 };
 pub use spill::{SpillFailure, SpillReport, SpillSink};

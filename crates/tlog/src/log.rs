@@ -103,6 +103,25 @@ pub struct LogFootprint {
     pub bytes: u64,
 }
 
+/// Header-scan summary of one track's live records — counts, time span
+/// and bounding box, never decoded payload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackSummary {
+    /// The track.
+    pub track: TrackId,
+    /// Live records holding the track.
+    pub records: usize,
+    /// Points across those records.
+    pub points: u64,
+    /// Earliest timestamp.
+    pub t_min: f64,
+    /// Latest timestamp.
+    pub t_max: f64,
+    /// Union of the records' bounding boxes; `None` only for a track
+    /// with no records (which the index never stores).
+    pub bbox: Option<bqs_geo::Rect>,
+}
+
 #[derive(Debug)]
 struct SegmentInfo {
     seq: u64,
@@ -117,13 +136,16 @@ pub struct TrajectoryLog {
     dir: PathBuf,
     config: LogConfig,
     segments: Vec<SegmentInfo>,
-    writer: File,
+    /// Append handle on the tail segment; `None` for a log opened with
+    /// [`TrajectoryLog::open_read_only`] (write operations then fail
+    /// with [`TlogError::ReadOnly`]).
+    writer: Option<File>,
     /// Held for the log's lifetime: an OS advisory lock on `LOCK` in the
     /// directory, released automatically even if the process dies. One
-    /// process owns a log at a time — a second `open` fails fast instead
-    /// of interleaving appends or compacting files out from under a
-    /// writer.
-    _lock: File,
+    /// process owns a log at a time — a second writable `open` fails
+    /// fast instead of interleaving appends or compacting files out
+    /// from under a writer. Read-only opens take no lock.
+    _lock: Option<File>,
     /// Per-track sparse time index: live records in append order, as
     /// `(segment index, record index)` into `segments`.
     index: BTreeMap<TrackId, Vec<(usize, usize)>>,
@@ -162,20 +184,49 @@ impl TrajectoryLog {
         dir: impl Into<PathBuf>,
         config: LogConfig,
     ) -> Result<(TrajectoryLog, RecoveryReport), TlogError> {
-        let dir = dir.into();
-        fs::create_dir_all(&dir).map_err(io_err(format!("create dir {}", dir.display())))?;
+        TrajectoryLog::open_inner(dir.into(), config, false)
+    }
 
-        let lock_path = dir.join("LOCK");
-        let lock = OpenOptions::new()
-            .create(true)
-            .truncate(false)
-            .write(true)
-            .open(&lock_path)
-            .map_err(io_err(format!("open {}", lock_path.display())))?;
-        lock.try_lock().map_err(|e| TlogError::Locked {
-            dir: dir.clone(),
-            reason: e.to_string(),
-        })?;
+    /// Opens an *existing* log at `dir` for reading only: no advisory
+    /// lock is taken, nothing on disk is created or repaired, and every
+    /// write operation fails with [`TlogError::ReadOnly`].
+    ///
+    /// This is the concurrent read path: segments are append-only, so a
+    /// lock-free scan taken while a writer is live sees a consistent
+    /// prefix of the log — at worst the writer's in-flight tail frame,
+    /// which the CRC scan ignores exactly like crash recovery would
+    /// (the ignored bytes are counted in the [`RecoveryReport`], but
+    /// the file is left untouched). `bqs-tlog`'s `QueryEngine` opens
+    /// every log this way.
+    pub fn open_read_only(
+        dir: impl Into<PathBuf>,
+        config: LogConfig,
+    ) -> Result<(TrajectoryLog, RecoveryReport), TlogError> {
+        TrajectoryLog::open_inner(dir.into(), config, true)
+    }
+
+    fn open_inner(
+        dir: PathBuf,
+        config: LogConfig,
+        read_only: bool,
+    ) -> Result<(TrajectoryLog, RecoveryReport), TlogError> {
+        let lock = if read_only {
+            None
+        } else {
+            fs::create_dir_all(&dir).map_err(io_err(format!("create dir {}", dir.display())))?;
+            let lock_path = dir.join("LOCK");
+            let lock = OpenOptions::new()
+                .create(true)
+                .truncate(false)
+                .write(true)
+                .open(&lock_path)
+                .map_err(io_err(format!("open {}", lock_path.display())))?;
+            lock.try_lock().map_err(|e| TlogError::Locked {
+                dir: dir.clone(),
+                reason: e.to_string(),
+            })?;
+            Some(lock)
+        };
 
         let mut seqs: Vec<(u64, PathBuf)> = Vec::new();
         let entries = fs::read_dir(&dir).map_err(io_err(format!("read dir {}", dir.display())))?;
@@ -207,17 +258,21 @@ impl TrajectoryLog {
                         reason: fault.to_string(),
                     });
                 }
-                let file = OpenOptions::new()
-                    .write(true)
-                    .open(&path)
-                    .map_err(io_err(format!("open for repair {}", path.display())))?;
-                file.set_len(valid_len)
-                    .map_err(io_err(format!("truncate {}", path.display())))?;
-                if valid_len == 0 {
-                    let mut file = file;
-                    file.write_all(&segment::segment_header())
-                        .map_err(io_err(format!("rewrite header {}", path.display())))?;
+                if !read_only {
+                    let file = OpenOptions::new()
+                        .write(true)
+                        .open(&path)
+                        .map_err(io_err(format!("open for repair {}", path.display())))?;
+                    file.set_len(valid_len)
+                        .map_err(io_err(format!("truncate {}", path.display())))?;
+                    if valid_len == 0 {
+                        let mut file = file;
+                        file.write_all(&segment::segment_header())
+                            .map_err(io_err(format!("rewrite header {}", path.display())))?;
+                    }
                 }
+                // Read-only: the torn tail is *ignored*, not repaired;
+                // the report still counts it so callers can see it.
                 report.truncated_segments += 1;
                 report.truncated_bytes += bytes.len() as u64 - valid_len;
             }
@@ -230,7 +285,7 @@ impl TrajectoryLog {
             });
         }
 
-        if segments.is_empty() {
+        if segments.is_empty() && !read_only {
             let (path, _) = create_segment(&dir, 1)?;
             segments.push(SegmentInfo {
                 seq: 1,
@@ -241,11 +296,17 @@ impl TrajectoryLog {
         }
         report.segments = segments.len();
 
-        let last = segments.last().expect("at least one segment");
-        let writer = OpenOptions::new()
-            .append(true)
-            .open(&last.path)
-            .map_err(io_err(format!("open for append {}", last.path.display())))?;
+        let writer = if read_only {
+            None
+        } else {
+            let last = segments.last().expect("at least one segment");
+            Some(
+                OpenOptions::new()
+                    .append(true)
+                    .open(&last.path)
+                    .map_err(io_err(format!("open for append {}", last.path.display())))?,
+            )
+        };
 
         let mut log = TrajectoryLog {
             dir,
@@ -257,6 +318,12 @@ impl TrajectoryLog {
         };
         log.rebuild_index();
         Ok((log, report))
+    }
+
+    /// `true` when the log was opened with
+    /// [`TrajectoryLog::open_read_only`].
+    pub fn read_only(&self) -> bool {
+        self.writer.is_none()
     }
 
     fn rebuild_index(&mut self) {
@@ -288,6 +355,50 @@ impl TrajectoryLog {
     /// Live tracks, ascending.
     pub fn tracks(&self) -> Vec<TrackId> {
         self.index.keys().copied().collect()
+    }
+
+    /// Per-track summaries (record/point counts, time span, bounding
+    /// box) folded from the index's record headers — no payload is
+    /// decoded. Ascending by track; the raw material of a spill tree's
+    /// `MANIFEST`.
+    pub fn track_summaries(&self) -> Vec<TrackSummary> {
+        self.index
+            .iter()
+            .map(|(&track, refs)| {
+                let mut summary = TrackSummary {
+                    track,
+                    records: refs.len(),
+                    points: 0,
+                    t_min: f64::INFINITY,
+                    t_max: f64::NEG_INFINITY,
+                    bbox: None,
+                };
+                for &(si, ri) in refs {
+                    let rec = &self.segments[si].records[ri];
+                    summary.points += rec.count;
+                    summary.t_min = summary.t_min.min(rec.t_min);
+                    summary.t_max = summary.t_max.max(rec.t_max);
+                    summary.bbox = Some(match summary.bbox {
+                        Some(b) => b.union(&rec.bbox),
+                        None => rec.bbox,
+                    });
+                }
+                summary
+            })
+            .collect()
+    }
+
+    /// The live time span `[t_min, t_max]` of one track, from record
+    /// headers alone; `None` for unknown or deleted tracks.
+    pub fn track_time_span(&self, track: TrackId) -> Option<(f64, f64)> {
+        let refs = self.track_records(track);
+        let (&first, &last) = (refs.first()?, refs.last()?);
+        // Records of a track are appended in time order, so the span is
+        // the first record's start to the last record's end.
+        Some((
+            self.segments[first.0].records[first.1].t_min,
+            self.segments[last.0].records[last.1].t_max,
+        ))
     }
 
     /// Live records of one track, in append order.
@@ -381,6 +492,11 @@ impl TrajectoryLog {
                 max: u64::from(segment::MAX_BODY_LEN),
             });
         }
+        if self.writer.is_none() {
+            return Err(TlogError::ReadOnly {
+                dir: self.dir.clone(),
+            });
+        }
         let needs_rotation = {
             let last = self.segments.last().expect("at least one segment");
             !last.records.is_empty()
@@ -389,7 +505,7 @@ impl TrajectoryLog {
         if needs_rotation {
             let next_seq = self.segments.last().expect("non-empty").seq + 1;
             let (path, file) = create_segment(&self.dir, next_seq)?;
-            self.writer = file;
+            self.writer = Some(file);
             self.segments.push(SegmentInfo {
                 seq: next_seq,
                 path,
@@ -399,13 +515,13 @@ impl TrajectoryLog {
         }
         let si = self.segments.len() - 1;
         let last = &mut self.segments[si];
-        let write_result = self
-            .writer
+        let writer = self.writer.as_mut().expect("checked writable above");
+        let write_result = writer
             .write_all(frame)
             .map_err(io_err(format!("append to {}", last.path.display())))
             .and_then(|()| {
                 if self.config.fsync {
-                    self.writer
+                    writer
                         .sync_data()
                         .map_err(io_err(format!("sync {}", last.path.display())))
                 } else {
@@ -417,7 +533,7 @@ impl TrajectoryLog {
             // bytes cannot interleave with a later retry's frame; if even
             // the rollback fails, reopen-time recovery still truncates
             // the (CRC-invalid) tail.
-            let _ = self.writer.set_len(last.len);
+            let _ = writer.set_len(last.len);
             return Err(e);
         }
         let offset = last.len;
@@ -460,6 +576,11 @@ impl TrajectoryLog {
     /// final renames and the old-file deletions can leave both copies on
     /// disk (see `docs/format.md`); all other windows are safe.
     pub fn compact(&mut self) -> Result<CompactReport, TlogError> {
+        if self.writer.is_none() {
+            return Err(TlogError::ReadOnly {
+                dir: self.dir.clone(),
+            });
+        }
         let before = self.footprint();
         let live: std::collections::BTreeSet<(usize, usize)> = self
             .index
@@ -516,7 +637,9 @@ impl TrajectoryLog {
         let config = self.config;
         // Release our advisory lock first: the reopen takes its own (a
         // second fd on the same LOCK file would conflict).
-        let _ = self._lock.unlock();
+        if let Some(lock) = &self._lock {
+            let _ = lock.unlock();
+        }
         let (fresh, _) = TrajectoryLog::open(dir, config)?;
         *self = fresh;
 
@@ -870,6 +993,86 @@ mod tests {
         fs::write(&path, &bytes).unwrap();
         let err = verify_dir(&dir).unwrap_err();
         assert!(matches!(err, TlogError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn read_only_open_reads_alongside_a_live_writer_without_touching_disk() {
+        let dir = temp_dir("read-only");
+        let (mut log, _) = TrajectoryLog::open(&dir, LogConfig::default()).unwrap();
+        let a = walk(1, 60, 0.0);
+        log.append(1, &a).unwrap();
+
+        // The writer's lock does not block a read-only open.
+        let (ro, rep) = TrajectoryLog::open_read_only(&dir, LogConfig::default()).unwrap();
+        assert!(ro.read_only());
+        assert_eq!(rep.records, 1);
+        assert_eq!(ro.read_track(1).unwrap(), a);
+        assert_eq!(ro.track_time_span(1), Some((0.0, 295.0)));
+
+        // Every write path is refused with a typed error.
+        let mut ro = ro;
+        assert!(matches!(
+            ro.append(2, &a).unwrap_err(),
+            TlogError::ReadOnly { .. }
+        ));
+        assert!(matches!(
+            ro.delete_track(1).unwrap_err(),
+            TlogError::ReadOnly { .. }
+        ));
+        assert!(matches!(
+            ro.compact().unwrap_err(),
+            TlogError::ReadOnly { .. }
+        ));
+
+        // The writer is still healthy and sees its own appends.
+        let b = walk(1, 10, 10_000.0);
+        log.append(1, &b).unwrap();
+        assert_eq!(log.read_track(1).unwrap().len(), 70);
+    }
+
+    #[test]
+    fn read_only_open_ignores_a_torn_tail_without_repairing_it() {
+        let dir = temp_dir("read-only-torn");
+        let (mut log, _) = TrajectoryLog::open(&dir, LogConfig::default()).unwrap();
+        let a = walk(1, 60, 0.0);
+        log.append(1, &a).unwrap();
+        let receipt = log.append(2, &walk(2, 60, 0.0)).unwrap();
+        let path = log.segments.last().unwrap().path.clone();
+        drop(log);
+
+        let cut = receipt.offset + receipt.bytes / 2;
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(cut)
+            .unwrap();
+
+        let (ro, rep) = TrajectoryLog::open_read_only(&dir, LogConfig::default()).unwrap();
+        assert_eq!(rep.truncated_segments, 1);
+        assert!(rep.truncated_bytes > 0);
+        assert_eq!(ro.read_track(1).unwrap(), a);
+        assert!(ro.read_track(2).unwrap().is_empty());
+        // The file was *not* truncated: the torn bytes are still there
+        // for the writer's own recovery to handle.
+        assert_eq!(fs::metadata(&path).unwrap().len(), cut);
+    }
+
+    #[test]
+    fn track_summaries_fold_record_headers() {
+        let dir = temp_dir("summaries");
+        let (mut log, _) = TrajectoryLog::open(&dir, LogConfig::default()).unwrap();
+        log.append(1, &walk(1, 30, 0.0)).unwrap();
+        log.append(1, &walk(1, 30, 1_000.0)).unwrap();
+        log.append(2, &walk(2, 10, 50.0)).unwrap();
+        let summaries = log.track_summaries();
+        assert_eq!(summaries.len(), 2);
+        let s1 = &summaries[0];
+        assert_eq!((s1.track, s1.records, s1.points), (1, 2, 60));
+        assert_eq!((s1.t_min, s1.t_max), (0.0, 1_145.0));
+        let bbox = s1.bbox.unwrap();
+        assert!(bbox.min.x <= 100.0 && bbox.max.x >= 216.0);
+        assert_eq!(summaries[1].track, 2);
     }
 
     #[test]

@@ -32,14 +32,136 @@ pub fn shard_dir(root: impl AsRef<Path>, shard: usize) -> PathBuf {
     root.as_ref().join(format!("{SHARD_DIR_PREFIX}{shard}"))
 }
 
+/// What a prospective spill root currently holds on disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpillLayout {
+    /// The directory does not exist yet.
+    Missing,
+    /// The directory exists and is empty.
+    Empty,
+    /// The directory is a flat [`TrajectoryLog`] (it holds `seg-*.tlg`
+    /// segment files directly).
+    FlatLog,
+    /// The directory is a sharded spill tree; the payload is the sorted
+    /// shard indices found (contiguous `0..N` for a healthy tree).
+    ShardTree(Vec<usize>),
+    /// The directory holds entries that belong to neither layout.
+    Other,
+}
+
+/// Classifies `root` as a spill target. Never creates anything.
+pub fn spill_layout(root: impl AsRef<Path>) -> Result<SpillLayout, TlogError> {
+    let root = root.as_ref();
+    if !root.exists() {
+        return Ok(SpillLayout::Missing);
+    }
+    let entries = std::fs::read_dir(root)
+        .map_err(|e| TlogError::io(format!("read dir {}", root.display()), e))?;
+    let mut any = false;
+    for entry in entries {
+        let entry = entry.map_err(|e| TlogError::io("read dir entry", e))?;
+        any = true;
+        if let Some(name) = entry.file_name().to_str() {
+            if name.starts_with("seg-") && name.ends_with(".tlg") {
+                return Ok(SpillLayout::FlatLog);
+            }
+        }
+    }
+    if !any {
+        return Ok(SpillLayout::Empty);
+    }
+    let shards: Vec<usize> = shard_dirs(root)?.into_iter().map(|(k, _)| k).collect();
+    if shards.is_empty() {
+        Ok(SpillLayout::Other)
+    } else {
+        Ok(SpillLayout::ShardTree(shards))
+    }
+}
+
+/// Refuses up front to spill a `workers`-shaped layout into a root that
+/// already holds an *incompatible* one, instead of writing the mixed or
+/// gapped trees [`verify_sharded`] rejects after the fact:
+///
+/// * a flat log cannot take a `shard-<k>/` tree (`workers > 1`) — the
+///   tree tooling would never visit the flat segments, and vice versa;
+/// * a tree cannot take a flat log (`workers == 1`) — a rogue top-level
+///   segment file is invisible to every tree operation;
+/// * a tree built with a *different* worker count cannot be extended —
+///   track routing is `worker_of(track, N)`, so a second run at `M ≠ N`
+///   would scatter tracks across shards inconsistently (and fewer
+///   workers would leave orphaned shards that fail contiguity checks).
+///
+/// A missing or empty root, or a tree with exactly `0..workers` shards,
+/// passes; a single worker (`workers <= 1`) is assumed to write a
+/// *flat* log (the `bqs fleet --spill` convention), so an existing flat
+/// log passes too. Library callers that write a `shard-<k>/` tree even
+/// for one shard (i.e. [`open_shard_logs`]) are guarded by
+/// [`check_tree_root`] instead, where a flat log never passes.
+pub fn check_spill_root(root: impl AsRef<Path>, workers: usize) -> Result<(), TlogError> {
+    if workers > 1 {
+        return check_tree_root(root, workers);
+    }
+    let root = root.as_ref();
+    match spill_layout(root)? {
+        SpillLayout::ShardTree(shards) => Err(TlogError::IncompatibleLayout {
+            dir: root.to_path_buf(),
+            reason: format!(
+                "already holds a sharded spill tree ({} shards), but a single-worker run \
+                 writes a flat log; use a fresh directory or rerun with matching --workers",
+                shards.len()
+            ),
+        }),
+        _ => Ok(()),
+    }
+}
+
+/// Refuses a root whose layout cannot take a `shards`-way tree: a flat
+/// log (any shard count — the tree tooling would never visit its
+/// top-level segments), or a tree whose shard set is not exactly
+/// `0..shards` (a different worker count would mis-route tracks and
+/// leave gapped/orphaned shards).
+pub fn check_tree_root(root: impl AsRef<Path>, shards: usize) -> Result<(), TlogError> {
+    let root = root.as_ref();
+    let incompatible = |reason: String| {
+        Err(TlogError::IncompatibleLayout {
+            dir: root.to_path_buf(),
+            reason,
+        })
+    };
+    match spill_layout(root)? {
+        SpillLayout::Missing | SpillLayout::Empty | SpillLayout::Other => Ok(()),
+        SpillLayout::FlatLog => incompatible(format!(
+            "already holds a flat trajectory log (seg-*.tlg), but {shards} worker(s) \
+             would write a {SHARD_DIR_PREFIX}<k>/ tree; use a fresh directory"
+        )),
+        SpillLayout::ShardTree(found) => {
+            let expected: Vec<usize> = (0..shards).collect();
+            if found == expected {
+                Ok(())
+            } else {
+                incompatible(format!(
+                    "already holds a sharded spill tree with shards {found:?}, but \
+                     {shards} worker(s) need exactly {SHARD_DIR_PREFIX}0..{SHARD_DIR_PREFIX}{}; \
+                     a different --workers would mis-route tracks — use a fresh directory",
+                    shards - 1
+                ))
+            }
+        }
+    }
+}
+
 /// Opens (creating if needed) one log per shard, `0..workers`, under
 /// `root`. Returns the logs in shard order along with each shard's
-/// recovery report.
+/// recovery report. Fails with [`TlogError::IncompatibleLayout`] when
+/// `root` already holds a flat log (even for one worker — this function
+/// always writes a tree) or a tree built with a different worker count
+/// (see [`check_tree_root`]).
 pub fn open_shard_logs(
     root: impl AsRef<Path>,
     workers: usize,
     config: LogConfig,
 ) -> Result<Vec<(TrajectoryLog, RecoveryReport)>, TlogError> {
+    check_tree_root(&root, workers)?;
     (0..workers)
         .map(|k| TrajectoryLog::open(shard_dir(&root, k), config))
         .collect()
@@ -73,6 +195,18 @@ pub fn shard_dirs(root: impl AsRef<Path>) -> Result<Vec<(usize, PathBuf)>, TlogE
     Ok(out)
 }
 
+/// Whether (and how) a tree's `MANIFEST` was checked by
+/// [`verify_sharded`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ManifestStatus {
+    /// No `MANIFEST` file at the root — legal, readers just rescan.
+    #[default]
+    Absent,
+    /// A manifest was present, parsed, CRC-checked, and matched a fresh
+    /// scan of every shard exactly.
+    Verified,
+}
+
 /// What verifying a whole sharded tree found.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ShardedVerifyReport {
@@ -80,6 +214,9 @@ pub struct ShardedVerifyReport {
     pub shards: Vec<(usize, VerifyReport)>,
     /// The shard reports folded into one.
     pub total: VerifyReport,
+    /// Outcome of the `MANIFEST` cross-check (a mismatching or corrupt
+    /// manifest fails verification instead of appearing here).
+    pub manifest: ManifestStatus,
 }
 
 /// Strictly verifies every shard log under `root` (see
@@ -132,6 +269,22 @@ pub fn verify_sharded(root: impl AsRef<Path>) -> Result<ShardedVerifyReport, Tlo
         report.total.file_bytes += shard.file_bytes;
         report.total.payload_bytes += shard.payload_bytes;
         report.shards.push((index, shard));
+    }
+    // A present MANIFEST must agree with reality: a stale or lying
+    // manifest would let the query layer prune shards that *do* hold
+    // matching data, which is silent data loss on the read path.
+    if let Some(manifest) = crate::manifest::Manifest::load(root)? {
+        let fresh = crate::manifest::Manifest::scan(root)?;
+        if manifest != fresh {
+            return Err(TlogError::Corrupt {
+                path: root.join(crate::manifest::MANIFEST_FILE),
+                offset: 0,
+                reason: "MANIFEST disagrees with the shard logs; rebuild it \
+                         (it is stale or was edited)"
+                    .to_string(),
+            });
+        }
+        report.manifest = ManifestStatus::Verified;
     }
     Ok(report)
 }
@@ -232,6 +385,104 @@ mod tests {
         std::fs::remove_dir_all(shard_dir(&root, 1)).unwrap();
         let err = verify_sharded(&root).unwrap_err();
         assert!(err.to_string().contains("shard-1"), "{err}");
+    }
+
+    #[test]
+    fn spill_layout_classifies_roots() {
+        let root = temp_root("layout");
+        assert_eq!(spill_layout(&root).unwrap(), SpillLayout::Missing);
+        std::fs::create_dir_all(&root).unwrap();
+        assert_eq!(spill_layout(&root).unwrap(), SpillLayout::Empty);
+        std::fs::write(root.join("notes.txt"), b"unrelated").unwrap();
+        assert_eq!(spill_layout(&root).unwrap(), SpillLayout::Other);
+
+        let flat = temp_root("layout-flat");
+        let (mut log, _) = TrajectoryLog::open(&flat, LogConfig::default()).unwrap();
+        log.append(1, &points(1, 5)).unwrap();
+        drop(log);
+        assert_eq!(spill_layout(&flat).unwrap(), SpillLayout::FlatLog);
+
+        let tree = temp_root("layout-tree");
+        drop(open_shard_logs(&tree, 2, LogConfig::default()).unwrap());
+        assert_eq!(
+            spill_layout(&tree).unwrap(),
+            SpillLayout::ShardTree(vec![0, 1])
+        );
+    }
+
+    #[test]
+    fn spilling_a_tree_over_a_flat_log_is_refused_up_front() {
+        let root = temp_root("guard-flat");
+        {
+            let (mut log, _) = TrajectoryLog::open(&root, LogConfig::default()).unwrap();
+            log.append(1, &points(1, 10)).unwrap();
+        }
+        // A multi-worker tree over a flat log would produce exactly the
+        // mixed layout verify_sharded rejects — fail before writing.
+        let err = open_shard_logs(&root, 4, LogConfig::default()).unwrap_err();
+        assert!(matches!(err, TlogError::IncompatibleLayout { .. }), "{err}");
+        assert!(err.to_string().contains("flat trajectory log"), "{err}");
+        assert!(!root.join("shard-0").exists(), "nothing must be created");
+        // A single writer may still open the flat log *as a flat log*
+        // (the CLI convention check_spill_root encodes)…
+        assert!(check_spill_root(&root, 1).is_ok());
+        // …but open_shard_logs always writes a tree, so even one shard
+        // must not be dropped next to the flat segments.
+        let err = open_shard_logs(&root, 1, LogConfig::default()).unwrap_err();
+        assert!(matches!(err, TlogError::IncompatibleLayout { .. }), "{err}");
+        assert!(!root.join("shard-0").exists());
+    }
+
+    #[test]
+    fn spilling_with_a_different_worker_count_is_refused_up_front() {
+        let root = temp_root("guard-workers");
+        drop(open_shard_logs(&root, 3, LogConfig::default()).unwrap());
+        // Same worker count: fine (resume).
+        assert!(check_spill_root(&root, 3).is_ok());
+        // More workers would leave a part-new part-old routing; fewer
+        // would orphan shards; a flat run would drop a rogue segment
+        // next to the tree. All refused with typed errors.
+        for workers in [1usize, 2, 4, 8] {
+            let err = check_spill_root(&root, workers).unwrap_err();
+            assert!(
+                matches!(err, TlogError::IncompatibleLayout { .. }),
+                "workers={workers}: {err}"
+            );
+        }
+        assert!(open_shard_logs(&root, 4, LogConfig::default()).is_err());
+        assert!(!root.join("shard-3").exists());
+    }
+
+    #[test]
+    fn verify_checks_a_present_manifest_against_the_shards() {
+        let root = temp_root("verify-manifest");
+        {
+            let mut logs = open_shard_logs(&root, 2, LogConfig::default()).unwrap();
+            for (k, (log, _)) in logs.iter_mut().enumerate() {
+                log.append(k as u64, &points(k as u64, 20)).unwrap();
+            }
+        }
+        // No manifest: verification passes and says so.
+        assert_eq!(
+            verify_sharded(&root).unwrap().manifest,
+            ManifestStatus::Absent
+        );
+        crate::manifest::Manifest::rebuild(&root).unwrap();
+        assert_eq!(
+            verify_sharded(&root).unwrap().manifest,
+            ManifestStatus::Verified
+        );
+        // A stale manifest (append after rebuild) fails verification.
+        {
+            let (mut log, _) =
+                TrajectoryLog::open(shard_dir(&root, 0), LogConfig::default()).unwrap();
+            log.append(9, &points(9, 5)).unwrap();
+        }
+        let err = verify_sharded(&root).unwrap_err();
+        assert!(err.to_string().contains("MANIFEST"), "{err}");
+        // Rebuilding repairs it.
+        crate::manifest::Manifest::rebuild(&root).unwrap();
+        assert!(verify_sharded(&root).is_ok());
     }
 
     #[test]

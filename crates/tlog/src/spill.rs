@@ -210,6 +210,13 @@ impl<L: BorrowMut<TrajectoryLog>> FleetSink for SpillSink<L> {
     fn session_closed(&mut self, report: &SessionReport) {
         self.flush_track(report.track, report.reason, report.stats);
     }
+
+    /// The spill buffers *are* the hot data: kept points of sessions the
+    /// engine has not closed yet (plus any buffer retained by a failed
+    /// append), none of which the log holds.
+    fn live_buffered(&self) -> Vec<(TrackId, Vec<TimedPoint>)> {
+        self.buffers.iter().map(|(t, v)| (*t, v.clone())).collect()
+    }
 }
 
 #[cfg(test)]

@@ -244,6 +244,7 @@ fn parallel_spill_reopens_byte_identical_across_the_shard_tree() {
 }
 
 /// A compressor that panics when it meets a poison coordinate.
+#[derive(Clone)]
 struct Poisonable(FastBqsCompressor);
 
 impl StreamCompressor for Poisonable {
