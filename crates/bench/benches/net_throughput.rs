@@ -1,0 +1,99 @@
+//! Loopback ingest throughput of the framed TCP server: batches of
+//! points appended over 1/2/4 client connections against 1/4 fleet
+//! workers. The axis is fan-in (connections contending on the shared
+//! fleet) vs. fan-out (worker shards absorbing the load); the measured
+//! path is frame encode → TCP → frame decode → fleet submission →
+//! acknowledgement, per round of one batch on every connection.
+
+use bqs_geo::TimedPoint;
+use bqs_net::{BqsClient, Server, ServerConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::cell::RefCell;
+use std::hint::black_box;
+
+const BATCH: usize = 256;
+const CONNECTIONS: [usize; 3] = [1, 2, 4];
+const WORKERS: [usize; 2] = [1, 4];
+
+/// One connection's synthetic stream state: a walk with monotonically
+/// increasing timestamps, chunked into append batches.
+struct StreamState {
+    track: u64,
+    x: f64,
+    t: f64,
+}
+
+impl StreamState {
+    fn next_batch(&mut self) -> Vec<TimedPoint> {
+        (0..BATCH)
+            .map(|_| {
+                self.x += 3.0;
+                self.t += 1.0;
+                TimedPoint::new(self.x, (self.x * 0.02).sin() * 40.0, self.t)
+            })
+            .collect()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let base = std::env::temp_dir().join(format!("bqs-net-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    let mut group = c.benchmark_group("net_throughput");
+    group.sample_size(20);
+
+    for workers in WORKERS {
+        for connections in CONNECTIONS {
+            let root = base.join(format!("w{workers}-c{connections}"));
+            let server =
+                Server::bind(ServerConfig::new("127.0.0.1:0", workers, &root)).expect("bind");
+            let addr = server.local_addr();
+            let handle = std::thread::spawn(move || server.run().expect("serve"));
+
+            // One client (and one distinct track) per connection; the
+            // benchmark thread round-robins a batch onto each.
+            let clients: Vec<RefCell<(BqsClient, StreamState)>> = (0..connections)
+                .map(|i| {
+                    RefCell::new((
+                        BqsClient::connect(addr).expect("connect"),
+                        StreamState {
+                            track: i as u64,
+                            x: 0.0,
+                            t: 0.0,
+                        },
+                    ))
+                })
+                .collect();
+
+            group.throughput(Throughput::Elements((connections * BATCH) as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("workers{workers}"), connections),
+                &connections,
+                |b, _| {
+                    b.iter(|| {
+                        let mut acked = 0u64;
+                        for cell in &clients {
+                            let (client, stream) = &mut *cell.borrow_mut();
+                            let batch = stream.next_batch();
+                            acked += client.append(stream.track, &batch).expect("append");
+                        }
+                        black_box(acked)
+                    })
+                },
+            );
+
+            drop(clients);
+            BqsClient::connect(addr)
+                .expect("connect for shutdown")
+                .shutdown()
+                .expect("shutdown");
+            handle.join().expect("server thread");
+            let _ = std::fs::remove_dir_all(&root);
+        }
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -126,6 +126,41 @@ pub enum Command {
         /// Log directory.
         dir: String,
     },
+    /// `bqs serve --spill DIR [--addr HOST:PORT] [--workers N] [--tolerance M] [--shards N] [--port-file FILE]`
+    Serve {
+        /// Bind address, `host:port` (`:0` picks an ephemeral port).
+        addr: String,
+        /// Parallel fleet worker threads behind the server.
+        workers: usize,
+        /// Directory the server spills closed sessions into (must be
+        /// fresh, like `bqs fleet --spill`).
+        spill: String,
+        /// Error tolerance in metres.
+        tolerance: f64,
+        /// Session shards inside each worker's engine.
+        shards: usize,
+        /// Write the actually bound address to this file (useful with
+        /// port 0 — scripts read it instead of parsing stdout).
+        port_file: Option<String>,
+    },
+    /// `bqs loadgen --addr HOST:PORT [--sessions N] [--points N] [--seed N] [--connections N] [--batch N] [--shutdown]`
+    Loadgen {
+        /// Server address, `host:port`.
+        addr: String,
+        /// Simulated tracker sessions.
+        sessions: usize,
+        /// Points per session.
+        points: usize,
+        /// Base RNG seed (session `t` walks with seed `seed + t`, the
+        /// same workload `bqs fleet --seed` drives in process).
+        seed: u64,
+        /// Concurrent client connections.
+        connections: usize,
+        /// Points per `Append` frame.
+        batch: usize,
+        /// Send `Shutdown` once the load completes.
+        shutdown: bool,
+    },
     /// `bqs info`
     Info,
     /// `bqs help` (or no arguments).
@@ -142,12 +177,16 @@ USAGE:
                [--tolerance M] [--buffer N] [--out FILE]
   bqs verify <original.csv> <compressed.csv> --tolerance M
   bqs experiments [fig3|fig6|fig7|fig8a|fig8b|table1|table2|table3|ablation|fleet|
-                   storage|query|all] [--full]
+                   storage|query|net|all] [--full]
   bqs fleet [--sessions N] [--points N] [--tolerance M] [--algorithm bqs|fbqs]
             [--shards N] [--workers N] [--seed N] [--spill DIR]
             [--query-after FROM,TO|all]
   bqs query <dir> [--track N] [--from T] [--to T] [--bbox X0,Y0,X1,Y1]
             [--out FILE]
+  bqs serve --spill DIR [--addr HOST:PORT] [--workers N] [--tolerance M]
+            [--shards N] [--port-file FILE]
+  bqs loadgen --addr HOST:PORT [--sessions N] [--points N] [--seed N]
+              [--connections N] [--batch N] [--shutdown]
   bqs log append <dir> <trace.csv> --track N [--algorithm none|bqs|fbqs]
                  [--tolerance M]
   bqs log query <dir> [--track N] [--from T] [--to T] [--bbox X0,Y0,X1,Y1]
@@ -566,6 +605,109 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 out,
             })
         }
+        "serve" => {
+            let mut addr = "127.0.0.1:0".to_string();
+            let mut workers = 4usize;
+            let mut spill: Option<String> = None;
+            let mut tolerance = 10.0f64;
+            let mut shards = 16usize;
+            let mut port_file: Option<String> = None;
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--addr" => addr = take_value("--addr", &mut it)?.clone(),
+                    "--spill" => spill = Some(take_value("--spill", &mut it)?.clone()),
+                    "--port-file" => port_file = Some(take_value("--port-file", &mut it)?.clone()),
+                    "--tolerance" => tolerance = parse_f64("--tolerance", &mut it)?,
+                    "--workers" => {
+                        workers = take_value("--workers", &mut it)?
+                            .parse()
+                            .map_err(|e| format!("bad --workers: {e}"))?;
+                    }
+                    "--shards" => {
+                        shards = take_value("--shards", &mut it)?
+                            .parse()
+                            .map_err(|e| format!("bad --shards: {e}"))?;
+                    }
+                    other => return Err(format!("unexpected argument: {other}")),
+                }
+            }
+            for (flag, value) in [("--workers", workers), ("--shards", shards)] {
+                if value == 0 {
+                    return Err(format!("serve needs {flag} ≥ 1, got 0"));
+                }
+            }
+            if !(tolerance.is_finite() && tolerance > 0.0) {
+                return Err(format!("tolerance must be > 0, got {tolerance}"));
+            }
+            Ok(Command::Serve {
+                addr,
+                workers,
+                spill: spill.ok_or("serve needs --spill DIR (the durable output)")?,
+                tolerance,
+                shards,
+                port_file,
+            })
+        }
+        "loadgen" => {
+            let mut addr: Option<String> = None;
+            let mut sessions = 100usize;
+            let mut points = 500usize;
+            let mut seed = 1u64;
+            let mut connections = 1usize;
+            let mut batch = 64usize;
+            let mut shutdown = false;
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--addr" => addr = Some(take_value("--addr", &mut it)?.clone()),
+                    "--shutdown" => shutdown = true,
+                    "--seed" => {
+                        seed = take_value("--seed", &mut it)?
+                            .parse()
+                            .map_err(|e| format!("bad --seed: {e}"))?;
+                    }
+                    "--sessions" => {
+                        sessions = take_value("--sessions", &mut it)?
+                            .parse()
+                            .map_err(|e| format!("bad --sessions: {e}"))?;
+                    }
+                    "--points" => {
+                        points = take_value("--points", &mut it)?
+                            .parse()
+                            .map_err(|e| format!("bad --points: {e}"))?;
+                    }
+                    "--connections" => {
+                        connections = take_value("--connections", &mut it)?
+                            .parse()
+                            .map_err(|e| format!("bad --connections: {e}"))?;
+                    }
+                    "--batch" => {
+                        batch = take_value("--batch", &mut it)?
+                            .parse()
+                            .map_err(|e| format!("bad --batch: {e}"))?;
+                    }
+                    other => return Err(format!("unexpected argument: {other}")),
+                }
+            }
+            for (flag, value) in [
+                ("--sessions", sessions),
+                ("--points", points),
+                ("--connections", connections),
+                ("--batch", batch),
+            ] {
+                if value == 0 {
+                    return Err(format!("loadgen needs {flag} ≥ 1, got 0"));
+                }
+            }
+            Ok(Command::Loadgen {
+                addr: addr.ok_or("loadgen needs --addr HOST:PORT (a running bqs serve)")?,
+                sessions,
+                points,
+                seed,
+                connections,
+                batch,
+                shutdown,
+            })
+        }
         "log" => parse_log(&mut it),
         other => Err(format!("unknown command: {other}\n\n{USAGE}")),
     }
@@ -855,6 +997,77 @@ mod tests {
         );
         assert!(parse(&args("log")).is_err());
         assert!(parse(&args("log frobnicate /tmp/log")).is_err());
+    }
+
+    #[test]
+    fn serve_parses_with_defaults_and_validates() {
+        assert_eq!(
+            parse(&args("serve --spill /tmp/tree")).unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:0".into(),
+                workers: 4,
+                spill: "/tmp/tree".into(),
+                tolerance: 10.0,
+                shards: 16,
+                port_file: None
+            }
+        );
+        assert_eq!(
+            parse(&args(
+                "serve --addr 0.0.0.0:4750 --workers 8 --spill /tmp/t --tolerance 5 \
+                 --shards 4 --port-file /tmp/port"
+            ))
+            .unwrap(),
+            Command::Serve {
+                addr: "0.0.0.0:4750".into(),
+                workers: 8,
+                spill: "/tmp/t".into(),
+                tolerance: 5.0,
+                shards: 4,
+                port_file: Some("/tmp/port".into())
+            }
+        );
+        assert!(parse(&args("serve")).is_err(), "spill is required");
+        assert!(parse(&args("serve --spill /tmp/t --workers 0")).is_err());
+        assert!(parse(&args("serve --spill /tmp/t --tolerance -2")).is_err());
+        assert!(parse(&args("serve --spill /tmp/t --frobnicate")).is_err());
+    }
+
+    #[test]
+    fn loadgen_parses_with_defaults_and_validates() {
+        assert_eq!(
+            parse(&args("loadgen --addr 127.0.0.1:4750")).unwrap(),
+            Command::Loadgen {
+                addr: "127.0.0.1:4750".into(),
+                sessions: 100,
+                points: 500,
+                seed: 1,
+                connections: 1,
+                batch: 64,
+                shutdown: false
+            }
+        );
+        assert_eq!(
+            parse(&args(
+                "loadgen --addr h:1 --sessions 8 --points 50 --seed 9 --connections 4 \
+                 --batch 32 --shutdown"
+            ))
+            .unwrap(),
+            Command::Loadgen {
+                addr: "h:1".into(),
+                sessions: 8,
+                points: 50,
+                seed: 9,
+                connections: 4,
+                batch: 32,
+                shutdown: true
+            }
+        );
+        assert!(parse(&args("loadgen")).is_err(), "addr is required");
+        for flag in ["--sessions", "--points", "--connections", "--batch"] {
+            let err = parse(&args(&format!("loadgen --addr h:1 {flag} 0"))).unwrap_err();
+            assert_eq!(err, format!("loadgen needs {flag} ≥ 1, got 0"));
+        }
     }
 
     #[test]

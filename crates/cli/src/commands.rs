@@ -1,6 +1,12 @@
 //! Command execution for the `bqs` binary.
+//!
+//! Every command runs through [`execute`], which returns a typed
+//! [`CliError`]; [`run`] converts it to the printable message at one
+//! place. User-reachable failures — I/O on named paths, the durable
+//! log, the network layer, invalid requests — are never `unwrap`s.
 
 use crate::args::{Command, USAGE};
+use crate::error::CliError;
 use bqs_baselines::{
     BufferedDpCompressor, BufferedGreedyCompressor, DeadReckoningCompressor, DpCompressor,
     MbrCompressor, SquishECompressor,
@@ -15,8 +21,15 @@ use bqs_eval::experiments;
 use bqs_eval::Scale;
 use bqs_sim::{dataset, Trace};
 
-/// Runs a parsed command, returning the text to print on success.
+/// Runs a parsed command, returning the text to print on success. The
+/// string form of [`execute`]: every typed error renders through its
+/// `Display` here, and nowhere else.
 pub fn run(command: &Command) -> Result<String, String> {
+    execute(command).map_err(|e| e.to_string())
+}
+
+/// Runs a parsed command with typed errors.
+pub fn execute(command: &Command) -> Result<String, CliError> {
     match command {
         Command::Help => Ok(USAGE.to_string()),
         Command::Info => Ok(info()),
@@ -86,6 +99,38 @@ pub fn run(command: &Command) -> Result<String, String> {
         } => log_query(dir, *track, *from, *to, *bbox, *at, out.as_deref()),
         Command::LogCompact { dir, drop } => log_compact(dir, drop),
         Command::LogVerify { dir } => log_verify(dir),
+        Command::Serve {
+            addr,
+            workers,
+            spill,
+            tolerance,
+            shards,
+            port_file,
+        } => serve(
+            addr,
+            *workers,
+            spill,
+            *tolerance,
+            *shards,
+            port_file.as_deref(),
+        ),
+        Command::Loadgen {
+            addr,
+            sessions,
+            points,
+            seed,
+            connections,
+            batch,
+            shutdown,
+        } => loadgen(
+            addr,
+            *sessions,
+            *points,
+            *seed,
+            *connections,
+            *batch,
+            *shutdown,
+        ),
     }
 }
 
@@ -105,17 +150,34 @@ fn info() -> String {
     )
 }
 
-fn write_or_return(csv: String, out: Option<&str>, summary: String) -> Result<String, String> {
+fn write_or_return(csv: String, out: Option<&str>, summary: String) -> Result<String, CliError> {
     match out {
         Some(path) => {
-            std::fs::write(path, csv).map_err(|e| format!("cannot write {path}: {e}"))?;
+            std::fs::write(path, csv).map_err(|e| CliError::io("write", path, e))?;
             Ok(summary)
         }
         None => Ok(format!("{csv}\n{summary}")),
     }
 }
 
-fn generate(name: &str, seed: u64, full: bool, out: Option<&str>) -> Result<String, String> {
+/// The one formatter for `track,x,y,t` point rows. Both query commands
+/// (`bqs query` over the unified engine, `bqs log query` over a flat
+/// log) and the fleet's `--query-after` output build their CSV here, so
+/// the formats can never drift apart.
+fn slices_csv(slices: &[bqs_tlog::TrackSlice]) -> String {
+    let mut csv = String::from("track,x,y,t\n");
+    for slice in slices {
+        for p in &slice.points {
+            csv.push_str(&format!(
+                "{},{},{},{}\n",
+                slice.track, p.pos.x, p.pos.y, p.t
+            ));
+        }
+    }
+    csv
+}
+
+fn generate(name: &str, seed: u64, full: bool, out: Option<&str>) -> Result<String, CliError> {
     let trace = match (name, full) {
         ("bat", true) => dataset::bat_dataset(seed),
         ("bat", false) => dataset::bat_dataset_sized(seed, 2, 2),
@@ -123,7 +185,7 @@ fn generate(name: &str, seed: u64, full: bool, out: Option<&str>) -> Result<Stri
         ("vehicle", false) => dataset::vehicle_dataset_sized(seed, 8),
         ("synthetic", true) => dataset::synthetic_dataset(seed),
         ("synthetic", false) => dataset::synthetic_dataset_sized(seed, 4_000),
-        _ => return Err(format!("unknown dataset: {name}")),
+        _ => return Err(CliError::Invalid(format!("unknown dataset: {name}"))),
     };
     let summary = format!(
         "generated {}: {} points, {:.1} km travelled",
@@ -134,9 +196,9 @@ fn generate(name: &str, seed: u64, full: bool, out: Option<&str>) -> Result<Stri
     write_or_return(trace.to_csv(), out, summary)
 }
 
-fn load_trace(path: &str) -> Result<Trace, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    Trace::from_csv(path.to_string(), &text)
+fn load_trace(path: &str) -> Result<Trace, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::io("read", path, e))?;
+    Trace::from_csv(path.to_string(), &text).map_err(CliError::Invalid)
 }
 
 fn compress(
@@ -145,7 +207,7 @@ fn compress(
     tolerance: f64,
     buffer: usize,
     out: Option<&str>,
-) -> Result<String, String> {
+) -> Result<String, CliError> {
     let trace = load_trace(input)?;
     let points = trace.points.clone();
 
@@ -158,7 +220,7 @@ fn compress(
         kept
     };
 
-    let config = BqsConfig::new(tolerance).map_err(|e| e.to_string())?;
+    let config = BqsConfig::new(tolerance).map_err(CliError::invalid)?;
     let start = std::time::Instant::now();
     let kept = match algorithm {
         "bqs" => run(&mut BqsCompressor::new(config)),
@@ -169,7 +231,7 @@ fn compress(
         "dr" => run(&mut DeadReckoningCompressor::new(tolerance)),
         "squish-e" => run(&mut SquishECompressor::new(tolerance)),
         "mbr" => run(&mut MbrCompressor::new(tolerance, buffer.max(2))),
-        other => return Err(format!("unknown algorithm: {other}")),
+        other => return Err(CliError::Invalid(format!("unknown algorithm: {other}"))),
     };
     let elapsed = start.elapsed();
 
@@ -184,7 +246,7 @@ fn compress(
     write_or_return(compressed.to_csv(), out, summary)
 }
 
-fn verify(original: &str, compressed: &str, tolerance: f64) -> Result<String, String> {
+fn verify(original: &str, compressed: &str, tolerance: f64) -> Result<String, CliError> {
     let orig = load_trace(original)?;
     let comp = load_trace(compressed)?;
     let worst = bqs_eval::verify_deviation_bound(
@@ -192,7 +254,9 @@ fn verify(original: &str, compressed: &str, tolerance: f64) -> Result<String, St
         &comp.points,
         bqs_core::metrics::DeviationMetric::PointToLine,
     )
-    .ok_or("compressed trace is not an anchored subsequence of the original")?;
+    .ok_or_else(|| {
+        CliError::invalid("compressed trace is not an anchored subsequence of the original")
+    })?;
     if worst <= tolerance + 1e-9 {
         Ok(format!(
             "OK: worst deviation {worst:.3} m ≤ tolerance {tolerance} m \
@@ -201,9 +265,9 @@ fn verify(original: &str, compressed: &str, tolerance: f64) -> Result<String, St
             orig.len()
         ))
     } else {
-        Err(format!(
+        Err(CliError::Invalid(format!(
             "FAIL: worst deviation {worst:.3} m > tolerance {tolerance} m"
-        ))
+        )))
     }
 }
 
@@ -281,7 +345,7 @@ struct FleetRun<'a> {
 /// The report is deterministic for a given seed and worker count: the
 /// per-shard table is sorted by (shard, track), never by join order, and
 /// the compressed data itself is identical for *any* worker count.
-fn fleet(run: FleetRun<'_>) -> Result<String, String> {
+fn fleet(run: FleetRun<'_>) -> Result<String, CliError> {
     use bqs_sim::{RandomWalkConfig, RandomWalkModel};
     use bqs_tlog::{LogConfig, TrajectoryLog};
     use std::collections::HashMap;
@@ -298,7 +362,7 @@ fn fleet(run: FleetRun<'_>) -> Result<String, String> {
         query_after,
     } = run;
     let workers = workers.max(1);
-    let config = BqsConfig::new(tolerance).map_err(|e| e.to_string())?;
+    let config = BqsConfig::new(tolerance).map_err(CliError::invalid)?;
     let traces: Vec<Vec<bqs_geo::TimedPoint>> = (0..sessions)
         .map(|t| {
             let cfg = RandomWalkConfig {
@@ -311,43 +375,17 @@ fn fleet(run: FleetRun<'_>) -> Result<String, String> {
         })
         .collect();
 
-    if let Some(dir) = spill {
-        // An incompatible pre-existing layout (a flat log where this
-        // run would write a shard tree, a tree built with a different
-        // --workers, …) gets a specific diagnosis: writing anyway would
-        // produce exactly the mixed/gapped trees `verify_sharded`
-        // rejects.
-        bqs_tlog::check_spill_root(dir, workers).map_err(|e| e.to_string())?;
-        // Beyond layout, fleet runs reuse track ids 0..sessions with
-        // simulated timestamps starting at 0; spilling over an earlier
-        // run's data would fail the log's time-order check with a
-        // cryptic error, so refuse any non-empty directory up front.
-        let path = std::path::Path::new(dir);
-        if path.exists()
-            && path
-                .read_dir()
-                .map_err(|e| format!("cannot read {dir}: {e}"))?
-                .next()
-                .is_some()
-        {
-            return Err(format!(
-                "--spill {dir} is not empty; use a fresh directory per fleet run"
-            ));
-        }
-    }
+    // `prepare_spill_logs` is the one guard + open path every spill
+    // writer (this command and `bqs serve`) shares: incompatible
+    // layouts get their specific diagnosis, any other non-empty
+    // directory is refused up front (fleet runs restart stream clocks,
+    // so appending over old data would fail deep in the codec), and a
+    // single worker gets a flat log while several get `shard-<k>/`
+    // trees.
     let logs: Vec<Option<TrajectoryLog>> = match spill {
-        // One worker spills into a flat log at the directory itself;
-        // several workers get private `shard-<k>/` logs (shared-nothing
-        // on disk — a log is single-writer).
-        Some(dir) if workers == 1 => {
-            let (log, _) =
-                TrajectoryLog::open(dir, LogConfig::default()).map_err(|e| e.to_string())?;
-            vec![Some(log)]
-        }
-        Some(dir) => bqs_tlog::open_shard_logs(dir, workers, LogConfig::default())
-            .map_err(|e| e.to_string())?
+        Some(dir) => bqs_tlog::prepare_spill_logs(dir, workers, LogConfig::default())?
             .into_iter()
-            .map(|(log, _)| Some(log))
+            .map(Some)
             .collect(),
         None => (0..workers).map(|_| None).collect(),
     };
@@ -373,16 +411,20 @@ fn fleet(run: FleetRun<'_>) -> Result<String, String> {
             move || FastBqsCompressor::new(config),
             logs,
         ),
-        other => return Err(format!("fleet supports bqs|fbqs, got {other}")),
+        other => {
+            return Err(CliError::Invalid(format!(
+                "fleet supports bqs|fbqs, got {other}"
+            )))
+        }
     };
     if !join.is_ok() {
         let failure = &join.failures[0];
-        return Err(format!(
+        return Err(CliError::Invalid(format!(
             "worker shard {} panicked: {} ({} sessions poisoned)",
             failure.shard,
             failure.panic,
             failure.tracks.len()
-        ));
+        )));
     }
     let stats = join.stats;
 
@@ -425,7 +467,7 @@ fn fleet(run: FleetRun<'_>) -> Result<String, String> {
     for shard in join.shards {
         tagged.extend(shard.sink.tagged);
         if let Some(sink) = shard.sink.spill {
-            let reports = sink.finish().map_err(|e| e.to_string())?;
+            let reports = sink.finish()?;
             spill_sessions += reports.len();
             spill_points += reports.iter().map(|r| r.points).sum::<u64>();
             spill_bytes += reports.iter().map(|r| r.bytes).sum::<u64>();
@@ -442,7 +484,7 @@ fn fleet(run: FleetRun<'_>) -> Result<String, String> {
     if let Some(dir) = spill.filter(|_| workers > 1) {
         // Cache the tree's pruning inputs so readers never open shards
         // a query cannot touch; `bqs log verify` cross-checks it.
-        let manifest = bqs_tlog::Manifest::rebuild(dir).map_err(|e| e.to_string())?;
+        let manifest = bqs_tlog::Manifest::rebuild(dir)?;
         spill_line.push_str(&format!(
             "wrote MANIFEST ({} shards, {} tracks)\n",
             manifest.shards.len(),
@@ -456,10 +498,8 @@ fn fleet(run: FleetRun<'_>) -> Result<String, String> {
     if let (Some(dir), Some([from, to])) = (spill, query_after) {
         // Prove the run is queryable end to end: same unified engine,
         // same answer shape, flat log or tree alike.
-        let mut engine = bqs_tlog::QueryEngine::open(dir).map_err(|e| e.to_string())?;
-        let result = engine
-            .query_time_range(None, bqs_tlog::TimeRange::new(from, to))
-            .map_err(|e| e.to_string())?;
+        let mut engine = bqs_tlog::QueryEngine::open(dir)?;
+        let result = engine.query_time_range(None, bqs_tlog::TimeRange::new(from, to))?;
         spill_line.push_str(&format!(
             "query [{from}, {to}]: {} tracks, {} points \
              (decoded {} of {} records, {} of {} shards pruned)\n",
@@ -478,7 +518,7 @@ fn fleet(run: FleetRun<'_>) -> Result<String, String> {
     let (&probe, fleet_kept) = tagged
         .iter()
         .max_by_key(|(&track, v)| (v.len(), std::cmp::Reverse(track)))
-        .ok_or("fleet produced no output")?;
+        .ok_or_else(|| CliError::invalid("fleet produced no output"))?;
     let solo = match algorithm {
         "bqs" => compress_all(
             &mut BqsCompressor::new(config),
@@ -490,12 +530,12 @@ fn fleet(run: FleetRun<'_>) -> Result<String, String> {
         ),
     };
     if fleet_kept != &solo {
-        return Err(format!(
+        return Err(CliError::Invalid(format!(
             "session {probe}: fleet output diverged from solo compression \
              ({} vs {} points)",
             fleet_kept.len(),
             solo.len()
-        ));
+        )));
     }
     if let Some(dir) = spill {
         // Reopen the probe's shard log and check the durable copy too.
@@ -504,16 +544,15 @@ fn fleet(run: FleetRun<'_>) -> Result<String, String> {
         } else {
             bqs_tlog::shard_dir(dir, worker_of(probe, workers))
         };
-        let (log, _) =
-            TrajectoryLog::open(probe_dir, LogConfig::default()).map_err(|e| e.to_string())?;
-        let from_disk = log.read_track(probe).map_err(|e| e.to_string())?;
+        let (log, _) = TrajectoryLog::open(probe_dir, LogConfig::default())?;
+        let from_disk = log.read_track(probe)?;
         if from_disk != solo {
-            return Err(format!(
+            return Err(CliError::Invalid(format!(
                 "session {probe}: spilled log diverged from solo compression \
                  ({} vs {} points)",
                 from_disk.len(),
                 solo.len()
-            ));
+            )));
         }
     }
 
@@ -537,13 +576,13 @@ fn fleet(run: FleetRun<'_>) -> Result<String, String> {
 /// spill tree as a flat log would silently see an empty log (and
 /// `append` would even write a rogue segment no tree tooling visits).
 /// Point the user at a shard instead.
-fn reject_sharded_root(dir: &str) -> Result<(), String> {
+fn reject_sharded_root(dir: &str) -> Result<(), CliError> {
     if bqs_tlog::is_sharded_tree(dir) {
-        return Err(format!(
+        return Err(CliError::Invalid(format!(
             "{dir} is a sharded spill tree (shard-<k>/ directories); \
              run this command on one shard, e.g. {dir}/shard-0 \
              (`bqs query` and `bqs log verify` accept the tree root)"
-        ));
+        )));
     }
     Ok(())
 }
@@ -559,10 +598,10 @@ fn unified_query(
     to: Option<f64>,
     bbox: Option<[f64; 4]>,
     out: Option<&str>,
-) -> Result<String, String> {
+) -> Result<String, CliError> {
     use bqs_tlog::{QueryEngine, TimeRange};
 
-    let mut engine = QueryEngine::open(dir).map_err(|e| e.to_string())?;
+    let mut engine = QueryEngine::open(dir)?;
     let range = TimeRange::new(
         from.unwrap_or(f64::NEG_INFINITY),
         to.unwrap_or(f64::INFINITY),
@@ -573,24 +612,12 @@ fn unified_query(
                 bqs_geo::Point2::new(x0, y0),
                 bqs_geo::Point2::new(x1, y1),
             );
-            engine
-                .query_bbox(track, area, Some(range))
-                .map_err(|e| e.to_string())?
+            engine.query_bbox(track, area, Some(range))?
         }
-        None => engine
-            .query_time_range(track, range)
-            .map_err(|e| e.to_string())?,
+        None => engine.query_time_range(track, range)?,
     };
 
-    let mut csv = String::from("track,x,y,t\n");
-    for slice in &result.slices {
-        for p in &slice.points {
-            csv.push_str(&format!(
-                "{},{},{},{}\n",
-                slice.track, p.pos.x, p.pos.y, p.t
-            ));
-        }
-    }
+    let csv = slices_csv(&result.slices);
     let mut summary = format!(
         "{} tracks, {} points over {} shard(s) \
          (decoded {} of {} records, {} shard(s) pruned via MANIFEST)\n",
@@ -618,7 +645,7 @@ fn unified_query(
     }
     match out {
         Some(path) => {
-            std::fs::write(path, csv).map_err(|e| format!("cannot write {path}: {e}"))?;
+            std::fs::write(path, csv).map_err(|e| CliError::io("write", path, e))?;
             Ok(summary)
         }
         None => Ok(format!("{csv}{summary}")),
@@ -633,12 +660,12 @@ fn log_append(
     track: u64,
     algorithm: &str,
     tolerance: f64,
-) -> Result<String, String> {
+) -> Result<String, CliError> {
     use bqs_tlog::{LogConfig, TrajectoryLog};
 
     reject_sharded_root(dir)?;
     let trace = load_trace(input)?;
-    let config = BqsConfig::new(tolerance).map_err(|e| e.to_string())?;
+    let config = BqsConfig::new(tolerance).map_err(CliError::invalid)?;
     let points = match algorithm {
         "none" => trace.points.clone(),
         "bqs" => compress_all(
@@ -649,11 +676,14 @@ fn log_append(
             &mut FastBqsCompressor::new(config),
             trace.points.iter().copied(),
         ),
-        other => return Err(format!("log append supports none|bqs|fbqs, got {other}")),
+        other => {
+            return Err(CliError::Invalid(format!(
+                "log append supports none|bqs|fbqs, got {other}"
+            )))
+        }
     };
-    let (mut log, recovery) =
-        TrajectoryLog::open(dir, LogConfig::default()).map_err(|e| e.to_string())?;
-    let receipt = log.append(track, &points).map_err(|e| e.to_string())?;
+    let (mut log, recovery) = TrajectoryLog::open(dir, LogConfig::default())?;
+    let receipt = log.append(track, &points)?;
     let mut out = recovery_line(&recovery);
     out.push_str(&format!(
         "appended track {track}: {} → {} points ({algorithm}), {} B \
@@ -691,30 +721,31 @@ fn log_query(
     bbox: Option<[f64; 4]>,
     at: Option<f64>,
     out: Option<&str>,
-) -> Result<String, String> {
+) -> Result<String, CliError> {
     use bqs_tlog::{LogConfig, TimeRange, TrajectoryLog};
 
     reject_sharded_root(dir)?;
     // Also guarded in the argument parser; re-checked here because
     // `run` is a public entry point.
     if at.is_some() && track.is_none() {
-        return Err("--at requires --track".to_string());
+        return Err(CliError::invalid("--at requires --track"));
     }
     if at.is_some() && (from.is_some() || to.is_some() || bbox.is_some()) {
-        return Err("--at cannot be combined with --from/--to/--bbox".to_string());
+        return Err(CliError::invalid(
+            "--at cannot be combined with --from/--to/--bbox",
+        ));
     }
 
-    let (log, recovery) =
-        TrajectoryLog::open(dir, LogConfig::default()).map_err(|e| e.to_string())?;
+    let (log, recovery) = TrajectoryLog::open(dir, LogConfig::default())?;
     let recovered = recovery_line(&recovery);
 
     if let (Some(t), Some(track)) = (at, track) {
-        return match log.reconstruct_at(track, t).map_err(|e| e.to_string())? {
+        return match log.reconstruct_at(track, t)? {
             Some(p) => Ok(format!(
                 "{recovered}track {track} at t={t}: x={:.3} y={:.3}\n",
                 p.pos.x, p.pos.y
             )),
-            None => Err(format!("track {track} has no data")),
+            None => Err(CliError::Invalid(format!("track {track} has no data"))),
         };
     }
 
@@ -728,23 +759,12 @@ fn log_query(
                 bqs_geo::Point2::new(x0, y0),
                 bqs_geo::Point2::new(x1, y1),
             );
-            log.query_bbox(track, area, Some(range))
-                .map_err(|e| e.to_string())?
+            log.query_bbox(track, area, Some(range))?
         }
-        None => log
-            .query_time_range(track, range)
-            .map_err(|e| e.to_string())?,
+        None => log.query_time_range(track, range)?,
     };
 
-    let mut csv = String::from("track,x,y,t\n");
-    for slice in &result.slices {
-        for p in &slice.points {
-            csv.push_str(&format!(
-                "{},{},{},{}\n",
-                slice.track, p.pos.x, p.pos.y, p.t
-            ));
-        }
-    }
+    let csv = slices_csv(&result.slices);
     let summary = format!(
         "{} tracks, {} points (decoded {} of {} records via the index)\n",
         result.slices.len(),
@@ -754,7 +774,7 @@ fn log_query(
     );
     match out {
         Some(path) => {
-            std::fs::write(path, csv).map_err(|e| format!("cannot write {path}: {e}"))?;
+            std::fs::write(path, csv).map_err(|e| CliError::io("write", path, e))?;
             Ok(format!("{recovered}{summary}"))
         }
         None => Ok(format!("{recovered}{csv}{summary}")),
@@ -763,19 +783,18 @@ fn log_query(
 
 /// `bqs log compact`: tombstone the dropped tracks, then rewrite live
 /// records into fresh segments.
-fn log_compact(dir: &str, drop: &[u64]) -> Result<String, String> {
+fn log_compact(dir: &str, drop: &[u64]) -> Result<String, CliError> {
     use bqs_tlog::{LogConfig, TrajectoryLog};
 
     reject_sharded_root(dir)?;
-    let (mut log, recovery) =
-        TrajectoryLog::open(dir, LogConfig::default()).map_err(|e| e.to_string())?;
+    let (mut log, recovery) = TrajectoryLog::open(dir, LogConfig::default())?;
     let mut dropped = 0usize;
     for &track in drop {
-        if log.delete_track(track).map_err(|e| e.to_string())? {
+        if log.delete_track(track)? {
             dropped += 1;
         }
     }
-    let report = log.compact().map_err(|e| e.to_string())?;
+    let report = log.compact()?;
     Ok(format!(
         "{}dropped {dropped} track(s); compacted {} → {} segments, \
          {} → {} B ({} records removed)\n",
@@ -792,9 +811,10 @@ fn log_compact(dir: &str, drop: &[u64]) -> Result<String, String> {
 /// directory holding `shard-<k>/` subdirectories (a parallel fleet's
 /// spill tree) is verified shard by shard; anything else is treated as
 /// one flat log.
-fn log_verify(dir: &str) -> Result<String, String> {
+fn log_verify(dir: &str) -> Result<String, CliError> {
     if bqs_tlog::is_sharded_tree(dir) {
-        let report = bqs_tlog::verify_sharded(dir).map_err(|e| format!("FAIL: {e}"))?;
+        let report =
+            bqs_tlog::verify_sharded(dir).map_err(|e| CliError::Invalid(format!("FAIL: {e}")))?;
         let total = &report.total;
         let mut out = format!(
             "OK: {} shards{}, {} segments, {} records (+{} tombstones), {} points, \
@@ -820,7 +840,7 @@ fn log_verify(dir: &str) -> Result<String, String> {
         }
         return Ok(out);
     }
-    let report = bqs_tlog::verify_dir(dir).map_err(|e| format!("FAIL: {e}"))?;
+    let report = bqs_tlog::verify_dir(dir).map_err(|e| CliError::Invalid(format!("FAIL: {e}")))?;
     Ok(format!(
         "OK: {} segments, {} records (+{} tombstones), {} points, {} B \
          ({:.2} B/point on disk, naive {} B/point)\n",
@@ -834,7 +854,7 @@ fn log_verify(dir: &str) -> Result<String, String> {
     ))
 }
 
-fn run_experiments(names: &[String], full: bool) -> Result<String, String> {
+fn run_experiments(names: &[String], full: bool) -> Result<String, CliError> {
     let scale = if full { Scale::Full } else { Scale::Quick };
     let wanted = |name: &str| names.is_empty() || names.iter().any(|n| n == name || n == "all");
     let mut out = String::new();
@@ -886,13 +906,112 @@ fn run_experiments(names: &[String], full: bool) -> Result<String, String> {
     if wanted("query") {
         out.push_str(&experiments::query::run(scale).to_table().to_string());
     }
+    if wanted("net") {
+        out.push_str(&experiments::net::run(scale).to_table().to_string());
+    }
     if wanted("extended") {
         out.push_str(&experiments::extended::run(scale).to_table().to_string());
     }
     if out.is_empty() {
-        return Err(format!("no experiment matched {names:?}"));
+        return Err(CliError::Invalid(format!(
+            "no experiment matched {names:?}"
+        )));
     }
     Ok(out)
+}
+
+/// `bqs serve`: binds the framed TCP server over a parallel fleet,
+/// announces the bound address (stdout line + optional `--port-file`),
+/// then blocks until a client sends `Shutdown`. On exit the fleet has
+/// been drained, every session spilled, and the `MANIFEST` written —
+/// the directory passes `bqs log verify`.
+fn serve(
+    addr: &str,
+    workers: usize,
+    spill: &str,
+    tolerance: f64,
+    shards: usize,
+    port_file: Option<&str>,
+) -> Result<String, CliError> {
+    use std::io::Write;
+
+    let server = bqs_net::Server::bind(bqs_net::ServerConfig {
+        addr: addr.to_string(),
+        workers,
+        spill: spill.into(),
+        tolerance,
+        shards,
+    })?;
+    let local = server.local_addr();
+    if let Some(path) = port_file {
+        std::fs::write(path, format!("{local}\n")).map_err(|e| CliError::io("write", path, e))?;
+    }
+    // Announced eagerly (not in the returned summary): scripts and
+    // operators need the port while the server is still running.
+    println!("listening on {local}");
+    let _ = std::io::stdout().flush();
+
+    let report = server.run()?;
+    let manifest_line = if report.manifest_shards > 0 {
+        format!("wrote MANIFEST ({} shards)\n", report.manifest_shards)
+    } else {
+        String::new()
+    };
+    Ok(format!(
+        "served {} connection(s), {} frame(s), {} points \
+         ({workers} workers, {tolerance} m, {shards} shards)\n\
+         spilled {} sessions, {} points, {} B ({:.2} B/point) to {spill}\n\
+         {manifest_line}\
+         pruning power {:.4}\n",
+        report.connections,
+        report.frames,
+        report.appended_points,
+        report.spilled_sessions,
+        report.spilled_points,
+        report.spilled_bytes,
+        report.spilled_bytes as f64 / report.spilled_points.max(1) as f64,
+        report.stats.pruning_power(),
+    ))
+}
+
+/// `bqs loadgen`: seeded, reproducible ingest against a running server
+/// — the same workload `bqs fleet --seed` drives in process, so the
+/// spilled trees are comparable byte for byte.
+fn loadgen(
+    addr: &str,
+    sessions: usize,
+    points: usize,
+    seed: u64,
+    connections: usize,
+    batch: usize,
+    shutdown: bool,
+) -> Result<String, CliError> {
+    let report = bqs_net::loadgen::run(&bqs_net::LoadgenConfig {
+        addr: addr.to_string(),
+        sessions,
+        points,
+        seed,
+        connections,
+        batch,
+        shutdown,
+    })?;
+    let shutdown_line = match report.shutdown {
+        Some(ack) => format!(
+            "server acknowledged shutdown ({} connection(s), {} points served)\n",
+            ack.connections, ack.appended_points
+        ),
+        None => String::new(),
+    };
+    Ok(format!(
+        "loadgen: {sessions} sessions × {points} points over {} connection(s) \
+         (seed {seed}, batch {batch}) against {addr}\n\
+         sent {} points in {:.2} s ({:.2} Mpts/s)\n\
+         {shutdown_line}",
+        report.connections,
+        report.points_sent,
+        report.elapsed,
+        report.points_per_sec() / 1e6,
+    ))
 }
 
 #[cfg(test)]
@@ -1503,6 +1622,92 @@ mod tests {
         })
         .unwrap();
         assert!(listing.contains("1 tracks"), "{listing}");
+    }
+
+    #[test]
+    fn serve_and_loadgen_round_trip_over_loopback() {
+        let dir = tmp("serve-spill");
+        let _ = std::fs::remove_dir_all(&dir);
+        let port_file = tmp("serve-port");
+        let _ = std::fs::remove_file(&port_file);
+
+        let serve_cmd = Command::Serve {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            spill: dir.clone(),
+            tolerance: 10.0,
+            shards: 4,
+            port_file: Some(port_file.clone()),
+        };
+        let server = std::thread::spawn(move || run(&serve_cmd));
+
+        // The bound address lands in the port file once the listener is
+        // up; poll briefly instead of guessing a port.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&port_file) {
+                let addr = text.trim().to_string();
+                if !addr.is_empty() {
+                    break addr;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "server never wrote its port file"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+
+        let text = run(&Command::Loadgen {
+            addr,
+            sessions: 6,
+            points: 80,
+            seed: 3,
+            connections: 2,
+            batch: 16,
+            shutdown: true,
+        })
+        .unwrap();
+        assert!(text.contains("sent 480 points"), "{text}");
+        assert!(text.contains("acknowledged shutdown"), "{text}");
+
+        let summary = server.join().unwrap().unwrap();
+        assert!(summary.contains("spilled 6 sessions"), "{summary}");
+        assert!(summary.contains("wrote MANIFEST (2 shards)"), "{summary}");
+
+        // The spilled tree verifies and answers queries like any fleet
+        // spill tree.
+        let verdict = run(&Command::LogVerify { dir: dir.clone() }).unwrap();
+        assert!(verdict.starts_with("OK"), "{verdict}");
+        assert!(verdict.contains("2 shards"), "{verdict}");
+        let listing = run(&Command::Query {
+            dir,
+            track: None,
+            from: None,
+            to: None,
+            bbox: None,
+            out: None,
+        })
+        .unwrap();
+        assert!(listing.contains("6 tracks"), "{listing}");
+    }
+
+    #[test]
+    fn serve_refuses_a_used_spill_directory() {
+        let dir = tmp("serve-used");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(std::path::Path::new(&dir).join("junk"), b"x").unwrap();
+        let err = run(&Command::Serve {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            spill: dir,
+            tolerance: 10.0,
+            shards: 4,
+            port_file: None,
+        })
+        .unwrap_err();
+        assert!(err.contains("fresh directory"), "{err}");
     }
 
     #[test]

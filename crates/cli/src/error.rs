@@ -1,0 +1,98 @@
+//! The CLI's typed error: every failure a command can hit — I/O on a
+//! named path, the durable-log layer, the network layer, a spill at
+//! close, or an invalid request — as one enum with consistent
+//! messages, instead of ad-hoc strings assembled at each call site.
+//!
+//! Commands return `Result<_, CliError>` internally;
+//! [`crate::commands::run`] converts to the printable string (and the
+//! process exit code) at exactly one place.
+
+use std::fmt;
+
+/// Everything a `bqs` command can fail with.
+#[derive(Debug)]
+pub enum CliError {
+    /// An I/O operation on a user-named path failed. Displays as
+    /// `cannot <action> <path>: <source>` so every file error reads the
+    /// same way.
+    Io {
+        /// The verb: "read", "write", …
+        action: &'static str,
+        /// The path involved.
+        path: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The durable trajectory log failed.
+    Tlog(bqs_tlog::TlogError),
+    /// Spilling buffered session output failed; the unflushed points
+    /// are inside, not silently dropped.
+    Spill(Box<bqs_tlog::SpillFailure>),
+    /// The network layer (serve/loadgen) failed.
+    Net(bqs_net::NetError),
+    /// The request is invalid or cannot be satisfied; the message is
+    /// self-contained.
+    Invalid(String),
+}
+
+impl CliError {
+    /// An I/O error tagged with its operation and path.
+    pub fn io(action: &'static str, path: impl Into<String>, source: std::io::Error) -> CliError {
+        CliError::Io {
+            action,
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// An invalid-request error from anything displayable.
+    pub fn invalid(message: impl fmt::Display) -> CliError {
+        CliError::Invalid(message.to_string())
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Io {
+                action,
+                path,
+                source,
+            } => write!(f, "cannot {action} {path}: {source}"),
+            CliError::Tlog(e) => e.fmt(f),
+            CliError::Spill(e) => e.fmt(f),
+            CliError::Net(e) => e.fmt(f),
+            CliError::Invalid(message) => f.write_str(message),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Io { source, .. } => Some(source),
+            CliError::Tlog(e) => Some(e),
+            CliError::Spill(e) => Some(e),
+            CliError::Net(e) => Some(e),
+            CliError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<bqs_tlog::TlogError> for CliError {
+    fn from(e: bqs_tlog::TlogError) -> CliError {
+        CliError::Tlog(e)
+    }
+}
+
+impl From<Box<bqs_tlog::SpillFailure>> for CliError {
+    fn from(e: Box<bqs_tlog::SpillFailure>) -> CliError {
+        CliError::Spill(e)
+    }
+}
+
+impl From<bqs_net::NetError> for CliError {
+    fn from(e: bqs_net::NetError) -> CliError {
+        CliError::Net(e)
+    }
+}

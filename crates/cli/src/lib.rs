@@ -9,6 +9,8 @@
 //!                 [--full]
 //! bqs fleet [--sessions N] [--points N] [--tolerance M] [--algorithm bqs|fbqs]
 //!           [--shards N]
+//! bqs serve --spill DIR [--addr HOST:PORT] [--workers N]
+//! bqs loadgen --addr HOST:PORT [--sessions N] [--points N] [--shutdown]
 //! bqs info
 //! ```
 //!
@@ -21,9 +23,11 @@
 
 pub mod args;
 pub mod commands;
+pub mod error;
 
 pub use args::{parse, Command};
-pub use commands::run;
+pub use commands::{execute, run};
+pub use error::CliError;
 
 /// Entry point shared by the binary and the tests: parse and run, mapping
 /// errors to a message + exit code.

@@ -146,6 +146,23 @@ pub struct ShardFailure {
     pub submitted_points: u64,
 }
 
+/// One worker shard's submission-side counters, observable while the
+/// fleet is still running (unlike [`ShardOutput`], which only exists
+/// after [`ParallelFleet::join`]). Counted on the routing side, so the
+/// numbers are exact even for a shard whose worker has died.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardCounters {
+    /// The shard index (`0..workers`).
+    pub shard: usize,
+    /// Distinct tracks routed to this shard so far.
+    pub tracks: usize,
+    /// Points submitted for this shard so far.
+    pub submitted_points: u64,
+    /// `true` once the shard's worker has panicked (the loss is
+    /// reported in full at [`ParallelFleet::join`]).
+    pub dead: bool,
+}
+
 /// The merged result of a parallel run.
 #[derive(Debug)]
 pub struct FleetJoin<S> {
@@ -183,6 +200,9 @@ enum Msg {
     /// Snapshot request: the worker answers with a consistent view of
     /// its engine + sink state after all previously queued work.
     Snapshot(SyncSender<FleetSnapshot>),
+    /// Stats request: the worker answers with its engine's merged
+    /// [`DecisionStats`] after all previously queued work.
+    Stats(SyncSender<DecisionStats>),
 }
 
 struct WorkerOutput<S> {
@@ -245,6 +265,7 @@ where
             // The reply channel may be gone if the requester timed out;
             // a failed send just drops this shard from the snapshot.
             Msg::Snapshot(reply) => drop(reply.send(engine.snapshot(&sink))),
+            Msg::Stats(reply) => drop(reply.send(engine.stats())),
         }
     }
     // Channel closed: the submission side called join (or was dropped).
@@ -397,6 +418,53 @@ impl<S: FleetSink + Send + 'static> ParallelFleet<S> {
             replies.push(rx);
         }
         FleetSnapshot::merge(replies.into_iter().filter_map(|rx| rx.recv().ok()))
+    }
+
+    /// Submission-side counters per worker shard: tracks routed, points
+    /// submitted, liveness. Cheap (no worker round-trip) and exact —
+    /// the same counters [`ShardFailure`] reports for a dead shard.
+    pub fn shard_counters(&self) -> Vec<ShardCounters> {
+        self.workers
+            .iter()
+            .enumerate()
+            .map(|(shard, w)| ShardCounters {
+                shard,
+                tracks: w.tracks.len(),
+                submitted_points: w.submitted_points,
+                dead: w.dead,
+            })
+            .collect()
+    }
+
+    /// Decision statistics merged across every live worker's engine,
+    /// without ending the run. Partially filled batches are flushed
+    /// first and each stats request is ordered behind them, so the
+    /// merge covers every point submitted before this call; requests
+    /// fan out to all workers before any reply is awaited. Dead shards
+    /// contribute nothing (their loss surfaces at
+    /// [`ParallelFleet::join`]).
+    pub fn live_stats(&mut self) -> DecisionStats {
+        self.flush();
+        let mut replies = Vec::with_capacity(self.workers.len());
+        for worker in &mut self.workers {
+            if worker.dead {
+                continue;
+            }
+            let (tx, rx) = sync_channel(1);
+            let sender = worker.sender.as_ref().expect("sender lives until join");
+            if sender.send(Msg::Stats(tx)).is_err() {
+                worker.dead = true;
+                continue;
+            }
+            replies.push(rx);
+        }
+        let mut stats = DecisionStats::default();
+        for rx in replies {
+            if let Ok(shard) = rx.recv() {
+                stats.merge(&shard);
+            }
+        }
+        stats
     }
 
     /// Flushes every batch, closes the channels, drains every engine
@@ -736,6 +804,64 @@ mod tests {
             let expected = compress_all(&mut solo, trace.iter().copied());
             assert_eq!(all[&(t as u64)], expected, "track {t}");
         }
+    }
+
+    #[test]
+    fn live_stats_and_shard_counters_observe_the_run_in_flight() {
+        let traces: Vec<Vec<TimedPoint>> = (0..10).map(|t| wave(t, 80)).collect();
+        let mut fleet = parallel(4, 10.0);
+        for i in 0..80 {
+            for (t, trace) in traces.iter().enumerate() {
+                fleet.push(t as u64, trace[i]);
+            }
+        }
+        // Every submitted point is visible to a mid-run stats merge…
+        let stats = fleet.live_stats();
+        assert_eq!(stats.points, 10 * 80);
+        // …and the submission-side counters agree exactly.
+        let counters = fleet.shard_counters();
+        assert_eq!(counters.len(), 4);
+        assert_eq!(
+            counters.iter().map(|c| c.submitted_points).sum::<u64>(),
+            10 * 80
+        );
+        assert_eq!(counters.iter().map(|c| c.tracks).sum::<usize>(), 10);
+        assert!(counters.iter().all(|c| !c.dead));
+        assert!(counters.iter().enumerate().all(|(i, c)| c.shard == i));
+        // Observing the run changes nothing: the final merge matches.
+        let join = fleet.join();
+        assert_eq!(join.stats.points, 10 * 80);
+    }
+
+    #[test]
+    fn live_stats_skips_dead_shards_instead_of_hanging() {
+        let config = BqsConfig::new(10.0).unwrap();
+        let mut fleet = ParallelFleet::new(
+            ParallelConfig {
+                workers: 2,
+                batch_points: 2,
+                channel_batches: 2,
+                fleet: FleetConfig::default(),
+            },
+            move || Poisonable(FastBqsCompressor::new(config)),
+            |_| HashMap::<TrackId, Vec<TimedPoint>>::new(),
+        );
+        for t in 0..6u64 {
+            for p in wave(t, 20) {
+                fleet.push(t, p);
+            }
+        }
+        let poisoned_shard = fleet.shard_of(0);
+        fleet.push(0, TimedPoint::new(f64::NAN, 0.0, 1e9));
+        fleet.flush();
+        // Give the worker a moment to hit the poison and die; the stats
+        // call itself must not hang or panic either way.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let stats = fleet.live_stats();
+        assert!(stats.points > 0, "healthy shards still report");
+        let join = fleet.join();
+        assert_eq!(join.failures.len(), 1);
+        assert_eq!(join.failures[0].shard, poisoned_shard);
     }
 
     #[test]

@@ -7,6 +7,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fleet;
+pub mod net;
 pub mod query;
 pub mod storage;
 pub mod table1;

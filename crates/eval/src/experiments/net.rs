@@ -1,0 +1,144 @@
+//! Serving-layer experiment (beyond the paper): loopback ingest
+//! throughput of the framed TCP server as client fan-in and fleet
+//! fan-out grow.
+//!
+//! Each cell runs the full lifecycle — bind, seeded multi-connection
+//! `loadgen`, graceful shutdown, spill — and reports wire throughput
+//! plus the durable outcome. The kept (spilled) point count must be
+//! identical in every cell: compression is deterministic per seed, so
+//! neither the connection count nor the worker count may change what
+//! lands on disk. The table asserts that invariant rather than just
+//! printing it.
+
+use crate::report::TextTable;
+use crate::Scale;
+use bqs_net::{loadgen, LoadgenConfig, Server, ServerConfig};
+use std::path::PathBuf;
+
+/// Seed shared with the rest of the harness.
+use super::SEED;
+
+/// One (workers × connections) cell.
+#[derive(Debug, Clone)]
+pub struct NetRow {
+    /// Fleet worker shards behind the server.
+    pub workers: usize,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Points sent over the wire.
+    pub points: u64,
+    /// Wire ingest throughput in points/second.
+    pub points_per_sec: f64,
+    /// Sessions spilled at shutdown.
+    pub spilled_sessions: usize,
+    /// Compressed points in the spill tree.
+    pub spilled_points: u64,
+    /// On-disk bytes per spilled point.
+    pub bytes_per_point: f64,
+}
+
+/// Full sweep result.
+#[derive(Debug, Clone)]
+pub struct NetResult {
+    /// One row per (workers, connections) cell.
+    pub rows: Vec<NetRow>,
+}
+
+impl NetResult {
+    /// Renders the sweep as a text table.
+    pub fn to_table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Net — loopback serve/loadgen sweep (FBQS, 10 m, seeded; kept counts must match)",
+            &[
+                "workers", "conns", "points", "Mpts/s", "sessions", "kept", "B/pt",
+            ],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.workers.to_string(),
+                r.connections.to_string(),
+                r.points.to_string(),
+                format!("{:.3}", r.points_per_sec / 1e6),
+                r.spilled_sessions.to_string(),
+                r.spilled_points.to_string(),
+                format!("{:.2}", r.bytes_per_point),
+            ]);
+        }
+        t
+    }
+}
+
+fn temp_root(workers: usize, connections: usize) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("bqs-eval-net")
+        .join(format!("w{workers}-c{connections}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs the sweep.
+pub fn run(scale: Scale) -> NetResult {
+    let (sessions, points) = match scale {
+        Scale::Quick => (8usize, 150usize),
+        Scale::Full => (64, 500),
+    };
+    let mut rows = Vec::new();
+    for workers in [1usize, 2, 4] {
+        for connections in [1usize, 4] {
+            let root = temp_root(workers, connections);
+            let server = Server::bind(ServerConfig::new("127.0.0.1:0", workers, &root))
+                .expect("bind loopback server");
+            let addr = server.local_addr();
+            let handle = std::thread::spawn(move || server.run().expect("serve"));
+            let report = loadgen::run(&LoadgenConfig {
+                addr: addr.to_string(),
+                sessions,
+                points,
+                seed: SEED,
+                connections,
+                batch: 64,
+                shutdown: true,
+            })
+            .expect("loadgen");
+            let serve_report = handle.join().expect("server thread");
+            rows.push(NetRow {
+                workers,
+                connections,
+                points: report.points_sent,
+                points_per_sec: report.points_per_sec(),
+                spilled_sessions: serve_report.spilled_sessions,
+                spilled_points: serve_report.spilled_points,
+                bytes_per_point: serve_report.spilled_bytes as f64
+                    / serve_report.spilled_points.max(1) as f64,
+            });
+            let _ = std::fs::remove_dir_all(&root);
+        }
+    }
+    // The invariance assertion: what lands on disk is independent of
+    // how the load arrived and how it was sharded.
+    let kept = rows[0].spilled_points;
+    assert!(
+        rows.iter().all(|r| r.spilled_points == kept),
+        "kept counts diverged across serve configurations"
+    );
+    NetResult { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_is_invariant_across_cells() {
+        let result = run(Scale::Quick);
+        assert_eq!(result.rows.len(), 6);
+        let first = &result.rows[0];
+        assert_eq!(first.points, 8 * 150);
+        assert!(result
+            .rows
+            .iter()
+            .all(|r| r.spilled_sessions == 8 && r.spilled_points == first.spilled_points));
+        let table = result.to_table().to_string();
+        assert!(table.contains("Net —"), "{table}");
+    }
+}

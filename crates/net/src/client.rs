@@ -1,0 +1,192 @@
+//! [`BqsClient`] — the blocking client half of the wire protocol.
+//!
+//! One request, one reply, in order, over one TCP connection; the
+//! handshake (`Hello`/`HelloOk`) runs inside [`BqsClient::connect`], so
+//! a connected client is always version-compatible. Server-side
+//! failures come back as [`NetError::Server`] with the typed
+//! [`ErrorCode`](crate::wire::ErrorCode) the server sent.
+
+use crate::error::NetError;
+use crate::wire::{
+    read_frame, write_frame, QueryReport, QuerySpec, Reply, Request, StatsReport, PROTOCOL_VERSION,
+};
+use bqs_geo::TimedPoint;
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Totals acknowledged by the server when it accepted a shutdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShutdownAck {
+    /// Connections the server accepted over its lifetime.
+    pub connections: u64,
+    /// Points the server accepted over its lifetime.
+    pub appended_points: u64,
+}
+
+/// A blocking connection to a `bqs serve` instance.
+///
+/// See [`Server`](crate::Server) for a round-trip example.
+pub struct BqsClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    /// Worker shards the server reported in the handshake.
+    workers: u64,
+}
+
+impl BqsClient {
+    /// Connects and performs the `Hello` handshake.
+    pub fn connect(addr: impl ToSocketAddrs + std::fmt::Display) -> Result<BqsClient, NetError> {
+        let stream =
+            TcpStream::connect(&addr).map_err(|e| NetError::io(format!("connect {addr}"), e))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| NetError::io("set_nodelay", e))?;
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| NetError::io("clone stream", e))?,
+        );
+        let mut client = BqsClient {
+            writer: stream,
+            reader,
+            workers: 0,
+        };
+        match client.call(
+            &Request::Hello {
+                protocol: PROTOCOL_VERSION,
+            },
+            "HelloOk",
+        )? {
+            Reply::HelloOk { protocol, workers } => {
+                if protocol != PROTOCOL_VERSION {
+                    return Err(NetError::Handshake { found: protocol });
+                }
+                client.workers = workers;
+                Ok(client)
+            }
+            other => Err(unexpected("HelloOk", &other)),
+        }
+    }
+
+    /// Worker shards behind the connected server.
+    pub fn workers(&self) -> u64 {
+        self.workers
+    }
+
+    /// Sends one request and reads its reply; a typed server error
+    /// becomes `Err(NetError::Server)`.
+    fn call(&mut self, request: &Request, expected: &'static str) -> Result<Reply, NetError> {
+        let payload = request.encode()?;
+        write_frame(&mut self.writer, &payload).map_err(|e| NetError::io("send request", e))?;
+        match read_frame(&mut self.reader)? {
+            Some(payload) => match Reply::decode(&payload)? {
+                Reply::Error { code, message } => Err(NetError::Server { code, message }),
+                reply => Ok(reply),
+            },
+            None => Err(NetError::ConnectionClosed { expected }),
+        }
+    }
+
+    /// Appends a time-ordered batch of `track`'s points; returns the
+    /// count the server accepted.
+    pub fn append(&mut self, track: u64, points: &[TimedPoint]) -> Result<u64, NetError> {
+        match self.call(
+            &Request::Append {
+                track,
+                points: points.to_vec(),
+            },
+            "Appended",
+        )? {
+            Reply::Appended { points, .. } => Ok(points),
+            other => Err(unexpected("Appended", &other)),
+        }
+    }
+
+    /// Asks the server to ship every partially filled fleet batch.
+    pub fn flush(&mut self) -> Result<(), NetError> {
+        match self.call(&Request::Flush, "Flushed")? {
+            Reply::Flushed => Ok(()),
+            other => Err(unexpected("Flushed", &other)),
+        }
+    }
+
+    /// A unified hot/cold query. `track = None` queries every track;
+    /// the bounds are inclusive and may be infinite.
+    pub fn query_time_range(
+        &mut self,
+        track: Option<u64>,
+        from: f64,
+        to: f64,
+    ) -> Result<QueryReport, NetError> {
+        self.query(QuerySpec {
+            track,
+            from,
+            to,
+            bbox: None,
+        })
+    }
+
+    /// A unified hot/cold query with a spatial filter
+    /// (`[x0, y0, x1, y1]`, any two opposite corners).
+    pub fn query_bbox(
+        &mut self,
+        track: Option<u64>,
+        bbox: [f64; 4],
+        from: f64,
+        to: f64,
+    ) -> Result<QueryReport, NetError> {
+        self.query(QuerySpec {
+            track,
+            from,
+            to,
+            bbox: Some(bbox),
+        })
+    }
+
+    /// A unified hot/cold query from an explicit [`QuerySpec`].
+    pub fn query(&mut self, spec: QuerySpec) -> Result<QueryReport, NetError> {
+        match self.call(&Request::Query(spec), "QueryResult")? {
+            Reply::QueryResult(report) => Ok(report),
+            other => Err(unexpected("QueryResult", &other)),
+        }
+    }
+
+    /// Merged decision statistics plus per-shard counters.
+    pub fn stats(&mut self) -> Result<StatsReport, NetError> {
+        match self.call(&Request::Stats, "StatsReply")? {
+            Reply::StatsReply(report) => Ok(report),
+            other => Err(unexpected("StatsReply", &other)),
+        }
+    }
+
+    /// Asks the server to drain, spill and exit; the connection is
+    /// closed after the acknowledgement.
+    pub fn shutdown(mut self) -> Result<ShutdownAck, NetError> {
+        match self.call(&Request::Shutdown, "ShuttingDown")? {
+            Reply::ShuttingDown {
+                connections,
+                appended_points,
+            } => Ok(ShutdownAck {
+                connections,
+                appended_points,
+            }),
+            other => Err(unexpected("ShuttingDown", &other)),
+        }
+    }
+}
+
+fn unexpected(expected: &'static str, found: &Reply) -> NetError {
+    let name = match found {
+        Reply::HelloOk { .. } => "HelloOk",
+        Reply::Appended { .. } => "Appended",
+        Reply::Flushed => "Flushed",
+        Reply::QueryResult(_) => "QueryResult",
+        Reply::StatsReply(_) => "StatsReply",
+        Reply::ShuttingDown { .. } => "ShuttingDown",
+        Reply::Error { .. } => "Error",
+    };
+    NetError::UnexpectedReply {
+        expected,
+        found: name.to_string(),
+    }
+}

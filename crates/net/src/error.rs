@@ -1,0 +1,133 @@
+//! The crate-wide error type: everything a server, client or load
+//! generator can fail with, as one typed enum.
+
+use crate::wire::{ErrorCode, FrameReadError, WireError};
+use bqs_tlog::TlogError;
+use std::fmt;
+
+/// Everything that can go wrong in the serving subsystem.
+#[derive(Debug)]
+pub enum NetError {
+    /// A socket operation failed.
+    Io {
+        /// What was being attempted ("bind 127.0.0.1:0", "connect …").
+        context: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The peer sent bytes that violate the wire protocol.
+    Wire(WireError),
+    /// The server answered a request with a typed error.
+    Server {
+        /// The error code the server sent.
+        code: ErrorCode,
+        /// The server's message.
+        message: String,
+    },
+    /// The peer answered with a well-formed but out-of-place message.
+    UnexpectedReply {
+        /// What the caller was waiting for.
+        expected: &'static str,
+        /// What arrived instead.
+        found: String,
+    },
+    /// The peer closed the connection while a reply was outstanding.
+    ConnectionClosed {
+        /// What the caller was waiting for.
+        expected: &'static str,
+    },
+    /// The handshake failed: incompatible protocol versions.
+    Handshake {
+        /// The version byte the peer presented.
+        found: u8,
+    },
+    /// The durable layer (spill logs, manifest, query engine) failed.
+    Tlog(TlogError),
+    /// A fleet worker shard panicked; its sessions are lost.
+    Fleet {
+        /// The dead shard.
+        shard: usize,
+        /// The stringified panic.
+        panic: String,
+        /// Sessions poisoned with the shard.
+        sessions: usize,
+    },
+    /// Spilling buffered session output to the log failed at shutdown.
+    Spill(String),
+    /// A configuration value was invalid (bad address, zero counts, …).
+    Config(String),
+}
+
+impl NetError {
+    /// An I/O error with its operation context.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> NetError {
+        NetError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io { context, source } => write!(f, "{context}: {source}"),
+            NetError::Wire(e) => write!(f, "wire protocol: {e}"),
+            NetError::Server { code, message } => write!(f, "server error ({code}): {message}"),
+            NetError::UnexpectedReply { expected, found } => {
+                write!(f, "expected {expected}, got {found}")
+            }
+            NetError::ConnectionClosed { expected } => {
+                write!(f, "connection closed while waiting for {expected}")
+            }
+            NetError::Handshake { found } => write!(
+                f,
+                "protocol version mismatch: peer speaks {found}, this build speaks {}",
+                crate::wire::PROTOCOL_VERSION
+            ),
+            NetError::Tlog(e) => write!(f, "storage: {e}"),
+            NetError::Fleet {
+                shard,
+                panic,
+                sessions,
+            } => write!(
+                f,
+                "fleet worker shard {shard} panicked: {panic} ({sessions} sessions poisoned)"
+            ),
+            NetError::Spill(msg) => write!(f, "spill at shutdown: {msg}"),
+            NetError::Config(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io { source, .. } => Some(source),
+            NetError::Wire(e) => Some(e),
+            NetError::Tlog(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> NetError {
+        NetError::Wire(e)
+    }
+}
+
+impl From<TlogError> for NetError {
+    fn from(e: TlogError) -> NetError {
+        NetError::Tlog(e)
+    }
+}
+
+impl From<FrameReadError> for NetError {
+    fn from(e: FrameReadError) -> NetError {
+        match e {
+            FrameReadError::Io(source) => NetError::io("read frame", source),
+            FrameReadError::Wire(w) => NetError::Wire(w),
+        }
+    }
+}

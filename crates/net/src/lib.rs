@@ -1,0 +1,54 @@
+//! # bqs-net — the framed TCP ingest/query server over the parallel fleet
+//!
+//! The paper's premise is compression *on the go*: points arrive from
+//! remote, resource-poor devices and must be bounded-error-compressed
+//! as they stream in. The workspace already simulates the device side
+//! (`bqs-device`), scales the receiving side across cores
+//! ([`ParallelFleet`](bqs_core::fleet::ParallelFleet)) and makes the
+//! output durable and queryable (`bqs-tlog`); this crate is the network
+//! serving layer that turns those pieces into a system many clients can
+//! actually talk to:
+//!
+//! * [`wire`] — the protocol: length-prefixed, CRC-framed binary
+//!   messages (`Hello`/`Append`/`Flush`/`Query`/`Stats`/`Shutdown` and
+//!   typed replies) whose bodies reuse the varint + f64-bit-map
+//!   primitives of `bqs_tlog`'s storage codec. Torn, oversized and
+//!   corrupt frames are typed [`WireError`]s, never silent.
+//! * [`server`] — [`Server`]: an acceptor plus per-connection reader
+//!   threads feeding one shared fleet through the existing batched
+//!   submission path. Backpressure propagates from a saturated worker
+//!   shard all the way to the remote socket; `Query` merges a live
+//!   [`FleetSnapshot`](bqs_core::fleet::FleetSnapshot) with the spill
+//!   tree through the unified
+//!   [`QueryEngine`](bqs_tlog::QueryEngine); `Shutdown` drains
+//!   connections and leaves a spill tree `bqs log verify` accepts.
+//! * [`client`] — [`BqsClient`]: the blocking client library.
+//! * [`loadgen`] — seeded multi-connection load generation whose
+//!   workloads match `bqs fleet`'s exactly, so network ingest is
+//!   provably equivalent to in-process ingest
+//!   (`tests/net_equivalence.rs`).
+//!
+//! `bqs serve` and `bqs loadgen` expose the subsystem on the command
+//! line; `docs/protocol.md` specifies the wire format.
+//!
+//! Everything is `std::net` + threads: no async runtime, no new
+//! dependencies, and blocking reads give exact end-to-end backpressure
+//! semantics for free.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod client;
+pub mod error;
+pub mod loadgen;
+pub mod server;
+pub mod wire;
+
+pub use client::{BqsClient, ShutdownAck};
+pub use error::NetError;
+pub use loadgen::{session_trace, LoadgenConfig, LoadgenReport};
+pub use server::{ServeReport, Server, ServerConfig};
+pub use wire::{
+    ErrorCode, QueryReport, QuerySpec, Reply, Request, ShardStat, StatsReport, WireError,
+    MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};

@@ -1,0 +1,189 @@
+//! The load generator: seeded, reproducible multi-connection ingest
+//! against a running server.
+//!
+//! Workloads are generated exactly like `bqs fleet`'s — session `t`
+//! walks with seed `seed + t` ([`session_trace`]) — so a network run
+//! and an in-process [`ParallelFleet`](bqs_core::fleet::ParallelFleet)
+//! run with the same seed compress *identically*: per track, the spill
+//! tree bytes and every query answer match byte for byte. That
+//! equivalence is the subsystem's acceptance property
+//! (`tests/net_equivalence.rs`).
+//!
+//! Tracks are partitioned across connections (`track % connections`);
+//! each connection thread interleaves its tracks round-robin in
+//! [`LoadgenConfig::batch`]-point `Append` frames. Per-track point
+//! order is preserved inside one connection, which is all the fleet's
+//! interleaving-equivalence guarantee needs — cross-track arrival
+//! order is deliberately left to scheduling.
+
+use crate::client::{BqsClient, ShutdownAck};
+use crate::error::NetError;
+use bqs_geo::TimedPoint;
+use bqs_sim::{RandomWalkConfig, RandomWalkModel};
+use std::time::Instant;
+
+/// Configuration of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address, `host:port`.
+    pub addr: String,
+    /// Simulated tracker sessions (track ids `0..sessions`).
+    pub sessions: usize,
+    /// Points per session.
+    pub points: usize,
+    /// Base RNG seed; session `t` walks with seed `seed + t`.
+    pub seed: u64,
+    /// Concurrent client connections; tracks are partitioned by
+    /// `track % connections`.
+    pub connections: usize,
+    /// Points per `Append` frame.
+    pub batch: usize,
+    /// Send `Shutdown` after the load completes.
+    pub shutdown: bool,
+}
+
+impl LoadgenConfig {
+    /// A config with the workspace defaults (1 connection, 64-point
+    /// batches, no shutdown).
+    pub fn new(
+        addr: impl Into<String>,
+        sessions: usize,
+        points: usize,
+        seed: u64,
+    ) -> LoadgenConfig {
+        LoadgenConfig {
+            addr: addr.into(),
+            sessions,
+            points,
+            seed,
+            connections: 1,
+            batch: 64,
+            shutdown: false,
+        }
+    }
+}
+
+/// What a load-generation run accomplished.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Points sent (and acknowledged) across all connections.
+    pub points_sent: u64,
+    /// Sessions driven.
+    pub sessions: usize,
+    /// Connections used.
+    pub connections: usize,
+    /// Wall-clock seconds for the ingest phase.
+    pub elapsed: f64,
+    /// The server's shutdown acknowledgement, when one was requested.
+    pub shutdown: Option<ShutdownAck>,
+}
+
+impl LoadgenReport {
+    /// Ingest throughput in points per second.
+    pub fn points_per_sec(&self) -> f64 {
+        self.points_sent as f64 / self.elapsed.max(1e-9)
+    }
+}
+
+/// The deterministic trace of session `track` for a given base seed —
+/// the same generator `bqs fleet` drives in process, which is what
+/// makes seeded network and in-process runs comparable byte for byte.
+pub fn session_trace(seed: u64, track: u64, points: usize) -> Vec<TimedPoint> {
+    let cfg = RandomWalkConfig {
+        samples: points,
+        ..RandomWalkConfig::default()
+    };
+    RandomWalkModel::new(cfg)
+        .generate(seed.wrapping_add(track))
+        .points
+}
+
+/// Drives one connection's share of the workload: its tracks advance
+/// round-robin, one batch at a time, so many sessions stay open
+/// concurrently on the server.
+fn drive_connection(
+    addr: &str,
+    tracks: &[u64],
+    traces: &[Vec<TimedPoint>],
+    batch: usize,
+) -> Result<u64, NetError> {
+    let mut client = BqsClient::connect(addr)?;
+    let mut sent = 0u64;
+    let mut offset = 0usize;
+    let longest = tracks
+        .iter()
+        .map(|&t| traces[t as usize].len())
+        .max()
+        .unwrap_or(0);
+    while offset < longest {
+        for &track in tracks {
+            let trace = &traces[track as usize];
+            if offset >= trace.len() {
+                continue;
+            }
+            let end = (offset + batch).min(trace.len());
+            sent += client.append(track, &trace[offset..end])?;
+        }
+        offset += batch;
+    }
+    client.flush()?;
+    Ok(sent)
+}
+
+/// Runs the load generator: generates every session's trace, fans the
+/// sessions out over `connections` client threads, optionally shuts
+/// the server down, and reports throughput.
+pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, NetError> {
+    if config.sessions == 0 || config.points == 0 || config.connections == 0 || config.batch == 0 {
+        return Err(NetError::Config(
+            "loadgen needs --sessions/--points/--connections/--batch ≥ 1".to_string(),
+        ));
+    }
+    let traces: Vec<Vec<TimedPoint>> = (0..config.sessions)
+        .map(|t| session_trace(config.seed, t as u64, config.points))
+        .collect();
+    let connections = config.connections.min(config.sessions);
+    let partitions: Vec<Vec<u64>> = (0..connections)
+        .map(|c| {
+            (0..config.sessions as u64)
+                .filter(|t| (*t as usize) % connections == c)
+                .collect()
+        })
+        .collect();
+
+    let start = Instant::now();
+    let mut results: Vec<Result<u64, NetError>> = Vec::with_capacity(connections);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for tracks in &partitions {
+            let addr = config.addr.as_str();
+            let traces = &traces;
+            handles.push(scope.spawn(move || drive_connection(addr, tracks, traces, config.batch)));
+        }
+        for handle in handles {
+            results.push(
+                handle
+                    .join()
+                    .unwrap_or_else(|_| Err(NetError::Config("loadgen thread panicked".into()))),
+            );
+        }
+    });
+    let mut points_sent = 0u64;
+    for result in results {
+        points_sent += result?;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let shutdown = if config.shutdown {
+        Some(BqsClient::connect(&config.addr)?.shutdown()?)
+    } else {
+        None
+    };
+    Ok(LoadgenReport {
+        points_sent,
+        sessions: config.sessions,
+        connections,
+        elapsed,
+        shutdown,
+    })
+}

@@ -1,0 +1,708 @@
+//! The serving runtime: an acceptor plus per-connection reader threads
+//! feeding one shared [`ParallelFleet`] through the existing batched
+//! submission path.
+//!
+//! ```text
+//!  client ──TCP──► reader thread ─┐
+//!  client ──TCP──► reader thread ─┼─► Mutex<ParallelFleet> ─► worker shards ─► spill logs
+//!  client ──TCP──► reader thread ─┘         │
+//!                                           └─ snapshot() ─► QueryEngine (hot + cold)
+//! ```
+//!
+//! * **Backpressure end to end** — a reader thread pushes straight into
+//!   the fleet while holding its lock; when a worker shard's bounded
+//!   channel is full, [`ParallelFleet::push`] blocks, the reader stops
+//!   reading, the kernel's TCP window fills, and the remote client's
+//!   `append` blocks. No unbounded queue exists anywhere on the path.
+//!   The granularity is deliberately coarse: submissions serialise on
+//!   one fleet lock, so a saturated shard pauses ingest across *all*
+//!   connections until its channel drains — a bounded-stall trade the
+//!   thread-per-connection design makes for exact semantics.
+//! * **Queries are hot + cold** — `Query` takes a consistent
+//!   [`ParallelFleet::snapshot`] of the live fleet (every point
+//!   submitted before the request is visible) and merges it with the
+//!   spill tree through [`QueryEngine`], durable data winning on
+//!   overlap; a mid-run answer for a closed track is exactly the
+//!   answer the finished tree will give.
+//! * **Graceful shutdown** — `Shutdown` stops the acceptor, drains
+//!   every connection (in-flight frames complete; idle connections are
+//!   closed), `finish_all`s the fleet via [`ParallelFleet::join`],
+//!   spills every session, writes the tree `MANIFEST`, and leaves a
+//!   directory `bqs log verify` accepts.
+//!
+//! The server is deliberately thread-per-connection over `std::net`:
+//! the fleet's worker shards — not connection parsing — are the
+//! throughput-bearing stage, and blocking reads give exact
+//! backpressure semantics for free.
+
+use crate::error::NetError;
+use crate::wire::{
+    write_frame, ErrorCode, QueryReport, QuerySpec, Reply, Request, ShardStat, StatsReport,
+    WireError, FRAME_MAGIC, HEADER_BYTES, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+use bqs_core::fleet::{FleetConfig, ParallelConfig, ParallelFleet};
+use bqs_core::stream::DecisionStats;
+use bqs_core::{BqsConfig, FastBqsCompressor};
+use bqs_geo::TimedPoint;
+use bqs_tlog::crc::crc32;
+use bqs_tlog::{
+    prepare_spill_logs, LogConfig, Manifest, QueryEngine, SpillSink, TimeRange, TrajectoryLog,
+};
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// How long a connection may keep a frame in flight after shutdown
+/// before the server stops waiting for it.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
+
+/// The poll interval at which blocked reads re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Configuration of one [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind, `host:port` (`:0` picks an ephemeral port).
+    pub addr: String,
+    /// Fleet worker shards; 1 spills a flat log, more a `shard-<k>/`
+    /// tree.
+    pub workers: usize,
+    /// Directory the fleet spills closed sessions into. Must be empty
+    /// or absent (the same rule as `bqs fleet --spill`).
+    pub spill: PathBuf,
+    /// Compression tolerance in metres.
+    pub tolerance: f64,
+    /// Session shards inside each worker's engine.
+    pub shards: usize,
+}
+
+impl ServerConfig {
+    /// A config with the workspace defaults (10 m tolerance, 16 engine
+    /// shards) for the given bind address, worker count and spill dir.
+    pub fn new(addr: impl Into<String>, workers: usize, spill: impl Into<PathBuf>) -> ServerConfig {
+        ServerConfig {
+            addr: addr.into(),
+            workers,
+            spill: spill.into(),
+            tolerance: 10.0,
+            shards: 16,
+        }
+    }
+}
+
+/// What a completed serve run accomplished, returned by [`Server::run`].
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Frames processed across all connections.
+    pub frames: u64,
+    /// Points accepted into the fleet.
+    pub appended_points: u64,
+    /// Sessions made durable at shutdown (plus earlier evictions).
+    pub spilled_sessions: usize,
+    /// Compressed points in the spill tree.
+    pub spilled_points: u64,
+    /// Bytes the spilled records occupy on disk.
+    pub spilled_bytes: u64,
+    /// Decision statistics merged across all worker engines.
+    pub stats: DecisionStats,
+    /// Shards named in the written `MANIFEST` (0 for a flat log).
+    pub manifest_shards: usize,
+}
+
+/// The ingest state behind the connection handlers: the fleet plus the
+/// per-track time watermarks that guard it.
+struct FleetState {
+    fleet: ParallelFleet<SpillSink<TrajectoryLog>>,
+    /// Highest accepted timestamp per track. The wire decoder cannot
+    /// enforce time order (only the encoder does), so the server
+    /// re-validates every batch against this watermark — a crafted
+    /// frame with backwards or non-finite timestamps must never reach
+    /// the fleet, where it would poison the track's spill at close.
+    last_t: std::collections::HashMap<u64, f64>,
+}
+
+type FleetSlot = Mutex<Option<FleetState>>;
+
+struct Shared {
+    fleet: FleetSlot,
+    spill: PathBuf,
+    workers: usize,
+    local_addr: SocketAddr,
+    shutdown: AtomicBool,
+    connections: AtomicU64,
+    frames: AtomicU64,
+    appended_points: AtomicU64,
+}
+
+impl Shared {
+    /// Locks the fleet slot; a poisoned lock (a handler died mid-call)
+    /// still yields the fleet — worst case a worker shard is dead,
+    /// which `join` reports — instead of panicking every later caller.
+    fn lock_fleet(&self) -> std::sync::MutexGuard<'_, Option<FleetState>> {
+        self.fleet.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A bound-but-not-yet-running ingest/query server. Construct with
+/// [`Server::bind`], read the actual address with
+/// [`Server::local_addr`] (useful with port 0), then block in
+/// [`Server::run`] until a client sends `Shutdown`.
+///
+/// # Examples
+///
+/// ```
+/// use bqs_net::{BqsClient, Server, ServerConfig};
+/// use bqs_geo::TimedPoint;
+///
+/// let dir = std::env::temp_dir().join(format!("bqs-net-doc-{}", std::process::id()));
+/// # let _ = std::fs::remove_dir_all(&dir);
+/// let server = Server::bind(ServerConfig::new("127.0.0.1:0", 2, &dir)).unwrap();
+/// let addr = server.local_addr();
+/// let handle = std::thread::spawn(move || server.run().unwrap());
+///
+/// let mut client = BqsClient::connect(addr).unwrap();
+/// let points: Vec<TimedPoint> =
+///     (0..100).map(|i| TimedPoint::new(i as f64 * 9.0, 0.0, i as f64 * 60.0)).collect();
+/// client.append(7, &points).unwrap();
+/// client.shutdown().unwrap();
+///
+/// let report = handle.join().unwrap();
+/// assert_eq!(report.appended_points, 100);
+/// # std::fs::remove_dir_all(&dir).unwrap();
+/// ```
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Validates the config, prepares the spill layout (flat log for 1
+    /// worker, `shard-<k>/` tree above), spawns the fleet workers and
+    /// binds the listener. Refuses a non-empty or layout-incompatible
+    /// spill directory up front, exactly like `bqs fleet --spill`.
+    pub fn bind(config: ServerConfig) -> Result<Server, NetError> {
+        if config.workers == 0 {
+            return Err(NetError::Config("serve needs --workers ≥ 1, got 0".into()));
+        }
+        if !(config.tolerance.is_finite() && config.tolerance > 0.0) {
+            return Err(NetError::Config(format!(
+                "tolerance must be > 0, got {}",
+                config.tolerance
+            )));
+        }
+        // One shared guard + open path with `bqs fleet --spill`: the
+        // layout rules and their messages cannot drift between the two
+        // writers.
+        let mut logs: Vec<Option<TrajectoryLog>> =
+            prepare_spill_logs(&config.spill, config.workers, LogConfig::default())?
+                .into_iter()
+                .map(Some)
+                .collect();
+        let bqs_config = BqsConfig::new(config.tolerance)
+            .map_err(|e| NetError::Config(format!("tolerance: {e}")))?;
+        let fleet = ParallelFleet::new(
+            ParallelConfig {
+                workers: config.workers,
+                fleet: FleetConfig {
+                    shards: config.shards,
+                    ..FleetConfig::default()
+                },
+                ..ParallelConfig::default()
+            },
+            move || FastBqsCompressor::new(bqs_config),
+            |shard| SpillSink::new(logs[shard].take().expect("one log per shard")),
+        );
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| NetError::io(format!("bind {}", config.addr), e))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| NetError::io("local_addr", e))?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                fleet: Mutex::new(Some(FleetState {
+                    fleet,
+                    last_t: std::collections::HashMap::new(),
+                })),
+                spill: config.spill,
+                workers: config.workers,
+                local_addr,
+                shutdown: AtomicBool::new(false),
+                connections: AtomicU64::new(0),
+                frames: AtomicU64::new(0),
+                appended_points: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Serves until a client sends `Shutdown`, then drains connections,
+    /// finishes the fleet, spills every session, writes the `MANIFEST`
+    /// (multi-worker trees) and reports what happened.
+    ///
+    /// Transient accept failures (a client resetting mid-handshake, fd
+    /// pressure) are retried; only a *persistently* failing listener
+    /// (≈10 s of consecutive errors) stops the server — and even then
+    /// it drains, spills and reports instead of abandoning the fleet.
+    pub fn run(self) -> Result<ServeReport, NetError> {
+        const MAX_CONSECUTIVE_ACCEPT_FAILURES: u32 = 100;
+        let mut handles = Vec::new();
+        let mut accept_failures = 0u32;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    accept_failures = 0;
+                    if self.shared.shutdown.load(Ordering::SeqCst) {
+                        // The wake-up connection (or a late client):
+                        // not served.
+                        drop(stream);
+                        break;
+                    }
+                    self.shared.connections.fetch_add(1, Ordering::Relaxed);
+                    let shared = Arc::clone(&self.shared);
+                    handles.push(std::thread::spawn(move || {
+                        handle_connection(stream, &shared)
+                    }));
+                }
+                Err(_) if self.shared.shutdown.load(Ordering::SeqCst) => break,
+                Err(_) => {
+                    accept_failures += 1;
+                    if accept_failures >= MAX_CONSECUTIVE_ACCEPT_FAILURES {
+                        // The listener is gone for good: stop accepting
+                        // but still drain and make everything durable.
+                        self.shared.shutdown.store(true, Ordering::SeqCst);
+                        break;
+                    }
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+            }
+        }
+        for handle in handles {
+            // A handler panic poisons nothing we still need; keep
+            // draining the rest and finish the fleet regardless.
+            let _ = handle.join();
+        }
+        self.finalize()
+    }
+
+    fn finalize(&self) -> Result<ServeReport, NetError> {
+        let state = self
+            .shared
+            .lock_fleet()
+            .take()
+            .expect("finalize runs once, after the accept loop");
+        let join = state.fleet.join();
+        if let Some(failure) = join.failures.first() {
+            return Err(NetError::Fleet {
+                shard: failure.shard,
+                panic: failure.panic.clone(),
+                sessions: failure.tracks.len(),
+            });
+        }
+        let stats = join.stats;
+        let mut spilled_sessions = 0usize;
+        let mut spilled_points = 0u64;
+        let mut spilled_bytes = 0u64;
+        for shard in join.shards {
+            let reports = shard
+                .sink
+                .finish()
+                .map_err(|failure| NetError::Spill(failure.to_string()))?;
+            spilled_sessions += reports.len();
+            spilled_points += reports.iter().map(|r| r.points).sum::<u64>();
+            spilled_bytes += reports.iter().map(|r| r.bytes).sum::<u64>();
+        }
+        let manifest_shards = if self.shared.workers > 1 {
+            Manifest::rebuild(&self.shared.spill)?.shards.len()
+        } else {
+            0
+        };
+        Ok(ServeReport {
+            connections: self.shared.connections.load(Ordering::Relaxed),
+            frames: self.shared.frames.load(Ordering::Relaxed),
+            appended_points: self.shared.appended_points.load(Ordering::Relaxed),
+            spilled_sessions,
+            spilled_points,
+            spilled_bytes,
+            stats,
+            manifest_shards,
+        })
+    }
+}
+
+/// One reader's verdict after handling a frame.
+enum After {
+    /// Keep serving this connection.
+    Continue,
+    /// Close this connection (frame-level failure or shutdown).
+    Close,
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    // The protocol requires `Hello` to open every connection; nothing
+    // else is served before the handshake succeeds.
+    let mut greeted = false;
+    loop {
+        let payload = match read_frame_interruptible(&mut stream, &shared.shutdown) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return, // clean EOF or drained shutdown
+            Err(NetError::Wire(e)) => {
+                // The stream cannot be resynchronised after a framing
+                // violation: report and close.
+                let reply = Reply::Error {
+                    code: ErrorCode::BadFrame,
+                    message: e.to_string(),
+                };
+                send_reply(&mut writer, &reply);
+                return;
+            }
+            Err(_) => return, // transport died
+        };
+        shared.frames.fetch_add(1, Ordering::Relaxed);
+        let (reply, after) = match Request::decode(&payload) {
+            Ok(request) => handle_request(request, shared, &mut greeted),
+            Err(e) => (
+                Reply::Error {
+                    code: ErrorCode::BadFrame,
+                    message: e.to_string(),
+                },
+                After::Close,
+            ),
+        };
+        if !send_reply(&mut writer, &reply) {
+            return;
+        }
+        if matches!(after, After::Close) {
+            return;
+        }
+    }
+}
+
+fn send_reply(writer: &mut TcpStream, reply: &Reply) -> bool {
+    let payload = match reply.encode() {
+        Ok(payload) => payload,
+        // A reply that cannot be encoded (a codec invariant violated by
+        // query output — never expected) degrades to a typed error.
+        Err(e) => Reply::Error {
+            code: ErrorCode::Internal,
+            message: format!("cannot encode reply: {e}"),
+        }
+        .encode()
+        .expect("error replies always encode"),
+    };
+    write_frame(writer, &payload).is_ok()
+}
+
+/// Validates an append batch against the codec's time invariant and
+/// the track's accepted watermark. The wire *decoder* cannot enforce
+/// this (only the encoder does), so without the check a crafted frame
+/// would be acked, reach the fleet, and poison the track's spill at
+/// session close — losing the whole shard's durable output.
+fn validate_batch(points: &[TimedPoint], watermark: Option<f64>) -> Result<(), String> {
+    let mut prev = watermark;
+    for (i, p) in points.iter().enumerate() {
+        if !p.t.is_finite() {
+            return Err(format!("timestamp at index {i} is not finite"));
+        }
+        if let Some(prev) = prev {
+            if p.t < prev {
+                return Err(format!(
+                    "timestamp at index {i} goes backwards: {} < {prev} \
+                     (the track's accepted stream is time-ordered)",
+                    p.t
+                ));
+            }
+        }
+        prev = Some(p.t);
+    }
+    Ok(())
+}
+
+fn handle_request(request: Request, shared: &Shared, greeted: &mut bool) -> (Reply, After) {
+    // The handshake gate: only `Hello` is served before it passes.
+    if !*greeted && !matches!(request, Request::Hello { .. }) {
+        return (
+            Reply::Error {
+                code: ErrorCode::BadRequest,
+                message: "expected Hello as the first message on a connection".to_string(),
+            },
+            After::Close,
+        );
+    }
+    match request {
+        Request::Hello { protocol } => {
+            if protocol != PROTOCOL_VERSION {
+                return (
+                    Reply::Error {
+                        code: ErrorCode::Unsupported,
+                        message: format!(
+                            "protocol {protocol} not supported (server speaks {PROTOCOL_VERSION})"
+                        ),
+                    },
+                    After::Close,
+                );
+            }
+            *greeted = true;
+            (
+                Reply::HelloOk {
+                    protocol: PROTOCOL_VERSION,
+                    workers: shared.workers as u64,
+                },
+                After::Continue,
+            )
+        }
+        Request::Append { track, points } => {
+            let mut guard = shared.lock_fleet();
+            let Some(state) = guard.as_mut() else {
+                return (shutting_down_error(), After::Close);
+            };
+            if let Err(message) = validate_batch(&points, state.last_t.get(&track).copied()) {
+                // Semantically invalid but well-framed: the batch is
+                // rejected whole and the connection survives.
+                return (
+                    Reply::Error {
+                        code: ErrorCode::BadRequest,
+                        message,
+                    },
+                    After::Continue,
+                );
+            }
+            if let Some(last) = points.last() {
+                state.last_t.insert(track, last.t);
+            }
+            // Backpressure: this push blocks (fleet lock held, socket
+            // unread) when the track's worker shard is saturated.
+            let n = points.len() as u64;
+            for p in points {
+                state.fleet.push(track, p);
+            }
+            drop(guard);
+            shared.appended_points.fetch_add(n, Ordering::Relaxed);
+            (Reply::Appended { track, points: n }, After::Continue)
+        }
+        Request::Flush => {
+            let mut guard = shared.lock_fleet();
+            let Some(state) = guard.as_mut() else {
+                return (shutting_down_error(), After::Close);
+            };
+            state.fleet.flush();
+            (Reply::Flushed, After::Continue)
+        }
+        Request::Query(spec) => match run_query(&spec, shared) {
+            Ok(report) => (Reply::QueryResult(report), After::Continue),
+            Err(e) => (
+                Reply::Error {
+                    code: ErrorCode::Internal,
+                    message: e.to_string(),
+                },
+                After::Continue,
+            ),
+        },
+        Request::Stats => {
+            let mut guard = shared.lock_fleet();
+            let Some(state) = guard.as_mut() else {
+                return (shutting_down_error(), After::Close);
+            };
+            let stats = state.fleet.live_stats();
+            let shards = state
+                .fleet
+                .shard_counters()
+                .into_iter()
+                .map(|c| ShardStat {
+                    shard: c.shard as u64,
+                    tracks: c.tracks as u64,
+                    submitted_points: c.submitted_points,
+                    dead: c.dead,
+                })
+                .collect();
+            drop(guard);
+            (
+                Reply::StatsReply(StatsReport {
+                    stats,
+                    shards,
+                    connections: shared.connections.load(Ordering::Relaxed),
+                    appended_points: shared.appended_points.load(Ordering::Relaxed),
+                }),
+                After::Continue,
+            )
+        }
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            // Unblock the acceptor so the run loop can start draining.
+            drop(TcpStream::connect(wake_addr(shared.local_addr)));
+            (
+                Reply::ShuttingDown {
+                    connections: shared.connections.load(Ordering::Relaxed),
+                    appended_points: shared.appended_points.load(Ordering::Relaxed),
+                },
+                After::Close,
+            )
+        }
+    }
+}
+
+fn shutting_down_error() -> Reply {
+    Reply::Error {
+        code: ErrorCode::ShuttingDown,
+        message: "server is shutting down".to_string(),
+    }
+}
+
+/// The address the shutdown wake-up connects to. A server bound to a
+/// wildcard address (`0.0.0.0` / `::`) cannot be *connected* to at
+/// that address on every platform, so the wake-up targets loopback on
+/// the same port instead.
+fn wake_addr(local: SocketAddr) -> SocketAddr {
+    if local.ip().is_unspecified() {
+        let ip: std::net::IpAddr = match local {
+            SocketAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+            SocketAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+        };
+        SocketAddr::new(ip, local.port())
+    } else {
+        local
+    }
+}
+
+/// Serves one query: consistent live snapshot first, then the unified
+/// engine over (snapshot + spill tree). The engine is opened per query;
+/// its own revalidation logic makes a cached one no cheaper beside
+/// live writers.
+fn run_query(spec: &QuerySpec, shared: &Shared) -> Result<QueryReport, NetError> {
+    let snapshot = {
+        let mut guard = shared.lock_fleet();
+        let Some(state) = guard.as_mut() else {
+            return Err(NetError::Server {
+                code: ErrorCode::ShuttingDown,
+                message: "server is shutting down".to_string(),
+            });
+        };
+        state.fleet.snapshot()
+    };
+    let mut engine = QueryEngine::open(&shared.spill)?.with_snapshot(snapshot);
+    let range = TimeRange::new(spec.from, spec.to);
+    let output = match spec.bbox {
+        Some([x0, y0, x1, y1]) => {
+            let area = bqs_geo::Rect::from_corners(
+                bqs_geo::Point2::new(x0, y0),
+                bqs_geo::Point2::new(x1, y1),
+            );
+            engine.query_bbox(spec.track, area, Some(range))?
+        }
+        None => engine.query_time_range(spec.track, range)?,
+    };
+    Ok(QueryReport {
+        slices: output.slices,
+        shards_pruned: output.shards_pruned as u64,
+        hot_points: output.hot_points as u64,
+        candidate_records: output.stats.candidate_records as u64,
+        decoded_records: output.stats.decoded_records as u64,
+    })
+}
+
+enum ReadOutcome {
+    Done,
+    Closed,
+    Drained,
+}
+
+/// `read_exact` that a shutdown flag can interrupt. At a frame boundary
+/// (`at_boundary`, nothing read yet) shutdown closes the connection
+/// immediately; mid-frame, the peer gets [`DRAIN_GRACE`] to finish the
+/// frame before the server gives up on it.
+fn read_interruptible(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+    at_boundary: bool,
+) -> Result<ReadOutcome, NetError> {
+    let mut filled = 0usize;
+    let mut drain_deadline: Option<Instant> = None;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 && at_boundary {
+                    return Ok(ReadOutcome::Closed);
+                }
+                return Err(NetError::Wire(WireError::Torn {
+                    needed: buf.len() - filled,
+                    got: filled,
+                }));
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    if at_boundary && filled == 0 {
+                        return Ok(ReadOutcome::Drained);
+                    }
+                    let deadline =
+                        *drain_deadline.get_or_insert_with(|| Instant::now() + DRAIN_GRACE);
+                    if Instant::now() >= deadline {
+                        return Ok(ReadOutcome::Drained);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(NetError::io("read frame", e)),
+        }
+    }
+    Ok(ReadOutcome::Done)
+}
+
+/// Reads one frame, polling the shutdown flag between reads. `Ok(None)`
+/// when the connection is done: clean EOF, or shutdown drained it.
+fn read_frame_interruptible(
+    stream: &mut TcpStream,
+    shutdown: &AtomicBool,
+) -> Result<Option<Vec<u8>>, NetError> {
+    let mut header = [0u8; HEADER_BYTES];
+    match read_interruptible(stream, &mut header, shutdown, true)? {
+        ReadOutcome::Done => {}
+        ReadOutcome::Closed | ReadOutcome::Drained => return Ok(None),
+    }
+    if header[..2] != FRAME_MAGIC {
+        return Err(NetError::Wire(WireError::BadMagic {
+            found: [header[0], header[1]],
+        }));
+    }
+    let len = u32::from_le_bytes([header[2], header[3], header[4], header[5]]) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(NetError::Wire(WireError::Oversized {
+            len: len as u64,
+            max: MAX_FRAME_BYTES as u64,
+        }));
+    }
+    let mut body = vec![0u8; len + 4];
+    match read_interruptible(stream, &mut body, shutdown, false)? {
+        ReadOutcome::Done => {}
+        ReadOutcome::Closed | ReadOutcome::Drained => return Ok(None),
+    }
+    let declared = u32::from_le_bytes([body[len], body[len + 1], body[len + 2], body[len + 3]]);
+    body.truncate(len);
+    let computed = crc32(&body);
+    if computed != declared {
+        return Err(NetError::Wire(WireError::BadCrc { computed, declared }));
+    }
+    Ok(Some(body))
+}

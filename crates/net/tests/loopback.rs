@@ -1,0 +1,298 @@
+//! End-to-end loopback tests of the serving runtime: concurrent
+//! connections, mid-run unified queries, stats, protocol violations and
+//! graceful shutdown to a verified spill tree.
+
+use bqs_core::stream::compress_all;
+use bqs_core::{BqsConfig, FastBqsCompressor};
+use bqs_net::wire::{frame_to_vec, read_frame, write_frame, ErrorCode, Reply};
+use bqs_net::{BqsClient, NetError, Server, ServerConfig};
+use bqs_tlog::{LogConfig, TrajectoryLog};
+use std::io::Write;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn temp_root(tag: &str) -> PathBuf {
+    let seq = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir()
+        .join("bqs-net-loopback")
+        .join(format!("{tag}-{}-{seq}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn wave(track: u64, n: usize) -> Vec<bqs_geo::TimedPoint> {
+    (0..n)
+        .map(|i| {
+            let a = i as f64;
+            bqs_geo::TimedPoint::new(
+                a * 8.0 + track as f64,
+                (a * 0.21 + track as f64).sin() * 25.0,
+                a * 60.0,
+            )
+        })
+        .collect()
+}
+
+fn start(
+    workers: usize,
+    root: &PathBuf,
+) -> (
+    std::net::SocketAddr,
+    std::thread::JoinHandle<bqs_net::ServeReport>,
+) {
+    let server = Server::bind(ServerConfig::new("127.0.0.1:0", workers, root)).expect("bind");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run().expect("serve"));
+    (addr, handle)
+}
+
+#[test]
+fn concurrent_clients_ingest_and_the_spilled_tree_matches_solo_compression() {
+    let root = temp_root("ingest");
+    let (addr, server) = start(4, &root);
+
+    // Three clients, four tracks each, batches interleaved per client.
+    std::thread::scope(|scope| {
+        for c in 0u64..3 {
+            scope.spawn(move || {
+                let mut client = BqsClient::connect(addr).expect("connect");
+                assert_eq!(client.workers(), 4);
+                let tracks: Vec<u64> = (0..12).filter(|t| t % 3 == c).collect();
+                let traces: Vec<(u64, Vec<_>)> =
+                    tracks.iter().map(|&t| (t, wave(t, 120))).collect();
+                for chunk in 0..(120 / 30) {
+                    for (track, trace) in &traces {
+                        let sent = client
+                            .append(*track, &trace[chunk * 30..(chunk + 1) * 30])
+                            .expect("append");
+                        assert_eq!(sent, 30);
+                    }
+                }
+                client.flush().expect("flush");
+            });
+        }
+    });
+
+    // Stats reflect every submitted point, per shard and merged.
+    let mut probe = BqsClient::connect(addr).expect("connect");
+    let stats = probe.stats().expect("stats");
+    assert_eq!(stats.stats.points, 12 * 120);
+    assert_eq!(stats.shards.len(), 4);
+    assert_eq!(
+        stats.shards.iter().map(|s| s.submitted_points).sum::<u64>(),
+        12 * 120
+    );
+    assert_eq!(stats.appended_points, 12 * 120);
+    assert!(stats.shards.iter().all(|s| !s.dead));
+
+    // A mid-run query sees every live session (nothing spilled yet).
+    let report = probe
+        .query_time_range(None, f64::NEG_INFINITY, f64::INFINITY)
+        .expect("query");
+    assert_eq!(report.slices.len(), 12);
+    assert!(report.hot_points > 0);
+    let config = BqsConfig::new(10.0).unwrap();
+    for slice in &report.slices {
+        let expected = compress_all(&mut FastBqsCompressor::new(config), wave(slice.track, 120));
+        assert_eq!(slice.points, expected, "track {}", slice.track);
+    }
+
+    let ack = probe.shutdown().expect("shutdown");
+    assert_eq!(ack.appended_points, 12 * 120);
+    let report = server.join().expect("server thread");
+    assert_eq!(report.appended_points, 12 * 120);
+    assert_eq!(report.spilled_sessions, 12);
+    assert_eq!(report.manifest_shards, 4);
+    assert_eq!(report.stats.points, 12 * 120);
+
+    // The tree verifies, and every track reads back byte-identical to
+    // solo compression.
+    bqs_tlog::verify_sharded(&root).expect("tree verifies");
+    for t in 0..12u64 {
+        let shard = bqs_core::fleet::worker_of(t, 4);
+        let (log, _) =
+            TrajectoryLog::open(bqs_tlog::shard_dir(&root, shard), LogConfig::default()).unwrap();
+        let expected = compress_all(&mut FastBqsCompressor::new(config), wave(t, 120));
+        assert_eq!(log.read_track(t).unwrap(), expected, "track {t}");
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn single_worker_spills_a_flat_log() {
+    let root = temp_root("flat");
+    let (addr, server) = start(1, &root);
+    let mut client = BqsClient::connect(addr).expect("connect");
+    client.append(3, &wave(3, 80)).expect("append");
+    client.shutdown().expect("shutdown");
+    let report = server.join().expect("server thread");
+    assert_eq!(report.spilled_sessions, 1);
+    assert_eq!(report.manifest_shards, 0);
+    let (log, _) = TrajectoryLog::open(&root, LogConfig::default()).unwrap();
+    let config = BqsConfig::new(10.0).unwrap();
+    let expected = compress_all(&mut FastBqsCompressor::new(config), wave(3, 80));
+    assert_eq!(log.read_track(3).unwrap(), expected);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn bad_batches_and_bad_frames_get_typed_errors() {
+    let root = temp_root("errors");
+    let (addr, server) = start(2, &root);
+
+    // A well-formed frame whose append batch decodes to garbage points
+    // is an application-level error; the connection survives.
+    let mut client = BqsClient::connect(addr).expect("connect");
+    let backwards = [
+        bqs_geo::TimedPoint::new(0.0, 0.0, 10.0),
+        bqs_geo::TimedPoint::new(1.0, 0.0, 5.0),
+    ];
+    match client.append(1, &backwards) {
+        Err(NetError::Wire(_)) => {} // rejected client-side at encode
+        other => panic!("expected a wire error, got {other:?}"),
+    }
+    client.append(1, &wave(1, 10)).expect("connection survives");
+
+    // Raw garbage after the handshake: the server answers a typed
+    // bad-frame error and closes the connection.
+    let mut raw = TcpStream::connect(addr).expect("connect raw");
+    write_frame(
+        &mut raw,
+        &bqs_net::Request::Hello {
+            protocol: bqs_net::PROTOCOL_VERSION,
+        }
+        .encode()
+        .unwrap(),
+    )
+    .unwrap();
+    let mut reader = std::io::BufReader::new(raw.try_clone().unwrap());
+    let hello = read_frame(&mut reader).unwrap().expect("hello reply");
+    assert!(matches!(
+        Reply::decode(&hello).unwrap(),
+        Reply::HelloOk { .. }
+    ));
+    // Corrupt a frame's payload byte: CRC mismatch on the server.
+    let mut framed = frame_to_vec(&bqs_net::Request::Stats.encode().unwrap());
+    let last = framed.len() - 5; // inside the payload
+    framed[last] ^= 0xFF;
+    raw.write_all(&framed).unwrap();
+    raw.flush().unwrap();
+    let reply = read_frame(&mut reader).unwrap().expect("error reply");
+    match Reply::decode(&reply).unwrap() {
+        Reply::Error { code, message } => {
+            assert_eq!(code, ErrorCode::BadFrame);
+            assert!(message.contains("checksum"), "{message}");
+        }
+        other => panic!("expected Error, got {other:?}"),
+    }
+    // The server closed the unsynced connection.
+    assert!(read_frame(&mut reader).unwrap().is_none());
+
+    // An unsupported protocol version is refused at handshake.
+    let mut raw = TcpStream::connect(addr).expect("connect raw");
+    write_frame(
+        &mut raw,
+        &bqs_net::Request::Hello { protocol: 99 }.encode().unwrap(),
+    )
+    .unwrap();
+    let mut reader = std::io::BufReader::new(raw.try_clone().unwrap());
+    let reply = read_frame(&mut reader).unwrap().expect("reply");
+    match Reply::decode(&reply).unwrap() {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::Unsupported),
+        other => panic!("expected Error, got {other:?}"),
+    }
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn shutdown_drains_idle_connections() {
+    let root = temp_root("drain");
+    let (addr, server) = start(2, &root);
+    // An idle client that never sends anything must not wedge shutdown.
+    let idle = BqsClient::connect(addr).expect("idle connect");
+    let mut active = BqsClient::connect(addr).expect("active connect");
+    active.append(1, &wave(1, 50)).expect("append");
+    active.shutdown().expect("shutdown");
+    let report = server
+        .join()
+        .expect("server drains despite the idle client");
+    assert_eq!(report.connections, 2);
+    assert_eq!(report.spilled_sessions, 1);
+    drop(idle);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn a_used_spill_directory_is_refused_up_front() {
+    let root = temp_root("used");
+    std::fs::create_dir_all(&root).unwrap();
+    std::fs::write(root.join("junk.txt"), b"x").unwrap();
+    match Server::bind(ServerConfig::new("127.0.0.1:0", 2, &root)) {
+        Err(e) => assert!(e.to_string().contains("fresh directory"), "{e}"),
+        Ok(_) => panic!("expected the spill guard to fire"),
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn batches_violating_the_track_watermark_are_rejected_without_poisoning_the_spill() {
+    let root = temp_root("watermark");
+    let (addr, server) = start(2, &root);
+    let mut client = BqsClient::connect(addr).expect("connect");
+
+    // Establish a watermark at t = 60·49, then try to rewind the track.
+    client.append(5, &wave(5, 50)).expect("append");
+    let rewind = [bqs_geo::TimedPoint::new(1.0, 1.0, 3.0)];
+    match client.append(5, &rewind) {
+        Err(NetError::Server { code, message }) => {
+            assert_eq!(code, ErrorCode::BadRequest);
+            assert!(message.contains("backwards"), "{message}");
+        }
+        other => panic!("expected a bad-request rejection, got {other:?}"),
+    }
+    // The connection survives, the track keeps working past the
+    // watermark, and shutdown spills cleanly (nothing was poisoned).
+    let more: Vec<bqs_geo::TimedPoint> = wave(5, 60).split_off(50);
+    client.append(5, &more).expect("append past the watermark");
+    client.shutdown().expect("shutdown");
+    let report = server.join().expect("server thread");
+    // 50 accepted + 10 accepted past the watermark; the rewind batch
+    // contributed nothing.
+    assert_eq!(report.appended_points, 60);
+    assert_eq!(report.spilled_sessions, 1);
+    bqs_tlog::verify_sharded(&root).expect("tree verifies");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn requests_before_the_handshake_are_refused() {
+    let root = temp_root("no-hello");
+    let (addr, server) = start(1, &root);
+    // Skip Hello entirely: the first real request must be refused and
+    // the connection closed.
+    let mut raw = TcpStream::connect(addr).expect("connect raw");
+    write_frame(&mut raw, &bqs_net::Request::Stats.encode().unwrap()).unwrap();
+    let mut reader = std::io::BufReader::new(raw.try_clone().unwrap());
+    let reply = read_frame(&mut reader).unwrap().expect("reply");
+    match Reply::decode(&reply).unwrap() {
+        Reply::Error { code, message } => {
+            assert_eq!(code, ErrorCode::BadRequest);
+            assert!(message.contains("Hello"), "{message}");
+        }
+        other => panic!("expected Error, got {other:?}"),
+    }
+    assert!(read_frame(&mut reader).unwrap().is_none(), "closed");
+
+    BqsClient::connect(addr)
+        .expect("handshaking clients still work")
+        .shutdown()
+        .expect("shutdown");
+    server.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&root);
+}

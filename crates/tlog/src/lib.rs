@@ -91,8 +91,8 @@ pub use manifest::{Manifest, ManifestShard, MANIFEST_FILE};
 pub use query::{QueryOutput, QueryStats, TimeRange, TrackSlice};
 pub use segment::{RecordKind, RecordSummary, FORMAT_VERSION, MAGIC};
 pub use sharded::{
-    check_spill_root, check_tree_root, is_sharded_tree, open_shard_logs, shard_dir, shard_dirs,
-    spill_layout, verify_sharded, ManifestStatus, ShardedVerifyReport, SpillLayout,
-    SHARD_DIR_PREFIX,
+    check_spill_root, check_tree_root, is_sharded_tree, open_shard_logs, prepare_spill_logs,
+    shard_dir, shard_dirs, spill_layout, verify_sharded, ManifestStatus, ShardedVerifyReport,
+    SpillLayout, SHARD_DIR_PREFIX,
 };
 pub use spill::{SpillFailure, SpillReport, SpillSink};

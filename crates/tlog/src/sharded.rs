@@ -167,6 +167,49 @@ pub fn open_shard_logs(
         .collect()
 }
 
+/// Prepares a spill destination for a *fresh* run and opens its logs:
+/// the layout guard ([`check_spill_root`]) runs first so an
+/// incompatible existing layout gets its specific diagnosis, then any
+/// other non-empty directory is refused (spill runs start their stream
+/// clocks at arbitrary points; writing over an earlier run's data
+/// would fail the log's time-order check with a cryptic error deep in
+/// the codec), and finally one log per worker is opened — a flat log
+/// at the root for one worker, `shard-<k>/` logs above.
+///
+/// This is the single entry point behind every spill writer
+/// (`bqs fleet --spill`, `bqs serve`), so the guard rules and their
+/// messages cannot drift between them.
+pub fn prepare_spill_logs(
+    root: impl AsRef<Path>,
+    workers: usize,
+    config: LogConfig,
+) -> Result<Vec<TrajectoryLog>, TlogError> {
+    let root = root.as_ref();
+    let workers = workers.max(1);
+    check_spill_root(root, workers)?;
+    if root.exists()
+        && root
+            .read_dir()
+            .map_err(|e| TlogError::io(format!("read dir {}", root.display()), e))?
+            .next()
+            .is_some()
+    {
+        return Err(TlogError::IncompatibleLayout {
+            dir: root.to_path_buf(),
+            reason: "is not empty; use a fresh directory per spill run".to_string(),
+        });
+    }
+    if workers == 1 {
+        let (log, _) = TrajectoryLog::open(root, config)?;
+        Ok(vec![log])
+    } else {
+        Ok(open_shard_logs(root, workers, config)?
+            .into_iter()
+            .map(|(log, _)| log)
+            .collect())
+    }
+}
+
 /// Lists the shard directories present under `root`, sorted by shard
 /// index. An empty result means `root` is not a sharded tree (it may
 /// still be a flat single log). Entries that merely *look* like shards
@@ -495,5 +538,36 @@ mod tests {
         // twice if the tree verified.
         std::fs::create_dir_all(root.join("shard-01")).unwrap();
         assert!(verify_sharded(&root).is_err());
+    }
+
+    #[test]
+    fn prepare_spill_logs_opens_fresh_layouts_and_refuses_everything_else() {
+        // One worker → a flat log at the root.
+        let flat = temp_root("prep-flat");
+        let logs = prepare_spill_logs(&flat, 1, LogConfig::default()).unwrap();
+        assert_eq!(logs.len(), 1);
+        assert_eq!(logs[0].dir(), flat.as_path());
+        drop(logs);
+
+        // Several workers → a shard tree.
+        let tree = temp_root("prep-tree");
+        let logs = prepare_spill_logs(&tree, 3, LogConfig::default()).unwrap();
+        assert_eq!(logs.len(), 3);
+        drop(logs);
+
+        // Layout mismatches get the specific diagnosis…
+        let err = prepare_spill_logs(&flat, 3, LogConfig::default()).unwrap_err();
+        assert!(err.to_string().contains("flat trajectory log"), "{err}");
+        let err = prepare_spill_logs(&tree, 1, LogConfig::default()).unwrap_err();
+        assert!(err.to_string().contains("sharded spill tree"), "{err}");
+        // …a matching-but-used layout the generic freshness refusal…
+        let err = prepare_spill_logs(&tree, 3, LogConfig::default()).unwrap_err();
+        assert!(err.to_string().contains("fresh directory"), "{err}");
+        // …and so does any other non-empty directory.
+        let junk = temp_root("prep-junk");
+        std::fs::create_dir_all(&junk).unwrap();
+        std::fs::write(junk.join("file.txt"), b"x").unwrap();
+        let err = prepare_spill_logs(&junk, 2, LogConfig::default()).unwrap_err();
+        assert!(err.to_string().contains("fresh directory"), "{err}");
     }
 }

@@ -16,6 +16,7 @@
 //! | [`device`] | `bqs-device` | Camazotz tracker model, operational time |
 //! | [`store`] | `bqs-store` | trajectory store with merging and ageing |
 //! | [`tlog`] | `bqs-tlog` | durable trajectory log: codec, segmented store, queries |
+//! | [`net`] | `bqs-net` | framed TCP ingest/query server, client and load generator |
 //! | [`eval`] | `bqs-eval` | harness regenerating every paper table/figure |
 //!
 //! ## Quickstart
@@ -44,6 +45,7 @@ pub use bqs_core as core;
 pub use bqs_device as device;
 pub use bqs_eval as eval;
 pub use bqs_geo as geo;
+pub use bqs_net as net;
 pub use bqs_sim as sim;
 pub use bqs_store as store;
 pub use bqs_tlog as tlog;

@@ -1,0 +1,246 @@
+//! The serving subsystem's end-to-end acceptance property, tested over
+//! arbitrary seeds, fan-in and batch sizes:
+//!
+//! 1. **Network ≡ in-process** — a seeded `loadgen` run against a
+//!    loopback server at 1/2/4 connections produces a spill tree whose
+//!    per-track bytes ([`TrajectoryLog::read_track`]) are identical to
+//!    the same seeded workload driven through an in-process
+//!    [`ParallelFleet`], and `bqs query` prints an identical CSV over
+//!    both trees after shutdown.
+//! 2. **Mid-run queries are consistent** — a `Query` served mid-run
+//!    over (live snapshot + partial spill) answers, for every track
+//!    whose load has fully arrived, exactly what the finished durable
+//!    tree answers after shutdown.
+
+use bqs::core::fleet::{worker_of, ParallelConfig, ParallelFleet, TrackId};
+use bqs::core::{BqsConfig, FastBqsCompressor};
+use bqs::net::{loadgen, BqsClient, LoadgenConfig, Server, ServerConfig};
+use bqs::tlog::{open_shard_logs, LogConfig, SpillSink, TrajectoryLog};
+use bqs_cli::Command;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn temp_root(tag: &str) -> PathBuf {
+    let seq = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir()
+        .join("bqs-net-equivalence")
+        .join(format!("{tag}-{}-{seq}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The reference: the same seeded workload driven through an in-process
+/// parallel fleet with per-shard spill logs — what `bqs fleet --spill`
+/// does, minus the CLI.
+fn in_process_tree(root: &PathBuf, workers: usize, sessions: usize, points: usize, seed: u64) {
+    let mut logs: Vec<Option<TrajectoryLog>> = open_shard_logs(root, workers, LogConfig::default())
+        .expect("open tree")
+        .into_iter()
+        .map(|(log, _)| Some(log))
+        .collect();
+    let config = BqsConfig::new(10.0).unwrap();
+    let mut fleet = ParallelFleet::new(
+        ParallelConfig {
+            workers,
+            ..ParallelConfig::default()
+        },
+        move || FastBqsCompressor::new(config),
+        |shard| SpillSink::new(logs[shard].take().expect("one log per shard")),
+    );
+    let traces: Vec<Vec<bqs::geo::TimedPoint>> = (0..sessions)
+        .map(|t| loadgen::session_trace(seed, t as u64, points))
+        .collect();
+    for i in 0..points {
+        for (t, trace) in traces.iter().enumerate() {
+            fleet.push(t as TrackId, trace[i]);
+        }
+    }
+    let join = fleet.join();
+    assert!(join.is_ok());
+    for shard in join.shards {
+        shard.sink.finish().expect("spill clean");
+    }
+    bqs::tlog::Manifest::rebuild(root).expect("manifest");
+}
+
+/// `bqs query` CSV + summary over a tree, with the layout-dependent
+/// lines (per-shard breakdown, pruning counts) stripped — the data a
+/// user actually reads.
+fn query_csv(root: &std::path::Path) -> String {
+    let text = bqs_cli::run(&Command::Query {
+        dir: root.display().to_string(),
+        track: None,
+        from: None,
+        to: None,
+        bbox: None,
+        out: None,
+    })
+    .expect("bqs query");
+    text.lines()
+        .filter(|l| !l.contains("shard") && !l.contains("pruned"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn read_tracks(
+    root: &PathBuf,
+    workers: usize,
+    sessions: usize,
+) -> BTreeMap<u64, Vec<bqs::geo::TimedPoint>> {
+    (0..sessions as u64)
+        .map(|t| {
+            let dir = if workers == 1 {
+                root.clone()
+            } else {
+                bqs::tlog::shard_dir(root, worker_of(t, workers))
+            };
+            let (log, _) = TrajectoryLog::open(dir, LogConfig::default()).expect("open shard");
+            (t, log.read_track(t).expect("read track"))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Acceptance: seeded loadgen over TCP ≡ in-process fleet, at
+    /// 1/2/4 connections — per-track byte-identical spill and identical
+    /// `bqs query` CSV after shutdown.
+    #[test]
+    fn network_ingest_equals_in_process_fleet(
+        seed in 0u64..1_000_000,
+        sessions in 6usize..10,
+        points in 40usize..80,
+        batch in 8usize..64,
+    ) {
+        let workers = 4usize;
+
+        // Reference tree, in process.
+        let reference = temp_root("ref");
+        in_process_tree(&reference, workers, sessions, points, seed);
+        let expected_tracks = read_tracks(&reference, workers, sessions);
+        let expected_csv = query_csv(&reference);
+
+        for connections in [1usize, 2, 4] {
+            let root = temp_root("net");
+            let server = Server::bind(ServerConfig::new("127.0.0.1:0", workers, &root))
+                .expect("bind");
+            let addr = server.local_addr();
+            let handle = std::thread::spawn(move || server.run().expect("serve"));
+
+            let report = loadgen::run(&LoadgenConfig {
+                addr: addr.to_string(),
+                sessions,
+                points,
+                seed,
+                connections,
+                batch,
+                shutdown: true,
+            })
+            .expect("loadgen");
+            prop_assert_eq!(report.points_sent, (sessions * points) as u64);
+            let serve_report = handle.join().expect("server thread");
+            prop_assert_eq!(serve_report.appended_points, (sessions * points) as u64);
+            prop_assert_eq!(serve_report.spilled_sessions, sessions);
+
+            // The tree verifies…
+            bqs::tlog::verify_sharded(&root).expect("tree verifies");
+            // …every track's durable bytes equal the in-process run's…
+            let got_tracks = read_tracks(&root, workers, sessions);
+            prop_assert_eq!(
+                &got_tracks, &expected_tracks,
+                "spill diverged at {} connections", connections
+            );
+            // …and `bqs query` prints the identical CSV.
+            prop_assert_eq!(
+                query_csv(&root),
+                expected_csv.clone(),
+                "query CSV diverged at {} connections",
+                connections
+            );
+
+            let _ = std::fs::remove_dir_all(&root);
+        }
+        let _ = std::fs::remove_dir_all(&reference);
+    }
+
+    /// A query served mid-run — half the load in, sessions still open,
+    /// some possibly spilled — answers for every fully loaded track
+    /// exactly what the finished durable tree answers after shutdown.
+    #[test]
+    fn mid_run_queries_match_the_final_durable_answer(
+        seed in 0u64..1_000_000,
+        sessions in 5usize..9,
+        points in 40usize..70,
+    ) {
+        let workers = 2usize;
+        let root = temp_root("midrun");
+        let server = Server::bind(ServerConfig::new("127.0.0.1:0", workers, &root))
+            .expect("bind");
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run().expect("serve"));
+
+        let traces: Vec<Vec<bqs::geo::TimedPoint>> = (0..sessions)
+            .map(|t| loadgen::session_trace(seed, t as u64, points))
+            .collect();
+
+        let mut client = BqsClient::connect(addr).expect("connect");
+        // The closed set: tracks whose whole load is in before the
+        // mid-run query.
+        let closed = sessions / 2 + 1;
+        for (t, trace) in traces.iter().enumerate().take(closed) {
+            client.append(t as u64, trace).expect("append full");
+        }
+        // The rest are half-loaded — open sessions with pending tails.
+        for (t, trace) in traces.iter().enumerate().skip(closed) {
+            client.append(t as u64, &trace[..points / 2]).expect("append half");
+        }
+
+        let mid = client
+            .query_time_range(None, f64::NEG_INFINITY, f64::INFINITY)
+            .expect("mid-run query");
+        prop_assert_eq!(mid.slices.len(), sessions);
+        let mid_by_track: BTreeMap<u64, _> = mid
+            .slices
+            .iter()
+            .map(|s| (s.track, s.points.clone()))
+            .collect();
+
+        // Finish the load and shut down.
+        for (t, trace) in traces.iter().enumerate().skip(closed) {
+            client.append(t as u64, &trace[points / 2..]).expect("append rest");
+        }
+        client.shutdown().expect("shutdown");
+        handle.join().expect("server thread");
+
+        // The finished durable answer, straight from the tree.
+        let final_tracks = read_tracks(&root, workers, sessions);
+        for t in 0..closed as u64 {
+            prop_assert_eq!(
+                &mid_by_track[&t], &final_tracks[&t],
+                "closed track {} answered differently mid-run", t
+            );
+        }
+        // Half-loaded tracks: the mid-run answer is a prefix of the
+        // final one (compression is online — the kept prefix never
+        // changes as more points arrive).
+        for t in closed as u64..sessions as u64 {
+            let mid_points = &mid_by_track[&t];
+            let final_points = &final_tracks[&t];
+            prop_assert!(mid_points.len() <= final_points.len());
+            // The mid-run view may end with the open session's
+            // would-be-final tail point, which a longer stream replaces;
+            // every point before it is final.
+            let stable = mid_points.len().saturating_sub(1);
+            prop_assert_eq!(
+                &mid_points[..stable], &final_points[..stable],
+                "open track {} rewrote history", t
+            );
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}
