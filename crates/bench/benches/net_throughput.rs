@@ -1,19 +1,24 @@
-//! Loopback ingest throughput of the framed TCP server: batches of
-//! points appended over 1/2/4 client connections against 1/4 fleet
-//! workers. The axis is fan-in (connections contending on the shared
-//! fleet) vs. fan-out (worker shards absorbing the load); the measured
-//! path is frame encode → TCP → frame decode → fleet submission →
-//! acknowledgement, per round of one batch on every connection.
+//! Loopback ingest throughput of the framed TCP server at serving
+//! fan-in: 64/256/1024 client connections multiplexed over 1/4 I/O
+//! threads (4 fleet workers throughout). The driver pipelines one
+//! in-flight `Append` per connection — write a frame onto every
+//! connection, then collect every acknowledgement — so the measured
+//! path is the server's multiplexing loop under genuinely concurrent
+//! load: readiness poll → columnar frame decode → fleet run submission
+//! → acknowledgement.
 
 use bqs_geo::TimedPoint;
-use bqs_net::{BqsClient, Server, ServerConfig};
+use bqs_net::wire::{read_frame, write_frame, Reply, Request, PROTOCOL_VERSION};
+use bqs_net::{Server, ServerConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::cell::RefCell;
 use std::hint::black_box;
+use std::net::TcpStream;
 
 const BATCH: usize = 256;
-const CONNECTIONS: [usize; 3] = [1, 2, 4];
-const WORKERS: [usize; 2] = [1, 4];
+const CONNECTIONS: [usize; 3] = [64, 256, 1024];
+const IO_THREADS: [usize; 2] = [1, 4];
+const WORKERS: usize = 4;
 
 /// One connection's synthetic stream state: a walk with monotonically
 /// increasing timestamps, chunked into append batches.
@@ -35,27 +40,50 @@ impl StreamState {
     }
 }
 
+/// A raw framed connection with the handshake done — the bench drives
+/// the wire directly so appends can pipeline across connections.
+fn connect_raw(addr: std::net::SocketAddr) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    write_frame(
+        &mut stream,
+        &Request::Hello {
+            protocol: PROTOCOL_VERSION,
+        }
+        .encode()
+        .expect("encode hello"),
+    )
+    .expect("send hello");
+    let reply = read_frame(&mut stream).expect("read").expect("hello reply");
+    assert!(matches!(
+        Reply::decode(&reply).expect("decode"),
+        Reply::HelloOk { .. }
+    ));
+    stream
+}
+
 fn bench(c: &mut Criterion) {
     let base = std::env::temp_dir().join(format!("bqs-net-bench-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&base);
 
     let mut group = c.benchmark_group("net_throughput");
-    group.sample_size(20);
+    group.sample_size(10);
 
-    for workers in WORKERS {
+    for io_threads in IO_THREADS {
         for connections in CONNECTIONS {
-            let root = base.join(format!("w{workers}-c{connections}"));
-            let server =
-                Server::bind(ServerConfig::new("127.0.0.1:0", workers, &root)).expect("bind");
+            let root = base.join(format!("io{io_threads}-c{connections}"));
+            let mut config = ServerConfig::new("127.0.0.1:0", WORKERS, &root);
+            config.io_threads = io_threads;
+            let server = Server::bind(config).expect("bind");
             let addr = server.local_addr();
             let handle = std::thread::spawn(move || server.run().expect("serve"));
 
-            // One client (and one distinct track) per connection; the
-            // benchmark thread round-robins a batch onto each.
-            let clients: Vec<RefCell<(BqsClient, StreamState)>> = (0..connections)
+            // One connection (and one distinct track) each; the driver
+            // keeps one frame in flight per connection.
+            let conns: Vec<RefCell<(TcpStream, StreamState)>> = (0..connections)
                 .map(|i| {
                     RefCell::new((
-                        BqsClient::connect(addr).expect("connect"),
+                        connect_raw(addr),
                         StreamState {
                             track: i as u64,
                             x: 0.0,
@@ -67,23 +95,39 @@ fn bench(c: &mut Criterion) {
 
             group.throughput(Throughput::Elements((connections * BATCH) as u64));
             group.bench_with_input(
-                BenchmarkId::new(format!("workers{workers}"), connections),
+                BenchmarkId::new(format!("io{io_threads}"), connections),
                 &connections,
                 |b, _| {
                     b.iter(|| {
-                        let mut acked = 0u64;
-                        for cell in &clients {
-                            let (client, stream) = &mut *cell.borrow_mut();
-                            let batch = stream.next_batch();
-                            acked += client.append(stream.track, &batch).expect("append");
+                        // Phase 1: a frame onto every connection.
+                        for cell in &conns {
+                            let (stream, state) = &mut *cell.borrow_mut();
+                            let payload = Request::Append {
+                                track: state.track,
+                                points: state.next_batch(),
+                            }
+                            .encode()
+                            .expect("encode append");
+                            write_frame(stream, &payload).expect("send append");
                         }
+                        // Phase 2: collect every acknowledgement.
+                        let mut acked = 0u64;
+                        for cell in &conns {
+                            let (stream, _) = &mut *cell.borrow_mut();
+                            let reply = read_frame(stream).expect("read").expect("ack");
+                            match Reply::decode(&reply).expect("decode") {
+                                Reply::Appended { points, .. } => acked += points,
+                                other => panic!("expected Appended, got {other:?}"),
+                            }
+                        }
+                        assert_eq!(acked, (conns.len() * BATCH) as u64);
                         black_box(acked)
                     })
                 },
             );
 
-            drop(clients);
-            BqsClient::connect(addr)
+            drop(conns);
+            bqs_net::BqsClient::connect(addr)
                 .expect("connect for shutdown")
                 .shutdown()
                 .expect("shutdown");

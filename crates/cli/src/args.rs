@@ -126,7 +126,7 @@ pub enum Command {
         /// Log directory.
         dir: String,
     },
-    /// `bqs serve --spill DIR [--addr HOST:PORT] [--workers N] [--tolerance M] [--shards N] [--port-file FILE]`
+    /// `bqs serve --spill DIR [--addr HOST:PORT] [--workers N] [--tolerance M] [--shards N] [--io-threads N] [--max-connections N] [--port-file FILE]`
     Serve {
         /// Bind address, `host:port` (`:0` picks an ephemeral port).
         addr: String,
@@ -139,6 +139,12 @@ pub enum Command {
         tolerance: f64,
         /// Session shards inside each worker's engine.
         shards: usize,
+        /// I/O threads multiplexing the connections (0 = legacy
+        /// thread-per-connection runtime).
+        io_threads: usize,
+        /// Cap on concurrently served connections; accepts beyond it
+        /// get a typed over-capacity error frame.
+        max_connections: usize,
         /// Write the actually bound address to this file (useful with
         /// port 0 — scripts read it instead of parsing stdout).
         port_file: Option<String>,
@@ -160,6 +166,15 @@ pub enum Command {
         batch: usize,
         /// Send `Shutdown` once the load completes.
         shutdown: bool,
+    },
+    /// `bqs bench [--quick] [--seed N] [--out FILE]`
+    Bench {
+        /// Smaller workloads (CI-sized) instead of the full sweep.
+        quick: bool,
+        /// Base RNG seed for the generated workloads.
+        seed: u64,
+        /// Output path for the JSON report (stdout when `None`).
+        out: Option<String>,
     },
     /// `bqs info`
     Info,
@@ -184,9 +199,11 @@ USAGE:
   bqs query <dir> [--track N] [--from T] [--to T] [--bbox X0,Y0,X1,Y1]
             [--out FILE]
   bqs serve --spill DIR [--addr HOST:PORT] [--workers N] [--tolerance M]
-            [--shards N] [--port-file FILE]
+            [--shards N] [--io-threads N] [--max-connections N]
+            [--port-file FILE]
   bqs loadgen --addr HOST:PORT [--sessions N] [--points N] [--seed N]
               [--connections N] [--batch N] [--shutdown]
+  bqs bench [--quick] [--seed N] [--out FILE]
   bqs log append <dir> <trace.csv> --track N [--algorithm none|bqs|fbqs]
                  [--tolerance M]
   bqs log query <dir> [--track N] [--from T] [--to T] [--bbox X0,Y0,X1,Y1]
@@ -611,6 +628,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut spill: Option<String> = None;
             let mut tolerance = 10.0f64;
             let mut shards = 16usize;
+            let mut io_threads = 4usize;
+            let mut max_connections = 4096usize;
             let mut port_file: Option<String> = None;
             while let Some(arg) = it.next() {
                 match arg.as_str() {
@@ -628,10 +647,25 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                             .parse()
                             .map_err(|e| format!("bad --shards: {e}"))?;
                     }
+                    "--io-threads" => {
+                        // 0 is meaningful: the legacy runtime.
+                        io_threads = take_value("--io-threads", &mut it)?
+                            .parse()
+                            .map_err(|e| format!("bad --io-threads: {e}"))?;
+                    }
+                    "--max-connections" => {
+                        max_connections = take_value("--max-connections", &mut it)?
+                            .parse()
+                            .map_err(|e| format!("bad --max-connections: {e}"))?;
+                    }
                     other => return Err(format!("unexpected argument: {other}")),
                 }
             }
-            for (flag, value) in [("--workers", workers), ("--shards", shards)] {
+            for (flag, value) in [
+                ("--workers", workers),
+                ("--shards", shards),
+                ("--max-connections", max_connections),
+            ] {
                 if value == 0 {
                     return Err(format!("serve needs {flag} ≥ 1, got 0"));
                 }
@@ -645,6 +679,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 spill: spill.ok_or("serve needs --spill DIR (the durable output)")?,
                 tolerance,
                 shards,
+                io_threads,
+                max_connections,
                 port_file,
             })
         }
@@ -707,6 +743,24 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 batch,
                 shutdown,
             })
+        }
+        "bench" => {
+            let mut quick = false;
+            let mut seed = 1u64;
+            let mut out: Option<String> = None;
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--quick" => quick = true,
+                    "--out" => out = Some(take_value("--out", &mut it)?.clone()),
+                    "--seed" => {
+                        seed = take_value("--seed", &mut it)?
+                            .parse()
+                            .map_err(|e| format!("bad --seed: {e}"))?;
+                    }
+                    other => return Err(format!("unexpected argument: {other}")),
+                }
+            }
+            Ok(Command::Bench { quick, seed, out })
         }
         "log" => parse_log(&mut it),
         other => Err(format!("unknown command: {other}\n\n{USAGE}")),
@@ -1009,13 +1063,15 @@ mod tests {
                 spill: "/tmp/tree".into(),
                 tolerance: 10.0,
                 shards: 16,
+                io_threads: 4,
+                max_connections: 4096,
                 port_file: None
             }
         );
         assert_eq!(
             parse(&args(
                 "serve --addr 0.0.0.0:4750 --workers 8 --spill /tmp/t --tolerance 5 \
-                 --shards 4 --port-file /tmp/port"
+                 --shards 4 --io-threads 2 --max-connections 64 --port-file /tmp/port"
             ))
             .unwrap(),
             Command::Serve {
@@ -1024,13 +1080,42 @@ mod tests {
                 spill: "/tmp/t".into(),
                 tolerance: 5.0,
                 shards: 4,
+                io_threads: 2,
+                max_connections: 64,
                 port_file: Some("/tmp/port".into())
             }
         );
+        // 0 io-threads is valid: the legacy thread-per-connection mode.
+        assert!(matches!(
+            parse(&args("serve --spill /tmp/t --io-threads 0")).unwrap(),
+            Command::Serve { io_threads: 0, .. }
+        ));
         assert!(parse(&args("serve")).is_err(), "spill is required");
         assert!(parse(&args("serve --spill /tmp/t --workers 0")).is_err());
+        assert!(parse(&args("serve --spill /tmp/t --max-connections 0")).is_err());
         assert!(parse(&args("serve --spill /tmp/t --tolerance -2")).is_err());
         assert!(parse(&args("serve --spill /tmp/t --frobnicate")).is_err());
+    }
+
+    #[test]
+    fn bench_parses_with_defaults_and_flags() {
+        assert_eq!(
+            parse(&args("bench")).unwrap(),
+            Command::Bench {
+                quick: false,
+                seed: 1,
+                out: None
+            }
+        );
+        assert_eq!(
+            parse(&args("bench --quick --seed 7 --out BENCH.json")).unwrap(),
+            Command::Bench {
+                quick: true,
+                seed: 7,
+                out: Some("BENCH.json".into())
+            }
+        );
+        assert!(parse(&args("bench --frobnicate")).is_err());
     }
 
     #[test]

@@ -1,0 +1,497 @@
+//! `bqs bench`: the in-repo performance runner behind the recorded
+//! perf trajectory (`BENCH_<n>.json`).
+//!
+//! Each workload isolates one stage of the ingest path and reports
+//! points/sec (plus bytes/point where the stage produces bytes):
+//!
+//! * `codec_encode_row` / `codec_encode_columnar` — the storage codec
+//!   over row-shaped (`&[TimedPoint]`) vs columnar
+//!   ([`ColumnarBatch`]) input; the outputs are
+//!   byte-identical, so the delta is pure code-shape.
+//! * `codec_decode_row` / `codec_decode_columnar` — the reverse
+//!   direction.
+//! * `fleet_push_points` / `fleet_submit_runs` — per-point
+//!   [`ParallelFleet::push`](bqs_core::fleet::ParallelFleet::push) vs
+//!   frame-grained
+//!   [`ParallelFleet::submit_run`](bqs_core::fleet::ParallelFleet::submit_run)
+//!   submission of the same workload.
+//! * `net_ingest_threaded` / `net_ingest_pool` — loopback `bqs serve`
+//!   end to end under a pipelined multi-connection driver (the loadgen
+//!   schedule with one frame in flight per connection), legacy
+//!   thread-per-connection runtime vs the multiplexed I/O pool;
+//!   best-of-N rounds.
+//! * `query_fanout` — per-track time-range queries against the live
+//!   pool server (hot snapshot + spill tree fan-out).
+//!
+//! The workloads are seeded and the report is plain JSON (hand-rolled,
+//! like everything else in this workspace — no serde). `--quick` is
+//! the CI size; the full sweep is for real measurements.
+
+use crate::error::CliError;
+use bqs_core::fleet::{CountingFleetSink, FleetConfig, ParallelConfig, ParallelFleet};
+use bqs_core::{BqsConfig, FastBqsCompressor};
+use bqs_geo::{ColumnarBatch, TimedPoint};
+use bqs_net::{session_trace, BqsClient, Server, ServerConfig};
+use bqs_tlog::codec::{decode_columns_into, decode_to_vec, encode_columns, encode_points};
+use std::time::Instant;
+
+/// One measured workload.
+struct Workload {
+    name: &'static str,
+    /// Points processed across all repetitions.
+    points: u64,
+    /// Wall-clock seconds for all repetitions.
+    elapsed: f64,
+    /// Encoded bytes per point, where the workload produces bytes.
+    bytes_per_point: Option<f64>,
+}
+
+impl Workload {
+    fn points_per_sec(&self) -> f64 {
+        self.points as f64 / self.elapsed.max(1e-9)
+    }
+
+    fn to_json(&self) -> String {
+        let bytes = match self.bytes_per_point {
+            Some(b) => format!(", \"bytes_per_point\": {b:.3}"),
+            None => String::new(),
+        };
+        format!(
+            "    {{\"name\": \"{}\", \"points\": {}, \"elapsed_s\": {:.6}, \
+             \"points_per_sec\": {:.0}{bytes}}}",
+            self.name,
+            self.points,
+            self.elapsed,
+            self.points_per_sec(),
+        )
+    }
+}
+
+/// The knobs one bench run uses, scaled by `--quick`.
+struct Sizes {
+    /// Points in the codec workloads' trace.
+    codec_points: usize,
+    /// Codec repetitions (points/sec averages over them).
+    codec_reps: usize,
+    /// (sessions, points-per-session) for the fleet workloads.
+    fleet: (usize, usize),
+    /// (sessions, points, connections) for the loopback net workloads.
+    net: (usize, usize, usize),
+}
+
+impl Sizes {
+    fn new(quick: bool) -> Sizes {
+        if quick {
+            Sizes {
+                codec_points: 20_000,
+                codec_reps: 2,
+                fleet: (16, 500),
+                net: (32, 200, 16),
+            }
+        } else {
+            Sizes {
+                codec_points: 200_000,
+                codec_reps: 5,
+                fleet: (64, 5_000),
+                net: (256, 2_000, 256),
+            }
+        }
+    }
+}
+
+/// Points per `Append` frame in the net workloads — the loadgen
+/// default, kept in lockstep with `tests/net_equivalence.rs`.
+const NET_BATCH: usize = 64;
+
+/// Runs the bench suite and renders the JSON report (written to `out`
+/// when given, returned for stdout otherwise).
+pub fn run(quick: bool, seed: u64, out: Option<&str>) -> Result<String, CliError> {
+    let sizes = Sizes::new(quick);
+    let mut workloads: Vec<Workload> = Vec::new();
+
+    bench_codec(&sizes, seed, &mut workloads);
+    bench_fleet(&sizes, seed, &mut workloads);
+    bench_net(&sizes, seed, &mut workloads)?;
+
+    let speedup = |num: &str, den: &str| -> Option<f64> {
+        let pps = |name: &str| {
+            workloads
+                .iter()
+                .find(|w| w.name == name)
+                .map(Workload::points_per_sec)
+        };
+        Some(pps(num)? / pps(den)?.max(1e-9))
+    };
+    let mut summary: Vec<(String, f64)> = Vec::new();
+    for (key, num, den) in [
+        (
+            "net_pool_vs_threaded",
+            "net_ingest_pool",
+            "net_ingest_threaded",
+        ),
+        (
+            "columnar_vs_row_encode",
+            "codec_encode_columnar",
+            "codec_encode_row",
+        ),
+        (
+            "columnar_vs_row_decode",
+            "codec_decode_columnar",
+            "codec_decode_row",
+        ),
+        (
+            "runs_vs_points_submit",
+            "fleet_submit_runs",
+            "fleet_push_points",
+        ),
+    ] {
+        if let Some(ratio) = speedup(num, den) {
+            summary.push((key.to_string(), ratio));
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": 6,\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"cores\": {},\n", available_cores()));
+    json.push_str(
+        "  \"notes\": \"net workloads: pipelined driver (one Append in flight per connection, \
+         loadgen schedule), best-of-N rounds; driver and server share this host's cores, so \
+         single-core numbers under-state the pool's advantage over per-connection threads\",\n",
+    );
+    json.push_str("  \"workloads\": [\n");
+    let lines: Vec<String> = workloads.iter().map(Workload::to_json).collect();
+    json.push_str(&lines.join(",\n"));
+    json.push_str("\n  ],\n");
+    json.push_str("  \"summary\": {\n");
+    let lines: Vec<String> = summary
+        .iter()
+        .map(|(k, v)| format!("    \"{k}\": {v:.3}"))
+        .collect();
+    json.push_str(&lines.join(",\n"));
+    json.push_str("\n  }\n}\n");
+
+    match out {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| CliError::io("write", path, e))?;
+            Ok(format!(
+                "bench: {} workloads ({} mode) -> {path}\n",
+                workloads.len(),
+                if quick { "quick" } else { "full" }
+            ))
+        }
+        None => Ok(json),
+    }
+}
+
+/// The storage codec, row-shaped vs columnar, both directions.
+fn bench_codec(sizes: &Sizes, seed: u64, out: &mut Vec<Workload>) {
+    let points: Vec<TimedPoint> = session_trace(seed, 0, sizes.codec_points);
+    let batch = ColumnarBatch::from_points(&points);
+    let reps = sizes.codec_reps;
+    let total = (points.len() * reps) as u64;
+    let mut encoded = Vec::new();
+
+    let start = Instant::now();
+    for _ in 0..reps {
+        encoded.clear();
+        encode_points(&points, &mut encoded).expect("trace is codec-valid");
+    }
+    let bpp = encoded.len() as f64 / points.len() as f64;
+    out.push(Workload {
+        name: "codec_encode_row",
+        points: total,
+        elapsed: start.elapsed().as_secs_f64(),
+        bytes_per_point: Some(bpp),
+    });
+
+    let start = Instant::now();
+    for _ in 0..reps {
+        encoded.clear();
+        encode_columns(&batch, &mut encoded).expect("trace is codec-valid");
+    }
+    out.push(Workload {
+        name: "codec_encode_columnar",
+        points: total,
+        elapsed: start.elapsed().as_secs_f64(),
+        bytes_per_point: Some(encoded.len() as f64 / batch.len() as f64),
+    });
+
+    let start = Instant::now();
+    for _ in 0..reps {
+        let decoded = decode_to_vec(&encoded).expect("encoded above");
+        assert_eq!(decoded.len(), points.len());
+    }
+    out.push(Workload {
+        name: "codec_decode_row",
+        points: total,
+        elapsed: start.elapsed().as_secs_f64(),
+        bytes_per_point: Some(bpp),
+    });
+
+    let mut scratch = ColumnarBatch::new();
+    let start = Instant::now();
+    for _ in 0..reps {
+        scratch.clear();
+        decode_columns_into(&encoded, &mut scratch).expect("encoded above");
+        assert_eq!(scratch.len(), batch.len());
+    }
+    out.push(Workload {
+        name: "codec_decode_columnar",
+        points: total,
+        elapsed: start.elapsed().as_secs_f64(),
+        bytes_per_point: Some(bpp),
+    });
+}
+
+fn bench_fleet_workers() -> usize {
+    2
+}
+
+/// The same sessions through per-point `push` vs frame-grained
+/// `submit_run` (in `NET_BATCH`-point chunks, the server's shape).
+fn bench_fleet(sizes: &Sizes, seed: u64, out: &mut Vec<Workload>) {
+    let (sessions, points) = sizes.fleet;
+    let runs: Vec<(u64, Vec<TimedPoint>)> = (0..sessions as u64)
+        .map(|track| (track, session_trace(seed, track, points)))
+        .collect();
+    let total = (sessions * points) as u64;
+    let fleet = || {
+        ParallelFleet::new(
+            ParallelConfig {
+                workers: bench_fleet_workers(),
+                fleet: FleetConfig::default(),
+                ..ParallelConfig::default()
+            },
+            || FastBqsCompressor::new(BqsConfig::new(10.0).expect("10 m is valid")),
+            |_| CountingFleetSink::default(),
+        )
+    };
+
+    let mut f = fleet();
+    let start = Instant::now();
+    for (track, trace) in &runs {
+        for p in trace {
+            f.push(*track, *p);
+        }
+    }
+    let join = f.join();
+    out.push(Workload {
+        name: "fleet_push_points",
+        points: total,
+        elapsed: start.elapsed().as_secs_f64(),
+        bytes_per_point: None,
+    });
+    assert!(join.is_ok(), "bench fleet worker failed");
+
+    let mut f = fleet();
+    let start = Instant::now();
+    for (track, trace) in &runs {
+        for chunk in trace.chunks(NET_BATCH) {
+            f.submit_run(*track, chunk.to_vec());
+        }
+    }
+    let join = f.join();
+    out.push(Workload {
+        name: "fleet_submit_runs",
+        points: total,
+        elapsed: start.elapsed().as_secs_f64(),
+        bytes_per_point: None,
+    });
+    assert!(join.is_ok(), "bench fleet worker failed");
+}
+
+/// Drives the full seeded workload over `connections` raw framed
+/// connections with one `Append` in flight per connection — write a
+/// frame onto every connection, then collect every acknowledgement.
+/// Pipelining keeps every connection's next frame queued while the
+/// server works, so the measurement is the server's sustained
+/// multiplexing throughput, not per-frame round-trip latency (which a
+/// single-core host schedules too noisily to compare). Track ids are
+/// offset by `track_base` so repetitions replay fresh sessions.
+fn pipelined_ingest(
+    addr: std::net::SocketAddr,
+    traces: &[Vec<TimedPoint>],
+    connections: usize,
+    track_base: u64,
+) -> Result<f64, CliError> {
+    use bqs_net::wire::{read_frame, write_frame, Reply, Request, PROTOCOL_VERSION};
+    use std::net::TcpStream;
+
+    let mut conns: Vec<TcpStream> = Vec::with_capacity(connections);
+    for _ in 0..connections {
+        let mut stream = TcpStream::connect(addr)
+            .map_err(|e| CliError::Invalid(format!("bench connect {addr}: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        write_frame(
+            &mut stream,
+            &Request::Hello {
+                protocol: PROTOCOL_VERSION,
+            }
+            .encode()
+            .map_err(|e| CliError::Invalid(format!("bench hello: {e}")))?,
+        )
+        .map_err(|e| CliError::Invalid(format!("bench hello: {e}")))?;
+        let reply = read_frame(&mut stream)
+            .map_err(|e| CliError::Invalid(format!("bench hello ack: {e}")))?
+            .ok_or_else(|| CliError::Invalid("server closed during handshake".to_string()))?;
+        if !matches!(Reply::decode(&reply), Ok(Reply::HelloOk { .. })) {
+            return Err(CliError::Invalid("unexpected handshake reply".to_string()));
+        }
+        conns.push(stream);
+    }
+
+    // Each connection interleaves its tracks round-robin in
+    // `NET_BATCH`-point chunks — the loadgen schedule, pipelined.
+    let chunks = traces.first().map_or(0, |t| t.chunks(NET_BATCH).count());
+    let start = Instant::now();
+    for chunk in 0..chunks {
+        // Phase 1: one frame onto every connection that has work.
+        let mut in_flight = vec![0usize; connections];
+        for (track, trace) in traces.iter().enumerate() {
+            let conn = track % connections;
+            let lo = chunk * NET_BATCH;
+            let hi = (lo + NET_BATCH).min(trace.len());
+            if lo >= hi {
+                continue;
+            }
+            let payload = Request::Append {
+                track: track_base + track as u64,
+                points: trace[lo..hi].to_vec(),
+            }
+            .encode()
+            .map_err(|e| CliError::Invalid(format!("bench append: {e}")))?;
+            write_frame(&mut conns[conn], &payload)
+                .map_err(|e| CliError::Invalid(format!("bench append: {e}")))?;
+            in_flight[conn] += 1;
+        }
+        // Phase 2: collect the acknowledgements.
+        for (conn, &n) in in_flight.iter().enumerate() {
+            for _ in 0..n {
+                let reply = read_frame(&mut conns[conn])
+                    .map_err(|e| CliError::Invalid(format!("bench ack: {e}")))?
+                    .ok_or_else(|| CliError::Invalid("server closed mid-run".to_string()))?;
+                match Reply::decode(&reply) {
+                    Ok(Reply::Appended { .. }) => {}
+                    other => {
+                        return Err(CliError::Invalid(format!(
+                            "expected an append ack, got {other:?}"
+                        )))
+                    }
+                }
+            }
+        }
+    }
+    Ok(start.elapsed().as_secs_f64())
+}
+
+/// Loopback serve end to end: the legacy runtime, the I/O pool, and
+/// per-track query fan-out against the live pool server. Ingest runs
+/// are repeated and the best round is recorded (standard min-time
+/// practice — the rounds share a binary and a host, so the minimum is
+/// the least-scheduled-against measurement).
+fn bench_net(sizes: &Sizes, seed: u64, out: &mut Vec<Workload>) -> Result<(), CliError> {
+    let (sessions, points, connections) = sizes.net;
+    let reps = if sizes.codec_reps > 2 { 3 } else { 2 };
+    let traces: Vec<Vec<TimedPoint>> = (0..sessions as u64)
+        .map(|track| session_trace(seed, track, points))
+        .collect();
+    // Wire bytes per point: one columnar append frame of the bench
+    // batch size, amortised (header + CRC included).
+    let wire_bpp = {
+        let batch = ColumnarBatch::from_points(&traces[0][..NET_BATCH.min(points)]);
+        let payload = bqs_net::encode_append_columns(0, &batch)
+            .map_err(|e| CliError::Invalid(format!("bench frame: {e}")))?;
+        (payload.len() + 10) as f64 / batch.len() as f64
+    };
+
+    for (name, io_threads) in [("net_ingest_threaded", 0usize), ("net_ingest_pool", 4usize)] {
+        let dir = bench_dir(name);
+        let mut config = ServerConfig::new("127.0.0.1:0", 4, &dir);
+        config.io_threads = io_threads;
+        let server = Server::bind(config)?;
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run());
+        let mut best = f64::INFINITY;
+        for rep in 0..reps {
+            let elapsed = pipelined_ingest(addr, &traces, connections, (rep * sessions) as u64)?;
+            best = best.min(elapsed);
+        }
+        out.push(Workload {
+            name,
+            points: (sessions * points) as u64,
+            elapsed: best,
+            bytes_per_point: Some(wire_bpp),
+        });
+        if io_threads == 0 {
+            BqsClient::connect(addr)?.shutdown()?;
+        } else {
+            // The pool server stays up for the query workload.
+            let mut client = BqsClient::connect(addr)?;
+            let mut returned = 0u64;
+            let start = Instant::now();
+            for track in 0..sessions as u64 {
+                let report =
+                    client.query_time_range(Some(track), f64::NEG_INFINITY, f64::INFINITY)?;
+                returned += report
+                    .slices
+                    .iter()
+                    .map(|s| s.points.len() as u64)
+                    .sum::<u64>()
+                    + report.hot_points;
+            }
+            out.push(Workload {
+                name: "query_fanout",
+                points: returned,
+                elapsed: start.elapsed().as_secs_f64(),
+                bytes_per_point: None,
+            });
+            client.shutdown()?;
+        }
+        handle
+            .join()
+            .map_err(|_| CliError::Invalid("bench server panicked".to_string()))??;
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    Ok(())
+}
+
+fn available_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn bench_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("bqs-bench-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_reports_every_workload() {
+        let json = run(true, 42, None).unwrap();
+        for name in [
+            "codec_encode_row",
+            "codec_encode_columnar",
+            "codec_decode_row",
+            "codec_decode_columnar",
+            "fleet_push_points",
+            "fleet_submit_runs",
+            "net_ingest_threaded",
+            "net_ingest_pool",
+            "query_fanout",
+            "net_pool_vs_threaded",
+        ] {
+            assert!(json.contains(name), "missing {name} in {json}");
+        }
+        assert!(json.contains("\"bench\": 6"), "{json}");
+    }
+}

@@ -6,6 +6,7 @@
 //! log, the network layer, invalid requests — are never `unwrap`s.
 
 use crate::args::{Command, USAGE};
+use crate::bench;
 use crate::error::CliError;
 use bqs_baselines::{
     BufferedDpCompressor, BufferedGreedyCompressor, DeadReckoningCompressor, DpCompressor,
@@ -105,6 +106,8 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             spill,
             tolerance,
             shards,
+            io_threads,
+            max_connections,
             port_file,
         } => serve(
             addr,
@@ -112,6 +115,8 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             spill,
             *tolerance,
             *shards,
+            *io_threads,
+            *max_connections,
             port_file.as_deref(),
         ),
         Command::Loadgen {
@@ -131,6 +136,7 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             *batch,
             *shutdown,
         ),
+        Command::Bench { quick, seed, out } => bench::run(*quick, *seed, out.as_deref()),
     }
 }
 
@@ -925,12 +931,15 @@ fn run_experiments(names: &[String], full: bool) -> Result<String, CliError> {
 /// then blocks until a client sends `Shutdown`. On exit the fleet has
 /// been drained, every session spilled, and the `MANIFEST` written —
 /// the directory passes `bqs log verify`.
+#[allow(clippy::too_many_arguments)]
 fn serve(
     addr: &str,
     workers: usize,
     spill: &str,
     tolerance: f64,
     shards: usize,
+    io_threads: usize,
+    max_connections: usize,
     port_file: Option<&str>,
 ) -> Result<String, CliError> {
     use std::io::Write;
@@ -941,6 +950,9 @@ fn serve(
         spill: spill.into(),
         tolerance,
         shards,
+        io_threads,
+        max_connections,
+        fallback_poller: false,
     })?;
     let local = server.local_addr();
     if let Some(path) = port_file {
@@ -957,9 +969,23 @@ fn serve(
     } else {
         String::new()
     };
+    let rejected_line = if report.rejected_connections > 0 {
+        format!(
+            "rejected {} connection(s) over the {max_connections}-connection cap\n",
+            report.rejected_connections
+        )
+    } else {
+        String::new()
+    };
+    let io_mode = if io_threads == 0 {
+        "thread-per-connection".to_string()
+    } else {
+        format!("{io_threads} io-threads")
+    };
     Ok(format!(
         "served {} connection(s), {} frame(s), {} points \
-         ({workers} workers, {tolerance} m, {shards} shards)\n\
+         ({workers} workers, {io_mode}, {tolerance} m, {shards} shards)\n\
+         {rejected_line}\
          spilled {} sessions, {} points, {} B ({:.2} B/point) to {spill}\n\
          {manifest_line}\
          pruning power {:.4}\n",
@@ -1637,6 +1663,8 @@ mod tests {
             spill: dir.clone(),
             tolerance: 10.0,
             shards: 4,
+            io_threads: 2,
+            max_connections: 64,
             port_file: Some(port_file.clone()),
         };
         let server = std::thread::spawn(move || run(&serve_cmd));
@@ -1704,6 +1732,8 @@ mod tests {
             spill: dir,
             tolerance: 10.0,
             shards: 4,
+            io_threads: 4,
+            max_connections: 4096,
             port_file: None,
         })
         .unwrap_err();

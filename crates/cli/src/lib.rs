@@ -22,6 +22,7 @@
 #![warn(clippy::all)]
 
 pub mod args;
+pub mod bench;
 pub mod commands;
 pub mod error;
 

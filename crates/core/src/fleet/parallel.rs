@@ -196,6 +196,11 @@ impl<S> FleetJoin<S> {
 
 enum Msg {
     Batch(Vec<(TrackId, TimedPoint)>),
+    /// Whole per-track runs, shipped in one send — the frame-grained
+    /// submission path ([`ParallelFleet::submit_batch`]). The worker
+    /// replays each run point by point through the same engine call as
+    /// [`Msg::Batch`], so per-track output is byte-identical.
+    Runs(Vec<(TrackId, Vec<TimedPoint>)>),
     Evict(f64),
     /// Snapshot request: the worker answers with a consistent view of
     /// its engine + sink state after all previously queued work.
@@ -259,6 +264,13 @@ where
             Msg::Batch(batch) => {
                 for (track, p) in batch {
                     engine.push_tagged(track, p, &mut sink);
+                }
+            }
+            Msg::Runs(runs) => {
+                for (track, points) in runs {
+                    for p in points {
+                        engine.push_tagged(track, p, &mut sink);
+                    }
                 }
             }
             Msg::Evict(now) => reports.extend(engine.evict_idle(now, &mut sink)),
@@ -363,6 +375,53 @@ impl<S: FleetSink + Send + 'static> ParallelFleet<S> {
     pub fn ingest(&mut self, records: impl IntoIterator<Item = (TrackId, TimedPoint)>) {
         for (track, p) in records {
             self.push(track, p);
+        }
+    }
+
+    /// Submits one track's time-ordered run as a single channel send —
+    /// the frame-grained fast path: no per-point hashing, no per-point
+    /// buffer copies. Equivalent to `points.into_iter().for_each(|p|
+    /// self.push(track, p))` byte for byte (the worker replays the run
+    /// through the same engine call), including its ordering with
+    /// interleaved [`ParallelFleet::push`] calls and its backpressure
+    /// (the send blocks while the shard's channel is full).
+    pub fn submit_run(&mut self, track: TrackId, points: Vec<TimedPoint>) {
+        self.submit_batch(std::iter::once((track, points)));
+    }
+
+    /// Submits whole per-track runs, grouped so each worker shard gets
+    /// **one** channel send no matter how many runs route to it. Runs
+    /// for one track are processed in submission order relative to both
+    /// other `submit_batch` calls and per-point pushes: any points the
+    /// shard has buffered from [`ParallelFleet::push`] are flushed ahead
+    /// of the runs, preserving the fleet's per-track order guarantee.
+    pub fn submit_batch(&mut self, runs: impl IntoIterator<Item = (TrackId, Vec<TimedPoint>)>) {
+        let batch_points = self.batch_points;
+        let mut grouped: Vec<Vec<(TrackId, Vec<TimedPoint>)>> = Vec::new();
+        for (track, points) in runs {
+            let shard = self.shard_of(track);
+            let worker = &mut self.workers[shard];
+            worker.tracks.insert(track);
+            worker.submitted_points += points.len() as u64;
+            if worker.dead || points.is_empty() {
+                continue;
+            }
+            // Order with previously buffered per-point submissions.
+            worker.flush(batch_points);
+            if grouped.len() <= shard {
+                grouped.resize_with(shard + 1, Vec::new);
+            }
+            grouped[shard].push((track, points));
+        }
+        for (shard, runs) in grouped.into_iter().enumerate() {
+            if runs.is_empty() {
+                continue;
+            }
+            let worker = &mut self.workers[shard];
+            let sender = worker.sender.as_ref().expect("sender lives until join");
+            if sender.send(Msg::Runs(runs)).is_err() {
+                worker.dead = true;
+            }
         }
     }
 
@@ -749,6 +808,69 @@ mod tests {
         }
         // Lost sessions + surviving sessions cover the whole fleet.
         assert_eq!(lost.len() + all.len(), 16);
+    }
+
+    #[test]
+    fn submit_run_equals_per_point_push_byte_for_byte() {
+        let traces: Vec<Vec<TimedPoint>> = (0..12).map(|t| wave(t, 150)).collect();
+        for workers in [1, 3, 4] {
+            // Reference: the per-point path.
+            let mut pushed = parallel(workers, 10.0);
+            for (t, trace) in traces.iter().enumerate() {
+                for p in trace {
+                    pushed.push(t as u64, *p);
+                }
+            }
+            let expected = merged(pushed.join());
+
+            // Runs submitted frame by frame, interleaved across tracks.
+            let mut batched = parallel(workers, 10.0);
+            let chunk = 13usize; // awkward on purpose: partial tail runs
+            let mut offset = 0usize;
+            while offset < 150 {
+                batched.submit_batch(traces.iter().enumerate().map(|(t, trace)| {
+                    let end = (offset + chunk).min(trace.len());
+                    (t as u64, trace[offset..end].to_vec())
+                }));
+                offset += chunk;
+            }
+            assert_eq!(merged(batched.join()), expected, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn submit_run_interleaves_correctly_with_push() {
+        let trace = wave(5, 120);
+        let mut fleet = parallel(2, 10.0);
+        // Alternate the two submission paths on one track: order must hold.
+        fleet.push(5, trace[0]);
+        fleet.push(5, trace[1]);
+        fleet.submit_run(5, trace[2..60].to_vec());
+        fleet.push(5, trace[60]);
+        fleet.submit_run(5, trace[61..].to_vec());
+        let counters = fleet.shard_counters();
+        assert_eq!(
+            counters.iter().map(|c| c.submitted_points).sum::<u64>(),
+            120
+        );
+        let all = merged(fleet.join());
+        let config = BqsConfig::new(10.0).unwrap();
+        let mut solo = FastBqsCompressor::new(config);
+        let expected = compress_all(&mut solo, trace.iter().copied());
+        assert_eq!(all[&5], expected);
+    }
+
+    #[test]
+    fn empty_runs_only_touch_the_counters() {
+        let mut fleet = parallel(2, 10.0);
+        fleet.submit_run(9, Vec::new());
+        let counters = fleet.shard_counters();
+        assert_eq!(counters.iter().map(|c| c.tracks).sum::<usize>(), 1);
+        assert_eq!(counters.iter().map(|c| c.submitted_points).sum::<u64>(), 0);
+        let join = fleet.join();
+        assert!(join.is_ok());
+        // The track was never delivered, so no session ever opened.
+        assert!(join.session_reports().is_empty());
     }
 
     #[test]

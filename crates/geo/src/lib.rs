@@ -22,6 +22,7 @@
 #![warn(clippy::all)]
 
 pub mod angle;
+pub mod columnar;
 pub mod frechet;
 pub mod geodesic;
 pub mod hull;
@@ -37,6 +38,7 @@ pub mod rotation;
 pub mod vec2;
 
 pub use angle::{normalize_angle, Quadrant};
+pub use columnar::ColumnarBatch;
 pub use frechet::{discrete_frechet, frechet_similar};
 pub use geodesic::{destination, haversine_m, initial_bearing_deg};
 pub use hull::convex_hull;

@@ -14,14 +14,21 @@
 //!   typed replies) whose bodies reuse the varint + f64-bit-map
 //!   primitives of `bqs_tlog`'s storage codec. Torn, oversized and
 //!   corrupt frames are typed [`WireError`]s, never silent.
-//! * [`server`] — [`Server`]: an acceptor plus per-connection reader
-//!   threads feeding one shared fleet through the existing batched
-//!   submission path. Backpressure propagates from a saturated worker
-//!   shard all the way to the remote socket; `Query` merges a live
+//! * [`server`] — [`Server`]: an acceptor handing non-blocking sockets
+//!   to a fixed pool of I/O threads (`--io-threads`, default 4) that
+//!   multiplex them via readiness polling (epoll/kqueue through the
+//!   vendored `polling` shim, with a portable fallback). `Append`
+//!   frames decode straight into columnar batches and enter the fleet
+//!   as whole runs — one channel send per frame. Backpressure still
+//!   propagates from a saturated worker shard all the way to the
+//!   remote socket; `Query` merges a live
 //!   [`FleetSnapshot`](bqs_core::fleet::FleetSnapshot) with the spill
 //!   tree through the unified
 //!   [`QueryEngine`](bqs_tlog::QueryEngine); `Shutdown` drains
 //!   connections and leaves a spill tree `bqs log verify` accepts.
+//!   `--io-threads 0` keeps the legacy thread-per-connection runtime
+//!   for A/B comparison; both share one request handler, so semantics
+//!   cannot drift.
 //! * [`client`] — [`BqsClient`]: the blocking client library.
 //! * [`loadgen`] — seeded multi-connection load generation whose
 //!   workloads match `bqs fleet`'s exactly, so network ingest is
@@ -31,9 +38,9 @@
 //! `bqs serve` and `bqs loadgen` expose the subsystem on the command
 //! line; `docs/protocol.md` specifies the wire format.
 //!
-//! Everything is `std::net` + threads: no async runtime, no new
-//! dependencies, and blocking reads give exact end-to-end backpressure
-//! semantics for free.
+//! Everything is `std::net` + threads + a vendored poller shim: no
+//! async runtime, and readiness-gated reads preserve the exact
+//! end-to-end backpressure semantics the blocking design had.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -47,8 +54,8 @@ pub mod wire;
 pub use client::{BqsClient, ShutdownAck};
 pub use error::NetError;
 pub use loadgen::{session_trace, LoadgenConfig, LoadgenReport};
-pub use server::{ServeReport, Server, ServerConfig};
+pub use server::{ServeReport, Server, ServerConfig, DEFAULT_IO_THREADS, DEFAULT_MAX_CONNECTIONS};
 pub use wire::{
-    ErrorCode, QueryReport, QuerySpec, Reply, Request, ShardStat, StatsReport, WireError,
-    MAX_FRAME_BYTES, PROTOCOL_VERSION,
+    decode_append_columns, encode_append_columns, ErrorCode, QueryReport, QuerySpec, Reply,
+    Request, ShardStat, StatsReport, WireError, MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };

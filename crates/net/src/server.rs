@@ -1,57 +1,74 @@
-//! The serving runtime: an acceptor plus per-connection reader threads
-//! feeding one shared [`ParallelFleet`] through the existing batched
-//! submission path.
+//! The serving runtime: an acceptor handing non-blocking sockets to a
+//! small fixed pool of I/O threads, each multiplexing its share of the
+//! connections via readiness polling and feeding one shared
+//! [`ParallelFleet`] through the frame-grained submission path.
 //!
 //! ```text
-//!  client ──TCP──► reader thread ─┐
-//!  client ──TCP──► reader thread ─┼─► Mutex<ParallelFleet> ─► worker shards ─► spill logs
-//!  client ──TCP──► reader thread ─┘         │
-//!                                           └─ snapshot() ─► QueryEngine (hot + cold)
+//!                      ┌─ io thread 0: poller ── conns 0,2,4… ─┐
+//!  clients ──► acceptor┼─ io thread 1: poller ── conns 1,3,5… ─┼─► Mutex<ParallelFleet>
+//!   (TCP)    round-robin└─ …           (epoll/kqueue/fallback) ─┘        │
+//!                                                                        ├─► worker shards ─► spill logs
+//!                                                                        └─ snapshot() ─► QueryEngine (hot + cold)
 //! ```
 //!
-//! * **Backpressure end to end** — a reader thread pushes straight into
-//!   the fleet while holding its lock; when a worker shard's bounded
-//!   channel is full, [`ParallelFleet::push`] blocks, the reader stops
-//!   reading, the kernel's TCP window fills, and the remote client's
-//!   `append` blocks. No unbounded queue exists anywhere on the path.
-//!   The granularity is deliberately coarse: submissions serialise on
-//!   one fleet lock, so a saturated shard pauses ingest across *all*
-//!   connections until its channel drains — a bounded-stall trade the
-//!   thread-per-connection design makes for exact semantics.
+//! * **Multiplexed ingest** — `--io-threads N` (default 4) I/O threads
+//!   each run a level-triggered readiness loop (`polling::Poller`:
+//!   epoll on Linux, kqueue on macOS, a portable round-robin fallback
+//!   anywhere else). An `Append` frame is decoded straight into a
+//!   columnar batch ([`decode_append_columns`]) — timestamps validated
+//!   in one contiguous pass — and submitted as a whole run in **one**
+//!   channel send ([`ParallelFleet::submit_run`]): no per-point
+//!   hashing, no per-point dispatch, no thread per connection.
+//!   `io_threads = 0` selects the legacy thread-per-connection runtime
+//!   (same protocol, same semantics), kept for A/B comparison.
+//! * **Backpressure end to end** — an I/O thread submits while holding
+//!   the fleet lock; when a worker shard's bounded channel is full the
+//!   send blocks, the I/O thread stops reading *all* its sockets, the
+//!   kernel's TCP windows fill, and remote `append`s block. Per
+//!   connection, replies that outpace the client gate further reads
+//!   (`OUT_HIGH_WATERMARK`), so no unbounded queue exists anywhere on
+//!   the path.
+//! * **Bounded connection table** — beyond
+//!   [`ServerConfig::max_connections`] an accepted socket receives one
+//!   typed [`ErrorCode::OverCapacity`] error frame and is closed
+//!   gracefully, instead of hanging in a backlog.
 //! * **Queries are hot + cold** — `Query` takes a consistent
-//!   [`ParallelFleet::snapshot`] of the live fleet (every point
-//!   submitted before the request is visible) and merges it with the
-//!   spill tree through [`QueryEngine`], durable data winning on
-//!   overlap; a mid-run answer for a closed track is exactly the
-//!   answer the finished tree will give.
-//! * **Graceful shutdown** — `Shutdown` stops the acceptor, drains
-//!   every connection (in-flight frames complete; idle connections are
-//!   closed), `finish_all`s the fleet via [`ParallelFleet::join`],
-//!   spills every session, writes the tree `MANIFEST`, and leaves a
+//!   [`ParallelFleet::snapshot`] (every point submitted before the
+//!   request is visible) and merges it with the spill tree through
+//!   [`QueryEngine`]; a mid-run answer for a closed track is exactly
+//!   the answer the finished tree will give.
+//! * **Graceful shutdown** — `Shutdown` stops the acceptor and starts
+//!   the drain: in-flight frames complete (mid-frame connections get
+//!   a 5 s `DRAIN_GRACE`), idle connections close, the fleet joins, every
+//!   session spills, the tree `MANIFEST` is written — leaving a
 //!   directory `bqs log verify` accepts.
 //!
-//! The server is deliberately thread-per-connection over `std::net`:
-//! the fleet's worker shards — not connection parsing — are the
-//! throughput-bearing stage, and blocking reads give exact
-//! backpressure semantics for free.
+//! The runtime stays `std::net` + threads + a vendored poller shim: no
+//! async runtime. What lands on disk is defined by the serial stack
+//! below; `tests/net_equivalence.rs` proves network runs byte-identical
+//! to in-process runs at any (connections, workers, io-threads).
 
 use crate::error::NetError;
 use crate::wire::{
-    write_frame, ErrorCode, QueryReport, QuerySpec, Reply, Request, ShardStat, StatsReport,
-    WireError, FRAME_MAGIC, HEADER_BYTES, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+    decode_append_columns, decode_frame, frame_to_vec, write_frame, ErrorCode, QueryReport,
+    QuerySpec, Reply, Request, ShardStat, StatsReport, WireError, FRAME_MAGIC, HEADER_BYTES,
+    MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
 use bqs_core::fleet::{FleetConfig, ParallelConfig, ParallelFleet};
 use bqs_core::stream::DecisionStats;
 use bqs_core::{BqsConfig, FastBqsCompressor};
-use bqs_geo::TimedPoint;
+use bqs_geo::ColumnarBatch;
 use bqs_tlog::crc::crc32;
 use bqs_tlog::{
     prepare_spill_logs, LogConfig, Manifest, QueryEngine, SpillSink, TimeRange, TrajectoryLog,
 };
-use std::io::Read;
+use polling::{source_of, Event, Poller};
+use std::collections::HashMap;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -59,8 +76,36 @@ use std::time::{Duration, Instant};
 /// before the server stops waiting for it.
 const DRAIN_GRACE: Duration = Duration::from_secs(5);
 
-/// The poll interval at which blocked reads re-check the shutdown flag.
+/// The poll interval at which blocked reads re-check the shutdown flag
+/// (legacy thread-per-connection runtime).
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// An I/O thread's poller timeout: the latency bound on noticing the
+/// shutdown flag when no wake byte arrives. Admission and shutdown are
+/// normally signalled instantly through each thread's wake pipe.
+const POOL_TICK: Duration = Duration::from_millis(25);
+
+/// Stack buffer for one `read` call on a connection.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Most bytes one connection may pull off its socket per poll tick —
+/// fairness between connections sharing an I/O thread. Level-triggered
+/// polling re-reports the socket until it is drained.
+const MAX_TICK_BYTES: usize = 256 * 1024;
+
+/// Once this many reply bytes are queued unsent, the connection stops
+/// being read until the client drains them — bounding server-side
+/// buffering for a client that pipelines requests but never reads.
+const OUT_HIGH_WATERMARK: usize = 1 << 20;
+
+/// The io-thread poller key reserved for the wake pipe.
+const WAKE_KEY: usize = usize::MAX;
+
+/// Default I/O threads in the multiplexed runtime.
+pub const DEFAULT_IO_THREADS: usize = 4;
+
+/// Default cap on concurrently served connections.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 4096;
 
 /// Configuration of one [`Server`].
 #[derive(Debug, Clone)]
@@ -77,11 +122,25 @@ pub struct ServerConfig {
     pub tolerance: f64,
     /// Session shards inside each worker's engine.
     pub shards: usize,
+    /// I/O threads multiplexing the connections
+    /// ([`DEFAULT_IO_THREADS`]); `0` selects the legacy
+    /// thread-per-connection runtime.
+    pub io_threads: usize,
+    /// Connections served concurrently at most
+    /// ([`DEFAULT_MAX_CONNECTIONS`]); beyond it, accepts are answered
+    /// with a typed over-capacity error frame and closed.
+    pub max_connections: usize,
+    /// Force the portable fallback poller backend even where the OS
+    /// offers epoll/kqueue — the knob tests use to cover the
+    /// WouldBlock round-robin path on any host.
+    pub fallback_poller: bool,
 }
 
 impl ServerConfig {
     /// A config with the workspace defaults (10 m tolerance, 16 engine
-    /// shards) for the given bind address, worker count and spill dir.
+    /// shards, [`DEFAULT_IO_THREADS`] I/O threads,
+    /// [`DEFAULT_MAX_CONNECTIONS`] connections) for the given bind
+    /// address, worker count and spill dir.
     pub fn new(addr: impl Into<String>, workers: usize, spill: impl Into<PathBuf>) -> ServerConfig {
         ServerConfig {
             addr: addr.into(),
@@ -89,6 +148,9 @@ impl ServerConfig {
             spill: spill.into(),
             tolerance: 10.0,
             shards: 16,
+            io_threads: DEFAULT_IO_THREADS,
+            max_connections: DEFAULT_MAX_CONNECTIONS,
+            fallback_poller: false,
         }
     }
 }
@@ -96,8 +158,10 @@ impl ServerConfig {
 /// What a completed serve run accomplished, returned by [`Server::run`].
 #[derive(Debug, Clone)]
 pub struct ServeReport {
-    /// Connections accepted.
+    /// Connections accepted and served.
     pub connections: u64,
+    /// Connections refused with an over-capacity error frame.
+    pub rejected_connections: u64,
     /// Frames processed across all connections.
     pub frames: u64,
     /// Points accepted into the fleet.
@@ -123,7 +187,7 @@ struct FleetState {
     /// re-validates every batch against this watermark — a crafted
     /// frame with backwards or non-finite timestamps must never reach
     /// the fleet, where it would poison the track's spill at close.
-    last_t: std::collections::HashMap<u64, f64>,
+    last_t: HashMap<u64, f64>,
 }
 
 type FleetSlot = Mutex<Option<FleetState>>;
@@ -132,9 +196,15 @@ struct Shared {
     fleet: FleetSlot,
     spill: PathBuf,
     workers: usize,
+    io_threads: usize,
+    max_connections: usize,
+    fallback_poller: bool,
     local_addr: SocketAddr,
     shutdown: AtomicBool,
+    /// Connections currently registered (admission gate).
+    active: AtomicUsize,
     connections: AtomicU64,
+    rejected: AtomicU64,
     frames: AtomicU64,
     appended_points: AtomicU64,
 }
@@ -189,6 +259,11 @@ impl Server {
         if config.workers == 0 {
             return Err(NetError::Config("serve needs --workers ≥ 1, got 0".into()));
         }
+        if config.max_connections == 0 {
+            return Err(NetError::Config(
+                "serve needs --max-connections ≥ 1, got 0".into(),
+            ));
+        }
         if !(config.tolerance.is_finite() && config.tolerance > 0.0) {
             return Err(NetError::Config(format!(
                 "tolerance must be > 0, got {}",
@@ -227,13 +302,18 @@ impl Server {
             shared: Arc::new(Shared {
                 fleet: Mutex::new(Some(FleetState {
                     fleet,
-                    last_t: std::collections::HashMap::new(),
+                    last_t: HashMap::new(),
                 })),
                 spill: config.spill,
                 workers: config.workers,
+                io_threads: config.io_threads,
+                max_connections: config.max_connections,
+                fallback_poller: config.fallback_poller,
                 local_addr,
                 shutdown: AtomicBool::new(false),
+                active: AtomicUsize::new(0),
                 connections: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
                 frames: AtomicU64::new(0),
                 appended_points: AtomicU64::new(0),
             }),
@@ -254,9 +334,36 @@ impl Server {
     /// (≈10 s of consecutive errors) stops the server — and even then
     /// it drains, spills and reports instead of abandoning the fleet.
     pub fn run(self) -> Result<ServeReport, NetError> {
+        if self.shared.io_threads == 0 {
+            self.run_threaded()
+        } else {
+            self.run_pool()
+        }
+    }
+
+    /// The multiplexed runtime: I/O threads + readiness polling.
+    fn run_pool(self) -> Result<ServeReport, NetError> {
+        let io_threads = self.shared.io_threads;
+        let mut senders: Vec<Sender<TcpStream>> = Vec::with_capacity(io_threads);
+        let mut wakers: Vec<TcpStream> = Vec::with_capacity(io_threads);
+        let mut handles = Vec::with_capacity(io_threads);
+        for i in 0..io_threads {
+            let (tx, rx) = std::sync::mpsc::channel::<TcpStream>();
+            let (wake_tx, wake_rx) = wake_pipe()?;
+            let shared = Arc::clone(&self.shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("bqs-io-{i}"))
+                    .spawn(move || io_loop(rx, wake_rx, &shared))
+                    .map_err(|e| NetError::io("spawn io thread", e))?,
+            );
+            senders.push(tx);
+            wakers.push(wake_tx);
+        }
+
         const MAX_CONSECUTIVE_ACCEPT_FAILURES: u32 = 100;
-        let mut handles = Vec::new();
         let mut accept_failures = 0u32;
+        let mut next = 0usize;
         loop {
             match self.listener.accept() {
                 Ok((stream, _)) => {
@@ -267,11 +374,24 @@ impl Server {
                         drop(stream);
                         break;
                     }
+                    if self.shared.active.load(Ordering::SeqCst) >= self.shared.max_connections {
+                        reject_over_capacity(stream, &self.shared);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    self.shared.active.fetch_add(1, Ordering::SeqCst);
                     self.shared.connections.fetch_add(1, Ordering::Relaxed);
-                    let shared = Arc::clone(&self.shared);
-                    handles.push(std::thread::spawn(move || {
-                        handle_connection(stream, &shared)
-                    }));
+                    if senders[next].send(stream).is_err() {
+                        // The io thread is gone (it never exits before
+                        // shutdown unless it panicked): undo and drop.
+                        self.shared.active.fetch_sub(1, Ordering::SeqCst);
+                    } else {
+                        wake(&wakers[next]);
+                    }
+                    next = (next + 1) % io_threads;
                 }
                 Err(_) if self.shared.shutdown.load(Ordering::SeqCst) => break,
                 Err(_) => {
@@ -279,6 +399,54 @@ impl Server {
                     if accept_failures >= MAX_CONSECUTIVE_ACCEPT_FAILURES {
                         // The listener is gone for good: stop accepting
                         // but still drain and make everything durable.
+                        self.shared.shutdown.store(true, Ordering::SeqCst);
+                        break;
+                    }
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+            }
+        }
+        // Close the admission channels and wake every io thread so the
+        // drain starts immediately rather than at the next tick.
+        drop(senders);
+        for waker in &wakers {
+            wake(waker);
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+        self.finalize()
+    }
+
+    /// The legacy thread-per-connection runtime (`--io-threads 0`).
+    fn run_threaded(self) -> Result<ServeReport, NetError> {
+        const MAX_CONSECUTIVE_ACCEPT_FAILURES: u32 = 100;
+        let mut handles = Vec::new();
+        let mut accept_failures = 0u32;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    accept_failures = 0;
+                    if self.shared.shutdown.load(Ordering::SeqCst) {
+                        drop(stream);
+                        break;
+                    }
+                    if self.shared.active.load(Ordering::SeqCst) >= self.shared.max_connections {
+                        reject_over_capacity(stream, &self.shared);
+                        continue;
+                    }
+                    self.shared.active.fetch_add(1, Ordering::SeqCst);
+                    self.shared.connections.fetch_add(1, Ordering::Relaxed);
+                    let shared = Arc::clone(&self.shared);
+                    handles.push(std::thread::spawn(move || {
+                        handle_connection(stream, &shared);
+                        shared.active.fetch_sub(1, Ordering::SeqCst);
+                    }));
+                }
+                Err(_) if self.shared.shutdown.load(Ordering::SeqCst) => break,
+                Err(_) => {
+                    accept_failures += 1;
+                    if accept_failures >= MAX_CONSECUTIVE_ACCEPT_FAILURES {
                         self.shared.shutdown.store(true, Ordering::SeqCst);
                         break;
                     }
@@ -328,6 +496,7 @@ impl Server {
         };
         Ok(ServeReport {
             connections: self.shared.connections.load(Ordering::Relaxed),
+            rejected_connections: self.shared.rejected.load(Ordering::Relaxed),
             frames: self.shared.frames.load(Ordering::Relaxed),
             appended_points: self.shared.appended_points.load(Ordering::Relaxed),
             spilled_sessions,
@@ -339,6 +508,297 @@ impl Server {
     }
 }
 
+/// Answers an over-the-cap accept with one typed error frame and closes
+/// the socket — a client in `connect` surfaces it as
+/// `NetError::Server { code: OverCapacity, .. }` instead of hanging.
+fn reject_over_capacity(mut stream: TcpStream, shared: &Shared) {
+    shared.rejected.fetch_add(1, Ordering::Relaxed);
+    let reply = Reply::Error {
+        code: ErrorCode::OverCapacity,
+        message: format!(
+            "connection table full ({} connections); retry later",
+            shared.max_connections
+        ),
+    };
+    if let Ok(payload) = reply.encode() {
+        let _ = stream.set_write_timeout(Some(POLL_INTERVAL));
+        let _ = write_frame(&mut stream, &payload);
+    }
+}
+
+/// The blocking write end of an I/O thread's wake pipe. `std` has no
+/// portable socketpair, so the pipe is a loopback TCP pair: one byte
+/// written here pops the thread out of `Poller::wait` instantly.
+fn wake_pipe() -> Result<(TcpStream, TcpStream), NetError> {
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| NetError::io("wake pipe", e))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| NetError::io("wake pipe", e))?;
+    let tx = TcpStream::connect(addr).map_err(|e| NetError::io("wake pipe", e))?;
+    let (rx, _) = listener
+        .accept()
+        .map_err(|e| NetError::io("wake pipe", e))?;
+    Ok((tx, rx))
+}
+
+fn wake(waker: &TcpStream) {
+    let _ = (&*waker).write_all(&[1]);
+}
+
+/// One connection's state inside an I/O thread.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read off the socket, `consumed` of which are parsed.
+    inbuf: Vec<u8>,
+    consumed: usize,
+    /// Reply bytes queued, `outpos` of which are written.
+    outbuf: Vec<u8>,
+    outpos: usize,
+    greeted: bool,
+    /// Close once `outbuf` drains (framing violation, shutdown, EOF).
+    close_after_flush: bool,
+    /// Currently registered with write interest.
+    want_write: bool,
+    /// Peer EOF observed.
+    eof: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            inbuf: Vec::new(),
+            consumed: 0,
+            outbuf: Vec::new(),
+            outpos: 0,
+            greeted: false,
+            close_after_flush: false,
+            want_write: false,
+            eof: false,
+        }
+    }
+
+    /// Nothing half-read, nothing half-written: safe to close at a
+    /// shutdown drain point.
+    fn at_boundary(&self) -> bool {
+        self.consumed == self.inbuf.len() && self.outpos == self.outbuf.len()
+    }
+}
+
+/// One I/O thread: admit connections from `rx`, poll readiness, parse
+/// frames, serve requests, flush replies — until shutdown drains every
+/// connection.
+fn io_loop(rx: Receiver<TcpStream>, wake_rx: TcpStream, shared: &Shared) {
+    let poller = if shared.fallback_poller {
+        Poller::with_fallback()
+    } else {
+        Poller::new().unwrap_or_else(|_| Poller::with_fallback())
+    };
+    let _ = wake_rx.set_nonblocking(true);
+    let _ = poller.add(source_of(&wake_rx), Event::readable(WAKE_KEY));
+    let mut conns: HashMap<usize, Conn> = HashMap::new();
+    let mut next_key = 0usize;
+    let mut events: Vec<Event> = Vec::new();
+    let mut scratch = ColumnarBatch::new();
+    let mut rx_open = true;
+    let mut drain_deadline: Option<Instant> = None;
+    loop {
+        // Admit whatever the acceptor queued.
+        while rx_open {
+            match rx.try_recv() {
+                Ok(stream) => {
+                    let key = next_key;
+                    next_key += 1;
+                    if poller.add(source_of(&stream), Event::readable(key)).is_ok() {
+                        conns.insert(key, Conn::new(stream));
+                    } else {
+                        shared.active.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    rx_open = false;
+                    break;
+                }
+            }
+        }
+
+        let shutting = shared.shutdown.load(Ordering::SeqCst);
+        if shutting {
+            let deadline = *drain_deadline.get_or_insert_with(|| Instant::now() + DRAIN_GRACE);
+            // Final service pass: frames already in flight (kernel
+            // buffers included) still complete; then close everything
+            // that sits at a frame boundary — or everything, once the
+            // grace expires.
+            let keys: Vec<usize> = conns.keys().copied().collect();
+            let expired = Instant::now() >= deadline;
+            for key in keys {
+                let conn = conns.get_mut(&key).expect("key from this map");
+                let dead = service_conn(conn, shared, &mut scratch);
+                if dead || conn.at_boundary() || expired {
+                    close_conn(&poller, &mut conns, key, shared);
+                }
+            }
+            if conns.is_empty() && !rx_open {
+                break;
+            }
+        }
+
+        let _ = poller.wait(&mut events, Some(POOL_TICK));
+        for &ev in events.iter() {
+            if ev.key == WAKE_KEY {
+                drain_wake(&wake_rx);
+                continue;
+            }
+            let Some(conn) = conns.get_mut(&ev.key) else {
+                continue;
+            };
+            if service_conn(conn, shared, &mut scratch) {
+                close_conn(&poller, &mut conns, ev.key, shared);
+                continue;
+            }
+            let conn = conns.get_mut(&ev.key).expect("still present");
+            // Write interest only while replies are actually pending.
+            let pending = conn.outpos < conn.outbuf.len();
+            if pending != conn.want_write {
+                conn.want_write = pending;
+                let interest = if pending {
+                    Event::all(ev.key)
+                } else {
+                    Event::readable(ev.key)
+                };
+                let _ = poller.modify(source_of(&conn.stream), interest);
+            }
+        }
+    }
+    // Streams the acceptor queued that were never admitted.
+    for stream in rx.try_iter() {
+        drop(stream);
+        shared.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn drain_wake(wake_rx: &TcpStream) {
+    let mut buf = [0u8; 64];
+    while matches!((&*wake_rx).read(&mut buf), Ok(n) if n > 0) {}
+}
+
+fn close_conn(poller: &Poller, conns: &mut HashMap<usize, Conn>, key: usize, shared: &Shared) {
+    if let Some(conn) = conns.remove(&key) {
+        let _ = poller.delete(source_of(&conn.stream));
+        drop(conn.stream);
+        shared.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Reads, parses, serves and flushes one connection as far as its
+/// socket allows right now. Returns `true` when the connection is done
+/// (transport failure, or close-after-flush with an empty out buffer).
+fn service_conn(conn: &mut Conn, shared: &Shared, scratch: &mut ColumnarBatch) -> bool {
+    // 1. Pull available bytes — unless queued replies are over the
+    // watermark (a client that writes but never reads): level-triggered
+    // polling re-reports the socket once the replies drain.
+    if !conn.eof && !conn.close_after_flush && conn.outbuf.len() - conn.outpos < OUT_HIGH_WATERMARK
+    {
+        let mut chunk = [0u8; READ_CHUNK];
+        let mut read_this_tick = 0usize;
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.inbuf.extend_from_slice(&chunk[..n]);
+                    read_this_tick += n;
+                    if read_this_tick >= MAX_TICK_BYTES {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return true, // transport died
+            }
+        }
+    }
+
+    // 2. Serve every complete frame in the buffer.
+    while !conn.close_after_flush {
+        let buf = &conn.inbuf[conn.consumed..];
+        if buf.is_empty() {
+            break;
+        }
+        match decode_frame(buf) {
+            Ok((payload, used)) => {
+                conn.consumed += used;
+                shared.frames.fetch_add(1, Ordering::Relaxed);
+                let (reply, after) = handle_payload(&payload, shared, &mut conn.greeted, scratch);
+                queue_reply(conn, &reply);
+                if matches!(after, After::Close) {
+                    conn.close_after_flush = true;
+                }
+            }
+            Err(WireError::Torn { .. }) => break, // incomplete: wait for more bytes
+            Err(e) => {
+                // The stream cannot be resynchronised after a framing
+                // violation: report and close.
+                queue_reply(
+                    conn,
+                    &Reply::Error {
+                        code: ErrorCode::BadFrame,
+                        message: e.to_string(),
+                    },
+                );
+                conn.close_after_flush = true;
+                conn.consumed = conn.inbuf.len();
+            }
+        }
+    }
+    if conn.consumed > 0 {
+        conn.inbuf.drain(..conn.consumed);
+        conn.consumed = 0;
+    }
+    // A peer that half-closed gets its queued replies, then the close;
+    // a partial frame left behind is torn — nobody is left to tell.
+    if conn.eof {
+        conn.close_after_flush = true;
+    }
+
+    // 3. Flush as much of the out queue as the socket takes.
+    while conn.outpos < conn.outbuf.len() {
+        match conn.stream.write(&conn.outbuf[conn.outpos..]) {
+            Ok(0) => return true,
+            Ok(n) => conn.outpos += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return true,
+        }
+    }
+    if conn.outpos == conn.outbuf.len() {
+        conn.outbuf.clear();
+        conn.outpos = 0;
+        if conn.close_after_flush {
+            return true;
+        }
+    }
+    false
+}
+
+fn queue_reply(conn: &mut Conn, reply: &Reply) {
+    let payload = match reply.encode() {
+        Ok(payload) => payload,
+        // A reply that cannot be encoded (a codec invariant violated by
+        // query output — never expected) degrades to a typed error.
+        Err(e) => Reply::Error {
+            code: ErrorCode::Internal,
+            message: format!("cannot encode reply: {e}"),
+        }
+        .encode()
+        .expect("error replies always encode"),
+    };
+    conn.outbuf.extend_from_slice(&frame_to_vec(&payload));
+}
+
 /// One reader's verdict after handling a frame.
 enum After {
     /// Keep serving this connection.
@@ -347,6 +807,7 @@ enum After {
     Close,
 }
 
+/// The legacy per-connection reader thread (`--io-threads 0`).
 fn handle_connection(mut stream: TcpStream, shared: &Shared) {
     if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
         return;
@@ -358,6 +819,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
     // The protocol requires `Hello` to open every connection; nothing
     // else is served before the handshake succeeds.
     let mut greeted = false;
+    let mut scratch = ColumnarBatch::new();
     loop {
         let payload = match read_frame_interruptible(&mut stream, &shared.shutdown) {
             Ok(Some(payload)) => payload,
@@ -375,16 +837,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
             Err(_) => return, // transport died
         };
         shared.frames.fetch_add(1, Ordering::Relaxed);
-        let (reply, after) = match Request::decode(&payload) {
-            Ok(request) => handle_request(request, shared, &mut greeted),
-            Err(e) => (
-                Reply::Error {
-                    code: ErrorCode::BadFrame,
-                    message: e.to_string(),
-                },
-                After::Close,
-            ),
-        };
+        let (reply, after) = handle_payload(&payload, shared, &mut greeted, &mut scratch);
         if !send_reply(&mut writer, &reply) {
             return;
         }
@@ -397,8 +850,6 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
 fn send_reply(writer: &mut TcpStream, reply: &Reply) -> bool {
     let payload = match reply.encode() {
         Ok(payload) => payload,
-        // A reply that cannot be encoded (a codec invariant violated by
-        // query output — never expected) degrades to a typed error.
         Err(e) => Reply::Error {
             code: ErrorCode::Internal,
             message: format!("cannot encode reply: {e}"),
@@ -409,29 +860,96 @@ fn send_reply(writer: &mut TcpStream, reply: &Reply) -> bool {
     write_frame(writer, &payload).is_ok()
 }
 
-/// Validates an append batch against the codec's time invariant and
-/// the track's accepted watermark. The wire *decoder* cannot enforce
-/// this (only the encoder does), so without the check a crafted frame
-/// would be acked, reach the fleet, and poison the track's spill at
-/// session close — losing the whole shard's durable output.
-fn validate_batch(points: &[TimedPoint], watermark: Option<f64>) -> Result<(), String> {
+/// Validates a batch's timestamp run against the codec's time invariant
+/// and the track's accepted watermark. The wire *decoder* cannot
+/// enforce this (only the encoder does), so without the check a crafted
+/// frame would be acked, reach the fleet, and poison the track's spill
+/// at session close — losing the whole shard's durable output.
+fn validate_times(times: &[f64], watermark: Option<f64>) -> Result<(), String> {
     let mut prev = watermark;
-    for (i, p) in points.iter().enumerate() {
-        if !p.t.is_finite() {
+    for (i, &t) in times.iter().enumerate() {
+        if !t.is_finite() {
             return Err(format!("timestamp at index {i} is not finite"));
         }
         if let Some(prev) = prev {
-            if p.t < prev {
+            if t < prev {
                 return Err(format!(
-                    "timestamp at index {i} goes backwards: {} < {prev} \
-                     (the track's accepted stream is time-ordered)",
-                    p.t
+                    "timestamp at index {i} goes backwards: {t} < {prev} \
+                     (the track's accepted stream is time-ordered)"
                 ));
             }
         }
-        prev = Some(p.t);
+        prev = Some(t);
     }
     Ok(())
+}
+
+/// Serves one frame payload: the columnar `Append` fast path first
+/// (after the handshake), everything else through [`Request::decode`].
+/// Both runtimes — pool and thread-per-connection — go through here, so
+/// semantics and error strings cannot drift between them.
+fn handle_payload(
+    payload: &[u8],
+    shared: &Shared,
+    greeted: &mut bool,
+    scratch: &mut ColumnarBatch,
+) -> (Reply, After) {
+    if *greeted {
+        scratch.clear();
+        match decode_append_columns(payload, scratch) {
+            Ok(Some(track)) => return handle_append_columns(track, scratch, shared),
+            Ok(None) => {}
+            Err(e) => {
+                return (
+                    Reply::Error {
+                        code: ErrorCode::BadFrame,
+                        message: e.to_string(),
+                    },
+                    After::Close,
+                )
+            }
+        }
+    }
+    match Request::decode(payload) {
+        Ok(request) => handle_request(request, shared, greeted),
+        Err(e) => (
+            Reply::Error {
+                code: ErrorCode::BadFrame,
+                message: e.to_string(),
+            },
+            After::Close,
+        ),
+    }
+}
+
+/// The `Append` fast path: timestamps validated in one pass over the
+/// contiguous run, then the whole run submitted in one channel send.
+fn handle_append_columns(track: u64, batch: &ColumnarBatch, shared: &Shared) -> (Reply, After) {
+    let mut guard = shared.lock_fleet();
+    let Some(state) = guard.as_mut() else {
+        return (shutting_down_error(), After::Close);
+    };
+    if let Err(message) = validate_times(&batch.t, state.last_t.get(&track).copied()) {
+        // Semantically invalid but well-framed: the batch is rejected
+        // whole and the connection survives.
+        return (
+            Reply::Error {
+                code: ErrorCode::BadRequest,
+                message,
+            },
+            After::Continue,
+        );
+    }
+    if let Some(&last) = batch.t.last() {
+        state.last_t.insert(track, last);
+    }
+    // Backpressure: this send blocks (fleet lock held, sockets unread)
+    // when the track's worker shard is saturated.
+    let n = batch.len() as u64;
+    state.fleet.submit_run(track, batch.to_points());
+    drop(guard);
+    shared.appended_points.fetch_add(n, Ordering::Relaxed);
+    (Reply::Appended { track, points: n }, After::Continue)
 }
 
 fn handle_request(request: Request, shared: &Shared, greeted: &mut bool) -> (Reply, After) {
@@ -468,33 +986,11 @@ fn handle_request(request: Request, shared: &Shared, greeted: &mut bool) -> (Rep
             )
         }
         Request::Append { track, points } => {
-            let mut guard = shared.lock_fleet();
-            let Some(state) = guard.as_mut() else {
-                return (shutting_down_error(), After::Close);
-            };
-            if let Err(message) = validate_batch(&points, state.last_t.get(&track).copied()) {
-                // Semantically invalid but well-framed: the batch is
-                // rejected whole and the connection survives.
-                return (
-                    Reply::Error {
-                        code: ErrorCode::BadRequest,
-                        message,
-                    },
-                    After::Continue,
-                );
-            }
-            if let Some(last) = points.last() {
-                state.last_t.insert(track, last.t);
-            }
-            // Backpressure: this push blocks (fleet lock held, socket
-            // unread) when the track's worker shard is saturated.
-            let n = points.len() as u64;
-            for p in points {
-                state.fleet.push(track, p);
-            }
-            drop(guard);
-            shared.appended_points.fetch_add(n, Ordering::Relaxed);
-            (Reply::Appended { track, points: n }, After::Continue)
+            // The row-decoded path — reachable only through direct
+            // `Request` handling (the servers catch `Append` in the
+            // columnar fast path); kept for exactness with it.
+            let batch = ColumnarBatch::from_points(&points);
+            handle_append_columns(track, &batch, shared)
         }
         Request::Flush => {
             let mut guard = shared.lock_fleet();

@@ -33,8 +33,11 @@
 //! in `docs/protocol.md`.
 
 use bqs_core::stream::DecisionStats;
-use bqs_geo::TimedPoint;
-use bqs_tlog::codec::{decode_to_vec, encode_points, read_varint, write_varint, CodecError};
+use bqs_geo::{ColumnarBatch, TimedPoint};
+use bqs_tlog::codec::{
+    decode_columns_into, decode_to_vec, encode_columns, encode_points, read_varint, write_varint,
+    CodecError,
+};
 use bqs_tlog::crc::crc32;
 use bqs_tlog::TrackSlice;
 use std::fmt;
@@ -175,6 +178,9 @@ pub enum ErrorCode {
     ShuttingDown,
     /// An internal server error (storage, query fan-out, …).
     Internal,
+    /// The server's connection table is full; the connection is closed
+    /// after this reply. Retry later or against another server.
+    OverCapacity,
 }
 
 impl ErrorCode {
@@ -185,6 +191,7 @@ impl ErrorCode {
             ErrorCode::Unsupported => 3,
             ErrorCode::ShuttingDown => 4,
             ErrorCode::Internal => 5,
+            ErrorCode::OverCapacity => 6,
         }
     }
 
@@ -195,6 +202,7 @@ impl ErrorCode {
             3 => Ok(ErrorCode::Unsupported),
             4 => Ok(ErrorCode::ShuttingDown),
             5 => Ok(ErrorCode::Internal),
+            6 => Ok(ErrorCode::OverCapacity),
             code => Err(WireError::UnknownErrorCode { code }),
         }
     }
@@ -208,6 +216,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::Unsupported => "unsupported",
             ErrorCode::ShuttingDown => "shutting-down",
             ErrorCode::Internal => "internal",
+            ErrorCode::OverCapacity => "over-capacity",
         };
         f.write_str(name)
     }
@@ -665,6 +674,52 @@ impl Reply {
     }
 }
 
+// --- the columnar Append fast path ------------------------------------
+
+/// Decodes an `Append` frame payload straight into a columnar batch —
+/// the ingest server's fast path. Returns `Ok(Some(track))` and fills
+/// `batch` (appending — clear it first to reuse its allocations) when
+/// the payload is a well-formed `Append`; `Ok(None)` when the payload
+/// carries any other tag (decode it with [`Request::decode`]). Accepts
+/// exactly the payloads the row path accepts, decodes to identical
+/// values, and rejects trailing bytes identically — only the target
+/// representation differs: three contiguous runs, no intermediate
+/// `Vec<TimedPoint>` and no per-point `Sink` dispatch.
+pub fn decode_append_columns(
+    payload: &[u8],
+    batch: &mut ColumnarBatch,
+) -> Result<Option<u64>, WireError> {
+    if payload.first() != Some(&TAG_APPEND) {
+        return Ok(None);
+    }
+    let mut pos = 1usize;
+    let track = read_varint(payload, &mut pos)?;
+    let len = read_varint(payload, &mut pos)? as usize;
+    let end = pos
+        .checked_add(len)
+        .filter(|&e| e <= payload.len())
+        .ok_or(WireError::Truncated { offset: pos })?;
+    decode_columns_into(&payload[pos..end], batch).map_err(WireError::Codec)?;
+    check_consumed(payload, end)?;
+    Ok(Some(track))
+}
+
+/// Encodes an `Append` frame payload from a columnar batch, producing
+/// bytes **identical** to `Request::Append { track, points }.encode()`
+/// on the same points in row form — the client-side mirror of
+/// [`decode_append_columns`]. Fails when the batch violates the codec's
+/// time-order invariant.
+pub fn encode_append_columns(track: u64, batch: &ColumnarBatch) -> Result<Vec<u8>, WireError> {
+    let mut out = Vec::new();
+    out.push(TAG_APPEND);
+    write_varint(track, &mut out);
+    let mut blob = Vec::with_capacity(2 + batch.len() * 4);
+    encode_columns(batch, &mut blob)?;
+    write_varint(blob.len() as u64, &mut out);
+    out.extend_from_slice(&blob);
+    Ok(out)
+}
+
 // --- framing ----------------------------------------------------------
 
 /// Wraps a payload in a complete frame (magic + length + payload + CRC).
@@ -1020,6 +1075,41 @@ mod tests {
             Reply::decode(&error),
             Err(WireError::UnknownErrorCode { code: 99 })
         );
+    }
+
+    #[test]
+    fn columnar_append_fast_path_mirrors_the_row_path() {
+        let pts = points(80);
+        let row_payload = Request::Append {
+            track: 99,
+            points: pts.clone(),
+        }
+        .encode()
+        .unwrap();
+        // Decode fast path: same track, same values, reusable scratch.
+        let mut batch = ColumnarBatch::new();
+        let track = decode_append_columns(&row_payload, &mut batch).unwrap();
+        assert_eq!(track, Some(99));
+        assert_eq!(batch.to_points(), pts);
+        batch.clear();
+        // Encode fast path: byte-identical payload.
+        let col_payload = encode_append_columns(99, &ColumnarBatch::from_points(&pts)).unwrap();
+        assert_eq!(col_payload, row_payload);
+        // Non-Append tags fall through untouched.
+        let other = Request::Stats.encode().unwrap();
+        assert_eq!(decode_append_columns(&other, &mut batch).unwrap(), None);
+        assert!(batch.is_empty());
+        // Trailing bytes are rejected exactly like the row path.
+        let mut trailing = row_payload.clone();
+        trailing.push(0xCD);
+        assert_eq!(
+            decode_append_columns(&trailing, &mut batch),
+            Err(WireError::TrailingBytes { extra: 1 })
+        );
+        assert!(matches!(
+            Request::decode(&trailing),
+            Err(WireError::TrailingBytes { extra: 1 })
+        ));
     }
 
     #[test]

@@ -4,11 +4,13 @@
 //! truncated length prefix, corrupted payload or checksum — is a typed
 //! rejection, never a panic or silent acceptance.
 
-use bqs_geo::TimedPoint;
+use bqs_geo::{ColumnarBatch, TimedPoint};
 use bqs_net::wire::{
-    decode_frame, frame_to_vec, ErrorCode, QueryReport, QuerySpec, Reply, Request, ShardStat,
-    StatsReport, WireError, HEADER_BYTES, PROTOCOL_VERSION,
+    decode_append_columns, decode_frame, encode_append_columns, frame_to_vec, ErrorCode,
+    QueryReport, QuerySpec, Reply, Request, ShardStat, StatsReport, WireError, HEADER_BYTES,
+    PROTOCOL_VERSION,
 };
+use bqs_tlog::codec::{encode_columns, encode_points};
 use bqs_tlog::TrackSlice;
 use proptest::prelude::*;
 
@@ -214,5 +216,41 @@ proptest! {
         let _ = decode_frame(&bytes);
         let _ = Request::decode(&bytes);
         let _ = Reply::decode(&bytes);
+        let _ = decode_append_columns(&bytes, &mut ColumnarBatch::new());
+    }
+
+    /// The columnar fast path is byte-for-byte the row path, end to
+    /// end: codec blob, `Append` payload, and the decoded batch — for
+    /// arbitrary tracks and batch sizes (empty included).
+    #[test]
+    fn columnar_append_path_is_byte_identical_to_the_row_path(
+        seed in 0u64..1_000_000,
+        track in 0u64..10_000,
+        n in 0usize..200,
+    ) {
+        let pts = points(seed, n);
+        let batch = ColumnarBatch::from_points(&pts);
+
+        // Codec layer: identical bytes.
+        let mut row = Vec::new();
+        encode_points(&pts, &mut row).expect("row encode");
+        let mut col = Vec::new();
+        encode_columns(&batch, &mut col).expect("columnar encode");
+        prop_assert_eq!(&row, &col);
+
+        // Wire layer: identical `Append` payloads...
+        let row_payload = Request::Append { track, points: pts.clone() }
+            .encode()
+            .expect("row payload");
+        let col_payload = encode_append_columns(track, &batch).expect("columnar payload");
+        prop_assert_eq!(&row_payload, &col_payload);
+
+        // ...and the fast-path decoder recovers exactly the batch.
+        let mut decoded = ColumnarBatch::new();
+        let got_track = decode_append_columns(&row_payload, &mut decoded)
+            .expect("fast-path decode")
+            .expect("payload is an Append");
+        prop_assert_eq!(got_track, track);
+        prop_assert_eq!(decoded, batch);
     }
 }

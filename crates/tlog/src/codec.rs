@@ -46,7 +46,7 @@
 //! time-ordered records — with a typed [`CodecError`].
 
 use bqs_core::stream::Sink;
-use bqs_geo::TimedPoint;
+use bqs_geo::{ColumnarBatch, TimedPoint};
 use std::fmt;
 
 /// Version byte prefixed to every encoded payload.
@@ -528,6 +528,218 @@ pub fn decode_to_vec(bytes: &[u8]) -> Result<Vec<TimedPoint>, CodecError> {
     Ok(out)
 }
 
+// --- columnar fast paths ---------------------------------------------
+
+/// Validates a whole timestamp run in one contiguous pass — the
+/// columnar codec's replacement for the per-point [`check_time`] calls
+/// interleaved through the row encoder's hot loop.
+#[inline]
+fn check_time_run(t: &[f64]) -> Result<(), CodecError> {
+    let mut prev = f64::NEG_INFINITY;
+    for (i, &v) in t.iter().enumerate() {
+        if !v.is_finite() {
+            return Err(CodecError::NonFiniteTimestamp { index: i });
+        }
+        if v < prev {
+            return Err(CodecError::NonMonotonicTimestamps {
+                index: i,
+                prev,
+                next: v,
+            });
+        }
+        prev = v;
+    }
+    Ok(())
+}
+
+/// Encodes a columnar batch with the exact profile, producing bytes
+/// **identical** to [`encode_points`] on the same points in row form.
+///
+/// The wire format interleaves x, y, t varints per point, but the
+/// columnar encoder reads each field from its own contiguous run and
+/// hoists the time validation out of the per-point loop
+/// (`check_time_run`) — the shape the ingest server's `Append` fast
+/// path feeds straight from the socket. Unlike the row encoder, nothing
+/// is written to `out` when the batch is invalid.
+///
+/// # Panics
+///
+/// Panics when the batch's columns differ in length (a violated
+/// [`ColumnarBatch`] invariant).
+pub fn encode_columns(batch: &ColumnarBatch, out: &mut Vec<u8>) -> Result<(), CodecError> {
+    encode_columns_with(CodecProfile::Exact, batch, out)
+}
+
+/// Encodes a columnar batch with an explicit profile; bytes are
+/// identical to [`encode_points_with`] on the same points in row form.
+/// See [`encode_columns`] for the differences in error behaviour.
+pub fn encode_columns_with(
+    profile: CodecProfile,
+    batch: &ColumnarBatch,
+    out: &mut Vec<u8>,
+) -> Result<(), CodecError> {
+    assert!(
+        batch.x.len() == batch.t.len() && batch.y.len() == batch.t.len(),
+        "columnar batch columns differ in length"
+    );
+    profile.validate()?;
+    check_time_run(&batch.t)?;
+    let n = batch.len();
+    out.reserve(2 + n * 8);
+    out.push(CODEC_VERSION);
+    match profile {
+        CodecProfile::Exact => {
+            out.push(MODE_EXACT);
+            if n == 0 {
+                return Ok(());
+            }
+            out.extend_from_slice(&batch.x[0].to_bits().to_le_bytes());
+            out.extend_from_slice(&batch.y[0].to_bits().to_le_bytes());
+            out.extend_from_slice(&batch.t[0].to_bits().to_le_bytes());
+            let mut x = FieldState::start(ulp_map(batch.x[0]));
+            let mut y = FieldState::start(ulp_map(batch.y[0]));
+            let mut t = FieldState::start(ulp_map(batch.t[0]));
+            for i in 1..n {
+                write_varint(x.encode(ulp_map(batch.x[i])), out);
+                write_varint(y.encode(ulp_map(batch.y[i])), out);
+                write_varint(t.encode(ulp_map(batch.t[i])), out);
+            }
+        }
+        CodecProfile::Quantized { xy_scale, t_scale } => {
+            out.push(MODE_QUANTIZED);
+            out.extend_from_slice(&xy_scale.to_bits().to_le_bytes());
+            out.extend_from_slice(&t_scale.to_bits().to_le_bytes());
+            if n == 0 {
+                return Ok(());
+            }
+            let kx = quantize(batch.x[0], xy_scale, 0)?;
+            let ky = quantize(batch.y[0], xy_scale, 0)?;
+            let kt = quantize(batch.t[0], t_scale, 0)?;
+            write_varint(zigzag(kx), out);
+            write_varint(zigzag(ky), out);
+            write_varint(zigzag(kt), out);
+            let mut x = FieldState::start(kx as u64);
+            let mut y = FieldState::start(ky as u64);
+            let mut t = FieldState::start(kt as u64);
+            for i in 1..n {
+                write_varint(x.encode(quantize(batch.x[i], xy_scale, i)? as u64), out);
+                write_varint(y.encode(quantize(batch.y[i], xy_scale, i)? as u64), out);
+                write_varint(t.encode(quantize(batch.t[i], t_scale, i)? as u64), out);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Decodes a payload produced by any encoder in this module straight
+/// into a columnar batch, **appending** to whatever `batch` already
+/// holds (clear it first to reuse its allocations). Returns the number
+/// of points decoded. Accepts exactly the payloads [`decode_points`]
+/// accepts and produces the same values — but lands them in three
+/// contiguous runs with no per-point [`Sink`] dispatch. On an error the
+/// batch may hold a partially appended prefix.
+pub fn decode_columns_into(bytes: &[u8], batch: &mut ColumnarBatch) -> Result<usize, CodecError> {
+    let mut pos = 0usize;
+    let &version = bytes.get(pos).ok_or(CodecError::Truncated { offset: 0 })?;
+    pos += 1;
+    if version != CODEC_VERSION {
+        return Err(CodecError::UnsupportedVersion { found: version });
+    }
+    let &mode = bytes
+        .get(pos)
+        .ok_or(CodecError::Truncated { offset: pos })?;
+    pos += 1;
+    let read_f64 = |pos: &mut usize| -> Result<f64, CodecError> {
+        let end = pos
+            .checked_add(8)
+            .filter(|&e| e <= bytes.len())
+            .ok_or(CodecError::Truncated { offset: *pos })?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&bytes[*pos..end]);
+        *pos = end;
+        Ok(f64::from_bits(u64::from_le_bytes(b)))
+    };
+    // A point costs at least three varint bytes after the anchor;
+    // reserving the upper bound keeps the hot loop reallocation-free.
+    let reserve = (bytes.len().saturating_sub(pos)) / 3 + 1;
+    batch.x.reserve(reserve);
+    batch.y.reserve(reserve);
+    batch.t.reserve(reserve);
+    match mode {
+        MODE_EXACT => {
+            if pos == bytes.len() {
+                return Ok(0);
+            }
+            let fx = read_f64(&mut pos)?;
+            let fy = read_f64(&mut pos)?;
+            let ft = read_f64(&mut pos)?;
+            let mut x = FieldState::start(ulp_map(fx));
+            let mut y = FieldState::start(ulp_map(fy));
+            let mut t = FieldState::start(ulp_map(ft));
+            batch.x.push(fx);
+            batch.y.push(fy);
+            batch.t.push(ft);
+            let mut count = 1usize;
+            while pos < bytes.len() {
+                batch
+                    .x
+                    .push(ulp_unmap(x.decode(read_varint(bytes, &mut pos)?)));
+                batch
+                    .y
+                    .push(ulp_unmap(y.decode(read_varint(bytes, &mut pos)?)));
+                batch
+                    .t
+                    .push(ulp_unmap(t.decode(read_varint(bytes, &mut pos)?)));
+                count += 1;
+            }
+            Ok(count)
+        }
+        MODE_QUANTIZED => {
+            let xy_scale = read_f64(&mut pos)?;
+            let t_scale = read_f64(&mut pos)?;
+            (CodecProfile::Quantized { xy_scale, t_scale }).validate()?;
+            if pos == bytes.len() {
+                return Ok(0);
+            }
+            let kx = unzigzag(read_varint(bytes, &mut pos)?);
+            let ky = unzigzag(read_varint(bytes, &mut pos)?);
+            let kt = unzigzag(read_varint(bytes, &mut pos)?);
+            let dequant = |k: i64, scale: f64| k as f64 / scale;
+            let mut x = FieldState::start(kx as u64);
+            let mut y = FieldState::start(ky as u64);
+            let mut t = FieldState::start(kt as u64);
+            batch.x.push(dequant(kx, xy_scale));
+            batch.y.push(dequant(ky, xy_scale));
+            batch.t.push(dequant(kt, t_scale));
+            let mut count = 1usize;
+            while pos < bytes.len() {
+                batch.x.push(dequant(
+                    x.decode(read_varint(bytes, &mut pos)?) as i64,
+                    xy_scale,
+                ));
+                batch.y.push(dequant(
+                    y.decode(read_varint(bytes, &mut pos)?) as i64,
+                    xy_scale,
+                ));
+                batch.t.push(dequant(
+                    t.decode(read_varint(bytes, &mut pos)?) as i64,
+                    t_scale,
+                ));
+                count += 1;
+            }
+            Ok(count)
+        }
+        other => Err(CodecError::UnsupportedMode { found: other }),
+    }
+}
+
+/// Convenience wrapper decoding into a fresh columnar batch.
+pub fn decode_columns(bytes: &[u8]) -> Result<ColumnarBatch, CodecError> {
+    let mut batch = ColumnarBatch::new();
+    decode_columns_into(bytes, &mut batch)?;
+    Ok(batch)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -771,6 +983,86 @@ mod tests {
             decode_to_vec(&bytes),
             Err(CodecError::UnsupportedVersion { found: 99 })
         );
+    }
+
+    #[test]
+    fn columnar_encode_is_byte_identical_to_row_encode() {
+        let points: Vec<TimedPoint> = (0..400)
+            .map(|i| {
+                let a = i as f64;
+                TimedPoint::new((a * 0.17).sin() * 812.0, a * 3.3 - 50.0, a * 5.0)
+            })
+            .collect();
+        let batch = ColumnarBatch::from_points(&points);
+        for profile in [CodecProfile::Exact, CodecProfile::millimetre()] {
+            let row = encode_to_vec_with(profile, &points).unwrap();
+            let mut col = Vec::new();
+            encode_columns_with(profile, &batch, &mut col).unwrap();
+            assert_eq!(col, row, "{profile:?}");
+        }
+        // Empty and singleton anchors too.
+        for prefix in [0usize, 1] {
+            let row = encode_to_vec(&points[..prefix]).unwrap();
+            let mut col = Vec::new();
+            encode_columns(&ColumnarBatch::from_points(&points[..prefix]), &mut col).unwrap();
+            assert_eq!(col, row, "{prefix} points");
+        }
+    }
+
+    #[test]
+    fn columnar_decode_matches_row_decode() {
+        let points: Vec<TimedPoint> = (0..300)
+            .map(|i| {
+                let a = i as f64;
+                TimedPoint::new(a * 1.25, 500.0 - a * 0.008, a * 5.0)
+            })
+            .collect();
+        for profile in [CodecProfile::Exact, CodecProfile::millimetre()] {
+            let bytes = encode_to_vec_with(profile, &points).unwrap();
+            let batch = decode_columns(&bytes).unwrap();
+            assert_eq!(batch.to_points(), decode_to_vec(&bytes).unwrap());
+        }
+        // Reuse path appends after clear without reallocating logic away.
+        let bytes = encode_to_vec(&points).unwrap();
+        let mut batch = ColumnarBatch::new();
+        assert_eq!(decode_columns_into(&bytes, &mut batch).unwrap(), 300);
+        batch.clear();
+        assert_eq!(decode_columns_into(&bytes, &mut batch).unwrap(), 300);
+        assert_eq!(batch.to_points(), points);
+    }
+
+    #[test]
+    fn columnar_encode_rejects_what_the_row_encoder_rejects() {
+        let backwards = ColumnarBatch::from_points(&[
+            TimedPoint::new(0.0, 0.0, 10.0),
+            TimedPoint::new(1.0, 0.0, 9.0),
+        ]);
+        let mut out = Vec::new();
+        assert_eq!(
+            encode_columns(&backwards, &mut out),
+            Err(CodecError::NonMonotonicTimestamps {
+                index: 1,
+                prev: 10.0,
+                next: 9.0
+            })
+        );
+        assert!(out.is_empty(), "invalid batches write nothing");
+        let nan = ColumnarBatch::from_points(&[TimedPoint::new(0.0, 0.0, f64::NAN)]);
+        assert_eq!(
+            encode_columns(&nan, &mut out),
+            Err(CodecError::NonFiniteTimestamp { index: 0 })
+        );
+        // Truncated payloads are typed errors on the columnar side too.
+        let bytes = encode_to_vec(&[
+            TimedPoint::new(0.0, 0.0, 0.0),
+            TimedPoint::new(5.0, 1.0, 1.0),
+        ])
+        .unwrap();
+        let mut batch = ColumnarBatch::new();
+        assert!(matches!(
+            decode_columns_into(&bytes[..bytes.len() - 1], &mut batch),
+            Err(CodecError::Truncated { .. })
+        ));
     }
 
     #[test]

@@ -107,9 +107,12 @@ fn read_tracks(
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(3))]
 
-    /// Acceptance: seeded loadgen over TCP ≡ in-process fleet, at
-    /// 1/2/4 connections — per-track byte-identical spill and identical
-    /// `bqs query` CSV after shutdown.
+    /// Acceptance: seeded loadgen over TCP ≡ in-process fleet, across
+    /// every serving runtime — legacy thread-per-connection
+    /// (`io_threads = 0`), the multiplexed pool on the OS poller, and
+    /// the pool on the portable fallback backend — at varying fan-in.
+    /// Per-track byte-identical spill and identical `bqs query` CSV
+    /// after shutdown.
     #[test]
     fn network_ingest_equals_in_process_fleet(
         seed in 0u64..1_000_000,
@@ -125,10 +128,14 @@ proptest! {
         let expected_tracks = read_tracks(&reference, workers, sessions);
         let expected_csv = query_csv(&reference);
 
-        for connections in [1usize, 2, 4] {
+        for (connections, io_threads, fallback) in
+            [(1usize, 0usize, false), (2, 4, false), (4, 2, true)]
+        {
             let root = temp_root("net");
-            let server = Server::bind(ServerConfig::new("127.0.0.1:0", workers, &root))
-                .expect("bind");
+            let mut config = ServerConfig::new("127.0.0.1:0", workers, &root);
+            config.io_threads = io_threads;
+            config.fallback_poller = fallback;
+            let server = Server::bind(config).expect("bind");
             let addr = server.local_addr();
             let handle = std::thread::spawn(move || server.run().expect("serve"));
 
@@ -153,14 +160,15 @@ proptest! {
             let got_tracks = read_tracks(&root, workers, sessions);
             prop_assert_eq!(
                 &got_tracks, &expected_tracks,
-                "spill diverged at {} connections", connections
+                "spill diverged at {} connections / {} io-threads (fallback {})",
+                connections, io_threads, fallback
             );
             // …and `bqs query` prints the identical CSV.
             prop_assert_eq!(
                 query_csv(&root),
                 expected_csv.clone(),
-                "query CSV diverged at {} connections",
-                connections
+                "query CSV diverged at {} connections / {} io-threads (fallback {})",
+                connections, io_threads, fallback
             );
 
             let _ = std::fs::remove_dir_all(&root);
@@ -243,4 +251,49 @@ proptest! {
         }
         let _ = std::fs::remove_dir_all(&root);
     }
+}
+
+/// The pool at serving scale: 256 concurrent connections multiplexed
+/// over 4 I/O threads still spill byte-for-byte what the in-process
+/// fleet spills — the acceptance fan-in of the ingest fast path.
+#[test]
+fn pool_ingest_at_256_connections_is_byte_identical() {
+    let (workers, sessions, points, seed) = (4usize, 256usize, 60usize, 77u64);
+
+    let reference = temp_root("ref-256");
+    in_process_tree(&reference, workers, sessions, points, seed);
+    let expected_tracks = read_tracks(&reference, workers, sessions);
+
+    let root = temp_root("net-256");
+    let mut config = ServerConfig::new("127.0.0.1:0", workers, &root);
+    config.io_threads = 4;
+    let server = Server::bind(config).expect("bind");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run().expect("serve"));
+
+    let report = loadgen::run(&LoadgenConfig {
+        addr: addr.to_string(),
+        sessions,
+        points,
+        seed,
+        connections: 256,
+        batch: 32,
+        shutdown: true,
+    })
+    .expect("loadgen");
+    assert_eq!(report.points_sent, (sessions * points) as u64);
+    assert_eq!(report.connections, 256);
+    let serve_report = handle.join().expect("server thread");
+    assert_eq!(serve_report.appended_points, (sessions * points) as u64);
+    assert_eq!(serve_report.spilled_sessions, sessions);
+    assert_eq!(serve_report.rejected_connections, 0);
+
+    bqs::tlog::verify_sharded(&root).expect("tree verifies");
+    assert_eq!(
+        read_tracks(&root, workers, sessions),
+        expected_tracks,
+        "spill diverged at 256 connections"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+    let _ = std::fs::remove_dir_all(&reference);
 }
