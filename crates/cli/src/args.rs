@@ -148,6 +148,9 @@ pub enum Command {
         /// Write the actually bound address to this file (useful with
         /// port 0 — scripts read it instead of parsing stdout).
         port_file: Option<String>,
+        /// Log a one-line metrics summary to stderr every N seconds
+        /// (`None` disables the reporter thread).
+        metrics_interval: Option<u64>,
     },
     /// `bqs loadgen --addr HOST:PORT [--sessions N] [--points N] [--seed N] [--connections N] [--batch N] [--shutdown]`
     Loadgen {
@@ -167,7 +170,7 @@ pub enum Command {
         /// Send `Shutdown` once the load completes.
         shutdown: bool,
     },
-    /// `bqs bench [--quick] [--seed N] [--out FILE]`
+    /// `bqs bench [--quick] [--seed N] [--out FILE] [--compare BASELINE.json [--current RUN.json]]`
     Bench {
         /// Smaller workloads (CI-sized) instead of the full sweep.
         quick: bool,
@@ -175,6 +178,22 @@ pub enum Command {
         seed: u64,
         /// Output path for the JSON report (stdout when `None`).
         out: Option<String>,
+        /// Baseline report to gate against: any pinned workload whose
+        /// throughput regresses more than 15% fails the run (non-zero
+        /// exit).
+        compare: Option<String>,
+        /// With `--compare`: gate this existing report instead of
+        /// running the benchmarks (cheap re-checks and CI negative
+        /// tests).
+        current: Option<String>,
+    },
+    /// `bqs metrics --addr HOST:PORT [--watch N]`
+    Metrics {
+        /// Server address, `host:port`.
+        addr: String,
+        /// Re-fetch every N seconds, printing counter deltas, until
+        /// interrupted (`None` fetches once).
+        watch: Option<u64>,
     },
     /// `bqs info`
     Info,
@@ -200,10 +219,13 @@ USAGE:
             [--out FILE]
   bqs serve --spill DIR [--addr HOST:PORT] [--workers N] [--tolerance M]
             [--shards N] [--io-threads N] [--max-connections N]
-            [--port-file FILE]
+            [--port-file FILE] [--metrics-interval N]
   bqs loadgen --addr HOST:PORT [--sessions N] [--points N] [--seed N]
               [--connections N] [--batch N] [--shutdown]
+              (--sessions 0 --shutdown = no ingest, just shut down)
+  bqs metrics --addr HOST:PORT [--watch N]
   bqs bench [--quick] [--seed N] [--out FILE]
+            [--compare BASELINE.json [--current RUN.json]]
   bqs log append <dir> <trace.csv> --track N [--algorithm none|bqs|fbqs]
                  [--tolerance M]
   bqs log query <dir> [--track N] [--from T] [--to T] [--bbox X0,Y0,X1,Y1]
@@ -631,11 +653,21 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut io_threads = 4usize;
             let mut max_connections = 4096usize;
             let mut port_file: Option<String> = None;
+            let mut metrics_interval: Option<u64> = None;
             while let Some(arg) = it.next() {
                 match arg.as_str() {
                     "--addr" => addr = take_value("--addr", &mut it)?.clone(),
                     "--spill" => spill = Some(take_value("--spill", &mut it)?.clone()),
                     "--port-file" => port_file = Some(take_value("--port-file", &mut it)?.clone()),
+                    "--metrics-interval" => {
+                        let n: u64 = take_value("--metrics-interval", &mut it)?
+                            .parse()
+                            .map_err(|e| format!("bad --metrics-interval: {e}"))?;
+                        if n == 0 {
+                            return Err("serve needs --metrics-interval ≥ 1, got 0".to_string());
+                        }
+                        metrics_interval = Some(n);
+                    }
                     "--tolerance" => tolerance = parse_f64("--tolerance", &mut it)?,
                     "--workers" => {
                         workers = take_value("--workers", &mut it)?
@@ -682,6 +714,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 io_threads,
                 max_connections,
                 port_file,
+                metrics_interval,
             })
         }
         "loadgen" => {
@@ -724,14 +757,19 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     other => return Err(format!("unexpected argument: {other}")),
                 }
             }
-            for (flag, value) in [
-                ("--sessions", sessions),
-                ("--points", points),
-                ("--connections", connections),
-                ("--batch", batch),
-            ] {
-                if value == 0 {
-                    return Err(format!("loadgen needs {flag} ≥ 1, got 0"));
+            // `--sessions 0 --shutdown` (or `--points 0`) is the
+            // pure-shutdown mode: no ingest, one Shutdown connection.
+            let shutdown_only = shutdown && (sessions == 0 || points == 0);
+            if !shutdown_only {
+                for (flag, value) in [
+                    ("--sessions", sessions),
+                    ("--points", points),
+                    ("--connections", connections),
+                    ("--batch", batch),
+                ] {
+                    if value == 0 {
+                        return Err(format!("loadgen needs {flag} ≥ 1, got 0"));
+                    }
                 }
             }
             Ok(Command::Loadgen {
@@ -748,10 +786,14 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut quick = false;
             let mut seed = 1u64;
             let mut out: Option<String> = None;
+            let mut compare: Option<String> = None;
+            let mut current: Option<String> = None;
             while let Some(arg) = it.next() {
                 match arg.as_str() {
                     "--quick" => quick = true,
                     "--out" => out = Some(take_value("--out", &mut it)?.clone()),
+                    "--compare" => compare = Some(take_value("--compare", &mut it)?.clone()),
+                    "--current" => current = Some(take_value("--current", &mut it)?.clone()),
                     "--seed" => {
                         seed = take_value("--seed", &mut it)?
                             .parse()
@@ -760,7 +802,39 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     other => return Err(format!("unexpected argument: {other}")),
                 }
             }
-            Ok(Command::Bench { quick, seed, out })
+            if current.is_some() && compare.is_none() {
+                return Err("--current needs --compare (the baseline to gate against)".to_string());
+            }
+            Ok(Command::Bench {
+                quick,
+                seed,
+                out,
+                compare,
+                current,
+            })
+        }
+        "metrics" => {
+            let mut addr: Option<String> = None;
+            let mut watch: Option<u64> = None;
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--addr" => addr = Some(take_value("--addr", &mut it)?.clone()),
+                    "--watch" => {
+                        let n: u64 = take_value("--watch", &mut it)?
+                            .parse()
+                            .map_err(|e| format!("bad --watch: {e}"))?;
+                        if n == 0 {
+                            return Err("metrics needs --watch ≥ 1, got 0".to_string());
+                        }
+                        watch = Some(n);
+                    }
+                    other => return Err(format!("unexpected argument: {other}")),
+                }
+            }
+            Ok(Command::Metrics {
+                addr: addr.ok_or("metrics needs --addr HOST:PORT (a running bqs serve)")?,
+                watch,
+            })
         }
         "log" => parse_log(&mut it),
         other => Err(format!("unknown command: {other}\n\n{USAGE}")),
@@ -1065,13 +1139,15 @@ mod tests {
                 shards: 16,
                 io_threads: 4,
                 max_connections: 4096,
-                port_file: None
+                port_file: None,
+                metrics_interval: None
             }
         );
         assert_eq!(
             parse(&args(
                 "serve --addr 0.0.0.0:4750 --workers 8 --spill /tmp/t --tolerance 5 \
-                 --shards 4 --io-threads 2 --max-connections 64 --port-file /tmp/port"
+                 --shards 4 --io-threads 2 --max-connections 64 --port-file /tmp/port \
+                 --metrics-interval 10"
             ))
             .unwrap(),
             Command::Serve {
@@ -1082,7 +1158,8 @@ mod tests {
                 shards: 4,
                 io_threads: 2,
                 max_connections: 64,
-                port_file: Some("/tmp/port".into())
+                port_file: Some("/tmp/port".into()),
+                metrics_interval: Some(10)
             }
         );
         // 0 io-threads is valid: the legacy thread-per-connection mode.
@@ -1094,6 +1171,7 @@ mod tests {
         assert!(parse(&args("serve --spill /tmp/t --workers 0")).is_err());
         assert!(parse(&args("serve --spill /tmp/t --max-connections 0")).is_err());
         assert!(parse(&args("serve --spill /tmp/t --tolerance -2")).is_err());
+        assert!(parse(&args("serve --spill /tmp/t --metrics-interval 0")).is_err());
         assert!(parse(&args("serve --spill /tmp/t --frobnicate")).is_err());
     }
 
@@ -1104,7 +1182,9 @@ mod tests {
             Command::Bench {
                 quick: false,
                 seed: 1,
-                out: None
+                out: None,
+                compare: None,
+                current: None
             }
         );
         assert_eq!(
@@ -1112,10 +1192,48 @@ mod tests {
             Command::Bench {
                 quick: true,
                 seed: 7,
-                out: Some("BENCH.json".into())
+                out: Some("BENCH.json".into()),
+                compare: None,
+                current: None
             }
         );
+        assert_eq!(
+            parse(&args(
+                "bench --quick --compare BASE.json --current RUN.json"
+            ))
+            .unwrap(),
+            Command::Bench {
+                quick: true,
+                seed: 1,
+                out: None,
+                compare: Some("BASE.json".into()),
+                current: Some("RUN.json".into())
+            }
+        );
+        // Gating an existing report only makes sense against a baseline.
+        assert!(parse(&args("bench --current RUN.json")).is_err());
         assert!(parse(&args("bench --frobnicate")).is_err());
+    }
+
+    #[test]
+    fn metrics_parses_and_validates() {
+        assert_eq!(
+            parse(&args("metrics --addr 127.0.0.1:4750")).unwrap(),
+            Command::Metrics {
+                addr: "127.0.0.1:4750".into(),
+                watch: None
+            }
+        );
+        assert_eq!(
+            parse(&args("metrics --addr h:1 --watch 5")).unwrap(),
+            Command::Metrics {
+                addr: "h:1".into(),
+                watch: Some(5)
+            }
+        );
+        assert!(parse(&args("metrics")).is_err(), "addr is required");
+        assert!(parse(&args("metrics --addr h:1 --watch 0")).is_err());
+        assert!(parse(&args("metrics --addr h:1 --frobnicate")).is_err());
     }
 
     #[test]
@@ -1153,6 +1271,20 @@ mod tests {
             let err = parse(&args(&format!("loadgen --addr h:1 {flag} 0"))).unwrap_err();
             assert_eq!(err, format!("loadgen needs {flag} ≥ 1, got 0"));
         }
+        // Pure-shutdown mode: zero sessions/points is legal with
+        // --shutdown (no ingest, one Shutdown connection).
+        assert_eq!(
+            parse(&args("loadgen --addr h:1 --sessions 0 --shutdown")).unwrap(),
+            Command::Loadgen {
+                addr: "h:1".into(),
+                sessions: 0,
+                points: 500,
+                seed: 1,
+                connections: 1,
+                batch: 64,
+                shutdown: true
+            }
+        );
     }
 
     #[test]

@@ -103,9 +103,129 @@ impl Sizes {
 /// default, kept in lockstep with `tests/net_equivalence.rs`.
 const NET_BATCH: usize = 64;
 
+/// `--compare` fails when any pinned workload's throughput drops more
+/// than this fraction below the baseline.
+const REGRESSION_TOLERANCE: f64 = 0.15;
+
 /// Runs the bench suite and renders the JSON report (written to `out`
-/// when given, returned for stdout otherwise).
-pub fn run(quick: bool, seed: u64, out: Option<&str>) -> Result<String, CliError> {
+/// when given, returned for stdout otherwise). With `compare`, the run
+/// (or the pre-recorded `current` report) is gated against the baseline
+/// snapshot instead: any pinned workload regressing by more than
+/// `REGRESSION_TOLERANCE` (15%) fails the command.
+pub fn run(
+    quick: bool,
+    seed: u64,
+    out: Option<&str>,
+    compare: Option<&str>,
+    current: Option<&str>,
+) -> Result<String, CliError> {
+    if let Some(baseline_path) = compare {
+        let current_json = match current {
+            Some(path) => {
+                std::fs::read_to_string(path).map_err(|e| CliError::io("read", path, e))?
+            }
+            None => report(quick, seed)?,
+        };
+        if let (Some(path), None) = (out, current) {
+            std::fs::write(path, &current_json).map_err(|e| CliError::io("write", path, e))?;
+        }
+        let baseline_json = std::fs::read_to_string(baseline_path)
+            .map_err(|e| CliError::io("read", baseline_path, e))?;
+        return gate(baseline_path, &baseline_json, &current_json);
+    }
+    let json = report(quick, seed)?;
+    match out {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| CliError::io("write", path, e))?;
+            Ok(format!(
+                "bench: report written ({} mode) -> {path}\n",
+                if quick { "quick" } else { "full" }
+            ))
+        }
+        None => Ok(json),
+    }
+}
+
+/// Extracts `(name, points_per_sec)` for every workload in a bench
+/// report. Hand-rolled like the writer: each workload object in this
+/// repo's reports carries `"name"` followed by `"points_per_sec"`, and
+/// that ordering is all the scanner assumes.
+fn extract_throughputs(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(i) = rest.find("\"name\": \"") {
+        rest = &rest[i + "\"name\": \"".len()..];
+        let Some(end) = rest.find('"') else { break };
+        let name = rest[..end].to_string();
+        rest = &rest[end..];
+        let Some(j) = rest.find("\"points_per_sec\": ") else {
+            break;
+        };
+        rest = &rest[j + "\"points_per_sec\": ".len()..];
+        let digits: usize = rest
+            .bytes()
+            .take_while(|b| b.is_ascii_digit() || *b == b'.' || *b == b'-')
+            .count();
+        if let Ok(pps) = rest[..digits].parse::<f64>() {
+            out.push((name, pps));
+        }
+    }
+    out
+}
+
+/// The `--compare` verdict: per-workload throughput ratios, and an
+/// `Err` (non-zero exit) when any baseline workload regressed beyond
+/// [`REGRESSION_TOLERANCE`] or went missing from the current report.
+fn gate(baseline_path: &str, baseline_json: &str, current_json: &str) -> Result<String, CliError> {
+    let baseline = extract_throughputs(baseline_json);
+    let current = extract_throughputs(current_json);
+    if baseline.is_empty() {
+        return Err(CliError::Invalid(format!(
+            "no workloads found in baseline {baseline_path}"
+        )));
+    }
+    let mut lines = Vec::new();
+    let mut failures = 0usize;
+    for (name, base_pps) in &baseline {
+        match current.iter().find(|(n, _)| n == name) {
+            Some((_, cur_pps)) => {
+                let ratio = cur_pps / base_pps.max(1e-9);
+                let verdict = if ratio < 1.0 - REGRESSION_TOLERANCE {
+                    failures += 1;
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                lines.push(format!(
+                    "{verdict} {name}: {cur_pps:.0} vs {base_pps:.0} pts/s (x{ratio:.3})"
+                ));
+            }
+            None => {
+                failures += 1;
+                lines.push(format!("MISSING {name}: not in the current report"));
+            }
+        }
+    }
+    let body = lines.join("\n");
+    if failures > 0 {
+        Err(CliError::Invalid(format!(
+            "bench regression gate failed ({failures} of {} workloads, \
+             tolerance {:.0}%) against {baseline_path}:\n{body}",
+            baseline.len(),
+            REGRESSION_TOLERANCE * 100.0,
+        )))
+    } else {
+        Ok(format!(
+            "bench regression gate passed ({} workloads within {:.0}% of {baseline_path}):\n\
+             {body}\n",
+            baseline.len(),
+            REGRESSION_TOLERANCE * 100.0,
+        ))
+    }
+}
+
+/// Runs every workload and renders the JSON report.
+fn report(quick: bool, seed: u64) -> Result<String, CliError> {
     let sizes = Sizes::new(quick);
     let mut workloads: Vec<Workload> = Vec::new();
 
@@ -130,6 +250,14 @@ pub fn run(quick: bool, seed: u64, out: Option<&str>) -> Result<String, CliError
             "net_ingest_threaded",
         ),
         (
+            // The acceptance ratio for the metrics layer: instrumented
+            // ingest over the same pool runtime without a registry.
+            // ≥ 0.95 keeps the "within 5%" budget.
+            "metrics_enabled_vs_disabled",
+            "net_ingest_pool_metrics",
+            "net_ingest_pool",
+        ),
+        (
             "columnar_vs_row_encode",
             "codec_encode_columnar",
             "codec_encode_row",
@@ -152,7 +280,7 @@ pub fn run(quick: bool, seed: u64, out: Option<&str>) -> Result<String, CliError
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"bench\": 6,\n");
+    json.push_str("  \"bench\": 7,\n");
     json.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if quick { "quick" } else { "full" }
@@ -175,18 +303,7 @@ pub fn run(quick: bool, seed: u64, out: Option<&str>) -> Result<String, CliError
         .collect();
     json.push_str(&lines.join(",\n"));
     json.push_str("\n  }\n}\n");
-
-    match out {
-        Some(path) => {
-            std::fs::write(path, &json).map_err(|e| CliError::io("write", path, e))?;
-            Ok(format!(
-                "bench: {} workloads ({} mode) -> {path}\n",
-                workloads.len(),
-                if quick { "quick" } else { "full" }
-            ))
-        }
-        None => Ok(json),
-    }
+    Ok(json)
 }
 
 /// The storage codec, row-shaped vs columnar, both directions.
@@ -410,10 +527,21 @@ fn bench_net(sizes: &Sizes, seed: u64, out: &mut Vec<Workload>) -> Result<(), Cl
         (payload.len() + 10) as f64 / batch.len() as f64
     };
 
-    for (name, io_threads) in [("net_ingest_threaded", 0usize), ("net_ingest_pool", 4usize)] {
+    // The metrics run is the pool runtime with a live registry — the
+    // delta against `net_ingest_pool` (no registry) is the measured
+    // cost of full instrumentation, pinned in the summary as
+    // `metrics_enabled_vs_disabled`.
+    for (name, io_threads, metered) in [
+        ("net_ingest_threaded", 0usize, false),
+        ("net_ingest_pool", 4usize, false),
+        ("net_ingest_pool_metrics", 4usize, true),
+    ] {
         let dir = bench_dir(name);
         let mut config = ServerConfig::new("127.0.0.1:0", 4, &dir);
         config.io_threads = io_threads;
+        if metered {
+            config.metrics = Some(bqs_obs::MetricsRegistry::new());
+        }
         let server = Server::bind(config)?;
         let addr = server.local_addr();
         let handle = std::thread::spawn(move || server.run());
@@ -428,10 +556,10 @@ fn bench_net(sizes: &Sizes, seed: u64, out: &mut Vec<Workload>) -> Result<(), Cl
             elapsed: best,
             bytes_per_point: Some(wire_bpp),
         });
-        if io_threads == 0 {
+        if name != "net_ingest_pool" {
             BqsClient::connect(addr)?.shutdown()?;
         } else {
-            // The pool server stays up for the query workload.
+            // The plain pool server stays up for the query workload.
             let mut client = BqsClient::connect(addr)?;
             let mut returned = 0u64;
             let start = Instant::now();
@@ -477,7 +605,7 @@ mod tests {
 
     #[test]
     fn quick_bench_reports_every_workload() {
-        let json = run(true, 42, None).unwrap();
+        let json = run(true, 42, None, None, None).unwrap();
         for name in [
             "codec_encode_row",
             "codec_encode_columnar",
@@ -487,11 +615,81 @@ mod tests {
             "fleet_submit_runs",
             "net_ingest_threaded",
             "net_ingest_pool",
+            "net_ingest_pool_metrics",
             "query_fanout",
             "net_pool_vs_threaded",
+            "metrics_enabled_vs_disabled",
         ] {
             assert!(json.contains(name), "missing {name} in {json}");
         }
-        assert!(json.contains("\"bench\": 6"), "{json}");
+        assert!(json.contains("\"bench\": 7"), "{json}");
+    }
+
+    fn synthetic_report(ingest_pps: u64) -> String {
+        format!(
+            "{{\n  \"bench\": 7,\n  \"workloads\": [\n    \
+             {{\"name\": \"codec_encode_row\", \"points\": 10, \"elapsed_s\": 1.0, \
+             \"points_per_sec\": 1000}},\n    \
+             {{\"name\": \"net_ingest_pool\", \"points\": 10, \"elapsed_s\": 1.0, \
+             \"points_per_sec\": {ingest_pps}}}\n  ]\n}}\n"
+        )
+    }
+
+    #[test]
+    fn extract_throughputs_reads_this_repos_reports() {
+        let parsed = extract_throughputs(&synthetic_report(2000));
+        assert_eq!(
+            parsed,
+            vec![
+                ("codec_encode_row".to_string(), 1000.0),
+                ("net_ingest_pool".to_string(), 2000.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn gate_flags_a_twenty_percent_regression_and_passes_within_tolerance() {
+        let baseline = synthetic_report(1000);
+        // 20% down on one workload: past the 15% tolerance → error.
+        let err = gate("base.json", &baseline, &synthetic_report(800)).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("REGRESSED net_ingest_pool"), "{text}");
+        assert!(text.contains("ok codec_encode_row"), "{text}");
+        // 10% down stays inside the tolerance.
+        let ok = gate("base.json", &baseline, &synthetic_report(900)).unwrap();
+        assert!(ok.contains("gate passed"), "{ok}");
+        // A baseline workload missing from the current run fails too.
+        let err = gate("base.json", &baseline, "{\"workloads\": []}").unwrap_err();
+        assert!(err.to_string().contains("MISSING"), "{err}");
+    }
+
+    #[test]
+    fn gate_runs_from_recorded_reports_via_compare_and_current() {
+        let dir = std::env::temp_dir().join(format!("bqs-bench-gate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let cur = dir.join("cur.json");
+        std::fs::write(&base, synthetic_report(1000)).unwrap();
+        std::fs::write(&cur, synthetic_report(790)).unwrap();
+        let err = run(
+            true,
+            42,
+            None,
+            Some(base.to_str().unwrap()),
+            Some(cur.to_str().unwrap()),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("regression gate failed"), "{err}");
+        std::fs::write(&cur, synthetic_report(1100)).unwrap();
+        let ok = run(
+            true,
+            42,
+            None,
+            Some(base.to_str().unwrap()),
+            Some(cur.to_str().unwrap()),
+        )
+        .unwrap();
+        assert!(ok.contains("gate passed"), "{ok}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -109,6 +109,7 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             io_threads,
             max_connections,
             port_file,
+            metrics_interval,
         } => serve(
             addr,
             *workers,
@@ -118,6 +119,7 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             *io_threads,
             *max_connections,
             port_file.as_deref(),
+            *metrics_interval,
         ),
         Command::Loadgen {
             addr,
@@ -136,7 +138,20 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             *batch,
             *shutdown,
         ),
-        Command::Bench { quick, seed, out } => bench::run(*quick, *seed, out.as_deref()),
+        Command::Bench {
+            quick,
+            seed,
+            out,
+            compare,
+            current,
+        } => bench::run(
+            *quick,
+            *seed,
+            out.as_deref(),
+            compare.as_deref(),
+            current.as_deref(),
+        ),
+        Command::Metrics { addr, watch } => metrics(addr, *watch),
     }
 }
 
@@ -941,9 +956,14 @@ fn serve(
     io_threads: usize,
     max_connections: usize,
     port_file: Option<&str>,
+    metrics_interval: Option<u64>,
 ) -> Result<String, CliError> {
     use std::io::Write;
 
+    // The CLI server always carries a registry — `bqs metrics` against
+    // a `bqs serve` instance should never come back empty. (Library
+    // embedders opt in; see `ServerConfig::metrics`.)
+    let registry = bqs_obs::MetricsRegistry::new();
     let server = bqs_net::Server::bind(bqs_net::ServerConfig {
         addr: addr.to_string(),
         workers,
@@ -953,6 +973,7 @@ fn serve(
         io_threads,
         max_connections,
         fallback_poller: false,
+        metrics: Some(registry.clone()),
     })?;
     let local = server.local_addr();
     if let Some(path) = port_file {
@@ -963,7 +984,13 @@ fn serve(
     println!("listening on {local}");
     let _ = std::io::stdout().flush();
 
-    let report = server.run()?;
+    let reporter = metrics_interval.map(|secs| spawn_metrics_reporter(&registry, workers, secs));
+    let run_result = server.run();
+    if let Some((stop, handle)) = reporter {
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let _ = handle.join();
+    }
+    let report = run_result?;
     let manifest_line = if report.manifest_shards > 0 {
         format!("wrote MANIFEST ({} shards)\n", report.manifest_shards)
     } else {
@@ -1000,6 +1027,106 @@ fn serve(
     ))
 }
 
+/// Spawns the `--metrics-interval` reporter thread: one line to stderr
+/// every `secs` seconds with the ingest rate over the interval, the
+/// all-time p99 append latency, live connections, and the deepest
+/// per-shard queue high-water mark. It only reads the registry the
+/// server writes, so the reporter costs the request path nothing.
+fn spawn_metrics_reporter(
+    registry: &bqs_obs::MetricsRegistry,
+    workers: usize,
+    secs: u64,
+) -> (
+    std::sync::Arc<std::sync::atomic::AtomicBool>,
+    std::thread::JoinHandle<()>,
+) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let submitted = registry.counter("fleet_submitted_points_total");
+    let append_us = registry.histogram("net_request_us_append");
+    let live = registry.gauge("net_connections_live");
+    let depths: Vec<bqs_obs::Gauge> = (0..workers)
+        .map(|k| registry.gauge(&format!("fleet_shard{k}_channel_depth")))
+        .collect();
+    let handle = std::thread::spawn(move || {
+        let mut last = submitted.get();
+        loop {
+            // Sleep in short slices so shutdown stays prompt.
+            let woke = std::time::Instant::now();
+            while woke.elapsed().as_secs() < secs {
+                if flag.load(Ordering::Relaxed) {
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+            let now = submitted.get();
+            let rate = (now.saturating_sub(last)) / secs.max(1);
+            last = now;
+            let high_water = depths.iter().map(bqs_obs::Gauge::peak).max().unwrap_or(0);
+            eprintln!(
+                "metrics: ingest {rate} pts/s, append p99 {} us, {} live conn(s), \
+                 queue high-water {high_water}",
+                append_us.snapshot().p99(),
+                live.get(),
+            );
+        }
+    });
+    (stop, handle)
+}
+
+/// `bqs metrics`: fetches a server's metric catalog over the wire. A
+/// single shot prints the sorted `name value` text as-is; `--watch N`
+/// keeps the connection open and prints changed lines (with `+delta`
+/// for increases) every `N` seconds until the server goes away.
+fn metrics(addr: &str, watch: Option<u64>) -> Result<String, CliError> {
+    use std::io::Write;
+
+    let mut client = bqs_net::BqsClient::connect(addr)?;
+    let text = client.metrics()?;
+    let Some(secs) = watch else {
+        return Ok(text);
+    };
+
+    println!("{}", text.trim_end());
+    let _ = std::io::stdout().flush();
+    let mut prev = parse_metrics(&text);
+    let mut samples = 1u64;
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(secs));
+        let text = match client.metrics() {
+            Ok(text) => text,
+            // The server exiting mid-watch is the normal way out.
+            Err(_) => break,
+        };
+        samples += 1;
+        let now = parse_metrics(&text);
+        println!("--- sample {samples}");
+        for (name, value) in &now {
+            match prev.get(name) {
+                Some(old) if old == value => {}
+                Some(old) if value > old => println!("{name} {value} (+{})", value - old),
+                _ => println!("{name} {value}"),
+            }
+        }
+        let _ = std::io::stdout().flush();
+        prev = now;
+    }
+    Ok(format!("metrics: server gone after {samples} sample(s)\n"))
+}
+
+/// Parses exposition text (`name value` per line) for `--watch` deltas.
+fn parse_metrics(text: &str) -> std::collections::BTreeMap<String, u64> {
+    text.lines()
+        .filter_map(|line| {
+            let (name, value) = line.rsplit_once(' ')?;
+            Some((name.to_string(), value.parse().ok()?))
+        })
+        .collect()
+}
+
 /// `bqs loadgen`: seeded, reproducible ingest against a running server
 /// — the same workload `bqs fleet --seed` drives in process, so the
 /// spilled trees are comparable byte for byte.
@@ -1028,15 +1155,29 @@ fn loadgen(
         ),
         None => String::new(),
     };
+    let latency = |kind: &str, snap: &bqs_obs::HistogramSnapshot| {
+        format!(
+            "{kind} latency (µs over {} calls): p50 {} p90 {} p99 {} max {}\n",
+            snap.count(),
+            snap.p50(),
+            snap.p90(),
+            snap.p99(),
+            snap.max(),
+        )
+    };
     Ok(format!(
         "loadgen: {sessions} sessions × {points} points over {} connection(s) \
          (seed {seed}, batch {batch}) against {addr}\n\
-         sent {} points in {:.2} s ({:.2} Mpts/s)\n\
-         {shutdown_line}",
+         sent {} points in {:.2} s ({:.2} Mpts/s; {} frames, {} B on the wire)\n\
+         {}{}{shutdown_line}",
         report.connections,
         report.points_sent,
         report.elapsed,
         report.points_per_sec() / 1e6,
+        report.frames_sent,
+        report.bytes_sent,
+        latency("append", &report.append_latency),
+        latency("flush", &report.flush_latency),
     ))
 }
 
@@ -1666,6 +1807,7 @@ mod tests {
             io_threads: 2,
             max_connections: 64,
             port_file: Some(port_file.clone()),
+            metrics_interval: Some(1),
         };
         let server = std::thread::spawn(move || run(&serve_cmd));
 
@@ -1697,6 +1839,7 @@ mod tests {
         })
         .unwrap();
         assert!(text.contains("sent 480 points"), "{text}");
+        assert!(text.contains("append latency"), "{text}");
         assert!(text.contains("acknowledged shutdown"), "{text}");
 
         let summary = server.join().unwrap().unwrap();
@@ -1735,6 +1878,7 @@ mod tests {
             io_threads: 4,
             max_connections: 4096,
             port_file: None,
+            metrics_interval: None,
         })
         .unwrap_err();
         assert!(err.contains("fresh directory"), "{err}");

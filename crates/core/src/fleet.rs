@@ -52,7 +52,8 @@ use std::collections::HashMap;
 pub mod parallel;
 
 pub use parallel::{
-    worker_of, FleetJoin, ParallelConfig, ParallelFleet, ShardCounters, ShardFailure, ShardOutput,
+    worker_of, FleetJoin, FleetMetrics, ParallelConfig, ParallelFleet, ShardCounters, ShardFailure,
+    ShardOutput,
 };
 
 /// Identifies one tracker's stream within a fleet.

@@ -67,9 +67,11 @@ use super::{
 };
 use crate::stream::{DecisionStats, HasDecisionStats, StreamCompressor};
 use bqs_geo::TimedPoint;
+use bqs_obs::{elapsed_us, Counter, Gauge, MetricsRegistry};
 use std::collections::HashSet;
 use std::sync::mpsc::{sync_channel, Receiver, SendError, SyncSender};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// The worker shard `track` is routed to in a fleet of `workers`.
 ///
@@ -194,6 +196,98 @@ impl<S> FleetJoin<S> {
     }
 }
 
+/// Pre-registered metric handles for one fleet: per-shard submission
+/// counters, channel-depth gauges and worker busy/idle time, plus
+/// fleet-wide totals. Built once from a
+/// [`MetricsRegistry`] and passed to
+/// [`ParallelFleet::with_metrics`]; every recording is a relaxed atomic,
+/// so instrumentation never perturbs the data path (output stays
+/// byte-identical to an unmetered fleet). Fleets built without metrics
+/// pay only a branch on `None` per submission.
+///
+/// Metric names are catalogued in `docs/observability.md`
+/// (`fleet_submitted_points_total`, `fleet_shard<k>_channel_depth`, …).
+#[derive(Clone, Debug)]
+pub struct FleetMetrics {
+    shards: Vec<ShardMetrics>,
+}
+
+/// One shard's handles; clones of the fleet-wide totals ride along so a
+/// single recording updates both levels.
+#[derive(Clone, Debug)]
+struct ShardMetrics {
+    submitted: Counter,
+    kept: Counter,
+    dropped: Counter,
+    /// Data-plane messages in the shard's channel right now (+ peak).
+    depth: Gauge,
+    busy_us: Counter,
+    idle_us: Counter,
+    total_submitted: Counter,
+    total_kept: Counter,
+    total_dropped: Counter,
+}
+
+impl FleetMetrics {
+    /// Registers the fleet's metrics for `workers` shards in `registry`
+    /// and keeps the handles.
+    pub fn new(registry: &MetricsRegistry, workers: usize) -> FleetMetrics {
+        let total_submitted = registry.counter("fleet_submitted_points_total");
+        let total_kept = registry.counter("fleet_kept_points_total");
+        let total_dropped = registry.counter("fleet_dropped_points_total");
+        let shards = (0..workers.max(1))
+            .map(|k| ShardMetrics {
+                submitted: registry.counter(&format!("fleet_shard{k}_submitted_points_total")),
+                kept: registry.counter(&format!("fleet_shard{k}_kept_points_total")),
+                dropped: registry.counter(&format!("fleet_shard{k}_dropped_points_total")),
+                depth: registry.gauge(&format!("fleet_shard{k}_channel_depth")),
+                busy_us: registry.counter(&format!("fleet_shard{k}_busy_us_total")),
+                idle_us: registry.counter(&format!("fleet_shard{k}_idle_us_total")),
+                total_submitted: total_submitted.clone(),
+                total_kept: total_kept.clone(),
+                total_dropped: total_dropped.clone(),
+            })
+            .collect();
+        FleetMetrics { shards }
+    }
+}
+
+impl ShardMetrics {
+    fn on_submitted(&self, n: u64) {
+        self.submitted.add(n);
+        self.total_submitted.add(n);
+    }
+
+    fn on_dropped(&self, n: u64) {
+        self.dropped.add(n);
+        self.total_dropped.add(n);
+    }
+}
+
+/// Counts points the engine keeps (emits into the sink) without
+/// touching them — the data path through the inner sink is unchanged.
+struct MeteredSink<S> {
+    inner: S,
+    kept: Counter,
+    total_kept: Counter,
+}
+
+impl<S: FleetSink> FleetSink for MeteredSink<S> {
+    fn accept(&mut self, track: TrackId, point: TimedPoint) {
+        self.kept.inc();
+        self.total_kept.inc();
+        self.inner.accept(track, point);
+    }
+
+    fn session_closed(&mut self, report: &SessionReport) {
+        self.inner.session_closed(report);
+    }
+
+    fn live_buffered(&self) -> Vec<(TrackId, Vec<TimedPoint>)> {
+        self.inner.live_buffered()
+    }
+}
+
 enum Msg {
     Batch(Vec<(TrackId, TimedPoint)>),
     /// Whole per-track runs, shipped in one send — the frame-grained
@@ -230,6 +324,8 @@ struct Worker<S> {
     /// Set once a send fails: the worker panicked and its receiver is
     /// gone. Routing keeps working; delivery stops.
     dead: bool,
+    /// Submission-side metric handles; `None` costs one branch.
+    metrics: Option<ShardMetrics>,
 }
 
 impl<S> Worker<S> {
@@ -240,8 +336,23 @@ impl<S> Worker<S> {
         }
         let batch = std::mem::replace(&mut self.buffer, Vec::with_capacity(batch_capacity));
         let sender = self.sender.as_ref().expect("sender lives until join");
-        if let Err(SendError(Msg::Batch(_))) = sender.send(Msg::Batch(batch)) {
-            self.dead = true;
+        // The depth gauge rises *before* the send: the worker decrements
+        // on receipt, and decrementing a not-yet-incremented gauge would
+        // wrap it below zero.
+        if let Some(m) = &self.metrics {
+            m.depth.add(1);
+        }
+        match sender.send(Msg::Batch(batch)) {
+            Ok(()) => {}
+            Err(SendError(msg)) => {
+                self.dead = true;
+                if let Some(m) = &self.metrics {
+                    m.depth.sub(1);
+                    if let Msg::Batch(lost) = msg {
+                        m.on_dropped(lost.len() as u64);
+                    }
+                }
+            }
         }
     }
 }
@@ -250,7 +361,40 @@ fn worker_loop<C, CF, S>(
     rx: Receiver<Msg>,
     config: FleetConfig,
     factory: CF,
+    sink: S,
+    metrics: Option<ShardMetrics>,
+) -> WorkerOutput<S>
+where
+    C: StreamCompressor + HasDecisionStats + Clone,
+    CF: Fn() -> C,
+    S: FleetSink,
+{
+    // The metered wrapper exists only inside the metered arm, so the
+    // unmetered data path is exactly the code it always was.
+    match metrics {
+        None => run_worker(rx, config, factory, sink, None),
+        Some(m) => {
+            let metered = MeteredSink {
+                inner: sink,
+                kept: m.kept.clone(),
+                total_kept: m.total_kept.clone(),
+            };
+            let out = run_worker(rx, config, factory, metered, Some(m));
+            WorkerOutput {
+                reports: out.reports,
+                stats: out.stats,
+                sink: out.sink.inner,
+            }
+        }
+    }
+}
+
+fn run_worker<C, CF, S>(
+    rx: Receiver<Msg>,
+    config: FleetConfig,
+    factory: CF,
     mut sink: S,
+    metrics: Option<ShardMetrics>,
 ) -> WorkerOutput<S>
 where
     C: StreamCompressor + HasDecisionStats + Clone,
@@ -259,7 +403,18 @@ where
 {
     let mut engine = FleetEngine::new(config, factory);
     let mut reports = Vec::new();
-    while let Ok(msg) = rx.recv() {
+    loop {
+        let idle_from = metrics.as_ref().map(|_| Instant::now());
+        let Ok(msg) = rx.recv() else { break };
+        let busy_from = metrics.as_ref().map(|m| {
+            if let Some(t) = idle_from {
+                m.idle_us.add(elapsed_us(t));
+            }
+            if matches!(msg, Msg::Batch(_) | Msg::Runs(_)) {
+                m.depth.sub(1);
+            }
+            Instant::now()
+        });
         match msg {
             Msg::Batch(batch) => {
                 for (track, p) in batch {
@@ -278,6 +433,9 @@ where
             // a failed send just drops this shard from the snapshot.
             Msg::Snapshot(reply) => drop(reply.send(engine.snapshot(&sink))),
             Msg::Stats(reply) => drop(reply.send(engine.stats())),
+        }
+        if let (Some(m), Some(t)) = (&metrics, busy_from) {
+            m.busy_us.add(elapsed_us(t));
         }
     }
     // Channel closed: the submission side called join (or was dropped).
@@ -302,10 +460,24 @@ impl<S: FleetSink + Send + 'static> ParallelFleet<S> {
     /// compressor per session (cloned into every worker); `sink_factory`
     /// builds each shard's private sink (called with the shard index,
     /// in order).
-    pub fn new<C, CF, SF>(
+    pub fn new<C, CF, SF>(config: ParallelConfig, factory: CF, sink_factory: SF) -> ParallelFleet<S>
+    where
+        C: StreamCompressor + HasDecisionStats + Clone + Send + 'static,
+        CF: Fn() -> C + Clone + Send + 'static,
+        SF: FnMut(usize) -> S,
+    {
+        ParallelFleet::with_metrics(config, factory, sink_factory, None)
+    }
+
+    /// [`ParallelFleet::new`] with optional pre-registered metric
+    /// handles ([`FleetMetrics`]). Instrumentation is submission-side
+    /// counters plus a counting sink wrapper — the data path and its
+    /// output are byte-identical to an unmetered fleet.
+    pub fn with_metrics<C, CF, SF>(
         config: ParallelConfig,
         factory: CF,
         mut sink_factory: SF,
+        metrics: Option<FleetMetrics>,
     ) -> ParallelFleet<S>
     where
         C: StreamCompressor + HasDecisionStats + Clone + Send + 'static,
@@ -320,9 +492,11 @@ impl<S: FleetSink + Send + 'static> ParallelFleet<S> {
                 let fleet_config = config.fleet;
                 let factory = factory.clone();
                 let sink = sink_factory(shard);
+                let shard_metrics = metrics.as_ref().and_then(|m| m.shards.get(shard)).cloned();
+                let worker_metrics = shard_metrics.clone();
                 let handle = std::thread::Builder::new()
                     .name(format!("bqs-fleet-{shard}"))
-                    .spawn(move || worker_loop(rx, fleet_config, factory, sink))
+                    .spawn(move || worker_loop(rx, fleet_config, factory, sink, worker_metrics))
                     .expect("spawn fleet worker thread");
                 Worker {
                     sender: Some(sender),
@@ -331,6 +505,7 @@ impl<S: FleetSink + Send + 'static> ParallelFleet<S> {
                     tracks: HashSet::new(),
                     submitted_points: 0,
                     dead: false,
+                    metrics: shard_metrics,
                 }
             })
             .collect();
@@ -362,7 +537,13 @@ impl<S: FleetSink + Send + 'static> ParallelFleet<S> {
         let worker = &mut self.workers[shard];
         worker.tracks.insert(track);
         worker.submitted_points += 1;
+        if let Some(m) = &worker.metrics {
+            m.on_submitted(1);
+        }
         if worker.dead {
+            if let Some(m) = &worker.metrics {
+                m.on_dropped(1);
+            }
             return;
         }
         worker.buffer.push((track, p));
@@ -403,7 +584,15 @@ impl<S: FleetSink + Send + 'static> ParallelFleet<S> {
             let worker = &mut self.workers[shard];
             worker.tracks.insert(track);
             worker.submitted_points += points.len() as u64;
+            if let Some(m) = &worker.metrics {
+                m.on_submitted(points.len() as u64);
+            }
             if worker.dead || points.is_empty() {
+                if worker.dead {
+                    if let Some(m) = &worker.metrics {
+                        m.on_dropped(points.len() as u64);
+                    }
+                }
                 continue;
             }
             // Order with previously buffered per-point submissions.
@@ -419,8 +608,23 @@ impl<S: FleetSink + Send + 'static> ParallelFleet<S> {
             }
             let worker = &mut self.workers[shard];
             let sender = worker.sender.as_ref().expect("sender lives until join");
-            if sender.send(Msg::Runs(runs)).is_err() {
-                worker.dead = true;
+            // Raised before the send so the worker's decrement-on-receipt
+            // can never observe (and wrap) a zero gauge.
+            if let Some(m) = &worker.metrics {
+                m.depth.add(1);
+            }
+            match sender.send(Msg::Runs(runs)) {
+                Ok(()) => {}
+                Err(SendError(msg)) => {
+                    worker.dead = true;
+                    if let Some(m) = &worker.metrics {
+                        m.depth.sub(1);
+                        if let Msg::Runs(lost) = msg {
+                            let points: u64 = lost.iter().map(|(_, pts)| pts.len() as u64).sum();
+                            m.on_dropped(points);
+                        }
+                    }
+                }
             }
         }
     }

@@ -79,8 +79,8 @@ pub use bqs4d::{Bqs4dCompressor, Bqs4dConfig};
 pub use config::{BoundsMode, BqsConfig, ConfigError, RotationMode};
 pub use fbqs::FastBqsCompressor;
 pub use fleet::{
-    FleetConfig, FleetEngine, FleetJoin, FleetSink, FlushReason, ParallelConfig, ParallelFleet,
-    SessionReport, ShardFailure, ShardOutput, TeeFleetSink, TrackId,
+    FleetConfig, FleetEngine, FleetJoin, FleetMetrics, FleetSink, FlushReason, ParallelConfig,
+    ParallelFleet, SessionReport, ShardFailure, ShardOutput, TeeFleetSink, TrackId,
 };
 pub use metrics::DeviationMetric;
 pub use quadrant::QuadrantBounds;

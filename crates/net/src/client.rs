@@ -8,7 +8,8 @@
 
 use crate::error::NetError;
 use crate::wire::{
-    read_frame, write_frame, QueryReport, QuerySpec, Reply, Request, StatsReport, PROTOCOL_VERSION,
+    read_frame, write_frame, QueryReport, QuerySpec, Reply, Request, StatsReport, HEADER_BYTES,
+    PROTOCOL_VERSION,
 };
 use bqs_geo::TimedPoint;
 use std::io::BufReader;
@@ -31,6 +32,10 @@ pub struct BqsClient {
     reader: BufReader<TcpStream>,
     /// Worker shards the server reported in the handshake.
     workers: u64,
+    /// Frames this client has written (handshake included).
+    frames_sent: u64,
+    /// Bytes this client has written, framing included.
+    bytes_sent: u64,
 }
 
 impl BqsClient {
@@ -50,6 +55,8 @@ impl BqsClient {
             writer: stream,
             reader,
             workers: 0,
+            frames_sent: 0,
+            bytes_sent: 0,
         };
         match client.call(
             &Request::Hello {
@@ -73,11 +80,21 @@ impl BqsClient {
         self.workers
     }
 
+    /// `(frames, bytes)` this client has written to the server, the
+    /// `Hello` handshake and framing overhead included — the client's
+    /// half of the ground truth the server-side `net_bytes_in_total` /
+    /// `net_frames_total` counters must account for exactly.
+    pub fn io_counters(&self) -> (u64, u64) {
+        (self.frames_sent, self.bytes_sent)
+    }
+
     /// Sends one request and reads its reply; a typed server error
     /// becomes `Err(NetError::Server)`.
     fn call(&mut self, request: &Request, expected: &'static str) -> Result<Reply, NetError> {
         let payload = request.encode()?;
         write_frame(&mut self.writer, &payload).map_err(|e| NetError::io("send request", e))?;
+        self.frames_sent += 1;
+        self.bytes_sent += (HEADER_BYTES + payload.len() + 4) as u64;
         match read_frame(&mut self.reader)? {
             Some(payload) => match Reply::decode(&payload)? {
                 Reply::Error { code, message } => Err(NetError::Server { code, message }),
@@ -159,6 +176,16 @@ impl BqsClient {
         }
     }
 
+    /// The server's metrics catalog as sorted `name value` text lines
+    /// (see `docs/observability.md`). Empty when the server runs
+    /// without a metrics registry.
+    pub fn metrics(&mut self) -> Result<String, NetError> {
+        match self.call(&Request::Metrics, "MetricsReply")? {
+            Reply::MetricsReply { text } => Ok(text),
+            other => Err(unexpected("MetricsReply", &other)),
+        }
+    }
+
     /// Asks the server to drain, spill and exit; the connection is
     /// closed after the acknowledgement.
     pub fn shutdown(mut self) -> Result<ShutdownAck, NetError> {
@@ -182,6 +209,7 @@ fn unexpected(expected: &'static str, found: &Reply) -> NetError {
         Reply::Flushed => "Flushed",
         Reply::QueryResult(_) => "QueryResult",
         Reply::StatsReply(_) => "StatsReply",
+        Reply::MetricsReply { .. } => "MetricsReply",
         Reply::ShuttingDown { .. } => "ShuttingDown",
         Reply::Error { .. } => "Error",
     };

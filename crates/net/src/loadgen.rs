@@ -19,6 +19,7 @@
 use crate::client::{BqsClient, ShutdownAck};
 use crate::error::NetError;
 use bqs_geo::TimedPoint;
+use bqs_obs::{elapsed_us, Histogram, HistogramSnapshot};
 use bqs_sim::{RandomWalkConfig, RandomWalkModel};
 use std::time::Instant;
 
@@ -38,7 +39,9 @@ pub struct LoadgenConfig {
     pub connections: usize,
     /// Points per `Append` frame.
     pub batch: usize,
-    /// Send `Shutdown` after the load completes.
+    /// Send `Shutdown` after the load completes. With `sessions` or
+    /// `points` at zero this becomes pure-shutdown mode: no ingest,
+    /// just the shutdown connection.
     pub shutdown: bool,
 }
 
@@ -68,12 +71,22 @@ impl LoadgenConfig {
 pub struct LoadgenReport {
     /// Points sent (and acknowledged) across all connections.
     pub points_sent: u64,
+    /// Frames written across all ingest connections (handshakes and
+    /// flushes included; the shutdown connection is not).
+    pub frames_sent: u64,
+    /// Bytes written across all ingest connections, framing included.
+    pub bytes_sent: u64,
     /// Sessions driven.
     pub sessions: usize,
     /// Connections used.
     pub connections: usize,
     /// Wall-clock seconds for the ingest phase.
     pub elapsed: f64,
+    /// Client-observed `Append` round-trip latency (µs), merged across
+    /// every connection thread.
+    pub append_latency: HistogramSnapshot,
+    /// Client-observed `Flush` round-trip latency (µs).
+    pub flush_latency: HistogramSnapshot,
     /// The server's shutdown acknowledgement, when one was requested.
     pub shutdown: Option<ShutdownAck>,
 }
@@ -106,7 +119,9 @@ fn drive_connection(
     tracks: &[u64],
     traces: &[Vec<TimedPoint>],
     batch: usize,
-) -> Result<u64, NetError> {
+    append_latency: &Histogram,
+    flush_latency: &Histogram,
+) -> Result<(u64, u64, u64), NetError> {
     let mut client = BqsClient::connect(addr)?;
     let mut sent = 0u64;
     let mut offset = 0usize;
@@ -122,19 +137,47 @@ fn drive_connection(
                 continue;
             }
             let end = (offset + batch).min(trace.len());
+            let start = Instant::now();
             sent += client.append(track, &trace[offset..end])?;
+            append_latency.record(elapsed_us(start));
         }
         offset += batch;
     }
+    let start = Instant::now();
     client.flush()?;
-    Ok(sent)
+    flush_latency.record(elapsed_us(start));
+    let (frames, bytes) = client.io_counters();
+    Ok((sent, frames, bytes))
 }
 
 /// Runs the load generator: generates every session's trace, fans the
 /// sessions out over `connections` client threads, optionally shuts
 /// the server down, and reports throughput.
 pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, NetError> {
-    if config.sessions == 0 || config.points == 0 || config.connections == 0 || config.batch == 0 {
+    if config.sessions == 0 || config.points == 0 {
+        if !config.shutdown {
+            return Err(NetError::Config(
+                "loadgen needs --sessions/--points/--connections/--batch ≥ 1".to_string(),
+            ));
+        }
+        // Pure-shutdown mode (`--sessions 0 --shutdown`): no ingest,
+        // one connection asking the server to drain and exit. Useful
+        // when the ingest ran earlier and re-running it would rewind
+        // the tracks' time watermarks.
+        let shutdown = Some(BqsClient::connect(&config.addr)?.shutdown()?);
+        return Ok(LoadgenReport {
+            points_sent: 0,
+            frames_sent: 0,
+            bytes_sent: 0,
+            sessions: 0,
+            connections: 0,
+            elapsed: 0.0,
+            append_latency: HistogramSnapshot::new(),
+            flush_latency: HistogramSnapshot::new(),
+            shutdown,
+        });
+    }
+    if config.connections == 0 || config.batch == 0 {
         return Err(NetError::Config(
             "loadgen needs --sessions/--points/--connections/--batch ≥ 1".to_string(),
         ));
@@ -151,14 +194,29 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, NetError> {
         })
         .collect();
 
+    // Shared lock-free histograms: every connection thread records into
+    // the same cells, so the report's percentiles cover the whole run.
+    let append_latency = Histogram::new();
+    let flush_latency = Histogram::new();
     let start = Instant::now();
-    let mut results: Vec<Result<u64, NetError>> = Vec::with_capacity(connections);
+    let mut results: Vec<Result<(u64, u64, u64), NetError>> = Vec::with_capacity(connections);
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for tracks in &partitions {
             let addr = config.addr.as_str();
             let traces = &traces;
-            handles.push(scope.spawn(move || drive_connection(addr, tracks, traces, config.batch)));
+            let append_latency = &append_latency;
+            let flush_latency = &flush_latency;
+            handles.push(scope.spawn(move || {
+                drive_connection(
+                    addr,
+                    tracks,
+                    traces,
+                    config.batch,
+                    append_latency,
+                    flush_latency,
+                )
+            }));
         }
         for handle in handles {
             results.push(
@@ -169,8 +227,13 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, NetError> {
         }
     });
     let mut points_sent = 0u64;
+    let mut frames_sent = 0u64;
+    let mut bytes_sent = 0u64;
     for result in results {
-        points_sent += result?;
+        let (points, frames, bytes) = result?;
+        points_sent += points;
+        frames_sent += frames;
+        bytes_sent += bytes;
     }
     let elapsed = start.elapsed().as_secs_f64();
 
@@ -181,9 +244,13 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, NetError> {
     };
     Ok(LoadgenReport {
         points_sent,
+        frames_sent,
+        bytes_sent,
         sessions: config.sessions,
         connections,
         elapsed,
+        append_latency: append_latency.snapshot(),
+        flush_latency: flush_latency.snapshot(),
         shutdown,
     })
 }

@@ -52,15 +52,17 @@ use crate::error::NetError;
 use crate::wire::{
     decode_append_columns, decode_frame, frame_to_vec, write_frame, ErrorCode, QueryReport,
     QuerySpec, Reply, Request, ShardStat, StatsReport, WireError, FRAME_MAGIC, HEADER_BYTES,
-    MAX_FRAME_BYTES, PROTOCOL_VERSION,
+    MAX_FRAME_BYTES, PROTOCOL_VERSION, TAG_APPEND, TAG_FLUSH, TAG_QUERY, TAG_STATS,
 };
-use bqs_core::fleet::{FleetConfig, ParallelConfig, ParallelFleet};
+use bqs_core::fleet::{FleetConfig, FleetMetrics, ParallelConfig, ParallelFleet};
 use bqs_core::stream::DecisionStats;
 use bqs_core::{BqsConfig, FastBqsCompressor};
 use bqs_geo::ColumnarBatch;
+use bqs_obs::{elapsed_us, Counter, Gauge, Histogram, MetricsRegistry};
 use bqs_tlog::crc::crc32;
 use bqs_tlog::{
-    prepare_spill_logs, LogConfig, Manifest, QueryEngine, SpillSink, TimeRange, TrajectoryLog,
+    prepare_spill_logs, LogConfig, Manifest, QueryEngine, SpillMetrics, SpillSink, TimeRange,
+    TrajectoryLog,
 };
 use polling::{source_of, Event, Poller};
 use std::collections::HashMap;
@@ -134,6 +136,10 @@ pub struct ServerConfig {
     /// offers epoll/kqueue — the knob tests use to cover the
     /// WouldBlock round-robin path on any host.
     pub fallback_poller: bool,
+    /// Metrics registry the server instruments itself into. `None`
+    /// (the default) skips all instrumentation — the hot path pays one
+    /// branch per site and nothing else.
+    pub metrics: Option<MetricsRegistry>,
 }
 
 impl ServerConfig {
@@ -151,6 +157,7 @@ impl ServerConfig {
             io_threads: DEFAULT_IO_THREADS,
             max_connections: DEFAULT_MAX_CONNECTIONS,
             fallback_poller: false,
+            metrics: None,
         }
     }
 }
@@ -192,6 +199,127 @@ struct FleetState {
 
 type FleetSlot = Mutex<Option<FleetState>>;
 
+/// The request classes the server keys its per-type metrics on.
+/// Derived from a frame's tag byte alone, before decoding, so even a
+/// frame whose body fails to decode is attributed.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ReqKind {
+    Append,
+    Query,
+    Stats,
+    Flush,
+    /// Hello, Shutdown, Metrics and unrecognised tags: rare,
+    /// non-latency-critical traffic, pooled into one class.
+    Other,
+}
+
+impl ReqKind {
+    /// Classifies a frame payload by its leading tag byte.
+    fn of(payload: &[u8]) -> ReqKind {
+        match payload.first() {
+            Some(&TAG_APPEND) => ReqKind::Append,
+            Some(&TAG_QUERY) => ReqKind::Query,
+            Some(&TAG_STATS) => ReqKind::Stats,
+            Some(&TAG_FLUSH) => ReqKind::Flush,
+            _ => ReqKind::Other,
+        }
+    }
+}
+
+/// Per-request-type metric handles: one counter and one latency
+/// histogram per [`ReqKind`].
+struct PerKind<T> {
+    append: T,
+    query: T,
+    stats: T,
+    flush: T,
+    other: T,
+}
+
+impl<T> PerKind<T> {
+    fn get(&self, kind: ReqKind) -> &T {
+        match kind {
+            ReqKind::Append => &self.append,
+            ReqKind::Query => &self.query,
+            ReqKind::Stats => &self.stats,
+            ReqKind::Flush => &self.flush,
+            ReqKind::Other => &self.other,
+        }
+    }
+}
+
+/// Every server-layer metric handle, registered once at bind time and
+/// then touched lock-free. Catalogued in `docs/observability.md`.
+struct ServerMetrics {
+    registry: MetricsRegistry,
+    /// Payload + framing bytes read off client sockets.
+    bytes_in: Counter,
+    /// Reply bytes written back (error frames included).
+    bytes_out: Counter,
+    /// Frames served, total and per request type.
+    frames: Counter,
+    frames_by: PerKind<Counter>,
+    /// Request latency in microseconds, frame decoded → reply flushed
+    /// to the socket (worst-case honest: a reply sharing a flush with
+    /// slower traffic is charged the whole wait).
+    request_us: PerKind<Histogram>,
+    conns_admitted: Counter,
+    conns_rejected: Counter,
+    conns_closed: Counter,
+    /// Connections currently registered (peak tracked automatically).
+    conns_live: Gauge,
+    /// One io-pool thread's busy time per poll tick, microseconds.
+    io_tick_us: Histogram,
+    /// Ready events delivered per poll tick (wake pipe included).
+    io_ready_events: Histogram,
+    /// Query service time, snapshot → merged reply, microseconds.
+    query_us: Histogram,
+    query_shards_pruned: Counter,
+    query_shards_opened: Counter,
+}
+
+impl ServerMetrics {
+    fn new(registry: &MetricsRegistry) -> ServerMetrics {
+        let c = |name: &str| registry.counter(name);
+        let h = |name: &str| registry.histogram(name);
+        ServerMetrics {
+            registry: registry.clone(),
+            bytes_in: c("net_bytes_in_total"),
+            bytes_out: c("net_bytes_out_total"),
+            frames: c("net_frames_total"),
+            frames_by: PerKind {
+                append: c("net_frames_append_total"),
+                query: c("net_frames_query_total"),
+                stats: c("net_frames_stats_total"),
+                flush: c("net_frames_flush_total"),
+                other: c("net_frames_other_total"),
+            },
+            request_us: PerKind {
+                append: h("net_request_us_append"),
+                query: h("net_request_us_query"),
+                stats: h("net_request_us_stats"),
+                flush: h("net_request_us_flush"),
+                other: h("net_request_us_other"),
+            },
+            conns_admitted: c("net_connections_admitted_total"),
+            conns_rejected: c("net_connections_rejected_total"),
+            conns_closed: c("net_connections_closed_total"),
+            conns_live: registry.gauge("net_connections_live"),
+            io_tick_us: h("net_io_tick_us"),
+            io_ready_events: h("net_io_ready_events"),
+            query_us: h("tlog_query_us"),
+            query_shards_pruned: c("tlog_query_shards_pruned_total"),
+            query_shards_opened: c("tlog_query_shards_opened_total"),
+        }
+    }
+
+    /// Counts one served frame of `kind` (total + per type).
+    fn on_frame(&self, kind: ReqKind) {
+        self.frames.inc();
+        self.frames_by.get(kind).inc();
+    }
+}
+
 struct Shared {
     fleet: FleetSlot,
     spill: PathBuf,
@@ -203,10 +331,15 @@ struct Shared {
     shutdown: AtomicBool,
     /// Connections currently registered (admission gate).
     active: AtomicUsize,
+    /// Most connections ever registered at once.
+    peak_active: AtomicUsize,
     connections: AtomicU64,
     rejected: AtomicU64,
     frames: AtomicU64,
     appended_points: AtomicU64,
+    /// When the server was bound (drives the `Stats` uptime gauge).
+    started: Instant,
+    metrics: Option<ServerMetrics>,
 }
 
 impl Shared {
@@ -215,6 +348,36 @@ impl Shared {
     /// which `join` reports — instead of panicking every later caller.
     fn lock_fleet(&self) -> std::sync::MutexGuard<'_, Option<FleetState>> {
         self.fleet.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers an accepted connection: the admission gate, the serve
+    /// totals, the peak watermark and (when present) the live gauge.
+    fn conn_admitted(&self) {
+        let live = self.active.fetch_add(1, Ordering::SeqCst) + 1;
+        self.peak_active.fetch_max(live, Ordering::Relaxed);
+        self.connections.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.conns_admitted.inc();
+            m.conns_live.set(live as u64);
+        }
+    }
+
+    /// Unregisters a connection (served to completion, or admitted but
+    /// dropped before service).
+    fn conn_closed(&self) {
+        let live = self.active.fetch_sub(1, Ordering::SeqCst) - 1;
+        if let Some(m) = &self.metrics {
+            m.conns_closed.inc();
+            m.conns_live.set(live as u64);
+        }
+    }
+
+    /// Counts an over-capacity rejection.
+    fn conn_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.conns_rejected.inc();
+        }
     }
 }
 
@@ -280,7 +443,16 @@ impl Server {
                 .collect();
         let bqs_config = BqsConfig::new(config.tolerance)
             .map_err(|e| NetError::Config(format!("tolerance: {e}")))?;
-        let fleet = ParallelFleet::new(
+        // All instrumentation hangs off the optional registry: absent,
+        // the fleet, sinks and connection handlers run exactly the
+        // unmetered code paths.
+        let fleet_metrics = config
+            .metrics
+            .as_ref()
+            .map(|r| FleetMetrics::new(r, config.workers));
+        let spill_metrics = config.metrics.as_ref().map(SpillMetrics::new);
+        let server_metrics = config.metrics.as_ref().map(ServerMetrics::new);
+        let fleet = ParallelFleet::with_metrics(
             ParallelConfig {
                 workers: config.workers,
                 fleet: FleetConfig {
@@ -290,7 +462,13 @@ impl Server {
                 ..ParallelConfig::default()
             },
             move || FastBqsCompressor::new(bqs_config),
-            |shard| SpillSink::new(logs[shard].take().expect("one log per shard")),
+            |shard| {
+                SpillSink::with_metrics(
+                    logs[shard].take().expect("one log per shard"),
+                    spill_metrics.clone(),
+                )
+            },
+            fleet_metrics,
         );
         let listener = TcpListener::bind(&config.addr)
             .map_err(|e| NetError::io(format!("bind {}", config.addr), e))?;
@@ -312,10 +490,13 @@ impl Server {
                 local_addr,
                 shutdown: AtomicBool::new(false),
                 active: AtomicUsize::new(0),
+                peak_active: AtomicUsize::new(0),
                 connections: AtomicU64::new(0),
                 rejected: AtomicU64::new(0),
                 frames: AtomicU64::new(0),
                 appended_points: AtomicU64::new(0),
+                started: Instant::now(),
+                metrics: server_metrics,
             }),
         })
     }
@@ -382,12 +563,11 @@ impl Server {
                         continue;
                     }
                     let _ = stream.set_nodelay(true);
-                    self.shared.active.fetch_add(1, Ordering::SeqCst);
-                    self.shared.connections.fetch_add(1, Ordering::Relaxed);
+                    self.shared.conn_admitted();
                     if senders[next].send(stream).is_err() {
                         // The io thread is gone (it never exits before
                         // shutdown unless it panicked): undo and drop.
-                        self.shared.active.fetch_sub(1, Ordering::SeqCst);
+                        self.shared.conn_closed();
                     } else {
                         wake(&wakers[next]);
                     }
@@ -435,12 +615,11 @@ impl Server {
                         reject_over_capacity(stream, &self.shared);
                         continue;
                     }
-                    self.shared.active.fetch_add(1, Ordering::SeqCst);
-                    self.shared.connections.fetch_add(1, Ordering::Relaxed);
+                    self.shared.conn_admitted();
                     let shared = Arc::clone(&self.shared);
                     handles.push(std::thread::spawn(move || {
                         handle_connection(stream, &shared);
-                        shared.active.fetch_sub(1, Ordering::SeqCst);
+                        shared.conn_closed();
                     }));
                 }
                 Err(_) if self.shared.shutdown.load(Ordering::SeqCst) => break,
@@ -512,7 +691,7 @@ impl Server {
 /// the socket — a client in `connect` surfaces it as
 /// `NetError::Server { code: OverCapacity, .. }` instead of hanging.
 fn reject_over_capacity(mut stream: TcpStream, shared: &Shared) {
-    shared.rejected.fetch_add(1, Ordering::Relaxed);
+    shared.conn_rejected();
     let reply = Reply::Error {
         code: ErrorCode::OverCapacity,
         message: format!(
@@ -522,7 +701,11 @@ fn reject_over_capacity(mut stream: TcpStream, shared: &Shared) {
     };
     if let Ok(payload) = reply.encode() {
         let _ = stream.set_write_timeout(Some(POLL_INTERVAL));
-        let _ = write_frame(&mut stream, &payload);
+        if write_frame(&mut stream, &payload).is_ok() {
+            if let Some(m) = &shared.metrics {
+                m.bytes_out.add((HEADER_BYTES + payload.len() + 4) as u64);
+            }
+        }
     }
 }
 
@@ -561,6 +744,10 @@ struct Conn {
     want_write: bool,
     /// Peer EOF observed.
     eof: bool,
+    /// Decode times of requests whose replies have not fully flushed —
+    /// drained into the latency histograms when `outbuf` empties.
+    /// Unused (never pushed) without a metrics registry.
+    pending: Vec<(Instant, ReqKind)>,
 }
 
 impl Conn {
@@ -575,6 +762,7 @@ impl Conn {
             close_after_flush: false,
             want_write: false,
             eof: false,
+            pending: Vec::new(),
         }
     }
 
@@ -612,7 +800,7 @@ fn io_loop(rx: Receiver<TcpStream>, wake_rx: TcpStream, shared: &Shared) {
                     if poller.add(source_of(&stream), Event::readable(key)).is_ok() {
                         conns.insert(key, Conn::new(stream));
                     } else {
-                        shared.active.fetch_sub(1, Ordering::SeqCst);
+                        shared.conn_closed();
                     }
                 }
                 Err(TryRecvError::Empty) => break,
@@ -645,6 +833,12 @@ fn io_loop(rx: Receiver<TcpStream>, wake_rx: TcpStream, shared: &Shared) {
         }
 
         let _ = poller.wait(&mut events, Some(POOL_TICK));
+        // Tick telemetry: how much readiness each wait delivers, and
+        // how long this thread stays busy servicing it.
+        let tick_start = shared.metrics.as_ref().map(|m| {
+            m.io_ready_events.record(events.len() as u64);
+            Instant::now()
+        });
         for &ev in events.iter() {
             if ev.key == WAKE_KEY {
                 drain_wake(&wake_rx);
@@ -670,11 +864,14 @@ fn io_loop(rx: Receiver<TcpStream>, wake_rx: TcpStream, shared: &Shared) {
                 let _ = poller.modify(source_of(&conn.stream), interest);
             }
         }
+        if let (Some(m), Some(t)) = (&shared.metrics, tick_start) {
+            m.io_tick_us.record(elapsed_us(t));
+        }
     }
     // Streams the acceptor queued that were never admitted.
     for stream in rx.try_iter() {
         drop(stream);
-        shared.active.fetch_sub(1, Ordering::SeqCst);
+        shared.conn_closed();
     }
 }
 
@@ -687,7 +884,7 @@ fn close_conn(poller: &Poller, conns: &mut HashMap<usize, Conn>, key: usize, sha
     if let Some(conn) = conns.remove(&key) {
         let _ = poller.delete(source_of(&conn.stream));
         drop(conn.stream);
-        shared.active.fetch_sub(1, Ordering::SeqCst);
+        shared.conn_closed();
     }
 }
 
@@ -711,6 +908,9 @@ fn service_conn(conn: &mut Conn, shared: &Shared, scratch: &mut ColumnarBatch) -
                 Ok(n) => {
                     conn.inbuf.extend_from_slice(&chunk[..n]);
                     read_this_tick += n;
+                    if let Some(m) = &shared.metrics {
+                        m.bytes_in.add(n as u64);
+                    }
                     if read_this_tick >= MAX_TICK_BYTES {
                         break;
                     }
@@ -732,6 +932,11 @@ fn service_conn(conn: &mut Conn, shared: &Shared, scratch: &mut ColumnarBatch) -
             Ok((payload, used)) => {
                 conn.consumed += used;
                 shared.frames.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &shared.metrics {
+                    let kind = ReqKind::of(&payload);
+                    m.on_frame(kind);
+                    conn.pending.push((Instant::now(), kind));
+                }
                 let (reply, after) = handle_payload(&payload, shared, &mut conn.greeted, scratch);
                 queue_reply(conn, &reply);
                 if matches!(after, After::Close) {
@@ -768,7 +973,12 @@ fn service_conn(conn: &mut Conn, shared: &Shared, scratch: &mut ColumnarBatch) -
     while conn.outpos < conn.outbuf.len() {
         match conn.stream.write(&conn.outbuf[conn.outpos..]) {
             Ok(0) => return true,
-            Ok(n) => conn.outpos += n,
+            Ok(n) => {
+                conn.outpos += n;
+                if let Some(m) = &shared.metrics {
+                    m.bytes_out.add(n as u64);
+                }
+            }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(_) => return true,
@@ -777,6 +987,13 @@ fn service_conn(conn: &mut Conn, shared: &Shared, scratch: &mut ColumnarBatch) -
     if conn.outpos == conn.outbuf.len() {
         conn.outbuf.clear();
         conn.outpos = 0;
+        // Every reply this connection owed is now on the wire: the
+        // requests' decode→flush latencies are final.
+        if let Some(m) = &shared.metrics {
+            for (start, kind) in conn.pending.drain(..) {
+                m.request_us.get(kind).record(elapsed_us(start));
+            }
+        }
         if conn.close_after_flush {
             return true;
         }
@@ -831,23 +1048,30 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                     code: ErrorCode::BadFrame,
                     message: e.to_string(),
                 };
-                send_reply(&mut writer, &reply);
+                send_reply(&mut writer, &reply, shared);
                 return;
             }
             Err(_) => return, // transport died
         };
         shared.frames.fetch_add(1, Ordering::Relaxed);
+        let start = shared.metrics.as_ref().map(|m| {
+            let kind = ReqKind::of(&payload);
+            m.on_frame(kind);
+            m.bytes_in.add((HEADER_BYTES + payload.len() + 4) as u64);
+            (Instant::now(), kind)
+        });
         let (reply, after) = handle_payload(&payload, shared, &mut greeted, &mut scratch);
-        if !send_reply(&mut writer, &reply) {
-            return;
+        let sent = send_reply(&mut writer, &reply, shared);
+        if let (Some(m), Some((t, kind))) = (&shared.metrics, start) {
+            m.request_us.get(kind).record(elapsed_us(t));
         }
-        if matches!(after, After::Close) {
+        if !sent || matches!(after, After::Close) {
             return;
         }
     }
 }
 
-fn send_reply(writer: &mut TcpStream, reply: &Reply) -> bool {
+fn send_reply(writer: &mut TcpStream, reply: &Reply, shared: &Shared) -> bool {
     let payload = match reply.encode() {
         Ok(payload) => payload,
         Err(e) => Reply::Error {
@@ -857,7 +1081,13 @@ fn send_reply(writer: &mut TcpStream, reply: &Reply) -> bool {
         .encode()
         .expect("error replies always encode"),
     };
-    write_frame(writer, &payload).is_ok()
+    let ok = write_frame(writer, &payload).is_ok();
+    if ok {
+        if let Some(m) = &shared.metrics {
+            m.bytes_out.add((HEADER_BYTES + payload.len() + 4) as u64);
+        }
+    }
+    ok
 }
 
 /// Validates a batch's timestamp run against the codec's time invariant
@@ -1034,9 +1264,24 @@ fn handle_request(request: Request, shared: &Shared, greeted: &mut bool) -> (Rep
                     shards,
                     connections: shared.connections.load(Ordering::Relaxed),
                     appended_points: shared.appended_points.load(Ordering::Relaxed),
+                    uptime_s: shared.started.elapsed().as_secs(),
+                    live_connections: shared.active.load(Ordering::SeqCst) as u64,
+                    peak_connections: shared.peak_active.load(Ordering::Relaxed) as u64,
+                    rejected_connections: shared.rejected.load(Ordering::Relaxed),
                 }),
                 After::Continue,
             )
+        }
+        Request::Metrics => {
+            // Renders the full catalog; an unmetered server answers
+            // with the documented empty exposition rather than an
+            // error, so scrapers need no special case.
+            let text = shared
+                .metrics
+                .as_ref()
+                .map(|m| m.registry.render())
+                .unwrap_or_default();
+            (Reply::MetricsReply { text }, After::Continue)
         }
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
@@ -1081,6 +1326,7 @@ fn wake_addr(local: SocketAddr) -> SocketAddr {
 /// its own revalidation logic makes a cached one no cheaper beside
 /// live writers.
 fn run_query(spec: &QuerySpec, shared: &Shared) -> Result<QueryReport, NetError> {
+    let start = shared.metrics.as_ref().map(|_| Instant::now());
     let snapshot = {
         let mut guard = shared.lock_fleet();
         let Some(state) = guard.as_mut() else {
@@ -1103,6 +1349,12 @@ fn run_query(spec: &QuerySpec, shared: &Shared) -> Result<QueryReport, NetError>
         }
         None => engine.query_time_range(spec.track, range)?,
     };
+    if let (Some(m), Some(t)) = (&shared.metrics, start) {
+        m.query_us.record(elapsed_us(t));
+        m.query_shards_pruned.add(output.shards_pruned as u64);
+        m.query_shards_opened
+            .add((output.shards.len() - output.shards_pruned) as u64);
+    }
     Ok(QueryReport {
         slices: output.slices,
         shards_pruned: output.shards_pruned as u64,

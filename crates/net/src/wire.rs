@@ -257,6 +257,8 @@ pub enum Request {
     Query(QuerySpec),
     /// Asks for merged decision statistics and per-shard counters.
     Stats,
+    /// Asks for a text exposition snapshot of the metrics registry.
+    Metrics,
     /// Asks the server to drain, spill everything and exit.
     Shutdown,
 }
@@ -285,6 +287,14 @@ pub struct StatsReport {
     pub connections: u64,
     /// Points accepted over all connections.
     pub appended_points: u64,
+    /// Whole seconds the server has been up.
+    pub uptime_s: u64,
+    /// Connections currently open.
+    pub live_connections: u64,
+    /// Most connections ever open at once.
+    pub peak_connections: u64,
+    /// Connections refused because the server was at capacity.
+    pub rejected_connections: u64,
 }
 
 /// The server's answer to [`Request::Query`].
@@ -325,6 +335,12 @@ pub enum Reply {
     QueryResult(QueryReport),
     /// A statistics answer.
     StatsReply(StatsReport),
+    /// A metrics snapshot: the registry's sorted `name value` text
+    /// exposition (empty when the server runs without a registry).
+    MetricsReply {
+        /// The exposition text; see `docs/observability.md`.
+        text: String,
+    },
     /// The server acknowledges shutdown and will exit after draining.
     ShuttingDown {
         /// Connections served over the server's lifetime.
@@ -344,18 +360,22 @@ pub enum Reply {
 
 // --- field-level encode/decode helpers -------------------------------
 
-const TAG_HELLO: u8 = 0x01;
-const TAG_APPEND: u8 = 0x02;
-const TAG_FLUSH: u8 = 0x03;
-const TAG_QUERY: u8 = 0x04;
-const TAG_STATS: u8 = 0x05;
-const TAG_SHUTDOWN: u8 = 0x06;
+// Request tags are crate-visible: the server classifies a frame for its
+// per-request-type metrics from the tag byte alone, before decoding.
+pub(crate) const TAG_HELLO: u8 = 0x01;
+pub(crate) const TAG_APPEND: u8 = 0x02;
+pub(crate) const TAG_FLUSH: u8 = 0x03;
+pub(crate) const TAG_QUERY: u8 = 0x04;
+pub(crate) const TAG_STATS: u8 = 0x05;
+pub(crate) const TAG_SHUTDOWN: u8 = 0x06;
+pub(crate) const TAG_METRICS: u8 = 0x07;
 const TAG_HELLO_OK: u8 = 0x81;
 const TAG_APPENDED: u8 = 0x82;
 const TAG_FLUSHED: u8 = 0x83;
 const TAG_QUERY_RESULT: u8 = 0x84;
 const TAG_STATS_REPLY: u8 = 0x85;
 const TAG_SHUTTING_DOWN: u8 = 0x86;
+const TAG_METRICS_REPLY: u8 = 0x87;
 const TAG_ERROR: u8 = 0xFF;
 
 fn write_f64(v: f64, out: &mut Vec<u8>) {
@@ -490,6 +510,7 @@ impl Request {
                 }
             }
             Request::Stats => out.push(TAG_STATS),
+            Request::Metrics => out.push(TAG_METRICS),
             Request::Shutdown => out.push(TAG_SHUTDOWN),
         }
         Ok(out)
@@ -533,6 +554,7 @@ impl Request {
                 })
             }
             TAG_STATS => Request::Stats,
+            TAG_METRICS => Request::Metrics,
             TAG_SHUTDOWN => Request::Shutdown,
             tag => return Err(WireError::UnknownTag { tag }),
         };
@@ -576,6 +598,10 @@ impl Reply {
                 write_stats(&report.stats, &mut out);
                 write_varint(report.connections, &mut out);
                 write_varint(report.appended_points, &mut out);
+                write_varint(report.uptime_s, &mut out);
+                write_varint(report.live_connections, &mut out);
+                write_varint(report.peak_connections, &mut out);
+                write_varint(report.rejected_connections, &mut out);
                 write_varint(report.shards.len() as u64, &mut out);
                 for shard in &report.shards {
                     write_varint(shard.shard, &mut out);
@@ -591,6 +617,10 @@ impl Reply {
                 out.push(TAG_SHUTTING_DOWN);
                 write_varint(*connections, &mut out);
                 write_varint(*appended_points, &mut out);
+            }
+            Reply::MetricsReply { text } => {
+                out.push(TAG_METRICS_REPLY);
+                write_string(text, &mut out);
             }
             Reply::Error { code, message } => {
                 out.push(TAG_ERROR);
@@ -641,6 +671,10 @@ impl Reply {
                 let stats = read_stats(bytes, &mut pos)?;
                 let connections = read_varint(bytes, &mut pos)?;
                 let appended_points = read_varint(bytes, &mut pos)?;
+                let uptime_s = read_varint(bytes, &mut pos)?;
+                let live_connections = read_varint(bytes, &mut pos)?;
+                let peak_connections = read_varint(bytes, &mut pos)?;
+                let rejected_connections = read_varint(bytes, &mut pos)?;
                 let count = read_varint(bytes, &mut pos)? as usize;
                 let mut shards = Vec::with_capacity(count.min(1024));
                 for _ in 0..count {
@@ -656,11 +690,18 @@ impl Reply {
                     shards,
                     connections,
                     appended_points,
+                    uptime_s,
+                    live_connections,
+                    peak_connections,
+                    rejected_connections,
                 })
             }
             TAG_SHUTTING_DOWN => Reply::ShuttingDown {
                 connections: read_varint(bytes, &mut pos)?,
                 appended_points: read_varint(bytes, &mut pos)?,
+            },
+            TAG_METRICS_REPLY => Reply::MetricsReply {
+                text: read_string(bytes, &mut pos)?,
             },
             TAG_ERROR => {
                 let code = ErrorCode::from_byte(read_byte(bytes, &mut pos)?)?;
@@ -907,6 +948,7 @@ mod tests {
                 bbox: None,
             }),
             Request::Stats,
+            Request::Metrics,
             Request::Shutdown,
         ];
         for request in requests {
@@ -969,10 +1011,17 @@ mod tests {
                 ],
                 connections: 4,
                 appended_points: 1000,
+                uptime_s: 3601,
+                live_connections: 3,
+                peak_connections: 9,
+                rejected_connections: 2,
             }),
             Reply::ShuttingDown {
                 connections: 2,
                 appended_points: 999,
+            },
+            Reply::MetricsReply {
+                text: "net_frames_total 12\nnet_request_us_append_p99 850\n".to_string(),
             },
             Reply::Error {
                 code: ErrorCode::BadRequest,

@@ -61,6 +61,7 @@ fn requests(seed: u64, track: u64, n: usize) -> Vec<Request> {
                 .then(|| [-(seed as f64), 0.5, track as f64 * 3.0, n as f64 * 7.0]),
         }),
         Request::Stats,
+        Request::Metrics,
         Request::Shutdown,
     ]
 }
@@ -105,10 +106,17 @@ fn replies(seed: u64, track: u64, n: usize) -> Vec<Reply> {
                 .collect(),
             connections: track,
             appended_points: seed,
+            uptime_s: seed % 86_400,
+            live_connections: track % 64,
+            peak_connections: track % 64 + 1,
+            rejected_connections: seed % 17,
         }),
         Reply::ShuttingDown {
             connections: track,
             appended_points: seed,
+        },
+        Reply::MetricsReply {
+            text: format!("net_frames_total {seed}\nfleet_submitted_points_total {track}\n"),
         },
         Reply::Error {
             code: ErrorCode::Internal,

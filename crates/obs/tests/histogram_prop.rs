@@ -1,0 +1,111 @@
+//! Property tests for the log₂-bucket histogram: merging snapshots is
+//! associative and commutative (so per-thread views combine in any
+//! order), quantile extraction brackets the true order statistic from a
+//! sorted reference, and the saturated top bucket accepts any `u64`
+//! without panicking.
+
+use bqs_obs::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+/// Records `samples` into a fresh histogram and snapshots it.
+fn snap(samples: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+fn merged(a: &HistogramSnapshot, b: &HistogramSnapshot) -> HistogramSnapshot {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+/// Widens small draws into the full `u64` range: `(mantissa, shift)`
+/// becomes `mantissa << shift`, hitting every bucket including the
+/// saturated top one.
+fn widen(raw: Vec<(u64, u32)>) -> Vec<u64> {
+    raw.into_iter()
+        .map(|(m, s)| m.wrapping_shl(s % 64))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn merge_is_commutative_and_associative(
+        ra in proptest::collection::vec((0u64..=u64::MAX, 0u32..64), 0..120),
+        rb in proptest::collection::vec((0u64..=u64::MAX, 0u32..64), 0..120),
+        rc in proptest::collection::vec((0u64..=u64::MAX, 0u32..64), 0..120),
+    ) {
+        let (a, b, c) = (snap(&widen(ra)), snap(&widen(rb)), snap(&widen(rc)));
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+        prop_assert_eq!(
+            merged(&merged(&a, &b), &c),
+            merged(&a, &merged(&b, &c))
+        );
+        // The empty snapshot is the merge identity.
+        prop_assert_eq!(merged(&a, &HistogramSnapshot::new()), a);
+    }
+
+    #[test]
+    fn merging_equals_recording_the_concatenation(
+        ra in proptest::collection::vec((0u64..=u64::MAX, 0u32..64), 0..120),
+        rb in proptest::collection::vec((0u64..=u64::MAX, 0u32..64), 0..120),
+    ) {
+        let (va, vb) = (widen(ra), widen(rb));
+        let mut both = va.clone();
+        both.extend_from_slice(&vb);
+        prop_assert_eq!(merged(&snap(&va), &snap(&vb)), snap(&both));
+    }
+
+    #[test]
+    fn quantiles_bracket_the_sorted_reference(
+        raw in proptest::collection::vec((0u64..=u64::MAX, 0u32..64), 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        let samples = widen(raw);
+        let s = snap(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let n = sorted.len() as u64;
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let truth = sorted[(rank - 1) as usize];
+        let got = s.quantile(q);
+        // The reported bound never understates the true order statistic…
+        prop_assert!(got >= truth, "q={q}: got {got} < truth {truth}");
+        // …and overstates it by at most 2× below the saturated top
+        // bucket (within the top bucket only the exact max clamps it).
+        if truth == 0 {
+            prop_assert_eq!(got, 0);
+        } else if truth < (1u64 << 62) {
+            prop_assert!(got <= truth.saturating_mul(2), "q={q}: got {got} > 2×{truth}");
+        } else {
+            prop_assert!(got <= s.max());
+        }
+    }
+
+    #[test]
+    fn saturation_and_extremes_never_panic(
+        raw in proptest::collection::vec(0u64..=u64::MAX, 0..64),
+        q in 0.0f64..1.0,
+    ) {
+        let h = Histogram::new();
+        for &v in &raw {
+            h.record(v);
+        }
+        // The top bucket absorbs the largest representable values.
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(1u64 << 63);
+        let s = h.snapshot();
+        prop_assert_eq!(s.count(), raw.len() as u64 + 3);
+        prop_assert_eq!(s.max(), u64::MAX);
+        for probe in [0.0, q, 0.5, 0.99, 1.0] {
+            prop_assert!(s.quantile(probe) <= s.max());
+        }
+        prop_assert!(s.mean() <= s.max());
+    }
+}

@@ -95,4 +95,4 @@ pub use sharded::{
     shard_dir, shard_dirs, spill_layout, verify_sharded, ManifestStatus, ShardedVerifyReport,
     SpillLayout, SHARD_DIR_PREFIX,
 };
-pub use spill::{SpillFailure, SpillReport, SpillSink};
+pub use spill::{SpillFailure, SpillMetrics, SpillReport, SpillSink};

@@ -22,8 +22,38 @@ use crate::log::TrajectoryLog;
 use bqs_core::fleet::{FleetSink, FlushReason, SessionReport, TrackId};
 use bqs_core::stream::DecisionStats;
 use bqs_geo::TimedPoint;
+use bqs_obs::{Counter, MetricsRegistry};
 use std::borrow::BorrowMut;
 use std::collections::HashMap;
+
+/// Durability-side metric handles for a [`SpillSink`], registered under
+/// the `tlog_` prefix. Cloneable: each worker shard's sink gets its own
+/// clone, all feeding the same counters.
+///
+/// Catalogued in `docs/observability.md`.
+#[derive(Clone)]
+pub struct SpillMetrics {
+    /// Sessions made durable (one log record each).
+    sessions: Counter,
+    /// Kept (compressed) points appended to the log.
+    points: Counter,
+    /// Bytes appended to the log, frames included.
+    bytes: Counter,
+    /// Segment-file rotations observed across appends.
+    rotations: Counter,
+}
+
+impl SpillMetrics {
+    /// Registers (or re-attaches to) the spill counters in `registry`.
+    pub fn new(registry: &MetricsRegistry) -> SpillMetrics {
+        SpillMetrics {
+            sessions: registry.counter("tlog_spilled_sessions_total"),
+            points: registry.counter("tlog_spilled_points_total"),
+            bytes: registry.counter("tlog_spilled_bytes_total"),
+            rotations: registry.counter("tlog_segment_rotations_total"),
+        }
+    }
+}
 
 /// One durable flush of one session.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -115,16 +145,28 @@ pub struct SpillSink<L: BorrowMut<TrajectoryLog>> {
     buffers: HashMap<TrackId, Vec<TimedPoint>>,
     reports: Vec<SpillReport>,
     error: Option<TlogError>,
+    metrics: Option<SpillMetrics>,
+    /// Segment id of the last successful append; a change means the log
+    /// rotated to a new segment file between appends.
+    last_segment: Option<u64>,
 }
 
 impl<L: BorrowMut<TrajectoryLog>> SpillSink<L> {
     /// A sink spilling closed sessions into `log` (borrowed or owned).
     pub fn new(log: L) -> SpillSink<L> {
+        SpillSink::with_metrics(log, None)
+    }
+
+    /// [`SpillSink::new`] with optional [`SpillMetrics`] handles; every
+    /// successful append bumps the spill counters.
+    pub fn with_metrics(log: L, metrics: Option<SpillMetrics>) -> SpillSink<L> {
         SpillSink {
             log,
             buffers: HashMap::new(),
             reports: Vec::new(),
             error: None,
+            metrics,
+            last_segment: None,
         }
     }
 
@@ -165,13 +207,24 @@ impl<L: BorrowMut<TrajectoryLog>> SpillSink<L> {
             return;
         }
         match self.log.borrow_mut().append(track, &points) {
-            Ok(receipt) => self.reports.push(SpillReport {
-                track,
-                points: receipt.points,
-                bytes: receipt.bytes,
-                reason,
-                stats,
-            }),
+            Ok(receipt) => {
+                if let Some(m) = &self.metrics {
+                    m.sessions.inc();
+                    m.points.add(receipt.points);
+                    m.bytes.add(receipt.bytes);
+                    if self.last_segment.is_some_and(|s| s != receipt.segment) {
+                        m.rotations.inc();
+                    }
+                }
+                self.last_segment = Some(receipt.segment);
+                self.reports.push(SpillReport {
+                    track,
+                    points: receipt.points,
+                    bytes: receipt.bytes,
+                    reason,
+                    stats,
+                });
+            }
             Err(e) => {
                 // Restore the buffer so no data is lost; surface via finish.
                 self.buffers.insert(track, points);
