@@ -151,8 +151,12 @@ pub enum Command {
         /// Log a one-line metrics summary to stderr every N seconds
         /// (`None` disables the reporter thread).
         metrics_interval: Option<u64>,
+        /// Bounded-lateness window in seconds: points up to this far
+        /// behind a track's watermark are reorder-buffered instead of
+        /// rejected (0 keeps strict in-order ingest).
+        lateness: f64,
     },
-    /// `bqs loadgen --addr HOST:PORT [--sessions N] [--points N] [--seed N] [--connections N] [--batch N] [--shutdown]`
+    /// `bqs loadgen --addr HOST:PORT [--sessions N] [--points N] [--seed N] [--connections N] [--batch N] [--disorder S] [--backfill] [--shutdown]`
     Loadgen {
         /// Server address, `host:port`.
         addr: String,
@@ -169,6 +173,24 @@ pub enum Command {
         batch: usize,
         /// Send `Shutdown` once the load completes.
         shutdown: bool,
+        /// Deliver each session's points out of order within this many
+        /// seconds (seeded bounded shuffle; needs a server started with
+        /// `--lateness` at least this large). 0 = strict order.
+        disorder: f64,
+        /// Ship each session's oldest third through the durable
+        /// backfill path after its live remainder.
+        backfill: bool,
+    },
+    /// `bqs subscribe --addr HOST:PORT [--track N] [--bbox X0,Y0,X1,Y1] [--out FILE]`
+    Subscribe {
+        /// Server address, `host:port`.
+        addr: String,
+        /// Restrict the stream to one track.
+        track: Option<u64>,
+        /// Spatial filter `x0,y0,x1,y1` (any two opposite corners).
+        bbox: Option<[f64; 4]>,
+        /// Output path (stdout when `None`).
+        out: Option<String>,
     },
     /// `bqs bench [--quick] [--seed N] [--out FILE] [--compare BASELINE.json [--current RUN.json]]`
     Bench {
@@ -219,10 +241,12 @@ USAGE:
             [--out FILE]
   bqs serve --spill DIR [--addr HOST:PORT] [--workers N] [--tolerance M]
             [--shards N] [--io-threads N] [--max-connections N]
-            [--port-file FILE] [--metrics-interval N]
+            [--port-file FILE] [--metrics-interval N] [--lateness S]
   bqs loadgen --addr HOST:PORT [--sessions N] [--points N] [--seed N]
-              [--connections N] [--batch N] [--shutdown]
+              [--connections N] [--batch N] [--disorder S] [--backfill]
+              [--shutdown]
               (--sessions 0 --shutdown = no ingest, just shut down)
+  bqs subscribe --addr HOST:PORT [--track N] [--bbox X0,Y0,X1,Y1] [--out FILE]
   bqs metrics --addr HOST:PORT [--watch N]
   bqs bench [--quick] [--seed N] [--out FILE]
             [--compare BASELINE.json [--current RUN.json]]
@@ -654,9 +678,11 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut max_connections = 4096usize;
             let mut port_file: Option<String> = None;
             let mut metrics_interval: Option<u64> = None;
+            let mut lateness = 0.0f64;
             while let Some(arg) = it.next() {
                 match arg.as_str() {
                     "--addr" => addr = take_value("--addr", &mut it)?.clone(),
+                    "--lateness" => lateness = parse_f64("--lateness", &mut it)?,
                     "--spill" => spill = Some(take_value("--spill", &mut it)?.clone()),
                     "--port-file" => port_file = Some(take_value("--port-file", &mut it)?.clone()),
                     "--metrics-interval" => {
@@ -705,6 +731,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             if !(tolerance.is_finite() && tolerance > 0.0) {
                 return Err(format!("tolerance must be > 0, got {tolerance}"));
             }
+            if !(lateness.is_finite() && lateness >= 0.0) {
+                return Err(format!("--lateness must be ≥ 0 seconds, got {lateness}"));
+            }
             Ok(Command::Serve {
                 addr,
                 workers,
@@ -715,6 +744,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 max_connections,
                 port_file,
                 metrics_interval,
+                lateness,
             })
         }
         "loadgen" => {
@@ -725,10 +755,14 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut connections = 1usize;
             let mut batch = 64usize;
             let mut shutdown = false;
+            let mut disorder = 0.0f64;
+            let mut backfill = false;
             while let Some(arg) = it.next() {
                 match arg.as_str() {
                     "--addr" => addr = Some(take_value("--addr", &mut it)?.clone()),
                     "--shutdown" => shutdown = true,
+                    "--backfill" => backfill = true,
+                    "--disorder" => disorder = parse_f64("--disorder", &mut it)?,
                     "--seed" => {
                         seed = take_value("--seed", &mut it)?
                             .parse()
@@ -772,6 +806,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     }
                 }
             }
+            if !(disorder.is_finite() && disorder >= 0.0) {
+                return Err(format!("--disorder must be ≥ 0 seconds, got {disorder}"));
+            }
             Ok(Command::Loadgen {
                 addr: addr.ok_or("loadgen needs --addr HOST:PORT (a running bqs serve)")?,
                 sessions,
@@ -780,6 +817,35 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 connections,
                 batch,
                 shutdown,
+                disorder,
+                backfill,
+            })
+        }
+        "subscribe" => {
+            let mut addr: Option<String> = None;
+            let mut track: Option<u64> = None;
+            let mut bbox: Option<[f64; 4]> = None;
+            let mut out: Option<String> = None;
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--addr" => addr = Some(take_value("--addr", &mut it)?.clone()),
+                    "--track" => {
+                        track = Some(
+                            take_value("--track", &mut it)?
+                                .parse()
+                                .map_err(|e| format!("bad --track: {e}"))?,
+                        );
+                    }
+                    "--bbox" => bbox = Some(parse_bbox(&mut it)?),
+                    "--out" => out = Some(take_value("--out", &mut it)?.clone()),
+                    other => return Err(format!("unexpected argument: {other}")),
+                }
+            }
+            Ok(Command::Subscribe {
+                addr: addr.ok_or("subscribe needs --addr HOST:PORT (a running bqs serve)")?,
+                track,
+                bbox,
+                out,
             })
         }
         "bench" => {
@@ -1140,14 +1206,15 @@ mod tests {
                 io_threads: 4,
                 max_connections: 4096,
                 port_file: None,
-                metrics_interval: None
+                metrics_interval: None,
+                lateness: 0.0
             }
         );
         assert_eq!(
             parse(&args(
                 "serve --addr 0.0.0.0:4750 --workers 8 --spill /tmp/t --tolerance 5 \
                  --shards 4 --io-threads 2 --max-connections 64 --port-file /tmp/port \
-                 --metrics-interval 10"
+                 --metrics-interval 10 --lateness 2.5"
             ))
             .unwrap(),
             Command::Serve {
@@ -1159,7 +1226,8 @@ mod tests {
                 io_threads: 2,
                 max_connections: 64,
                 port_file: Some("/tmp/port".into()),
-                metrics_interval: Some(10)
+                metrics_interval: Some(10),
+                lateness: 2.5
             }
         );
         // 0 io-threads is valid: the legacy thread-per-connection mode.
@@ -1247,13 +1315,15 @@ mod tests {
                 seed: 1,
                 connections: 1,
                 batch: 64,
-                shutdown: false
+                shutdown: false,
+                disorder: 0.0,
+                backfill: false
             }
         );
         assert_eq!(
             parse(&args(
                 "loadgen --addr h:1 --sessions 8 --points 50 --seed 9 --connections 4 \
-                 --batch 32 --shutdown"
+                 --batch 32 --disorder 1.5 --backfill --shutdown"
             ))
             .unwrap(),
             Command::Loadgen {
@@ -1263,7 +1333,9 @@ mod tests {
                 seed: 9,
                 connections: 4,
                 batch: 32,
-                shutdown: true
+                shutdown: true,
+                disorder: 1.5,
+                backfill: true
             }
         );
         assert!(parse(&args("loadgen")).is_err(), "addr is required");
@@ -1282,9 +1354,43 @@ mod tests {
                 seed: 1,
                 connections: 1,
                 batch: 64,
-                shutdown: true
+                shutdown: true,
+                disorder: 0.0,
+                backfill: false
             }
         );
+        // Lateness-window flags validate like the server's.
+        assert!(parse(&args("loadgen --addr h:1 --disorder -1")).is_err());
+        assert!(parse(&args("loadgen --addr h:1 --disorder nan")).is_err());
+        assert!(parse(&args("serve --spill /tmp/t --lateness -0.5")).is_err());
+        assert!(parse(&args("serve --spill /tmp/t --lateness inf")).is_err());
+    }
+
+    #[test]
+    fn subscribe_parses_and_requires_addr() {
+        assert_eq!(
+            parse(&args("subscribe --addr 127.0.0.1:4750")).unwrap(),
+            Command::Subscribe {
+                addr: "127.0.0.1:4750".into(),
+                track: None,
+                bbox: None,
+                out: None
+            }
+        );
+        assert_eq!(
+            parse(&args(
+                "subscribe --addr h:1 --track 7 --bbox 0,0,100,50 --out pts.csv"
+            ))
+            .unwrap(),
+            Command::Subscribe {
+                addr: "h:1".into(),
+                track: Some(7),
+                bbox: Some([0.0, 0.0, 100.0, 50.0]),
+                out: Some("pts.csv".into())
+            }
+        );
+        assert!(parse(&args("subscribe")).is_err(), "addr is required");
+        assert!(parse(&args("subscribe --addr h:1 --frobnicate")).is_err());
     }
 
     #[test]

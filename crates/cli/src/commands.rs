@@ -110,6 +110,7 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             max_connections,
             port_file,
             metrics_interval,
+            lateness,
         } => serve(
             addr,
             *workers,
@@ -120,6 +121,7 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             *max_connections,
             port_file.as_deref(),
             *metrics_interval,
+            *lateness,
         ),
         Command::Loadgen {
             addr,
@@ -129,6 +131,8 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             connections,
             batch,
             shutdown,
+            disorder,
+            backfill,
         } => loadgen(
             addr,
             *sessions,
@@ -137,7 +141,15 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             *connections,
             *batch,
             *shutdown,
+            *disorder,
+            *backfill,
         ),
+        Command::Subscribe {
+            addr,
+            track,
+            bbox,
+            out,
+        } => subscribe(addr, *track, *bbox, out.as_deref()),
         Command::Bench {
             quick,
             seed,
@@ -838,7 +850,7 @@ fn log_verify(dir: &str) -> Result<String, CliError> {
             bqs_tlog::verify_sharded(dir).map_err(|e| CliError::Invalid(format!("FAIL: {e}")))?;
         let total = &report.total;
         let mut out = format!(
-            "OK: {} shards{}, {} segments, {} records (+{} tombstones), {} points, \
+            "OK: {} shards{}, {} segments, {} records ({} backfill, +{} tombstones), {} points, \
              {} B ({:.2} B/point on disk, naive {} B/point)\n",
             report.shards.len(),
             match report.manifest {
@@ -847,6 +859,7 @@ fn log_verify(dir: &str) -> Result<String, CliError> {
             },
             total.segments,
             total.records,
+            total.backfill_records,
             total.tombstones,
             total.points,
             total.file_bytes,
@@ -863,10 +876,11 @@ fn log_verify(dir: &str) -> Result<String, CliError> {
     }
     let report = bqs_tlog::verify_dir(dir).map_err(|e| CliError::Invalid(format!("FAIL: {e}")))?;
     Ok(format!(
-        "OK: {} segments, {} records (+{} tombstones), {} points, {} B \
+        "OK: {} segments, {} records ({} backfill, +{} tombstones), {} points, {} B \
          ({:.2} B/point on disk, naive {} B/point)\n",
         report.segments,
         report.records,
+        report.backfill_records,
         report.tombstones,
         report.points,
         report.file_bytes,
@@ -957,6 +971,7 @@ fn serve(
     max_connections: usize,
     port_file: Option<&str>,
     metrics_interval: Option<u64>,
+    lateness: f64,
 ) -> Result<String, CliError> {
     use std::io::Write;
 
@@ -974,6 +989,7 @@ fn serve(
         max_connections,
         fallback_poller: false,
         metrics: Some(registry.clone()),
+        lateness,
     })?;
     let local = server.local_addr();
     if let Some(path) = port_file {
@@ -1009,10 +1025,21 @@ fn serve(
     } else {
         format!("{io_threads} io-threads")
     };
+    let lateness_line = if report.late_points + report.backfill_points + report.too_late_points > 0
+    {
+        format!(
+            "late data: {} accepted late, {} backfilled, {} refused too-late \
+             (lateness window {lateness} s)\n",
+            report.late_points, report.backfill_points, report.too_late_points
+        )
+    } else {
+        String::new()
+    };
     Ok(format!(
         "served {} connection(s), {} frame(s), {} points \
          ({workers} workers, {io_mode}, {tolerance} m, {shards} shards)\n\
          {rejected_line}\
+         {lateness_line}\
          spilled {} sessions, {} points, {} B ({:.2} B/point) to {spill}\n\
          {manifest_line}\
          pruning power {:.4}\n",
@@ -1130,6 +1157,7 @@ fn parse_metrics(text: &str) -> std::collections::BTreeMap<String, u64> {
 /// `bqs loadgen`: seeded, reproducible ingest against a running server
 /// — the same workload `bqs fleet --seed` drives in process, so the
 /// spilled trees are comparable byte for byte.
+#[allow(clippy::too_many_arguments)]
 fn loadgen(
     addr: &str,
     sessions: usize,
@@ -1138,6 +1166,8 @@ fn loadgen(
     connections: usize,
     batch: usize,
     shutdown: bool,
+    disorder: f64,
+    backfill: bool,
 ) -> Result<String, CliError> {
     let report = bqs_net::loadgen::run(&bqs_net::LoadgenConfig {
         addr: addr.to_string(),
@@ -1147,6 +1177,8 @@ fn loadgen(
         connections,
         batch,
         shutdown,
+        disorder,
+        backfill,
     })?;
     let shutdown_line = match report.shutdown {
         Some(ack) => format!(
@@ -1155,7 +1187,12 @@ fn loadgen(
         ),
         None => String::new(),
     };
+    // Percentiles over zero samples would print as zeros and read like
+    // a (suspiciously perfect) measurement — say so instead.
     let latency = |kind: &str, snap: &bqs_obs::HistogramSnapshot| {
+        if snap.count() == 0 {
+            return format!("{kind} latency: no calls\n");
+        }
         format!(
             "{kind} latency (µs over {} calls): p50 {} p90 {} p99 {} max {}\n",
             snap.count(),
@@ -1165,11 +1202,19 @@ fn loadgen(
             snap.max(),
         )
     };
+    let lateness_line = if disorder > 0.0 || backfill {
+        format!(
+            "lateness ground truth: {} late-accepted, {} backfilled, {} too-late point(s)\n",
+            report.late_points, report.backfill_points, report.too_late_points,
+        )
+    } else {
+        String::new()
+    };
     Ok(format!(
         "loadgen: {sessions} sessions × {points} points over {} connection(s) \
          (seed {seed}, batch {batch}) against {addr}\n\
          sent {} points in {:.2} s ({:.2} Mpts/s; {} frames, {} B on the wire)\n\
-         {}{}{shutdown_line}",
+         {lateness_line}{}{}{shutdown_line}",
         report.connections,
         report.points_sent,
         report.elapsed,
@@ -1178,6 +1223,44 @@ fn loadgen(
         report.bytes_sent,
         latency("append", &report.append_latency),
         latency("flush", &report.flush_latency),
+    ))
+}
+
+/// `bqs subscribe`: attaches to a running server as a live subscriber
+/// and streams kept points as `track,t,x,y` CSV lines until the server
+/// drains (`SubEnd`) or the connection closes.
+fn subscribe(
+    addr: &str,
+    track: Option<u64>,
+    bbox: Option<[f64; 4]>,
+    out: Option<&str>,
+) -> Result<String, CliError> {
+    use std::io::Write;
+
+    let client = bqs_net::BqsClient::connect(addr)?;
+    let mut subscription = client.subscribe(track, bbox)?;
+    let mut sink: Box<dyn Write> = match out {
+        Some(path) => Box::new(std::io::BufWriter::new(
+            std::fs::File::create(path).map_err(|e| CliError::io("create", path, e))?,
+        )),
+        None => Box::new(std::io::stdout().lock()),
+    };
+    writeln!(sink, "track,t,x,y").map_err(|e| CliError::io("write", out.unwrap_or("-"), e))?;
+    let mut received = 0u64;
+    let mut batches = 0u64;
+    while let Some((track, points)) = subscription.next_batch()? {
+        batches += 1;
+        received += points.len() as u64;
+        for p in &points {
+            writeln!(sink, "{track},{},{},{}", p.t, p.pos.x, p.pos.y)
+                .map_err(|e| CliError::io("write", out.unwrap_or("-"), e))?;
+        }
+    }
+    sink.flush()
+        .map_err(|e| CliError::io("flush", out.unwrap_or("-"), e))?;
+    drop(sink);
+    Ok(format!(
+        "subscribe: stream ended after {received} point(s) in {batches} batch(es)\n"
     ))
 }
 
@@ -1808,6 +1891,7 @@ mod tests {
             max_connections: 64,
             port_file: Some(port_file.clone()),
             metrics_interval: Some(1),
+            lateness: 0.0,
         };
         let server = std::thread::spawn(move || run(&serve_cmd));
 
@@ -1836,6 +1920,8 @@ mod tests {
             connections: 2,
             batch: 16,
             shutdown: true,
+            disorder: 0.0,
+            backfill: false,
         })
         .unwrap();
         assert!(text.contains("sent 480 points"), "{text}");
@@ -1879,6 +1965,7 @@ mod tests {
             max_connections: 4096,
             port_file: None,
             metrics_interval: None,
+            lateness: 0.0,
         })
         .unwrap_err();
         assert!(err.contains("fresh directory"), "{err}");

@@ -50,11 +50,13 @@ use bqs_geo::TimedPoint;
 use std::collections::HashMap;
 
 pub mod parallel;
+pub mod reorder;
 
 pub use parallel::{
     worker_of, FleetJoin, FleetMetrics, ParallelConfig, ParallelFleet, ShardCounters, ShardFailure,
     ShardOutput,
 };
+pub use reorder::{FleetReorder, ReorderBuffer, TooLate};
 
 /// Identifies one tracker's stream within a fleet.
 pub type TrackId = u64;

@@ -1,0 +1,312 @@
+//! Bounded-lateness reordering for out-of-order ingest.
+//!
+//! Real trackers buffer offline and reconnect with late fixes, so a hard
+//! "timestamps only move forward" gate at the ingest edge rejects valid
+//! data. A [`ReorderBuffer`] relaxes that gate to a configurable window
+//! `W` behind the stream's watermark (the largest timestamp seen so
+//! far): any point with `t >= watermark - W` is accepted and parked;
+//! points are *released* — in strict timestamp order — only once the
+//! watermark has moved more than `W` past them, at which point nothing
+//! that could still arrive may precede them. Points older than the
+//! window are refused with the typed [`TooLate`] error so callers can
+//! route them to an explicit backfill path instead.
+//!
+//! The invariant that makes the buffer transparent to downstream
+//! consumers: a released point has `t < watermark - W`, and every
+//! future accept has `t >= watermark' - W >= watermark - W`, so the
+//! released stream is time-ordered and identical to the sorted input —
+//! feeding it to a compressor yields byte-identical output to the
+//! sorted stream (`crates/core/tests/reorder_prop.rs`).
+//!
+//! Points sharing a timestamp are released in arrival order (insertion
+//! is stable), matching what a stable sort of the input would produce.
+
+use super::TrackId;
+use bqs_geo::TimedPoint;
+use std::collections::{HashMap, VecDeque};
+
+/// A point was older than the lateness window: it cannot be reordered
+/// into the live stream and must take the backfill path (or be dropped).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TooLate {
+    /// The refused point's timestamp.
+    pub t: f64,
+    /// The stream watermark at refusal time (largest accepted `t`).
+    pub watermark: f64,
+    /// The lateness window `W`.
+    pub window: f64,
+}
+
+impl std::fmt::Display for TooLate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "too-late point: t={} is more than {}s behind the watermark {}",
+            self.t, self.window, self.watermark
+        )
+    }
+}
+
+impl std::error::Error for TooLate {}
+
+/// One stream's bounded-lateness reorder buffer. See the module docs.
+#[derive(Debug, Clone)]
+pub struct ReorderBuffer {
+    window: f64,
+    /// Largest accepted timestamp; `-inf` before the first accept, so
+    /// the very first point of a stream is never "too late".
+    watermark: f64,
+    /// Parked points, sorted by `t` with stable (arrival-order) ties.
+    pending: VecDeque<TimedPoint>,
+}
+
+impl ReorderBuffer {
+    /// A buffer accepting points up to `window` seconds behind the
+    /// watermark. `window` must be finite and `>= 0`; zero degenerates
+    /// to the strict in-order gate (every point released immediately…
+    /// except ties, which still wait for the watermark to pass them).
+    pub fn new(window: f64) -> ReorderBuffer {
+        debug_assert!(window.is_finite() && window >= 0.0);
+        ReorderBuffer {
+            window,
+            watermark: f64::NEG_INFINITY,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// The lateness window `W`.
+    pub fn window(&self) -> f64 {
+        self.window
+    }
+
+    /// The largest accepted timestamp, `None` before the first accept.
+    pub fn watermark(&self) -> Option<f64> {
+        (self.watermark != f64::NEG_INFINITY).then_some(self.watermark)
+    }
+
+    /// Points currently parked.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `true` when nothing is parked.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Whether a point with timestamp `t` would be accepted right now.
+    pub fn admits(&self, t: f64) -> bool {
+        t >= self.watermark - self.window
+    }
+
+    /// Accepts one point (or refuses it with [`TooLate`]), appending any
+    /// newly releasable points — in timestamp order — to `out`.
+    pub fn push(&mut self, p: TimedPoint, out: &mut Vec<TimedPoint>) -> Result<(), TooLate> {
+        if !self.admits(p.t) {
+            return Err(TooLate {
+                t: p.t,
+                watermark: self.watermark,
+                window: self.window,
+            });
+        }
+        // Stable insert: after every parked point with `t <= p.t`.
+        let at = self.pending.partition_point(|q| q.t <= p.t);
+        self.pending.insert(at, p);
+        self.watermark = self.watermark.max(p.t);
+        let horizon = self.watermark - self.window;
+        // Strict inequality: a point *at* the horizon could still be
+        // joined by an equal-timestamp arrival that must sort with it.
+        while self.pending.front().is_some_and(|q| q.t < horizon) {
+            out.push(self.pending.pop_front().expect("checked front"));
+        }
+        Ok(())
+    }
+
+    /// Releases every parked point (in timestamp order) — the
+    /// end-of-stream flush. The watermark is kept, so a stream can
+    /// continue pushing afterwards.
+    pub fn drain(&mut self) -> Vec<TimedPoint> {
+        self.pending.drain(..).collect()
+    }
+}
+
+/// Per-track reorder buffers with fleet-wide depth accounting — the
+/// ingest-edge companion of a fleet engine. Buffers are created lazily
+/// on a track's first push and all share one lateness window.
+#[derive(Debug)]
+pub struct FleetReorder {
+    window: f64,
+    tracks: HashMap<TrackId, ReorderBuffer>,
+    depth: usize,
+}
+
+impl FleetReorder {
+    /// Per-track buffers sharing the lateness window `window`.
+    pub fn new(window: f64) -> FleetReorder {
+        FleetReorder {
+            window,
+            tracks: HashMap::new(),
+            depth: 0,
+        }
+    }
+
+    /// The shared lateness window.
+    pub fn window(&self) -> f64 {
+        self.window
+    }
+
+    /// Total parked points across every track — the backlog gauge.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// One track's watermark, `None` for unseen tracks.
+    pub fn watermark(&self, track: TrackId) -> Option<f64> {
+        self.tracks.get(&track).and_then(ReorderBuffer::watermark)
+    }
+
+    /// Whether `track` would accept a point with timestamp `t` now.
+    pub fn admits(&self, track: TrackId, t: f64) -> bool {
+        self.tracks.get(&track).is_none_or(|b| b.admits(t))
+    }
+
+    /// Pushes one point of `track`, appending released points to `out`.
+    pub fn push(
+        &mut self,
+        track: TrackId,
+        p: TimedPoint,
+        out: &mut Vec<TimedPoint>,
+    ) -> Result<(), TooLate> {
+        let buffer = self
+            .tracks
+            .entry(track)
+            .or_insert_with(|| ReorderBuffer::new(self.window));
+        let before = out.len();
+        buffer.push(p, out)?;
+        self.depth += 1;
+        self.depth -= out.len() - before;
+        Ok(())
+    }
+
+    /// Drains every track's parked points (each in timestamp order),
+    /// ascending by track id — the shutdown flush.
+    pub fn drain_all(&mut self) -> Vec<(TrackId, Vec<TimedPoint>)> {
+        let mut out: Vec<(TrackId, Vec<TimedPoint>)> = self
+            .tracks
+            .iter_mut()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(&track, b)| (track, b.drain()))
+            .collect();
+        out.sort_by_key(|(track, _)| *track);
+        self.depth = 0;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(t: f64) -> TimedPoint {
+        TimedPoint::new(t, -t, t)
+    }
+
+    fn times(points: &[TimedPoint]) -> Vec<f64> {
+        points.iter().map(|q| q.t).collect()
+    }
+
+    #[test]
+    fn in_order_stream_passes_through_once_the_watermark_clears_it() {
+        let mut buf = ReorderBuffer::new(10.0);
+        let mut out = Vec::new();
+        for t in 0..6 {
+            buf.push(p(t as f64 * 5.0), &mut out).unwrap();
+        }
+        // Watermark 25, window 10: everything below 15 released.
+        assert_eq!(times(&out), vec![0.0, 5.0, 10.0]);
+        let rest = buf.drain();
+        assert_eq!(times(&rest), vec![15.0, 20.0, 25.0]);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn disorder_within_the_window_is_released_sorted() {
+        let mut buf = ReorderBuffer::new(10.0);
+        let mut out = Vec::new();
+        for t in [0.0, 8.0, 3.0, 12.0, 7.0, 30.0] {
+            buf.push(p(t), &mut out).unwrap();
+        }
+        out.extend(buf.drain());
+        assert_eq!(times(&out), vec![0.0, 3.0, 7.0, 8.0, 12.0, 30.0]);
+    }
+
+    #[test]
+    fn beyond_window_points_get_the_exact_typed_error() {
+        let mut buf = ReorderBuffer::new(5.0);
+        let mut out = Vec::new();
+        buf.push(p(100.0), &mut out).unwrap();
+        assert!(buf.admits(95.0));
+        buf.push(p(95.0), &mut out).unwrap();
+        let err = buf.push(p(94.9), &mut out).unwrap_err();
+        assert_eq!(
+            err,
+            TooLate {
+                t: 94.9,
+                watermark: 100.0,
+                window: 5.0
+            }
+        );
+        // A refusal leaves the buffer untouched.
+        assert_eq!(buf.len(), 2);
+        assert_eq!(times(&buf.drain()), vec![95.0, 100.0]);
+    }
+
+    #[test]
+    fn the_first_point_is_never_too_late() {
+        let mut buf = ReorderBuffer::new(0.0);
+        let mut out = Vec::new();
+        buf.push(p(-1.0e12), &mut out).unwrap();
+        assert_eq!(buf.watermark(), Some(-1.0e12));
+    }
+
+    #[test]
+    fn equal_timestamps_release_in_arrival_order() {
+        let mut buf = ReorderBuffer::new(2.0);
+        let mut out = Vec::new();
+        let a = TimedPoint::new(1.0, 0.0, 5.0);
+        let b = TimedPoint::new(2.0, 0.0, 5.0);
+        buf.push(a, &mut out).unwrap();
+        buf.push(b, &mut out).unwrap();
+        buf.push(p(100.0), &mut out).unwrap();
+        assert_eq!(out[0], a);
+        assert_eq!(out[1], b);
+    }
+
+    #[test]
+    fn fleet_reorder_tracks_depth_and_isolates_tracks() {
+        let mut fleet = FleetReorder::new(10.0);
+        let mut out = Vec::new();
+        fleet.push(1, p(0.0), &mut out).unwrap();
+        fleet.push(2, p(1000.0), &mut out).unwrap();
+        // Track 1's watermark is 0: t=-5 is fine there even though
+        // track 2 is far ahead.
+        fleet.push(1, p(-5.0), &mut out).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(fleet.depth(), 3);
+        assert_eq!(fleet.watermark(1), Some(0.0));
+        assert_eq!(fleet.watermark(2), Some(1000.0));
+        assert!(fleet.admits(3, f64::MIN));
+        assert!(!fleet.admits(2, 989.0));
+
+        fleet.push(1, p(50.0), &mut out).unwrap();
+        assert_eq!(times(&out), vec![-5.0, 0.0]);
+        assert_eq!(fleet.depth(), 2);
+
+        let drained = fleet.drain_all();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].0, 1);
+        assert_eq!(times(&drained[0].1), vec![50.0]);
+        assert_eq!(times(&drained[1].1), vec![1000.0]);
+        assert_eq!(fleet.depth(), 0);
+    }
+}

@@ -98,6 +98,8 @@ pub fn run(scale: Scale) -> NetResult {
                 connections,
                 batch: 64,
                 shutdown: true,
+                disorder: 0.0,
+                backfill: false,
             })
             .expect("loadgen");
             let serve_report = handle.join().expect("server thread");

@@ -119,6 +119,61 @@ impl BqsClient {
         }
     }
 
+    /// Appends a late batch of `track`'s points. The batch may be
+    /// arbitrarily disordered; every point must land within the
+    /// server's lateness window or the whole batch is refused with
+    /// [`ErrorCode::TooLate`](crate::wire::ErrorCode::TooLate) (the
+    /// connection survives a refusal).
+    pub fn append_late(&mut self, track: u64, points: &[TimedPoint]) -> Result<u64, NetError> {
+        self.late_call(track, false, points)
+    }
+
+    /// Appends a batch through the durable backfill path: no lateness
+    /// window applies, the batch must be time-sorted within itself, and
+    /// the points are written as flagged backfill records at server
+    /// finalization (merged durable-wins at query time).
+    pub fn append_backfill(&mut self, track: u64, points: &[TimedPoint]) -> Result<u64, NetError> {
+        self.late_call(track, true, points)
+    }
+
+    fn late_call(
+        &mut self,
+        track: u64,
+        backfill: bool,
+        points: &[TimedPoint],
+    ) -> Result<u64, NetError> {
+        match self.call(
+            &Request::AppendLate {
+                track,
+                backfill,
+                points: points.to_vec(),
+            },
+            "LateAppended",
+        )? {
+            Reply::LateAppended { points, .. } => Ok(points),
+            other => Err(unexpected("LateAppended", &other)),
+        }
+    }
+
+    /// Turns this connection into a live subscription to kept points,
+    /// optionally filtered to one track and/or a bounding box
+    /// (`[x0, y0, x1, y1]`). Consumes the client: after `Subscribed`
+    /// the connection only carries pushed frames.
+    pub fn subscribe(
+        mut self,
+        track: Option<u64>,
+        bbox: Option<[f64; 4]>,
+    ) -> Result<Subscription, NetError> {
+        match self.call(&Request::Subscribe { track, bbox }, "Subscribed")? {
+            Reply::Subscribed => Ok(Subscription {
+                reader: self.reader,
+                _writer: self.writer,
+                ended: false,
+            }),
+            other => Err(unexpected("Subscribed", &other)),
+        }
+    }
+
     /// Asks the server to ship every partially filled fleet batch.
     pub fn flush(&mut self) -> Result<(), NetError> {
         match self.call(&Request::Flush, "Flushed")? {
@@ -202,10 +257,57 @@ impl BqsClient {
     }
 }
 
+/// The receiving half of a live [`BqsClient::subscribe`] call.
+///
+/// Yields pushed batches until the server drains (`SubEnd`) or the
+/// connection closes; dropping the subscription closes the connection,
+/// which the server treats as a clean unsubscribe.
+pub struct Subscription {
+    reader: BufReader<TcpStream>,
+    // Kept alive so the server sees the socket open until drop.
+    _writer: TcpStream,
+    ended: bool,
+}
+
+impl Subscription {
+    /// Blocks for the next pushed batch of kept points, returned as
+    /// `(track, points)`. `Ok(None)` once the stream has ended — the
+    /// server sent `SubEnd` while draining, or closed the connection.
+    #[allow(clippy::type_complexity)]
+    pub fn next_batch(&mut self) -> Result<Option<(u64, Vec<TimedPoint>)>, NetError> {
+        if self.ended {
+            return Ok(None);
+        }
+        loop {
+            let Some(payload) = read_frame(&mut self.reader)? else {
+                self.ended = true;
+                return Ok(None);
+            };
+            match Reply::decode(&payload)? {
+                Reply::SubPoints { points, .. } if points.is_empty() => continue,
+                Reply::SubPoints { track, points } => return Ok(Some((track, points))),
+                Reply::SubEnd => {
+                    self.ended = true;
+                    return Ok(None);
+                }
+                Reply::Error { code, message } => {
+                    self.ended = true;
+                    return Err(NetError::Server { code, message });
+                }
+                other => return Err(unexpected("SubPoints", &other)),
+            }
+        }
+    }
+}
+
 fn unexpected(expected: &'static str, found: &Reply) -> NetError {
     let name = match found {
         Reply::HelloOk { .. } => "HelloOk",
         Reply::Appended { .. } => "Appended",
+        Reply::LateAppended { .. } => "LateAppended",
+        Reply::Subscribed => "Subscribed",
+        Reply::SubPoints { .. } => "SubPoints",
+        Reply::SubEnd => "SubEnd",
         Reply::Flushed => "Flushed",
         Reply::QueryResult(_) => "QueryResult",
         Reply::StatsReply(_) => "StatsReply",

@@ -51,9 +51,9 @@ pub mod loadgen;
 pub mod server;
 pub mod wire;
 
-pub use client::{BqsClient, ShutdownAck};
+pub use client::{BqsClient, ShutdownAck, Subscription};
 pub use error::NetError;
-pub use loadgen::{session_trace, LoadgenConfig, LoadgenReport};
+pub use loadgen::{disorder_trace, session_trace, LoadgenConfig, LoadgenReport};
 pub use server::{ServeReport, Server, ServerConfig, DEFAULT_IO_THREADS, DEFAULT_MAX_CONNECTIONS};
 pub use wire::{
     decode_append_columns, encode_append_columns, ErrorCode, QueryReport, QuerySpec, Reply,

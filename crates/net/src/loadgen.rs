@@ -43,6 +43,18 @@ pub struct LoadgenConfig {
     /// `points` at zero this becomes pure-shutdown mode: no ingest,
     /// just the shutdown connection.
     pub shutdown: bool,
+    /// Bounded out-of-order delivery, in seconds. Each session's live
+    /// points are emitted through a seeded bounded shuffle
+    /// ([`disorder_trace`]) so no point arrives more than this many
+    /// seconds behind an already-delivered one. Requires the server's
+    /// `--lateness` window to be at least this large, or batches come
+    /// back `too-late`. Also arms one guaranteed-too-late probe per
+    /// session. `0` keeps strict in-order delivery.
+    pub disorder: f64,
+    /// Ship each session's oldest third through the durable backfill
+    /// path (`AppendLate` with the backfill flag) *after* its live
+    /// remainder, exercising the flagged-record merge at query time.
+    pub backfill: bool,
 }
 
 impl LoadgenConfig {
@@ -62,6 +74,8 @@ impl LoadgenConfig {
             connections: 1,
             batch: 64,
             shutdown: false,
+            disorder: 0.0,
+            backfill: false,
         }
     }
 }
@@ -89,6 +103,16 @@ pub struct LoadgenReport {
     pub flush_latency: HistogramSnapshot,
     /// The server's shutdown acknowledgement, when one was requested.
     pub shutdown: Option<ShutdownAck>,
+    /// Ground truth: accepted points that arrived behind their track's
+    /// running maximum timestamp — what the server's
+    /// `net_late_accepted_points_total` must equal exactly.
+    pub late_points: u64,
+    /// Ground truth: points shipped through the backfill path
+    /// (`net_backfilled_points_total`).
+    pub backfill_points: u64,
+    /// Ground truth: points refused as beyond the lateness window
+    /// (`net_too_late_points_total`) — the armed probes.
+    pub too_late_points: u64,
 }
 
 impl LoadgenReport {
@@ -111,43 +135,137 @@ pub fn session_trace(seed: u64, track: u64, points: usize) -> Vec<TimedPoint> {
         .points
 }
 
+/// A seeded bounded shuffle of a time-sorted trace: points may be
+/// delivered early, but never more than `window` seconds behind a point
+/// already delivered. At every step the emitter picks uniformly (seeded
+/// LCG) among the not-yet-emitted points within `window` seconds of the
+/// earliest one still pending — which is exactly the admissibility
+/// envelope of a server running `--lateness window`.
+pub fn disorder_trace(trace: &[TimedPoint], window: f64, seed: u64) -> Vec<TimedPoint> {
+    if window <= 0.0 || trace.len() < 2 {
+        return trace.to_vec();
+    }
+    let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let mut avail: Vec<usize> = (0..trace.len()).collect();
+    let mut out = Vec::with_capacity(trace.len());
+    while !avail.is_empty() {
+        let horizon = trace[avail[0]].t + window;
+        let k = avail.partition_point(|&i| trace[i].t <= horizon);
+        let pick = (next() as usize) % k;
+        out.push(trace[avail.remove(pick)]);
+    }
+    out
+}
+
+/// Per-connection totals, ground-truth lateness counters included.
+#[derive(Default)]
+struct ConnTotals {
+    sent: u64,
+    frames: u64,
+    bytes: u64,
+    late: u64,
+    backfill: u64,
+    too_late: u64,
+}
+
 /// Drives one connection's share of the workload: its tracks advance
 /// round-robin, one batch at a time, so many sessions stay open
-/// concurrently on the server.
+/// concurrently on the server. With `backfill`, each track's oldest
+/// third follows its live remainder through the backfill path; with
+/// `disorder`, live delivery is disordered within the window and each
+/// track gets one guaranteed-too-late probe.
 fn drive_connection(
-    addr: &str,
+    config: &LoadgenConfig,
     tracks: &[u64],
     traces: &[Vec<TimedPoint>],
-    batch: usize,
     append_latency: &Histogram,
     flush_latency: &Histogram,
-) -> Result<(u64, u64, u64), NetError> {
-    let mut client = BqsClient::connect(addr)?;
-    let mut sent = 0u64;
+) -> Result<ConnTotals, NetError> {
+    let batch = config.batch;
+    let mut client = BqsClient::connect(&config.addr)?;
+    let mut totals = ConnTotals::default();
+    // The live (possibly disordered) delivery sequence per track, plus
+    // the old slice held back for the backfill pass.
+    let mut live: Vec<Vec<TimedPoint>> = Vec::with_capacity(tracks.len());
+    let mut old: Vec<&[TimedPoint]> = Vec::with_capacity(tracks.len());
+    for &track in tracks {
+        let trace = &traces[track as usize];
+        let cut = if config.backfill { trace.len() / 3 } else { 0 };
+        let mut points = disorder_trace(&trace[cut..], config.disorder, config.seed ^ track);
+        // The codec's time invariant still holds per frame: each
+        // batch-sized chunk is sorted before it is sent, so only the
+        // cross-batch order carries the disorder.
+        for chunk in points.chunks_mut(batch.max(1)) {
+            chunk.sort_by(|a, b| a.t.total_cmp(&b.t));
+        }
+        live.push(points);
+        old.push(&trace[..cut]);
+    }
+    // Ground truth mirrors the server's per-track watermark walk over
+    // the exact delivery order.
+    let mut watermark: Vec<f64> = vec![f64::NEG_INFINITY; tracks.len()];
     let mut offset = 0usize;
-    let longest = tracks
-        .iter()
-        .map(|&t| traces[t as usize].len())
-        .max()
-        .unwrap_or(0);
+    let longest = live.iter().map(Vec::len).max().unwrap_or(0);
     while offset < longest {
-        for &track in tracks {
-            let trace = &traces[track as usize];
-            if offset >= trace.len() {
+        for (slot, &track) in tracks.iter().enumerate() {
+            let points = &live[slot];
+            if offset >= points.len() {
                 continue;
             }
-            let end = (offset + batch).min(trace.len());
+            let end = (offset + batch).min(points.len());
             let start = Instant::now();
-            sent += client.append(track, &trace[offset..end])?;
+            totals.sent += client.append(track, &points[offset..end])?;
             append_latency.record(elapsed_us(start));
+            let wm = &mut watermark[slot];
+            for p in &points[offset..end] {
+                if wm.is_finite() && p.t < *wm {
+                    totals.late += 1;
+                }
+                *wm = wm.max(p.t);
+            }
         }
         offset += batch;
+    }
+    for (slot, &track) in tracks.iter().enumerate() {
+        for chunk in old[slot].chunks(batch.max(1)) {
+            totals.backfill += client.append_backfill(track, chunk)?;
+        }
+        if config.disorder > 0.0 && watermark[slot].is_finite() {
+            // A probe a billion seconds behind the watermark: too late
+            // under any realistic window, and refused without touching
+            // the track — the typed error is the assertion.
+            let probe = TimedPoint {
+                t: watermark[slot] - 1e9,
+                ..traces[track as usize][0]
+            };
+            match client.append_late(track, &[probe]) {
+                Err(NetError::Server {
+                    code: crate::wire::ErrorCode::TooLate,
+                    ..
+                }) => totals.too_late += 1,
+                Ok(_) => {
+                    return Err(NetError::Config(
+                        "too-late probe was accepted; is the server's --lateness over 1e9 seconds?"
+                            .to_string(),
+                    ))
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
     let start = Instant::now();
     client.flush()?;
     flush_latency.record(elapsed_us(start));
     let (frames, bytes) = client.io_counters();
-    Ok((sent, frames, bytes))
+    totals.frames = frames;
+    totals.bytes = bytes;
+    Ok(totals)
 }
 
 /// Runs the load generator: generates every session's trace, fans the
@@ -175,12 +293,21 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, NetError> {
             append_latency: HistogramSnapshot::new(),
             flush_latency: HistogramSnapshot::new(),
             shutdown,
+            late_points: 0,
+            backfill_points: 0,
+            too_late_points: 0,
         });
     }
     if config.connections == 0 || config.batch == 0 {
         return Err(NetError::Config(
             "loadgen needs --sessions/--points/--connections/--batch ≥ 1".to_string(),
         ));
+    }
+    if !(config.disorder.is_finite() && config.disorder >= 0.0) {
+        return Err(NetError::Config(format!(
+            "--disorder must be a finite number of seconds ≥ 0, got {}",
+            config.disorder
+        )));
     }
     let traces: Vec<Vec<TimedPoint>> = (0..config.sessions)
         .map(|t| session_trace(config.seed, t as u64, config.points))
@@ -199,23 +326,15 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, NetError> {
     let append_latency = Histogram::new();
     let flush_latency = Histogram::new();
     let start = Instant::now();
-    let mut results: Vec<Result<(u64, u64, u64), NetError>> = Vec::with_capacity(connections);
+    let mut results: Vec<Result<ConnTotals, NetError>> = Vec::with_capacity(connections);
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for tracks in &partitions {
-            let addr = config.addr.as_str();
             let traces = &traces;
             let append_latency = &append_latency;
             let flush_latency = &flush_latency;
             handles.push(scope.spawn(move || {
-                drive_connection(
-                    addr,
-                    tracks,
-                    traces,
-                    config.batch,
-                    append_latency,
-                    flush_latency,
-                )
+                drive_connection(config, tracks, traces, append_latency, flush_latency)
             }));
         }
         for handle in handles {
@@ -226,14 +345,15 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, NetError> {
             );
         }
     });
-    let mut points_sent = 0u64;
-    let mut frames_sent = 0u64;
-    let mut bytes_sent = 0u64;
+    let mut totals = ConnTotals::default();
     for result in results {
-        let (points, frames, bytes) = result?;
-        points_sent += points;
-        frames_sent += frames;
-        bytes_sent += bytes;
+        let conn = result?;
+        totals.sent += conn.sent;
+        totals.frames += conn.frames;
+        totals.bytes += conn.bytes;
+        totals.late += conn.late;
+        totals.backfill += conn.backfill;
+        totals.too_late += conn.too_late;
     }
     let elapsed = start.elapsed().as_secs_f64();
 
@@ -243,14 +363,17 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, NetError> {
         None
     };
     Ok(LoadgenReport {
-        points_sent,
-        frames_sent,
-        bytes_sent,
+        points_sent: totals.sent,
+        frames_sent: totals.frames,
+        bytes_sent: totals.bytes,
         sessions: config.sessions,
         connections,
         elapsed,
         append_latency: append_latency.snapshot(),
         flush_latency: flush_latency.snapshot(),
         shutdown,
+        late_points: totals.late,
+        backfill_points: totals.backfill,
+        too_late_points: totals.too_late,
     })
 }

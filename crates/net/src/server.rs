@@ -54,10 +54,13 @@ use crate::wire::{
     QuerySpec, Reply, Request, ShardStat, StatsReport, WireError, FRAME_MAGIC, HEADER_BYTES,
     MAX_FRAME_BYTES, PROTOCOL_VERSION, TAG_APPEND, TAG_FLUSH, TAG_QUERY, TAG_STATS,
 };
-use bqs_core::fleet::{FleetConfig, FleetMetrics, ParallelConfig, ParallelFleet};
+use bqs_core::fleet::{
+    worker_of, FleetConfig, FleetMetrics, FleetReorder, FleetSink, ParallelConfig, ParallelFleet,
+    SessionReport, TooLate, TrackId,
+};
 use bqs_core::stream::DecisionStats;
 use bqs_core::{BqsConfig, FastBqsCompressor};
-use bqs_geo::ColumnarBatch;
+use bqs_geo::{ColumnarBatch, TimedPoint};
 use bqs_obs::{elapsed_us, Counter, Gauge, Histogram, MetricsRegistry};
 use bqs_tlog::crc::crc32;
 use bqs_tlog::{
@@ -103,6 +106,21 @@ const OUT_HIGH_WATERMARK: usize = 1 << 20;
 /// The io-thread poller key reserved for the wake pipe.
 const WAKE_KEY: usize = usize::MAX;
 
+/// How often the subscriber pump thread delivers queued kept points.
+const SUB_PUMP_TICK: Duration = Duration::from_millis(25);
+
+/// Most points a subscriber may have queued undelivered before the
+/// server declares it too slow and disconnects it — subscribers must
+/// never be able to stall ingest workers.
+const SUB_QUEUE_CAP: usize = 1 << 16;
+
+/// Most points coalesced into one pushed `SubPoints` frame.
+const SUB_BATCH_POINTS: usize = 512;
+
+/// How long the pump may block writing to one subscriber's socket
+/// before that subscriber is declared dead.
+const SUB_WRITE_TIMEOUT: Duration = Duration::from_secs(2);
+
 /// Default I/O threads in the multiplexed runtime.
 pub const DEFAULT_IO_THREADS: usize = 4;
 
@@ -122,6 +140,13 @@ pub struct ServerConfig {
     pub spill: PathBuf,
     /// Compression tolerance in metres.
     pub tolerance: f64,
+    /// Bounded-lateness window in seconds. `0` (the default) keeps the
+    /// strict in-order ingest path: any backwards timestamp is a
+    /// `BadRequest`. Positive, each track's points pass through a
+    /// reorder buffer that admits anything within `lateness` seconds
+    /// behind the track's watermark (older is a typed `TooLate`) and
+    /// releases points to the compressor in timestamp order.
+    pub lateness: f64,
     /// Session shards inside each worker's engine.
     pub shards: usize,
     /// I/O threads multiplexing the connections
@@ -153,6 +178,7 @@ impl ServerConfig {
             workers,
             spill: spill.into(),
             tolerance: 10.0,
+            lateness: 0.0,
             shards: 16,
             io_threads: DEFAULT_IO_THREADS,
             max_connections: DEFAULT_MAX_CONNECTIONS,
@@ -173,6 +199,12 @@ pub struct ServeReport {
     pub frames: u64,
     /// Points accepted into the fleet.
     pub appended_points: u64,
+    /// Points accepted behind their track's watermark (reorder buffer).
+    pub late_points: u64,
+    /// Points accepted through the durable backfill path.
+    pub backfill_points: u64,
+    /// Points refused because they fell beyond the lateness window.
+    pub too_late_points: u64,
     /// Sessions made durable at shutdown (plus earlier evictions).
     pub spilled_sessions: usize,
     /// Compressed points in the spill tree.
@@ -188,16 +220,237 @@ pub struct ServeReport {
 /// The ingest state behind the connection handlers: the fleet plus the
 /// per-track time watermarks that guard it.
 struct FleetState {
-    fleet: ParallelFleet<SpillSink<TrajectoryLog>>,
+    fleet: ParallelFleet<SubTeeSink>,
     /// Highest accepted timestamp per track. The wire decoder cannot
     /// enforce time order (only the encoder does), so the server
     /// re-validates every batch against this watermark — a crafted
     /// frame with backwards or non-finite timestamps must never reach
     /// the fleet, where it would poison the track's spill at close.
+    /// Unused when a lateness window is configured (the reorder
+    /// buffer's per-track watermark takes over).
     last_t: HashMap<u64, f64>,
+    /// The per-track reorder buffers; `Some` iff `--lateness > 0`.
+    reorder: Option<FleetReorder>,
+    /// Backfill batches accepted over the wire, buffered until
+    /// finalization writes them as flagged backfill records. Each inner
+    /// vec is one accepted batch → one durable record.
+    backfill: HashMap<TrackId, Vec<Vec<TimedPoint>>>,
+}
+
+/// The fleet sink behind every worker shard: the durable spill sink,
+/// with each kept point teed into the subscriber hub first. When no
+/// subscriber is connected the tee costs one relaxed atomic load.
+struct SubTeeSink {
+    inner: SpillSink<TrajectoryLog>,
+    hub: Arc<SubHub>,
+}
+
+impl SubTeeSink {
+    fn finish(self) -> Result<Vec<bqs_tlog::SpillReport>, Box<bqs_tlog::SpillFailure>> {
+        self.inner.finish()
+    }
+}
+
+impl FleetSink for SubTeeSink {
+    fn accept(&mut self, track: TrackId, point: TimedPoint) {
+        self.hub.publish(track, point);
+        self.inner.accept(track, point);
+    }
+
+    fn session_closed(&mut self, report: &SessionReport) {
+        self.inner.session_closed(report);
+    }
+
+    fn live_buffered(&self) -> Vec<(TrackId, Vec<TimedPoint>)> {
+        self.inner.live_buffered()
+    }
 }
 
 type FleetSlot = Mutex<Option<FleetState>>;
+
+/// One live subscription, owned by the hub after the connection hands
+/// off: the socket, the filters, and the batches not yet delivered.
+struct Sub {
+    id: u64,
+    stream: TcpStream,
+    track: Option<u64>,
+    /// Normalized `[x_min, y_min, x_max, y_max]`.
+    bbox: Option<[f64; 4]>,
+    queue: Vec<(u64, Vec<TimedPoint>)>,
+    queued_points: usize,
+    /// Overflowed its queue cap or failed a write; reaped by the pump.
+    dead: bool,
+}
+
+/// The subscriber hub: ingest workers publish every kept point here
+/// (one relaxed load when nobody subscribes), a single pump thread
+/// delivers queued batches as `SubPoints` frames. Only one pump runs at
+/// a time — the dedicated thread while serving, then `finish` once at
+/// finalization — so per-subscriber frame order is never interleaved.
+struct SubHub {
+    subs: Mutex<Vec<Sub>>,
+    /// Live subscription count, readable without the lock.
+    active: AtomicUsize,
+    next_id: AtomicU64,
+    subscribers_gauge: Option<Gauge>,
+    queue_gauge: Option<Gauge>,
+    bytes_out: Option<Counter>,
+}
+
+impl SubHub {
+    fn new(registry: Option<&MetricsRegistry>) -> SubHub {
+        SubHub {
+            subs: Mutex::new(Vec::new()),
+            active: AtomicUsize::new(0),
+            next_id: AtomicU64::new(0),
+            subscribers_gauge: registry.map(|r| r.gauge("net_subscribers_live")),
+            queue_gauge: registry.map(|r| r.gauge("net_sub_queue_points")),
+            bytes_out: registry.map(|r| r.counter("net_bytes_out_total")),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Sub>> {
+        self.subs.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn update_gauges(&self, subs: &[Sub]) {
+        self.active.store(subs.len(), Ordering::SeqCst);
+        if let Some(g) = &self.subscribers_gauge {
+            g.set(subs.len() as u64);
+        }
+        if let Some(g) = &self.queue_gauge {
+            g.set(subs.iter().map(|s| s.queued_points as u64).sum());
+        }
+    }
+
+    /// Registers a handed-off connection as a subscriber.
+    fn add(&self, stream: TcpStream, track: Option<u64>, bbox: Option<[f64; 4]>) {
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_write_timeout(Some(SUB_WRITE_TIMEOUT));
+        let bbox = bbox.map(|[x0, y0, x1, y1]| [x0.min(x1), y0.min(y1), x0.max(x1), y0.max(y1)]);
+        let mut subs = self.lock();
+        subs.push(Sub {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            stream,
+            track,
+            bbox,
+            queue: Vec::new(),
+            queued_points: 0,
+            dead: false,
+        });
+        self.update_gauges(&subs);
+    }
+
+    /// Queues one kept point for every matching subscriber. Called from
+    /// ingest workers; never blocks on a socket.
+    fn publish(&self, track: TrackId, point: TimedPoint) {
+        if self.active.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let mut subs = self.lock();
+        let mut queued_total = 0u64;
+        for sub in subs.iter_mut() {
+            if sub.dead || sub.track.is_some_and(|t| t != track) {
+                continue;
+            }
+            if let Some([x0, y0, x1, y1]) = sub.bbox {
+                let p = point.pos;
+                if !(p.x >= x0 && p.x <= x1 && p.y >= y0 && p.y <= y1) {
+                    continue;
+                }
+            }
+            if sub.queued_points >= SUB_QUEUE_CAP {
+                // Too slow to keep: drop the subscriber, never the
+                // ingest throughput.
+                sub.dead = true;
+                sub.queue.clear();
+                sub.queued_points = 0;
+                continue;
+            }
+            match sub.queue.last_mut() {
+                Some((t, pts)) if *t == track && pts.len() < SUB_BATCH_POINTS => pts.push(point),
+                _ => sub.queue.push((track, vec![point])),
+            }
+            sub.queued_points += 1;
+            queued_total += sub.queued_points as u64;
+        }
+        if let Some(g) = &self.queue_gauge {
+            g.set(queued_total);
+        }
+    }
+
+    /// Delivers every queued batch and reaps dead subscribers. The
+    /// sockets are written *outside* the lock, so a slow subscriber
+    /// stalls only this pump, never a publisher.
+    fn pump(&self) {
+        if self.active.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        // (subscriber id, its socket, the queued (track, points) batches).
+        type Drained = (u64, TcpStream, Vec<(u64, Vec<TimedPoint>)>);
+        let mut work: Vec<Drained> = Vec::new();
+        {
+            let mut subs = self.lock();
+            for sub in subs.iter_mut() {
+                if sub.dead || sub.queue.is_empty() {
+                    continue;
+                }
+                match sub.stream.try_clone() {
+                    Ok(stream) => {
+                        sub.queued_points = 0;
+                        work.push((sub.id, stream, std::mem::take(&mut sub.queue)));
+                    }
+                    Err(_) => sub.dead = true,
+                }
+            }
+        }
+        let mut failed: Vec<u64> = Vec::new();
+        for (id, mut stream, batches) in work {
+            for (track, points) in batches {
+                let frame_ok =
+                    Reply::SubPoints { track, points }
+                        .encode()
+                        .ok()
+                        .and_then(|payload| {
+                            write_frame(&mut stream, &payload).ok()?;
+                            Some((HEADER_BYTES + payload.len() + 4) as u64)
+                        });
+                match frame_ok {
+                    Some(bytes) => {
+                        if let Some(c) = &self.bytes_out {
+                            c.add(bytes);
+                        }
+                    }
+                    None => {
+                        failed.push(id);
+                        break;
+                    }
+                }
+            }
+        }
+        let mut subs = self.lock();
+        subs.retain(|s| !s.dead && !failed.contains(&s.id));
+        self.update_gauges(&subs);
+    }
+
+    /// Final drain at shutdown: deliver what remains, tell every
+    /// subscriber the stream has ended, close the sockets.
+    fn finish(&self) {
+        self.pump();
+        let mut subs = self.lock();
+        if let Ok(payload) = Reply::SubEnd.encode() {
+            for sub in subs.iter_mut() {
+                if !sub.dead && write_frame(&mut sub.stream, &payload).is_ok() {
+                    if let Some(c) = &self.bytes_out {
+                        c.add((HEADER_BYTES + payload.len() + 4) as u64);
+                    }
+                }
+            }
+        }
+        subs.clear();
+        self.update_gauges(&subs);
+    }
+}
 
 /// The request classes the server keys its per-type metrics on.
 /// Derived from a frame's tag byte alone, before decoding, so even a
@@ -263,6 +516,14 @@ struct ServerMetrics {
     /// to the socket (worst-case honest: a reply sharing a flush with
     /// slower traffic is charged the whole wait).
     request_us: PerKind<Histogram>,
+    /// Points accepted behind their track's watermark.
+    late_accepted: Counter,
+    /// Points accepted through the durable backfill path.
+    backfilled: Counter,
+    /// Points refused beyond the lateness window.
+    too_late: Counter,
+    /// Points currently parked in the reorder buffers.
+    reorder_depth: Gauge,
     conns_admitted: Counter,
     conns_rejected: Counter,
     conns_closed: Counter,
@@ -301,6 +562,10 @@ impl ServerMetrics {
                 flush: h("net_request_us_flush"),
                 other: h("net_request_us_other"),
             },
+            late_accepted: c("net_late_accepted_points_total"),
+            backfilled: c("net_backfilled_points_total"),
+            too_late: c("net_too_late_points_total"),
+            reorder_depth: registry.gauge("net_reorder_depth"),
             conns_admitted: c("net_connections_admitted_total"),
             conns_rejected: c("net_connections_rejected_total"),
             conns_closed: c("net_connections_closed_total"),
@@ -322,6 +587,7 @@ impl ServerMetrics {
 
 struct Shared {
     fleet: FleetSlot,
+    hub: Arc<SubHub>,
     spill: PathBuf,
     workers: usize,
     io_threads: usize,
@@ -337,6 +603,11 @@ struct Shared {
     rejected: AtomicU64,
     frames: AtomicU64,
     appended_points: AtomicU64,
+    late_points: AtomicU64,
+    backfill_points: AtomicU64,
+    too_late_points: AtomicU64,
+    /// Stops the subscriber pump thread at finalization.
+    pump_stop: AtomicBool,
     /// When the server was bound (drives the `Stats` uptime gauge).
     started: Instant,
     metrics: Option<ServerMetrics>,
@@ -433,6 +704,12 @@ impl Server {
                 config.tolerance
             )));
         }
+        if !(config.lateness.is_finite() && config.lateness >= 0.0) {
+            return Err(NetError::Config(format!(
+                "lateness must be a finite number of seconds ≥ 0, got {}",
+                config.lateness
+            )));
+        }
         // One shared guard + open path with `bqs fleet --spill`: the
         // layout rules and their messages cannot drift between the two
         // writers.
@@ -452,6 +729,8 @@ impl Server {
             .map(|r| FleetMetrics::new(r, config.workers));
         let spill_metrics = config.metrics.as_ref().map(SpillMetrics::new);
         let server_metrics = config.metrics.as_ref().map(ServerMetrics::new);
+        let hub = Arc::new(SubHub::new(config.metrics.as_ref()));
+        let sink_hub = Arc::clone(&hub);
         let fleet = ParallelFleet::with_metrics(
             ParallelConfig {
                 workers: config.workers,
@@ -462,11 +741,12 @@ impl Server {
                 ..ParallelConfig::default()
             },
             move || FastBqsCompressor::new(bqs_config),
-            |shard| {
-                SpillSink::with_metrics(
+            |shard| SubTeeSink {
+                inner: SpillSink::with_metrics(
                     logs[shard].take().expect("one log per shard"),
                     spill_metrics.clone(),
-                )
+                ),
+                hub: Arc::clone(&sink_hub),
             },
             fleet_metrics,
         );
@@ -481,7 +761,10 @@ impl Server {
                 fleet: Mutex::new(Some(FleetState {
                     fleet,
                     last_t: HashMap::new(),
+                    reorder: (config.lateness > 0.0).then(|| FleetReorder::new(config.lateness)),
+                    backfill: HashMap::new(),
                 })),
+                hub,
                 spill: config.spill,
                 workers: config.workers,
                 io_threads: config.io_threads,
@@ -495,6 +778,10 @@ impl Server {
                 rejected: AtomicU64::new(0),
                 frames: AtomicU64::new(0),
                 appended_points: AtomicU64::new(0),
+                late_points: AtomicU64::new(0),
+                backfill_points: AtomicU64::new(0),
+                too_late_points: AtomicU64::new(0),
+                pump_stop: AtomicBool::new(false),
                 started: Instant::now(),
                 metrics: server_metrics,
             }),
@@ -515,15 +802,29 @@ impl Server {
     /// (≈10 s of consecutive errors) stops the server — and even then
     /// it drains, spills and reports instead of abandoning the fleet.
     pub fn run(self) -> Result<ServeReport, NetError> {
+        // The subscriber pump: one thread delivering queued kept points
+        // to every subscriber, in both runtimes. It is the only live
+        // writer to subscriber sockets, so pushed frames never
+        // interleave.
+        let pump_shared = Arc::clone(&self.shared);
+        let pump = std::thread::Builder::new()
+            .name("bqs-sub-pump".into())
+            .spawn(move || {
+                while !pump_shared.pump_stop.load(Ordering::SeqCst) {
+                    pump_shared.hub.pump();
+                    std::thread::sleep(SUB_PUMP_TICK);
+                }
+            })
+            .map_err(|e| NetError::io("spawn pump thread", e))?;
         if self.shared.io_threads == 0 {
-            self.run_threaded()
+            self.run_threaded(pump)
         } else {
-            self.run_pool()
+            self.run_pool(pump)
         }
     }
 
     /// The multiplexed runtime: I/O threads + readiness polling.
-    fn run_pool(self) -> Result<ServeReport, NetError> {
+    fn run_pool(self, pump: std::thread::JoinHandle<()>) -> Result<ServeReport, NetError> {
         let io_threads = self.shared.io_threads;
         let mut senders: Vec<Sender<TcpStream>> = Vec::with_capacity(io_threads);
         let mut wakers: Vec<TcpStream> = Vec::with_capacity(io_threads);
@@ -595,11 +896,11 @@ impl Server {
         for handle in handles {
             let _ = handle.join();
         }
-        self.finalize()
+        self.finalize(pump)
     }
 
     /// The legacy thread-per-connection runtime (`--io-threads 0`).
-    fn run_threaded(self) -> Result<ServeReport, NetError> {
+    fn run_threaded(self, pump: std::thread::JoinHandle<()>) -> Result<ServeReport, NetError> {
         const MAX_CONSECUTIVE_ACCEPT_FAILURES: u32 = 100;
         let mut handles = Vec::new();
         let mut accept_failures = 0u32;
@@ -638,15 +939,27 @@ impl Server {
             // draining the rest and finish the fleet regardless.
             let _ = handle.join();
         }
-        self.finalize()
+        self.finalize(pump)
     }
 
-    fn finalize(&self) -> Result<ServeReport, NetError> {
-        let state = self
+    fn finalize(&self, pump: std::thread::JoinHandle<()>) -> Result<ServeReport, NetError> {
+        let mut state = self
             .shared
             .lock_fleet()
             .take()
             .expect("finalize runs once, after the accept loop");
+        // Release whatever the reorder buffers still hold — sorted per
+        // track — before the fleet joins.
+        if let Some(reorder) = state.reorder.as_mut() {
+            for (track, points) in reorder.drain_all() {
+                if !points.is_empty() {
+                    state.fleet.submit_run(track, points);
+                }
+            }
+            if let Some(m) = &self.shared.metrics {
+                m.reorder_depth.set(0);
+            }
+        }
         let join = state.fleet.join();
         if let Some(failure) = join.failures.first() {
             return Err(NetError::Fleet {
@@ -668,6 +981,17 @@ impl Server {
             spilled_points += reports.iter().map(|r| r.points).sum::<u64>();
             spilled_bytes += reports.iter().map(|r| r.bytes).sum::<u64>();
         }
+        // Every kept point has been published; let the pump deliver the
+        // tail, then end and close every subscription.
+        self.shared.pump_stop.store(true, Ordering::SeqCst);
+        let _ = pump.join();
+        self.shared.hub.finish();
+        // Buffered backfill batches become flagged records in the same
+        // shard logs the tracks' live data spilled to, *before* the
+        // manifest is rebuilt so its spans cover them.
+        if !state.backfill.is_empty() {
+            write_backfill(&self.shared.spill, self.shared.workers, &state.backfill)?;
+        }
         let manifest_shards = if self.shared.workers > 1 {
             Manifest::rebuild(&self.shared.spill)?.shards.len()
         } else {
@@ -678,6 +1002,9 @@ impl Server {
             rejected_connections: self.shared.rejected.load(Ordering::Relaxed),
             frames: self.shared.frames.load(Ordering::Relaxed),
             appended_points: self.shared.appended_points.load(Ordering::Relaxed),
+            late_points: self.shared.late_points.load(Ordering::Relaxed),
+            backfill_points: self.shared.backfill_points.load(Ordering::Relaxed),
+            too_late_points: self.shared.too_late_points.load(Ordering::Relaxed),
             spilled_sessions,
             spilled_points,
             spilled_bytes,
@@ -685,6 +1012,40 @@ impl Server {
             manifest_shards,
         })
     }
+}
+
+/// Writes the buffered backfill batches as flagged records, each into
+/// the shard log its track's live data spilled to (the fleet's worker
+/// routing), reopening the logs the spill sinks just closed.
+fn write_backfill(
+    spill: &std::path::Path,
+    workers: usize,
+    backfill: &HashMap<TrackId, Vec<Vec<TimedPoint>>>,
+) -> Result<(), NetError> {
+    let mut by_shard: HashMap<usize, Vec<TrackId>> = HashMap::new();
+    for &track in backfill.keys() {
+        let shard = if workers > 1 {
+            worker_of(track, workers)
+        } else {
+            0
+        };
+        by_shard.entry(shard).or_default().push(track);
+    }
+    for (shard, mut tracks) in by_shard {
+        tracks.sort_unstable();
+        let dir = if workers > 1 {
+            spill.join(format!("shard-{shard}"))
+        } else {
+            spill.to_path_buf()
+        };
+        let (mut log, _) = TrajectoryLog::open(&dir, LogConfig::default())?;
+        for track in tracks {
+            for batch in &backfill[&track] {
+                log.append_backfill(track, batch)?;
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Answers an over-the-cap accept with one typed error frame and closes
@@ -748,6 +1109,9 @@ struct Conn {
     /// drained into the latency histograms when `outbuf` empties.
     /// Unused (never pushed) without a metrics registry.
     pending: Vec<(Instant, ReqKind)>,
+    /// A `Subscribe` was served: once the out queue drains, the socket
+    /// moves to the subscriber hub instead of being polled further.
+    handoff: Option<(Option<u64>, Option<[f64; 4]>)>,
 }
 
 impl Conn {
@@ -763,6 +1127,7 @@ impl Conn {
             want_write: false,
             eof: false,
             pending: Vec::new(),
+            handoff: None,
         }
     }
 
@@ -823,7 +1188,11 @@ fn io_loop(rx: Receiver<TcpStream>, wake_rx: TcpStream, shared: &Shared) {
             for key in keys {
                 let conn = conns.get_mut(&key).expect("key from this map");
                 let dead = service_conn(conn, shared, &mut scratch);
-                if dead || conn.at_boundary() || expired {
+                if !dead && conn.handoff.is_some() && conn.outpos == conn.outbuf.len() {
+                    // A freshly acked subscriber still gets its drain
+                    // notice (`SubEnd`) through the hub.
+                    handoff_conn(&poller, &mut conns, key, shared);
+                } else if dead || conn.at_boundary() || expired {
                     close_conn(&poller, &mut conns, key, shared);
                 }
             }
@@ -852,6 +1221,12 @@ fn io_loop(rx: Receiver<TcpStream>, wake_rx: TcpStream, shared: &Shared) {
                 continue;
             }
             let conn = conns.get_mut(&ev.key).expect("still present");
+            if conn.handoff.is_some() && conn.outpos == conn.outbuf.len() {
+                // `Subscribed` is on the wire: the socket now belongs
+                // to the subscriber hub (and its pump thread).
+                handoff_conn(&poller, &mut conns, ev.key, shared);
+                continue;
+            }
             // Write interest only while replies are actually pending.
             let pending = conn.outpos < conn.outbuf.len();
             if pending != conn.want_write {
@@ -888,6 +1263,19 @@ fn close_conn(poller: &Poller, conns: &mut HashMap<usize, Conn>, key: usize, sha
     }
 }
 
+/// Moves a connection whose `Subscribed` ack has flushed out of the
+/// poll set and into the subscriber hub. The connection stops counting
+/// against `--max-connections`; it is accounted by the
+/// `net_subscribers_live` gauge instead.
+fn handoff_conn(poller: &Poller, conns: &mut HashMap<usize, Conn>, key: usize, shared: &Shared) {
+    if let Some(conn) = conns.remove(&key) {
+        let _ = poller.delete(source_of(&conn.stream));
+        let (track, bbox) = conn.handoff.expect("caller checked");
+        shared.hub.add(conn.stream, track, bbox);
+        shared.conn_closed();
+    }
+}
+
 /// Reads, parses, serves and flushes one connection as far as its
 /// socket allows right now. Returns `true` when the connection is done
 /// (transport failure, or close-after-flush with an empty out buffer).
@@ -895,7 +1283,10 @@ fn service_conn(conn: &mut Conn, shared: &Shared, scratch: &mut ColumnarBatch) -
     // 1. Pull available bytes — unless queued replies are over the
     // watermark (a client that writes but never reads): level-triggered
     // polling re-reports the socket once the replies drain.
-    if !conn.eof && !conn.close_after_flush && conn.outbuf.len() - conn.outpos < OUT_HIGH_WATERMARK
+    if !conn.eof
+        && !conn.close_after_flush
+        && conn.handoff.is_none()
+        && conn.outbuf.len() - conn.outpos < OUT_HIGH_WATERMARK
     {
         let mut chunk = [0u8; READ_CHUNK];
         let mut read_this_tick = 0usize;
@@ -923,7 +1314,7 @@ fn service_conn(conn: &mut Conn, shared: &Shared, scratch: &mut ColumnarBatch) -
     }
 
     // 2. Serve every complete frame in the buffer.
-    while !conn.close_after_flush {
+    while !conn.close_after_flush && conn.handoff.is_none() {
         let buf = &conn.inbuf[conn.consumed..];
         if buf.is_empty() {
             break;
@@ -939,8 +1330,16 @@ fn service_conn(conn: &mut Conn, shared: &Shared, scratch: &mut ColumnarBatch) -
                 }
                 let (reply, after) = handle_payload(&payload, shared, &mut conn.greeted, scratch);
                 queue_reply(conn, &reply);
-                if matches!(after, After::Close) {
-                    conn.close_after_flush = true;
+                match after {
+                    After::Continue => {}
+                    After::Close => conn.close_after_flush = true,
+                    After::Subscribe { track, bbox } => {
+                        // Stop parsing: the protocol says the client
+                        // sends nothing after `Subscribe`, and any
+                        // pipelined leftovers are dropped at handoff.
+                        conn.handoff = Some((track, bbox));
+                        break;
+                    }
                 }
             }
             Err(WireError::Torn { .. }) => break, // incomplete: wait for more bytes
@@ -1022,6 +1421,13 @@ enum After {
     Continue,
     /// Close this connection (frame-level failure or shutdown).
     Close,
+    /// Hand this connection to the subscriber hub once the `Subscribed`
+    /// acknowledgement has flushed: the request/reply conversation is
+    /// over and the socket only carries pushed frames from here on.
+    Subscribe {
+        track: Option<u64>,
+        bbox: Option<[f64; 4]>,
+    },
 }
 
 /// The legacy per-connection reader thread (`--io-threads 0`).
@@ -1065,8 +1471,20 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
         if let (Some(m), Some((t, kind))) = (&shared.metrics, start) {
             m.request_us.get(kind).record(elapsed_us(t));
         }
-        if !sent || matches!(after, After::Close) {
+        if !sent {
             return;
+        }
+        match after {
+            After::Continue => {}
+            After::Close => return,
+            After::Subscribe { track, bbox } => {
+                // `send_reply` is synchronous, so `Subscribed` is on
+                // the wire: hand the socket to the hub and let this
+                // reader thread retire (the caller's accounting then
+                // reflects the handoff, not a disconnect).
+                shared.hub.add(writer, track, bbox);
+                return;
+            }
         }
     }
 }
@@ -1159,6 +1577,39 @@ fn handle_append_columns(track: u64, batch: &ColumnarBatch, shared: &Shared) -> 
     let Some(state) = guard.as_mut() else {
         return (shutting_down_error(), After::Close);
     };
+    let n = batch.len() as u64;
+    if state.reorder.is_some() {
+        // Bounded-lateness ingest: the batch must still be sorted
+        // within itself, but its start may fall up to the window
+        // behind the track's watermark instead of never.
+        if let Err(message) = validate_times(&batch.t, None) {
+            return (
+                Reply::Error {
+                    code: ErrorCode::BadRequest,
+                    message,
+                },
+                After::Continue,
+            );
+        }
+        return match submit_reordered(state, track, &batch.to_points(), shared) {
+            Ok(()) => {
+                drop(guard);
+                shared.appended_points.fetch_add(n, Ordering::Relaxed);
+                (Reply::Appended { track, points: n }, After::Continue)
+            }
+            Err(e) => {
+                drop(guard);
+                refused_too_late(n, shared);
+                (
+                    Reply::Error {
+                        code: ErrorCode::TooLate,
+                        message: e.to_string(),
+                    },
+                    After::Continue,
+                )
+            }
+        };
+    }
     if let Err(message) = validate_times(&batch.t, state.last_t.get(&track).copied()) {
         // Semantically invalid but well-framed: the batch is rejected
         // whole and the connection survives.
@@ -1175,11 +1626,156 @@ fn handle_append_columns(track: u64, batch: &ColumnarBatch, shared: &Shared) -> 
     }
     // Backpressure: this send blocks (fleet lock held, sockets unread)
     // when the track's worker shard is saturated.
-    let n = batch.len() as u64;
     state.fleet.submit_run(track, batch.to_points());
     drop(guard);
     shared.appended_points.fetch_add(n, Ordering::Relaxed);
     (Reply::Appended { track, points: n }, After::Continue)
+}
+
+/// Counts a whole refused batch against the too-late totals.
+fn refused_too_late(points: u64, shared: &Shared) {
+    shared.too_late_points.fetch_add(points, Ordering::Relaxed);
+    if let Some(m) = &shared.metrics {
+        m.too_late.add(points);
+    }
+}
+
+/// Pushes an admissible batch through `track`'s reorder buffer and
+/// submits whatever the advancing watermark releases, in timestamp
+/// order. Atomic: the whole batch is admitted, or — when any point
+/// falls beyond the window — refused without side effects.
+fn submit_reordered(
+    state: &mut FleetState,
+    track: u64,
+    points: &[TimedPoint],
+    shared: &Shared,
+) -> Result<(), TooLate> {
+    let (late, released, depth) = {
+        let reorder = state.reorder.as_mut().expect("caller checked");
+        let window = reorder.window();
+        // Admission pass: simulate the watermark over the batch in
+        // arrival order, so acceptance is decided before any point is
+        // parked.
+        let mut wm = reorder.watermark(track).unwrap_or(f64::NEG_INFINITY);
+        let mut late = 0u64;
+        for p in points {
+            if p.t < wm - window {
+                return Err(TooLate {
+                    t: p.t,
+                    watermark: wm,
+                    window,
+                });
+            }
+            if wm.is_finite() && p.t < wm {
+                late += 1;
+            }
+            wm = wm.max(p.t);
+        }
+        // Commit pass: every push now succeeds by construction.
+        let mut released = Vec::new();
+        for p in points {
+            reorder
+                .push(track, *p, &mut released)
+                .expect("admission pre-checked the whole batch");
+        }
+        (late, released, reorder.depth() as u64)
+    };
+    if !released.is_empty() {
+        state.fleet.submit_run(track, released);
+    }
+    if late > 0 {
+        shared.late_points.fetch_add(late, Ordering::Relaxed);
+    }
+    if let Some(m) = &shared.metrics {
+        if late > 0 {
+            m.late_accepted.add(late);
+        }
+        m.reorder_depth.set(depth);
+    }
+    Ok(())
+}
+
+/// Serves an `AppendLate` request: the reorder-buffered late path, or
+/// the durable backfill path.
+fn handle_append_late(
+    track: u64,
+    backfill: bool,
+    points: &[TimedPoint],
+    shared: &Shared,
+) -> (Reply, After) {
+    if let Some(i) = points.iter().position(|p| !p.t.is_finite()) {
+        return (
+            Reply::Error {
+                code: ErrorCode::BadRequest,
+                message: format!("timestamp at index {i} is not finite"),
+            },
+            After::Continue,
+        );
+    }
+    if points.is_empty() {
+        return (Reply::LateAppended { track, points: 0 }, After::Continue);
+    }
+    let n = points.len() as u64;
+    let mut guard = shared.lock_fleet();
+    let Some(state) = guard.as_mut() else {
+        return (shutting_down_error(), After::Close);
+    };
+    if backfill {
+        // One accepted batch becomes one flagged backfill record, so
+        // it must be sorted within itself like any durable record.
+        if let Some(i) = (1..points.len()).find(|&i| points[i].t < points[i - 1].t) {
+            return (
+                Reply::Error {
+                    code: ErrorCode::BadRequest,
+                    message: format!(
+                        "backfill batch must be time-sorted within itself: \
+                         timestamp at index {i} goes backwards"
+                    ),
+                },
+                After::Continue,
+            );
+        }
+        state
+            .backfill
+            .entry(track)
+            .or_default()
+            .push(points.to_vec());
+        drop(guard);
+        shared.backfill_points.fetch_add(n, Ordering::Relaxed);
+        if let Some(m) = &shared.metrics {
+            m.backfilled.add(n);
+        }
+        return (Reply::LateAppended { track, points: n }, After::Continue);
+    }
+    if state.reorder.is_none() {
+        return (
+            Reply::Error {
+                code: ErrorCode::BadRequest,
+                message: "server accepts no late points (started with --lateness 0); \
+                          use the backfill path"
+                    .to_string(),
+            },
+            After::Continue,
+        );
+    }
+    match submit_reordered(state, track, points, shared) {
+        Ok(()) => {
+            drop(guard);
+            shared.appended_points.fetch_add(n, Ordering::Relaxed);
+            (Reply::LateAppended { track, points: n }, After::Continue)
+        }
+        Err(e) => {
+            drop(guard);
+            refused_too_late(n, shared);
+            (
+                Reply::Error {
+                    code: ErrorCode::TooLate,
+                    message: e.to_string(),
+                },
+                After::Continue,
+            )
+        }
+    }
 }
 
 fn handle_request(request: Request, shared: &Shared, greeted: &mut bool) -> (Reply, After) {
@@ -1282,6 +1878,17 @@ fn handle_request(request: Request, shared: &Shared, greeted: &mut bool) -> (Rep
                 .map(|m| m.registry.render())
                 .unwrap_or_default();
             (Reply::MetricsReply { text }, After::Continue)
+        }
+        Request::AppendLate {
+            track,
+            backfill,
+            points,
+        } => handle_append_late(track, backfill, &points, shared),
+        Request::Subscribe { track, bbox } => {
+            // The acknowledgement is queued like any reply; the runtime
+            // performs the actual handoff only after it flushes, so the
+            // client never sees pushed frames before `Subscribed`.
+            (Reply::Subscribed, After::Subscribe { track, bbox })
         }
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);

@@ -181,6 +181,10 @@ pub enum ErrorCode {
     /// The server's connection table is full; the connection is closed
     /// after this reply. Retry later or against another server.
     OverCapacity,
+    /// A late batch fell more than the configured lateness window
+    /// behind the track's watermark and was refused atomically (no
+    /// point of the batch was admitted). The connection survives.
+    TooLate,
 }
 
 impl ErrorCode {
@@ -192,6 +196,7 @@ impl ErrorCode {
             ErrorCode::ShuttingDown => 4,
             ErrorCode::Internal => 5,
             ErrorCode::OverCapacity => 6,
+            ErrorCode::TooLate => 7,
         }
     }
 
@@ -203,6 +208,7 @@ impl ErrorCode {
             4 => Ok(ErrorCode::ShuttingDown),
             5 => Ok(ErrorCode::Internal),
             6 => Ok(ErrorCode::OverCapacity),
+            7 => Ok(ErrorCode::TooLate),
             code => Err(WireError::UnknownErrorCode { code }),
         }
     }
@@ -217,6 +223,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::ShuttingDown => "shutting-down",
             ErrorCode::Internal => "internal",
             ErrorCode::OverCapacity => "over-capacity",
+            ErrorCode::TooLate => "too-late",
         };
         f.write_str(name)
     }
@@ -250,6 +257,29 @@ pub enum Request {
         track: u64,
         /// The batch, non-decreasing in time.
         points: Vec<TimedPoint>,
+    },
+    /// Submits late points for a track. Unlike `Append`, the batch may
+    /// be arbitrarily disordered, so it travels as raw timestamped
+    /// triples rather than the delta codec. With `backfill = false` the
+    /// points enter the reorder buffer and must each land within the
+    /// server's lateness window; `backfill = true` bypasses the window
+    /// entirely and writes a flagged backfill record at finalization.
+    AppendLate {
+        /// The track the points belong to.
+        track: u64,
+        /// `true` routes the batch through the durable backfill path.
+        backfill: bool,
+        /// The late batch (sorted for backfill, any order otherwise).
+        points: Vec<TimedPoint>,
+    },
+    /// Subscribes this connection to the live stream of kept points.
+    /// After the `Subscribed` ack the server pushes `SubPoints` frames
+    /// until the connection closes or the server drains (`SubEnd`).
+    Subscribe {
+        /// Restrict to one track (`None` = every track).
+        track: Option<u64>,
+        /// Optional spatial filter, `[x0, y0, x1, y1]`.
+        bbox: Option<[f64; 4]>,
     },
     /// Asks the server to ship every partially filled fleet batch now.
     Flush,
@@ -329,6 +359,25 @@ pub enum Reply {
         /// Points accepted.
         points: u64,
     },
+    /// A late or backfill batch was accepted in full.
+    LateAppended {
+        /// The track appended to.
+        track: u64,
+        /// Points accepted.
+        points: u64,
+    },
+    /// The subscription is live; `SubPoints` frames follow.
+    Subscribed,
+    /// A pushed batch of kept points for one subscribed track, in the
+    /// order the compressor keeps them.
+    SubPoints {
+        /// The track the points belong to.
+        track: u64,
+        /// The kept points, non-decreasing in time.
+        points: Vec<TimedPoint>,
+    },
+    /// The server is draining; no further `SubPoints` will arrive.
+    SubEnd,
     /// Every partially filled batch has been shipped to its worker.
     Flushed,
     /// A query answer.
@@ -369,6 +418,8 @@ pub(crate) const TAG_QUERY: u8 = 0x04;
 pub(crate) const TAG_STATS: u8 = 0x05;
 pub(crate) const TAG_SHUTDOWN: u8 = 0x06;
 pub(crate) const TAG_METRICS: u8 = 0x07;
+pub(crate) const TAG_SUBSCRIBE: u8 = 0x08;
+pub(crate) const TAG_APPEND_LATE: u8 = 0x09;
 const TAG_HELLO_OK: u8 = 0x81;
 const TAG_APPENDED: u8 = 0x82;
 const TAG_FLUSHED: u8 = 0x83;
@@ -376,7 +427,14 @@ const TAG_QUERY_RESULT: u8 = 0x84;
 const TAG_STATS_REPLY: u8 = 0x85;
 const TAG_SHUTTING_DOWN: u8 = 0x86;
 const TAG_METRICS_REPLY: u8 = 0x87;
+const TAG_SUB_EVENT: u8 = 0x88;
+const TAG_LATE_APPENDED: u8 = 0x89;
 const TAG_ERROR: u8 = 0xFF;
+
+// Kind bytes inside a `TAG_SUB_EVENT` reply.
+const SUB_KIND_SUBSCRIBED: u8 = 0;
+const SUB_KIND_POINTS: u8 = 1;
+const SUB_KIND_END: u8 = 2;
 
 fn write_f64(v: f64, out: &mut Vec<u8>) {
     out.extend_from_slice(&v.to_bits().to_le_bytes());
@@ -417,6 +475,32 @@ fn read_points(bytes: &[u8], pos: &mut usize) -> Result<Vec<TimedPoint>, WireErr
         .ok_or(WireError::Truncated { offset: *pos })?;
     let points = decode_to_vec(&bytes[*pos..end]).map_err(WireError::Codec)?;
     *pos = end;
+    Ok(points)
+}
+
+/// Raw (uncompressed) point stream: varint count, then `t, x, y` as
+/// little-endian f64 bits per point. Used where the delta codec's
+/// time-order invariant cannot hold — late batches are disordered by
+/// definition.
+fn write_raw_points(points: &[TimedPoint], out: &mut Vec<u8>) {
+    write_varint(points.len() as u64, out);
+    for p in points {
+        write_f64(p.t, out);
+        write_f64(p.pos.x, out);
+        write_f64(p.pos.y, out);
+    }
+}
+
+fn read_raw_points(bytes: &[u8], pos: &mut usize) -> Result<Vec<TimedPoint>, WireError> {
+    let count = read_varint(bytes, pos)? as usize;
+    // Cap the pre-allocation: `count` is attacker-controlled.
+    let mut points = Vec::with_capacity(count.min(65_536));
+    for _ in 0..count {
+        let t = read_f64(bytes, pos)?;
+        let x = read_f64(bytes, pos)?;
+        let y = read_f64(bytes, pos)?;
+        points.push(TimedPoint::new(x, y, t));
+    }
     Ok(points)
 }
 
@@ -487,6 +571,35 @@ impl Request {
                 write_varint(*track, &mut out);
                 write_points(points, &mut out)?;
             }
+            Request::AppendLate {
+                track,
+                backfill,
+                points,
+            } => {
+                out.push(TAG_APPEND_LATE);
+                write_varint(*track, &mut out);
+                out.push(u8::from(*backfill));
+                write_raw_points(points, &mut out);
+            }
+            Request::Subscribe { track, bbox } => {
+                out.push(TAG_SUBSCRIBE);
+                match track {
+                    Some(track) => {
+                        out.push(1);
+                        write_varint(*track, &mut out);
+                    }
+                    None => out.push(0),
+                }
+                match bbox {
+                    Some(corners) => {
+                        out.push(1);
+                        for c in corners {
+                            write_f64(*c, &mut out);
+                        }
+                    }
+                    None => out.push(0),
+                }
+            }
             Request::Flush => out.push(TAG_FLUSH),
             Request::Query(spec) => {
                 out.push(TAG_QUERY);
@@ -529,6 +642,27 @@ impl Request {
                 track: read_varint(bytes, &mut pos)?,
                 points: read_points(bytes, &mut pos)?,
             },
+            TAG_APPEND_LATE => Request::AppendLate {
+                track: read_varint(bytes, &mut pos)?,
+                backfill: read_byte(bytes, &mut pos)? != 0,
+                points: read_raw_points(bytes, &mut pos)?,
+            },
+            TAG_SUBSCRIBE => {
+                let track = match read_byte(bytes, &mut pos)? {
+                    0 => None,
+                    _ => Some(read_varint(bytes, &mut pos)?),
+                };
+                let bbox = match read_byte(bytes, &mut pos)? {
+                    0 => None,
+                    _ => Some([
+                        read_f64(bytes, &mut pos)?,
+                        read_f64(bytes, &mut pos)?,
+                        read_f64(bytes, &mut pos)?,
+                        read_f64(bytes, &mut pos)?,
+                    ]),
+                };
+                Request::Subscribe { track, bbox }
+            }
             TAG_FLUSH => Request::Flush,
             TAG_QUERY => {
                 let track = match read_byte(bytes, &mut pos)? {
@@ -579,6 +713,25 @@ impl Reply {
                 out.push(TAG_APPENDED);
                 write_varint(*track, &mut out);
                 write_varint(*points, &mut out);
+            }
+            Reply::LateAppended { track, points } => {
+                out.push(TAG_LATE_APPENDED);
+                write_varint(*track, &mut out);
+                write_varint(*points, &mut out);
+            }
+            Reply::Subscribed => {
+                out.push(TAG_SUB_EVENT);
+                out.push(SUB_KIND_SUBSCRIBED);
+            }
+            Reply::SubPoints { track, points } => {
+                out.push(TAG_SUB_EVENT);
+                out.push(SUB_KIND_POINTS);
+                write_varint(*track, &mut out);
+                write_raw_points(points, &mut out);
+            }
+            Reply::SubEnd => {
+                out.push(TAG_SUB_EVENT);
+                out.push(SUB_KIND_END);
             }
             Reply::Flushed => out.push(TAG_FLUSHED),
             Reply::QueryResult(report) => {
@@ -644,6 +797,19 @@ impl Reply {
             TAG_APPENDED => Reply::Appended {
                 track: read_varint(bytes, &mut pos)?,
                 points: read_varint(bytes, &mut pos)?,
+            },
+            TAG_LATE_APPENDED => Reply::LateAppended {
+                track: read_varint(bytes, &mut pos)?,
+                points: read_varint(bytes, &mut pos)?,
+            },
+            TAG_SUB_EVENT => match read_byte(bytes, &mut pos)? {
+                SUB_KIND_SUBSCRIBED => Reply::Subscribed,
+                SUB_KIND_POINTS => Reply::SubPoints {
+                    track: read_varint(bytes, &mut pos)?,
+                    points: read_raw_points(bytes, &mut pos)?,
+                },
+                SUB_KIND_END => Reply::SubEnd,
+                kind => return Err(WireError::UnknownTag { tag: kind }),
             },
             TAG_FLUSHED => Reply::Flushed,
             TAG_QUERY_RESULT => {
@@ -934,6 +1100,35 @@ mod tests {
                 track: 42,
                 points: points(50),
             },
+            // Late batches round-trip even when disordered — they use
+            // the raw encoding, not the monotone delta codec.
+            Request::AppendLate {
+                track: 42,
+                backfill: false,
+                points: vec![
+                    TimedPoint::new(3.0, -1.0, 90.0),
+                    TimedPoint::new(0.5, 2.0, 12.0),
+                    TimedPoint::new(-7.0, 4.0, 55.5),
+                ],
+            },
+            Request::AppendLate {
+                track: 7,
+                backfill: true,
+                points: points(10),
+            },
+            Request::AppendLate {
+                track: 0,
+                backfill: false,
+                points: Vec::new(),
+            },
+            Request::Subscribe {
+                track: Some(9),
+                bbox: None,
+            },
+            Request::Subscribe {
+                track: None,
+                bbox: Some([-10.0, -10.0, 10.0, 10.0]),
+            },
             Request::Flush,
             Request::Query(QuerySpec {
                 track: Some(7),
@@ -968,6 +1163,20 @@ mod tests {
                 track: 9,
                 points: 128,
             },
+            Reply::LateAppended {
+                track: 9,
+                points: 16,
+            },
+            Reply::Subscribed,
+            Reply::SubPoints {
+                track: 11,
+                points: points(5),
+            },
+            Reply::SubPoints {
+                track: 12,
+                points: Vec::new(),
+            },
+            Reply::SubEnd,
             Reply::Flushed,
             Reply::QueryResult(QueryReport {
                 slices: vec![
@@ -1026,6 +1235,10 @@ mod tests {
             Reply::Error {
                 code: ErrorCode::BadRequest,
                 message: "timestamp at index 3 goes backwards".to_string(),
+            },
+            Reply::Error {
+                code: ErrorCode::TooLate,
+                message: "t=4 is more than 30s behind the watermark 100".to_string(),
             },
         ];
         for reply in replies {

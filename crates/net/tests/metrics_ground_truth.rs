@@ -45,6 +45,8 @@ fn server_counters_equal_loadgen_ground_truth_on_both_runtimes() {
             connections: 2,
             batch: 16,
             shutdown: false,
+            disorder: 0.0,
+            backfill: false,
         })
         .expect("loadgen");
         assert_eq!(report.points_sent, 480);

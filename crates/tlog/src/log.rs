@@ -331,7 +331,7 @@ impl TrajectoryLog {
         for (si, seg) in self.segments.iter().enumerate() {
             for (ri, rec) in seg.records.iter().enumerate() {
                 match rec.kind {
-                    RecordKind::Points => {
+                    RecordKind::Points | RecordKind::Backfill => {
                         self.index.entry(rec.track).or_default().push((si, ri));
                     }
                     RecordKind::Tombstone => {
@@ -392,13 +392,22 @@ impl TrajectoryLog {
     /// headers alone; `None` for unknown or deleted tracks.
     pub fn track_time_span(&self, track: TrackId) -> Option<(f64, f64)> {
         let refs = self.track_records(track);
-        let (&first, &last) = (refs.first()?, refs.last()?);
-        // Records of a track are appended in time order, so the span is
-        // the first record's start to the last record's end.
-        Some((
-            self.segments[first.0].records[first.1].t_min,
-            self.segments[last.0].records[last.1].t_max,
-        ))
+        // A min/max fold rather than a first/last shortcut: backfill
+        // records break the cross-record time ordering.
+        refs.iter()
+            .map(|&(si, ri)| {
+                let rec = &self.segments[si].records[ri];
+                (rec.t_min, rec.t_max)
+            })
+            .reduce(|(lo, hi), (t_min, t_max)| (lo.min(t_min), hi.max(t_max)))
+    }
+
+    /// Whether any of `track`'s live records came through the backfill
+    /// path — when true, reads must merge instead of concatenating.
+    pub(crate) fn track_has_backfill(&self, track: TrackId) -> bool {
+        self.track_records(track)
+            .iter()
+            .any(|&(si, ri)| self.segments[si].records[ri].kind == RecordKind::Backfill)
     }
 
     /// Live records of one track, in append order.
@@ -439,8 +448,17 @@ impl TrajectoryLog {
         if points.is_empty() {
             return Err(TlogError::EmptyAppend);
         }
-        if let Some(&(si, ri)) = self.track_records(track).last() {
-            let prev_max = self.segments[si].records[ri].t_max;
+        // The watermark is the last *in-order* record's end: backfill
+        // records are exempt from cross-record ordering and must not
+        // drag the live stream's gate around.
+        let prev_max = self
+            .track_records(track)
+            .iter()
+            .rev()
+            .map(|&(si, ri)| &self.segments[si].records[ri])
+            .find(|rec| rec.kind != RecordKind::Backfill)
+            .map(|rec| rec.t_max);
+        if let Some(prev_max) = prev_max {
             if points[0].t < prev_max {
                 return Err(TlogError::Codec(CodecError::NonMonotonicTimestamps {
                     index: 0,
@@ -450,6 +468,30 @@ impl TrajectoryLog {
             }
         }
         let (frame, summary) = segment::build_points_frame(track, points)?;
+        let (si, ri, offset) = self.write_frame(&frame, summary)?;
+        self.index.entry(track).or_default().push((si, ri));
+        Ok(AppendReceipt {
+            segment: self.segments[si].seq,
+            offset,
+            bytes: frame.len() as u64,
+            points: points.len() as u64,
+        })
+    }
+
+    /// Appends one batch of `track`'s points through the backfill path:
+    /// the batch must be time-ordered *within itself* (the codec rejects
+    /// disorder) but may lie arbitrarily far behind — or overlap — what
+    /// the log already holds. Reads merge backfill points into the live
+    /// stream, the in-order copy winning exact-timestamp ties.
+    pub fn append_backfill(
+        &mut self,
+        track: TrackId,
+        points: &[TimedPoint],
+    ) -> Result<AppendReceipt, TlogError> {
+        if points.is_empty() {
+            return Err(TlogError::EmptyAppend);
+        }
+        let (frame, summary) = segment::build_backfill_frame(track, points)?;
         let (si, ri, offset) = self.write_frame(&frame, summary)?;
         self.index.entry(track).or_default().push((si, ri));
         Ok(AppendReceipt {
@@ -554,20 +596,28 @@ impl TrajectoryLog {
         }
     }
 
-    /// All live points of `track`, concatenated in time order. Empty for
-    /// unknown or deleted tracks.
+    /// All live points of `track` in time order: the in-order records
+    /// concatenated, with any backfill records merged in (the in-order
+    /// copy winning exact-timestamp ties). Empty for unknown or deleted
+    /// tracks.
     pub fn read_track(&self, track: TrackId) -> Result<Vec<TimedPoint>, TlogError> {
         let refs = self.track_records(track).to_vec();
-        let mut out = Vec::with_capacity(
+        let mut live = Vec::with_capacity(
             refs.iter()
                 .map(|&(si, ri)| self.record_summary(si, ri).count as usize)
                 .sum(),
         );
+        let mut backfill = Vec::new();
         let mut reader = self.reader();
         for (si, ri) in refs {
-            out.extend(reader.read_points(si, ri)?);
+            let dst = if self.record_summary(si, ri).kind == RecordKind::Backfill {
+                &mut backfill
+            } else {
+                &mut live
+            };
+            dst.extend(reader.read_points(si, ri)?);
         }
-        Ok(out)
+        Ok(merge_live_backfill(live, backfill))
     }
 
     /// Rewrites live records into fresh segments, physically dropping
@@ -654,6 +704,44 @@ impl TrajectoryLog {
     }
 }
 
+/// Merges a track's backfill points into its in-order live stream.
+///
+/// `live` is time-ordered (the in-order records' concatenation);
+/// `backfill` is each record sorted but their concatenation possibly
+/// not, so it is stable-sorted first. On an exact timestamp collision
+/// the live copy wins and the backfill point is dropped — the
+/// "durable-wins" rule viewed from inside one log: data that passed the
+/// ordered ingest gate outranks a late retransmission of the same fix.
+pub(crate) fn merge_live_backfill(
+    live: Vec<TimedPoint>,
+    mut backfill: Vec<TimedPoint>,
+) -> Vec<TimedPoint> {
+    if backfill.is_empty() {
+        return live;
+    }
+    backfill.sort_by(|a, b| a.t.total_cmp(&b.t));
+    let mut out = Vec::with_capacity(live.len() + backfill.len());
+    let mut li = 0;
+    let mut bi = 0;
+    while li < live.len() && bi < backfill.len() {
+        let lt = live[li].t;
+        let bt = backfill[bi].t;
+        if bt < lt {
+            out.push(backfill[bi]);
+            bi += 1;
+        } else if bt == lt {
+            // Duplicate timestamp: the in-order copy wins.
+            bi += 1;
+        } else {
+            out.push(live[li]);
+            li += 1;
+        }
+    }
+    out.extend_from_slice(&live[li..]);
+    out.extend_from_slice(&backfill[bi..]);
+    out
+}
+
 /// Reads records through a cached per-segment file handle: consecutive
 /// reads from the same segment reuse one open file instead of paying an
 /// `open`/`seek` pair per record.
@@ -717,8 +805,10 @@ impl RecordReader<'_> {
 pub struct VerifyReport {
     /// Segment files checked.
     pub segments: usize,
-    /// Data records decoded and validated.
+    /// Data records decoded and validated (backfill included).
     pub records: usize,
+    /// Of those, records written through the backfill path.
+    pub backfill_records: usize,
     /// Tombstones seen.
     pub tombstones: usize,
     /// Points decoded across all data records.
@@ -770,7 +860,7 @@ pub fn verify_dir(dir: impl AsRef<Path>) -> Result<VerifyReport, TlogError> {
                 ..(rec.offset + rec.frame_len) as usize];
             match rec.kind {
                 RecordKind::Tombstone => report.tombstones += 1,
-                RecordKind::Points => {
+                RecordKind::Points | RecordKind::Backfill => {
                     let (_, points) =
                         segment::decode_points_body(body).map_err(|e| TlogError::Corrupt {
                             path: path.clone(),
@@ -798,6 +888,9 @@ pub fn verify_dir(dir: impl AsRef<Path>) -> Result<VerifyReport, TlogError> {
                         return Err(corrupt("bounding box does not cover payload"));
                     }
                     report.records += 1;
+                    if rec.kind == RecordKind::Backfill {
+                        report.backfill_records += 1;
+                    }
                     report.points += points.len() as u64;
                     // Payload = body minus kind, varints and the summary.
                     if let Ok(segment::RecordBody::Points { payload, .. }) =
@@ -815,6 +908,7 @@ pub fn verify_dir(dir: impl AsRef<Path>) -> Result<VerifyReport, TlogError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::TimeRange;
 
     fn temp_dir(name: &str) -> PathBuf {
         let dir = std::env::temp_dir()
@@ -1084,6 +1178,77 @@ mod tests {
         // Dropping the first owner releases the lock.
         drop(log);
         TrajectoryLog::open(&dir, LogConfig::default()).unwrap();
+    }
+
+    #[test]
+    fn backfill_appends_merge_into_reads_with_live_winning_ties() {
+        let dir = temp_dir("backfill-merge");
+        let (mut log, _) = TrajectoryLog::open(&dir, LogConfig::default()).unwrap();
+        let live = walk(1, 20, 1_000.0); // t ∈ [1000, 1095]
+        log.append(1, &live).unwrap();
+
+        // Backfill a batch older than everything, plus one exact
+        // duplicate timestamp that must lose to the live copy.
+        let old = walk(1, 5, 0.0); // t ∈ [0, 20]
+        log.append_backfill(1, &old).unwrap();
+        let dup = [TimedPoint::new(-1.0, -1.0, 1_000.0)];
+        log.append_backfill(1, &dup).unwrap();
+
+        // The live watermark is the last *in-order* record's end (1095),
+        // not the backfill record's t_max: live appends continue fine…
+        let more = walk(1, 5, 2_000.0); // t ∈ [2000, 2020]
+        log.append(1, &more).unwrap();
+        // …and a live batch behind the live watermark is still refused.
+        assert!(matches!(
+            log.append(1, &walk(1, 3, 1_500.0)).unwrap_err(),
+            TlogError::Codec(CodecError::NonMonotonicTimestamps { .. })
+        ));
+        // Backfill batches must themselves be sorted.
+        let unsorted = [
+            TimedPoint::new(0.0, 0.0, 10.0),
+            TimedPoint::new(0.0, 0.0, 5.0),
+        ];
+        assert!(log.append_backfill(1, &unsorted).is_err());
+        assert!(matches!(
+            log.append_backfill(1, &[]).unwrap_err(),
+            TlogError::EmptyAppend
+        ));
+
+        let mut want = old.clone();
+        want.extend_from_slice(&live);
+        want.extend_from_slice(&more);
+        let all = log.read_track(1).unwrap();
+        assert_eq!(all, want, "duplicate dropped, rest merged in order");
+        assert!(all.windows(2).all(|w| w[1].t >= w[0].t));
+        assert_eq!(log.track_time_span(1), Some((0.0, 2_020.0)));
+
+        // Queries take the merged path and filter exactly.
+        let out = log
+            .query_time_range(Some(1), TimeRange::new(0.0, 1_010.0))
+            .unwrap();
+        assert_eq!(out.slices.len(), 1);
+        let expect: Vec<TimedPoint> = want.iter().copied().filter(|p| p.t <= 1_010.0).collect();
+        assert_eq!(out.slices[0].points, expect);
+        assert_eq!(
+            out.stats.decoded_records, out.stats.candidate_records,
+            "backfilled tracks bypass record pruning"
+        );
+
+        // Strict verification understands (and counts) backfill records.
+        drop(log);
+        let report = verify_dir(&dir).unwrap();
+        assert_eq!(report.backfill_records, 2);
+        assert_eq!(report.records, 4);
+
+        // Reopen rebuilds the same merged view; compaction preserves
+        // backfill records verbatim.
+        let (mut log, rep) = TrajectoryLog::open(&dir, LogConfig::default()).unwrap();
+        assert_eq!(rep.records, 4);
+        assert_eq!(log.read_track(1).unwrap(), want);
+        log.compact().unwrap();
+        assert_eq!(log.read_track(1).unwrap(), want);
+        let report = verify_dir(&dir).unwrap();
+        assert_eq!(report.backfill_records, 2);
     }
 
     #[test]

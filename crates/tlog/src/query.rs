@@ -160,6 +160,29 @@ impl TrajectoryLog {
         };
         let mut reader = self.reader();
         for track in tracks {
+            if self.track_has_backfill(track) {
+                // Record-level pruning is unsafe for backfilled tracks:
+                // an exact-timestamp point in a *pruned* in-order record
+                // must still shadow its backfill duplicate. Decode every
+                // record, merge, then filter pointwise.
+                let refs = self.track_records(track);
+                stats.candidate_records += refs.len();
+                stats.decoded_records += refs.len();
+                stats.decoded_points += refs
+                    .iter()
+                    .map(|&(si, ri)| self.record_summary(si, ri).count as usize)
+                    .sum::<usize>();
+                let points: Vec<TimedPoint> = self
+                    .read_track(track)?
+                    .into_iter()
+                    .filter(|p| range.contains(p.t) && area.is_none_or(|a| a.contains(p.pos)))
+                    .collect();
+                if !points.is_empty() {
+                    stats.kept_points += points.len();
+                    slices.push(TrackSlice { track, points });
+                }
+                continue;
+            }
             let mut points = Vec::new();
             for &(si, ri) in self.track_records(track) {
                 stats.candidate_records += 1;
@@ -199,6 +222,17 @@ impl TrajectoryLog {
         let refs = self.track_records(track);
         if refs.is_empty() {
             return Ok(None);
+        }
+        if self.track_has_backfill(track) {
+            // Backfill breaks the records' bracketing order; merge the
+            // whole track instead of picking bracketing records.
+            let keys = self.read_track(track)?;
+            let reconstructor = Reconstructor::uniform(keys).ok_or_else(|| TlogError::Corrupt {
+                path: self.dir().to_path_buf(),
+                offset: 0,
+                reason: format!("track {track} key points are not time-ordered"),
+            })?;
+            return Ok(Some(reconstructor.at(t)));
         }
         // The record just before t, every record containing t, and the
         // record just after: between them they hold the bracketing keys.

@@ -45,6 +45,12 @@ pub enum RecordKind {
     Points,
     /// A tombstone: all earlier data of the track is dead.
     Tombstone,
+    /// An encoded point stream written by the backfill path: sorted
+    /// *within* the record, but exempt from the cross-record time
+    /// ordering that [`RecordKind::Points`] records obey. Readers merge
+    /// backfill points into the live stream at query time, with the
+    /// in-order record winning exact-timestamp ties.
+    Backfill,
 }
 
 impl RecordKind {
@@ -52,6 +58,7 @@ impl RecordKind {
         match b {
             1 => Some(RecordKind::Points),
             2 => Some(RecordKind::Tombstone),
+            3 => Some(RecordKind::Backfill),
             _ => None,
         }
     }
@@ -60,6 +67,7 @@ impl RecordKind {
         match self {
             RecordKind::Points => 1,
             RecordKind::Tombstone => 2,
+            RecordKind::Backfill => 3,
         }
     }
 }
@@ -89,8 +97,12 @@ pub struct RecordSummary {
 /// A parsed record body borrowing the payload bytes.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RecordBody<'a> {
-    /// An encoded point stream with its index summary.
+    /// A data record — an encoded point stream with its index summary.
+    /// Covers both [`RecordKind::Points`] and [`RecordKind::Backfill`]
+    /// (they share a body layout; `kind` tells them apart).
     Points {
+        /// [`RecordKind::Points`] or [`RecordKind::Backfill`].
+        kind: RecordKind,
         /// The owning track.
         track: TrackId,
         /// Declared number of points in the payload.
@@ -132,14 +144,34 @@ pub fn build_points_frame(
     track: TrackId,
     points: &[TimedPoint],
 ) -> Result<(Vec<u8>, RecordSummary), CodecError> {
+    build_data_frame(RecordKind::Points, track, points)
+}
+
+/// Builds a backfill-record frame: the same body layout as a points
+/// record, flagged so readers know it is exempt from cross-record time
+/// ordering. The batch must still be sorted *within* itself (the codec
+/// rejects disorder at encode time).
+pub fn build_backfill_frame(
+    track: TrackId,
+    points: &[TimedPoint],
+) -> Result<(Vec<u8>, RecordSummary), CodecError> {
+    build_data_frame(RecordKind::Backfill, track, points)
+}
+
+fn build_data_frame(
+    kind: RecordKind,
+    track: TrackId,
+    points: &[TimedPoint],
+) -> Result<(Vec<u8>, RecordSummary), CodecError> {
     debug_assert!(!points.is_empty(), "caller enforces non-empty appends");
+    debug_assert!(kind != RecordKind::Tombstone);
     let t_min = points.first().map_or(0.0, |p| p.t);
     let t_max = points.last().map_or(0.0, |p| p.t);
     let bbox = Rect::bounding(points.iter().map(|p| p.pos))
         .unwrap_or(Rect::from_point(bqs_geo::Point2::ORIGIN));
 
     let mut body = Vec::with_capacity(64 + points.len() * 4);
-    body.push(RecordKind::Points.to_byte());
+    body.push(kind.to_byte());
     codec::write_varint(track, &mut body);
     codec::write_varint(points.len() as u64, &mut body);
     put_f64(t_min, &mut body);
@@ -153,7 +185,7 @@ pub fn build_points_frame(
     let summary = RecordSummary {
         offset: 0,
         frame_len: FRAME_PROLOGUE_LEN + body.len() as u64,
-        kind: RecordKind::Points,
+        kind,
         track,
         count: points.len() as u64,
         t_min,
@@ -207,13 +239,14 @@ pub fn parse_body(body: &[u8]) -> Result<RecordBody<'_>, CodecError> {
     let track = codec::read_varint(body, &mut pos)?;
     match kind {
         RecordKind::Tombstone => Ok(RecordBody::Tombstone { track }),
-        RecordKind::Points => {
+        RecordKind::Points | RecordKind::Backfill => {
             let count = codec::read_varint(body, &mut pos)?;
             let t_min = get_f64(body, &mut pos)?;
             let t_max = get_f64(body, &mut pos)?;
             let min = bqs_geo::Point2::new(get_f64(body, &mut pos)?, get_f64(body, &mut pos)?);
             let max = bqs_geo::Point2::new(get_f64(body, &mut pos)?, get_f64(body, &mut pos)?);
             Ok(RecordBody::Points {
+                kind,
                 track,
                 count,
                 t_min,
@@ -315,6 +348,7 @@ pub fn scan_segment(bytes: &[u8]) -> ScanOutcome {
         }
         let summary = match parse_body(body) {
             Ok(RecordBody::Points {
+                kind,
                 track,
                 count,
                 t_min,
@@ -324,7 +358,7 @@ pub fn scan_segment(bytes: &[u8]) -> ScanOutcome {
             }) => RecordSummary {
                 offset: pos as u64,
                 frame_len: (8 + len) as u64,
-                kind: RecordKind::Points,
+                kind,
                 track,
                 count,
                 t_min,
@@ -467,6 +501,41 @@ mod tests {
         assert!(scan.fault.is_none());
         assert_eq!(scan.records[0].kind, RecordKind::Tombstone);
         assert_eq!(scan.records[0].track, 77);
+    }
+
+    #[test]
+    fn backfill_frames_scan_parse_and_decode_like_points() {
+        let points = pts(25);
+        let (frame, summary) = build_backfill_frame(5, &points).unwrap();
+        assert_eq!(summary.kind, RecordKind::Backfill);
+        let seg = segment_with(&[&frame]);
+        let scan = scan_segment(&seg);
+        assert!(scan.fault.is_none());
+        let r = scan.records[0];
+        assert_eq!(r.kind, RecordKind::Backfill);
+        assert_eq!(r.track, 5);
+        assert_eq!(r.count, 25);
+        let body =
+            &seg[(r.offset + FRAME_PROLOGUE_LEN) as usize..(r.offset + r.frame_len) as usize];
+        let (track, decoded) = decode_points_body(body).unwrap();
+        assert_eq!(track, 5);
+        assert_eq!(decoded, points);
+        match parse_body(body).unwrap() {
+            RecordBody::Points { kind, .. } => assert_eq!(kind, RecordKind::Backfill),
+            other => panic!("unexpected body {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_record_kinds_fault_the_scan() {
+        let (frame, _) = build_points_frame(1, &pts(10)).unwrap();
+        let mut body = frame[8..].to_vec();
+        body[0] = 9; // unknown kind byte
+        let bad = frame_from_body(body);
+        let seg = segment_with(&[&bad]);
+        let scan = scan_segment(&seg);
+        assert_eq!(scan.records.len(), 0);
+        assert_eq!(scan.fault.map(|(_, f)| f), Some(TailFault::MalformedBody));
     }
 
     #[test]

@@ -307,6 +307,7 @@ pub fn verify_sharded(root: impl AsRef<Path>) -> Result<ShardedVerifyReport, Tlo
         let shard = verify_dir(&dir)?;
         report.total.segments += shard.segments;
         report.total.records += shard.records;
+        report.total.backfill_records += shard.backfill_records;
         report.total.tombstones += shard.tombstones;
         report.total.points += shard.points;
         report.total.file_bytes += shard.file_bytes;

@@ -120,6 +120,165 @@ proptest! {
     }
 }
 
+fn lcg_pos(s: &mut u64) -> f64 {
+    *s = s
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    ((*s >> 33) % 100_000) as f64 / 50.0 - 1_000.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Interleaved live appends + late backfill batches, shut down and
+    /// reopened, answer `query_time_range`/`query_bbox` exactly like the
+    /// same data ingested fully in order — including durable-wins dedup
+    /// when a backfill batch re-sends live timestamps with different
+    /// positions (the in-order copy must survive).
+    #[test]
+    fn backfill_reopen_equals_in_order_ingest(
+        seed in 0u64..1_000_000,
+        n_live in 10usize..120,
+        n_old in 1usize..60,
+        dup_every in 2usize..10,
+    ) {
+        let mut s = seed | 1;
+        // The "offline" portion: old fixes the tracker buffered…
+        let old: Vec<TimedPoint> = (0..n_old)
+            .map(|i| TimedPoint::new(lcg_pos(&mut s), lcg_pos(&mut s), i as f64 * 5.0))
+            .collect();
+        // …and the live portion it sends after reconnecting.
+        let live: Vec<TimedPoint> = (0..n_live)
+            .map(|i| TimedPoint::new(lcg_pos(&mut s), lcg_pos(&mut s), 10_000.0 + i as f64 * 5.0))
+            .collect();
+        // Backfill duplicates of some live timestamps, with *different*
+        // positions: dedup must keep the live copy.
+        let dups: Vec<TimedPoint> = live
+            .iter()
+            .step_by(dup_every)
+            .map(|p| TimedPoint::new(p.pos.x + 5_000.0, p.pos.y, p.t))
+            .collect();
+
+        let track = 3u64;
+        let dir_a = temp_dir(&format!("bf-mixed-{seed}-{n_live}-{n_old}-{dup_every}"));
+        {
+            let (mut log, _) = TrajectoryLog::open(&dir_a, LogConfig::default()).unwrap();
+            // Live batches interleaved with backfill batches.
+            let third = (n_live / 3).max(1).min(n_live);
+            let two_thirds = (2 * n_live / 3).max(third);
+            log.append(track, &live[..third]).unwrap();
+            let split = n_old / 2;
+            if split > 0 {
+                log.append_backfill(track, &old[..split]).unwrap();
+            }
+            if two_thirds > third {
+                log.append(track, &live[third..two_thirds]).unwrap();
+            }
+            log.append_backfill(track, &old[split..]).unwrap();
+            log.append_backfill(track, &dups).unwrap();
+            if n_live > two_thirds {
+                log.append(track, &live[two_thirds..]).unwrap();
+            }
+        } // shutdown
+
+        // Reference: the union ingested fully in order (dups lose, so
+        // the union is just old ++ live).
+        let mut expected = old.clone();
+        expected.extend_from_slice(&live);
+        let dir_b = temp_dir(&format!("bf-ref-{seed}-{n_live}-{n_old}-{dup_every}"));
+        {
+            let (mut log, _) = TrajectoryLog::open(&dir_b, LogConfig::default()).unwrap();
+            log.append(track, &expected).unwrap();
+        }
+
+        let (log_a, _) = TrajectoryLog::open(&dir_a, LogConfig::default()).unwrap();
+        let (log_b, _) = TrajectoryLog::open(&dir_b, LogConfig::default()).unwrap();
+        let range = TimeRange::new(2.0, 10_000.0 + n_live as f64 * 4.0);
+        let got = log_a.query_time_range(Some(track), range).unwrap();
+        let want = log_b.query_time_range(Some(track), range).unwrap();
+        prop_assert_eq!(&got.slices, &want.slices);
+
+        let area = bqs_geo::Rect::from_corners(
+            bqs_geo::Point2::new(-600.0, -1_000.0),
+            bqs_geo::Point2::new(700.0, 350.0),
+        );
+        let got = log_a.query_bbox(Some(track), area, None).unwrap();
+        let want = log_b.query_bbox(Some(track), area, None).unwrap();
+        prop_assert_eq!(&got.slices, &want.slices);
+
+        // Full reads agree bit for bit, and both logs verify clean.
+        let a = log_a.read_track(track).unwrap();
+        prop_assert_eq!(a.len(), expected.len());
+        for (x, y) in expected.iter().zip(&a) {
+            prop_assert!(bits_eq(x, y), "{x:?} vs {y:?}");
+        }
+        verify_dir(&dir_a).unwrap();
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+}
+
+/// Crash-truncation sweep over a mixed live/backfill segment: cutting
+/// the file at *every* byte offset of (and after) a backfill record
+/// still recovers — each record is intact or gone, the merged read
+/// reflects exactly the surviving records, and the repaired log
+/// verifies clean.
+#[test]
+fn backfill_record_truncation_recovers_at_every_cut() {
+    let dir = temp_dir("bf-cut-sweep");
+    let live1 = wave(1, 30);
+    let old: Vec<TimedPoint> = (0..20)
+        .map(|i| TimedPoint::new(i as f64 * 2.0, -5.0, -1_000.0 + i as f64))
+        .collect();
+    let live2 = wave(2, 25);
+
+    let (mut log, _) = TrajectoryLog::open(&dir, LogConfig::default()).unwrap();
+    log.append(1, &live1).unwrap();
+    let bf_receipt = log.append_backfill(1, &old).unwrap();
+    let live2_receipt = log.append(2, &live2).unwrap();
+    let seg_path = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|e| e == "tlg"))
+        .unwrap();
+    let pristine = std::fs::read(&seg_path).unwrap();
+    drop(log);
+
+    let bf_end = bf_receipt.offset + bf_receipt.bytes;
+    let live2_end = live2_receipt.offset + live2_receipt.bytes;
+    let mut merged = old.clone();
+    merged.extend_from_slice(&live1);
+
+    for cut in bf_receipt.offset..pristine.len() as u64 {
+        std::fs::write(&seg_path, &pristine).unwrap();
+        let f = OpenOptions::new().write(true).open(&seg_path).unwrap();
+        f.set_len(cut).unwrap();
+        drop(f);
+
+        let (log, report) = TrajectoryLog::open(&dir, LogConfig::default()).unwrap();
+        let track1 = log.read_track(1).unwrap();
+        if cut >= bf_end {
+            assert_eq!(track1, merged, "cut at {cut}: backfill record survives");
+        } else {
+            assert_eq!(track1, live1, "cut at {cut}: torn backfill dropped");
+        }
+        let track2 = log.read_track(2).unwrap();
+        if cut >= live2_end {
+            assert_eq!(track2, live2, "cut at {cut}");
+        } else {
+            assert!(track2.is_empty(), "cut at {cut}");
+        }
+        let on_boundary = cut == bf_receipt.offset || cut == bf_end || cut == live2_end;
+        assert_eq!(
+            report.truncated_segments,
+            usize::from(!on_boundary),
+            "cut at {cut}: {report:?}"
+        );
+        drop(log);
+        verify_dir(&dir).unwrap();
+    }
+}
+
 /// Deterministic sweep: cut the segment file at *every* byte offset past
 /// the header and check that recovery keeps exactly the fully-written
 /// records (a proptest over cut positions would sample; the full sweep

@@ -10,6 +10,7 @@
 //! | Module | Crate | Contents |
 //! |---|---|---|
 //! | [`geo`] | `bqs-geo` | geometry substrate (points, distances, UTM, hulls) |
+//! | [`obs`] | `bqs-obs` | lock-free observability primitives (counters, gauges, histograms) |
 //! | [`core`] | `bqs-core` | BQS, Fast BQS, 3-D BQS, reconstruction, [`core::stream::Sink`] emission layer, [`core::fleet::FleetEngine`] multi-session engine |
 //! | [`baselines`] | `bqs-baselines` | DP, BDP, BGD, Dead Reckoning, SQUISH |
 //! | [`sim`] | `bqs-sim` | synthetic bat / vehicle / random-walk traces |
@@ -46,6 +47,7 @@ pub use bqs_device as device;
 pub use bqs_eval as eval;
 pub use bqs_geo as geo;
 pub use bqs_net as net;
+pub use bqs_obs as obs;
 pub use bqs_sim as sim;
 pub use bqs_store as store;
 pub use bqs_tlog as tlog;
