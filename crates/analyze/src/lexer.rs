@@ -1,0 +1,363 @@
+//! A small hand-rolled Rust lexer: splits a source file into per-line
+//! *code*, *comment*, and *string-literal* views.
+//!
+//! The analyzer's lints must never fire on text inside a comment or a
+//! string literal (a doc example containing `.unwrap()` is not a
+//! violation), and the consistency checks need the *contents* of string
+//! literals (metric names, wire tags, the CLI usage text). Rather than
+//! pull in `syn` — the workspace builds offline, shims only — this
+//! module walks the raw bytes with an explicit state machine covering
+//! exactly the token classes that matter:
+//!
+//! - `//` line comments (incl. `///` and `//!` doc forms),
+//! - `/* … */` block comments, **nested**, possibly spanning lines,
+//! - `"…"` string literals with `\` escapes, possibly spanning lines,
+//! - `r"…"` / `r#"…"#` (and `br…`) raw strings with up to 255 `#`s,
+//! - `'c'` char literals (escapes included) vs `'a` lifetimes,
+//! - everything else: code, passed through verbatim.
+//!
+//! The scanner is total: it never panics, and on malformed input (an
+//! unterminated string, a stray quote) it degrades to treating the
+//! remainder of the file as the open token, which is safe for a linter
+//! (property-tested in `tests/lexer_prop.rs`).
+
+/// One source line, split into its three views.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// The line's code with comments removed and every string/char
+    /// literal replaced by an empty literal (`""` / `' '`). Token
+    /// shapes like `.expect(` or `Ordering::Relaxed` survive intact.
+    pub code: String,
+    /// Text of every comment fragment touching this line, with the
+    /// leading `//`, `///`, `//!`, `/*` markers stripped.
+    pub comments: Vec<String>,
+    /// Contents of every string literal that *starts* on this line
+    /// (multi-line literals are recorded whole, at their start line).
+    pub strings: Vec<String>,
+}
+
+/// A scanned file: `lines[i]` is source line `i + 1`.
+#[derive(Debug, Default)]
+pub struct FileScan {
+    /// Per-line views, in order.
+    pub lines: Vec<Line>,
+}
+
+impl FileScan {
+    /// The comment texts relevant to a finding on 1-based line `n`:
+    /// the line's own comments plus the preceding line's.
+    pub fn comments_at(&self, n: usize) -> impl Iterator<Item = &str> {
+        let above = n
+            .checked_sub(2)
+            .and_then(|i| self.lines.get(i))
+            .map(|l| l.comments.as_slice())
+            .unwrap_or(&[]);
+        let own = self
+            .lines
+            .get(n - 1)
+            .map(|l| l.comments.as_slice())
+            .unwrap_or(&[]);
+        above.iter().chain(own.iter()).map(String::as_str)
+    }
+}
+
+/// Scans `source` into per-line code/comment/string views.
+pub fn scan(source: &str) -> FileScan {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines = Vec::new();
+    let mut line = Line::default();
+    // Where a (possibly multi-line) string literal started, plus its
+    // accumulated content.
+    let mut open_string: Option<(usize, String)> = None;
+    let mut comment = String::new();
+
+    let mut i = 0usize;
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str { raw_hashes: Option<u8> },
+        CharLit,
+    }
+    let mut state = State::Code;
+
+    macro_rules! end_line {
+        () => {{
+            lines.push(std::mem::take(&mut line));
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            match state {
+                State::LineComment => {
+                    line.comments.push(std::mem::take(&mut comment));
+                    state = State::Code;
+                }
+                State::BlockComment(_) => {
+                    line.comments.push(std::mem::take(&mut comment));
+                }
+                State::Str { .. } => {
+                    if let Some((_, content)) = open_string.as_mut() {
+                        content.push('\n');
+                    }
+                }
+                State::CharLit => {
+                    // A newline inside a char literal is malformed
+                    // source; recover as code.
+                    state = State::Code;
+                }
+                State::Code => {}
+            }
+            end_line!();
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    state = State::LineComment;
+                    i += 2;
+                    // Strip any further `/`s (doc comments) and a `!`.
+                    while matches!(chars.get(i), Some('/') | Some('!')) {
+                        i += 1;
+                    }
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    // Possibly prefixed by b — handled when we saw the
+                    // ident char; a bare quote is a plain string.
+                    line.code.push_str("\"\"");
+                    open_string = Some((lines.len(), String::new()));
+                    state = State::Str { raw_hashes: None };
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && !prev_is_ident(&chars, i) {
+                    // Raw / byte string prefixes: r" r#" br" b" br#" …
+                    let mut j = i + 1;
+                    if c == 'b' && chars.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0u8;
+                    while chars.get(j) == Some(&'#') && hashes < u8::MAX {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    let raw = j > i + 1 || c == 'r';
+                    if chars.get(j) == Some(&'"') && (raw || c == 'b') {
+                        line.code.push_str("\"\"");
+                        open_string = Some((lines.len(), String::new()));
+                        state = State::Str {
+                            raw_hashes: raw.then_some(hashes),
+                        };
+                        i = j + 1;
+                    } else if c == 'b' && chars.get(i + 1) == Some(&'\'') {
+                        line.code.push_str("' '");
+                        state = State::CharLit;
+                        i += 2;
+                    } else {
+                        line.code.push(c);
+                        i += 1;
+                    }
+                } else if c == '\'' && !prev_is_ident(&chars, i) {
+                    // Char literal vs lifetime: an escape or a closing
+                    // quote two ahead means a literal; else `'ident`.
+                    let next = chars.get(i + 1);
+                    let is_char =
+                        next == Some(&'\\') || (next.is_some() && chars.get(i + 2) == Some(&'\''));
+                    if is_char {
+                        line.code.push_str("' '");
+                        state = State::CharLit;
+                        i += 1;
+                    } else {
+                        line.code.push(c);
+                        i += 1;
+                    }
+                } else {
+                    line.code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    if depth == 1 {
+                        line.comments.push(std::mem::take(&mut comment));
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                        comment.push_str("*/");
+                    }
+                    i += 2;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(depth + 1);
+                    comment.push_str("/*");
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str { raw_hashes: None } => {
+                if c == '\\' {
+                    if let Some((_, content)) = open_string.as_mut() {
+                        content.push('\\');
+                        if let Some(&n) = chars.get(i + 1) {
+                            if n != '\n' {
+                                content.push(n);
+                            }
+                        }
+                    }
+                    // A backslash-newline continuation: leave the
+                    // newline for the main loop so line counting stays
+                    // true to the source.
+                    if chars.get(i + 1) == Some(&'\n') {
+                        i += 1;
+                    } else {
+                        i += 2;
+                    }
+                } else if c == '"' {
+                    close_string(&mut open_string, &mut lines, &mut line);
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    if let Some((_, content)) = open_string.as_mut() {
+                        content.push(c);
+                    }
+                    i += 1;
+                }
+            }
+            State::Str {
+                raw_hashes: Some(hashes),
+            } => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    close_string(&mut open_string, &mut lines, &mut line);
+                    state = State::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    if let Some((_, content)) = open_string.as_mut() {
+                        content.push(c);
+                    }
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    // Never skip a newline: the main loop must see it so
+                    // line counting stays true even for malformed `'\`.
+                    if chars.get(i + 1) == Some(&'\n') {
+                        i += 1;
+                    } else {
+                        i += 2;
+                    }
+                } else if c == '\'' {
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    // Flush whatever is still open at EOF.
+    match state {
+        State::LineComment | State::BlockComment(_) => {
+            line.comments.push(comment);
+        }
+        State::Str { .. } => close_string(&mut open_string, &mut lines, &mut line),
+        _ => {}
+    }
+    lines.push(line);
+    FileScan { lines }
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i.checked_sub(1)
+        .and_then(|p| chars.get(p))
+        .is_some_and(|c| c.is_alphanumeric() || *c == '_')
+}
+
+fn closes_raw(chars: &[char], i: usize, hashes: u8) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+fn close_string(open: &mut Option<(usize, String)>, lines: &mut [Line], line: &mut Line) {
+    if let Some((start, content)) = open.take() {
+        if start == lines.len() {
+            line.strings.push(content);
+        } else if let Some(l) = lines.get_mut(start) {
+            l.strings.push(content);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_stripped_from_code() {
+        let s = scan("let x = \"a // not a comment\"; // real\n");
+        assert_eq!(s.lines[0].code, "let x = \"\"; ");
+        assert_eq!(s.lines[0].comments, vec![" real"]);
+        assert_eq!(s.lines[0].strings, vec!["a // not a comment"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = scan("a /* x /* y */ z */ b\n");
+        assert_eq!(s.lines[0].code, "a  b");
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_escapes() {
+        let s = scan("let u = r#\"say \"hi\" \\\"#; code()\n");
+        assert_eq!(s.lines[0].code, "let u = \"\"; code()");
+        assert_eq!(s.lines[0].strings, vec!["say \"hi\" \\"]);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let s = scan("fn f<'a>(x: &'a str) { let c = '\"'; let d = '\\''; }\n");
+        assert!(s.lines[0].code.contains("<'a>"));
+        assert!(!s.lines[0].code.contains('"'));
+    }
+
+    #[test]
+    fn multi_line_string_lands_on_start_line() {
+        let s = scan("const U: &str = \"line one\nline two\";\nnext();\n");
+        assert_eq!(s.lines[0].strings, vec!["line one\nline two"]);
+        assert!(s.lines[1].strings.is_empty());
+        assert_eq!(s.lines[2].code, "next();");
+    }
+
+    #[test]
+    fn doc_comment_examples_are_comments() {
+        let s = scan("/// let x = v.unwrap();\nfn real() {}\n");
+        assert_eq!(s.lines[0].code, "");
+        assert!(s.lines[0].comments[0].contains(".unwrap()"));
+    }
+
+    #[test]
+    fn line_count_matches_source() {
+        for src in [
+            "", "a", "a\n", "a\nb", "/*\n\n*/", "\"\n\n\"", "'\\\n'x", "b'\\\ny",
+        ] {
+            assert_eq!(scan(src).lines.len(), src.split('\n').count());
+        }
+    }
+
+    #[test]
+    fn backslash_newline_continuation_keeps_line_numbers() {
+        let src = "let s = \"one \\\n    two\";\nafter();\n";
+        let s = scan(src);
+        assert_eq!(s.lines.len(), src.split('\n').count());
+        assert_eq!(s.lines[2].code, "after();");
+        assert_eq!(s.lines[0].strings, vec!["one \\\n    two"]);
+    }
+}

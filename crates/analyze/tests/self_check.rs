@@ -1,0 +1,39 @@
+//! The analyzer's own gate, as a test: `bqs analyze --deny` must pass
+//! on this workspace. CI runs the same check through the CLI; keeping
+//! it here too means `cargo test` alone catches a regression (a new
+//! unjustified atomic, a doc table drifting from the code) without the
+//! extra CI step.
+
+use bqs_analyze::{run, Config};
+use std::path::PathBuf;
+
+#[test]
+fn workspace_is_clean_under_every_lint() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap();
+    assert!(
+        root.join("Cargo.toml").exists(),
+        "fixture assumption broken: {} is not the workspace root",
+        root.display()
+    );
+    let report = run(&Config {
+        root,
+        only: Vec::new(),
+    })
+    .unwrap();
+    let rendered: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
+    assert!(
+        report.findings.is_empty(),
+        "bqs analyze --deny would fail on the workspace:\n{}",
+        rendered.join("\n")
+    );
+    // Sanity: the walk actually visited the workspace (an empty scan
+    // would pass vacuously).
+    assert!(
+        report.files_scanned > 100,
+        "only {} files scanned — walk roots look wrong",
+        report.files_scanned
+    );
+}

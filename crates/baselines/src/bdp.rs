@@ -75,6 +75,7 @@ impl BufferedDpCompressor {
             out.push(self.buffer[i]);
             self.last_emitted = Some(self.buffer[i]);
         }
+        // bqs-analyze: allow(no-unwrap-in-lib) — invariant: non-empty buffer
         let tail = *self.buffer.last().expect("non-empty buffer");
         self.buffer.clear();
         if !last_too {

@@ -82,6 +82,7 @@ impl StreamCompressor for BufferedGreedyCompressor {
         let deviation = self.metric.max_deviation(&self.window, start.pos, p.pos);
         if deviation > self.tolerance {
             // Segment ends at the previous point; p opens the next one.
+            // bqs-analyze: allow(no-unwrap-in-lib) — invariant: a segment has at least its start
             let key = self.last.expect("a segment has at least its start");
             self.emit(key, out);
             self.restart_at(key);

@@ -25,7 +25,6 @@
 //! differentiators.
 
 #![deny(missing_docs)]
-#![warn(clippy::all)]
 
 pub mod bdp;
 pub mod bgd;

@@ -74,6 +74,7 @@ impl StreamCompressor for MbrCompressor {
         // run against the chord.
         let deviation = DeviationMetric::PointToLine.max_deviation(&self.run, start.pos, p.pos);
         if deviation > self.tolerance {
+            // bqs-analyze: allow(no-unwrap-in-lib) — invariant: run has an anchor
             let key = self.last.expect("run has an anchor");
             self.emit(key, out);
             self.restart(key);

@@ -10,4 +10,3 @@
 //! ```
 
 #![deny(missing_docs)]
-#![warn(clippy::all)]

@@ -217,6 +217,16 @@ pub enum Command {
         /// interrupted (`None` fetches once).
         watch: Option<u64>,
     },
+    /// `bqs analyze [--deny] [--lint ID]... [ROOT]`
+    Analyze {
+        /// Exit non-zero when any finding is produced (the CI gate).
+        deny: bool,
+        /// Restrict the run to these lint/check ids (empty = all).
+        lints: Vec<String>,
+        /// Workspace root to analyze (the current directory when
+        /// `None`).
+        root: Option<String>,
+    },
     /// `bqs info`
     Info,
     /// `bqs help` (or no arguments).
@@ -256,7 +266,9 @@ USAGE:
                 [--at T] [--out FILE]
   bqs log compact <dir> [--drop TRACK]...
   bqs log verify <dir>
+  bqs analyze [--deny] [--lint ID]... [ROOT]
   bqs info
+  bqs help (alias: --help, -h)
 ";
 
 fn take_value<'a>(flag: &str, it: &mut std::slice::Iter<'a, String>) -> Result<&'a String, String> {
@@ -901,6 +913,22 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 addr: addr.ok_or("metrics needs --addr HOST:PORT (a running bqs serve)")?,
                 watch,
             })
+        }
+        "analyze" => {
+            let mut deny = false;
+            let mut lints: Vec<String> = Vec::new();
+            let mut root: Option<String> = None;
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--deny" => deny = true,
+                    "--lint" => lints.push(take_value("--lint", &mut it)?.clone()),
+                    other if !other.starts_with('-') && root.is_none() => {
+                        root = Some(other.to_string());
+                    }
+                    other => return Err(format!("unexpected argument: {other}")),
+                }
+            }
+            Ok(Command::Analyze { deny, lints, root })
         }
         "log" => parse_log(&mut it),
         other => Err(format!("unknown command: {other}\n\n{USAGE}")),

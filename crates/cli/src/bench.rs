@@ -317,6 +317,7 @@ fn bench_codec(sizes: &Sizes, seed: u64, out: &mut Vec<Workload>) {
     let start = Instant::now();
     for _ in 0..reps {
         encoded.clear();
+        // bqs-analyze: allow(no-unwrap-in-lib) — invariant: trace is codec-valid
         encode_points(&points, &mut encoded).expect("trace is codec-valid");
     }
     let bpp = encoded.len() as f64 / points.len() as f64;
@@ -330,6 +331,7 @@ fn bench_codec(sizes: &Sizes, seed: u64, out: &mut Vec<Workload>) {
     let start = Instant::now();
     for _ in 0..reps {
         encoded.clear();
+        // bqs-analyze: allow(no-unwrap-in-lib) — invariant: trace is codec-valid
         encode_columns(&batch, &mut encoded).expect("trace is codec-valid");
     }
     out.push(Workload {
@@ -341,6 +343,7 @@ fn bench_codec(sizes: &Sizes, seed: u64, out: &mut Vec<Workload>) {
 
     let start = Instant::now();
     for _ in 0..reps {
+        // bqs-analyze: allow(no-unwrap-in-lib) — invariant: encoded above
         let decoded = decode_to_vec(&encoded).expect("encoded above");
         assert_eq!(decoded.len(), points.len());
     }
@@ -355,6 +358,7 @@ fn bench_codec(sizes: &Sizes, seed: u64, out: &mut Vec<Workload>) {
     let start = Instant::now();
     for _ in 0..reps {
         scratch.clear();
+        // bqs-analyze: allow(no-unwrap-in-lib) — invariant: encoded above
         decode_columns_into(&encoded, &mut scratch).expect("encoded above");
         assert_eq!(scratch.len(), batch.len());
     }
@@ -385,6 +389,7 @@ fn bench_fleet(sizes: &Sizes, seed: u64, out: &mut Vec<Workload>) {
                 fleet: FleetConfig::default(),
                 ..ParallelConfig::default()
             },
+            // bqs-analyze: allow(no-unwrap-in-lib) — tolerance is a positive constant validated at the call site
             || FastBqsCompressor::new(BqsConfig::new(10.0).expect("10 m is valid")),
             |_| CountingFleetSink::default(),
         )

@@ -164,7 +164,44 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             current.as_deref(),
         ),
         Command::Metrics { addr, watch } => metrics(addr, *watch),
+        Command::Analyze { deny, lints, root } => analyze(*deny, lints, root.as_deref()),
     }
+}
+
+/// `bqs analyze`: the project-native static analysis pass — source
+/// lints plus code↔spec consistency checks — over a workspace tree.
+/// With `deny`, any finding is an error (the CI gate); without it the
+/// findings are the report.
+fn analyze(deny: bool, lints: &[String], root: Option<&str>) -> Result<String, CliError> {
+    bqs_analyze::validate_filter(lints).map_err(CliError::Invalid)?;
+    let root = std::path::PathBuf::from(root.unwrap_or("."));
+    if !root.join("Cargo.toml").is_file() {
+        return Err(CliError::invalid(format!(
+            "{} is not a workspace root (no Cargo.toml); run from the repo or pass ROOT",
+            root.display()
+        )));
+    }
+    let config = bqs_analyze::Config {
+        root: root.clone(),
+        only: lints.to_vec(),
+    };
+    let report = bqs_analyze::run(&config)
+        .map_err(|e| CliError::io("analyze", root.display().to_string(), e))?;
+    let mut out = String::new();
+    for finding in &report.findings {
+        out.push_str(&finding.to_string());
+        out.push('\n');
+    }
+    let summary = format!(
+        "analyze: {} finding(s) across {} file(s) scanned",
+        report.findings.len(),
+        report.files_scanned
+    );
+    if deny && !report.findings.is_empty() {
+        return Err(CliError::Invalid(format!("{out}{summary}")));
+    }
+    out.push_str(&summary);
+    Ok(out)
 }
 
 fn info() -> String {
@@ -1003,6 +1040,7 @@ fn serve(
     let reporter = metrics_interval.map(|secs| spawn_metrics_reporter(&registry, workers, secs));
     let run_result = server.run();
     if let Some((stop, handle)) = reporter {
+        // ordering: relaxed stop flag — the reporter only needs to observe it eventually; join() below is the real synchronisation
         stop.store(true, std::sync::atomic::Ordering::Relaxed);
         let _ = handle.join();
     }
@@ -1084,6 +1122,7 @@ fn spawn_metrics_reporter(
             // Sleep in short slices so shutdown stays prompt.
             let woke = std::time::Instant::now();
             while woke.elapsed().as_secs() < secs {
+                // ordering: relaxed stop-flag poll — a 100 ms-late observation of shutdown is fine
                 if flag.load(Ordering::Relaxed) {
                     return;
                 }

@@ -19,7 +19,6 @@
 //! thin binary in `main.rs` just forwards `std::env::args` and exit codes.
 
 #![deny(missing_docs)]
-#![warn(clippy::all)]
 
 pub mod args;
 pub mod bench;

@@ -406,6 +406,7 @@ impl Bqs3dCompressor {
         if include {
             self.admit(p);
         } else {
+            // bqs-analyze: allow(no-unwrap-in-lib) — invariant: cut only after an admission
             let key = self.last.expect("cut only after an admission");
             self.emit(key, out);
             self.segments += 1;
@@ -420,6 +421,7 @@ impl Bqs3dCompressor {
     }
 
     fn admit(&mut self, p: TimedPoint3) {
+        // bqs-analyze: allow(no-unwrap-in-lib) — invariant: segment exists
         let origin = self.origin.expect("segment exists");
         let local = p.pos.sub(origin);
         if local.norm() > self.config.tolerance {

@@ -172,6 +172,7 @@ impl Bqs4dCompressor {
         if include {
             self.admit(p);
         } else {
+            // bqs-analyze: allow(no-unwrap-in-lib) — invariant: cut only after an admission
             let key = self.last.expect("cut only after an admission");
             self.emit(key, out);
             self.segments += 1;
@@ -186,6 +187,7 @@ impl Bqs4dCompressor {
     }
 
     fn admit(&mut self, p: TimedPoint4) {
+        // bqs-analyze: allow(no-unwrap-in-lib) — invariant: segment exists
         let origin = self.origin.expect("segment exists");
         let local = p.pos.sub(origin);
         if local.norm() > self.config.tolerance {

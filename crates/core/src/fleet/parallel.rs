@@ -71,7 +71,6 @@ use bqs_obs::{elapsed_us, Counter, Gauge, MetricsRegistry};
 use std::collections::HashSet;
 use std::sync::mpsc::{sync_channel, Receiver, SendError, SyncSender};
 use std::thread::JoinHandle;
-use std::time::Instant;
 
 /// The worker shard `track` is routed to in a fleet of `workers`.
 ///
@@ -335,6 +334,7 @@ impl<S> Worker<S> {
             return;
         }
         let batch = std::mem::replace(&mut self.buffer, Vec::with_capacity(batch_capacity));
+        // bqs-analyze: allow(no-unwrap-in-lib) — sender is only taken in join(), which consumes self
         let sender = self.sender.as_ref().expect("sender lives until join");
         // The depth gauge rises *before* the send: the worker decrements
         // on receipt, and decrementing a not-yet-incremented gauge would
@@ -404,7 +404,7 @@ where
     let mut engine = FleetEngine::new(config, factory);
     let mut reports = Vec::new();
     loop {
-        let idle_from = metrics.as_ref().map(|_| Instant::now());
+        let idle_from = metrics.as_ref().map(|_| bqs_obs::now());
         let Ok(msg) = rx.recv() else { break };
         let busy_from = metrics.as_ref().map(|m| {
             if let Some(t) = idle_from {
@@ -413,7 +413,7 @@ where
             if matches!(msg, Msg::Batch(_) | Msg::Runs(_)) {
                 m.depth.sub(1);
             }
-            Instant::now()
+            bqs_obs::now()
         });
         match msg {
             Msg::Batch(batch) => {
@@ -497,6 +497,7 @@ impl<S: FleetSink + Send + 'static> ParallelFleet<S> {
                 let handle = std::thread::Builder::new()
                     .name(format!("bqs-fleet-{shard}"))
                     .spawn(move || worker_loop(rx, fleet_config, factory, sink, worker_metrics))
+                    // bqs-analyze: allow(no-unwrap-in-lib) — invariant: spawn fleet worker thread
                     .expect("spawn fleet worker thread");
                 Worker {
                     sender: Some(sender),
@@ -607,6 +608,7 @@ impl<S: FleetSink + Send + 'static> ParallelFleet<S> {
                 continue;
             }
             let worker = &mut self.workers[shard];
+            // bqs-analyze: allow(no-unwrap-in-lib) — sender is only taken in join(), which consumes self
             let sender = worker.sender.as_ref().expect("sender lives until join");
             // Raised before the send so the worker's decrement-on-receipt
             // can never observe (and wrap) a zero gauge.
@@ -649,6 +651,7 @@ impl<S: FleetSink + Send + 'static> ParallelFleet<S> {
             if worker.dead {
                 continue;
             }
+            // bqs-analyze: allow(no-unwrap-in-lib) — sender is only taken in join(), which consumes self
             let sender = worker.sender.as_ref().expect("sender lives until join");
             if sender.send(Msg::Evict(now)).is_err() {
                 worker.dead = true;
@@ -673,6 +676,7 @@ impl<S: FleetSink + Send + 'static> ParallelFleet<S> {
                 continue;
             }
             let (tx, rx) = sync_channel(1);
+            // bqs-analyze: allow(no-unwrap-in-lib) — sender is only taken in join(), which consumes self
             let sender = worker.sender.as_ref().expect("sender lives until join");
             if sender.send(Msg::Snapshot(tx)).is_err() {
                 worker.dead = true;
@@ -714,6 +718,7 @@ impl<S: FleetSink + Send + 'static> ParallelFleet<S> {
                 continue;
             }
             let (tx, rx) = sync_channel(1);
+            // bqs-analyze: allow(no-unwrap-in-lib) — sender is only taken in join(), which consumes self
             let sender = worker.sender.as_ref().expect("sender lives until join");
             if sender.send(Msg::Stats(tx)).is_err() {
                 worker.dead = true;
@@ -741,6 +746,7 @@ impl<S: FleetSink + Send + 'static> ParallelFleet<S> {
         for (shard, mut worker) in self.workers.drain(..).enumerate() {
             worker.flush(batch_points);
             drop(worker.sender.take()); // closes the channel: worker drains and exits
+                                        // bqs-analyze: allow(no-unwrap-in-lib) — invariant: join consumes the handle
             let handle = worker.handle.take().expect("join consumes the handle");
             match handle.join() {
                 Ok(output) => shards.push(ShardOutput {

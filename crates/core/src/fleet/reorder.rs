@@ -116,8 +116,11 @@ impl ReorderBuffer {
         let horizon = self.watermark - self.window;
         // Strict inequality: a point *at* the horizon could still be
         // joined by an equal-timestamp arrival that must sort with it.
-        while self.pending.front().is_some_and(|q| q.t < horizon) {
-            out.push(self.pending.pop_front().expect("checked front"));
+        while let Some(q) = self.pending.front() {
+            if q.t >= horizon {
+                break;
+            }
+            out.extend(self.pending.pop_front());
         }
         Ok(())
     }

@@ -55,7 +55,6 @@
 //! ```
 
 #![deny(missing_docs)]
-#![warn(clippy::all)]
 
 pub mod bounds;
 pub mod bqs;

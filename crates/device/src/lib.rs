@@ -21,7 +21,6 @@
 //!   against realistic congregation-area contact schedules.
 
 #![deny(missing_docs)]
-#![warn(clippy::all)]
 
 pub mod camazotz;
 pub mod energy;

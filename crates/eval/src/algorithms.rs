@@ -76,6 +76,7 @@ impl Algorithm {
     pub fn run(&self, points: &[TimedPoint], tolerance: f64) -> CompressionRun {
         match self {
             Algorithm::Bqs => {
+                // bqs-analyze: allow(no-unwrap-in-lib) — tolerance is a positive constant validated at the call site
                 let mut c = BqsCompressor::new(BqsConfig::new(tolerance).expect("tolerance"));
                 timed_run(
                     *self,
@@ -85,6 +86,7 @@ impl Algorithm {
                 )
             }
             Algorithm::Fbqs => {
+                // bqs-analyze: allow(no-unwrap-in-lib) — tolerance is a positive constant validated at the call site
                 let mut c = FastBqsCompressor::new(BqsConfig::new(tolerance).expect("tolerance"));
                 timed_run(
                     *self,

@@ -75,6 +75,7 @@ fn run_variant(trace: &Trace, config: BqsConfig, label: &str) -> AblationRow {
 pub fn run(scale: Scale) -> AblationResult {
     let trace = super::bat_trace(scale);
     let tolerance = 5.0;
+    // bqs-analyze: allow(no-unwrap-in-lib) — tolerance is a positive constant validated at the call site
     let base = BqsConfig::new(tolerance).expect("tolerance");
 
     let rows = vec![

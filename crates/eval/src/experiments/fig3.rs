@@ -73,6 +73,7 @@ pub fn run(scale: Scale) -> Fig3Result {
 
 /// Parameterised variant used by tests and the ablation harness.
 pub fn run_with(trace: bqs_sim::Trace, tolerance: f64, max_records: usize) -> Fig3Result {
+    // bqs-analyze: allow(no-unwrap-in-lib) — tolerance is a positive constant validated at the call site
     let mut bqs = BqsCompressor::new(BqsConfig::new(tolerance).expect("tolerance"));
     let mut out = Vec::new();
 
@@ -93,6 +94,7 @@ pub fn run_with(trace: bqs_sim::Trace, tolerance: f64, max_records: usize) -> Fi
             if is_conclusive {
                 conclusive += 1;
             }
+            // bqs-analyze: allow(no-unwrap-in-lib) — experiment harness fails fast on setup errors by design
             let start = segment_start.expect("bounded decision implies a segment");
             let actual = trace_rec
                 .actual
@@ -116,6 +118,7 @@ pub fn run_with(trace: bqs_sim::Trace, tolerance: f64, max_records: usize) -> Fi
             }
             bqs_core::engine::Outcome::SegmentCut => {
                 // New segment starts at the previous point; p joins it.
+                // bqs-analyze: allow(no-unwrap-in-lib) — experiment harness fails fast on setup errors by design
                 let new_start = out.last().expect("cut emitted a key point").pos;
                 segment_start = Some(new_start);
                 segment_interior.clear();

@@ -64,6 +64,7 @@ pub struct Fig6Result {
 /// Runs the pruning-power sweep over one trace.
 pub fn sweep_trace(trace: &Trace, dataset: &'static str, tolerances: &[f64]) -> PruningSweep {
     let points = parallel_map(tolerances, default_workers(), |&tolerance| {
+        // bqs-analyze: allow(no-unwrap-in-lib) — tolerance is a positive constant validated at the call site
         let mut bqs = BqsCompressor::new(BqsConfig::new(tolerance).expect("tolerance"));
         let (kept, stats) = compress_all_with_stats(&mut bqs, trace.points.iter().copied());
         PruningPoint {

@@ -71,6 +71,7 @@ impl Fig8bResult {
 /// Generates Fig. 8a.
 pub fn run_8a(scale: Scale) -> Fig8aResult {
     let trace = super::synthetic_trace(scale);
+    // bqs-analyze: allow(no-unwrap-in-lib) — experiment harness fails fast on setup errors by design
     let bb = trace.bounding_box().expect("non-empty trace");
     Fig8aResult {
         extent: (bb.width(), bb.height()),

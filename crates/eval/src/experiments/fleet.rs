@@ -157,6 +157,7 @@ fn run_parallel(scale: Scale) -> Vec<ParallelRow> {
 
     let mut rows: Vec<ParallelRow> = Vec::new();
     for workers in worker_counts() {
+        // bqs-analyze: allow(no-unwrap-in-lib) — tolerance is a positive constant validated at the call site
         let config = BqsConfig::new(TOLERANCE).expect("tolerance");
         let mut fleet = ParallelFleet::new(
             ParallelConfig {
@@ -198,6 +199,7 @@ pub fn run(scale: Scale) -> FleetResult {
             .map(|t| track_points(t as u64, per_session))
             .collect();
 
+        // bqs-analyze: allow(no-unwrap-in-lib) — tolerance is a positive constant validated at the call site
         let config = BqsConfig::new(TOLERANCE).expect("tolerance");
         let mut fleet = FleetEngine::new(FleetConfig::default(), move || {
             FastBqsCompressor::new(config)
@@ -239,6 +241,7 @@ fn shard_skew(loads: &[usize]) -> f64 {
     if total == 0 || loads.is_empty() {
         return 1.0;
     }
+    // bqs-analyze: allow(no-unwrap-in-lib) — experiment harness fails fast on setup errors by design
     let max = *loads.iter().max().expect("non-empty") as f64;
     let mean = total as f64 / loads.len() as f64;
     max / mean

@@ -87,8 +87,10 @@ pub fn run(scale: Scale) -> NetResult {
         for connections in [1usize, 4] {
             let root = temp_root(workers, connections);
             let server = Server::bind(ServerConfig::new("127.0.0.1:0", workers, &root))
+                // bqs-analyze: allow(no-unwrap-in-lib) — experiment harness fails fast on setup errors by design
                 .expect("bind loopback server");
             let addr = server.local_addr();
+            // bqs-analyze: allow(no-unwrap-in-lib) — experiment harness fails fast on setup errors by design
             let handle = std::thread::spawn(move || server.run().expect("serve"));
             let report = loadgen::run(&LoadgenConfig {
                 addr: addr.to_string(),
@@ -101,7 +103,9 @@ pub fn run(scale: Scale) -> NetResult {
                 disorder: 0.0,
                 backfill: false,
             })
+            // bqs-analyze: allow(no-unwrap-in-lib) — experiment harness fails fast on setup errors by design
             .expect("loadgen");
+            // bqs-analyze: allow(no-unwrap-in-lib) — propagate a worker panic instead of masking it
             let serve_report = handle.join().expect("server thread");
             rows.push(NetRow {
                 workers,

@@ -125,14 +125,18 @@ fn track_points(track: u64, n: usize) -> Vec<TimedPoint> {
 /// Builds a `shards`-way spill tree of the compressed traces at `root`,
 /// routed exactly like the parallel fleet routes them, plus `MANIFEST`.
 fn build_tree(root: &PathBuf, shards: usize, traces: &[Vec<TimedPoint>]) {
+    // bqs-analyze: allow(no-unwrap-in-lib) — tolerance is a positive constant validated at the call site
     let config = BqsConfig::new(TOLERANCE).expect("tolerance");
+    // bqs-analyze: allow(no-unwrap-in-lib) — experiment harness fails fast on setup errors by design
     let mut logs = open_shard_logs(root, shards, LogConfig::default()).expect("open tree");
     for (t, trace) in traces.iter().enumerate() {
         let kept = compress_all(&mut FastBqsCompressor::new(config), trace.iter().copied());
         let shard = worker_of(t as u64, shards);
+        // bqs-analyze: allow(no-unwrap-in-lib) — experiment harness fails fast on setup errors by design
         logs[shard].0.append(t as u64, &kept).expect("append");
     }
     drop(logs);
+    // bqs-analyze: allow(no-unwrap-in-lib) — experiment harness fails fast on setup errors by design
     Manifest::rebuild(root).expect("manifest");
 }
 
@@ -147,6 +151,7 @@ pub fn run(scale: Scale) -> QueryResult {
     let window = TimeRange::new(t_max * 0.45, t_max * 0.55);
     // A box around track 0's own extent: selective but non-empty.
     let bbox = Rect::bounding(traces[0].iter().map(|p| p.pos))
+        // bqs-analyze: allow(no-unwrap-in-lib) — experiment harness fails fast on setup errors by design
         .expect("non-empty trace")
         .union(&Rect::from_point(Point2::new(0.0, 0.0)));
 
@@ -156,6 +161,7 @@ pub fn run(scale: Scale) -> QueryResult {
     for shards in shard_counts() {
         let root = base.join(format!("tree-{shards}"));
         build_tree(&root, shards, &traces);
+        // bqs-analyze: allow(no-unwrap-in-lib) — experiment harness fails fast on setup errors by design
         let mut engine = QueryEngine::open(&root).expect("open tree");
         let queries: Vec<(&'static str, Option<u64>, TimeRange, Option<Rect>)> = vec![
             ("full scan", None, TimeRange::all(), None),
@@ -169,6 +175,7 @@ pub fn run(scale: Scale) -> QueryResult {
                 Some(area) => engine.query_bbox(track, area, Some(range)),
                 None => engine.query_time_range(track, range),
             }
+            // bqs-analyze: allow(no-unwrap-in-lib) — experiment harness fails fast on setup errors by design
             .expect("query");
             rows.push(QueryRow {
                 shards,

@@ -98,6 +98,7 @@ impl StorageResult {
         self.rows
             .iter()
             .find(|r| r.label == "codec exact")
+            // bqs-analyze: allow(no-unwrap-in-lib) — experiment harness fails fast on setup errors by design
             .expect("codec exact row always present")
     }
 
@@ -107,6 +108,7 @@ impl StorageResult {
         self.rows
             .iter()
             .find(|r| r.label == "codec mm grid")
+            // bqs-analyze: allow(no-unwrap-in-lib) — experiment harness fails fast on setup errors by design
             .expect("codec mm grid row always present")
     }
 }
@@ -153,8 +155,10 @@ pub fn run(scale: Scale) -> StorageResult {
         false,
     ));
 
+    // bqs-analyze: allow(no-unwrap-in-lib) — experiment harness fails fast on setup errors by design
     let encoded = codec::encode_to_vec(points).expect("vehicle timestamps are monotone");
     debug_assert_eq!(
+        // bqs-analyze: allow(no-unwrap-in-lib) — experiment harness fails fast on setup errors by design
         codec::decode_to_vec(&encoded).expect("round trip"),
         *points,
         "codec must be lossless on the dataset"
@@ -162,12 +166,15 @@ pub fn run(scale: Scale) -> StorageResult {
     rows.push(row("codec exact", n, encoded.len(), n, true));
 
     let quantized = codec::encode_to_vec_with(codec::CodecProfile::millimetre(), points)
+        // bqs-analyze: allow(no-unwrap-in-lib) — experiment harness fails fast on setup errors by design
         .expect("vehicle coordinates fit a mm grid");
     rows.push(row("codec mm grid", n, quantized.len(), n, false));
 
     for tolerance in tolerances(scale) {
+        // bqs-analyze: allow(no-unwrap-in-lib) — tolerance is a positive constant validated at the call site
         let config = BqsConfig::new(tolerance).expect("positive tolerance");
         let kept = compress_all(&mut FastBqsCompressor::new(config), points.iter().copied());
+        // bqs-analyze: allow(no-unwrap-in-lib) — experiment harness fails fast on setup errors by design
         let encoded = codec::encode_to_vec(&kept).expect("kept points stay monotone");
         rows.push(row(
             format!("fbqs@{tolerance}m + codec"),
@@ -187,7 +194,9 @@ pub fn run(scale: Scale) -> StorageResult {
 /// Encodes then decodes `points`, asserting bit-exactness; helper shared
 /// with the pipeline tests.
 pub fn assert_lossless(points: &[TimedPoint]) {
+    // bqs-analyze: allow(no-unwrap-in-lib) — experiment harness fails fast on setup errors by design
     let bytes = codec::encode_to_vec(points).expect("encode");
+    // bqs-analyze: allow(no-unwrap-in-lib) — experiment harness fails fast on setup errors by design
     let back = codec::decode_to_vec(&bytes).expect("decode");
     assert_eq!(back.len(), points.len());
     for (a, b) in points.iter().zip(&back) {

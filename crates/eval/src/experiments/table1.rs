@@ -44,8 +44,8 @@ impl ScalingSeries {
     /// Ratio of per-point cost between the largest and smallest `n` — ≈ 1
     /// for a linear-time algorithm, ≈ `n_max/n_min` for a quadratic one.
     pub fn per_point_growth(&self) -> f64 {
-        let first = self.cells.first().expect("non-empty").ns_per_point;
-        let last = self.cells.last().expect("non-empty").ns_per_point;
+        let first = self.cells.first().map_or(0.0, |c| c.ns_per_point);
+        let last = self.cells.last().map_or(0.0, |c| c.ns_per_point);
         last / first.max(1e-9)
     }
 }
@@ -78,8 +78,8 @@ impl Table1Result {
                 s.algorithm.to_string(),
                 s.claimed_time.to_string(),
                 s.claimed_space.to_string(),
-                format!("{:.0}", s.cells.first().unwrap().ns_per_point),
-                format!("{:.0}", s.cells.last().unwrap().ns_per_point),
+                format!("{:.0}", s.cells.first().map_or(0.0, |c| c.ns_per_point)),
+                format!("{:.0}", s.cells.last().map_or(0.0, |c| c.ns_per_point)),
                 format!("{:.1}x", s.per_point_growth()),
             ]);
         }
@@ -141,6 +141,7 @@ pub fn run(scale: Scale) -> Table1Result {
     for &n in &sizes {
         let stream = adversarial_stream(n);
         fbqs.cells.push(time_run(
+            // bqs-analyze: allow(no-unwrap-in-lib) — tolerance is a positive constant validated at the call site
             FastBqsCompressor::new(BqsConfig::new(tolerance).expect("tolerance")),
             &stream,
         ));

@@ -84,6 +84,7 @@ pub fn run(scale: Scale) -> Table2Result {
         rows.push(OperationalRow {
             algorithm: algo.label(),
             compression_rate: rate,
+            // bqs-analyze: allow(no-unwrap-in-lib) — experiment harness fails fast on setup errors by design
             days: model.operational_days(rate).expect("valid rate"),
         });
     }
@@ -92,6 +93,7 @@ pub fn run(scale: Scale) -> Table2Result {
     rows.push(OperationalRow {
         algorithm: "DR",
         compression_rate: dr_rate,
+        // bqs-analyze: allow(no-unwrap-in-lib) — experiment harness fails fast on setup errors by design
         days: model.operational_days(dr_rate).expect("valid rate"),
     });
 

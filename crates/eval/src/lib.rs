@@ -23,7 +23,6 @@
 //! (crossbeam-parallel sweeps).
 
 #![deny(missing_docs)]
-#![warn(clippy::all)]
 
 pub mod algorithms;
 pub mod experiments;

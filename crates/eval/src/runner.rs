@@ -29,10 +29,12 @@ where
             let next = &next;
             let f = &f;
             scope.spawn(move || loop {
+                // ordering: relaxed work-stealing ticket — fetch_add is already atomic and no other memory hangs off the index
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
+                // bqs-analyze: allow(no-unwrap-in-lib) — experiment harness fails fast on setup errors by design
                 tx.send((i, f(&inputs[i]))).expect("collector alive");
             });
         }

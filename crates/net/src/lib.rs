@@ -43,7 +43,6 @@
 //! end-to-end backpressure semantics the blocking design had.
 
 #![deny(missing_docs)]
-#![warn(clippy::all)]
 
 pub mod client;
 pub mod error;

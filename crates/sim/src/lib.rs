@@ -27,7 +27,6 @@
 //! reproducible.
 
 #![deny(missing_docs)]
-#![warn(clippy::all)]
 
 pub mod bat;
 pub mod dataset;

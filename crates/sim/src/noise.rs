@@ -31,6 +31,7 @@ impl GpsNoise {
             return trace.clone();
         }
         let mut rng = StdRng::seed_from_u64(seed);
+        // bqs-analyze: allow(no-unwrap-in-lib) — distribution parameters come from a validated config
         let normal = Normal::new(0.0, self.sigma).expect("valid normal");
         let points = trace
             .points

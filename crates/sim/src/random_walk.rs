@@ -75,9 +75,13 @@ impl RandomWalkModel {
     pub fn generate(&self, seed: u64) -> Trace {
         let c = &self.config;
         let mut rng = StdRng::seed_from_u64(seed);
+        // bqs-analyze: allow(no-unwrap-in-lib) — distribution parameters come from a validated config
         let turn = VonMises::new(0.0, c.turning_kappa).expect("valid von Mises");
+        // bqs-analyze: allow(no-unwrap-in-lib) — distribution parameters come from a validated config
         let move_dur = Exp::new(1.0 / c.mean_move_duration).expect("positive rate");
+        // bqs-analyze: allow(no-unwrap-in-lib) — distribution parameters come from a validated config
         let wait_dur = Exp::new(1.0 / c.mean_wait_duration).expect("positive rate");
+        // bqs-analyze: allow(no-unwrap-in-lib) — distribution parameters come from a validated config
         let speed_dist = LogNormal::new(c.speed_ln_mu, c.speed_ln_sigma).expect("valid lognormal");
 
         let mut pos = Point2::new(

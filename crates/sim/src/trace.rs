@@ -68,6 +68,7 @@ impl Trace {
             if part.is_empty() {
                 continue;
             }
+            // bqs-analyze: allow(no-unwrap-in-lib) — invariant: non-empty
             let (t0, t1) = part.time_span().expect("non-empty");
             let shift = offset - t0;
             points.extend(

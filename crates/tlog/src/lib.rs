@@ -67,7 +67,6 @@
 //! ```
 
 #![deny(missing_docs)]
-#![warn(clippy::all)]
 
 pub mod codec;
 pub mod crc;

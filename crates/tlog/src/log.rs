@@ -299,6 +299,7 @@ impl TrajectoryLog {
         let writer = if read_only {
             None
         } else {
+            // bqs-analyze: allow(no-unwrap-in-lib) — invariant: at least one segment
             let last = segments.last().expect("at least one segment");
             Some(
                 OpenOptions::new()
@@ -540,11 +541,13 @@ impl TrajectoryLog {
             });
         }
         let needs_rotation = {
+            // bqs-analyze: allow(no-unwrap-in-lib) — invariant: at least one segment
             let last = self.segments.last().expect("at least one segment");
             !last.records.is_empty()
                 && last.len + frame.len() as u64 > self.config.segment_max_bytes
         };
         if needs_rotation {
+            // bqs-analyze: allow(no-unwrap-in-lib) — invariant: non-empty
             let next_seq = self.segments.last().expect("non-empty").seq + 1;
             let (path, file) = create_segment(&self.dir, next_seq)?;
             self.writer = Some(file);
@@ -557,6 +560,7 @@ impl TrajectoryLog {
         }
         let si = self.segments.len() - 1;
         let last = &mut self.segments[si];
+        // bqs-analyze: allow(no-unwrap-in-lib) — invariant: checked writable above
         let writer = self.writer.as_mut().expect("checked writable above");
         let write_result = writer
             .write_all(frame)
@@ -757,6 +761,7 @@ impl RecordReader<'_> {
             let file = File::open(path).map_err(io_err(format!("open {}", path.display())))?;
             self.current = Some((si, file));
         }
+        // bqs-analyze: allow(no-unwrap-in-lib) — invariant: just set
         Ok(&mut self.current.as_mut().expect("just set").1)
     }
 
@@ -775,6 +780,7 @@ impl RecordReader<'_> {
     /// Reads and CRC-checks one record's body.
     pub(crate) fn read_body(&mut self, si: usize, ri: usize) -> Result<Vec<u8>, TlogError> {
         let mut frame = self.read_frame(si, ri)?;
+        // bqs-analyze: allow(no-unwrap-in-lib) — the slice is exactly 4 bytes by the index arithmetic
         let crc = u32::from_le_bytes(frame[4..8].try_into().expect("4 bytes"));
         let body = frame.split_off(8);
         if crc32(&body) != crc {

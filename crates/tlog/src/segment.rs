@@ -332,7 +332,9 @@ pub fn scan_segment(bytes: &[u8]) -> ScanOutcome {
         if bytes.len() - pos < FRAME_PROLOGUE_LEN as usize {
             return fault(records, pos, TailFault::ShortPrologue);
         }
+        // bqs-analyze: allow(no-unwrap-in-lib) — the slice is exactly 4 bytes by the index arithmetic
         let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+        // bqs-analyze: allow(no-unwrap-in-lib) — the slice is exactly 4 bytes by the index arithmetic
         let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
         if len == 0 || len > MAX_BODY_LEN {
             return fault(records, pos, TailFault::ShortBody);

