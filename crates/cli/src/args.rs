@@ -155,6 +155,16 @@ pub enum Command {
         /// behind a track's watermark are reorder-buffered instead of
         /// rejected (0 keeps strict in-order ingest).
         lateness: f64,
+        /// Declarative threshold rules (`metric:stat>threshold`),
+        /// evaluated every reporter tick; repeatable. Needs
+        /// `--metrics-interval`.
+        alerts: Vec<String>,
+        /// Serve the Prometheus text exposition over HTTP at this
+        /// address (`GET /metrics`).
+        prom_addr: Option<String>,
+        /// Evict sessions idle longer than this many stream-clock
+        /// seconds (0 disables eviction).
+        evict_idle: f64,
     },
     /// `bqs loadgen --addr HOST:PORT [--sessions N] [--points N] [--seed N] [--connections N] [--batch N] [--disorder S] [--backfill] [--shutdown]`
     Loadgen {
@@ -209,13 +219,25 @@ pub enum Command {
         /// tests).
         current: Option<String>,
     },
-    /// `bqs metrics --addr HOST:PORT [--watch N]`
+    /// `bqs metrics --addr HOST:PORT [--watch N | --prom]`
     Metrics {
         /// Server address, `host:port`.
         addr: String,
         /// Re-fetch every N seconds, printing counter deltas, until
         /// interrupted (`None` fetches once).
         watch: Option<u64>,
+        /// Fetch the Prometheus text exposition instead of the native
+        /// `name value` catalog (mutually exclusive with `--watch`).
+        prom: bool,
+    },
+    /// `bqs trace --addr HOST:PORT [--last N] [--conn ID]`
+    Trace {
+        /// Server address, `host:port`.
+        addr: String,
+        /// Only the most recent N events.
+        last: Option<u64>,
+        /// Only events belonging to one connection id.
+        conn: Option<u64>,
     },
     /// `bqs analyze [--deny] [--lint ID]... [ROOT]`
     Analyze {
@@ -252,12 +274,14 @@ USAGE:
   bqs serve --spill DIR [--addr HOST:PORT] [--workers N] [--tolerance M]
             [--shards N] [--io-threads N] [--max-connections N]
             [--port-file FILE] [--metrics-interval N] [--lateness S]
+            [--alert RULE]... [--prom-addr HOST:PORT] [--evict-idle S]
   bqs loadgen --addr HOST:PORT [--sessions N] [--points N] [--seed N]
               [--connections N] [--batch N] [--disorder S] [--backfill]
               [--shutdown]
               (--sessions 0 --shutdown = no ingest, just shut down)
   bqs subscribe --addr HOST:PORT [--track N] [--bbox X0,Y0,X1,Y1] [--out FILE]
-  bqs metrics --addr HOST:PORT [--watch N]
+  bqs metrics --addr HOST:PORT [--watch N | --prom]
+  bqs trace --addr HOST:PORT [--last N] [--conn ID]
   bqs bench [--quick] [--seed N] [--out FILE]
             [--compare BASELINE.json [--current RUN.json]]
   bqs log append <dir> <trace.csv> --track N [--algorithm none|bqs|fbqs]
@@ -691,10 +715,16 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut port_file: Option<String> = None;
             let mut metrics_interval: Option<u64> = None;
             let mut lateness = 0.0f64;
+            let mut alerts: Vec<String> = Vec::new();
+            let mut prom_addr: Option<String> = None;
+            let mut evict_idle = 0.0f64;
             while let Some(arg) = it.next() {
                 match arg.as_str() {
                     "--addr" => addr = take_value("--addr", &mut it)?.clone(),
                     "--lateness" => lateness = parse_f64("--lateness", &mut it)?,
+                    "--alert" => alerts.push(take_value("--alert", &mut it)?.clone()),
+                    "--prom-addr" => prom_addr = Some(take_value("--prom-addr", &mut it)?.clone()),
+                    "--evict-idle" => evict_idle = parse_f64("--evict-idle", &mut it)?,
                     "--spill" => spill = Some(take_value("--spill", &mut it)?.clone()),
                     "--port-file" => port_file = Some(take_value("--port-file", &mut it)?.clone()),
                     "--metrics-interval" => {
@@ -746,6 +776,17 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             if !(lateness.is_finite() && lateness >= 0.0) {
                 return Err(format!("--lateness must be ≥ 0 seconds, got {lateness}"));
             }
+            if !(evict_idle.is_finite() && evict_idle >= 0.0) {
+                return Err(format!(
+                    "--evict-idle must be ≥ 0 seconds, got {evict_idle}"
+                ));
+            }
+            if !alerts.is_empty() && metrics_interval.is_none() {
+                return Err(
+                    "--alert needs --metrics-interval (the reporter evaluates the rules)"
+                        .to_string(),
+                );
+            }
             Ok(Command::Serve {
                 addr,
                 workers,
@@ -757,6 +798,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 port_file,
                 metrics_interval,
                 lateness,
+                alerts,
+                prom_addr,
+                evict_idle,
             })
         }
         "loadgen" => {
@@ -894,9 +938,11 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "metrics" => {
             let mut addr: Option<String> = None;
             let mut watch: Option<u64> = None;
+            let mut prom = false;
             while let Some(arg) = it.next() {
                 match arg.as_str() {
                     "--addr" => addr = Some(take_value("--addr", &mut it)?.clone()),
+                    "--prom" => prom = true,
                     "--watch" => {
                         let n: u64 = take_value("--watch", &mut it)?
                             .parse()
@@ -909,9 +955,47 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     other => return Err(format!("unexpected argument: {other}")),
                 }
             }
+            if prom && watch.is_some() {
+                return Err("--prom and --watch are mutually exclusive \
+                     (--prom is a one-shot scrape; --watch prints native-format deltas)"
+                    .to_string());
+            }
             Ok(Command::Metrics {
                 addr: addr.ok_or("metrics needs --addr HOST:PORT (a running bqs serve)")?,
                 watch,
+                prom,
+            })
+        }
+        "trace" => {
+            let mut addr: Option<String> = None;
+            let mut last: Option<u64> = None;
+            let mut conn: Option<u64> = None;
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--addr" => addr = Some(take_value("--addr", &mut it)?.clone()),
+                    "--last" => {
+                        let n: u64 = take_value("--last", &mut it)?
+                            .parse()
+                            .map_err(|e| format!("bad --last: {e}"))?;
+                        if n == 0 {
+                            return Err("trace needs --last ≥ 1, got 0".to_string());
+                        }
+                        last = Some(n);
+                    }
+                    "--conn" => {
+                        conn = Some(
+                            take_value("--conn", &mut it)?
+                                .parse()
+                                .map_err(|e| format!("bad --conn: {e}"))?,
+                        );
+                    }
+                    other => return Err(format!("unexpected argument: {other}")),
+                }
+            }
+            Ok(Command::Trace {
+                addr: addr.ok_or("trace needs --addr HOST:PORT (a running bqs serve)")?,
+                last,
+                conn,
             })
         }
         "analyze" => {
@@ -1235,14 +1319,19 @@ mod tests {
                 max_connections: 4096,
                 port_file: None,
                 metrics_interval: None,
-                lateness: 0.0
+                lateness: 0.0,
+                alerts: vec![],
+                prom_addr: None,
+                evict_idle: 0.0
             }
         );
         assert_eq!(
             parse(&args(
                 "serve --addr 0.0.0.0:4750 --workers 8 --spill /tmp/t --tolerance 5 \
                  --shards 4 --io-threads 2 --max-connections 64 --port-file /tmp/port \
-                 --metrics-interval 10 --lateness 2.5"
+                 --metrics-interval 10 --lateness 2.5 --alert append_latency_us:p99>5000 \
+                 --alert fleet_queue_depth:peak>48 --prom-addr 127.0.0.1:9100 \
+                 --evict-idle 30"
             ))
             .unwrap(),
             Command::Serve {
@@ -1255,7 +1344,13 @@ mod tests {
                 max_connections: 64,
                 port_file: Some("/tmp/port".into()),
                 metrics_interval: Some(10),
-                lateness: 2.5
+                lateness: 2.5,
+                alerts: vec![
+                    "append_latency_us:p99>5000".into(),
+                    "fleet_queue_depth:peak>48".into()
+                ],
+                prom_addr: Some("127.0.0.1:9100".into()),
+                evict_idle: 30.0
             }
         );
         // 0 io-threads is valid: the legacy thread-per-connection mode.
@@ -1269,6 +1364,15 @@ mod tests {
         assert!(parse(&args("serve --spill /tmp/t --tolerance -2")).is_err());
         assert!(parse(&args("serve --spill /tmp/t --metrics-interval 0")).is_err());
         assert!(parse(&args("serve --spill /tmp/t --frobnicate")).is_err());
+        // Eviction windows validate like the lateness window.
+        assert!(parse(&args("serve --spill /tmp/t --evict-idle -1")).is_err());
+        assert!(parse(&args("serve --spill /tmp/t --evict-idle inf")).is_err());
+        // Alert rules are evaluated by the reporter, so they need it.
+        let err = parse(&args(
+            "serve --spill /tmp/t --alert fleet_queue_depth:peak>48",
+        ))
+        .unwrap_err();
+        assert!(err.contains("--alert needs --metrics-interval"), "{err}");
     }
 
     #[test]
@@ -1317,19 +1421,57 @@ mod tests {
             parse(&args("metrics --addr 127.0.0.1:4750")).unwrap(),
             Command::Metrics {
                 addr: "127.0.0.1:4750".into(),
-                watch: None
+                watch: None,
+                prom: false
             }
         );
         assert_eq!(
             parse(&args("metrics --addr h:1 --watch 5")).unwrap(),
             Command::Metrics {
                 addr: "h:1".into(),
-                watch: Some(5)
+                watch: Some(5),
+                prom: false
+            }
+        );
+        assert_eq!(
+            parse(&args("metrics --addr h:1 --prom")).unwrap(),
+            Command::Metrics {
+                addr: "h:1".into(),
+                watch: None,
+                prom: true
             }
         );
         assert!(parse(&args("metrics")).is_err(), "addr is required");
         assert!(parse(&args("metrics --addr h:1 --watch 0")).is_err());
         assert!(parse(&args("metrics --addr h:1 --frobnicate")).is_err());
+        // One-shot Prometheus scrape and the delta-printing watch loop
+        // are different output formats; combining them is refused.
+        let err = parse(&args("metrics --addr h:1 --prom --watch 5")).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn trace_parses_and_validates() {
+        assert_eq!(
+            parse(&args("trace --addr 127.0.0.1:4750")).unwrap(),
+            Command::Trace {
+                addr: "127.0.0.1:4750".into(),
+                last: None,
+                conn: None
+            }
+        );
+        assert_eq!(
+            parse(&args("trace --addr h:1 --last 50 --conn 3")).unwrap(),
+            Command::Trace {
+                addr: "h:1".into(),
+                last: Some(50),
+                conn: Some(3)
+            }
+        );
+        assert!(parse(&args("trace")).is_err(), "addr is required");
+        assert!(parse(&args("trace --addr h:1 --last 0")).is_err());
+        assert!(parse(&args("trace --addr h:1 --conn banana")).is_err());
+        assert!(parse(&args("trace --addr h:1 --frobnicate")).is_err());
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //!   schedule with one frame in flight per connection), legacy
 //!   thread-per-connection runtime vs the multiplexed I/O pool;
 //!   best-of-N rounds.
+//! * `net_ingest_pool_metrics` / `net_ingest_pool_tracing` — the pool
+//!   runtime with a live metrics registry, then with the flight
+//!   recorder layered on top; the summary ratios pin the cost of each
+//!   observability layer.
 //! * `query_fanout` — per-track time-range queries against the live
 //!   pool server (hot snapshot + spill tree fan-out).
 //!
@@ -106,6 +110,12 @@ const NET_BATCH: usize = 64;
 /// `--compare` fails when any pinned workload's throughput drops more
 /// than this fraction below the baseline.
 const REGRESSION_TOLERANCE: f64 = 0.15;
+
+/// `--compare` also fails when the current report's
+/// `tracing_enabled_vs_disabled` ratio falls below this: the flight
+/// recorder must keep traced ingest within 5% of the metered pool
+/// runtime, independent of what the baseline recorded.
+const TRACING_FLOOR: f64 = 0.95;
 
 /// Runs the bench suite and renders the JSON report (written to `out`
 /// when given, returned for stdout otherwise). With `compare`, the run
@@ -206,6 +216,26 @@ fn gate(baseline_path: &str, baseline_json: &str, current_json: &str) -> Result<
             }
         }
     }
+    // The tracing budget is absolute, not relative to the baseline:
+    // whenever the current report carries both pool workloads, their
+    // ratio must clear `TRACING_FLOOR`.
+    let pps = |name: &str| current.iter().find(|(n, _)| n == name).map(|(_, p)| *p);
+    if let (Some(traced), Some(metered)) = (
+        pps("net_ingest_pool_tracing"),
+        pps("net_ingest_pool_metrics"),
+    ) {
+        let ratio = traced / metered.max(1e-9);
+        if ratio < TRACING_FLOOR {
+            failures += 1;
+            lines.push(format!(
+                "REGRESSED tracing_enabled_vs_disabled: x{ratio:.3} below the {TRACING_FLOOR} floor"
+            ));
+        } else {
+            lines.push(format!(
+                "ok tracing_enabled_vs_disabled: x{ratio:.3} (floor {TRACING_FLOOR})"
+            ));
+        }
+    }
     let body = lines.join("\n");
     if failures > 0 {
         Err(CliError::Invalid(format!(
@@ -258,6 +288,14 @@ fn report(quick: bool, seed: u64) -> Result<String, CliError> {
             "net_ingest_pool",
         ),
         (
+            // The flight recorder's budget on top of metrics: traced
+            // ingest over the metered pool runtime. `--compare` holds
+            // this ratio at `TRACING_FLOOR` (≥ 0.95).
+            "tracing_enabled_vs_disabled",
+            "net_ingest_pool_tracing",
+            "net_ingest_pool_metrics",
+        ),
+        (
             "columnar_vs_row_encode",
             "codec_encode_columnar",
             "codec_encode_row",
@@ -280,7 +318,7 @@ fn report(quick: bool, seed: u64) -> Result<String, CliError> {
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"bench\": 7,\n");
+    json.push_str("  \"bench\": 8,\n");
     json.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if quick { "quick" } else { "full" }
@@ -532,21 +570,10 @@ fn bench_net(sizes: &Sizes, seed: u64, out: &mut Vec<Workload>) -> Result<(), Cl
         (payload.len() + 10) as f64 / batch.len() as f64
     };
 
-    // The metrics run is the pool runtime with a live registry — the
-    // delta against `net_ingest_pool` (no registry) is the measured
-    // cost of full instrumentation, pinned in the summary as
-    // `metrics_enabled_vs_disabled`.
-    for (name, io_threads, metered) in [
-        ("net_ingest_threaded", 0usize, false),
-        ("net_ingest_pool", 4usize, false),
-        ("net_ingest_pool_metrics", 4usize, true),
-    ] {
+    for (name, io_threads) in [("net_ingest_threaded", 0usize), ("net_ingest_pool", 4usize)] {
         let dir = bench_dir(name);
         let mut config = ServerConfig::new("127.0.0.1:0", 4, &dir);
         config.io_threads = io_threads;
-        if metered {
-            config.metrics = Some(bqs_obs::MetricsRegistry::new());
-        }
         let server = Server::bind(config)?;
         let addr = server.local_addr();
         let handle = std::thread::spawn(move || server.run());
@@ -591,6 +618,61 @@ fn bench_net(sizes: &Sizes, seed: u64, out: &mut Vec<Workload>) -> Result<(), Cl
             .map_err(|_| CliError::Invalid("bench server panicked".to_string()))??;
         let _ = std::fs::remove_dir_all(&dir);
     }
+
+    // The observability pair. `net_ingest_pool_metrics` is the pool
+    // runtime with a live registry — the delta against
+    // `net_ingest_pool` is the cost of full instrumentation, pinned in
+    // the summary as `metrics_enabled_vs_disabled`.
+    // `net_ingest_pool_tracing` layers the flight recorder (at the
+    // serve-default capacity) on top of the metered runtime, so
+    // `tracing_enabled_vs_disabled` isolates the recorder's own cost.
+    // The two servers run side by side with their rounds interleaved:
+    // each rep drives the metered server then the traced one, so both
+    // sample the same host windows and the ratio isn't biased by
+    // scheduler noise between two separate measurements.
+    let spawn_pool = |name: &'static str, traced: bool| {
+        let dir = bench_dir(name);
+        let mut config = ServerConfig::new("127.0.0.1:0", 4, &dir);
+        config.io_threads = 4;
+        let registry = bqs_obs::MetricsRegistry::new();
+        if traced {
+            config.trace = Some(bqs_obs::FlightRecorder::with_counters(
+                65_536,
+                registry.counter("trace_events_recorded_total"),
+                registry.counter("trace_events_dropped_total"),
+            ));
+        }
+        config.metrics = Some(registry);
+        let server = Server::bind(config)?;
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run());
+        Ok::<_, CliError>((addr, handle, dir))
+    };
+    let metered = spawn_pool("net_ingest_pool_metrics", false)?;
+    let traced = spawn_pool("net_ingest_pool_tracing", true)?;
+    let mut bests = [f64::INFINITY; 2];
+    for rep in 0..reps {
+        let base = (rep * sessions) as u64;
+        for (best, server) in bests.iter_mut().zip([&metered, &traced]) {
+            *best = best.min(pipelined_ingest(server.0, &traces, connections, base)?);
+        }
+    }
+    for (best, (addr, handle, dir), name) in [
+        (bests[0], metered, "net_ingest_pool_metrics"),
+        (bests[1], traced, "net_ingest_pool_tracing"),
+    ] {
+        out.push(Workload {
+            name,
+            points: (sessions * points) as u64,
+            elapsed: best,
+            bytes_per_point: Some(wire_bpp),
+        });
+        BqsClient::connect(addr)?.shutdown()?;
+        handle
+            .join()
+            .map_err(|_| CliError::Invalid("bench server panicked".to_string()))??;
+        let _ = std::fs::remove_dir_all(&dir);
+    }
     Ok(())
 }
 
@@ -621,18 +703,20 @@ mod tests {
             "net_ingest_threaded",
             "net_ingest_pool",
             "net_ingest_pool_metrics",
+            "net_ingest_pool_tracing",
             "query_fanout",
             "net_pool_vs_threaded",
             "metrics_enabled_vs_disabled",
+            "tracing_enabled_vs_disabled",
         ] {
             assert!(json.contains(name), "missing {name} in {json}");
         }
-        assert!(json.contains("\"bench\": 7"), "{json}");
+        assert!(json.contains("\"bench\": 8"), "{json}");
     }
 
     fn synthetic_report(ingest_pps: u64) -> String {
         format!(
-            "{{\n  \"bench\": 7,\n  \"workloads\": [\n    \
+            "{{\n  \"bench\": 8,\n  \"workloads\": [\n    \
              {{\"name\": \"codec_encode_row\", \"points\": 10, \"elapsed_s\": 1.0, \
              \"points_per_sec\": 1000}},\n    \
              {{\"name\": \"net_ingest_pool\", \"points\": 10, \"elapsed_s\": 1.0, \
@@ -666,6 +750,32 @@ mod tests {
         // A baseline workload missing from the current run fails too.
         let err = gate("base.json", &baseline, "{\"workloads\": []}").unwrap_err();
         assert!(err.to_string().contains("MISSING"), "{err}");
+    }
+
+    fn synthetic_tracing_report(metered_pps: u64, traced_pps: u64) -> String {
+        format!(
+            "{{\n  \"bench\": 8,\n  \"workloads\": [\n    \
+             {{\"name\": \"net_ingest_pool_metrics\", \"points\": 10, \"elapsed_s\": 1.0, \
+             \"points_per_sec\": {metered_pps}}},\n    \
+             {{\"name\": \"net_ingest_pool_tracing\", \"points\": 10, \"elapsed_s\": 1.0, \
+             \"points_per_sec\": {traced_pps}}}\n  ]\n}}\n"
+        )
+    }
+
+    #[test]
+    fn gate_enforces_the_tracing_floor_on_the_current_report() {
+        let baseline = synthetic_tracing_report(1000, 1000);
+        // A 6% tracing cost stays inside the 15% per-workload tolerance
+        // but breaks the dedicated ≥ 0.95 floor.
+        let err = gate("base.json", &baseline, &synthetic_tracing_report(1000, 940)).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("REGRESSED tracing_enabled_vs_disabled"),
+            "{err}"
+        );
+        // A 4% cost clears both gates.
+        let ok = gate("base.json", &baseline, &synthetic_tracing_report(1000, 960)).unwrap();
+        assert!(ok.contains("ok tracing_enabled_vs_disabled"), "{ok}");
     }
 
     #[test]

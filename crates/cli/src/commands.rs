@@ -111,18 +111,24 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             port_file,
             metrics_interval,
             lateness,
-        } => serve(
+            alerts,
+            prom_addr,
+            evict_idle,
+        } => serve(ServeRun {
             addr,
-            *workers,
+            workers: *workers,
             spill,
-            *tolerance,
-            *shards,
-            *io_threads,
-            *max_connections,
-            port_file.as_deref(),
-            *metrics_interval,
-            *lateness,
-        ),
+            tolerance: *tolerance,
+            shards: *shards,
+            io_threads: *io_threads,
+            max_connections: *max_connections,
+            port_file: port_file.as_deref(),
+            metrics_interval: *metrics_interval,
+            lateness: *lateness,
+            alerts,
+            prom_addr: prom_addr.as_deref(),
+            evict_idle: *evict_idle,
+        }),
         Command::Loadgen {
             addr,
             sessions,
@@ -163,7 +169,8 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             compare.as_deref(),
             current.as_deref(),
         ),
-        Command::Metrics { addr, watch } => metrics(addr, *watch),
+        Command::Metrics { addr, watch, prom } => metrics(addr, *watch, *prom),
+        Command::Trace { addr, last, conn } => trace(addr, *last, *conn),
         Command::Analyze { deny, lints, root } => analyze(*deny, lints, root.as_deref()),
     }
 }
@@ -992,30 +999,64 @@ fn run_experiments(names: &[String], full: bool) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Parameters of one `bqs serve` invocation.
+struct ServeRun<'a> {
+    addr: &'a str,
+    workers: usize,
+    spill: &'a str,
+    tolerance: f64,
+    shards: usize,
+    io_threads: usize,
+    max_connections: usize,
+    port_file: Option<&'a str>,
+    metrics_interval: Option<u64>,
+    lateness: f64,
+    alerts: &'a [String],
+    prom_addr: Option<&'a str>,
+    evict_idle: f64,
+}
+
 /// `bqs serve`: binds the framed TCP server over a parallel fleet,
 /// announces the bound address (stdout line + optional `--port-file`),
 /// then blocks until a client sends `Shutdown`. On exit the fleet has
 /// been drained, every session spilled, and the `MANIFEST` written —
 /// the directory passes `bqs log verify`.
-#[allow(clippy::too_many_arguments)]
-fn serve(
-    addr: &str,
-    workers: usize,
-    spill: &str,
-    tolerance: f64,
-    shards: usize,
-    io_threads: usize,
-    max_connections: usize,
-    port_file: Option<&str>,
-    metrics_interval: Option<u64>,
-    lateness: f64,
-) -> Result<String, CliError> {
+fn serve(run: ServeRun<'_>) -> Result<String, CliError> {
     use std::io::Write;
+
+    let ServeRun {
+        addr,
+        workers,
+        spill,
+        tolerance,
+        shards,
+        io_threads,
+        max_connections,
+        port_file,
+        metrics_interval,
+        lateness,
+        alerts,
+        prom_addr,
+        evict_idle,
+    } = run;
 
     // The CLI server always carries a registry — `bqs metrics` against
     // a `bqs serve` instance should never come back empty. (Library
     // embedders opt in; see `ServerConfig::metrics`.)
     let registry = bqs_obs::MetricsRegistry::new();
+    // The flight recorder rides along unconditionally: recording is a
+    // few relaxed stores per event, and `bqs trace` against a CLI
+    // server should never come back empty either.
+    let recorder = bqs_obs::FlightRecorder::with_counters(
+        65_536,
+        registry.counter("trace_events_recorded_total"),
+        registry.counter("trace_events_dropped_total"),
+    );
+    // Malformed rules are refused before the listener even binds…
+    let mut rules = Vec::new();
+    for raw in alerts {
+        rules.push(bqs_obs::AlertRule::parse(raw).map_err(CliError::Invalid)?);
+    }
     let server = bqs_net::Server::bind(bqs_net::ServerConfig {
         addr: addr.to_string(),
         workers,
@@ -1027,7 +1068,15 @@ fn serve(
         fallback_poller: false,
         metrics: Some(registry.clone()),
         lateness,
+        trace: Some(recorder.clone()),
+        prom_addr: prom_addr.map(String::from),
+        evict_idle,
     })?;
+    // …and unknown metric names or kind-mismatched stats right after
+    // `bind` has registered the server's whole catalog.
+    for rule in &rules {
+        rule.validate(&registry).map_err(CliError::Invalid)?;
+    }
     let local = server.local_addr();
     if let Some(path) = port_file {
         std::fs::write(path, format!("{local}\n")).map_err(|e| CliError::io("write", path, e))?;
@@ -1035,9 +1084,14 @@ fn serve(
     // Announced eagerly (not in the returned summary): scripts and
     // operators need the port while the server is still running.
     println!("listening on {local}");
+    if let Some(prom) = server.prom_addr() {
+        // Scrapers need the resolved port when `--prom-addr` used 0.
+        println!("prometheus on {prom}");
+    }
     let _ = std::io::stdout().flush();
 
-    let reporter = metrics_interval.map(|secs| spawn_metrics_reporter(&registry, workers, secs));
+    let reporter = metrics_interval
+        .map(|secs| spawn_metrics_reporter(&registry, workers, secs, rules, recorder.clone()));
     let run_result = server.run();
     if let Some((stop, handle)) = reporter {
         // ordering: relaxed stop flag — the reporter only needs to observe it eventually; join() below is the real synchronisation
@@ -1045,6 +1099,12 @@ fn serve(
         let _ = handle.join();
     }
     let report = run_result?;
+    // The recorder's last moments — drain, spill, reply flushes — are
+    // exactly what a post-mortem wants; dump them on every clean exit.
+    let trace_line = match dump_trace(&recorder.snapshot(), "shutdown") {
+        Ok((path, events)) => format!("flight recorder: {events} event(s) dumped to {path}\n"),
+        Err(e) => format!("flight recorder: dump failed ({e})\n"),
+    };
     let manifest_line = if report.manifest_shards > 0 {
         format!("wrote MANIFEST ({} shards)\n", report.manifest_shards)
     } else {
@@ -1080,6 +1140,7 @@ fn serve(
          {lateness_line}\
          spilled {} sessions, {} points, {} B ({:.2} B/point) to {spill}\n\
          {manifest_line}\
+         {trace_line}\
          pruning power {:.4}\n",
         report.connections,
         report.frames,
@@ -1092,15 +1153,36 @@ fn serve(
     ))
 }
 
+/// Writes a trace snapshot to a dump file under the system temp
+/// directory (never the spill directory — dumps must not dirty the
+/// durable tree). Returns `(path, events)` for the announcement line.
+fn dump_trace(
+    snapshot: &bqs_obs::TraceSnapshot,
+    label: &str,
+) -> Result<(String, usize), std::io::Error> {
+    let path = std::env::temp_dir().join(format!("bqs-trace-{}-{label}.txt", std::process::id()));
+    std::fs::write(&path, snapshot.render())?;
+    Ok((path.to_string_lossy().into_owned(), snapshot.events.len()))
+}
+
 /// Spawns the `--metrics-interval` reporter thread: one line to stderr
 /// every `secs` seconds with the ingest rate over the interval, the
 /// all-time p99 append latency, live connections, and the deepest
 /// per-shard queue high-water mark. It only reads the registry the
 /// server writes, so the reporter costs the request path nothing.
+///
+/// The same tick refreshes the `process_rss_bytes` gauge and evaluates
+/// the `--alert` rules: a breached rule prints one structured `alert:`
+/// line to stderr, flushes the flight recorder to a dump file, and
+/// bumps `alerts_tripped_total` plus its own per-rule counter — every
+/// tick the breach persists, so the counters measure breach duration
+/// in ticks.
 fn spawn_metrics_reporter(
     registry: &bqs_obs::MetricsRegistry,
     workers: usize,
     secs: u64,
+    rules: Vec<bqs_obs::AlertRule>,
+    recorder: bqs_obs::FlightRecorder,
 ) -> (
     std::sync::Arc<std::sync::atomic::AtomicBool>,
     std::thread::JoinHandle<()>,
@@ -1113,11 +1195,20 @@ fn spawn_metrics_reporter(
     let submitted = registry.counter("fleet_submitted_points_total");
     let append_us = registry.histogram("net_request_us_append");
     let live = registry.gauge("net_connections_live");
+    let rss = registry.gauge("process_rss_bytes");
+    let alerts_tripped = registry.counter("alerts_tripped_total");
+    let rule_tripped: Vec<bqs_obs::Counter> = (0..rules.len())
+        .map(|k| registry.counter(&format!("alert_rule{k}_tripped_total")))
+        .collect();
     let depths: Vec<bqs_obs::Gauge> = (0..workers)
         .map(|k| registry.gauge(&format!("fleet_shard{k}_channel_depth")))
         .collect();
+    let reg = registry.clone();
     let handle = std::thread::spawn(move || {
         let mut last = submitted.get();
+        // Per-rule counter totals at the previous tick (`rate` stats).
+        let mut prev_totals = vec![0u64; rules.len()];
+        rss.set(bqs_obs::process_rss_bytes());
         loop {
             // Sleep in short slices so shutdown stays prompt.
             let woke = std::time::Instant::now();
@@ -1128,9 +1219,11 @@ fn spawn_metrics_reporter(
                 }
                 std::thread::sleep(std::time::Duration::from_millis(100));
             }
+            let interval = woke.elapsed().as_secs_f64();
             let now = submitted.get();
             let rate = (now.saturating_sub(last)) / secs.max(1);
             last = now;
+            rss.set(bqs_obs::process_rss_bytes());
             let high_water = depths.iter().map(bqs_obs::Gauge::peak).max().unwrap_or(0);
             eprintln!(
                 "metrics: ingest {rate} pts/s, append p99 {} us, {} live conn(s), \
@@ -1138,6 +1231,30 @@ fn spawn_metrics_reporter(
                 append_us.snapshot().p99(),
                 live.get(),
             );
+            for (k, rule) in rules.iter().enumerate() {
+                // Validated at startup; a vanished metric would be a
+                // registry bug, not a user error — skip, don't panic.
+                let Some(sample) = reg.sample(rule.metric()) else {
+                    continue;
+                };
+                let observed = rule.observe(&sample, prev_totals[k], interval);
+                if let bqs_obs::MetricSample::Counter(total) = sample {
+                    prev_totals[k] = total;
+                }
+                if rule.check(observed) {
+                    alerts_tripped.inc();
+                    rule_tripped[k].inc();
+                    let dump = match dump_trace(&recorder.snapshot(), &format!("alert-{k}")) {
+                        Ok((path, _)) => path,
+                        Err(e) => format!("(dump failed: {e})"),
+                    };
+                    eprintln!(
+                        "alert: rule={:?} observed={observed:.3} threshold={} dump={dump}",
+                        rule.raw(),
+                        rule.threshold(),
+                    );
+                }
+            }
         }
     });
     (stop, handle)
@@ -1146,11 +1263,24 @@ fn spawn_metrics_reporter(
 /// `bqs metrics`: fetches a server's metric catalog over the wire. A
 /// single shot prints the sorted `name value` text as-is; `--watch N`
 /// keeps the connection open and prints changed lines (with `+delta`
-/// for increases) every `N` seconds until the server goes away.
-fn metrics(addr: &str, watch: Option<u64>) -> Result<String, CliError> {
+/// for increases) every `N` seconds until the server goes away;
+/// `--prom` fetches the Prometheus text exposition instead (one shot —
+/// it cannot be combined with `--watch`).
+fn metrics(addr: &str, watch: Option<u64>, prom: bool) -> Result<String, CliError> {
     use std::io::Write;
 
+    // Also guarded in the argument parser; re-checked here because
+    // `run` is a public entry point.
+    if prom && watch.is_some() {
+        return Err(CliError::invalid(
+            "--prom and --watch are mutually exclusive \
+             (--prom is a one-shot scrape; --watch prints native-format deltas)",
+        ));
+    }
     let mut client = bqs_net::BqsClient::connect(addr)?;
+    if prom {
+        return Ok(client.metrics_prom()?);
+    }
     let text = client.metrics()?;
     let Some(secs) = watch else {
         return Ok(text);
@@ -1181,6 +1311,15 @@ fn metrics(addr: &str, watch: Option<u64>) -> Result<String, CliError> {
         prev = now;
     }
     Ok(format!("metrics: server gone after {samples} sample(s)\n"))
+}
+
+/// `bqs trace`: fetches a server's flight-recorder contents over the
+/// wire and renders them one event per line, oldest first — the same
+/// text the server writes to dump files on alert trips and shutdown.
+fn trace(addr: &str, last: Option<u64>, conn: Option<u64>) -> Result<String, CliError> {
+    let mut client = bqs_net::BqsClient::connect(addr)?;
+    let (dropped, events) = client.trace_dump(last, conn)?;
+    Ok(bqs_obs::TraceSnapshot { events, dropped }.render())
 }
 
 /// Parses exposition text (`name value` per line) for `--watch` deltas.
@@ -1931,6 +2070,9 @@ mod tests {
             port_file: Some(port_file.clone()),
             metrics_interval: Some(1),
             lateness: 0.0,
+            alerts: vec![],
+            prom_addr: None,
+            evict_idle: 0.0,
         };
         let server = std::thread::spawn(move || run(&serve_cmd));
 
@@ -2005,6 +2147,9 @@ mod tests {
             port_file: None,
             metrics_interval: None,
             lateness: 0.0,
+            alerts: vec![],
+            prom_addr: None,
+            evict_idle: 0.0,
         })
         .unwrap_err();
         assert!(err.contains("fresh directory"), "{err}");

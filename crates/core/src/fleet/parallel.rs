@@ -63,11 +63,12 @@
 //! ```
 
 use super::{
-    track_hash, FleetConfig, FleetEngine, FleetSink, FleetSnapshot, SessionReport, TrackId,
+    track_hash, FleetConfig, FleetEngine, FleetSink, FleetSnapshot, FlushReason, SessionReport,
+    TrackId,
 };
 use crate::stream::{DecisionStats, HasDecisionStats, StreamCompressor};
 use bqs_geo::TimedPoint;
-use bqs_obs::{elapsed_us, Counter, Gauge, MetricsRegistry};
+use bqs_obs::{elapsed_us, Counter, FlightRecorder, Gauge, MetricsRegistry, TraceEventKind};
 use std::collections::HashSet;
 use std::sync::mpsc::{sync_channel, Receiver, SendError, SyncSender};
 use std::thread::JoinHandle;
@@ -225,6 +226,10 @@ struct ShardMetrics {
     total_submitted: Counter,
     total_kept: Counter,
     total_dropped: Counter,
+    /// Sessions reclaimed by idle eviction, fleet-wide.
+    evicted: Counter,
+    /// Flight recorder the sinks emit `Evict` events into, when wired.
+    trace: Option<FlightRecorder>,
 }
 
 impl FleetMetrics {
@@ -234,6 +239,7 @@ impl FleetMetrics {
         let total_submitted = registry.counter("fleet_submitted_points_total");
         let total_kept = registry.counter("fleet_kept_points_total");
         let total_dropped = registry.counter("fleet_dropped_points_total");
+        let evicted = registry.counter("fleet_evicted_sessions_total");
         let shards = (0..workers.max(1))
             .map(|k| ShardMetrics {
                 submitted: registry.counter(&format!("fleet_shard{k}_submitted_points_total")),
@@ -245,9 +251,20 @@ impl FleetMetrics {
                 total_submitted: total_submitted.clone(),
                 total_kept: total_kept.clone(),
                 total_dropped: total_dropped.clone(),
+                evicted: evicted.clone(),
+                trace: None,
             })
             .collect();
         FleetMetrics { shards }
+    }
+
+    /// Wires a flight recorder into every shard: each idle eviction then
+    /// emits one `Evict` trace event alongside the counter bump.
+    pub fn with_trace(mut self, trace: FlightRecorder) -> FleetMetrics {
+        for shard in &mut self.shards {
+            shard.trace = Some(trace.clone());
+        }
+        self
     }
 }
 
@@ -269,6 +286,8 @@ struct MeteredSink<S> {
     inner: S,
     kept: Counter,
     total_kept: Counter,
+    evicted: Counter,
+    trace: Option<FlightRecorder>,
 }
 
 impl<S: FleetSink> FleetSink for MeteredSink<S> {
@@ -279,6 +298,12 @@ impl<S: FleetSink> FleetSink for MeteredSink<S> {
     }
 
     fn session_closed(&mut self, report: &SessionReport) {
+        if report.reason == FlushReason::Evicted {
+            self.evicted.inc();
+            if let Some(tr) = &self.trace {
+                tr.record(TraceEventKind::Evict, 0, report.points);
+            }
+        }
         self.inner.session_closed(report);
     }
 
@@ -378,6 +403,8 @@ where
                 inner: sink,
                 kept: m.kept.clone(),
                 total_kept: m.total_kept.clone(),
+                evicted: m.evicted.clone(),
+                trace: m.trace.clone(),
             };
             let out = run_worker(rx, config, factory, metered, Some(m));
             WorkerOutput {

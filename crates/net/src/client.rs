@@ -235,9 +235,35 @@ impl BqsClient {
     /// (see `docs/observability.md`). Empty when the server runs
     /// without a metrics registry.
     pub fn metrics(&mut self) -> Result<String, NetError> {
-        match self.call(&Request::Metrics, "MetricsReply")? {
+        self.metrics_text(false)
+    }
+
+    /// The server's metrics catalog in the Prometheus text exposition
+    /// format — the same payload `bqs serve --prom-addr` serves over
+    /// HTTP. Empty when the server runs without a metrics registry.
+    pub fn metrics_prom(&mut self) -> Result<String, NetError> {
+        self.metrics_text(true)
+    }
+
+    fn metrics_text(&mut self, prom: bool) -> Result<String, NetError> {
+        match self.call(&Request::Metrics { prom }, "MetricsReply")? {
             Reply::MetricsReply { text } => Ok(text),
             other => Err(unexpected("MetricsReply", &other)),
+        }
+    }
+
+    /// The server's flight-recorder contents as `(dropped, events)`,
+    /// optionally truncated to the most recent `last` events and/or
+    /// filtered to one connection id. Empty when the server runs
+    /// without a recorder.
+    pub fn trace_dump(
+        &mut self,
+        last: Option<u64>,
+        conn: Option<u64>,
+    ) -> Result<(u64, Vec<bqs_obs::TraceEvent>), NetError> {
+        match self.call(&Request::TraceDump { last, conn }, "TraceReply")? {
+            Reply::TraceReply { dropped, events } => Ok((dropped, events)),
+            other => Err(unexpected("TraceReply", &other)),
         }
     }
 
@@ -312,6 +338,7 @@ fn unexpected(expected: &'static str, found: &Reply) -> NetError {
         Reply::QueryResult(_) => "QueryResult",
         Reply::StatsReply(_) => "StatsReply",
         Reply::MetricsReply { .. } => "MetricsReply",
+        Reply::TraceReply { .. } => "TraceReply",
         Reply::ShuttingDown { .. } => "ShuttingDown",
         Reply::Error { .. } => "Error",
     };

@@ -61,7 +61,9 @@ use bqs_core::fleet::{
 use bqs_core::stream::DecisionStats;
 use bqs_core::{BqsConfig, FastBqsCompressor};
 use bqs_geo::{ColumnarBatch, TimedPoint};
-use bqs_obs::{elapsed_us, Counter, Gauge, Histogram, MetricsRegistry};
+use bqs_obs::{
+    elapsed_us, Counter, FlightRecorder, Gauge, Histogram, MetricsRegistry, TraceEventKind,
+};
 use bqs_tlog::crc::crc32;
 use bqs_tlog::{
     prepare_spill_logs, LogConfig, Manifest, QueryEngine, SpillMetrics, SpillSink, TimeRange,
@@ -165,6 +167,18 @@ pub struct ServerConfig {
     /// (the default) skips all instrumentation — the hot path pays one
     /// branch per site and nothing else.
     pub metrics: Option<MetricsRegistry>,
+    /// Flight recorder the server emits structured trace events into
+    /// (accept, frame decode, fleet submit, spill, reply flush, reject,
+    /// eviction). `None` (the default) records nothing — each emission
+    /// site pays one branch and nothing else.
+    pub trace: Option<FlightRecorder>,
+    /// Address for the std-only HTTP/1.1 Prometheus responder
+    /// (`GET /metrics`); `None` (the default) serves no HTTP.
+    pub prom_addr: Option<String>,
+    /// Stream-time seconds a session may idle before the server evicts
+    /// it (finalising it through the normal spill path). `0` (the
+    /// default) never evicts; sessions close only at shutdown.
+    pub evict_idle: f64,
 }
 
 impl ServerConfig {
@@ -184,6 +198,9 @@ impl ServerConfig {
             max_connections: DEFAULT_MAX_CONNECTIONS,
             fallback_poller: false,
             metrics: None,
+            trace: None,
+            prom_addr: None,
+            evict_idle: 0.0,
         }
     }
 }
@@ -235,6 +252,9 @@ struct FleetState {
     /// finalization writes them as flagged backfill records. Each inner
     /// vec is one accepted batch → one durable record.
     backfill: HashMap<TrackId, Vec<Vec<TimedPoint>>>,
+    /// Highest timestamp accepted on any track — the stream clock the
+    /// idle-eviction tick measures staleness against.
+    max_t: f64,
 }
 
 /// The fleet sink behind every worker shard: the durable spill sink,
@@ -613,6 +633,15 @@ struct Shared {
     /// When the server was bound (drives the `Stats` uptime gauge).
     started: Instant,
     metrics: Option<ServerMetrics>,
+    trace: Option<FlightRecorder>,
+    /// Ticket dispenser for per-connection trace ids; ids start at 1
+    /// (0 marks events not tied to any one connection).
+    next_conn_id: AtomicU64,
+    /// Stream-time idle-eviction threshold; 0 disables the tick.
+    evict_idle: f64,
+    /// Where the Prometheus HTTP responder is bound, when it runs
+    /// (finalize connects here once to pop it out of `accept`).
+    prom_addr: Option<SocketAddr>,
 }
 
 impl Shared {
@@ -625,7 +654,8 @@ impl Shared {
 
     /// Registers an accepted connection: the admission gate, the serve
     /// totals, the peak watermark and (when present) the live gauge.
-    fn conn_admitted(&self) {
+    /// Returns the connection's trace id.
+    fn conn_admitted(&self) -> u64 {
         let live = self.active.fetch_add(1, Ordering::SeqCst) + 1; // ordering: seqcst admission count pairs with the acceptor capacity check
         self.peak_active.fetch_max(live, Ordering::Relaxed); // ordering: relaxed peak watermark, approximate by design
         self.connections.fetch_add(1, Ordering::Relaxed); // ordering: relaxed stat counter, read after join()
@@ -633,6 +663,11 @@ impl Shared {
             m.conns_admitted.inc();
             m.conns_live.set(live as u64);
         }
+        let id = self.next_conn_id.fetch_add(1, Ordering::Relaxed); // ordering: relaxed unique-id ticket; only atomicity matters
+        if let Some(tr) = &self.trace {
+            tr.record(TraceEventKind::Accept, id, live as u64);
+        }
+        id
     }
 
     /// Unregisters a connection (served to completion, or admitted but
@@ -650,6 +685,9 @@ impl Shared {
         self.rejected.fetch_add(1, Ordering::Relaxed); // ordering: relaxed stat counter, read after join()
         if let Some(m) = &self.metrics {
             m.conns_rejected.inc();
+        }
+        if let Some(tr) = &self.trace {
+            tr.record(TraceEventKind::Reject, 0, self.max_connections as u64);
         }
     }
 }
@@ -683,6 +721,9 @@ impl Shared {
 /// ```
 pub struct Server {
     listener: TcpListener,
+    /// The Prometheus HTTP responder's listener, bound at `bind` time
+    /// so a bad `--prom-addr` fails up front; taken by `run`.
+    prom_listener: Option<TcpListener>,
     shared: Arc<Shared>,
 }
 
@@ -712,6 +753,12 @@ impl Server {
                 config.lateness
             )));
         }
+        if !(config.evict_idle.is_finite() && config.evict_idle >= 0.0) {
+            return Err(NetError::Config(format!(
+                "evict-idle must be a finite number of seconds ≥ 0, got {}",
+                config.evict_idle
+            )));
+        }
         // One shared guard + open path with `bqs fleet --spill`: the
         // layout rules and their messages cannot drift between the two
         // writers.
@@ -725,11 +772,20 @@ impl Server {
         // All instrumentation hangs off the optional registry: absent,
         // the fleet, sinks and connection handlers run exactly the
         // unmetered code paths.
-        let fleet_metrics = config
-            .metrics
-            .as_ref()
-            .map(|r| FleetMetrics::new(r, config.workers));
-        let spill_metrics = config.metrics.as_ref().map(SpillMetrics::new);
+        let fleet_metrics = config.metrics.as_ref().map(|r| {
+            let fm = FleetMetrics::new(r, config.workers);
+            match &config.trace {
+                Some(tr) => fm.with_trace(tr.clone()),
+                None => fm,
+            }
+        });
+        let spill_metrics = config.metrics.as_ref().map(|r| {
+            let sm = SpillMetrics::new(r);
+            match &config.trace {
+                Some(tr) => sm.with_trace(tr.clone()),
+                None => sm,
+            }
+        });
         let server_metrics = config.metrics.as_ref().map(ServerMetrics::new);
         let hub = Arc::new(SubHub::new(config.metrics.as_ref()));
         let sink_hub = Arc::clone(&hub);
@@ -738,6 +794,11 @@ impl Server {
                 workers: config.workers,
                 fleet: FleetConfig {
                     shards: config.shards,
+                    idle_timeout: if config.evict_idle > 0.0 {
+                        config.evict_idle
+                    } else {
+                        FleetConfig::default().idle_timeout
+                    },
                     ..FleetConfig::default()
                 },
                 ..ParallelConfig::default()
@@ -758,14 +819,30 @@ impl Server {
         let local_addr = listener
             .local_addr()
             .map_err(|e| NetError::io("local_addr", e))?;
+        let prom_listener = match &config.prom_addr {
+            Some(addr) => Some(
+                TcpListener::bind(addr)
+                    .map_err(|e| NetError::io(format!("bind prom {addr}"), e))?,
+            ),
+            None => None,
+        };
+        let prom_addr = match &prom_listener {
+            Some(l) => Some(
+                l.local_addr()
+                    .map_err(|e| NetError::io("prom local_addr", e))?,
+            ),
+            None => None,
+        };
         Ok(Server {
             listener,
+            prom_listener,
             shared: Arc::new(Shared {
                 fleet: Mutex::new(Some(FleetState {
                     fleet,
                     last_t: HashMap::new(),
                     reorder: (config.lateness > 0.0).then(|| FleetReorder::new(config.lateness)),
                     backfill: HashMap::new(),
+                    max_t: f64::NEG_INFINITY,
                 })),
                 hub,
                 spill: config.spill,
@@ -787,6 +864,10 @@ impl Server {
                 pump_stop: AtomicBool::new(false),
                 started: bqs_obs::now(),
                 metrics: server_metrics,
+                trace: config.trace,
+                next_conn_id: AtomicU64::new(1),
+                evict_idle: config.evict_idle,
+                prom_addr,
             }),
         })
     }
@@ -794,6 +875,12 @@ impl Server {
     /// The address actually bound (resolves port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.shared.local_addr
+    }
+
+    /// The Prometheus responder's bound address (resolves port 0);
+    /// `None` unless the config set [`ServerConfig::prom_addr`].
+    pub fn prom_addr(&self) -> Option<SocketAddr> {
+        self.shared.prom_addr
     }
 
     /// Serves until a client sends `Shutdown`, then drains connections,
@@ -804,37 +891,63 @@ impl Server {
     /// pressure) are retried; only a *persistently* failing listener
     /// (≈10 s of consecutive errors) stops the server — and even then
     /// it drains, spills and reports instead of abandoning the fleet.
-    pub fn run(self) -> Result<ServeReport, NetError> {
+    pub fn run(mut self) -> Result<ServeReport, NetError> {
         // The subscriber pump: one thread delivering queued kept points
         // to every subscriber, in both runtimes. It is the only live
         // writer to subscriber sockets, so pushed frames never
-        // interleave.
+        // interleave. The same thread drives the idle-eviction tick
+        // (once per EVICT_TICK) when `--evict-idle` is set.
         let pump_shared = Arc::clone(&self.shared);
         let pump = std::thread::Builder::new()
             .name("bqs-sub-pump".into())
             .spawn(move || {
+                let ticks_per_evict =
+                    (EVICT_TICK.as_millis() / SUB_PUMP_TICK.as_millis()).max(1) as u64;
+                let mut tick = 0u64;
                 // ordering: seqcst stop flag; join() in run() is the real synchronisation
                 while !pump_shared.pump_stop.load(Ordering::SeqCst) {
                     pump_shared.hub.pump();
+                    tick += 1;
+                    if pump_shared.evict_idle > 0.0 && tick.is_multiple_of(ticks_per_evict) {
+                        evict_tick(&pump_shared);
+                    }
                     std::thread::sleep(SUB_PUMP_TICK);
                 }
             })
             .map_err(|e| NetError::io("spawn pump thread", e))?;
+        // The Prometheus responder: one thread serving `GET /metrics`
+        // over plain HTTP/1.1, one request per connection.
+        let prom = match self.prom_listener.take() {
+            Some(listener) => {
+                let prom_shared = Arc::clone(&self.shared);
+                Some(
+                    std::thread::Builder::new()
+                        .name("bqs-prom".into())
+                        .spawn(move || prom_loop(listener, &prom_shared))
+                        .map_err(|e| NetError::io("spawn prom thread", e))?,
+                )
+            }
+            None => None,
+        };
         if self.shared.io_threads == 0 {
-            self.run_threaded(pump)
+            self.run_threaded(pump, prom)
         } else {
-            self.run_pool(pump)
+            self.run_pool(pump, prom)
         }
     }
 
     /// The multiplexed runtime: I/O threads + readiness polling.
-    fn run_pool(self, pump: std::thread::JoinHandle<()>) -> Result<ServeReport, NetError> {
+    fn run_pool(
+        self,
+        pump: std::thread::JoinHandle<()>,
+        prom: Option<std::thread::JoinHandle<()>>,
+    ) -> Result<ServeReport, NetError> {
         let io_threads = self.shared.io_threads;
-        let mut senders: Vec<Sender<TcpStream>> = Vec::with_capacity(io_threads);
+        let mut senders: Vec<Sender<(u64, TcpStream)>> = Vec::with_capacity(io_threads);
         let mut wakers: Vec<TcpStream> = Vec::with_capacity(io_threads);
         let mut handles = Vec::with_capacity(io_threads);
         for i in 0..io_threads {
-            let (tx, rx) = std::sync::mpsc::channel::<TcpStream>();
+            let (tx, rx) = std::sync::mpsc::channel::<(u64, TcpStream)>();
             let (wake_tx, wake_rx) = wake_pipe()?;
             let shared = Arc::clone(&self.shared);
             handles.push(
@@ -870,8 +983,8 @@ impl Server {
                         continue;
                     }
                     let _ = stream.set_nodelay(true);
-                    self.shared.conn_admitted();
-                    if senders[next].send(stream).is_err() {
+                    let id = self.shared.conn_admitted();
+                    if senders[next].send((id, stream)).is_err() {
                         // The io thread is gone (it never exits before
                         // shutdown unless it panicked): undo and drop.
                         self.shared.conn_closed();
@@ -902,11 +1015,15 @@ impl Server {
         for handle in handles {
             let _ = handle.join();
         }
-        self.finalize(pump)
+        self.finalize(pump, prom)
     }
 
     /// The legacy thread-per-connection runtime (`--io-threads 0`).
-    fn run_threaded(self, pump: std::thread::JoinHandle<()>) -> Result<ServeReport, NetError> {
+    fn run_threaded(
+        self,
+        pump: std::thread::JoinHandle<()>,
+        prom: Option<std::thread::JoinHandle<()>>,
+    ) -> Result<ServeReport, NetError> {
         const MAX_CONSECUTIVE_ACCEPT_FAILURES: u32 = 100;
         let mut handles = Vec::new();
         let mut accept_failures = 0u32;
@@ -924,10 +1041,10 @@ impl Server {
                         reject_over_capacity(stream, &self.shared);
                         continue;
                     }
-                    self.shared.conn_admitted();
+                    let id = self.shared.conn_admitted();
                     let shared = Arc::clone(&self.shared);
                     handles.push(std::thread::spawn(move || {
-                        handle_connection(stream, &shared);
+                        handle_connection(stream, &shared, id);
                         shared.conn_closed();
                     }));
                 }
@@ -947,10 +1064,14 @@ impl Server {
             // draining the rest and finish the fleet regardless.
             let _ = handle.join();
         }
-        self.finalize(pump)
+        self.finalize(pump, prom)
     }
 
-    fn finalize(&self, pump: std::thread::JoinHandle<()>) -> Result<ServeReport, NetError> {
+    fn finalize(
+        &self,
+        pump: std::thread::JoinHandle<()>,
+        prom: Option<std::thread::JoinHandle<()>>,
+    ) -> Result<ServeReport, NetError> {
         let mut state = self
             .shared
             .lock_fleet()
@@ -995,6 +1116,16 @@ impl Server {
         self.shared.pump_stop.store(true, Ordering::SeqCst); // ordering: seqcst stop flag; the join() below is the real synchronisation
         let _ = pump.join();
         self.shared.hub.finish();
+        // Stop the Prometheus responder: every path into finalize has
+        // set the shutdown flag (re-asserted here for belt and braces);
+        // one wake connection pops the thread out of `accept`.
+        if let Some(prom) = prom {
+            self.shared.shutdown.store(true, Ordering::SeqCst); // ordering: seqcst publishes shutdown before the wake-up connect below
+            if let Some(addr) = self.shared.prom_addr {
+                drop(TcpStream::connect(wake_addr(addr)));
+            }
+            let _ = prom.join();
+        }
         // Buffered backfill batches become flagged records in the same
         // shard logs the tracks' live data spilled to, *before* the
         // manifest is rebuilt so its spans cover them.
@@ -1057,6 +1188,89 @@ fn write_backfill(
     Ok(())
 }
 
+/// How often the pump thread runs the idle-eviction pass when
+/// `--evict-idle` is set.
+const EVICT_TICK: Duration = Duration::from_secs(1);
+
+/// One idle-eviction pass: finalises (through the normal spill path)
+/// every session that has not pushed for `evict_idle` stream-time
+/// seconds, measured against the highest timestamp accepted so far.
+fn evict_tick(shared: &Shared) {
+    let mut guard = shared.lock_fleet();
+    let Some(state) = guard.as_mut() else {
+        return; // already finalizing
+    };
+    if state.max_t.is_finite() {
+        let now = state.max_t;
+        state.fleet.evict_idle(now);
+    }
+}
+
+/// Serves `GET /metrics` over plain HTTP/1.1 until shutdown: accept,
+/// answer one request, close. Scrapers reconnect per scrape, so one
+/// sequential thread is plenty.
+fn prom_loop(listener: TcpListener, shared: &Shared) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                // ordering: seqcst pairs with the Shutdown request's store
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(POLL_INTERVAL);
+                continue;
+            }
+        };
+        // ordering: seqcst pairs with the Shutdown request's store
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return; // the finalize wake-up (or a late scraper)
+        }
+        serve_prom_conn(stream, shared);
+    }
+}
+
+/// Answers one HTTP request: `GET /metrics` gets the Prometheus text
+/// exposition (0.0.4), anything else a 404. An unmetered server
+/// serves an empty 200 body, mirroring the wire `Metrics` reply.
+fn serve_prom_conn(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    // Read up to the header terminator; only the request line matters.
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < 8192 {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    let line = buf.split(|&b| b == b'\r').next().unwrap_or(&[]);
+    let line = std::str::from_utf8(line).unwrap_or("");
+    let target = line.strip_prefix("GET ").and_then(|r| r.split(' ').next());
+    let (status, body) = if target == Some("/metrics") {
+        let body = shared
+            .metrics
+            .as_ref()
+            .map(|m| m.registry.render_prometheus())
+            .unwrap_or_default();
+        ("200 OK", body)
+    } else {
+        ("404 Not Found", String::new())
+    };
+    let head = format!(
+        "HTTP/1.1 {status}\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+}
+
 /// Answers an over-the-cap accept with one typed error frame and closes
 /// the socket — a client in `connect` surfaces it as
 /// `NetError::Server { code: OverCapacity, .. }` instead of hanging.
@@ -1100,6 +1314,8 @@ fn wake(waker: &TcpStream) {
 
 /// One connection's state inside an I/O thread.
 struct Conn {
+    /// The server-wide trace id assigned at admission.
+    id: u64,
     stream: TcpStream,
     /// Bytes read off the socket, `consumed` of which are parsed.
     inbuf: Vec<u8>,
@@ -1124,8 +1340,9 @@ struct Conn {
 }
 
 impl Conn {
-    fn new(stream: TcpStream) -> Conn {
+    fn new(id: u64, stream: TcpStream) -> Conn {
         Conn {
+            id,
             stream,
             inbuf: Vec::new(),
             consumed: 0,
@@ -1150,7 +1367,7 @@ impl Conn {
 /// One I/O thread: admit connections from `rx`, poll readiness, parse
 /// frames, serve requests, flush replies — until shutdown drains every
 /// connection.
-fn io_loop(rx: Receiver<TcpStream>, wake_rx: TcpStream, shared: &Shared) {
+fn io_loop(rx: Receiver<(u64, TcpStream)>, wake_rx: TcpStream, shared: &Shared) {
     let poller = if shared.fallback_poller {
         Poller::with_fallback()
     } else {
@@ -1168,11 +1385,11 @@ fn io_loop(rx: Receiver<TcpStream>, wake_rx: TcpStream, shared: &Shared) {
         // Admit whatever the acceptor queued.
         while rx_open {
             match rx.try_recv() {
-                Ok(stream) => {
+                Ok((id, stream)) => {
                     let key = next_key;
                     next_key += 1;
                     if poller.add(source_of(&stream), Event::readable(key)).is_ok() {
-                        conns.insert(key, Conn::new(stream));
+                        conns.insert(key, Conn::new(id, stream));
                     } else {
                         shared.conn_closed();
                     }
@@ -1255,7 +1472,7 @@ fn io_loop(rx: Receiver<TcpStream>, wake_rx: TcpStream, shared: &Shared) {
         }
     }
     // Streams the acceptor queued that were never admitted.
-    for stream in rx.try_iter() {
+    for (_, stream) in rx.try_iter() {
         drop(stream);
         shared.conn_closed();
     }
@@ -1335,12 +1552,20 @@ fn service_conn(conn: &mut Conn, shared: &Shared, scratch: &mut ColumnarBatch) -
             Ok((payload, used)) => {
                 conn.consumed += used;
                 shared.frames.fetch_add(1, Ordering::Relaxed); // ordering: relaxed stat counter, read after join()
-                if let Some(m) = &shared.metrics {
+                if shared.metrics.is_some() || shared.trace.is_some() {
                     let kind = ReqKind::of(&payload);
-                    m.on_frame(kind);
+                    if let Some(m) = &shared.metrics {
+                        m.on_frame(kind);
+                    }
+                    // The decode time also anchors the ReplyFlush
+                    // trace event's latency payload.
                     conn.pending.push((bqs_obs::now(), kind));
                 }
-                let (reply, after) = handle_payload(&payload, shared, &mut conn.greeted, scratch);
+                if let Some(tr) = &shared.trace {
+                    tr.record(TraceEventKind::FrameDecode, conn.id, payload.len() as u64);
+                }
+                let (reply, after) =
+                    handle_payload(&payload, shared, &mut conn.greeted, scratch, conn.id);
                 queue_reply(conn, &reply);
                 match after {
                     After::Continue => {}
@@ -1400,9 +1625,13 @@ fn service_conn(conn: &mut Conn, shared: &Shared, scratch: &mut ColumnarBatch) -
         conn.outpos = 0;
         // Every reply this connection owed is now on the wire: the
         // requests' decode→flush latencies are final.
-        if let Some(m) = &shared.metrics {
-            for (start, kind) in conn.pending.drain(..) {
-                m.request_us.get(kind).record(elapsed_us(start));
+        for (start, kind) in conn.pending.drain(..) {
+            let us = elapsed_us(start);
+            if let Some(m) = &shared.metrics {
+                m.request_us.get(kind).record(us);
+            }
+            if let Some(tr) = &shared.trace {
+                tr.record(TraceEventKind::ReplyFlush, conn.id, us);
             }
         }
         if conn.close_after_flush {
@@ -1444,7 +1673,7 @@ enum After {
 }
 
 /// The legacy per-connection reader thread (`--io-threads 0`).
-fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+fn handle_connection(mut stream: TcpStream, shared: &Shared, conn_id: u64) {
     if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
         return;
     }
@@ -1473,16 +1702,29 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
             Err(_) => return, // transport died
         };
         shared.frames.fetch_add(1, Ordering::Relaxed); // ordering: relaxed stat counter, read after join()
-        let start = shared.metrics.as_ref().map(|m| {
+        let start = (shared.metrics.is_some() || shared.trace.is_some()).then(|| {
             let kind = ReqKind::of(&payload);
-            m.on_frame(kind);
-            m.bytes_in.add((HEADER_BYTES + payload.len() + 4) as u64);
+            if let Some(m) = &shared.metrics {
+                m.on_frame(kind);
+                m.bytes_in.add((HEADER_BYTES + payload.len() + 4) as u64);
+            }
             (bqs_obs::now(), kind)
         });
-        let (reply, after) = handle_payload(&payload, shared, &mut greeted, &mut scratch);
+        if let Some(tr) = &shared.trace {
+            tr.record(TraceEventKind::FrameDecode, conn_id, payload.len() as u64);
+        }
+        let (reply, after) = handle_payload(&payload, shared, &mut greeted, &mut scratch, conn_id);
         let sent = send_reply(&mut writer, &reply, shared);
-        if let (Some(m), Some((t, kind))) = (&shared.metrics, start) {
-            m.request_us.get(kind).record(elapsed_us(t));
+        if let Some((t, kind)) = start {
+            let us = elapsed_us(t);
+            if let Some(m) = &shared.metrics {
+                m.request_us.get(kind).record(us);
+            }
+            if sent {
+                if let Some(tr) = &shared.trace {
+                    tr.record(TraceEventKind::ReplyFlush, conn_id, us);
+                }
+            }
         }
         if !sent {
             return;
@@ -1555,11 +1797,12 @@ fn handle_payload(
     shared: &Shared,
     greeted: &mut bool,
     scratch: &mut ColumnarBatch,
+    conn: u64,
 ) -> (Reply, After) {
     if *greeted {
         scratch.clear();
         match decode_append_columns(payload, scratch) {
-            Ok(Some(track)) => return handle_append_columns(track, scratch, shared),
+            Ok(Some(track)) => return handle_append_columns(track, scratch, shared, conn),
             Ok(None) => {}
             Err(e) => {
                 return (
@@ -1573,7 +1816,7 @@ fn handle_payload(
         }
     }
     match Request::decode(payload) {
-        Ok(request) => handle_request(request, shared, greeted),
+        Ok(request) => handle_request(request, shared, greeted, conn),
         Err(e) => (
             Reply::Error {
                 code: ErrorCode::BadFrame,
@@ -1586,7 +1829,12 @@ fn handle_payload(
 
 /// The `Append` fast path: timestamps validated in one pass over the
 /// contiguous run, then the whole run submitted in one channel send.
-fn handle_append_columns(track: u64, batch: &ColumnarBatch, shared: &Shared) -> (Reply, After) {
+fn handle_append_columns(
+    track: u64,
+    batch: &ColumnarBatch,
+    shared: &Shared,
+    conn: u64,
+) -> (Reply, After) {
     let mut guard = shared.lock_fleet();
     let Some(state) = guard.as_mut() else {
         return (shutting_down_error(), After::Close);
@@ -1609,6 +1857,9 @@ fn handle_append_columns(track: u64, batch: &ColumnarBatch, shared: &Shared) -> 
             Ok(()) => {
                 drop(guard);
                 shared.appended_points.fetch_add(n, Ordering::Relaxed); // ordering: relaxed stat counter, read after join()
+                if let Some(tr) = &shared.trace {
+                    tr.record(TraceEventKind::FleetSubmit, conn, n);
+                }
                 (Reply::Appended { track, points: n }, After::Continue)
             }
             Err(e) => {
@@ -1637,12 +1888,16 @@ fn handle_append_columns(track: u64, batch: &ColumnarBatch, shared: &Shared) -> 
     }
     if let Some(&last) = batch.t.last() {
         state.last_t.insert(track, last);
+        state.max_t = state.max_t.max(last);
     }
     // Backpressure: this send blocks (fleet lock held, sockets unread)
     // when the track's worker shard is saturated.
     state.fleet.submit_run(track, batch.to_points());
     drop(guard);
     shared.appended_points.fetch_add(n, Ordering::Relaxed); // ordering: relaxed stat counter, read after join()
+    if let Some(tr) = &shared.trace {
+        tr.record(TraceEventKind::FleetSubmit, conn, n);
+    }
     (Reply::Appended { track, points: n }, After::Continue)
 }
 
@@ -1664,7 +1919,7 @@ fn submit_reordered(
     points: &[TimedPoint],
     shared: &Shared,
 ) -> Result<(), TooLate> {
-    let (late, released, depth) = {
+    let (late, released, depth, wm) = {
         // bqs-analyze: allow(no-unwrap-in-lib) — invariant: caller checked
         let reorder = state.reorder.as_mut().expect("caller checked");
         let window = reorder.window();
@@ -1694,8 +1949,9 @@ fn submit_reordered(
                 // bqs-analyze: allow(no-unwrap-in-lib) — invariant: admission pre-checked the whole batch
                 .expect("admission pre-checked the whole batch");
         }
-        (late, released, reorder.depth() as u64)
+        (late, released, reorder.depth() as u64, wm)
     };
+    state.max_t = state.max_t.max(wm);
     if !released.is_empty() {
         state.fleet.submit_run(track, released);
     }
@@ -1718,6 +1974,7 @@ fn handle_append_late(
     backfill: bool,
     points: &[TimedPoint],
     shared: &Shared,
+    conn: u64,
 ) -> (Reply, After) {
     if let Some(i) = points.iter().position(|p| !p.t.is_finite()) {
         return (
@@ -1778,6 +2035,9 @@ fn handle_append_late(
         Ok(()) => {
             drop(guard);
             shared.appended_points.fetch_add(n, Ordering::Relaxed); // ordering: relaxed stat counter, read after join()
+            if let Some(tr) = &shared.trace {
+                tr.record(TraceEventKind::FleetSubmit, conn, n);
+            }
             (Reply::LateAppended { track, points: n }, After::Continue)
         }
         Err(e) => {
@@ -1794,7 +2054,12 @@ fn handle_append_late(
     }
 }
 
-fn handle_request(request: Request, shared: &Shared, greeted: &mut bool) -> (Reply, After) {
+fn handle_request(
+    request: Request,
+    shared: &Shared,
+    greeted: &mut bool,
+    conn: u64,
+) -> (Reply, After) {
     // The handshake gate: only `Hello` is served before it passes.
     if !*greeted && !matches!(request, Request::Hello { .. }) {
         return (
@@ -1832,7 +2097,7 @@ fn handle_request(request: Request, shared: &Shared, greeted: &mut bool) -> (Rep
             // `Request` handling (the servers catch `Append` in the
             // columnar fast path); kept for exactness with it.
             let batch = ColumnarBatch::from_points(&points);
-            handle_append_columns(track, &batch, shared)
+            handle_append_columns(track, &batch, shared, conn)
         }
         Request::Flush => {
             let mut guard = shared.lock_fleet();
@@ -1884,22 +2149,49 @@ fn handle_request(request: Request, shared: &Shared, greeted: &mut bool) -> (Rep
                 After::Continue,
             )
         }
-        Request::Metrics => {
-            // Renders the full catalog; an unmetered server answers
-            // with the documented empty exposition rather than an
-            // error, so scrapers need no special case.
+        Request::Metrics { prom } => {
+            // Renders the full catalog — native `name value` lines, or
+            // the Prometheus text exposition when the client asked for
+            // it. An unmetered server answers with the documented empty
+            // exposition rather than an error, so scrapers need no
+            // special case.
             let text = shared
                 .metrics
                 .as_ref()
-                .map(|m| m.registry.render())
+                .map(|m| {
+                    if prom {
+                        m.registry.render_prometheus()
+                    } else {
+                        m.registry.render()
+                    }
+                })
                 .unwrap_or_default();
             (Reply::MetricsReply { text }, After::Continue)
+        }
+        Request::TraceDump { last, conn: want } => {
+            // A recorder-less server answers the documented empty dump;
+            // filters apply oldest-first so `last` keeps the newest.
+            let (dropped, mut events) = match &shared.trace {
+                Some(tr) => {
+                    let snap = tr.snapshot();
+                    (snap.dropped, snap.events)
+                }
+                None => (0, Vec::new()),
+            };
+            if let Some(id) = want {
+                events.retain(|e| e.conn == id);
+            }
+            if let Some(last) = last {
+                let keep = last.min(events.len() as u64) as usize;
+                events.drain(..events.len() - keep);
+            }
+            (Reply::TraceReply { dropped, events }, After::Continue)
         }
         Request::AppendLate {
             track,
             backfill,
             points,
-        } => handle_append_late(track, backfill, &points, shared),
+        } => handle_append_late(track, backfill, &points, shared, conn),
         Request::Subscribe { track, bbox } => {
             // The acknowledgement is queued like any reply; the runtime
             // performs the actual handoff only after it flushes, so the

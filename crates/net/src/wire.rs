@@ -34,6 +34,7 @@
 
 use bqs_core::stream::DecisionStats;
 use bqs_geo::{ColumnarBatch, TimedPoint};
+use bqs_obs::{TraceEvent, TraceEventKind};
 use bqs_tlog::codec::{
     decode_columns_into, decode_to_vec, encode_columns, encode_points, read_varint, write_varint,
     CodecError,
@@ -288,7 +289,20 @@ pub enum Request {
     /// Asks for merged decision statistics and per-shard counters.
     Stats,
     /// Asks for a text exposition snapshot of the metrics registry.
-    Metrics,
+    Metrics {
+        /// `true` requests the Prometheus text format instead of the
+        /// native `name value` lines. Encoded as an optional trailing
+        /// byte, so version-1 peers that omit it still speak the
+        /// protocol unchanged.
+        prom: bool,
+    },
+    /// Asks for the flight recorder's current contents.
+    TraceDump {
+        /// Keep only the most recent N events (`None` = whole ring).
+        last: Option<u64>,
+        /// Keep only events for one connection id (`None` = all).
+        conn: Option<u64>,
+    },
     /// Asks the server to drain, spill everything and exit.
     Shutdown,
 }
@@ -385,10 +399,19 @@ pub enum Reply {
     /// A statistics answer.
     StatsReply(StatsReport),
     /// A metrics snapshot: the registry's sorted `name value` text
-    /// exposition (empty when the server runs without a registry).
+    /// exposition, or the Prometheus text format when the request asked
+    /// for it (empty when the server runs without a registry).
     MetricsReply {
         /// The exposition text; see `docs/observability.md`.
         text: String,
+    },
+    /// The flight recorder's contents, oldest surviving event first
+    /// (empty when the server runs without a recorder).
+    TraceReply {
+        /// Events overwritten by the ring before this dump.
+        dropped: u64,
+        /// The surviving events, ascending by sequence number.
+        events: Vec<TraceEvent>,
     },
     /// The server acknowledges shutdown and will exit after draining.
     ShuttingDown {
@@ -420,6 +443,7 @@ pub(crate) const TAG_SHUTDOWN: u8 = 0x06;
 pub(crate) const TAG_METRICS: u8 = 0x07;
 pub(crate) const TAG_SUBSCRIBE: u8 = 0x08;
 pub(crate) const TAG_APPEND_LATE: u8 = 0x09;
+pub(crate) const TAG_TRACE_DUMP: u8 = 0x0A;
 const TAG_HELLO_OK: u8 = 0x81;
 const TAG_APPENDED: u8 = 0x82;
 const TAG_FLUSHED: u8 = 0x83;
@@ -429,6 +453,7 @@ const TAG_SHUTTING_DOWN: u8 = 0x86;
 const TAG_METRICS_REPLY: u8 = 0x87;
 const TAG_SUB_EVENT: u8 = 0x88;
 const TAG_LATE_APPENDED: u8 = 0x89;
+const TAG_TRACE_REPLY: u8 = 0x8A;
 const TAG_ERROR: u8 = 0xFF;
 
 // Kind bytes inside a `TAG_SUB_EVENT` reply.
@@ -546,6 +571,61 @@ fn read_stats(bytes: &[u8], pos: &mut usize) -> Result<DecisionStats, WireError>
     })
 }
 
+fn write_opt_varint(v: Option<u64>, out: &mut Vec<u8>) {
+    match v {
+        Some(v) => {
+            out.push(1);
+            write_varint(v, out);
+        }
+        None => out.push(0),
+    }
+}
+
+fn read_opt_varint(bytes: &[u8], pos: &mut usize) -> Result<Option<u64>, WireError> {
+    match read_byte(bytes, pos)? {
+        0 => Ok(None),
+        _ => Ok(Some(read_varint(bytes, pos)?)),
+    }
+}
+
+/// Trace events travel as varints (seq, at_us, conn, value) plus the
+/// kind's stable wire byte.
+fn write_trace_events(dropped: u64, events: &[TraceEvent], out: &mut Vec<u8>) {
+    write_varint(dropped, out);
+    write_varint(events.len() as u64, out);
+    for e in events {
+        write_varint(e.seq, out);
+        write_varint(e.at_us, out);
+        out.push(e.kind as u8);
+        write_varint(e.conn, out);
+        write_varint(e.value, out);
+    }
+}
+
+fn read_trace_events(bytes: &[u8], pos: &mut usize) -> Result<(u64, Vec<TraceEvent>), WireError> {
+    let dropped = read_varint(bytes, pos)?;
+    let count = read_varint(bytes, pos)? as usize;
+    // Cap the pre-allocation: `count` is attacker-controlled.
+    let mut events = Vec::with_capacity(count.min(65_536));
+    for _ in 0..count {
+        let seq = read_varint(bytes, pos)?;
+        let at_us = read_varint(bytes, pos)?;
+        let kind_byte = read_byte(bytes, pos)?;
+        let kind =
+            TraceEventKind::from_u8(kind_byte).ok_or(WireError::UnknownTag { tag: kind_byte })?;
+        let conn = read_varint(bytes, pos)?;
+        let value = read_varint(bytes, pos)?;
+        events.push(TraceEvent {
+            seq,
+            at_us,
+            kind,
+            conn,
+            value,
+        });
+    }
+    Ok((dropped, events))
+}
+
 fn check_consumed(bytes: &[u8], pos: usize) -> Result<(), WireError> {
     if pos == bytes.len() {
         Ok(())
@@ -623,7 +703,20 @@ impl Request {
                 }
             }
             Request::Stats => out.push(TAG_STATS),
-            Request::Metrics => out.push(TAG_METRICS),
+            Request::Metrics { prom } => {
+                out.push(TAG_METRICS);
+                // The native format is the bare tag (version-1 shape);
+                // the format byte is only appended when it carries
+                // information, so old servers never see it.
+                if *prom {
+                    out.push(1);
+                }
+            }
+            Request::TraceDump { last, conn } => {
+                out.push(TAG_TRACE_DUMP);
+                write_opt_varint(*last, &mut out);
+                write_opt_varint(*conn, &mut out);
+            }
             Request::Shutdown => out.push(TAG_SHUTDOWN),
         }
         Ok(out)
@@ -688,7 +781,14 @@ impl Request {
                 })
             }
             TAG_STATS => Request::Stats,
-            TAG_METRICS => Request::Metrics,
+            TAG_METRICS => Request::Metrics {
+                // Optional trailing format byte; absent means native.
+                prom: pos < bytes.len() && read_byte(bytes, &mut pos)? != 0,
+            },
+            TAG_TRACE_DUMP => Request::TraceDump {
+                last: read_opt_varint(bytes, &mut pos)?,
+                conn: read_opt_varint(bytes, &mut pos)?,
+            },
             TAG_SHUTDOWN => Request::Shutdown,
             tag => return Err(WireError::UnknownTag { tag }),
         };
@@ -774,6 +874,10 @@ impl Reply {
             Reply::MetricsReply { text } => {
                 out.push(TAG_METRICS_REPLY);
                 write_string(text, &mut out);
+            }
+            Reply::TraceReply { dropped, events } => {
+                out.push(TAG_TRACE_REPLY);
+                write_trace_events(*dropped, events, &mut out);
             }
             Reply::Error { code, message } => {
                 out.push(TAG_ERROR);
@@ -869,6 +973,10 @@ impl Reply {
             TAG_METRICS_REPLY => Reply::MetricsReply {
                 text: read_string(bytes, &mut pos)?,
             },
+            TAG_TRACE_REPLY => {
+                let (dropped, events) = read_trace_events(bytes, &mut pos)?;
+                Reply::TraceReply { dropped, events }
+            }
             TAG_ERROR => {
                 let code = ErrorCode::from_byte(read_byte(bytes, &mut pos)?)?;
                 let message = read_string(bytes, &mut pos)?;
@@ -1143,7 +1251,16 @@ mod tests {
                 bbox: None,
             }),
             Request::Stats,
-            Request::Metrics,
+            Request::Metrics { prom: false },
+            Request::Metrics { prom: true },
+            Request::TraceDump {
+                last: None,
+                conn: None,
+            },
+            Request::TraceDump {
+                last: Some(100),
+                conn: Some(7),
+            },
             Request::Shutdown,
         ];
         for request in requests {
@@ -1232,6 +1349,36 @@ mod tests {
             Reply::MetricsReply {
                 text: "net_frames_total 12\nnet_request_us_append_p99 850\n".to_string(),
             },
+            Reply::TraceReply {
+                dropped: 0,
+                events: Vec::new(),
+            },
+            Reply::TraceReply {
+                dropped: 12,
+                events: vec![
+                    TraceEvent {
+                        seq: 12,
+                        at_us: 1_000,
+                        kind: TraceEventKind::Accept,
+                        conn: 1,
+                        value: 1,
+                    },
+                    TraceEvent {
+                        seq: 13,
+                        at_us: 1_250,
+                        kind: TraceEventKind::FrameDecode,
+                        conn: 1,
+                        value: 512,
+                    },
+                    TraceEvent {
+                        seq: 14,
+                        at_us: u64::MAX,
+                        kind: TraceEventKind::Evict,
+                        conn: 0,
+                        value: 80,
+                    },
+                ],
+            },
             Reply::Error {
                 code: ErrorCode::BadRequest,
                 message: "timestamp at index 3 goes backwards".to_string(),
@@ -1245,6 +1392,44 @@ mod tests {
             let payload = reply.encode().unwrap();
             assert_eq!(Reply::decode(&payload).unwrap(), reply);
         }
+    }
+
+    #[test]
+    fn metrics_request_stays_version_one_compatible() {
+        // The native-format request is byte-identical to the old bare
+        // tag, and the bare tag still decodes.
+        let native = Request::Metrics { prom: false }.encode().unwrap();
+        assert_eq!(native, vec![TAG_METRICS]);
+        assert_eq!(
+            Request::decode(&[TAG_METRICS]).unwrap(),
+            Request::Metrics { prom: false }
+        );
+        let prom = Request::Metrics { prom: true }.encode().unwrap();
+        assert_eq!(prom, vec![TAG_METRICS, 1]);
+    }
+
+    #[test]
+    fn trace_reply_rejects_unknown_kind_bytes() {
+        let mut payload = Reply::TraceReply {
+            dropped: 0,
+            events: vec![TraceEvent {
+                seq: 0,
+                at_us: 0,
+                kind: TraceEventKind::Accept,
+                conn: 0,
+                value: 0,
+            }],
+        }
+        .encode()
+        .unwrap();
+        // The kind byte sits after tag + dropped + count + seq + at_us.
+        let kind_at = payload.len() - 3;
+        assert_eq!(payload[kind_at], TraceEventKind::Accept as u8);
+        payload[kind_at] = 0xEE;
+        assert!(matches!(
+            Reply::decode(&payload),
+            Err(WireError::UnknownTag { tag: 0xEE })
+        ));
     }
 
     #[test]

@@ -61,7 +61,13 @@ fn requests(seed: u64, track: u64, n: usize) -> Vec<Request> {
                 .then(|| [-(seed as f64), 0.5, track as f64 * 3.0, n as f64 * 7.0]),
         }),
         Request::Stats,
-        Request::Metrics,
+        Request::Metrics {
+            prom: track.is_multiple_of(2),
+        },
+        Request::TraceDump {
+            last: track.is_multiple_of(2).then_some(seed % 4096),
+            conn: track.is_multiple_of(3).then_some(track),
+        },
         Request::Shutdown,
     ]
 }
@@ -117,6 +123,26 @@ fn replies(seed: u64, track: u64, n: usize) -> Vec<Reply> {
         },
         Reply::MetricsReply {
             text: format!("net_frames_total {seed}\nfleet_submitted_points_total {track}\n"),
+        },
+        Reply::TraceReply {
+            dropped: seed % 100,
+            events: (0..(n as u64 % 17))
+                .map(|i| bqs_obs::TraceEvent {
+                    seq: seed.wrapping_add(i),
+                    at_us: seed.wrapping_mul(i + 1),
+                    kind: match i % 7 {
+                        0 => bqs_obs::TraceEventKind::Accept,
+                        1 => bqs_obs::TraceEventKind::FrameDecode,
+                        2 => bqs_obs::TraceEventKind::FleetSubmit,
+                        3 => bqs_obs::TraceEventKind::Spill,
+                        4 => bqs_obs::TraceEventKind::ReplyFlush,
+                        5 => bqs_obs::TraceEventKind::Reject,
+                        _ => bqs_obs::TraceEventKind::Evict,
+                    },
+                    conn: track.wrapping_add(i),
+                    value: seed ^ i,
+                })
+                .collect(),
         },
         Reply::Error {
             code: ErrorCode::Internal,

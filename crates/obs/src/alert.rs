@@ -1,0 +1,360 @@
+//! Declarative threshold alerting over the live registry.
+//!
+//! A rule is one line of grammar:
+//!
+//! ```text
+//! <metric>:<stat> <op> <threshold>     (no spaces on the wire)
+//! append_latency_us:p99>5000
+//! fleet_queue_depth:peak>48
+//! net_frames_append_total:rate<100
+//! ```
+//!
+//! `<stat>` selects how the metric is reduced to one number and is
+//! kind-checked at startup against the registry:
+//!
+//! | kind | stats |
+//! |---|---|
+//! | counter | `rate` (per second over the reporter interval), `total` |
+//! | gauge | `value`, `peak` |
+//! | histogram | `p50`, `p90`, `p99`, `max`, `mean`, `count` |
+//!
+//! `<op>` is `>` or `<`; `<threshold>` is a finite decimal. Parsing and
+//! validation are total functions returning typed errors — a malformed
+//! rule or unknown metric refuses startup, it never becomes a silent
+//! no-op.
+
+use crate::{MetricSample, MetricsRegistry};
+
+/// The reduction a rule applies to its metric each evaluation tick.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlertStat {
+    /// Counter increase per second since the previous tick.
+    Rate,
+    /// Counter running total.
+    Total,
+    /// Gauge current value.
+    Value,
+    /// Gauge high-water mark.
+    Peak,
+    /// Histogram median upper bound.
+    P50,
+    /// Histogram 90th-percentile upper bound.
+    P90,
+    /// Histogram 99th-percentile upper bound.
+    P99,
+    /// Histogram exact observed max.
+    Max,
+    /// Histogram mean sample.
+    Mean,
+    /// Histogram sample count.
+    Count,
+}
+
+impl AlertStat {
+    fn parse(s: &str) -> Option<AlertStat> {
+        match s {
+            "rate" => Some(AlertStat::Rate),
+            "total" => Some(AlertStat::Total),
+            "value" => Some(AlertStat::Value),
+            "peak" => Some(AlertStat::Peak),
+            "p50" => Some(AlertStat::P50),
+            "p90" => Some(AlertStat::P90),
+            "p99" => Some(AlertStat::P99),
+            "max" => Some(AlertStat::Max),
+            "mean" => Some(AlertStat::Mean),
+            "count" => Some(AlertStat::Count),
+            _ => None,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            AlertStat::Rate => "rate",
+            AlertStat::Total => "total",
+            AlertStat::Value => "value",
+            AlertStat::Peak => "peak",
+            AlertStat::P50 => "p50",
+            AlertStat::P90 => "p90",
+            AlertStat::P99 => "p99",
+            AlertStat::Max => "max",
+            AlertStat::Mean => "mean",
+            AlertStat::Count => "count",
+        }
+    }
+}
+
+/// The comparator between observed value and threshold.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlertOp {
+    /// Trips when observed > threshold.
+    Gt,
+    /// Trips when observed < threshold.
+    Lt,
+}
+
+/// One parsed `metric:stat>threshold` rule.
+#[derive(Clone, Debug)]
+pub struct AlertRule {
+    metric: String,
+    stat: AlertStat,
+    op: AlertOp,
+    threshold: f64,
+    raw: String,
+}
+
+impl AlertRule {
+    /// Parses the rule grammar. Errors name the defect, not just the
+    /// input.
+    pub fn parse(raw: &str) -> Result<AlertRule, String> {
+        let (metric, rest) = raw.split_once(':').ok_or_else(|| {
+            format!("alert rule {raw:?} is missing `:stat` after the metric name")
+        })?;
+        if metric.is_empty() {
+            return Err(format!("alert rule {raw:?} has an empty metric name"));
+        }
+        let op_at = rest
+            .find(['>', '<'])
+            .ok_or_else(|| format!("alert rule {raw:?} is missing a `>` or `<` comparator"))?;
+        let (stat_s, op_and_threshold) = rest.split_at(op_at);
+        let stat = AlertStat::parse(stat_s).ok_or_else(|| {
+            format!(
+                "alert rule {raw:?} has unknown stat {stat_s:?} (want rate, total, value, peak, p50, p90, p99, max, mean or count)"
+            )
+        })?;
+        let op = if op_and_threshold.starts_with('>') {
+            AlertOp::Gt
+        } else {
+            AlertOp::Lt
+        };
+        let threshold_s = &op_and_threshold[1..];
+        let threshold: f64 = threshold_s.parse().map_err(|_| {
+            format!("alert rule {raw:?} has a non-numeric threshold {threshold_s:?}")
+        })?;
+        if !threshold.is_finite() {
+            return Err(format!("alert rule {raw:?} has a non-finite threshold"));
+        }
+        Ok(AlertRule {
+            metric: metric.to_string(),
+            stat,
+            op,
+            threshold,
+            raw: raw.to_string(),
+        })
+    }
+
+    /// The metric name the rule watches.
+    pub fn metric(&self) -> &str {
+        &self.metric
+    }
+
+    /// The rule exactly as the user wrote it.
+    pub fn raw(&self) -> &str {
+        &self.raw
+    }
+
+    /// The selected reduction.
+    pub fn stat(&self) -> AlertStat {
+        self.stat
+    }
+
+    /// The trip threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Checks that the metric exists in `registry` and that the stat
+    /// matches its kind. Run once at startup, after the server has
+    /// registered its catalog.
+    pub fn validate(&self, registry: &MetricsRegistry) -> Result<(), String> {
+        let Some(sample) = registry.sample(&self.metric) else {
+            return Err(format!(
+                "alert rule {:?} names unknown metric {:?}",
+                self.raw, self.metric
+            ));
+        };
+        let (kind, ok) = match sample {
+            MetricSample::Counter(_) => (
+                "counter",
+                matches!(self.stat, AlertStat::Rate | AlertStat::Total),
+            ),
+            MetricSample::Gauge { .. } => (
+                "gauge",
+                matches!(self.stat, AlertStat::Value | AlertStat::Peak),
+            ),
+            MetricSample::Histogram(_) => (
+                "histogram",
+                matches!(
+                    self.stat,
+                    AlertStat::P50
+                        | AlertStat::P90
+                        | AlertStat::P99
+                        | AlertStat::Max
+                        | AlertStat::Mean
+                        | AlertStat::Count
+                ),
+            ),
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(format!(
+                "alert rule {:?}: stat `{}` does not apply to {} metric {:?}",
+                self.raw,
+                self.stat.name(),
+                kind,
+                self.metric
+            ))
+        }
+    }
+
+    /// Reduces one sample to the observed value. `prev_total` is the
+    /// counter total at the previous tick (used only by `rate`);
+    /// `interval_secs` is the elapsed time since then.
+    pub fn observe(&self, sample: &MetricSample, prev_total: u64, interval_secs: f64) -> f64 {
+        match (sample, self.stat) {
+            (MetricSample::Counter(total), AlertStat::Rate) => {
+                if interval_secs > 0.0 {
+                    total.saturating_sub(prev_total) as f64 / interval_secs
+                } else {
+                    0.0
+                }
+            }
+            (MetricSample::Counter(total), _) => *total as f64,
+            (MetricSample::Gauge { value, .. }, AlertStat::Value) => *value as f64,
+            (MetricSample::Gauge { peak, .. }, _) => *peak as f64,
+            (MetricSample::Histogram(s), AlertStat::P50) => s.p50() as f64,
+            (MetricSample::Histogram(s), AlertStat::P90) => s.p90() as f64,
+            (MetricSample::Histogram(s), AlertStat::P99) => s.p99() as f64,
+            (MetricSample::Histogram(s), AlertStat::Max) => s.max() as f64,
+            (MetricSample::Histogram(s), AlertStat::Mean) => s.mean() as f64,
+            (MetricSample::Histogram(s), _) => s.count() as f64,
+        }
+    }
+
+    /// Whether `observed` trips the rule.
+    pub fn check(&self, observed: f64) -> bool {
+        match self.op {
+            AlertOp::Gt => observed > self.threshold,
+            AlertOp::Lt => observed < self.threshold,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_issue_examples() {
+        let r = AlertRule::parse("append_latency_us:p99>5000").unwrap();
+        assert_eq!(r.metric(), "append_latency_us");
+        assert_eq!(r.stat(), AlertStat::P99);
+        assert_eq!(r.threshold(), 5000.0);
+        assert!(r.check(5001.0));
+        assert!(!r.check(5000.0));
+
+        let r = AlertRule::parse("fleet_queue_depth:peak>48").unwrap();
+        assert_eq!(r.stat(), AlertStat::Peak);
+
+        let r = AlertRule::parse("net_frames_append_total:rate<100").unwrap();
+        assert!(r.check(99.9));
+        assert!(!r.check(100.0));
+    }
+
+    #[test]
+    fn parse_errors_are_typed() {
+        for (rule, needle) in [
+            ("no_colon>5", "missing `:stat`"),
+            (":p99>5", "empty metric name"),
+            ("m:p99", "missing a `>` or `<`"),
+            ("m:p98>5", "unknown stat"),
+            ("m:p99>abc", "non-numeric threshold"),
+            ("m:p99>inf", "non-finite threshold"),
+        ] {
+            let err = AlertRule::parse(rule).unwrap_err();
+            assert!(err.contains(needle), "{rule}: {err}");
+        }
+    }
+
+    #[test]
+    fn validate_checks_existence_and_kind() {
+        let reg = MetricsRegistry::new();
+        reg.counter("reqs_total");
+        reg.gauge("depth");
+        reg.histogram("lat_us");
+
+        assert!(AlertRule::parse("reqs_total:rate>1")
+            .unwrap()
+            .validate(&reg)
+            .is_ok());
+        assert!(AlertRule::parse("reqs_total:total>1")
+            .unwrap()
+            .validate(&reg)
+            .is_ok());
+        assert!(AlertRule::parse("depth:peak>1")
+            .unwrap()
+            .validate(&reg)
+            .is_ok());
+        assert!(AlertRule::parse("lat_us:p99>1")
+            .unwrap()
+            .validate(&reg)
+            .is_ok());
+
+        let err = AlertRule::parse("nope:total>1")
+            .unwrap()
+            .validate(&reg)
+            .unwrap_err();
+        assert!(err.contains("unknown metric"), "{err}");
+        let err = AlertRule::parse("reqs_total:p99>1")
+            .unwrap()
+            .validate(&reg)
+            .unwrap_err();
+        assert!(err.contains("does not apply to counter"), "{err}");
+        let err = AlertRule::parse("depth:rate>1")
+            .unwrap()
+            .validate(&reg)
+            .unwrap_err();
+        assert!(err.contains("does not apply to gauge"), "{err}");
+        let err = AlertRule::parse("lat_us:value>1")
+            .unwrap()
+            .validate(&reg)
+            .unwrap_err();
+        assert!(err.contains("does not apply to histogram"), "{err}");
+    }
+
+    #[test]
+    fn rate_observes_the_delta_per_second() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("reqs_total");
+        c.add(100);
+        let rule = AlertRule::parse("reqs_total:rate>10").unwrap();
+        let sample = reg.sample("reqs_total").unwrap();
+        // 100 − 40 over 2 s = 30/s.
+        assert_eq!(rule.observe(&sample, 40, 2.0), 30.0);
+        assert!(rule.check(rule.observe(&sample, 40, 2.0)));
+        // Counter reset (prev > total) saturates to 0, never negative.
+        assert_eq!(rule.observe(&sample, 200, 2.0), 0.0);
+    }
+
+    #[test]
+    fn histogram_stats_observe_snapshot_values() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat_us");
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let sample = reg.sample("lat_us").unwrap();
+        let p99 = AlertRule::parse("lat_us:p99>0")
+            .unwrap()
+            .observe(&sample, 0, 1.0);
+        assert!((990.0..=1000.0).contains(&p99));
+        let count = AlertRule::parse("lat_us:count>0")
+            .unwrap()
+            .observe(&sample, 0, 1.0);
+        assert_eq!(count, 1000.0);
+        let max = AlertRule::parse("lat_us:max>0")
+            .unwrap()
+            .observe(&sample, 0, 1.0);
+        assert_eq!(max, 1000.0);
+    }
+}

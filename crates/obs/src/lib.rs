@@ -29,6 +29,14 @@
 
 #![deny(missing_docs)]
 
+mod alert;
+mod prom;
+mod trace;
+
+pub use alert::{AlertOp, AlertRule, AlertStat};
+pub use prom::render_prometheus_histogram;
+pub use trace::{FlightRecorder, TraceEvent, TraceEventKind, TraceSnapshot};
+
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -185,8 +193,11 @@ fn bucket_index(v: u64) -> usize {
 }
 
 /// Inclusive upper bound of bucket `i` (`u64::MAX` for the top bucket).
+///
+/// Public because the Prometheus exposition and its tests need the
+/// log₂ → `le` boundary map.
 #[inline]
-fn bucket_upper(i: usize) -> u64 {
+pub fn bucket_upper(i: usize) -> u64 {
     if i >= HISTOGRAM_BUCKETS - 1 {
         u64::MAX
     } else {
@@ -277,6 +288,12 @@ impl HistogramSnapshot {
         self.sum.checked_div(self.count).unwrap_or(0)
     }
 
+    /// The raw per-bucket counts (see the crate docs for the log₂
+    /// bucket layout).
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
     /// Folds `other` into `self`. Associative and commutative, so
     /// per-thread snapshots can be combined in any order.
     pub fn merge(&mut self, other: &HistogramSnapshot) {
@@ -325,7 +342,7 @@ impl HistogramSnapshot {
 }
 
 #[derive(Clone)]
-enum Metric {
+pub(crate) enum Metric {
     Counter(Counter),
     Gauge(Gauge),
     Histogram(Histogram),
@@ -339,6 +356,71 @@ impl Metric {
             Metric::Histogram(_) => "histogram",
         }
     }
+}
+
+/// A point-in-time read of one registered metric, as returned by
+/// [`MetricsRegistry::sample`]. Alert rules reduce these to a single
+/// observed value.
+#[derive(Clone, Debug)]
+pub enum MetricSample {
+    /// A counter's running total.
+    Counter(u64),
+    /// A gauge's current value and high-water mark.
+    Gauge {
+        /// The current value.
+        value: u64,
+        /// The highest value ever reached.
+        peak: u64,
+    },
+    /// A histogram's full snapshot, boxed to keep the enum small (the
+    /// snapshot carries the whole bucket array).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// This process's resident set size in bytes: `/proc/self/statm` pages
+/// × the ELF-auxv page size on Linux, 0 on every other platform (a
+/// honest "not measured", never a guess).
+///
+/// Cold-path only — the metrics reporter refreshes a
+/// `process_rss_bytes` gauge from it once per tick.
+pub fn process_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        let Ok(statm) = std::fs::read_to_string("/proc/self/statm") else {
+            return 0;
+        };
+        // statm: size resident shared text lib data dt (in pages).
+        let mut fields = statm.split_whitespace();
+        let _size = fields.next();
+        match fields.next().and_then(|v| v.parse::<u64>().ok()) {
+            Some(resident_pages) => resident_pages.saturating_mul(page_size_bytes()),
+            None => 0,
+        }
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}
+
+/// The system page size from `/proc/self/auxv` (`AT_PAGESZ` = 6);
+/// falls back to 4096 if the auxv is unreadable. std exposes no
+/// `sysconf`, and the auxv is a plain file of `u64` key/value pairs.
+#[cfg(target_os = "linux")]
+fn page_size_bytes() -> u64 {
+    const AT_PAGESZ: u64 = 6;
+    if let Ok(bytes) = std::fs::read("/proc/self/auxv") {
+        for pair in bytes.chunks_exact(16) {
+            let mut key = [0u8; 8];
+            let mut val = [0u8; 8];
+            key.copy_from_slice(&pair[..8]);
+            val.copy_from_slice(&pair[8..]);
+            if u64::from_ne_bytes(key) == AT_PAGESZ {
+                return u64::from_ne_bytes(val);
+            }
+        }
+    }
+    4096
 }
 
 /// A named catalog of metrics with a text exposition.
@@ -398,18 +480,36 @@ impl MetricsRegistry {
         }
     }
 
+    /// A sorted copy of the catalog's (name, handle) pairs.
+    pub(crate) fn snapshot_metrics(&self) -> Vec<(String, Metric)> {
+        let map = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        map.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+    }
+
+    /// A point-in-time read of one metric by name, or `None` when no
+    /// such metric is registered. This is the lookup the alert
+    /// evaluator uses: one mutex acquisition per tick per rule, never
+    /// on a hot path.
+    pub fn sample(&self, name: &str) -> Option<MetricSample> {
+        let map = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        map.get(name).map(|m| match m {
+            Metric::Counter(c) => MetricSample::Counter(c.get()),
+            Metric::Gauge(g) => MetricSample::Gauge {
+                value: g.get(),
+                peak: g.peak(),
+            },
+            Metric::Histogram(h) => MetricSample::Histogram(Box::new(h.snapshot())),
+        })
+    }
+
     /// The text exposition: one `name value` line per scalar, sorted by
     /// name. Gauges also emit `name_peak`; histograms emit
     /// `name_count`, `name_sum`, `name_mean`, `name_p50`, `name_p90`,
     /// `name_p99` and `name_max`. Every value is a decimal `u64`, so
     /// the output greps and diffs trivially.
     pub fn render(&self) -> String {
-        let metrics: Vec<(String, Metric)> = {
-            let map = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
-            map.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
-        };
         let mut out = String::new();
-        for (name, metric) in metrics {
+        for (name, metric) in self.snapshot_metrics() {
             match metric {
                 Metric::Counter(c) => {
                     let _ = writeln!(out, "{name} {}", c.get());
@@ -570,5 +670,37 @@ mod tests {
         let reg = MetricsRegistry::new();
         reg.counter("x");
         reg.gauge("x");
+    }
+
+    #[test]
+    fn sample_reads_each_kind_by_name() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c_total").add(7);
+        reg.gauge("g_depth").set(3);
+        reg.histogram("h_us").record(100);
+        match reg.sample("c_total") {
+            Some(MetricSample::Counter(7)) => {}
+            other => panic!("bad counter sample: {other:?}"),
+        }
+        match reg.sample("g_depth") {
+            Some(MetricSample::Gauge { value: 3, peak: 3 }) => {}
+            other => panic!("bad gauge sample: {other:?}"),
+        }
+        match reg.sample("h_us") {
+            Some(MetricSample::Histogram(s)) => assert_eq!(s.count(), 1),
+            other => panic!("bad histogram sample: {other:?}"),
+        }
+        assert!(reg.sample("missing").is_none());
+    }
+
+    #[test]
+    fn process_rss_is_nonzero_on_linux() {
+        let rss = process_rss_bytes();
+        if cfg!(target_os = "linux") {
+            // Any live process resides in at least one page.
+            assert!(rss > 0, "rss {rss}");
+        } else {
+            assert_eq!(rss, 0);
+        }
     }
 }

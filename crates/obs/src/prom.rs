@@ -1,0 +1,146 @@
+//! Prometheus text exposition (format version 0.0.4) for the registry.
+//!
+//! The native [`crate::MetricsRegistry::render`] format is
+//! grep-friendly `name value` lines; this module maps the same catalog
+//! onto the shape stock Prometheus scrapes:
+//!
+//! * counters → one `# HELP`/`# TYPE name counter` family;
+//! * gauges → two gauge families, `name` and `name_peak`;
+//! * histograms → one histogram family: the log₂ buckets become
+//!   cumulative `name_bucket{le="…"}` series whose `le` is each
+//!   bucket's inclusive upper bound (`2^i − 1`), followed by the
+//!   mandatory `le="+Inf"` (= `name_count`), then `name_sum` and
+//!   `name_count`. The saturated top bucket folds into `+Inf`, so
+//!   every emitted `le` is a finite decimal.
+//!
+//! Every value is an exact decimal `u64`, which is a valid Prometheus
+//! float; bucket series are cumulative and monotone in `le` by
+//! construction.
+
+use std::fmt::Write as _;
+
+use crate::{bucket_upper, HistogramSnapshot, Metric, MetricsRegistry, HISTOGRAM_BUCKETS};
+
+/// Renders one histogram snapshot as a full Prometheus family
+/// (`# HELP` + `# TYPE` + buckets + `_sum` + `_count`).
+///
+/// Rendering is a pure function of the snapshot, so merged snapshots
+/// render exactly the sum of their parts — property-tested in
+/// `tests/prometheus_prop.rs`.
+pub fn render_prometheus_histogram(name: &str, snap: &HistogramSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# HELP {name} log2-bucket histogram of {name} samples");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let buckets = snap.buckets();
+    // Highest non-empty finite bucket; the top (saturated) bucket is
+    // folded into +Inf rather than given a fake finite bound.
+    let last = buckets[..HISTOGRAM_BUCKETS - 1]
+        .iter()
+        .rposition(|&n| n > 0)
+        .map_or(0, |i| i + 1);
+    let mut cumulative = 0u64;
+    for (i, &n) in buckets.iter().enumerate().take(last) {
+        cumulative += n;
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{le=\"{}\"}} {cumulative}",
+            bucket_upper(i)
+        );
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", snap.count());
+    let _ = writeln!(out, "{name}_sum {}", snap.sum());
+    let _ = writeln!(out, "{name}_count {}", snap.count());
+    out
+}
+
+fn render_counter(out: &mut String, name: &str, value: u64) {
+    let _ = writeln!(out, "# HELP {name} monotone counter {name}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+fn render_gauge(out: &mut String, name: &str, value: u64) {
+    let _ = writeln!(out, "# HELP {name} gauge {name}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+impl MetricsRegistry {
+    /// The Prometheus text exposition of every registered metric,
+    /// families sorted by metric name (see the module docs for the
+    /// per-kind mapping). Served by `bqs serve --prom-addr` and
+    /// `bqs metrics --prom`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, metric) in self.snapshot_metrics() {
+            match metric {
+                Metric::Counter(c) => render_counter(&mut out, &name, c.get()),
+                Metric::Gauge(g) => {
+                    render_gauge(&mut out, &name, g.get());
+                    render_gauge(&mut out, &format!("{name}_peak"), g.peak());
+                }
+                Metric::Histogram(h) => {
+                    out.push_str(&render_prometheus_histogram(&name, &h.snapshot()));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_families_have_type_lines() {
+        let reg = MetricsRegistry::new();
+        reg.counter("reqs_total").add(17);
+        reg.gauge("conns_live").set(3);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE reqs_total counter\nreqs_total 17\n"));
+        assert!(text.contains("# TYPE conns_live gauge\nconns_live 3\n"));
+        assert!(text.contains("# TYPE conns_live_peak gauge\nconns_live_peak 3\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_with_inf() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat_us");
+        for v in [0u64, 1, 2, 3, 100] {
+            h.record(v);
+        }
+        let text = reg.render_prometheus();
+        // v=0 → bucket 0 (le="0"); v=1 → bucket 1 (le="1");
+        // v∈{2,3} → bucket 2 (le="3"); v=100 → bucket 7 (le="127").
+        assert!(text.contains("lat_us_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("lat_us_bucket{le=\"1\"} 2\n"));
+        assert!(text.contains("lat_us_bucket{le=\"3\"} 4\n"));
+        assert!(text.contains("lat_us_bucket{le=\"127\"} 5\n"));
+        assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 5\n"));
+        assert!(text.contains("lat_us_sum 106\n"));
+        assert!(text.contains("lat_us_count 5\n"));
+        assert!(text.contains("# TYPE lat_us histogram\n"));
+    }
+
+    #[test]
+    fn empty_histogram_renders_inf_only() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("idle_us");
+        let text = reg.render_prometheus();
+        assert!(text.contains("idle_us_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("idle_us_sum 0\n"));
+        assert!(text.contains("idle_us_count 0\n"));
+        assert!(!text.contains("idle_us_bucket{le=\"0\"}"));
+    }
+
+    #[test]
+    fn saturated_top_bucket_folds_into_inf() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("big_us").record(u64::MAX);
+        let text = reg.render_prometheus();
+        assert!(text.contains("big_us_bucket{le=\"+Inf\"} 1\n"));
+        // No finite le carries the saturated bucket.
+        assert!(!text.contains("le=\"18446744073709551615\""));
+    }
+}

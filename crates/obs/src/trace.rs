@@ -1,0 +1,418 @@
+//! Flight recorder: a lock-free, fixed-capacity ring of structured
+//! trace events.
+//!
+//! The metrics in this crate answer *how much* and *how slow*; the
+//! flight recorder answers *what happened, in what order* for the last
+//! N load-bearing moments of the server's life — accept, frame decode,
+//! fleet submit, spill, reply flush, reject, eviction. It is built for
+//! the same hot paths as [`crate::Histogram`]: recording is a handful
+//! of relaxed atomic stores into a pre-allocated slot, no allocation,
+//! no locks, and instrumented code holds an `Option<FlightRecorder>`
+//! so the disabled path is a branch on `None`.
+//!
+//! ## Slot protocol
+//!
+//! The ring is a single monotone `head` sequence plus `capacity`
+//! pre-allocated slots. Writers claim a sequence number with one
+//! relaxed `fetch_add`, then publish the event seqlock-style: stamp the
+//! slot as in-progress, write the payload fields, then store the final
+//! stamp (`seq + 1`) with release ordering. Readers snapshot by
+//! walking the last `capacity` sequence numbers and keeping only slots
+//! whose stamp survives an acquire-fenced double read — a slot being
+//! overwritten mid-snapshot is skipped, never torn.
+//!
+//! Consecutive sequence numbers land in different shards
+//! (`shard = seq & 7`), so two threads recording back-to-back events
+//! touch different cache lines instead of bouncing one.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::{elapsed_us, Counter};
+
+/// Number of slot shards; consecutive sequence numbers rotate through
+/// them so concurrent writers rarely share a cache line.
+const TRACE_SHARDS: u64 = 8;
+
+/// Stamp value marking a slot whose payload is mid-write.
+const WRITING: u64 = u64::MAX;
+
+/// Where in a request's life an event was recorded.
+///
+/// The discriminants are the wire encoding (`TraceDump` replies carry
+/// them as one byte) and are stable: new kinds append, never renumber.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum TraceEventKind {
+    /// A connection was admitted; `value` is the live-connection count.
+    Accept = 1,
+    /// A request frame was decoded; `value` is the payload length.
+    FrameDecode = 2,
+    /// An append batch entered the fleet; `value` is the point count.
+    FleetSubmit = 3,
+    /// A session spilled durably; `value` is the spilled point count.
+    Spill = 4,
+    /// A reply frame finished flushing; `value` is the request's
+    /// latency in microseconds.
+    ReplyFlush = 5,
+    /// A connection was refused; `value` is the error code.
+    Reject = 6,
+    /// An idle session was evicted; `value` is its point count.
+    Evict = 7,
+}
+
+impl TraceEventKind {
+    /// Decodes a wire byte back into a kind; `None` for unknown bytes.
+    pub fn from_u8(b: u8) -> Option<TraceEventKind> {
+        match b {
+            1 => Some(TraceEventKind::Accept),
+            2 => Some(TraceEventKind::FrameDecode),
+            3 => Some(TraceEventKind::FleetSubmit),
+            4 => Some(TraceEventKind::Spill),
+            5 => Some(TraceEventKind::ReplyFlush),
+            6 => Some(TraceEventKind::Reject),
+            7 => Some(TraceEventKind::Evict),
+            _ => None,
+        }
+    }
+
+    /// The catalog name, as printed by `bqs trace` and dump files.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceEventKind::Accept => "accept",
+            TraceEventKind::FrameDecode => "frame-decode",
+            TraceEventKind::FleetSubmit => "fleet-submit",
+            TraceEventKind::Spill => "spill",
+            TraceEventKind::ReplyFlush => "reply-flush",
+            TraceEventKind::Reject => "reject",
+            TraceEventKind::Evict => "evict",
+        }
+    }
+}
+
+/// One recorded event, as read back out of the ring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Position in the global record order (0-based, monotone).
+    pub seq: u64,
+    /// Microseconds since the recorder was created.
+    pub at_us: u64,
+    /// What happened.
+    pub kind: TraceEventKind,
+    /// The connection the event belongs to; 0 when no connection
+    /// applies (rejects before admission, fleet-internal events).
+    pub conn: u64,
+    /// Kind-specific payload (see [`TraceEventKind`]).
+    pub value: u64,
+}
+
+/// An owned copy of the ring's current contents.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSnapshot {
+    /// Surviving events, ascending by `seq` (oldest first).
+    pub events: Vec<TraceEvent>,
+    /// Events overwritten before this snapshot (oldest-first drops).
+    pub dropped: u64,
+}
+
+impl TraceSnapshot {
+    /// Renders the snapshot as one text line per event (the dump-file
+    /// and `bqs trace` format):
+    /// `seq=<n> at_us=<n> kind=<name> conn=<n> value=<n>`.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# trace dump: {} event(s), {} dropped",
+            self.events.len(),
+            self.dropped
+        );
+        for e in &self.events {
+            let _ = writeln!(
+                out,
+                "seq={} at_us={} kind={} conn={} value={}",
+                e.seq,
+                e.at_us,
+                e.kind.name(),
+                e.conn,
+                e.value
+            );
+        }
+        out
+    }
+}
+
+/// One ring slot. Every field is its own atomic, so a torn write is a
+/// stale *field*, never undefined behaviour; the stamp protocol makes
+/// readers discard such slots.
+#[derive(Default)]
+struct Slot {
+    /// 0 = never written · `WRITING` = mid-write · else `seq + 1`.
+    stamp: AtomicU64,
+    at_us: AtomicU64,
+    kind: AtomicU64,
+    conn: AtomicU64,
+    value: AtomicU64,
+}
+
+struct RecorderInner {
+    head: AtomicU64,
+    /// Power of two, ≥ `TRACE_SHARDS`.
+    capacity: u64,
+    epoch: Instant,
+    /// `TRACE_SHARDS` shards × `capacity / TRACE_SHARDS` slots.
+    shards: Vec<Vec<Slot>>,
+    recorded: Counter,
+    dropped: Counter,
+}
+
+impl RecorderInner {
+    fn slot(&self, seq: u64) -> &Slot {
+        let shard = (seq & (TRACE_SHARDS - 1)) as usize;
+        let idx = ((seq / TRACE_SHARDS) % (self.capacity / TRACE_SHARDS)) as usize;
+        &self.shards[shard][idx]
+    }
+}
+
+/// A shareable handle to one flight-recorder ring. Cloning shares the
+/// ring; recording from any number of threads is lock-free.
+#[derive(Clone)]
+pub struct FlightRecorder(Arc<RecorderInner>);
+
+impl FlightRecorder {
+    /// A recorder holding the most recent `capacity` events (rounded up
+    /// to a power of two, minimum 8), with private recorded/dropped
+    /// counters.
+    pub fn with_capacity(capacity: usize) -> FlightRecorder {
+        FlightRecorder::with_counters(capacity, Counter::new(), Counter::new())
+    }
+
+    /// Like [`FlightRecorder::with_capacity`], but counting recorded
+    /// and dropped events into the given (typically registry-owned)
+    /// counters, so the ring's churn is itself observable.
+    pub fn with_counters(capacity: usize, recorded: Counter, dropped: Counter) -> FlightRecorder {
+        let capacity = (capacity.max(TRACE_SHARDS as usize) as u64).next_power_of_two();
+        let per_shard = (capacity / TRACE_SHARDS) as usize;
+        let shards = (0..TRACE_SHARDS)
+            .map(|_| (0..per_shard).map(|_| Slot::default()).collect())
+            .collect();
+        FlightRecorder(Arc::new(RecorderInner {
+            head: AtomicU64::new(0),
+            capacity,
+            epoch: Instant::now(),
+            shards,
+            recorded,
+            dropped,
+        }))
+    }
+
+    /// The ring capacity after rounding (always a power of two).
+    pub fn capacity(&self) -> usize {
+        self.0.capacity as usize
+    }
+
+    /// Total events ever recorded.
+    pub fn recorded(&self) -> u64 {
+        self.0.recorded.get()
+    }
+
+    /// Total events overwritten (always the oldest first).
+    pub fn dropped(&self) -> u64 {
+        self.0.dropped.get()
+    }
+
+    /// Records one event. Lock-free, allocation-free: one relaxed
+    /// `fetch_add` to claim a slot, five atomic stores to fill it.
+    #[inline]
+    pub fn record(&self, kind: TraceEventKind, conn: u64, value: u64) {
+        let inner = &*self.0;
+        let seq = inner.head.fetch_add(1, Ordering::Relaxed);
+        let slot = inner.slot(seq);
+        slot.stamp.store(WRITING, Ordering::Relaxed);
+        slot.at_us.store(elapsed_us(inner.epoch), Ordering::Relaxed);
+        slot.kind.store(kind as u64, Ordering::Relaxed);
+        slot.conn.store(conn, Ordering::Relaxed);
+        slot.value.store(value, Ordering::Relaxed);
+        // ordering: release publishes the payload stores above to any reader that observes this stamp with acquire
+        slot.stamp.store(seq + 1, Ordering::Release);
+        inner.recorded.inc();
+        if seq >= inner.capacity {
+            // This write overwrote the event at `seq - capacity`: the
+            // ring drops strictly oldest-first.
+            inner.dropped.inc();
+        }
+    }
+
+    /// Copies the ring's current contents, oldest surviving event
+    /// first. Slots mid-overwrite are skipped, never returned torn.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let inner = &*self.0;
+        // ordering: acquire pairs with the release stamp store so every slot published before this head read is fully visible
+        let head = inner.head.load(Ordering::Acquire);
+        let start = head.saturating_sub(inner.capacity);
+        let mut events = Vec::with_capacity((head - start) as usize);
+        for seq in start..head {
+            let slot = inner.slot(seq);
+            // ordering: acquire pairs with the writer's release stamp, making the payload stores below it visible
+            let stamp = slot.stamp.load(Ordering::Acquire);
+            if stamp != seq + 1 {
+                continue; // overwritten, mid-write, or not yet written
+            }
+            let at_us = slot.at_us.load(Ordering::Relaxed);
+            let kind = slot.kind.load(Ordering::Relaxed);
+            let conn = slot.conn.load(Ordering::Relaxed);
+            let value = slot.value.load(Ordering::Relaxed);
+            // ordering: the fence keeps the payload loads above from sinking past the validating re-read of the stamp
+            fence(Ordering::Acquire);
+            if slot.stamp.load(Ordering::Relaxed) != seq + 1 {
+                continue; // overwritten while we were reading
+            }
+            let Some(kind) = TraceEventKind::from_u8(kind as u8) else {
+                continue;
+            };
+            events.push(TraceEvent {
+                seq,
+                at_us,
+                kind,
+                conn,
+                value,
+            });
+        }
+        TraceSnapshot {
+            events,
+            dropped: inner.dropped.get(),
+        }
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.0.capacity)
+            .field("recorded", &self.recorded())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        assert_eq!(FlightRecorder::with_capacity(0).capacity(), 8);
+        assert_eq!(FlightRecorder::with_capacity(8).capacity(), 8);
+        assert_eq!(FlightRecorder::with_capacity(100).capacity(), 128);
+        assert_eq!(FlightRecorder::with_capacity(65_536).capacity(), 65_536);
+    }
+
+    #[test]
+    fn events_come_back_in_order_with_payloads() {
+        let rec = FlightRecorder::with_capacity(64);
+        rec.record(TraceEventKind::Accept, 7, 1);
+        rec.record(TraceEventKind::FrameDecode, 7, 42);
+        rec.record(TraceEventKind::ReplyFlush, 7, 99);
+        let snap = rec.snapshot();
+        assert_eq!(snap.dropped, 0);
+        let kinds: Vec<TraceEventKind> = snap.events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TraceEventKind::Accept,
+                TraceEventKind::FrameDecode,
+                TraceEventKind::ReplyFlush
+            ]
+        );
+        assert_eq!(snap.events[0].seq, 0);
+        assert_eq!(snap.events[1].value, 42);
+        assert_eq!(snap.events[2].conn, 7);
+        // Timestamps are monotone in seq under a single writer.
+        assert!(snap.events[0].at_us <= snap.events[2].at_us);
+    }
+
+    #[test]
+    fn overflow_drops_oldest_first_with_exact_count() {
+        let rec = FlightRecorder::with_capacity(8);
+        for i in 0..20u64 {
+            rec.record(TraceEventKind::FleetSubmit, i, i * 10);
+        }
+        let snap = rec.snapshot();
+        assert_eq!(rec.recorded(), 20);
+        assert_eq!(snap.dropped, 12); // 20 recorded − 8 capacity
+        let seqs: Vec<u64> = snap.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (12..20).collect::<Vec<u64>>());
+        assert_eq!(snap.events[0].value, 120);
+    }
+
+    #[test]
+    fn counters_can_be_shared() {
+        let recorded = Counter::new();
+        let dropped = Counter::new();
+        let rec = FlightRecorder::with_counters(8, recorded.clone(), dropped.clone());
+        for _ in 0..10 {
+            rec.record(TraceEventKind::Spill, 0, 0);
+        }
+        assert_eq!(recorded.get(), 10);
+        assert_eq!(dropped.get(), 2);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let rec = FlightRecorder::with_capacity(4096);
+        const THREADS: u64 = 4;
+        const PER: u64 = 500;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let rec = rec.clone();
+                s.spawn(move || {
+                    for i in 0..PER {
+                        rec.record(TraceEventKind::FrameDecode, t, i);
+                    }
+                });
+            }
+        });
+        let snap = rec.snapshot();
+        assert_eq!(rec.recorded(), THREADS * PER);
+        assert_eq!(snap.dropped, 0);
+        assert_eq!(snap.events.len(), (THREADS * PER) as usize);
+        // Every (conn, value) pair survives exactly once.
+        let mut pairs: Vec<(u64, u64)> = snap.events.iter().map(|e| (e.conn, e.value)).collect();
+        pairs.sort_unstable();
+        let mut want = Vec::new();
+        for t in 0..THREADS {
+            for i in 0..PER {
+                want.push((t, i));
+            }
+        }
+        assert_eq!(pairs, want);
+    }
+
+    #[test]
+    fn snapshot_renders_dump_lines() {
+        let rec = FlightRecorder::with_capacity(8);
+        rec.record(TraceEventKind::Reject, 0, 6);
+        let text = rec.snapshot().render();
+        assert!(text.starts_with("# trace dump: 1 event(s), 0 dropped"));
+        assert!(text.contains("kind=reject conn=0 value=6"));
+    }
+
+    #[test]
+    fn kind_round_trips_through_wire_byte() {
+        for kind in [
+            TraceEventKind::Accept,
+            TraceEventKind::FrameDecode,
+            TraceEventKind::FleetSubmit,
+            TraceEventKind::Spill,
+            TraceEventKind::ReplyFlush,
+            TraceEventKind::Reject,
+            TraceEventKind::Evict,
+        ] {
+            assert_eq!(TraceEventKind::from_u8(kind as u8), Some(kind));
+        }
+        assert_eq!(TraceEventKind::from_u8(0), None);
+        assert_eq!(TraceEventKind::from_u8(8), None);
+    }
+}

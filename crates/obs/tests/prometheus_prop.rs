@@ -1,0 +1,215 @@
+//! Property tests for the Prometheus exposition: the rendered text
+//! round-trips through a hand-rolled parser of the 0.0.4 text format,
+//! bucket series are cumulative and monotone in `le`, `_sum`/`_count`
+//! equal the snapshot's exact cells, and merging snapshots commutes
+//! with rendering (parse(render(a ⊕ b)) = parse(render(a)) ⊕
+//! parse(render(b))).
+
+use std::collections::BTreeMap;
+
+use bqs_obs::{render_prometheus_histogram, Histogram, HistogramSnapshot, MetricsRegistry};
+use proptest::prelude::*;
+
+/// A histogram family parsed back out of exposition text. `le` keys
+/// are the finite bucket bounds; `inf` is the mandatory `+Inf` series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ParsedHistogram {
+    /// Cumulative count per finite `le`, ascending.
+    cumulative: BTreeMap<u64, u64>,
+    inf: u64,
+    sum: u64,
+    count: u64,
+}
+
+/// Hand-rolled parser for one `render_prometheus_histogram` family.
+/// Strict: every non-comment line must be one of the four shapes, and
+/// `# TYPE <name> histogram` must be present.
+fn parse_histogram(name: &str, text: &str) -> ParsedHistogram {
+    let mut cumulative = BTreeMap::new();
+    let mut inf = None;
+    let mut sum = None;
+    let mut count = None;
+    let mut typed = false;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            assert_eq!(rest, format!("{name} histogram"), "bad TYPE line: {line}");
+            typed = true;
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("sample line");
+        let value: u64 = value.parse().expect("u64 sample value");
+        if let Some(le) = series
+            .strip_prefix(&format!("{name}_bucket{{le=\""))
+            .and_then(|s| s.strip_suffix("\"}"))
+        {
+            if le == "+Inf" {
+                assert!(inf.replace(value).is_none(), "duplicate +Inf");
+            } else {
+                let le: u64 = le.parse().expect("finite le is a u64");
+                assert!(cumulative.insert(le, value).is_none(), "duplicate le");
+            }
+        } else if series == format!("{name}_sum") {
+            assert!(sum.replace(value).is_none(), "duplicate _sum");
+        } else if series == format!("{name}_count") {
+            assert!(count.replace(value).is_none(), "duplicate _count");
+        } else {
+            panic!("unrecognised series {series:?}");
+        }
+    }
+    assert!(typed, "missing # TYPE line");
+    ParsedHistogram {
+        cumulative,
+        inf: inf.expect("+Inf bucket is mandatory"),
+        sum: sum.expect("_sum is mandatory"),
+        count: count.expect("_count is mandatory"),
+    }
+}
+
+impl ParsedHistogram {
+    /// Per-bucket (non-cumulative) counts keyed by finite `le`.
+    fn decumulated(&self) -> BTreeMap<u64, u64> {
+        let mut out = BTreeMap::new();
+        let mut prev = 0u64;
+        for (&le, &cum) in &self.cumulative {
+            out.insert(le, cum - prev);
+            prev = cum;
+        }
+        out
+    }
+
+    /// The ⊕ on parsed families matching snapshot merge: per-bucket
+    /// counts add pointwise, sums wrap like the snapshot's.
+    fn merge(&self, other: &ParsedHistogram) -> ParsedHistogram {
+        let mut counts = self.decumulated();
+        for (&le, &n) in &other.decumulated() {
+            *counts.entry(le).or_insert(0) += n;
+        }
+        let mut cumulative = BTreeMap::new();
+        let mut running = 0u64;
+        for (&le, &n) in &counts {
+            running += n;
+            cumulative.insert(le, running);
+        }
+        ParsedHistogram {
+            cumulative,
+            inf: self.inf + other.inf,
+            sum: self.sum.wrapping_add(other.sum),
+            count: self.count + other.count,
+        }
+    }
+}
+
+fn snap(samples: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// Widens small draws into the full `u64` range (same trick as
+/// `histogram_prop.rs`), hitting every bucket including the top one.
+fn widen(raw: Vec<(u64, u32)>) -> Vec<u64> {
+    raw.into_iter()
+        .map(|(m, s)| m.wrapping_shl(s % 64))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn rendered_buckets_are_cumulative_monotone_and_exact(
+        raw in proptest::collection::vec((0u64..=u64::MAX, 0u32..64), 0..200),
+    ) {
+        let samples = widen(raw);
+        let s = snap(&samples);
+        let parsed = parse_histogram("lat_us", &render_prometheus_histogram("lat_us", &s));
+
+        // _count/_sum equal the snapshot's exact cells; +Inf = count.
+        prop_assert_eq!(parsed.count, s.count());
+        prop_assert_eq!(parsed.sum, s.sum());
+        prop_assert_eq!(parsed.inf, s.count());
+
+        // Cumulative and monotone in ascending `le`, bounded by +Inf.
+        let mut prev = 0u64;
+        for (&le, &cum) in &parsed.cumulative {
+            prop_assert!(cum >= prev, "le={le}: {cum} < {prev}");
+            prev = cum;
+        }
+        prop_assert!(prev <= parsed.inf);
+
+        // Each cumulative value equals the true ≤-le sample count.
+        for (&le, &cum) in &parsed.cumulative {
+            let truth = samples.iter().filter(|&&v| v <= le).count() as u64;
+            prop_assert_eq!(cum, truth, "le={}", le);
+        }
+    }
+
+    #[test]
+    fn merged_snapshots_render_as_merged_renders(
+        ra in proptest::collection::vec((0u64..=u64::MAX, 0u32..64), 0..150),
+        rb in proptest::collection::vec((0u64..=u64::MAX, 0u32..64), 0..150),
+    ) {
+        let (va, vb) = (widen(ra), widen(rb));
+        let (a, b) = (snap(&va), snap(&vb));
+        let mut ab = a.clone();
+        ab.merge(&b);
+
+        let pa = parse_histogram("h", &render_prometheus_histogram("h", &a));
+        let pb = parse_histogram("h", &render_prometheus_histogram("h", &b));
+        let pab = parse_histogram("h", &render_prometheus_histogram("h", &ab));
+
+        // The merged snapshot's render parses to exactly the merge of
+        // the individual parses (bucket-by-bucket, sum and count).
+        prop_assert_eq!(pab.decumulated(), pa.merge(&pb).decumulated());
+        prop_assert_eq!(pab.sum, pa.merge(&pb).sum);
+        prop_assert_eq!(pab.count, pa.merge(&pb).count);
+        prop_assert_eq!(pab.inf, pa.merge(&pb).inf);
+    }
+
+    #[test]
+    fn full_registry_exposition_stays_well_formed(
+        counter in 0u64..=u64::MAX,
+        gauge in 0u64..1_000_000,
+        raw in proptest::collection::vec((0u64..=u64::MAX, 0u32..64), 0..100),
+    ) {
+        let reg = MetricsRegistry::new();
+        reg.counter("c_total").add(counter);
+        reg.gauge("g_depth").set(gauge);
+        let h = reg.histogram("h_us");
+        for v in widen(raw) {
+            h.record(v);
+        }
+        let text = reg.render_prometheus();
+        // Every sample line is `series value` with a u64 value; every
+        // series belongs to a family announced by a # TYPE line.
+        let mut types = BTreeMap::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let (fam, kind) = rest.rsplit_once(' ').expect("TYPE family kind");
+                types.insert(fam.to_string(), kind.to_string());
+                continue;
+            }
+            if line.starts_with('#') {
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("sample line");
+            prop_assert!(value.parse::<u64>().is_ok(), "bad value in {line:?}");
+            let family = series.split('{').next().expect("series name");
+            let known = types.contains_key(family)
+                || ["_bucket", "_sum", "_count"].iter().any(|suf| {
+                    family
+                        .strip_suffix(suf)
+                        .is_some_and(|base| types.get(base).map(String::as_str) == Some("histogram"))
+                });
+            prop_assert!(known, "series {series:?} has no TYPE family");
+        }
+        prop_assert_eq!(types.get("c_total").map(String::as_str), Some("counter"));
+        prop_assert_eq!(types.get("g_depth").map(String::as_str), Some("gauge"));
+        prop_assert_eq!(types.get("h_us").map(String::as_str), Some("histogram"));
+    }
+}

@@ -22,7 +22,7 @@ use crate::log::TrajectoryLog;
 use bqs_core::fleet::{FleetSink, FlushReason, SessionReport, TrackId};
 use bqs_core::stream::DecisionStats;
 use bqs_geo::TimedPoint;
-use bqs_obs::{Counter, MetricsRegistry};
+use bqs_obs::{Counter, FlightRecorder, MetricsRegistry, TraceEventKind};
 use std::borrow::BorrowMut;
 use std::collections::HashMap;
 
@@ -41,6 +41,9 @@ pub struct SpillMetrics {
     bytes: Counter,
     /// Segment-file rotations observed across appends.
     rotations: Counter,
+    /// Flight recorder each durable spill emits a `Spill` event into,
+    /// when wired.
+    trace: Option<FlightRecorder>,
 }
 
 impl SpillMetrics {
@@ -51,7 +54,15 @@ impl SpillMetrics {
             points: registry.counter("tlog_spilled_points_total"),
             bytes: registry.counter("tlog_spilled_bytes_total"),
             rotations: registry.counter("tlog_segment_rotations_total"),
+            trace: None,
         }
+    }
+
+    /// Wires a flight recorder in: every durable spill then emits one
+    /// `Spill` trace event (value = compressed points written).
+    pub fn with_trace(mut self, trace: FlightRecorder) -> SpillMetrics {
+        self.trace = Some(trace);
+        self
     }
 }
 
@@ -214,6 +225,9 @@ impl<L: BorrowMut<TrajectoryLog>> SpillSink<L> {
                     m.bytes.add(receipt.bytes);
                     if self.last_segment.is_some_and(|s| s != receipt.segment) {
                         m.rotations.inc();
+                    }
+                    if let Some(tr) = &m.trace {
+                        tr.record(TraceEventKind::Spill, 0, receipt.points);
                     }
                 }
                 self.last_segment = Some(receipt.segment);
